@@ -1,0 +1,243 @@
+//! The theoretical efficiency model of Figure 2.
+//!
+//! Given a batch size per GPU β, each method's best achievable efficiency
+//! is `1 / (1 + bubble + exposed network / compute)`, optimized over the
+//! integer micro-batch splits the method allows. The ingredients follow
+//! §3–§4:
+//!
+//! * bubble = `(N_PP − 1) / (N_mb · N_loop)` (Eqs. 3/7);
+//! * exposed data-parallel time: the gradient-reduction time is worth
+//!   `β̃_min / N_PP` samples of computation (the reduction shrinks with
+//!   the pipeline, Eq. 4); overlap hides up to one micro-batch of it for
+//!   non-looped schedules (Eq. 18), one `N_PP`-sequence for depth-first
+//!   (Eq. 19), and the whole batch for breadth-first (Eq. 20);
+//! * exposed pipeline-parallel time: a small per-stage cost that can only
+//!   be hidden when there is at least one spare micro-batch
+//!   (`N_mb ≥ N_PP + 1`, §4.2) — the "jump near β_min" the Figure 2a
+//!   caption points at.
+
+/// The methods of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffMethod {
+    /// Pure data parallelism.
+    DataParallel,
+    /// Non-looped pipeline (`N_loop = 1`).
+    NonLooped,
+    /// Looped pipeline, depth-first schedule.
+    LoopedDepthFirst,
+    /// Looped pipeline, breadth-first schedule.
+    LoopedBreadthFirst,
+}
+
+impl EffMethod {
+    /// All methods, Figure 2 order.
+    pub const ALL: [EffMethod; 4] = [
+        EffMethod::DataParallel,
+        EffMethod::NonLooped,
+        EffMethod::LoopedDepthFirst,
+        EffMethod::LoopedBreadthFirst,
+    ];
+}
+
+/// Parameters of the Figure 2 model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyModel {
+    /// The data-parallel network threshold `β̃_min` (6 in Figure 2).
+    pub beta_min_tilde: f64,
+    /// Pipeline depth `N_PP`.
+    pub n_pp: u32,
+    /// Largest loop count a looping method may use.
+    pub max_loop: u32,
+    /// Exposed pipeline-transfer cost per loop, as a fraction of one
+    /// micro-batch's compute (small; only paid when it cannot overlap).
+    pub pp_transfer_frac: f64,
+}
+
+impl EfficiencyModel {
+    /// The configuration of Figure 2: `β̃_min = 6`, `N_TP = 1`, a 4-deep
+    /// pipeline with up to 8 loops.
+    pub fn figure2() -> Self {
+        EfficiencyModel {
+            beta_min_tilde: 6.0,
+            n_pp: 4,
+            max_loop: 8,
+            pp_transfer_frac: 0.03,
+        }
+    }
+
+    /// Best theoretical efficiency of `method` at batch size per GPU
+    /// `beta`, optimizing the micro-batch split. `overlap` selects
+    /// between Figure 2a (true) and Figure 2b (false).
+    ///
+    /// Returns a value in `(0, 1]`. β is interpreted per GPU with
+    /// `N_TP = 1`: a pipeline of depth `N_PP` processes `β · N_PP`
+    /// samples per replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not strictly positive.
+    pub fn efficiency(&self, method: EffMethod, beta: f64, overlap: bool) -> f64 {
+        assert!(beta > 0.0, "beta must be positive");
+        match method {
+            EffMethod::DataParallel => self.dp_efficiency(beta, overlap),
+            EffMethod::NonLooped => self.pipeline_efficiency(beta, 1, false, overlap),
+            EffMethod::LoopedDepthFirst => self.looped_efficiency(beta, false, overlap),
+            EffMethod::LoopedBreadthFirst => self.looped_efficiency(beta, true, overlap),
+        }
+    }
+
+    fn dp_efficiency(&self, beta: f64, overlap: bool) -> f64 {
+        // One replica processes β samples; the reduction is worth
+        // β̃_min samples. Overlap hides one micro-batch; the best split
+        // is a single micro-batch of size β.
+        let hidden = if overlap { beta } else { 0.0 };
+        let exposed = (self.beta_min_tilde - hidden).max(0.0);
+        beta / (beta + exposed)
+    }
+
+    fn looped_efficiency(&self, beta: f64, breadth_first: bool, overlap: bool) -> f64 {
+        let mut best: f64 = 0.0;
+        for n_loop in 1..=self.max_loop {
+            let e = self.pipeline_efficiency_loop(beta, n_loop, breadth_first, overlap);
+            best = best.max(e);
+        }
+        best
+    }
+
+    fn pipeline_efficiency(&self, beta: f64, n_loop: u32, breadth_first: bool, overlap: bool) -> f64 {
+        self.pipeline_efficiency_loop(beta, n_loop, breadth_first, overlap)
+    }
+
+    fn pipeline_efficiency_loop(
+        &self,
+        beta: f64,
+        n_loop: u32,
+        breadth_first: bool,
+        overlap: bool,
+    ) -> f64 {
+        let n_pp = self.n_pp as f64;
+        let per_replica = beta * n_pp; // samples per replica per batch
+        let mut best: f64 = 0.0;
+        // Enumerate integer micro-batch counts; the per-micro-batch size
+        // may be fractional in this idealized model (the real search in
+        // bfpp-exec enumerates integers).
+        let max_mb = (per_replica.ceil() as u32).max(1) * 2;
+        for n_mb in 1..=max_mb {
+            let s_mb = per_replica / n_mb as f64;
+            if s_mb <= 0.0 {
+                break;
+            }
+            let bubble = (n_pp - 1.0) / (n_mb as f64 * n_loop as f64);
+            // Exposed DP time in per-GPU sample units.
+            let net = self.beta_min_tilde / n_pp;
+            let hidden = if !overlap {
+                0.0
+            } else if breadth_first {
+                per_replica / n_pp // the whole batch, per GPU
+            } else if n_loop > 1 {
+                // A sequence of (up to) N_PP micro-batches.
+                (n_mb as f64).min(n_pp) * s_mb / n_pp
+            } else {
+                s_mb / n_pp // a single micro-batch
+            };
+            let exposed_dp = (net - hidden).max(0.0);
+            // Exposed PP transfers: hidden only with a spare micro-batch
+            // (and only the overlapping schedules can use it; the
+            // depth-first schedule as published cannot — §4.2).
+            let can_hide_pp = overlap && n_mb as f64 > n_pp && (breadth_first || n_loop == 1);
+            let exposed_pp = if can_hide_pp {
+                0.0
+            } else {
+                self.pp_transfer_frac * n_loop as f64 * s_mb
+            };
+            let eff = beta / (beta * (1.0 + bubble) + exposed_dp + exposed_pp);
+            best = best.max(eff);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_reaches_full_efficiency_at_beta_min_tilde() {
+        let m = EfficiencyModel::figure2();
+        assert!(m.efficiency(EffMethod::DataParallel, 6.0, true) > 0.999);
+        assert!(m.efficiency(EffMethod::DataParallel, 1.0, true) < 0.6);
+    }
+
+    #[test]
+    fn looped_dominates_non_looped_at_low_beta() {
+        let m = EfficiencyModel::figure2();
+        for beta in [0.5, 1.0, 1.5, 2.0] {
+            let bf = m.efficiency(EffMethod::LoopedBreadthFirst, beta, true);
+            let nl = m.efficiency(EffMethod::NonLooped, beta, true);
+            assert!(bf > nl, "beta {beta}: bf {bf} !> non-looped {nl}");
+        }
+    }
+
+    #[test]
+    fn breadth_first_at_least_matches_depth_first() {
+        let m = EfficiencyModel::figure2();
+        for beta in [0.5, 1.0, 1.25, 2.0, 4.0, 8.0] {
+            let bf = m.efficiency(EffMethod::LoopedBreadthFirst, beta, true);
+            let df = m.efficiency(EffMethod::LoopedDepthFirst, beta, true);
+            assert!(bf >= df - 1e-9, "beta {beta}: bf {bf} < df {df}");
+        }
+    }
+
+    #[test]
+    fn jump_above_beta_min_from_pp_overlap() {
+        // Figure 2a caption: "Note the jump near β_min = 1 related to the
+        // pipeline-parallel network overlap": with one spare micro-batch
+        // the transfers hide, so efficiency jumps.
+        let m = EfficiencyModel::figure2();
+        let at = m.efficiency(EffMethod::LoopedBreadthFirst, 1.0, true);
+        let above = m.efficiency(EffMethod::LoopedBreadthFirst, 1.25, true);
+        assert!(above > at, "jump expected: {at} -> {above}");
+    }
+
+    #[test]
+    fn overlap_matters_more_for_looped(/* Figure 2b */) {
+        let m = EfficiencyModel::figure2();
+        let beta = 1.0;
+        let bf_with = m.efficiency(EffMethod::LoopedBreadthFirst, beta, true);
+        let bf_without = m.efficiency(EffMethod::LoopedBreadthFirst, beta, false);
+        assert!(
+            bf_with - bf_without > 0.1,
+            "overlap is what makes looping viable: {bf_with} vs {bf_without}"
+        );
+    }
+
+    #[test]
+    fn efficiency_is_monotone_in_beta_for_dp() {
+        let m = EfficiencyModel::figure2();
+        let mut prev = 0.0;
+        for i in 1..=32 {
+            let e = m.efficiency(EffMethod::DataParallel, i as f64 * 0.5, true);
+            assert!(e >= prev - 1e-12);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn all_efficiencies_are_probabilities() {
+        let m = EfficiencyModel::figure2();
+        for method in EffMethod::ALL {
+            for overlap in [true, false] {
+                for i in 1..=24 {
+                    let e = m.efficiency(method, i as f64 * 0.5, overlap);
+                    assert!((0.0..=1.0).contains(&e), "{method:?} {overlap} {i}: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn zero_beta_rejected() {
+        EfficiencyModel::figure2().efficiency(EffMethod::DataParallel, 0.0, true);
+    }
+}

@@ -1,0 +1,123 @@
+//! Arithmetic intensities (paper Appendix A.3, Eqs. 15–28).
+//!
+//! The intensity `I_op` of an operation is the computation it enables per
+//! byte of network traffic; communication hides behind computation when
+//! `I_op ≥ I_hw` (the hardware's flop/s-to-bytes/s ratio,
+//! [`bfpp_cluster::ClusterSpec::hardware_intensity`]). All results are in
+//! flop/byte.
+
+use bfpp_model::TransformerConfig;
+
+/// Eq. (17): data-parallel intensity for `DP_0` and `DP_PS` —
+/// `N_mb · S_mb · S_seq`. ("The intensity at β_min is numerically equal
+/// to the sequence length.")
+pub fn dp_unsharded(model: &TransformerConfig, n_mb: u32, s_mb: u32) -> f64 {
+    n_mb as f64 * s_mb as f64 * model.seq_length as f64
+}
+
+/// Eq. (21): fully sharded with a non-looped pipeline (or plain
+/// depth-first gradient accumulation): `(2/3) · S_mb · S_seq` — the
+/// repeated reconstructions cancel the micro-batch count entirely.
+pub fn dp_fully_sharded_non_looped(model: &TransformerConfig, s_mb: u32) -> f64 {
+    2.0 / 3.0 * s_mb as f64 * model.seq_length as f64
+}
+
+/// Eq. (22): fully sharded, depth-first looped:
+/// `(2/3) · N_PP · S_mb · S_seq`.
+pub fn dp_fully_sharded_depth_first(model: &TransformerConfig, n_pp: u32, s_mb: u32) -> f64 {
+    2.0 / 3.0 * n_pp as f64 * s_mb as f64 * model.seq_length as f64
+}
+
+/// Eq. (23): fully sharded, breadth-first:
+/// `(2/3) · N_mb · S_mb · S_seq` — the whole batch amortizes one
+/// reconstruction pair.
+pub fn dp_fully_sharded_breadth_first(model: &TransformerConfig, n_mb: u32, s_mb: u32) -> f64 {
+    2.0 / 3.0 * n_mb as f64 * s_mb as f64 * model.seq_length as f64
+}
+
+/// Eq. (27): pipeline-parallel intensity,
+/// `24 · S_hidden · N_layers / (N_PP · N_loop)`.
+pub fn pipeline(model: &TransformerConfig, n_pp: u32, n_loop: u32) -> f64 {
+    24.0 * model.hidden_size as f64 * model.num_layers as f64 / (n_pp as f64 * n_loop as f64)
+}
+
+/// Eq. (28): tensor-parallel intensity, `2 · S_hidden / N_TP` —
+/// restricting TP to the largest models on the fastest (intra-node)
+/// networks.
+pub fn tensor(model: &TransformerConfig, n_tp: u32) -> f64 {
+    2.0 * model.hidden_size as f64 / n_tp as f64
+}
+
+/// The theoretical `β̃_min` implied by a hardware intensity: the smallest
+/// micro-batch whose unsharded data-parallel traffic hides behind its own
+/// computation, `⌈I_hw / S_seq⌉` (§A.3.1's worked example: 4 on an A100
+/// with `S_seq = 2048`).
+pub fn beta_min_tilde(model: &TransformerConfig, hardware_intensity: f64) -> f64 {
+    (hardware_intensity / model.seq_length as f64).ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_model::presets;
+
+    #[test]
+    fn dp_intensity_at_beta_min_is_sequence_length() {
+        // A.3.1: "The intensity at β_min is numerically equal to the
+        // sequence length" (N_mb = N_PP with one sample... the per-GPU
+        // ratio collapses to S_seq per unit β).
+        let m = presets::gpt3();
+        assert_eq!(dp_unsharded(&m, 1, 1), 2048.0);
+    }
+
+    #[test]
+    fn a100_beta_min_tilde_is_4() {
+        // A.3.1's example: A100 + S_seq = 2048 gives β̃_min = ⌈6240/2048⌉ = 4.
+        let m = presets::gpt3();
+        assert_eq!(beta_min_tilde(&m, 6240.0), 4.0);
+    }
+
+    #[test]
+    fn tensor_intensities_pin_to_paper() {
+        // A.3.3: "with N_TP = 8, the intensity is 3072 for GPT-3 and 6400
+        // for 1T".
+        assert_eq!(tensor(&presets::gpt3(), 8), 3072.0);
+        assert_eq!(tensor(&presets::one_t(), 8), 6400.0);
+    }
+
+    #[test]
+    fn pipeline_intensities_pin_to_paper() {
+        // A.3.2: N_PP = 4 non-looped: "7.1 M for GPT-3 and 19.7 M for 1T";
+        // maximally looped: "294 K for GPT-3 and 614 K for 1T".
+        let gpt3 = presets::gpt3();
+        let one_t = presets::one_t();
+        assert!((pipeline(&gpt3, 4, 1) / 1e6 - 7.1).abs() < 0.05);
+        assert!((pipeline(&one_t, 4, 1) / 1e6 - 19.7).abs() < 0.05);
+        // Max loops: stages = layers (one layer per stage).
+        assert!((pipeline(&gpt3, 4, 24) / 1e3 - 294.9).abs() < 1.0);
+        assert!((pipeline(&one_t, 4, 32) / 1e3 - 614.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn fs_variants_order_correctly() {
+        // Eq. 21 < Eq. 22 < Eq. 23 for N_mb > N_PP > 1.
+        let m = presets::bert_52b();
+        let (n_pp, n_mb, s_mb) = (4, 16, 1);
+        let non_looped = dp_fully_sharded_non_looped(&m, s_mb);
+        let df = dp_fully_sharded_depth_first(&m, n_pp, s_mb);
+        let bf = dp_fully_sharded_breadth_first(&m, n_mb, s_mb);
+        assert!(non_looped < df);
+        assert!(df < bf);
+        // And BF recovers 2/3 of the unsharded intensity (the 50% traffic
+        // increase of DP_FS).
+        assert!((bf / dp_unsharded(&m, n_mb, s_mb) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn looping_divides_pipeline_intensity() {
+        let m = presets::bert_52b();
+        assert!(
+            (pipeline(&m, 8, 4) - pipeline(&m, 8, 1) / 4.0).abs() < 1e-9
+        );
+    }
+}

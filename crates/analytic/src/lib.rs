@@ -1,0 +1,20 @@
+//! # bfpp-analytic — closed-form models
+//!
+//! The paper's pencil-and-paper side, implemented exactly:
+//!
+//! * [`intensity`] — arithmetic intensities of every communication class
+//!   (Appendix A.3, Eqs. 17–28): data-parallel under each sharding level
+//!   and schedule, pipeline-parallel, tensor-parallel;
+//! * [`efficiency`] — the theoretical efficiency-vs-β curves of Figure 2,
+//!   with and without network overlap;
+//! * [`tradeoff`] — the batch-size overhead law (Eq. 5), the cost/time
+//!   trade-off (Eq. 6) and the cluster-size extrapolation behind
+//!   Figures 1 and 6;
+//! * [`noise`] — the gradient-noise-scale estimator of Appendix B
+//!   (`B_noise ≈ tr(Σ)/|G|²`), run for real on synthetic stochastic
+//!   gradients, demonstrating how `B_crit` is estimated in practice.
+
+pub mod efficiency;
+pub mod intensity;
+pub mod noise;
+pub mod tradeoff;

@@ -1,0 +1,225 @@
+//! Gradient-noise-scale estimation (paper Appendix B).
+//!
+//! The critical batch size `B_crit` is well approximated by the *noise
+//! scale* `B_noise = tr(Σ) / |G|²`, where `G` is the true gradient and
+//! `Σ` the per-sample gradient covariance (McCandlish et al. 2018). Two
+//! estimators are provided and exercised on synthetic stochastic
+//! gradients:
+//!
+//! * [`noise_scale_per_sample`] — exact, from a set of per-sample
+//!   gradients (feasible in a simulation; rarely in production);
+//! * [`noise_scale_two_batch`] — the practical unbiased two-batch-size
+//!   estimator from Appendix A.1 of McCandlish et al., using only the
+//!   gradient *norms* observed at two batch sizes (what a real training
+//!   run can measure for free).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mean(vectors: &[Vec<f64>]) -> Vec<f64> {
+    let n = vectors.len() as f64;
+    let d = vectors[0].len();
+    let mut m = vec![0.0; d];
+    for v in vectors {
+        for (mi, vi) in m.iter_mut().zip(v) {
+            *mi += *vi / n;
+        }
+    }
+    m
+}
+
+fn sq_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// Exact noise scale from per-sample gradients:
+/// `B_noise = tr(Σ) / |G|²` with `G` the sample mean and `tr(Σ)` the
+/// summed per-coordinate variance (unbiased).
+///
+/// # Panics
+///
+/// Panics with fewer than two gradients or mismatched lengths.
+pub fn noise_scale_per_sample(gradients: &[Vec<f64>]) -> f64 {
+    assert!(gradients.len() >= 2, "need at least two sample gradients");
+    let d = gradients[0].len();
+    assert!(
+        gradients.iter().all(|g| g.len() == d),
+        "gradient length mismatch"
+    );
+    let g = mean(gradients);
+    let n = gradients.len() as f64;
+    let mut tr_sigma = 0.0;
+    for grad in gradients {
+        for (gi, mi) in grad.iter().zip(&g) {
+            tr_sigma += (gi - mi) * (gi - mi);
+        }
+    }
+    tr_sigma /= n - 1.0;
+    tr_sigma / sq_norm(&g)
+}
+
+/// The two-batch-size estimator: given the expected squared gradient
+/// norms measured at batch sizes `b_small` and `b_big`,
+///
+/// * `|G|²_est = (B_big·|G_big|² − B_small·|G_small|²)/(B_big − B_small)`
+/// * `tr(Σ)_est = (|G_small|² − |G_big|²)/(1/B_small − 1/B_big)`
+///
+/// and `B_noise = tr(Σ)_est / |G|²_est`.
+///
+/// # Panics
+///
+/// Panics if the batch sizes are equal or non-positive.
+pub fn noise_scale_two_batch(
+    b_small: f64,
+    sq_norm_small: f64,
+    b_big: f64,
+    sq_norm_big: f64,
+) -> f64 {
+    assert!(b_small > 0.0 && b_big > 0.0, "batch sizes must be positive");
+    assert!(b_small != b_big, "batch sizes must differ");
+    let g2 = (b_big * sq_norm_big - b_small * sq_norm_small) / (b_big - b_small);
+    let tr = (sq_norm_small - sq_norm_big) / (1.0 / b_small - 1.0 / b_big);
+    tr / g2
+}
+
+/// A synthetic stochastic-gradient source with a *known* noise scale:
+/// per-sample gradients are `g* + η`, `η ~ N(0, σ²·I_d)`, so
+/// `B_noise = d·σ² / |g*|²` analytically.
+#[derive(Debug, Clone)]
+pub struct SyntheticGradients {
+    true_gradient: Vec<f64>,
+    sigma: f64,
+    rng: StdRng,
+}
+
+impl SyntheticGradients {
+    /// Creates a source of dimension `dim` with `|g*| = 1` in a fixed
+    /// direction and per-coordinate noise `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `sigma` is not positive.
+    pub fn new(dim: usize, sigma: f64, seed: u64) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(sigma > 0.0, "sigma must be positive");
+        let mut g = vec![0.0; dim];
+        let scale = 1.0 / (dim as f64).sqrt();
+        g.fill(scale);
+        SyntheticGradients {
+            true_gradient: g,
+            sigma,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The analytic noise scale of this source.
+    pub fn analytic_noise_scale(&self) -> f64 {
+        self.true_gradient.len() as f64 * self.sigma * self.sigma / sq_norm(&self.true_gradient)
+    }
+
+    /// Draws one per-sample gradient.
+    pub fn sample(&mut self) -> Vec<f64> {
+        let sigma = self.sigma;
+        self.true_gradient
+            .iter()
+            .map(|g| g + sigma * gaussian(&mut self.rng))
+            .collect()
+    }
+
+    /// Draws the averaged gradient of a batch of `b` samples.
+    pub fn batch_gradient(&mut self, b: usize) -> Vec<f64> {
+        assert!(b > 0, "batch must be positive");
+        let grads: Vec<Vec<f64>> = (0..b).map(|_| self.sample()).collect();
+        mean(&grads)
+    }
+
+    /// Estimates the expected squared norm of the batch gradient at batch
+    /// size `b`, averaged over `trials` draws.
+    pub fn expected_sq_norm(&mut self, b: usize, trials: usize) -> f64 {
+        (0..trials)
+            .map(|_| sq_norm(&self.batch_gradient(b)))
+            .sum::<f64>()
+            / trials as f64
+    }
+}
+
+/// A standard normal via Box–Muller (keeps the dependency surface to
+/// `rand`'s uniform source only).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_sample_estimator_matches_analytic() {
+        let mut src = SyntheticGradients::new(64, 0.5, 7);
+        let truth = src.analytic_noise_scale();
+        let grads: Vec<Vec<f64>> = (0..4000).map(|_| src.sample()).collect();
+        let est = noise_scale_per_sample(&grads);
+        assert!(
+            (est / truth - 1.0).abs() < 0.15,
+            "estimate {est} vs analytic {truth}"
+        );
+    }
+
+    #[test]
+    fn two_batch_estimator_matches_analytic() {
+        let mut src = SyntheticGradients::new(64, 0.5, 11);
+        let truth = src.analytic_noise_scale();
+        let (b_small, b_big) = (4usize, 64usize);
+        let small = src.expected_sq_norm(b_small, 3000);
+        let big = src.expected_sq_norm(b_big, 3000);
+        let est = noise_scale_two_batch(b_small as f64, small, b_big as f64, big);
+        assert!(
+            (est / truth - 1.0).abs() < 0.2,
+            "estimate {est} vs analytic {truth}"
+        );
+    }
+
+    #[test]
+    fn estimators_agree_with_each_other() {
+        let mut src = SyntheticGradients::new(32, 1.0, 23);
+        let grads: Vec<Vec<f64>> = (0..4000).map(|_| src.sample()).collect();
+        let per_sample = noise_scale_per_sample(&grads);
+        let small = src.expected_sq_norm(2, 4000);
+        let big = src.expected_sq_norm(32, 2000);
+        let two_batch = noise_scale_two_batch(2.0, small, 32.0, big);
+        assert!(
+            (per_sample / two_batch - 1.0).abs() < 0.25,
+            "{per_sample} vs {two_batch}"
+        );
+    }
+
+    #[test]
+    fn noisier_gradients_have_larger_scale() {
+        let quiet = SyntheticGradients::new(32, 0.1, 1).analytic_noise_scale();
+        let loud = SyntheticGradients::new(32, 1.0, 1).analytic_noise_scale();
+        assert!(loud > 50.0 * quiet);
+    }
+
+    #[test]
+    fn batch_gradient_reduces_variance() {
+        let mut src = SyntheticGradients::new(16, 1.0, 3);
+        let single = src.expected_sq_norm(1, 2000);
+        let batched = src.expected_sq_norm(16, 2000);
+        // E|G_B|² = |G|² + tr(Σ)/B decreases with B.
+        assert!(batched < single);
+    }
+
+    #[test]
+    #[should_panic(expected = "two sample gradients")]
+    fn per_sample_needs_two() {
+        noise_scale_per_sample(&[vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn two_batch_needs_distinct_sizes() {
+        noise_scale_two_batch(4.0, 1.0, 4.0, 1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The cost/time trade-off (Eqs. 5–6, §5.3, Figures 1 and 6).
+//!
+//! Training to a target loss takes `Samples ∝ 1 + B/B_crit` (Eq. 5); on a
+//! cluster of `N` GPUs running at utilization `u(β)` with `B = β·N`,
+//!
+//! * cost ∝ total flops / utilization (GPU-days),
+//! * time = cost / N.
+//!
+//! The paper extrapolates each measured (β, utilization) point to a range
+//! of cluster sizes by scaling data parallelism at constant β, which
+//! leaves per-GPU compute and network unchanged, then picks the fastest
+//! point per cluster size (§5.3).
+
+use bfpp_model::TransformerConfig;
+
+/// One measured operating point to extrapolate: a batch size per GPU and
+/// the utilization achieved there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Batch size per GPU (β), in samples.
+    pub beta: f64,
+    /// GPU utilization at this β, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// One point of a trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Cluster size this point assumes.
+    pub n_gpus: u32,
+    /// The β chosen for this cluster size.
+    pub beta: f64,
+    /// Global batch size `β · N`.
+    pub global_batch: f64,
+    /// Wall-clock training time, days.
+    pub time_days: f64,
+    /// Total cost, GPU-days.
+    pub cost_gpu_days: f64,
+}
+
+/// The extrapolation model for one (model, hardware) pair.
+#[derive(Debug, Clone)]
+pub struct TradeoffModel {
+    /// Flops to process one sample (model flops, fwd+bwd).
+    flops_per_sample: f64,
+    /// Peak flop/s per GPU.
+    peak_flops: f64,
+    /// Critical batch size, samples.
+    pub b_crit_samples: f64,
+    /// Base training length in samples at `B → 0`.
+    pub base_samples: f64,
+}
+
+impl TradeoffModel {
+    /// Builds the model. The paper's §5.3 uses a base training length of
+    /// "50,000 times the critical batch size".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b_crit_samples` or `peak_flops` is not positive.
+    pub fn new(model: &TransformerConfig, peak_flops: f64, b_crit_samples: f64) -> Self {
+        assert!(b_crit_samples > 0.0, "B_crit must be positive");
+        assert!(peak_flops > 0.0, "peak must be positive");
+        TradeoffModel {
+            flops_per_sample: model.model_flops_per_batch(1),
+            peak_flops,
+            b_crit_samples,
+            base_samples: 50_000.0 * b_crit_samples,
+        }
+    }
+
+    /// The paper's critical batch sizes: 347 B training tokens for the
+    /// 52 B model means `B_crit = 347e9 / (50_000 · 1024) ≈ 6.8 k`
+    /// samples; 176 B tokens for the 6.6 B model ≈ 3.4 k samples
+    /// (Kaplan et al. scaling estimates, §5.3).
+    pub fn paper_52b(model: &TransformerConfig, peak_flops: f64) -> Self {
+        TradeoffModel::new(model, peak_flops, 347e9 / (50_000.0 * 1024.0))
+    }
+
+    /// See [`TradeoffModel::paper_52b`]; the 6.6 B variant.
+    pub fn paper_6_6b(model: &TransformerConfig, peak_flops: f64) -> Self {
+        TradeoffModel::new(model, peak_flops, 176e9 / (50_000.0 * 1024.0))
+    }
+
+    /// Eq. (5): total samples needed to reach the target loss at global
+    /// batch size `b` samples.
+    pub fn samples_to_target(&self, b: f64) -> f64 {
+        self.base_samples * (1.0 + b / self.b_crit_samples)
+    }
+
+    /// Evaluates one operating point on a cluster of `n_gpus`.
+    pub fn evaluate(&self, point: OperatingPoint, n_gpus: u32) -> TradeoffPoint {
+        let global_batch = point.beta * n_gpus as f64;
+        let samples = self.samples_to_target(global_batch);
+        let total_flops = samples * self.flops_per_sample;
+        let cluster_flops = n_gpus as f64 * self.peak_flops * point.utilization;
+        let time_seconds = total_flops / cluster_flops;
+        let time_days = time_seconds / 86_400.0;
+        TradeoffPoint {
+            n_gpus,
+            beta: point.beta,
+            global_batch,
+            time_days,
+            cost_gpu_days: time_days * n_gpus as f64,
+        }
+    }
+
+    /// For each cluster size, picks the operating point minimizing the
+    /// training time (ties broken by cost) — the paper's "best
+    /// extrapolation as a function of the cluster size".
+    ///
+    /// Returns one [`TradeoffPoint`] per cluster size; sizes with no
+    /// operating points are skipped.
+    pub fn frontier(
+        &self,
+        points: &[OperatingPoint],
+        cluster_sizes: &[u32],
+    ) -> Vec<TradeoffPoint> {
+        cluster_sizes
+            .iter()
+            .filter_map(|&n| {
+                points
+                    .iter()
+                    .map(|&p| self.evaluate(p, n))
+                    .min_by(|a, b| {
+                        (a.time_days, a.cost_gpu_days)
+                            .partial_cmp(&(b.time_days, b.cost_gpu_days))
+                            .expect("finite")
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_model::presets;
+
+    fn model_52b() -> TradeoffModel {
+        TradeoffModel::paper_52b(&presets::bert_52b(), 125e12)
+    }
+
+    #[test]
+    fn paper_training_lengths_pin() {
+        // §5.3: base lengths of 347 B and 176 B tokens.
+        let m52 = model_52b();
+        assert!((m52.base_samples * 1024.0 / 1e9 - 347.0).abs() < 0.5);
+        let m66 = TradeoffModel::paper_6_6b(&presets::bert_6_6b(), 125e12);
+        assert!((m66.base_samples * 1024.0 / 1e9 - 176.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn samples_overhead_is_linear_in_batch() {
+        let m = model_52b();
+        let b = m.b_crit_samples;
+        // At B = B_crit the overhead is exactly 2x the base (Eq. 5).
+        assert!((m.samples_to_target(b) / m.base_samples - 2.0).abs() < 1e-12);
+        assert!((m.samples_to_target(0.0) / m.base_samples - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_gpus_shorten_time_but_raise_cost() {
+        let m = model_52b();
+        let p = OperatingPoint {
+            beta: 0.75,
+            utilization: 0.4,
+        };
+        let small = m.evaluate(p, 512);
+        let big = m.evaluate(p, 4096);
+        assert!(big.time_days < small.time_days);
+        assert!(big.cost_gpu_days > small.cost_gpu_days);
+    }
+
+    #[test]
+    fn lower_beta_wins_on_large_clusters() {
+        // The paper's core trade-off: at a fixed large cluster, a smaller
+        // β (even with somewhat lower utilization) costs less because the
+        // batch-size overhead dominates.
+        let m = model_52b();
+        let low_beta = OperatingPoint {
+            beta: 0.75,
+            utilization: 0.44,
+        };
+        let high_beta = OperatingPoint {
+            beta: 8.0,
+            utilization: 0.50,
+        };
+        let n = 16_384;
+        let low = m.evaluate(low_beta, n);
+        let high = m.evaluate(high_beta, n);
+        assert!(
+            low.cost_gpu_days < high.cost_gpu_days,
+            "low-β must be cheaper at scale: {} vs {}",
+            low.cost_gpu_days,
+            high.cost_gpu_days
+        );
+        assert!(low.time_days < high.time_days);
+    }
+
+    #[test]
+    fn high_beta_utilization_only_pays_on_small_clusters() {
+        let m = model_52b();
+        let low_beta = OperatingPoint {
+            beta: 0.75,
+            utilization: 0.44,
+        };
+        let high_beta = OperatingPoint {
+            beta: 8.0,
+            utilization: 0.50,
+        };
+        let small = 64;
+        let low = m.evaluate(low_beta, small);
+        let high = m.evaluate(high_beta, small);
+        // On a small cluster the batch overhead is negligible and the
+        // higher utilization wins on cost.
+        assert!(high.cost_gpu_days < low.cost_gpu_days);
+    }
+
+    #[test]
+    fn frontier_picks_fastest_point_per_size() {
+        let m = model_52b();
+        let points = vec![
+            OperatingPoint {
+                beta: 0.75,
+                utilization: 0.44,
+            },
+            OperatingPoint {
+                beta: 8.0,
+                utilization: 0.50,
+            },
+        ];
+        let f = m.frontier(&points, &[64, 4096, 65_536]);
+        assert_eq!(f.len(), 3);
+        // Cluster sizes increase => times decrease along the frontier.
+        assert!(f[0].time_days > f[1].time_days);
+        assert!(f[1].time_days > f[2].time_days);
+        // On the largest cluster the low-β point is selected.
+        assert_eq!(f[2].beta, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "B_crit")]
+    fn zero_bcrit_rejected() {
+        TradeoffModel::new(&presets::bert_52b(), 125e12, 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion: the thread-collectives library.
+
+use std::sync::Arc;
+use std::thread;
+
+use bfpp_collectives::thread::CommGroup;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn all_reduce_round(n: usize, len: usize, rounds: usize) {
+    let handles = CommGroup::new(n);
+    let joins: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(rank, h)| {
+            thread::spawn(move || {
+                let mut v = vec![rank as f32; len];
+                for _ in 0..rounds {
+                    h.all_reduce(&mut v);
+                }
+                v[0]
+            })
+        })
+        .collect();
+    for j in joins {
+        let _ = j.join().unwrap();
+    }
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_collectives");
+    for (n, len) in [(2usize, 1024usize), (4, 1024), (4, 65536), (8, 4096)] {
+        group.throughput(Throughput::Bytes((n * len * 4) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("all_reduce", format!("{n}r_{len}f")),
+            &(n, len),
+            |b, &(n, len)| b.iter(|| all_reduce_round(n, len, 4)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    use bfpp_cluster::LinkSpec;
+    let link = LinkSpec::infiniband_a100();
+    let _ = Arc::new(());
+    c.bench_function("cost_all_reduce", |b| {
+        b.iter(|| bfpp_collectives::cost::all_reduce(&link, 64, 1e9).seconds)
+    });
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_collectives, bench_cost_models
+}
+criterion_main!(benches);

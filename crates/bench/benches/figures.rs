@@ -1,0 +1,38 @@
+//! Criterion: the figure drivers (one point / one panel each).
+
+use bfpp_analytic::efficiency::{EffMethod, EfficiencyModel};
+use bfpp_bench::figures::{figure4, figure7};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figure2_curve(c: &mut Criterion) {
+    let model = EfficiencyModel::figure2();
+    c.bench_function("figure2_one_curve", |b| {
+        b.iter(|| {
+            (1..=64)
+                .map(|i| model.efficiency(EffMethod::LoopedBreadthFirst, i as f64 * 0.25, true))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    c.bench_function("figure4_full", |b| b.iter(|| figure4().1.len()));
+}
+
+fn bench_figure7(c: &mut Criterion) {
+    c.bench_function("figure7_full", |b| b.iter(|| figure7().1.len()));
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_figure2_curve, bench_figure4, bench_figure7
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion: one configuration-search cell and one simulation.
+
+use bfpp_cluster::presets::dgx1_v100;
+use bfpp_core::ScheduleKind;
+use bfpp_exec::search::{best_config, Method, SearchOptions};
+use bfpp_exec::{simulate, KernelModel, OverlapConfig};
+use bfpp_model::presets::bert_52b;
+use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulate(c: &mut Criterion) {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let kernel = KernelModel::v100();
+    let cfg = ParallelConfig::new(
+        Grid::new(4, 2, 8),
+        Placement::looping(8, 8),
+        BatchConfig::new(12, 1),
+        DataParallelism::FullySharded,
+    );
+    c.bench_function("simulate_one_config", |b| {
+        b.iter(|| {
+            simulate(
+                &model,
+                &cluster,
+                &cfg,
+                ScheduleKind::BreadthFirst,
+                OverlapConfig::full(),
+                &kernel,
+            )
+            .unwrap()
+            .tflops_per_gpu
+        })
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let kernel = KernelModel::v100();
+    let opts = SearchOptions {
+        max_microbatch: 4,
+        max_loop: 8,
+        max_actions: 30_000,
+    };
+    c.bench_function("search_best_config_b48", |b| {
+        b.iter(|| {
+            best_config(&model, &cluster, Method::BreadthFirst, 48, &kernel, &opts)
+                .unwrap()
+                .measurement
+                .tflops_per_gpu
+        })
+    });
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_simulate, bench_search
+}
+criterion_main!(benches);

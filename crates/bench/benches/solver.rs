@@ -1,0 +1,52 @@
+//! Criterion: throughput of the timeline solver itself.
+
+use bfpp_sim::{OpGraph, OpId, SimDuration};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a pipeline-shaped graph: `chains` resources, `len` ops each,
+/// every op depending on the previous op of the neighbouring chain.
+fn pipeline_graph(chains: usize, len: usize) -> OpGraph<u32> {
+    let mut g: OpGraph<u32> = OpGraph::new();
+    let resources: Vec<_> = (0..chains).map(|i| g.add_resource(format!("r{i}"))).collect();
+    let mut prev_row: Vec<Option<OpId>> = vec![None; chains];
+    for step in 0..len {
+        for (c, &r) in resources.iter().enumerate() {
+            let mut deps = Vec::new();
+            if c > 0 {
+                if let Some(p) = prev_row[c - 1] {
+                    deps.push(p);
+                }
+            }
+            let id = g.add_op(r, SimDuration::from_nanos(10), &deps, (step * chains + c) as u32);
+            prev_row[c] = Some(id);
+        }
+    }
+    g
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    for (chains, len) in [(8usize, 100usize), (8, 1000), (32, 1000)] {
+        let g = pipeline_graph(chains, len);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{chains}x{len}")),
+            &g,
+            |b, g| b.iter(|| g.solve().unwrap().makespan()),
+        );
+    }
+    group.finish();
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_solver
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion: one real pipelined training step.
+
+use bfpp_core::ScheduleKind;
+use bfpp_parallel::{DataParallelism, Placement};
+use bfpp_train::builder::{build_mlp_stages, synthetic_batch};
+use bfpp_train::pipeline::{run_batch, TrainSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    for (kind, dp) in [
+        (ScheduleKind::BreadthFirst, DataParallelism::Unsharded),
+        (ScheduleKind::BreadthFirst, DataParallelism::FullySharded),
+        (ScheduleKind::OneFOneB, DataParallelism::Unsharded),
+    ] {
+        let placement = if kind.supports_looping() {
+            Placement::looping(2, 2)
+        } else {
+            Placement::linear(2)
+        };
+        let spec = TrainSpec {
+            kind,
+            placement,
+            n_mb: 4,
+            n_dp: 2,
+            dp,
+            optimizer: bfpp_train::optim::OptimizerKind::sgd(0.01),
+            half_comms: false,
+        };
+        let (inputs, targets) = synthetic_batch(16, 4, 8, 8, 3);
+        group.bench_with_input(
+            BenchmarkId::new("run_batch", format!("{kind}_{dp}")),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let stages = build_mlp_stages(16, 32, 4, spec.placement.num_stages(), 1);
+                    run_batch(spec, stages, &inputs, &targets).mean_loss
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_train_step
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. network overlap (none / dp-only / pp-only / full) at a fixed
+//!    breadth-first configuration;
+//! 2. loop count sweep (the bubble-vs-network trade-off of §4.2);
+//! 3. schedule kind at identical configuration (isolating the schedule
+//!    from the configuration search);
+//! 4. sharding level at identical configuration (speed vs memory).
+
+use bfpp_bench::report::Table;
+use bfpp_cluster::presets::dgx1_v100;
+use bfpp_core::ScheduleKind;
+use bfpp_exec::{simulate, KernelModel, OverlapConfig};
+use bfpp_model::presets::bert_52b;
+use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+
+fn main() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let kernel = KernelModel::v100();
+
+    // 1. Overlap ablation on an inter-node-DP breadth-first config.
+    let cfg = ParallelConfig::new(
+        Grid::new(16, 2, 2),
+        Placement::looping(2, 16),
+        BatchConfig::new(4, 1),
+        DataParallelism::FullySharded,
+    );
+    let mut t = Table::new(["overlap", "tflops_per_gpu", "batch_ms"]);
+    for (name, ov) in [
+        ("none", OverlapConfig::none()),
+        ("dp-only", OverlapConfig::dp_only()),
+        ("pp-only", OverlapConfig::pp_only()),
+        ("full", OverlapConfig::full()),
+    ] {
+        let m = simulate(&model, &cluster, &cfg, ScheduleKind::BreadthFirst, ov, &kernel)
+            .expect("valid");
+        t.push([
+            name.to_string(),
+            format!("{:.2}", m.tflops_per_gpu),
+            format!("{:.2}", m.batch_seconds * 1e3),
+        ]);
+    }
+    println!("# Ablation 1 — network overlap (BF, DP over InfiniBand)");
+    print!("{}", t.to_text());
+
+    // 2. Loop count sweep at batch 9 (the paper's β_min + 1 point).
+    let mut t = Table::new(["n_loop", "bubble_pct", "tflops_per_gpu", "memory_gib"]);
+    for n_loop in [1u32, 2, 4, 8] {
+        let cfg = ParallelConfig::new(
+            Grid::new(1, 8, 8),
+            Placement::looping(8, n_loop),
+            BatchConfig::new(9, 1),
+            DataParallelism::Unsharded,
+        );
+        let m = simulate(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &kernel,
+        )
+        .expect("valid");
+        let bubble = 100.0 * 7.0 / (9.0 * n_loop as f64);
+        t.push([
+            n_loop.to_string(),
+            format!("{bubble:.1}"),
+            format!("{:.2}", m.tflops_per_gpu),
+            format!("{:.1}", m.memory_gib()),
+        ]);
+    }
+    println!("\n# Ablation 2 — loop count at batch 9 (Eq. 7 in action)");
+    print!("{}", t.to_text());
+
+    // 3. Schedule kind at one looped configuration.
+    let cfg = ParallelConfig::new(
+        Grid::new(1, 8, 8),
+        Placement::looping(8, 4),
+        BatchConfig::new(16, 1),
+        DataParallelism::Unsharded,
+    );
+    let mut t = Table::new(["schedule", "tflops_per_gpu"]);
+    for kind in [ScheduleKind::DepthFirst, ScheduleKind::BreadthFirst] {
+        let m = simulate(&model, &cluster, &cfg, kind, OverlapConfig::full(), &kernel)
+            .expect("valid");
+        t.push([kind.to_string(), format!("{:.2}", m.tflops_per_gpu)]);
+    }
+    println!("\n# Ablation 3 — schedule at identical configuration");
+    print!("{}", t.to_text());
+
+    // 4. Sharding at one configuration.
+    let mut t = Table::new(["sharding", "tflops_per_gpu", "memory_gib"]);
+    for dp in DataParallelism::ALL {
+        let cfg = ParallelConfig::new(
+            Grid::new(4, 2, 8),
+            Placement::looping(8, 8),
+            BatchConfig::new(12, 1),
+            dp,
+        );
+        let m = simulate(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &kernel,
+        )
+        .expect("valid");
+        t.push([
+            dp.to_string(),
+            format!("{:.2}", m.tflops_per_gpu),
+            format!("{:.1}", m.memory_gib()),
+        ]);
+    }
+    println!("\n# Ablation 4 — sharding level (speed vs memory)");
+    print!("{}", t.to_text());
+}

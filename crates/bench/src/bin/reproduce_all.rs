@@ -1,0 +1,89 @@
+//! Runs every reproduction driver in sequence (the full evaluation).
+//!
+//! Set `BFPP_QUICK=1` for a fast smoke run.
+
+use bfpp_analytic::tradeoff::TradeoffModel;
+use bfpp_bench::figures::{
+    figure1, figure2, figure3, figure4, figure5_batches, figure5_sweep, figure5_table, figure6,
+    figure7,
+};
+use bfpp_bench::quick_mode;
+use bfpp_bench::tables::{table_5_1, table_e};
+use bfpp_exec::search::SearchOptions;
+
+fn main() {
+    let quick = quick_mode();
+    let opts = SearchOptions::default();
+    let sizes: Vec<u32> = vec![256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+    println!("# Table 5.1");
+    print!("{}", table_5_1().to_text());
+
+    println!("\n# Figure 2 (CSV)");
+    print!("{}", figure2().to_csv());
+
+    println!("\n# Figure 3");
+    print!("{}", figure3());
+
+    println!("\n# Figure 4");
+    let (art, t) = figure4();
+    print!("{art}");
+    print!("{}", t.to_text());
+
+    println!("\n# Figure 7");
+    let (art, t) = figure7();
+    print!("{art}");
+    print!("{}", t.to_text());
+
+    // 52 B sweeps: Figure 5a, Table E.1, Figures 1 and 6a.
+    let model = bfpp_model::presets::bert_52b();
+    let cluster = bfpp_cluster::presets::dgx1_v100(8);
+    let tradeoff = TradeoffModel::paper_52b(&model, cluster.node.gpu.peak_fp16_flops);
+    eprintln!("sweeping 52b / InfiniBand...");
+    let rows = figure5_sweep(
+        &model,
+        &cluster,
+        &figure5_batches("52b", false, quick),
+        &opts,
+    );
+    println!("\n# Figure 5a (CSV)");
+    print!("{}", figure5_table(&rows, cluster.num_gpus()).to_csv());
+    println!("\n# Table E.1 (CSV)");
+    print!("{}", table_e(&rows).to_csv());
+    println!("\n# Figure 1");
+    print!("{}", figure1(&rows, cluster.num_gpus(), &tradeoff).to_text());
+    println!("\n# Figure 6a (CSV)");
+    print!(
+        "{}",
+        figure6(&rows, cluster.num_gpus(), &tradeoff, &sizes).to_csv()
+    );
+
+    // 6.6 B sweeps: Figure 5b, Table E.2, Figure 6b.
+    let model = bfpp_model::presets::bert_6_6b();
+    let tradeoff = TradeoffModel::paper_6_6b(&model, cluster.node.gpu.peak_fp16_flops);
+    eprintln!("sweeping 6.6b / InfiniBand...");
+    let rows = figure5_sweep(
+        &model,
+        &cluster,
+        &figure5_batches("6.6b", false, quick),
+        &opts,
+    );
+    println!("\n# Figure 5b (CSV)");
+    print!("{}", figure5_table(&rows, cluster.num_gpus()).to_csv());
+    println!("\n# Table E.2 (CSV)");
+    print!("{}", table_e(&rows).to_csv());
+    println!("\n# Figure 6b (CSV)");
+    print!(
+        "{}",
+        figure6(&rows, cluster.num_gpus(), &tradeoff, &sizes).to_csv()
+    );
+
+    // 6.6 B Ethernet: Figure 5c, Table E.3.
+    let eth = bfpp_cluster::presets::dgx1_v100_ethernet(8);
+    eprintln!("sweeping 6.6b / Ethernet...");
+    let rows = figure5_sweep(&model, &eth, &figure5_batches("6.6b", true, quick), &opts);
+    println!("\n# Figure 5c (CSV)");
+    print!("{}", figure5_table(&rows, eth.num_gpus()).to_csv());
+    println!("\n# Table E.3 (CSV)");
+    print!("{}", table_e(&rows).to_csv());
+}

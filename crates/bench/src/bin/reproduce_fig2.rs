@@ -1,0 +1,9 @@
+//! Reproduces Figure 2: theoretical efficiency vs batch size per GPU,
+//! with (2a) and without (2b) network overlap. Emits CSV.
+
+use bfpp_bench::figures::figure2;
+
+fn main() {
+    println!("# Figure 2 — theoretical efficiency (overlap=true is 2a, false is 2b)");
+    print!("{}", figure2().to_csv());
+}

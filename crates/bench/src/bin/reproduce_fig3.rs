@@ -1,0 +1,8 @@
+//! Reproduces Figure 3: standard vs looping layer placement.
+
+use bfpp_bench::figures::figure3;
+
+fn main() {
+    println!("# Figure 3 — layer placements (16 layers, 4 devices)");
+    print!("{}", figure3());
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 4: simulated timelines of the four schedules for a
+//! 16-layer model on 4 pipeline devices with 8 micro-batches, in the
+//! presence of data parallelism.
+
+use bfpp_bench::figures::figure4;
+
+fn main() {
+    let (art, table) = figure4();
+    println!("# Figure 4 — schedule timelines (F/B kernels, s sends, g/r DP collectives)");
+    print!("{art}");
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,38 @@
+//! Reproduces Figure 5: highest GPU utilization per method as a function
+//! of batch size, on the 64-V100 cluster.
+//!
+//! Usage: `reproduce_fig5 [52b|6.6b] [--ethernet]`
+
+use bfpp_bench::figures::{figure5_batches, figure5_sweep, figure5_table};
+use bfpp_bench::quick_mode;
+use bfpp_exec::search::SearchOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model_name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "52b".to_string());
+    let ethernet = args.iter().any(|a| a == "--ethernet");
+    let model = bfpp_model::presets::by_name(&model_name)
+        .unwrap_or_else(|| panic!("unknown model {model_name}; try 52b or 6.6b"));
+    let cluster = if ethernet {
+        bfpp_cluster::presets::dgx1_v100_ethernet(8)
+    } else {
+        bfpp_cluster::presets::dgx1_v100(8)
+    };
+    let batches = figure5_batches(&model_name, ethernet, quick_mode());
+    let opts = SearchOptions::default();
+    eprintln!("sweeping {} on {} over {:?}...", model.name, cluster.name, batches);
+    let rows = figure5_sweep(&model, &cluster, &batches, &opts);
+    let panel = if ethernet {
+        "5c"
+    } else if model_name.contains("52") {
+        "5a"
+    } else {
+        "5b"
+    };
+    println!("# Figure {panel} — best utilization vs batch size ({}, {})", model.name, cluster.name);
+    print!("{}", figure5_table(&rows, cluster.num_gpus()).to_csv());
+}

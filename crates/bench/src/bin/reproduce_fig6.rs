@@ -1,0 +1,35 @@
+//! Reproduces Figure 6: predicted cost/time trade-offs per method,
+//! extrapolated from the Figure 5 sweeps over a range of cluster sizes.
+//!
+//! Usage: `reproduce_fig6 [52b|6.6b]`
+
+use bfpp_analytic::tradeoff::TradeoffModel;
+use bfpp_bench::figures::{figure5_batches, figure5_sweep, figure6};
+use bfpp_bench::quick_mode;
+use bfpp_exec::search::SearchOptions;
+
+fn main() {
+    let model_name = std::env::args().nth(1).unwrap_or_else(|| "52b".to_string());
+    let model = bfpp_model::presets::by_name(&model_name)
+        .unwrap_or_else(|| panic!("unknown model {model_name}"));
+    let cluster = bfpp_cluster::presets::dgx1_v100(8);
+    let peak = cluster.node.gpu.peak_fp16_flops;
+    let tradeoff = if model_name.contains("52") {
+        TradeoffModel::paper_52b(&model, peak)
+    } else {
+        TradeoffModel::paper_6_6b(&model, peak)
+    };
+    let batches = figure5_batches(&model_name, false, quick_mode());
+    let rows = figure5_sweep(&model, &cluster, &batches, &SearchOptions::default());
+    let sizes: Vec<u32> = [256u32, 512, 1024, 2048, 4096, 8192, 16384, 32768]
+        .into_iter()
+        .collect();
+    println!(
+        "# Figure 6 — cost/time trade-off ({}), extrapolated from the 64-GPU sweep",
+        model.name
+    );
+    print!(
+        "{}",
+        figure6(&rows, cluster.num_gpus(), &tradeoff, &sizes).to_csv()
+    );
+}

@@ -1,0 +1,11 @@
+//! Reproduces Figure 7 / Appendix C: depth-first vs breadth-first
+//! gradient accumulation under DP_0 and DP_FS (no pipeline).
+
+use bfpp_bench::figures::figure7;
+
+fn main() {
+    let (art, table) = figure7();
+    println!("# Figure 7 — gradient-accumulation schedules (F/B kernels, g/r DP collectives)");
+    print!("{art}");
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,8 @@
+//! Reproduces Table 5.1: the evaluation model definitions.
+
+use bfpp_bench::tables::table_5_1;
+
+fn main() {
+    println!("# Table 5.1 — evaluation models");
+    print!("{}", table_5_1().to_text());
+}

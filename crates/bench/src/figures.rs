@@ -1,0 +1,463 @@
+//! Drivers that regenerate each figure's data.
+
+use bfpp_analytic::efficiency::{EffMethod, EfficiencyModel};
+use bfpp_analytic::tradeoff::{OperatingPoint, TradeoffModel};
+use bfpp_cluster::ClusterSpec;
+use bfpp_core::{Schedule, ScheduleKind};
+use bfpp_exec::search::{best_config, Method, SearchOptions, SearchResult};
+use bfpp_exec::{lower, KernelModel, OverlapConfig};
+use bfpp_model::TransformerConfig;
+use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp_sim::AsciiTimelineOptions;
+
+use crate::report::Table;
+
+/// Figure 2: theoretical efficiency vs batch size per GPU, for the four
+/// methods, with (`2a`) and without (`2b`) network overlap.
+pub fn figure2() -> Table {
+    let model = EfficiencyModel::figure2();
+    let mut t = Table::new(["beta", "method", "overlap", "efficiency"]);
+    let betas: Vec<f64> = (1..=64).map(|i| i as f64 * 0.25).collect();
+    for overlap in [true, false] {
+        for method in EffMethod::ALL {
+            for &beta in &betas {
+                let e = model.efficiency(method, beta, overlap);
+                t.push([
+                    format!("{beta:.2}"),
+                    format!("{method:?}"),
+                    overlap.to_string(),
+                    format!("{e:.4}"),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Figure 3: the standard and looping layer placements for a 16-layer
+/// model on 4 devices, rendered as text.
+pub fn figure3() -> String {
+    let mut out = String::new();
+    for (name, placement) in [
+        ("standard (3a)", Placement::linear(4)),
+        ("looping (3b)", Placement::looping(4, 2)),
+    ] {
+        out.push_str(&format!("{name}: {placement}\n"));
+        for d in 0..4 {
+            let stages = placement.stages_of_device(d);
+            let parts: Vec<String> = stages
+                .iter()
+                .map(|s| {
+                    let r = placement.layers_of_stage(*s, 16);
+                    format!("stage {} = layers {}..{}", s.0, r.start, r.end)
+                })
+                .collect();
+            out.push_str(&format!("  device {d}: {}\n", parts.join(", ")));
+        }
+    }
+    out
+}
+
+/// The Figure 4 toy model: 16 identical layers, small enough to read.
+fn figure4_model() -> TransformerConfig {
+    TransformerConfig::new("fig4-toy", 16, 16, 64, 1024, 1000)
+}
+
+/// Figure 4: timelines of the four schedules (16 layers, `N_PP = 4`,
+/// 8 micro-batches, with data parallelism). Returns the rendered ASCII
+/// chart and a makespan table.
+pub fn figure4() -> (String, Table) {
+    let model = figure4_model();
+    let cluster = bfpp_cluster::presets::dgx1_v100(1);
+    let kernel = KernelModel::v100();
+    let mut art = String::new();
+    let mut t = Table::new(["schedule", "makespan_ms", "speedup_vs_gpipe"]);
+    let mut gpipe_ms = None;
+    for (kind, placement, dp) in [
+        (ScheduleKind::GPipe, Placement::linear(4), DataParallelism::Unsharded),
+        (ScheduleKind::OneFOneB, Placement::linear(4), DataParallelism::Unsharded),
+        (ScheduleKind::DepthFirst, Placement::looping(4, 4), DataParallelism::Unsharded),
+        (ScheduleKind::BreadthFirst, Placement::looping(4, 4), DataParallelism::Unsharded),
+    ] {
+        let cfg = ParallelConfig::new(Grid::new(2, 1, 4), placement, BatchConfig::new(8, 1), dp);
+        let lowered = lower(
+            &model,
+            &cluster,
+            &cfg,
+            kind,
+            OverlapConfig::full(),
+            &kernel,
+        )
+        .expect("figure 4 configs are valid");
+        let timeline = lowered.graph.solve().expect("acyclic");
+        let ms = timeline.makespan().as_secs_f64() * 1e3;
+        let gp = *gpipe_ms.get_or_insert(ms);
+        art.push_str(&format!("== {kind} ==\n"));
+        art.push_str(&timeline.render_ascii(
+            &lowered.graph,
+            &AsciiTimelineOptions {
+                width: 96,
+                idle_char: '.',
+            },
+            |tag| tag.glyph(),
+        ));
+        art.push('\n');
+        t.push([
+            kind.to_string(),
+            format!("{ms:.3}"),
+            format!("{:.2}", gp / ms),
+        ]);
+    }
+    (art, t)
+}
+
+/// One row of a Figure 5 / Table E sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The method.
+    pub method: Method,
+    /// Global batch size.
+    pub batch: u64,
+    /// The winning configuration, when one fits.
+    pub result: Option<SearchResult>,
+}
+
+/// The batch sizes of each Figure 5 panel.
+pub fn figure5_batches(model: &str, ethernet: bool, quick: bool) -> Vec<u64> {
+    let full: Vec<u64> = if ethernet {
+        vec![64, 96, 128, 192, 256, 384, 512]
+    } else if model.contains("52") {
+        vec![8, 9, 12, 16, 24, 32, 48, 64, 128, 256, 512]
+    } else {
+        vec![8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512]
+    };
+    if quick {
+        full.into_iter().step_by(3).collect()
+    } else {
+        full
+    }
+}
+
+/// Runs the Figure 5 sweep: best configuration per (method, batch).
+pub fn figure5_sweep(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    batches: &[u64],
+    opts: &SearchOptions,
+) -> Vec<SweepRow> {
+    let kernel = KernelModel::v100();
+    let mut rows = Vec::new();
+    for method in Method::ALL {
+        for &batch in batches {
+            let result = best_config(model, cluster, method, batch, &kernel, opts);
+            rows.push(SweepRow {
+                method,
+                batch,
+                result,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders sweep rows in the Figure 5 shape (utilization vs batch).
+pub fn figure5_table(rows: &[SweepRow], num_gpus: u32) -> Table {
+    let mut t = Table::new([
+        "method",
+        "batch",
+        "beta",
+        "tflops_per_gpu",
+        "utilization_pct",
+    ]);
+    for r in rows {
+        match &r.result {
+            Some(res) => t.push([
+                r.method.label().to_string(),
+                r.batch.to_string(),
+                format!("{:.3}", r.batch as f64 / num_gpus as f64),
+                format!("{:.2}", res.measurement.tflops_per_gpu),
+                format!("{:.1}", res.measurement.utilization * 100.0),
+            ]),
+            None => t.push([
+                r.method.label().to_string(),
+                r.batch.to_string(),
+                format!("{:.3}", r.batch as f64 / num_gpus as f64),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        }
+    }
+    t
+}
+
+/// Extracts each method's operating points (β, utilization) from a sweep.
+pub fn operating_points(rows: &[SweepRow], num_gpus: u32, method: Method) -> Vec<OperatingPoint> {
+    rows.iter()
+        .filter(|r| r.method == method)
+        .filter_map(|r| {
+            r.result.as_ref().map(|res| OperatingPoint {
+                beta: r.batch as f64 / num_gpus as f64,
+                utilization: res.measurement.utilization,
+            })
+        })
+        .collect()
+}
+
+/// Figure 6: the cost/time trade-off per method over a range of cluster
+/// sizes, extrapolated from the Figure 5 sweep.
+pub fn figure6(
+    rows: &[SweepRow],
+    num_gpus: u32,
+    tradeoff: &TradeoffModel,
+    cluster_sizes: &[u32],
+) -> Table {
+    let mut t = Table::new([
+        "method",
+        "n_gpus",
+        "beta",
+        "global_batch",
+        "time_days",
+        "cost_gpu_days",
+    ]);
+    for method in Method::ALL {
+        let points = operating_points(rows, num_gpus, method);
+        if points.is_empty() {
+            continue;
+        }
+        for p in tradeoff.frontier(&points, cluster_sizes) {
+            t.push([
+                method.label().to_string(),
+                p.n_gpus.to_string(),
+                format!("{:.3}", p.beta),
+                format!("{:.0}", p.global_batch),
+                format!("{:.1}", p.time_days),
+                format!("{:.0}", p.cost_gpu_days),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 1: predicted training time (a) and per-device memory (b) for
+/// the 52 B model on a 4096-GPU cluster, per method.
+pub fn figure1(rows: &[SweepRow], num_gpus: u32, tradeoff: &TradeoffModel) -> Table {
+    let mut t = Table::new([
+        "method",
+        "beta",
+        "time_days",
+        "cost_gpu_days",
+        "memory_gib",
+    ]);
+    for method in Method::ALL {
+        let points = operating_points(rows, num_gpus, method);
+        if points.is_empty() {
+            continue;
+        }
+        let frontier = tradeoff.frontier(&points, &[4096]);
+        let Some(best) = frontier.first() else {
+            continue;
+        };
+        // Memory of the configuration whose β was chosen.
+        let mem = rows
+            .iter()
+            .filter(|r| r.method == method)
+            .filter_map(|r| r.result.as_ref())
+            .find(|res| {
+                (res.measurement.batch_per_gpu - best.beta).abs() < 1e-9
+            })
+            .map(|res| res.measurement.memory_gib());
+        t.push([
+            method.label().to_string(),
+            format!("{:.3}", best.beta),
+            format!("{:.1}", best.time_days),
+            format!("{:.0}", best.cost_gpu_days),
+            mem.map(|m| format!("{m:.1}")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t
+}
+
+/// Figure 7 / Appendix C: gradient accumulation without a pipeline —
+/// depth-first vs breadth-first order under `DP_0` and `DP_FS`. Returns
+/// the rendered timelines and a makespan table.
+pub fn figure7() -> (String, Table) {
+    let model = figure4_model();
+    let cluster = bfpp_cluster::presets::dgx1_v100(1);
+    let kernel = KernelModel::v100();
+    let mut art = String::new();
+    let mut t = Table::new(["accumulation", "sharding", "batch_ms"]);
+    // One device hosting all 8 stage-groups (a looping pipeline of depth
+    // one): gradient accumulation with per-layer-group reductions, the
+    // exact setting of the paper's Figure 7.
+    for (label, kind) in [
+        ("depth-first", ScheduleKind::DepthFirst),
+        ("breadth-first", ScheduleKind::BreadthFirst),
+    ] {
+        for dp in [DataParallelism::Unsharded, DataParallelism::FullySharded] {
+            let cfg = ParallelConfig::new(
+                Grid::new(8, 1, 1),
+                Placement::looping(1, 8),
+                BatchConfig::new(4, 1),
+                dp,
+            );
+            let lowered = lower(&model, &cluster, &cfg, kind, OverlapConfig::full(), &kernel)
+                .expect("figure 7 configs are valid");
+            let timeline = lowered.graph.solve().expect("acyclic");
+            art.push_str(&format!("== {label} + {dp} ==\n"));
+            art.push_str(&timeline.render_ascii(
+                &lowered.graph,
+                &AsciiTimelineOptions {
+                    width: 96,
+                    idle_char: '.',
+                },
+                |tag| tag.glyph(),
+            ));
+            art.push('\n');
+            t.push([
+                label.to_string(),
+                dp.to_string(),
+                format!("{:.3}", timeline.makespan().as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    (art, t)
+}
+
+/// The pipeline-schedule ASCII rendering used by the `schedule_viz`
+/// example: unit-cost timing straight from `bfpp-core` (no hardware).
+pub fn schedule_unit_timelines(n_pp: u32, n_loop: u32, n_mb: u32) -> String {
+    let mut out = String::new();
+    for kind in ScheduleKind::ALL {
+        let placement = if kind.supports_looping() {
+            Placement::looping(n_pp, n_loop)
+        } else {
+            Placement::linear(n_pp)
+        };
+        let Ok(s) = Schedule::generate(kind, placement, n_mb) else {
+            out.push_str(&format!("== {kind}: not generable for this shape ==\n"));
+            continue;
+        };
+        let timing = s.exact_timing(1, 2);
+        out.push_str(&format!(
+            "== {kind} (makespan {} slots, bubble {:.1}%) ==\n",
+            timing.makespan(),
+            timing.bubble_overhead() * 100.0
+        ));
+        for d in 0..n_pp {
+            let mut line = vec!['.'; timing.makespan() as usize];
+            for at in timing.device_timings(d) {
+                let glyph = char::from_digit(at.action.microbatch % 10, 10).unwrap_or('?');
+                let glyph = if at.action.dir == bfpp_core::Direction::Forward {
+                    glyph
+                } else {
+                    // Backwards drawn as letters a..j to distinguish.
+                    (b'a' + (at.action.microbatch % 10) as u8) as char
+                };
+                for c in line
+                    .iter_mut()
+                    .take(at.end as usize)
+                    .skip(at.start as usize)
+                {
+                    *c = glyph;
+                }
+            }
+            out.push_str(&format!(
+                "  dev{d} |{}|\n",
+                line.into_iter().collect::<String>()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_model::presets;
+
+    #[test]
+    fn figure2_covers_all_series() {
+        let t = figure2();
+        // 64 betas x 4 methods x 2 overlap settings.
+        assert_eq!(t.len(), 64 * 4 * 2);
+    }
+
+    #[test]
+    fn figure3_describes_both_placements() {
+        let s = figure3();
+        assert!(s.contains("standard"));
+        assert!(s.contains("looping"));
+        assert!(s.contains("stage 7 = layers 14..16"));
+    }
+
+    #[test]
+    fn figure4_breadth_first_is_fastest() {
+        let (art, t) = figure4();
+        assert!(art.contains("breadth-first"));
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        // The last row (breadth-first) must have the largest speedup.
+        let speedups: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
+            .collect();
+        let bf = speedups[3];
+        assert!(
+            speedups[..3].iter().all(|s| *s <= bf + 1e-9),
+            "{speedups:?}"
+        );
+    }
+
+    #[test]
+    fn figure5_quick_sweep_has_rows() {
+        let model = presets::bert_6_6b();
+        let cluster = bfpp_cluster::presets::dgx1_v100(8);
+        let opts = SearchOptions {
+            max_microbatch: 4,
+            max_loop: 8,
+            max_actions: 30_000,
+        };
+        let rows = figure5_sweep(&model, &cluster, &[64], &opts);
+        assert_eq!(rows.len(), 4);
+        let t = figure5_table(&rows, cluster.num_gpus());
+        assert_eq!(t.len(), 4);
+        let points = operating_points(&rows, 64, Method::BreadthFirst);
+        assert_eq!(points.len(), 1);
+    }
+
+    #[test]
+    fn figure7_breadth_first_fs_beats_depth_first_fs() {
+        let (_, t) = figure7();
+        let csv = t.to_csv();
+        let find = |acc: &str, dp: &str| -> f64 {
+            csv.lines()
+                .find(|l| l.starts_with(acc) && l.contains(dp))
+                .and_then(|l| l.rsplit(',').next())
+                .and_then(|v| v.parse().ok())
+                .expect("row present")
+        };
+        let df_fs = find("depth-first", "DP_FS");
+        let bf_fs = find("breadth-first", "DP_FS");
+        assert!(
+            bf_fs < df_fs,
+            "Appendix C: BF accumulation must beat DF under DP_FS: {bf_fs} vs {df_fs}"
+        );
+    }
+
+    #[test]
+    fn schedule_unit_timelines_render() {
+        let s = schedule_unit_timelines(4, 4, 8);
+        assert!(s.contains("gpipe"));
+        assert!(s.contains("breadth-first"));
+        assert!(s.contains("dev3"));
+    }
+
+    #[test]
+    fn batch_lists_match_paper() {
+        assert_eq!(figure5_batches("52b", false, false).len(), 11);
+        assert!(figure5_batches("6.6b", false, false).contains(&384));
+        assert_eq!(figure5_batches("6.6b", true, false)[0], 64);
+        assert!(figure5_batches("52b", false, true).len() < 11);
+    }
+}

@@ -1,0 +1,30 @@
+//! # bfpp-bench — the benchmark harness
+//!
+//! One driver per table and figure of the paper. The `reproduce_*`
+//! binaries print CSV (plus, where it helps, ASCII timelines) with the
+//! same rows/series the paper reports; `reproduce_all` runs everything.
+//! The Criterion benches under `benches/` measure the harness's own
+//! moving parts (solver, schedule generation, collectives, search,
+//! training step).
+//!
+//! Set `BFPP_QUICK=1` to shrink the sweeps for smoke-testing.
+
+pub mod figures;
+pub mod report;
+pub mod tables;
+
+/// True when the `BFPP_QUICK` environment variable asks for reduced
+/// sweeps.
+pub fn quick_mode() -> bool {
+    std::env::var("BFPP_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_mode_reads_env() {
+        // Can't mutate the environment safely in parallel tests; just
+        // exercise the call.
+        let _ = super::quick_mode();
+    }
+}

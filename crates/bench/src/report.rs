@@ -1,0 +1,123 @@
+//! CSV / table rendering helpers shared by the reproduce binaries.
+
+use std::fmt::Write as _;
+
+/// A rectangular table with a header, rendered as CSV or aligned text.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn push<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// CSV rendering (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.join(","));
+        }
+        out
+    }
+
+    /// Column-aligned plain-text rendering for terminals.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(r) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], widths: &[usize], out: &mut String| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        };
+        render(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            render(r, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimals, or a dash for `None`.
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["1", "2"]);
+        t.push(["3", "4"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn text_aligns_columns() {
+        let mut t = Table::new(["name", "v"]);
+        t.push(["x", "10"]);
+        t.push(["longer", "7"]);
+        let s = t.to_text();
+        assert!(s.contains("longer"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["only one"]);
+    }
+
+    #[test]
+    fn fmt_opt_renders_dash() {
+        assert_eq!(fmt_opt(None), "-");
+        assert_eq!(fmt_opt(Some(1.234)), "1.23");
+    }
+}

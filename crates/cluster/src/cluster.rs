@@ -1,0 +1,209 @@
+//! Whole-cluster specifications and rank/link addressing.
+
+use std::fmt;
+
+use crate::network::LinkSpec;
+use crate::node::NodeSpec;
+
+/// Global index of a device in the cluster, in `0..num_gpus()`.
+///
+/// Devices are numbered node-major: ranks `0..gpus_per_node` live on node
+/// 0, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalRank(pub u32);
+
+/// Index of a node (server) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// A homogeneous GPU cluster: `num_nodes` identical nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Cluster name for reporting.
+    pub name: String,
+    /// Number of nodes.
+    pub num_nodes: u32,
+    /// The node type.
+    pub node: NodeSpec,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster of `num_nodes` identical `node`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(name: impl Into<String>, num_nodes: u32, node: NodeSpec) -> Self {
+        assert!(num_nodes > 0, "num_nodes must be positive");
+        ClusterSpec {
+            name: name.into(),
+            num_nodes,
+            node,
+        }
+    }
+
+    /// Total number of GPUs (`N_GPU = N_Node × S_Node`).
+    pub fn num_gpus(&self) -> u32 {
+        self.num_nodes * self.node.gpus_per_node
+    }
+
+    /// The node hosting a global rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn node_of(&self, rank: GlobalRank) -> NodeId {
+        assert!(rank.0 < self.num_gpus(), "rank {rank:?} out of range");
+        NodeId(rank.0 / self.node.gpus_per_node)
+    }
+
+    /// The link used between two distinct global ranks: NVLink when they
+    /// share a node, the inter-node link otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranks are equal or out of range.
+    pub fn link_between(&self, a: GlobalRank, b: GlobalRank) -> &LinkSpec {
+        assert_ne!(a, b, "no link from a device to itself");
+        if self.node_of(a) == self.node_of(b) {
+            &self.node.intra_link
+        } else {
+            &self.node.inter_link
+        }
+    }
+
+    /// The slowest link spanned by a group of ranks — the bottleneck for a
+    /// flat collective over the group. Returns the intra-node link for
+    /// single-node groups (and for trivial groups of one).
+    pub fn group_link(&self, ranks: &[GlobalRank]) -> &LinkSpec {
+        let spans_nodes = ranks
+            .windows(2)
+            .any(|w| self.node_of(w[0]) != self.node_of(w[1]))
+            || ranks
+                .first()
+                .map(|f| ranks.iter().any(|r| self.node_of(*r) != self.node_of(*f)))
+                .unwrap_or(false);
+        if spans_nodes {
+            &self.node.inter_link
+        } else {
+            &self.node.intra_link
+        }
+    }
+
+    /// The *hardware intensity* `I_hw = peak flop/s ÷ link bytes/s`
+    /// (paper Eq. 16 context): an operation whose arithmetic intensity is
+    /// below this cannot hide its communication behind computation.
+    pub fn hardware_intensity(&self, link: &LinkSpec) -> f64 {
+        self.node.gpu.peak_fp16_flops / link.bandwidth
+    }
+
+    /// Hardware intensity of the inter-node link (the figure that matters
+    /// for data parallelism across nodes).
+    pub fn inter_node_intensity(&self) -> f64 {
+        self.hardware_intensity(&self.node.inter_link)
+    }
+
+    /// Hardware intensity of the intra-node link (the figure that matters
+    /// for tensor parallelism).
+    pub fn intra_node_intensity(&self) -> f64 {
+        self.hardware_intensity(&self.node.intra_link)
+    }
+
+    /// Iterates over all global ranks.
+    pub fn ranks(&self) -> impl Iterator<Item = GlobalRank> {
+        (0..self.num_gpus()).map(GlobalRank)
+    }
+
+    /// Whether all `ranks` fit on one node (required for tensor
+    /// parallelism in the paper's setting).
+    pub fn is_single_node(&self, ranks: &[GlobalRank]) -> bool {
+        match ranks.split_first() {
+            None => true,
+            Some((first, rest)) => {
+                let n = self.node_of(*first);
+                rest.iter().all(|r| self.node_of(*r) == n)
+            }
+        }
+    }
+}
+
+impl fmt::Display for ClusterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes of {} ({} GPUs)",
+            self.name,
+            self.num_nodes,
+            self.node,
+            self.num_gpus()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkTier;
+    use crate::presets;
+
+    #[test]
+    fn rank_to_node_mapping_is_node_major() {
+        let c = presets::dgx1_v100(4);
+        assert_eq!(c.node_of(GlobalRank(0)), NodeId(0));
+        assert_eq!(c.node_of(GlobalRank(7)), NodeId(0));
+        assert_eq!(c.node_of(GlobalRank(8)), NodeId(1));
+        assert_eq!(c.node_of(GlobalRank(31)), NodeId(3));
+    }
+
+    #[test]
+    fn link_selection_by_locality() {
+        let c = presets::dgx1_v100(2);
+        assert_eq!(
+            c.link_between(GlobalRank(0), GlobalRank(7)).tier,
+            NetworkTier::NvLink
+        );
+        assert_eq!(
+            c.link_between(GlobalRank(0), GlobalRank(8)).tier,
+            NetworkTier::InfiniBand
+        );
+    }
+
+    #[test]
+    fn group_link_is_bottleneck() {
+        let c = presets::dgx1_v100(2);
+        let intra: Vec<GlobalRank> = (0..8).map(GlobalRank).collect();
+        let spanning: Vec<GlobalRank> = vec![GlobalRank(0), GlobalRank(9)];
+        assert_eq!(c.group_link(&intra).tier, NetworkTier::NvLink);
+        assert_eq!(c.group_link(&spanning).tier, NetworkTier::InfiniBand);
+        assert_eq!(c.group_link(&[]).tier, NetworkTier::NvLink);
+    }
+
+    #[test]
+    fn paper_intensity_examples_pin() {
+        // Appendix A.3: on an A100, I_IB = 6240 and I_NVLink = 520 flop/byte.
+        let c = presets::dgx_a100(1);
+        assert!((c.inter_node_intensity() - 6240.0).abs() < 1.0);
+        assert!((c.intra_node_intensity() - 520.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_node_detection() {
+        let c = presets::dgx1_v100(2);
+        assert!(c.is_single_node(&[GlobalRank(1), GlobalRank(5)]));
+        assert!(!c.is_single_node(&[GlobalRank(1), GlobalRank(9)]));
+        assert!(c.is_single_node(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_of_rejects_out_of_range() {
+        presets::dgx1_v100(1).node_of(GlobalRank(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn link_between_rejects_self() {
+        let c = presets::dgx1_v100(1);
+        c.link_between(GlobalRank(0), GlobalRank(0));
+    }
+}

@@ -1,0 +1,134 @@
+//! GPU device specifications.
+
+use std::fmt;
+
+/// A GPU (or similar accelerator) model.
+///
+/// Only the quantities that the paper's performance model consumes are
+/// included: peak half-precision tensor-core throughput, device memory
+/// capacity, and device memory bandwidth (which bounds memory-limited
+/// kernels and informs the kernel-efficiency model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Human-readable device name, e.g. `"V100-SXM2-32GB"`.
+    pub name: String,
+    /// Peak half-precision tensor-core throughput, in flop/s.
+    pub peak_fp16_flops: f64,
+    /// Device (HBM) memory capacity, in bytes.
+    pub memory_bytes: u64,
+    /// Device memory bandwidth, in bytes/s.
+    pub memory_bandwidth: f64,
+}
+
+impl GpuSpec {
+    /// Creates a new device spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_fp16_flops` or `memory_bandwidth` is not strictly
+    /// positive and finite, or if `memory_bytes` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        peak_fp16_flops: f64,
+        memory_bytes: u64,
+        memory_bandwidth: f64,
+    ) -> Self {
+        assert!(
+            peak_fp16_flops.is_finite() && peak_fp16_flops > 0.0,
+            "peak_fp16_flops must be positive"
+        );
+        assert!(
+            memory_bandwidth.is_finite() && memory_bandwidth > 0.0,
+            "memory_bandwidth must be positive"
+        );
+        assert!(memory_bytes > 0, "memory_bytes must be positive");
+        GpuSpec {
+            name: name.into(),
+            peak_fp16_flops,
+            memory_bytes,
+            memory_bandwidth,
+        }
+    }
+
+    /// NVIDIA V100-SXM2-32GB: 125 Tflop/s fp16 tensor, 32 GiB HBM2 at
+    /// 900 GB/s. The device used in the paper's evaluation.
+    pub fn v100_sxm2_32gb() -> Self {
+        GpuSpec::new("V100-SXM2-32GB", 125e12, 32 * (1 << 30), 900e9)
+    }
+
+    /// NVIDIA A100-SXM4-40GB: 312 Tflop/s fp16 tensor, 40 GiB HBM2e at
+    /// 1555 GB/s. Used in the paper's Appendix A examples.
+    pub fn a100_sxm4_40gb() -> Self {
+        GpuSpec::new("A100-SXM4-40GB", 312e12, 40 * (1 << 30), 1555e9)
+    }
+
+    /// NVIDIA A100-SXM4-80GB: 312 Tflop/s fp16 tensor, 80 GiB HBM2e at
+    /// 2039 GB/s (the paper's §A.2.1 GPT-3/1T memory examples assume
+    /// 80 GB devices).
+    pub fn a100_sxm4_80gb() -> Self {
+        GpuSpec::new("A100-SXM4-80GB", 312e12, 80 * (1 << 30), 2039e9)
+    }
+
+    /// NVIDIA H100-SXM5-80GB: 989 Tflop/s fp16 tensor (dense), 80 GiB HBM3
+    /// at 3350 GB/s. Mentioned in the paper's conclusion as "upcoming".
+    pub fn h100_sxm5_80gb() -> Self {
+        GpuSpec::new("H100-SXM5-80GB", 989e12, 80 * (1 << 30), 3350e9)
+    }
+
+    /// Device memory capacity in GiB (for reporting).
+    pub fn memory_gib(&self) -> f64 {
+        self.memory_bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.0} Tflop/s fp16, {:.0} GiB)",
+            self.name,
+            self.peak_fp16_flops / 1e12,
+            self.memory_gib()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_preset_matches_datasheet() {
+        let g = GpuSpec::v100_sxm2_32gb();
+        assert_eq!(g.peak_fp16_flops, 125e12);
+        assert_eq!(g.memory_bytes, 32 * (1 << 30));
+        assert_eq!(g.memory_gib(), 32.0);
+    }
+
+    #[test]
+    fn a100_preset_matches_datasheet() {
+        let g = GpuSpec::a100_sxm4_40gb();
+        assert_eq!(g.peak_fp16_flops, 312e12);
+        assert_eq!(g.memory_gib(), 40.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = GpuSpec::v100_sxm2_32gb().to_string();
+        assert!(s.contains("V100"));
+        assert!(s.contains("125"));
+        assert!(s.contains("32"));
+    }
+
+    #[test]
+    #[should_panic(expected = "peak_fp16_flops")]
+    fn rejects_nonpositive_flops() {
+        GpuSpec::new("bad", 0.0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory_bytes")]
+    fn rejects_zero_memory() {
+        GpuSpec::new("bad", 1.0, 0, 1.0);
+    }
+}

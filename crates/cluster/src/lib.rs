@@ -1,0 +1,41 @@
+//! # bfpp-cluster — hardware model
+//!
+//! A parametric description of a GPU training cluster: devices
+//! ([`GpuSpec`]), intra-/inter-node interconnects ([`LinkSpec`],
+//! [`NetworkTier`]), nodes ([`NodeSpec`]) and whole clusters
+//! ([`ClusterSpec`]).
+//!
+//! The Breadth-First Pipeline Parallelism paper reasons about hardware
+//! exclusively through three quantities, all exposed here:
+//!
+//! * peak half-precision tensor throughput of a device (flop/s),
+//! * link bandwidth (bytes/s, counting input + output, matching the
+//!   paper's Appendix A.3 convention) and latency,
+//! * the *hardware intensity* `I_hw = flop/s ÷ bytes/s`
+//!   ([`ClusterSpec::hardware_intensity`]), the threshold an operation's
+//!   arithmetic intensity must exceed for communication to hide behind
+//!   computation.
+//!
+//! Presets reproduce the paper's testbed: [`presets::dgx1_v100`] (8-GPU
+//! DGX-1 nodes over InfiniBand — the 64-GPU evaluation cluster is
+//! `dgx1_v100(8)`), its Ethernet variant, and A100 clusters for the
+//! appendix examples (where the paper pins `I_IB = 6240` and
+//! `I_NVLink = 520` flop/byte).
+//!
+//! ```
+//! use bfpp_cluster::presets;
+//!
+//! let cluster = presets::dgx1_v100(8); // the paper's evaluation cluster
+//! assert_eq!(cluster.num_gpus(), 64);
+//! ```
+
+mod cluster;
+mod gpu;
+mod network;
+mod node;
+pub mod presets;
+
+pub use cluster::{ClusterSpec, GlobalRank, NodeId};
+pub use gpu::GpuSpec;
+pub use network::{LinkSpec, NetworkTier};
+pub use node::NodeSpec;

@@ -1,0 +1,235 @@
+//! Interconnect specifications.
+
+use std::fmt;
+
+/// The class of interconnect between two devices.
+///
+/// Ordered from fastest to slowest; `NetworkTier` implements `Ord` so the
+/// *slowest* tier spanned by a communication group can be selected with
+/// `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NetworkTier {
+    /// Intra-node GPU-to-GPU fabric (NVLink/NVSwitch).
+    NvLink,
+    /// Inter-node InfiniBand.
+    InfiniBand,
+    /// Inter-node commodity Ethernet (the paper's §4.3 "slow network"
+    /// scenario).
+    Ethernet,
+}
+
+impl fmt::Display for NetworkTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetworkTier::NvLink => "NVLink",
+            NetworkTier::InfiniBand => "InfiniBand",
+            NetworkTier::Ethernet => "Ethernet",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A network link as seen by one device.
+///
+/// `bandwidth` follows the paper's Appendix A.3 convention: it counts
+/// input **plus** output bytes per second (e.g. the A100's InfiniBand is
+/// 50 GB/s total = 25 GB/s each direction). Communication cost models in
+/// `bfpp-collectives` count bytes moved per rank (sent + received) against
+/// this figure, so the two conventions cancel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Which fabric this is.
+    pub tier: NetworkTier,
+    /// Input+output bandwidth per device, bytes/s.
+    pub bandwidth: f64,
+    /// Base wire latency per hop, seconds.
+    pub latency: f64,
+    /// Fixed software overhead per message (kernel launch, NCCL
+    /// rendezvous, synchronization) — the "small but numerous latency and
+    /// synchronization overheads" of §4.2, paid once per transfer.
+    pub per_message_overhead: f64,
+    /// Fraction of `bandwidth` a *single point-to-point flow* can use.
+    /// Collectives stripe across all NICs/links, but one pipeline
+    /// transfer rides one of them — a DGX-1 aggregates 4 InfiniBand NICs
+    /// and 6 NVLinks, so its p2p fraction is well below 1. This is the
+    /// quantitative content of the paper's A.3.2 remark that "in practice
+    /// the data transfers are much longer than predicted" by the
+    /// intensity formula.
+    pub p2p_fraction: f64,
+}
+
+impl LinkSpec {
+    /// Creates a link spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is not strictly positive and finite, or if
+    /// either latency figure is negative or non-finite.
+    pub fn new(
+        tier: NetworkTier,
+        bandwidth: f64,
+        latency: f64,
+        per_message_overhead: f64,
+    ) -> Self {
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive"
+        );
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "latency must be non-negative"
+        );
+        assert!(
+            per_message_overhead.is_finite() && per_message_overhead >= 0.0,
+            "per_message_overhead must be non-negative"
+        );
+        LinkSpec {
+            tier,
+            bandwidth,
+            latency,
+            per_message_overhead,
+            p2p_fraction: 1.0,
+        }
+    }
+
+    /// Sets the single-flow point-to-point bandwidth fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is in `(0, 1]`.
+    pub fn with_p2p_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "p2p fraction must be in (0, 1]"
+        );
+        self.p2p_fraction = fraction;
+        self
+    }
+
+    /// Bandwidth available to one point-to-point flow, bytes/s
+    /// (input + output).
+    pub fn p2p_bandwidth(&self) -> f64 {
+        self.bandwidth * self.p2p_fraction
+    }
+
+    /// V100 (DGX-1) NVLink: 300 GB/s advertised total per GPU
+    /// (6 links × 25 GB/s per direction).
+    pub fn nvlink_v100() -> Self {
+        // 6 links; one p2p flow rides ~2 of them.
+        LinkSpec::new(NetworkTier::NvLink, 300e9, 2e-6, 8e-6).with_p2p_fraction(1.0 / 3.0)
+    }
+
+    /// A100 NVLink 3: 600 GB/s advertised total per GPU. The paper's
+    /// `I_NVLink = 520 flop/byte` example is `312 Tflop/s ÷ 600 GB/s`.
+    pub fn nvlink_a100() -> Self {
+        // NVSwitch: one flow still shares the per-GPU link budget.
+        LinkSpec::new(NetworkTier::NvLink, 600e9, 2e-6, 8e-6).with_p2p_fraction(1.0 / 3.0)
+    }
+
+    /// DGX-1 inter-node InfiniBand: 4× EDR (100 Gb/s) adapters per 8-GPU
+    /// node ⇒ 12.5 GB/s input+output per GPU.
+    pub fn infiniband_dgx1() -> Self {
+        // 4 EDR NICs per node; one p2p flow uses one of them.
+        LinkSpec::new(NetworkTier::InfiniBand, 12.5e9, 5e-6, 30e-6).with_p2p_fraction(0.25)
+    }
+
+    /// A100 (DGX A100) inter-node InfiniBand: 8× HDR (200 Gb/s) adapters
+    /// per 8-GPU node ⇒ 50 GB/s input+output per GPU. The paper's
+    /// `I_IB = 6240 flop/byte` example is `312 Tflop/s ÷ 50 GB/s`.
+    pub fn infiniband_a100() -> Self {
+        // 8 HDR NICs per node; one p2p flow uses one of them.
+        LinkSpec::new(NetworkTier::InfiniBand, 50e9, 5e-6, 30e-6).with_p2p_fraction(0.125)
+    }
+
+    /// 10 Gb Ethernet: 2.5 GB/s input+output per node-pair share, high
+    /// latency — the paper's §5.2 "disabled InfiniBand" configuration.
+    pub fn ethernet_10g() -> Self {
+        LinkSpec::new(NetworkTier::Ethernet, 2.5e9, 25e-6, 50e-6)
+    }
+
+    /// Time in seconds to move `total_bytes` (sent + received per rank)
+    /// across this link in one message, including latency and per-message
+    /// overhead.
+    pub fn transfer_time(&self, total_bytes: f64) -> f64 {
+        assert!(total_bytes >= 0.0, "bytes must be non-negative");
+        self.latency + self.per_message_overhead + total_bytes / self.bandwidth
+    }
+
+    /// Pure wire time (no latency / overhead) for `total_bytes`.
+    pub fn wire_time(&self, total_bytes: f64) -> f64 {
+        assert!(total_bytes >= 0.0, "bytes must be non-negative");
+        total_bytes / self.bandwidth
+    }
+}
+
+impl fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:.1} GB/s", self.tier, self.bandwidth / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_orders_fast_to_slow() {
+        assert!(NetworkTier::NvLink < NetworkTier::InfiniBand);
+        assert!(NetworkTier::InfiniBand < NetworkTier::Ethernet);
+        let slowest = [NetworkTier::NvLink, NetworkTier::Ethernet]
+            .into_iter()
+            .max()
+            .unwrap();
+        assert_eq!(slowest, NetworkTier::Ethernet);
+    }
+
+    #[test]
+    fn transfer_time_includes_overheads() {
+        let l = LinkSpec::new(NetworkTier::InfiniBand, 10e9, 1e-6, 2e-6);
+        let t = l.transfer_time(10e9);
+        assert!((t - 1.000003).abs() < 1e-9);
+        assert!((l.wire_time(10e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_have_expected_tiers() {
+        assert_eq!(LinkSpec::nvlink_v100().tier, NetworkTier::NvLink);
+        assert_eq!(LinkSpec::infiniband_dgx1().tier, NetworkTier::InfiniBand);
+        assert_eq!(LinkSpec::ethernet_10g().tier, NetworkTier::Ethernet);
+    }
+
+    #[test]
+    fn display_mentions_tier_and_bandwidth() {
+        let s = LinkSpec::infiniband_a100().to_string();
+        assert!(s.contains("InfiniBand"));
+        assert!(s.contains("50.0"));
+    }
+
+    #[test]
+    fn p2p_fraction_discounts_single_flows() {
+        let l = LinkSpec::new(NetworkTier::InfiniBand, 12e9, 0.0, 0.0);
+        assert_eq!(l.p2p_bandwidth(), 12e9);
+        let l = l.with_p2p_fraction(0.25);
+        assert_eq!(l.p2p_bandwidth(), 3e9);
+        assert!(LinkSpec::infiniband_dgx1().p2p_fraction < 1.0);
+        assert_eq!(LinkSpec::ethernet_10g().p2p_fraction, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p2p fraction")]
+    fn rejects_bad_p2p_fraction() {
+        LinkSpec::ethernet_10g().with_p2p_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn rejects_zero_bandwidth() {
+        LinkSpec::new(NetworkTier::NvLink, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes must be non-negative")]
+    fn rejects_negative_bytes() {
+        LinkSpec::nvlink_a100().transfer_time(-1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Node (server) specifications.
+
+use std::fmt;
+
+use crate::gpu::GpuSpec;
+use crate::network::LinkSpec;
+
+/// A server: several identical GPUs joined by a fast intra-node fabric,
+/// with a slower link to the rest of the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Number of GPUs per node (`S_Node` in the paper, typically 8).
+    pub gpus_per_node: u32,
+    /// The GPU model.
+    pub gpu: GpuSpec,
+    /// Intra-node GPU-to-GPU link (NVLink).
+    pub intra_link: LinkSpec,
+    /// Inter-node link per GPU (InfiniBand or Ethernet).
+    pub inter_link: LinkSpec,
+}
+
+impl NodeSpec {
+    /// Creates a node spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_node` is zero.
+    pub fn new(gpus_per_node: u32, gpu: GpuSpec, intra_link: LinkSpec, inter_link: LinkSpec) -> Self {
+        assert!(gpus_per_node > 0, "gpus_per_node must be positive");
+        NodeSpec {
+            gpus_per_node,
+            gpu,
+            intra_link,
+            inter_link,
+        }
+    }
+
+    /// An 8-GPU DGX-1 with V100s: NVLink inside, 4× EDR InfiniBand out.
+    /// The node type of the paper's evaluation cluster.
+    pub fn dgx1_v100() -> Self {
+        NodeSpec::new(
+            8,
+            GpuSpec::v100_sxm2_32gb(),
+            LinkSpec::nvlink_v100(),
+            LinkSpec::infiniband_dgx1(),
+        )
+    }
+
+    /// A DGX-1 with InfiniBand disabled, falling back to 10 GbE
+    /// (the paper's §5.2 slow-network experiment).
+    pub fn dgx1_v100_ethernet() -> Self {
+        NodeSpec::new(
+            8,
+            GpuSpec::v100_sxm2_32gb(),
+            LinkSpec::nvlink_v100(),
+            LinkSpec::ethernet_10g(),
+        )
+    }
+
+    /// An 8-GPU DGX A100 (40 GB): NVLink 3 inside, 8× HDR InfiniBand out.
+    pub fn dgx_a100_40gb() -> Self {
+        NodeSpec::new(
+            8,
+            GpuSpec::a100_sxm4_40gb(),
+            LinkSpec::nvlink_a100(),
+            LinkSpec::infiniband_a100(),
+        )
+    }
+
+    /// An 8-GPU DGX A100 with 80 GB devices.
+    pub fn dgx_a100_80gb() -> Self {
+        NodeSpec::new(
+            8,
+            GpuSpec::a100_sxm4_80gb(),
+            LinkSpec::nvlink_a100(),
+            LinkSpec::infiniband_a100(),
+        )
+    }
+}
+
+impl fmt::Display for NodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x {} [{} intra, {} inter]",
+            self.gpus_per_node, self.gpu, self.intra_link, self.inter_link
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkTier;
+
+    #[test]
+    fn dgx1_preset_shape() {
+        let n = NodeSpec::dgx1_v100();
+        assert_eq!(n.gpus_per_node, 8);
+        assert_eq!(n.intra_link.tier, NetworkTier::NvLink);
+        assert_eq!(n.inter_link.tier, NetworkTier::InfiniBand);
+    }
+
+    #[test]
+    fn ethernet_variant_swaps_inter_link_only() {
+        let a = NodeSpec::dgx1_v100();
+        let b = NodeSpec::dgx1_v100_ethernet();
+        assert_eq!(a.intra_link, b.intra_link);
+        assert_eq!(b.inter_link.tier, NetworkTier::Ethernet);
+        assert!(b.inter_link.bandwidth < a.inter_link.bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "gpus_per_node")]
+    fn rejects_empty_node() {
+        NodeSpec::new(
+            0,
+            GpuSpec::v100_sxm2_32gb(),
+            LinkSpec::nvlink_v100(),
+            LinkSpec::infiniband_dgx1(),
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = NodeSpec::dgx1_v100().to_string();
+        assert!(s.contains("8x"));
+        assert!(s.contains("NVLink"));
+    }
+}

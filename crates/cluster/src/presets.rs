@@ -1,0 +1,100 @@
+//! Ready-made clusters matching the paper's experimental setups.
+
+use crate::cluster::ClusterSpec;
+use crate::node::NodeSpec;
+
+/// A cluster of DGX-1 V100 nodes over InfiniBand.
+///
+/// `dgx1_v100(8)` is the paper's 64-GPU evaluation cluster (§5.1).
+///
+/// # Panics
+///
+/// Panics if `num_nodes` is zero.
+pub fn dgx1_v100(num_nodes: u32) -> ClusterSpec {
+    ClusterSpec::new(
+        format!("dgx1-v100-x{num_nodes}"),
+        num_nodes,
+        NodeSpec::dgx1_v100(),
+    )
+}
+
+/// A cluster of DGX-1 V100 nodes with InfiniBand disabled, communicating
+/// over 10 GbE — the paper's §5.2 slow-network experiment.
+///
+/// # Panics
+///
+/// Panics if `num_nodes` is zero.
+pub fn dgx1_v100_ethernet(num_nodes: u32) -> ClusterSpec {
+    ClusterSpec::new(
+        format!("dgx1-v100-eth-x{num_nodes}"),
+        num_nodes,
+        NodeSpec::dgx1_v100_ethernet(),
+    )
+}
+
+/// A cluster of DGX A100 (40 GB) nodes — the hardware of the paper's
+/// Appendix A intensity examples.
+///
+/// # Panics
+///
+/// Panics if `num_nodes` is zero.
+pub fn dgx_a100(num_nodes: u32) -> ClusterSpec {
+    ClusterSpec::new(
+        format!("dgx-a100-x{num_nodes}"),
+        num_nodes,
+        NodeSpec::dgx_a100_40gb(),
+    )
+}
+
+/// A cluster of DGX A100 (80 GB) nodes — the hardware of the paper's
+/// Appendix A.2 memory examples (GPT-3 and the 1T model on "80 GB GPUs").
+///
+/// # Panics
+///
+/// Panics if `num_nodes` is zero.
+pub fn dgx_a100_80gb(num_nodes: u32) -> ClusterSpec {
+    ClusterSpec::new(
+        format!("dgx-a100-80-x{num_nodes}"),
+        num_nodes,
+        NodeSpec::dgx_a100_80gb(),
+    )
+}
+
+/// The paper's evaluation cluster: 8 DGX-1 nodes, 64 V100 GPUs (§5.1).
+pub fn paper_cluster() -> ClusterSpec {
+    dgx1_v100(8)
+}
+
+/// The 4096-GPU V100 cluster of the paper's Figure 1 projection.
+pub fn figure1_cluster() -> ClusterSpec {
+    dgx1_v100(512)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_has_64_gpus() {
+        assert_eq!(paper_cluster().num_gpus(), 64);
+    }
+
+    #[test]
+    fn figure1_cluster_has_4096_gpus() {
+        assert_eq!(figure1_cluster().num_gpus(), 4096);
+    }
+
+    #[test]
+    fn ethernet_preset_is_slower_between_nodes() {
+        let ib = dgx1_v100(2);
+        let eth = dgx1_v100_ethernet(2);
+        assert!(eth.node.inter_link.bandwidth < ib.node.inter_link.bandwidth);
+        assert!(eth.inter_node_intensity() > ib.inter_node_intensity());
+    }
+
+    #[test]
+    fn names_distinguish_presets() {
+        assert_ne!(dgx1_v100(2).name, dgx1_v100_ethernet(2).name);
+        assert!(dgx_a100(3).name.contains("a100"));
+    }
+}

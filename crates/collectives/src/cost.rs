@@ -1,0 +1,231 @@
+//! Analytic collective cost models (ring algorithms).
+//!
+//! Conventions (matching the paper's Appendix A.3 and
+//! [`bfpp_cluster::LinkSpec`]):
+//!
+//! * `payload_bytes` is the logical tensor size (e.g. gradient bytes);
+//! * a link's `bandwidth` counts input **plus** output bytes per second,
+//!   and cost models count bytes *moved per rank* (sent + received), so
+//!   the two conventions cancel;
+//! * each collective pays its per-message software overhead once, plus
+//!   the wire latency once per ring step.
+
+use bfpp_cluster::LinkSpec;
+
+/// The collective operations the workspace models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Sum across ranks, result everywhere (gradient reduction, `DP_0`).
+    AllReduce,
+    /// Sum across ranks, each rank keeps one shard (`DP_PS`/`DP_FS`
+    /// gradient reduction).
+    ReduceScatter,
+    /// Concatenate shards, result everywhere (`DP_PS`/`DP_FS` weight
+    /// reconstruction).
+    AllGather,
+    /// Copy from one root to all ranks.
+    Broadcast,
+    /// Point-to-point transfer (pipeline stage boundary).
+    PointToPoint,
+}
+
+/// The predicted cost of one collective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveCost {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Bytes moved per participating rank (sent + received).
+    pub bytes_per_rank: f64,
+}
+
+fn checked(n: u32, payload_bytes: f64) -> f64 {
+    assert!(n > 0, "group size must be positive");
+    assert!(
+        payload_bytes.is_finite() && payload_bytes >= 0.0,
+        "payload must be non-negative"
+    );
+    payload_bytes
+}
+
+/// Ring all-reduce over `n` ranks: each rank sends and receives
+/// `2·(n−1)/n · V`, for `4·(n−1)/n · V` bytes moved per rank, in
+/// `2·(n−1)` latency steps.
+pub fn all_reduce(link: &LinkSpec, n: u32, payload_bytes: f64) -> CollectiveCost {
+    let v = checked(n, payload_bytes);
+    if n == 1 {
+        return CollectiveCost {
+            seconds: 0.0,
+            bytes_per_rank: 0.0,
+        };
+    }
+    let frac = (n - 1) as f64 / n as f64;
+    let bytes = 4.0 * frac * v;
+    let steps = 2 * (n - 1);
+    CollectiveCost {
+        seconds: link.per_message_overhead + steps as f64 * link.latency + link.wire_time(bytes),
+        bytes_per_rank: bytes,
+    }
+}
+
+/// Ring reduce-scatter over `n` ranks: `2·(n−1)/n · V` bytes moved per
+/// rank in `n−1` steps.
+pub fn reduce_scatter(link: &LinkSpec, n: u32, payload_bytes: f64) -> CollectiveCost {
+    let v = checked(n, payload_bytes);
+    if n == 1 {
+        return CollectiveCost {
+            seconds: 0.0,
+            bytes_per_rank: 0.0,
+        };
+    }
+    let frac = (n - 1) as f64 / n as f64;
+    let bytes = 2.0 * frac * v;
+    CollectiveCost {
+        seconds: link.per_message_overhead
+            + (n - 1) as f64 * link.latency
+            + link.wire_time(bytes),
+        bytes_per_rank: bytes,
+    }
+}
+
+/// Ring all-gather over `n` ranks: identical cost shape to
+/// [`reduce_scatter`] (`2·(n−1)/n · V` bytes per rank, `n−1` steps).
+pub fn all_gather(link: &LinkSpec, n: u32, payload_bytes: f64) -> CollectiveCost {
+    reduce_scatter(link, n, payload_bytes)
+}
+
+/// Ring broadcast over `n` ranks: every rank forwards the payload once,
+/// `2·(n−1)/n · V` bytes moved per rank.
+pub fn broadcast(link: &LinkSpec, n: u32, payload_bytes: f64) -> CollectiveCost {
+    reduce_scatter(link, n, payload_bytes)
+}
+
+/// Point-to-point transfer of `V` bytes: the sender's link carries `V`
+/// out and the receiver's `V` in; on the shared full-duplex accounting
+/// (`bandwidth` = in+out) this is `2·V` bytes against one link — at the
+/// link's *single-flow* bandwidth ([`LinkSpec::p2p_bandwidth`]), since a
+/// lone transfer cannot stripe across a node's aggregated NICs the way a
+/// collective does.
+pub fn point_to_point(link: &LinkSpec, payload_bytes: f64) -> CollectiveCost {
+    let v = checked(1, payload_bytes);
+    let bytes = 2.0 * v;
+    CollectiveCost {
+        seconds: link.per_message_overhead + link.latency + bytes / link.p2p_bandwidth(),
+        bytes_per_rank: bytes,
+    }
+}
+
+/// Two-level hierarchical all-reduce for a group spanning `n_inter` nodes
+/// with `n_intra` members per node: intra-node reduce-scatter, inter-node
+/// all-reduce on `1/n_intra` of the payload, intra-node all-gather. This
+/// is how NCCL treats node-spanning rings and why the inter-node link is
+/// the bottleneck the paper's intensity analysis uses.
+pub fn hierarchical_all_reduce(
+    intra: &LinkSpec,
+    inter: &LinkSpec,
+    n_intra: u32,
+    n_inter: u32,
+    payload_bytes: f64,
+) -> CollectiveCost {
+    assert!(n_intra > 0 && n_inter > 0, "group sizes must be positive");
+    if n_inter == 1 {
+        return all_reduce(intra, n_intra, payload_bytes);
+    }
+    if n_intra == 1 {
+        return all_reduce(inter, n_inter, payload_bytes);
+    }
+    let rs = reduce_scatter(intra, n_intra, payload_bytes);
+    let ar = all_reduce(inter, n_inter, payload_bytes / n_intra as f64);
+    let ag = all_gather(intra, n_intra, payload_bytes);
+    CollectiveCost {
+        seconds: rs.seconds + ar.seconds + ag.seconds,
+        bytes_per_rank: rs.bytes_per_rank + ar.bytes_per_rank + ag.bytes_per_rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_cluster::{LinkSpec, NetworkTier};
+
+    fn clean_link(bw: f64) -> LinkSpec {
+        LinkSpec::new(NetworkTier::InfiniBand, bw, 0.0, 0.0)
+    }
+
+    #[test]
+    fn all_reduce_moves_8_bytes_per_param_at_large_n() {
+        // Paper A.3.1: DP_0 "transfers approximately 8 bytes per parameter"
+        // for fp16 gradients — all-reduce of 2·P bytes moves
+        // 4·(n−1)/n·2·P ≈ 8·P bytes per rank.
+        let link = clean_link(1e9);
+        let params = 1e6;
+        let c = all_reduce(&link, 1000, 2.0 * params);
+        assert!((c.bytes_per_rank / params - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn trivial_groups_are_free() {
+        let link = clean_link(1e9);
+        assert_eq!(all_reduce(&link, 1, 100.0).seconds, 0.0);
+        assert_eq!(reduce_scatter(&link, 1, 100.0).seconds, 0.0);
+        assert_eq!(all_gather(&link, 1, 100.0).seconds, 0.0);
+    }
+
+    #[test]
+    fn all_reduce_equals_rs_plus_ag() {
+        let link = clean_link(1e9);
+        let v = 1e7;
+        for n in [2u32, 4, 7, 64] {
+            let ar = all_reduce(&link, n, v);
+            let rs = reduce_scatter(&link, n, v);
+            let ag = all_gather(&link, n, v);
+            assert!(
+                (ar.seconds - (rs.seconds + ag.seconds)).abs() < 1e-12,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_and_overhead_are_charged() {
+        let link = LinkSpec::new(NetworkTier::InfiniBand, 1e9, 1e-6, 10e-6);
+        let c = all_reduce(&link, 4, 0.0);
+        // 1 overhead + 2·(4−1) latency steps, zero wire time.
+        assert!((c.seconds - (10e-6 + 6.0 * 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2p_counts_both_directions() {
+        let link = clean_link(2e9);
+        let c = point_to_point(&link, 1e9);
+        // 2 GB moved over 2 GB/s (in+out) = 1 s.
+        assert!((c.seconds - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_bottleneck_is_inter_node() {
+        let intra = clean_link(100e9);
+        let inter = clean_link(1e9);
+        let v = 1e9;
+        let h = hierarchical_all_reduce(&intra, &inter, 8, 4, v);
+        let flat_inter = all_reduce(&inter, 32, v);
+        // The hierarchical version reduces inter-node volume by 8x.
+        assert!(h.seconds < flat_inter.seconds);
+        // And degenerates correctly.
+        let single_node = hierarchical_all_reduce(&intra, &inter, 8, 1, v);
+        assert_eq!(single_node.seconds, all_reduce(&intra, 8, v).seconds);
+        let one_per_node = hierarchical_all_reduce(&intra, &inter, 1, 4, v);
+        assert_eq!(one_per_node.seconds, all_reduce(&inter, 4, v).seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_rejected() {
+        all_reduce(&clean_link(1e9), 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload")]
+    fn negative_payload_rejected() {
+        all_reduce(&clean_link(1e9), 2, -1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # bfpp-collectives — collective communication
+//!
+//! Two halves, matching the two uses the workspace has for collectives:
+//!
+//! * [`cost`] — analytic ring-collective cost models (all-reduce,
+//!   reduce-scatter, all-gather, broadcast, point-to-point, and two-level
+//!   hierarchical variants) over [`bfpp_cluster::LinkSpec`]s. These drive
+//!   the performance simulator: they convert bytes into seconds the same
+//!   way NCCL's ring algorithms do to first order.
+//!
+//! * [`thread`] — a *real* shared-memory collectives library over OS
+//!   threads, with deterministic (rank-ordered) floating-point reductions.
+//!   `bfpp-train` uses it to actually run data-parallel and
+//!   fully-sharded-data-parallel training, exercising the same
+//!   reduce-scatter / all-gather code paths the paper's DP_PS / DP_FS
+//!   variants require.
+//!
+//! ```
+//! use bfpp_collectives::thread::CommGroup;
+//! use std::thread;
+//!
+//! let handles = CommGroup::new(4);
+//! let joins: Vec<_> = handles
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(rank, h)| {
+//!         thread::spawn(move || {
+//!             let mut data = vec![rank as f32; 8];
+//!             h.all_reduce(&mut data);
+//!             data[0]
+//!         })
+//!     })
+//!     .collect();
+//! for j in joins {
+//!     assert_eq!(j.join().unwrap(), 0.0 + 1.0 + 2.0 + 3.0);
+//! }
+//! ```
+
+pub mod cost;
+pub mod thread;

@@ -1,0 +1,450 @@
+//! Real shared-memory collectives over OS threads.
+//!
+//! [`CommGroup::new`] hands out `n` [`CommHandle`]s; each participating
+//! thread owns one and calls the same sequence of collective operations.
+//! Reductions are computed in **rank order**, so floating-point results
+//! are deterministic and identical on every rank — a property `bfpp-train`
+//! relies on to assert bit-stable gradient equivalence across schedules.
+//!
+//! All operations are *synchronous rendezvous* collectives: every rank of
+//! the group must call the same operation with compatible arguments; the
+//! call returns once the result is available. Calling different
+//! operations concurrently from ranks of the same group is a contract
+//! violation and panics (when detectable) or deadlocks.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Which collective a rank is participating in (used to detect mismatched
+/// concurrent calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    AllReduce,
+    ReduceScatter,
+    AllGather,
+    Broadcast,
+    Barrier,
+}
+
+#[derive(Debug)]
+struct RoundState {
+    /// Contributions deposited this round, indexed by rank.
+    inputs: Vec<Option<Vec<f32>>>,
+    /// Per-rank outputs, filled by the last arriving rank.
+    outputs: Vec<Option<Vec<f32>>>,
+    /// Operation of the in-flight round.
+    op: Option<OpKind>,
+    /// Root rank for broadcast rounds.
+    root: usize,
+    /// Number of ranks that have deposited.
+    arrived: usize,
+    /// Number of ranks that have collected their output.
+    departed: usize,
+    /// Monotonic round counter.
+    generation: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    n: usize,
+    state: Mutex<RoundState>,
+    arrived_cv: Condvar,
+    departed_cv: Condvar,
+}
+
+/// One rank's handle to a collective communication group.
+///
+/// Handles are `Send` (move one into each worker thread) but a single
+/// handle must not be shared between threads.
+#[derive(Debug)]
+pub struct CommHandle {
+    rank: usize,
+    shared: Arc<Shared>,
+}
+
+/// A group of `n` ranks. Constructed once; hands out the per-rank handles.
+#[derive(Debug)]
+pub struct CommGroup;
+
+impl CommGroup {
+    /// Creates a group of `n` ranks and returns one handle per rank,
+    /// ordered by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    // Deliberately a factory: the group *is* its set of per-rank handles.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(n: usize) -> Vec<CommHandle> {
+        assert!(n > 0, "group size must be positive");
+        let shared = Arc::new(Shared {
+            n,
+            state: Mutex::new(RoundState {
+                inputs: (0..n).map(|_| None).collect(),
+                outputs: (0..n).map(|_| None).collect(),
+                op: None,
+                root: 0,
+                arrived: 0,
+                departed: 0,
+                generation: 0,
+            }),
+            arrived_cv: Condvar::new(),
+            departed_cv: Condvar::new(),
+        });
+        (0..n)
+            .map(|rank| CommHandle {
+                rank,
+                shared: Arc::clone(&shared),
+            })
+            .collect()
+    }
+}
+
+impl CommHandle {
+    /// This handle's rank within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn group_size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// One rendezvous round: deposit `input`, let the last arriving rank
+    /// run `compute` over all inputs to produce per-rank outputs, return
+    /// this rank's output.
+    fn round(
+        &self,
+        op: OpKind,
+        root: usize,
+        input: Vec<f32>,
+        compute: impl FnOnce(&[Vec<f32>], usize) -> Vec<Vec<f32>>,
+    ) -> Vec<f32> {
+        let shared = &*self.shared;
+        let mut st = shared.state.lock();
+        // Wait for the previous round to fully drain before starting a new
+        // one (a rank can race ahead to its next collective).
+        while st.departed != 0 && st.departed != shared.n {
+            shared.departed_cv.wait(&mut st);
+        }
+        if st.departed == shared.n {
+            // Last round fully drained but not yet reset (we are the first
+            // of the next round): reset.
+            st.departed = 0;
+            st.arrived = 0;
+            st.op = None;
+            for o in st.outputs.iter_mut() {
+                *o = None;
+            }
+        }
+        match st.op {
+            None => {
+                st.op = Some(op);
+                st.root = root;
+            }
+            Some(existing) => {
+                assert_eq!(
+                    existing, op,
+                    "collective mismatch: rank {} called {:?} while the group is in {:?}",
+                    self.rank, op, existing
+                );
+                assert_eq!(
+                    st.root, root,
+                    "broadcast root mismatch on rank {}",
+                    self.rank
+                );
+            }
+        }
+        assert!(
+            st.inputs[self.rank].is_none(),
+            "rank {} joined the same round twice (handle shared between threads?)",
+            self.rank
+        );
+        st.inputs[self.rank] = Some(input);
+        st.arrived += 1;
+        let my_generation = st.generation;
+        if st.arrived == shared.n {
+            // Last to arrive: compute all outputs in rank order.
+            let inputs: Vec<Vec<f32>> = st
+                .inputs
+                .iter_mut()
+                .map(|i| i.take().expect("all ranks deposited"))
+                .collect();
+            let outputs = compute(&inputs, root);
+            debug_assert_eq!(outputs.len(), shared.n);
+            for (slot, out) in st.outputs.iter_mut().zip(outputs) {
+                *slot = Some(out);
+            }
+            st.generation += 1;
+            shared.arrived_cv.notify_all();
+        } else {
+            while st.generation == my_generation {
+                shared.arrived_cv.wait(&mut st);
+            }
+        }
+        let out = st.outputs[self.rank].take().expect("output ready");
+        st.departed += 1;
+        if st.departed == shared.n {
+            shared.departed_cv.notify_all();
+        }
+        out
+    }
+
+    /// Sums `data` element-wise across all ranks (in rank order) and
+    /// writes the identical result back on every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks pass slices of different lengths.
+    pub fn all_reduce(&self, data: &mut [f32]) {
+        let out = self.round(OpKind::AllReduce, 0, data.to_vec(), |inputs, _| {
+            let sum = rank_ordered_sum(inputs);
+            vec![sum; inputs.len()]
+        });
+        data.copy_from_slice(&out);
+    }
+
+    /// Sums `data` across ranks and returns this rank's shard
+    /// (`data.len() / n` contiguous elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not divisible by the group size or ranks
+    /// pass different lengths.
+    pub fn reduce_scatter(&self, data: &[f32]) -> Vec<f32> {
+        let n = self.shared.n;
+        assert!(
+            data.len().is_multiple_of(n),
+            "reduce_scatter length {} not divisible by group size {}",
+            data.len(),
+            n
+        );
+        self.round(OpKind::ReduceScatter, 0, data.to_vec(), move |inputs, _| {
+            let sum = rank_ordered_sum(inputs);
+            let shard = sum.len() / n;
+            (0..n).map(|r| sum[r * shard..(r + 1) * shard].to_vec()).collect()
+        })
+    }
+
+    /// Concatenates every rank's `shard` in rank order and returns the
+    /// full tensor (identical on every rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks pass shards of different lengths.
+    pub fn all_gather(&self, shard: &[f32]) -> Vec<f32> {
+        self.round(OpKind::AllGather, 0, shard.to_vec(), |inputs, _| {
+            let len = inputs[0].len();
+            for (r, i) in inputs.iter().enumerate() {
+                assert_eq!(i.len(), len, "all_gather shard length mismatch at rank {r}");
+            }
+            let full: Vec<f32> = inputs.iter().flat_map(|i| i.iter().copied()).collect();
+            vec![full; inputs.len()]
+        })
+    }
+
+    /// Copies `data` from `root` to every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks disagree on `root`, or buffers have different
+    /// lengths.
+    pub fn broadcast(&self, data: &mut [f32], root: usize) {
+        assert!(root < self.shared.n, "broadcast root out of range");
+        let out = self.round(OpKind::Broadcast, root, data.to_vec(), |inputs, root| {
+            let src = inputs[root].clone();
+            for (r, i) in inputs.iter().enumerate() {
+                assert_eq!(i.len(), src.len(), "broadcast length mismatch at rank {r}");
+            }
+            vec![src; inputs.len()]
+        });
+        data.copy_from_slice(&out);
+    }
+
+    /// Blocks until every rank of the group has reached the barrier.
+    pub fn barrier(&self) {
+        let _ = self.round(OpKind::Barrier, 0, Vec::new(), |inputs, _| {
+            vec![Vec::new(); inputs.len()]
+        });
+    }
+}
+
+/// Deterministic sum: accumulate inputs strictly in rank order.
+fn rank_ordered_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+    let len = inputs[0].len();
+    for (r, i) in inputs.iter().enumerate() {
+        assert_eq!(i.len(), len, "collective length mismatch at rank {r}");
+    }
+    let mut acc = inputs[0].clone();
+    for input in &inputs[1..] {
+        for (a, x) in acc.iter_mut().zip(input) {
+            *a += *x;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_group<F, R>(n: usize, f: F) -> Vec<R>
+    where
+        F: Fn(usize, CommHandle) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let f = Arc::new(f);
+        let handles = CommGroup::new(n);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || f(rank, h))
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        let results = run_group(4, |rank, h| {
+            let mut v = vec![rank as f32, 10.0 * rank as f32];
+            h.all_reduce(&mut v);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![6.0, 60.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_returns_rank_shard() {
+        let results = run_group(2, |rank, h| {
+            let v = vec![1.0 + rank as f32; 4]; // rank 0: 1s, rank 1: 2s
+            h.reduce_scatter(&v)
+        });
+        // Sum is [3,3,3,3]; rank 0 gets first half, rank 1 second.
+        assert_eq!(results[0], vec![3.0, 3.0]);
+        assert_eq!(results[1], vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let results = run_group(3, |rank, h| h.all_gather(&[rank as f32]));
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_copies_from_root() {
+        let results = run_group(3, |rank, h| {
+            let mut v = vec![rank as f32; 2];
+            h.broadcast(&mut v, 1);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        let results = run_group(4, |rank, h| {
+            let v: Vec<f32> = (0..8).map(|i| (i + rank) as f32).collect();
+            let mut ar = v.clone();
+            h.all_reduce(&mut ar);
+            let shard = h.reduce_scatter(&v);
+            let ag = h.all_gather(&shard);
+            (ar, ag)
+        });
+        for (ar, ag) in results {
+            assert_eq!(ar, ag);
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_are_deterministic() {
+        let a = run_group(4, |rank, h| {
+            let mut acc = vec![0.0f32; 4];
+            for step in 0..50 {
+                let mut v = vec![(rank * 37 + step) as f32 * 0.001; 4];
+                h.all_reduce(&mut v);
+                for (x, y) in acc.iter_mut().zip(&v) {
+                    *x += *y;
+                }
+            }
+            acc
+        });
+        let b = run_group(4, |rank, h| {
+            let mut acc = vec![0.0f32; 4];
+            for step in 0..50 {
+                let mut v = vec![(rank * 37 + step) as f32 * 0.001; 4];
+                h.all_reduce(&mut v);
+                for (x, y) in acc.iter_mut().zip(&v) {
+                    *x += *y;
+                }
+            }
+            acc
+        });
+        assert_eq!(a, b, "rank-ordered reduction must be bit-stable");
+        for r in &a[1..] {
+            assert_eq!(*r, a[0], "all ranks must agree");
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let results = run_group(4, move |_rank, h| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            h.barrier();
+            // After the barrier, every rank must observe all arrivals.
+            c2.load(Ordering::SeqCst)
+        });
+        for r in results {
+            assert_eq!(r, 4);
+        }
+    }
+
+    #[test]
+    fn group_size_one_is_identity() {
+        let results = run_group(1, |_rank, h| {
+            let mut v = vec![5.0f32];
+            h.all_reduce(&mut v);
+            let s = h.reduce_scatter(&[1.0, 2.0]);
+            let g = h.all_gather(&[9.0]);
+            h.barrier();
+            (v, s, g)
+        });
+        assert_eq!(results[0], (vec![5.0], vec![1.0, 2.0], vec![9.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be positive")]
+    fn empty_group_rejected() {
+        CommGroup::new(0);
+    }
+
+    #[test]
+    fn many_ranks_stress() {
+        let results = run_group(16, |rank, h| {
+            let mut v = vec![rank as f32];
+            for _ in 0..20 {
+                h.all_reduce(&mut v);
+            }
+            v[0]
+        });
+        // Sum 0..16 = 120; after 20 rounds: 120 * 16^19 is astronomically
+        // big — instead verify all ranks agree.
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: thread collectives match serial reference
+//! reductions exactly (rank-ordered f32 accumulation).
+
+use std::sync::Arc;
+use std::thread;
+
+use bfpp_collectives::thread::{CommGroup, CommHandle};
+use proptest::prelude::*;
+
+fn run_group<F, R>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize, CommHandle) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let f = Arc::new(f);
+    let handles = CommGroup::new(n);
+    let joins: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(rank, h)| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || f(rank, h))
+        })
+        .collect();
+    joins.into_iter().map(|j| j.join().unwrap()).collect()
+}
+
+/// Serial rank-ordered sum, the reference the collectives must match.
+fn serial_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+    let mut acc = inputs[0].clone();
+    for i in &inputs[1..] {
+        for (a, x) in acc.iter_mut().zip(i) {
+            *a += *x;
+        }
+    }
+    acc
+}
+
+fn inputs_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (1usize..6, 1usize..16).prop_flat_map(|(n, len)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, len..=len),
+            n..=n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_reduce_matches_serial(inputs in inputs_strategy()) {
+        let n = inputs.len();
+        let expected = serial_sum(&inputs);
+        let inputs = Arc::new(inputs);
+        let inputs2 = Arc::clone(&inputs);
+        let results = run_group(n, move |rank, h| {
+            let mut v = inputs2[rank].clone();
+            h.all_reduce(&mut v);
+            v
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected, "bitwise match required");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_all_gather_roundtrip(inputs in inputs_strategy()) {
+        let n = inputs.len();
+        // Pad length to a multiple of n.
+        let len = inputs[0].len().div_ceil(n) * n;
+        let padded: Vec<Vec<f32>> = inputs
+            .iter()
+            .map(|v| {
+                let mut v = v.clone();
+                v.resize(len, 0.0);
+                v
+            })
+            .collect();
+        let expected = serial_sum(&padded);
+        let padded = Arc::new(padded);
+        let p2 = Arc::clone(&padded);
+        let results = run_group(n, move |rank, h| {
+            let shard = h.reduce_scatter(&p2[rank]);
+            h.all_gather(&shard)
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    #[test]
+    fn broadcast_replicates_root(inputs in inputs_strategy(), root_pick in 0usize..100) {
+        let n = inputs.len();
+        let root = root_pick % n;
+        let expected = inputs[root].clone();
+        let inputs = Arc::new(inputs);
+        let i2 = Arc::clone(&inputs);
+        let results = run_group(n, move |rank, h| {
+            let mut v = i2[rank].clone();
+            h.broadcast(&mut v, root);
+            v
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+}

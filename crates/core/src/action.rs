@@ -1,0 +1,104 @@
+//! The atoms of a pipeline schedule.
+
+use std::fmt;
+
+use bfpp_parallel::StageId;
+
+/// Forward or backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Forward computation of a stage on a micro-batch.
+    Forward,
+    /// Backward computation (including, in a checkpointed setting, the
+    /// recomputation of the stage's activations).
+    Backward,
+}
+
+impl Direction {
+    /// The single-character glyph used in timeline renderings
+    /// (`F` / `B`, as in the paper's Figure 4).
+    pub fn glyph(self) -> char {
+        match self {
+            Direction::Forward => 'F',
+            Direction::Backward => 'B',
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Forward => "forward",
+            Direction::Backward => "backward",
+        })
+    }
+}
+
+/// One unit of pipeline work: the forward or backward pass of one stage
+/// on one micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Action {
+    /// Pass direction.
+    pub dir: Direction,
+    /// Micro-batch index, `0..N_mb`.
+    pub microbatch: u32,
+    /// Global stage index, `0..N_stage`.
+    pub stage: StageId,
+}
+
+impl Action {
+    /// A forward action.
+    pub fn fwd(microbatch: u32, stage: StageId) -> Self {
+        Action {
+            dir: Direction::Forward,
+            microbatch,
+            stage,
+        }
+    }
+
+    /// A backward action.
+    pub fn bwd(microbatch: u32, stage: StageId) -> Self {
+        Action {
+            dir: Direction::Backward,
+            microbatch,
+            stage,
+        }
+    }
+
+    /// Compact label, e.g. `F3@s2` (forward of micro-batch 3, stage 2).
+    pub fn label(&self) -> String {
+        format!("{}{}@s{}", self.dir.glyph(), self.microbatch, self.stage.0)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        let f = Action::fwd(1, StageId(2));
+        let b = Action::bwd(1, StageId(2));
+        assert_eq!(f.dir, Direction::Forward);
+        assert_eq!(b.dir, Direction::Backward);
+        assert_ne!(f, b);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(Action::fwd(3, StageId(2)).label(), "F3@s2");
+        assert_eq!(Action::bwd(0, StageId(0)).to_string(), "B0@s0");
+    }
+
+    #[test]
+    fn glyphs_match_figure4() {
+        assert_eq!(Direction::Forward.glyph(), 'F');
+        assert_eq!(Direction::Backward.glyph(), 'B');
+    }
+}

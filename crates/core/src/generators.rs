@@ -1,0 +1,224 @@
+//! The four schedule generators.
+//!
+//! Each returns, per pipeline device, the exact execution order of that
+//! device's forward/backward actions. The orders are those of the paper's
+//! Figure 4 (and, for depth-first, of Megatron-LM's interleaved 1F1B
+//! implementation).
+
+use bfpp_parallel::Placement;
+
+use crate::action::Action;
+
+/// GPipe (Figure 4a): every device runs all forwards of its stage in
+/// micro-batch order, then all backwards.
+pub(crate) fn gpipe(placement: Placement, n_mb: u32) -> Vec<Vec<Action>> {
+    let n_pp = placement.n_pp();
+    (0..n_pp)
+        .map(|d| {
+            let stage = placement.stage_at(d, 0);
+            let fwd = (0..n_mb).map(|mb| Action::fwd(mb, stage));
+            let bwd = (0..n_mb).map(|mb| Action::bwd(mb, stage));
+            fwd.chain(bwd).collect()
+        })
+        .collect()
+}
+
+/// 1F1B (Figure 4b): device `d` warms up with `min(N_mb, N_PP − d − 1)`
+/// forwards, then alternates one forward with one backward, then drains.
+pub(crate) fn one_f_one_b(placement: Placement, n_mb: u32) -> Vec<Vec<Action>> {
+    let n_pp = placement.n_pp();
+    (0..n_pp)
+        .map(|d| {
+            let stage = placement.stage_at(d, 0);
+            let warmup = n_mb.min(n_pp - d - 1);
+            let mut actions = Vec::with_capacity(2 * n_mb as usize);
+            for mb in 0..warmup {
+                actions.push(Action::fwd(mb, stage));
+            }
+            for i in 0..(n_mb - warmup) {
+                actions.push(Action::fwd(warmup + i, stage));
+                actions.push(Action::bwd(i, stage));
+            }
+            for mb in (n_mb - warmup)..n_mb {
+                actions.push(Action::bwd(mb, stage));
+            }
+            actions
+        })
+        .collect()
+}
+
+/// Breadth-first (Figure 4d, the paper's schedule): forward-first across
+/// *all* micro-batches of each local stage, local stages in loop order;
+/// then the mirror image backwards (last local stage first).
+pub(crate) fn breadth_first(placement: Placement, n_mb: u32) -> Vec<Vec<Action>> {
+    let n_pp = placement.n_pp();
+    let n_loop = placement.n_loop();
+    (0..n_pp)
+        .map(|d| {
+            let mut actions = Vec::with_capacity(2 * (n_mb * n_loop) as usize);
+            for l in 0..n_loop {
+                let stage = placement.stage_at(d, l);
+                for mb in 0..n_mb {
+                    actions.push(Action::fwd(mb, stage));
+                }
+            }
+            for l in (0..n_loop).rev() {
+                let stage = placement.stage_at(d, l);
+                for mb in 0..n_mb {
+                    actions.push(Action::bwd(mb, stage));
+                }
+            }
+            actions
+        })
+        .collect()
+}
+
+/// Depth-first (Figure 4c): Megatron-LM's interleaved 1F1B. Micro-batches
+/// proceed in "sequences" of `N_PP`; within the steady state each device
+/// alternates forward and backward virtual micro-batches, visiting its
+/// local stages (chunks) in the interleaved order.
+///
+/// Caller must guarantee `n_mb % N_PP == 0` (checked by
+/// [`crate::Schedule::generate`]).
+pub(crate) fn depth_first(placement: Placement, n_mb: u32) -> Vec<Vec<Action>> {
+    let n_pp = placement.n_pp();
+    let chunks = placement.n_loop();
+    let total = n_mb * chunks; // virtual micro-batches per device
+    let group = n_pp * chunks;
+
+    // Megatron's virtual-step -> (micro-batch, chunk) mapping.
+    let fwd_of = |k: u32| -> (u32, u32) {
+        let mb = (k / group) * n_pp + (k % n_pp);
+        let chunk = (k % group) / n_pp;
+        (mb, chunk)
+    };
+    let bwd_of = |k: u32| -> (u32, u32) {
+        let mb = (k / group) * n_pp + (k % n_pp);
+        let chunk = chunks - 1 - (k % group) / n_pp;
+        (mb, chunk)
+    };
+
+    (0..n_pp)
+        .map(|d| {
+            let warmup = if n_mb == n_pp {
+                total
+            } else {
+                (((n_pp - d - 1) * 2) + (chunks - 1) * n_pp).min(total)
+            };
+            let mut actions = Vec::with_capacity(2 * total as usize);
+            for k in 0..warmup {
+                let (mb, chunk) = fwd_of(k);
+                actions.push(Action::fwd(mb, placement.stage_at(d, chunk)));
+            }
+            for i in 0..(total - warmup) {
+                let (mb, chunk) = fwd_of(warmup + i);
+                actions.push(Action::fwd(mb, placement.stage_at(d, chunk)));
+                let (mb, chunk) = bwd_of(i);
+                actions.push(Action::bwd(mb, placement.stage_at(d, chunk)));
+            }
+            for k in (total - warmup)..total {
+                let (mb, chunk) = bwd_of(k);
+                actions.push(Action::bwd(mb, placement.stage_at(d, chunk)));
+            }
+            actions
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Direction;
+    use bfpp_parallel::StageId;
+
+    #[test]
+    fn gpipe_is_forward_then_backward() {
+        let acts = gpipe(Placement::linear(2), 3);
+        let d0: Vec<String> = acts[0].iter().map(|a| a.label()).collect();
+        assert_eq!(d0, vec!["F0@s0", "F1@s0", "F2@s0", "B0@s0", "B1@s0", "B2@s0"]);
+    }
+
+    #[test]
+    fn one_f_one_b_last_device_alternates_immediately() {
+        let acts = one_f_one_b(Placement::linear(4), 4);
+        let last: Vec<String> = acts[3].iter().map(|a| a.label()).collect();
+        assert_eq!(
+            last,
+            vec!["F0@s3", "B0@s3", "F1@s3", "B1@s3", "F2@s3", "B2@s3", "F3@s3", "B3@s3"]
+        );
+    }
+
+    #[test]
+    fn one_f_one_b_first_device_warms_up_fully() {
+        let acts = one_f_one_b(Placement::linear(4), 8);
+        let first = &acts[0];
+        // Warmup = N_PP - 1 = 3 forwards before the first backward.
+        assert!(first[..3].iter().all(|a| a.dir == Direction::Forward));
+        assert_eq!(first[3].dir, Direction::Forward);
+        assert_eq!(first[4].dir, Direction::Backward);
+        assert_eq!(first[4].microbatch, 0);
+    }
+
+    #[test]
+    fn breadth_first_visits_stages_in_loop_order() {
+        let p = Placement::looping(2, 2);
+        let acts = breadth_first(p, 2);
+        let d0: Vec<String> = acts[0].iter().map(|a| a.label()).collect();
+        // Device 0 hosts stages 0 and 2: forwards 0,1 on s0 then s2;
+        // backwards on s2 first, then s0.
+        assert_eq!(
+            d0,
+            vec!["F0@s0", "F1@s0", "F0@s2", "F1@s2", "B0@s2", "B1@s2", "B0@s0", "B1@s0"]
+        );
+    }
+
+    #[test]
+    fn depth_first_runs_microbatch_sequences() {
+        // pp = 2, chunks = 2, n_mb = 4: sequences {0,1} and {2,3}.
+        let p = Placement::looping(2, 2);
+        let acts = depth_first(p, 4);
+        // Forward virtual order on any device: mb (0,1) chunk 0, mb (0,1)
+        // chunk 1, then mb (2,3) chunk 0, mb (2,3) chunk 1 — the second
+        // sequence only starts after the first finished its chunks
+        // (depth-first priority).
+        let fwd_only: Vec<(u32, u32)> = acts[0]
+            .iter()
+            .filter(|a| a.dir == Direction::Forward)
+            .map(|a| (a.microbatch, a.stage.0))
+            .collect();
+        assert_eq!(
+            fwd_only,
+            vec![(0, 0), (1, 0), (0, 2), (1, 2), (2, 0), (3, 0), (2, 2), (3, 2)]
+        );
+    }
+
+    #[test]
+    fn depth_first_backward_starts_with_last_chunk() {
+        let p = Placement::looping(2, 2);
+        let acts = depth_first(p, 4);
+        let first_bwd = acts[0]
+            .iter()
+            .find(|a| a.dir == Direction::Backward)
+            .unwrap();
+        // Backward begins on the device's last chunk (stage 2 on device 0).
+        assert_eq!(first_bwd.stage, StageId(2));
+        assert_eq!(first_bwd.microbatch, 0);
+    }
+
+    #[test]
+    fn all_generators_emit_every_action_once() {
+        let p = Placement::looping(4, 2);
+        for (name, acts) in [
+            ("bf", breadth_first(p, 8)),
+            ("df", depth_first(p, 8)),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for dev in &acts {
+                for a in dev {
+                    assert!(seen.insert(*a), "{name}: duplicate {a}");
+                }
+            }
+            assert_eq!(seen.len(), 2 * 8 * 8, "{name}");
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! A greedy list-scheduling generator.
+//!
+//! Instead of an explicit action order, [`Schedule::generate_greedy`]
+//! *simulates* the pipeline with unit costs and lets every device pick,
+//! at each moment it is free, the highest-priority action whose
+//! dependencies are met. The [`GreedyPolicy`] controls the priorities:
+//!
+//! * `backward_first` — prefer ready backwards over forwards (the 1F1B /
+//!   depth-first instinct); forward-first is the GPipe / breadth-first
+//!   instinct;
+//! * `breadth_first_forwards` — order ready forwards by (stage, then
+//!   micro-batch) rather than (micro-batch, then stage);
+//! * `max_in_flight` — cap the micro-batches in flight (1F1B's warmup
+//!   knob), bounding activation memory to ~cap × N_loop checkpoints per
+//!   device.
+//!
+//! The generator is used to cross-validate the explicit generators (the
+//! forward-first policies reproduce breadth-first exactly) and to explore
+//! schedules between the four named ones, e.g. memory-capped
+//! breadth-first variants.
+
+use bfpp_parallel::Placement;
+
+use crate::action::Action;
+use crate::schedule::{Schedule, ScheduleError, ScheduleKind};
+
+/// Priorities for the greedy generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GreedyPolicy {
+    /// Prefer ready backward actions over forwards.
+    pub backward_first: bool,
+    /// Order candidate forwards by (loop, micro-batch) — breadth-first —
+    /// instead of (micro-batch, loop) — depth-first.
+    pub breadth_first_forwards: bool,
+    /// Cap on micro-batches in flight (entered the pipeline, backward
+    /// not yet finished) — the knob 1F1B's warmup implements. `None` for
+    /// unbounded. Gating happens at pipeline entry only, so any cap ≥ 1
+    /// is deadlock-free.
+    pub max_in_flight: Option<u32>,
+}
+
+impl GreedyPolicy {
+    /// The policy that reproduces the breadth-first schedule.
+    pub fn breadth_first() -> Self {
+        GreedyPolicy {
+            backward_first: false,
+            breadth_first_forwards: true,
+            max_in_flight: None,
+        }
+    }
+
+    /// A 1F1B-flavoured policy: drain backwards as soon as possible.
+    pub fn eager_backward() -> Self {
+        GreedyPolicy {
+            backward_first: true,
+            breadth_first_forwards: true,
+            max_in_flight: None,
+        }
+    }
+}
+
+impl Schedule {
+    /// Generates a schedule by greedy list-scheduling under `policy`.
+    ///
+    /// The result is always structurally valid; it is tagged with the
+    /// named kind it most resembles (`BreadthFirst` for forward-first
+    /// policies, `DepthFirst` otherwise) for downstream reporting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoMicrobatches`] for `n_mb == 0`, and
+    /// [`ScheduleError::GreedyStuck`] for a zero in-flight cap (any
+    /// positive cap drains, since gating happens only at pipeline
+    /// entry).
+    pub fn generate_greedy(
+        placement: Placement,
+        n_mb: u32,
+        policy: GreedyPolicy,
+    ) -> Result<Schedule, ScheduleError> {
+        if n_mb == 0 {
+            return Err(ScheduleError::NoMicrobatches);
+        }
+        let n_pp = placement.n_pp();
+        let n_stage = placement.num_stages();
+        let last = n_stage - 1;
+        let idx = |mb: u32, s: u32| (mb * n_stage + s) as usize;
+
+        const FWD_COST: u64 = 1;
+        const BWD_COST: u64 = 2;
+
+        let mut fwd_end: Vec<Option<u64>> = vec![None; (n_mb * n_stage) as usize];
+        let mut bwd_end: Vec<Option<u64>> = vec![None; (n_mb * n_stage) as usize];
+        let mut fwd_issued: Vec<bool> = vec![false; (n_mb * n_stage) as usize];
+        let mut bwd_issued: Vec<bool> = vec![false; (n_mb * n_stage) as usize];
+        // Micro-batches that have entered (fwd of stage 0 issued) and
+        // fully exited (bwd of stage 0 issued).
+        let mut entered: u32 = 0;
+        let mut exited: u32 = 0;
+        let mut free_at: Vec<u64> = vec![0; n_pp as usize];
+        let mut orders: Vec<Vec<Action>> = vec![Vec::new(); n_pp as usize];
+        let total = (2 * n_mb * n_stage) as usize;
+        let mut done = 0usize;
+
+        // The highest-priority ready action of device `d` at time `now`.
+        let pick_best = |d: u32,
+                         now: u64,
+                         fwd_end: &[Option<u64>],
+                         bwd_end: &[Option<u64>],
+                         fwd_issued: &[bool],
+                         bwd_issued: &[bool],
+                         in_flight: u32|
+         -> Option<Action> {
+            let mut best: Option<(u64, Action)> = None;
+            for l in 0..placement.n_loop() {
+                let stage = placement.stage_at(d, l);
+                for mb in 0..n_mb {
+                    let i = idx(mb, stage.0);
+                    // Backward candidate: earliest micro-batch, deepest
+                    // stage first.
+                    if !bwd_issued[i]
+                        && fwd_end[i].map(|t| t <= now).unwrap_or(false)
+                        && (stage.0 == last
+                            || bwd_end[idx(mb, stage.0 + 1)].map(|t| t <= now).unwrap_or(false))
+                    {
+                        let dir_rank = u64::from(!policy.backward_first);
+                        let key = (dir_rank << 40)
+                            | ((mb as u64) << 20)
+                            | (n_stage - stage.0) as u64;
+                        if best.map(|(k, _)| key < k).unwrap_or(true) {
+                            best = Some((key, Action::bwd(mb, stage)));
+                        }
+                    }
+                    // Forward candidate; entry into the pipeline is
+                    // gated by the in-flight cap.
+                    let capped = stage.0 == 0
+                        && policy
+                            .max_in_flight
+                            .map(|cap| in_flight >= cap)
+                            .unwrap_or(false);
+                    if !fwd_issued[i]
+                        && !capped
+                        && (stage.0 == 0
+                            || fwd_end[idx(mb, stage.0 - 1)].map(|t| t <= now).unwrap_or(false))
+                    {
+                        let dir_rank = u64::from(policy.backward_first);
+                        let order = if policy.breadth_first_forwards {
+                            ((l as u64) << 20) | mb as u64
+                        } else {
+                            ((mb as u64) << 20) | l as u64
+                        };
+                        let key = (dir_rank << 40) | order;
+                        if best.map(|(k, _)| key < k).unwrap_or(true) {
+                            best = Some((key, Action::fwd(mb, stage)));
+                        }
+                    }
+                }
+            }
+            best.map(|(_, a)| a)
+        };
+
+        while done < total {
+            // Devices in (free time, id) order; execute on the first one
+            // with ready work at its own free time.
+            let mut by_time: Vec<u32> = (0..n_pp).collect();
+            by_time.sort_by_key(|&d| (free_at[d as usize], d));
+            let mut executed = false;
+            for &d in &by_time {
+                let now = free_at[d as usize];
+                let Some(a) = pick_best(
+                    d,
+                    now,
+                    &fwd_end,
+                    &bwd_end,
+                    &fwd_issued,
+                    &bwd_issued,
+                    entered - exited,
+                ) else {
+                    continue;
+                };
+                let i = idx(a.microbatch, a.stage.0);
+                match a.dir {
+                    crate::action::Direction::Forward => {
+                        fwd_issued[i] = true;
+                        fwd_end[i] = Some(now + FWD_COST);
+                        free_at[d as usize] = now + FWD_COST;
+                        if a.stage.0 == 0 {
+                            entered += 1;
+                        }
+                    }
+                    crate::action::Direction::Backward => {
+                        bwd_issued[i] = true;
+                        bwd_end[i] = Some(now + BWD_COST);
+                        free_at[d as usize] = now + BWD_COST;
+                        if a.stage.0 == 0 {
+                            exited += 1;
+                        }
+                    }
+                }
+                orders[d as usize].push(a);
+                done += 1;
+                executed = true;
+                break;
+            }
+            if !executed {
+                // No device has ready work at its own free time: advance
+                // every straggler to the next completion event. Readiness
+                // only changes at event boundaries, so this skips no work.
+                let min_free = free_at.iter().copied().min().expect("devices exist");
+                let next = fwd_end
+                    .iter()
+                    .chain(bwd_end.iter())
+                    .flatten()
+                    .copied()
+                    .filter(|&t| t > min_free)
+                    .min();
+                match next {
+                    Some(t) => {
+                        for f in free_at.iter_mut() {
+                            if *f < t {
+                                *f = t;
+                            }
+                        }
+                    }
+                    None => {
+                        return Err(ScheduleError::GreedyStuck {
+                            max_in_flight: policy.max_in_flight.unwrap_or(0),
+                        })
+                    }
+                }
+            }
+        }
+
+        let kind = if policy.backward_first {
+            ScheduleKind::DepthFirst
+        } else {
+            ScheduleKind::BreadthFirst
+        };
+        Ok(Schedule::from_parts(kind, placement, n_mb, orders))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_first_policy_reproduces_breadth_first() {
+        for (n_pp, n_loop, n_mb) in [(2u32, 2u32, 4u32), (4, 4, 8), (4, 2, 9)] {
+            let p = Placement::looping(n_pp, n_loop);
+            let greedy = Schedule::generate_greedy(p, n_mb, GreedyPolicy::breadth_first()).unwrap();
+            greedy.validate().unwrap();
+            let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, n_mb).unwrap();
+            // Same makespan (the explicit order is one optimal greedy
+            // tie-break).
+            assert_eq!(
+                greedy.exact_timing(1, 2).makespan(),
+                bf.exact_timing(1, 2).makespan(),
+                "pp={n_pp} loop={n_loop} mb={n_mb}"
+            );
+        }
+    }
+
+    #[test]
+    fn eager_backward_policy_is_valid_and_lean() {
+        let p = Placement::looping(4, 2);
+        let s = Schedule::generate_greedy(p, 16, GreedyPolicy::eager_backward()).unwrap();
+        s.validate().unwrap();
+        let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, 16).unwrap();
+        assert!(
+            s.peak_checkpoints() <= bf.peak_checkpoints(),
+            "eager backward must not hold more checkpoints than BF"
+        );
+    }
+
+    #[test]
+    fn in_flight_cap_bounds_memory() {
+        // Capping in-flight micro-batches bounds the checkpoint peak to
+        // cap × N_loop per device (each live micro-batch holds at most
+        // one checkpoint per local stage).
+        let p = Placement::looping(2, 2);
+        let n_mb = 12;
+        let cap = 3;
+        let s = Schedule::generate_greedy(
+            p,
+            n_mb,
+            GreedyPolicy {
+                backward_first: true,
+                breadth_first_forwards: false,
+                max_in_flight: Some(cap),
+            },
+        )
+        .unwrap();
+        s.validate().unwrap();
+        let bound = cap * p.n_loop();
+        assert!(
+            s.peak_checkpoints() <= bound,
+            "peak {} exceeds bound {bound}",
+            s.peak_checkpoints()
+        );
+        // And well under the unbounded breadth-first peak.
+        let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, n_mb).unwrap();
+        assert!(s.peak_checkpoints() < bf.peak_checkpoints());
+    }
+
+    #[test]
+    fn any_positive_cap_drains() {
+        // Entry gating cannot wedge: even one micro-batch in flight
+        // drains the whole pipeline (it is just serial execution).
+        for cap in [1u32, 2, 4] {
+            for breadth in [false, true] {
+                let p = Placement::looping(2, 2);
+                let s = Schedule::generate_greedy(
+                    p,
+                    8,
+                    GreedyPolicy {
+                        backward_first: true,
+                        breadth_first_forwards: breadth,
+                        max_in_flight: Some(cap),
+                    },
+                )
+                .unwrap_or_else(|e| panic!("cap {cap} breadth {breadth}: {e}"));
+                s.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cap_reports_stuck() {
+        let p = Placement::looping(2, 2);
+        let r = Schedule::generate_greedy(
+            p,
+            4,
+            GreedyPolicy {
+                backward_first: false,
+                breadth_first_forwards: true,
+                max_in_flight: Some(0),
+            },
+        );
+        match r {
+            Err(ScheduleError::GreedyStuck { .. }) => {}
+            other => panic!("expected GreedyStuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_microbatches_rejected() {
+        let p = Placement::linear(2);
+        assert!(matches!(
+            Schedule::generate_greedy(p, 0, GreedyPolicy::breadth_first()),
+            Err(ScheduleError::NoMicrobatches)
+        ));
+    }
+
+    #[test]
+    fn greedy_validates_across_random_policies() {
+        for n_pp in [1u32, 2, 4] {
+            for n_loop in [1u32, 2, 4] {
+                for n_mb in [1u32, 3, 8] {
+                    for backward_first in [false, true] {
+                        for breadth in [false, true] {
+                            let p = Placement::looping(n_pp, n_loop);
+                            let s = Schedule::generate_greedy(
+                                p,
+                                n_mb,
+                                GreedyPolicy {
+                                    backward_first,
+                                    breadth_first_forwards: breadth,
+                                    max_in_flight: None,
+                                },
+                            )
+                            .unwrap();
+                            s.validate().unwrap_or_else(|e| {
+                                panic!(
+                                    "pp={n_pp} loop={n_loop} mb={n_mb} bw={backward_first} br={breadth}: {e}"
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The hybrid depth/breadth schedule the paper sketches but does not
+//! implement (§4.2: the depth-first schedule's overlap problem "can be
+//! addressed by running with sequences of more than N_PP micro-batches,
+//! essentially forming an hybrid between the two schedules").
+//!
+//! [`Schedule::generate_hybrid`] generalizes both looped schedules with a
+//! *sequence length* `k`: micro-batches advance in groups of `k`, each
+//! group breadth-first across the device's local stages. `k = N_mb`
+//! recovers the breadth-first schedule exactly; `k = N_PP` approaches the
+//! depth-first activation footprint while keeping the breadth-first
+//! forward-first structure (and therefore its run-aggregation property
+//! *within* each sequence).
+
+use bfpp_parallel::Placement;
+
+use crate::action::Action;
+use crate::schedule::{Schedule, ScheduleError, ScheduleKind};
+
+impl Schedule {
+    /// Generates the hybrid schedule with sequences of `k` micro-batches.
+    ///
+    /// Micro-batches are split into `⌈N_mb / k⌉` sequences; each sequence
+    /// runs breadth-first (all its micro-batches through each local stage
+    /// in loop order, then the mirrored backward), and sequences run
+    /// depth-first (a sequence's backward completes before the next
+    /// sequence's backward begins; forwards are allowed to run ahead one
+    /// sequence, which is what lets transfers overlap).
+    ///
+    /// The result is tagged [`ScheduleKind::BreadthFirst`] when
+    /// `k ≥ N_mb` (it *is* the breadth-first schedule then) and
+    /// [`ScheduleKind::DepthFirst`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::NoMicrobatches`] if `n_mb == 0`, and
+    /// [`ScheduleError::MicrobatchesNotMultipleOfPipeline`] if `k == 0`
+    /// (a sequence must hold at least one micro-batch).
+    pub fn generate_hybrid(
+        placement: Placement,
+        n_mb: u32,
+        k: u32,
+    ) -> Result<Schedule, ScheduleError> {
+        if n_mb == 0 {
+            return Err(ScheduleError::NoMicrobatches);
+        }
+        if k == 0 {
+            return Err(ScheduleError::MicrobatchesNotMultipleOfPipeline { n_mb, n_pp: 0 });
+        }
+        if k >= n_mb {
+            return Schedule::generate(ScheduleKind::BreadthFirst, placement, n_mb);
+        }
+        let n_pp = placement.n_pp();
+        let n_loop = placement.n_loop();
+        let num_seq = n_mb.div_ceil(k);
+        let seq_range = |q: u32| {
+            let lo = q * k;
+            let hi = ((q + 1) * k).min(n_mb);
+            lo..hi
+        };
+        let device_actions: Vec<Vec<Action>> = (0..n_pp)
+            .map(|d| {
+                let mut actions = Vec::with_capacity(2 * (n_mb * n_loop) as usize);
+                // Interleave: F(seq 0), F(seq 1), B(seq 0), F(seq 2),
+                // B(seq 1), ..., B(seq last). Forwards stay one sequence
+                // ahead of backwards, bounding live activations to ~2k
+                // micro-batches while preserving breadth-first structure
+                // within a sequence.
+                let fwd_of = |q: u32, actions: &mut Vec<Action>| {
+                    for l in 0..n_loop {
+                        let stage = placement.stage_at(d, l);
+                        for mb in seq_range(q) {
+                            actions.push(Action::fwd(mb, stage));
+                        }
+                    }
+                };
+                let bwd_of = |q: u32, actions: &mut Vec<Action>| {
+                    for l in (0..n_loop).rev() {
+                        let stage = placement.stage_at(d, l);
+                        for mb in seq_range(q) {
+                            actions.push(Action::bwd(mb, stage));
+                        }
+                    }
+                };
+                fwd_of(0, &mut actions);
+                for q in 1..num_seq {
+                    fwd_of(q, &mut actions);
+                    bwd_of(q - 1, &mut actions);
+                }
+                bwd_of(num_seq - 1, &mut actions);
+                actions
+            })
+            .collect();
+        Ok(Schedule::from_parts(
+            ScheduleKind::DepthFirst,
+            placement,
+            n_mb,
+            device_actions,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_with_full_sequence_is_breadth_first() {
+        let p = Placement::looping(4, 2);
+        let h = Schedule::generate_hybrid(p, 8, 8).unwrap();
+        let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, 8).unwrap();
+        for d in 0..4 {
+            assert_eq!(h.device_actions(d), bf.device_actions(d));
+        }
+    }
+
+    #[test]
+    fn hybrid_validates_across_shapes() {
+        for (n_pp, n_loop, n_mb, k) in [
+            (2u32, 2u32, 8u32, 4u32),
+            (4, 2, 8, 4),
+            (4, 4, 16, 4),
+            (2, 4, 7, 3),
+            (4, 2, 9, 5),
+        ] {
+            let p = Placement::looping(n_pp, n_loop);
+            let s = Schedule::generate_hybrid(p, n_mb, k).unwrap();
+            s.validate()
+                .unwrap_or_else(|e| panic!("pp={n_pp} loop={n_loop} mb={n_mb} k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hybrid_reduces_checkpoint_peak_vs_breadth_first() {
+        let p = Placement::looping(4, 2);
+        let n_mb = 16;
+        let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, n_mb).unwrap();
+        let hybrid = Schedule::generate_hybrid(p, n_mb, 4).unwrap();
+        assert!(
+            hybrid.peak_checkpoints() < bf.peak_checkpoints(),
+            "hybrid {} !< bf {}",
+            hybrid.peak_checkpoints(),
+            bf.peak_checkpoints()
+        );
+    }
+
+    #[test]
+    fn hybrid_keeps_runs_coarser_than_one_f_one_b() {
+        // Within a sequence the hybrid aggregates k micro-batches per
+        // gather — between per-micro-batch (1F1B) and whole-batch (BF).
+        let p = Placement::looping(4, 2);
+        let n_mb = 16;
+        let hybrid = Schedule::generate_hybrid(p, n_mb, 4).unwrap();
+        let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, n_mb).unwrap();
+        for d in 0..4 {
+            let h = hybrid.fs_gathers_per_device(d);
+            let b = bf.fs_gathers_per_device(d);
+            assert!(h >= b, "device {d}");
+            assert!(
+                h <= b * (n_mb as usize / 4),
+                "device {d}: hybrid fragments too much ({h} vs bf {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_bubble_between_df_and_worst_case() {
+        let p = Placement::looping(4, 4);
+        let n_mb = 16;
+        let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, n_mb).unwrap();
+        let hybrid = Schedule::generate_hybrid(p, n_mb, 8).unwrap();
+        let bf_bubble = bf.exact_timing(1, 2).bubble_overhead();
+        let hy_bubble = hybrid.exact_timing(1, 2).bubble_overhead();
+        // The hybrid pays at most a modest bubble premium over pure BF.
+        assert!(hy_bubble >= bf_bubble - 1e-9);
+        assert!(
+            hy_bubble < 4.0 * bf_bubble + 1e-9,
+            "hybrid bubble {hy_bubble} too far above bf {bf_bubble}"
+        );
+    }
+
+    #[test]
+    fn zero_sequence_rejected() {
+        let p = Placement::looping(2, 2);
+        assert!(Schedule::generate_hybrid(p, 4, 0).is_err());
+        assert!(Schedule::generate_hybrid(p, 0, 2).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Contiguous same-(stage, direction) runs of a device's schedule.
+//!
+//! Runs are the unit of weight residency under fully sharded data
+//! parallelism: a device must gather (reconstruct) a stage's weights at
+//! the start of each run that uses them, and flush (reduce-scatter) the
+//! accumulated gradients at the end of each *backward* run, because only
+//! the active stage's buffers are kept resident (§3.1, §4.2).
+//!
+//! Counting runs therefore reproduces the paper's per-schedule `DP_FS`
+//! network costs structurally:
+//!
+//! * breadth-first: one forward and one backward run per local stage —
+//!   `2 · N_loop` gathers and `N_loop` reductions per device per batch,
+//!   independent of `N_mb` (Eq. 23's aggregation);
+//! * depth-first: one run per micro-batch sequence per local stage, plus
+//!   fragmentation from the forward/backward alternation (Eq. 22, and the
+//!   paper's "twice as many active layers when alternating" remark);
+//! * 1F1B: the steady state alternates single-action runs — a gather per
+//!   micro-batch per direction (Eq. 21's per-micro-batch repetition);
+//! * GPipe: two runs (it is forward-first — the degenerate `N_loop = 1`
+//!   case of breadth-first), at the price of maximal activation memory.
+
+use bfpp_parallel::StageId;
+
+use crate::action::Direction;
+use crate::schedule::Schedule;
+
+/// A maximal contiguous block of a device's schedule using one stage in
+/// one direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageRun {
+    /// The stage used by this run.
+    pub stage: StageId,
+    /// Pass direction of the run.
+    pub dir: Direction,
+    /// Index of the run's first action in the device's order.
+    pub start: usize,
+    /// Number of consecutive actions in the run.
+    pub len: usize,
+}
+
+impl Schedule {
+    /// The contiguous same-(stage, direction) runs of one device's order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= N_PP`.
+    pub fn stage_runs(&self, device: u32) -> Vec<StageRun> {
+        let actions = self.device_actions(device);
+        let mut runs: Vec<StageRun> = Vec::new();
+        for (i, a) in actions.iter().enumerate() {
+            match runs.last_mut() {
+                Some(run) if run.stage == a.stage && run.dir == a.dir => run.len += 1,
+                _ => runs.push(StageRun {
+                    stage: a.stage,
+                    dir: a.dir,
+                    start: i,
+                    len: 1,
+                }),
+            }
+        }
+        runs
+    }
+
+    /// Number of weight gathers per device per batch under `DP_FS`:
+    /// the total run count (each run re-gathers its stage's weights).
+    pub fn fs_gathers_per_device(&self, device: u32) -> usize {
+        self.stage_runs(device).len()
+    }
+
+    /// Number of gradient reductions per device per batch under `DP_FS`:
+    /// the number of backward runs (gradients are flushed when the
+    /// stage's buffers are evicted).
+    pub fn fs_reductions_per_device(&self, device: u32) -> usize {
+        self.stage_runs(device)
+            .iter()
+            .filter(|r| r.dir == Direction::Backward)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleKind;
+    use bfpp_parallel::Placement;
+
+    #[test]
+    fn breadth_first_has_two_runs_per_local_stage() {
+        let s = Schedule::generate(
+            ScheduleKind::BreadthFirst,
+            Placement::looping(4, 4),
+            8,
+        )
+        .unwrap();
+        for d in 0..4 {
+            let runs = s.stage_runs(d);
+            assert_eq!(runs.len(), 2 * 4, "device {d}");
+            assert_eq!(s.fs_gathers_per_device(d), 8);
+            assert_eq!(s.fs_reductions_per_device(d), 4);
+            // All runs span the full micro-batch count: the aggregation
+            // property that makes BF + DP_FS efficient.
+            assert!(runs.iter().all(|r| r.len == 8), "device {d}: {runs:?}");
+        }
+    }
+
+    #[test]
+    fn gpipe_has_exactly_two_runs() {
+        let s = Schedule::generate(ScheduleKind::GPipe, Placement::linear(4), 8).unwrap();
+        for d in 0..4 {
+            assert_eq!(s.stage_runs(d).len(), 2);
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_fragments_per_microbatch() {
+        // Last device alternates F,B from the start: 2·N_mb runs of 1.
+        let s = Schedule::generate(ScheduleKind::OneFOneB, Placement::linear(4), 8).unwrap();
+        let runs = s.stage_runs(3);
+        assert_eq!(runs.len(), 16);
+        assert!(runs.iter().all(|r| r.len == 1));
+        // First device: warmup run of 3+1 forwards... still Θ(N_mb) runs.
+        assert!(s.stage_runs(0).len() >= 8);
+    }
+
+    #[test]
+    fn depth_first_fragments_more_than_breadth_first() {
+        let p = Placement::looping(4, 2);
+        let df = Schedule::generate(ScheduleKind::DepthFirst, p, 16).unwrap();
+        let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, 16).unwrap();
+        for d in 0..4 {
+            assert!(
+                df.fs_gathers_per_device(d) > bf.fs_gathers_per_device(d),
+                "device {d}: df {} vs bf {}",
+                df.fs_gathers_per_device(d),
+                bf.fs_gathers_per_device(d)
+            );
+        }
+    }
+
+    #[test]
+    fn bf_gathers_independent_of_microbatch_count() {
+        let p = Placement::looping(4, 2);
+        let few = Schedule::generate(ScheduleKind::BreadthFirst, p, 4).unwrap();
+        let many = Schedule::generate(ScheduleKind::BreadthFirst, p, 32).unwrap();
+        assert_eq!(few.fs_gathers_per_device(0), many.fs_gathers_per_device(0));
+    }
+
+    #[test]
+    fn runs_tile_the_device_order() {
+        for kind in ScheduleKind::ALL {
+            let p = if kind.supports_looping() {
+                Placement::looping(4, 2)
+            } else {
+                Placement::linear(4)
+            };
+            let s = Schedule::generate(kind, p, 8).unwrap();
+            for d in 0..4 {
+                let runs = s.stage_runs(d);
+                let mut next = 0;
+                for r in &runs {
+                    assert_eq!(r.start, next, "{kind} device {d}");
+                    next += r.len;
+                }
+                assert_eq!(next, s.device_actions(d).len(), "{kind} device {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Exact unit-cost timing of a schedule.
+//!
+//! This is the idealized execution of the paper's Figure 4: every forward
+//! takes `fwd_cost` slots, every backward `bwd_cost` slots (2× forward by
+//! default — 3× if the checkpoint recomputation is charged), transfers are
+//! free, and each device executes its action list in order, starting each
+//! action as soon as its cross-device dependencies are met. The measured
+//! makespan yields the *exact* pipeline bubble, which the tests compare
+//! against the closed forms of Eqs. (3) and (7).
+
+use bfpp_parallel::StageId;
+
+use crate::action::{Action, Direction};
+use crate::schedule::Schedule;
+use crate::validate::ValidateError;
+
+/// The solved start/end of one action on its device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionTiming {
+    /// The action.
+    pub action: Action,
+    /// The pipeline device that executed it.
+    pub device: u32,
+    /// Start slot.
+    pub start: u64,
+    /// End slot (`start + cost`).
+    pub end: u64,
+}
+
+/// The solved timing of a whole schedule.
+#[derive(Debug, Clone)]
+pub struct ExactTiming {
+    timings: Vec<Vec<ActionTiming>>,
+    makespan: u64,
+    ideal_per_device: u64,
+}
+
+impl ExactTiming {
+    /// Completion slot of the whole batch.
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// The work every device must execute:
+    /// `N_mb · N_loop · (fwd_cost + bwd_cost)` — the makespan of a
+    /// bubble-free schedule.
+    pub fn ideal_per_device(&self) -> u64 {
+        self.ideal_per_device
+    }
+
+    /// The measured pipeline-bubble overhead,
+    /// `makespan / ideal − 1` — the quantity Eqs. (3)/(7) predict as
+    /// `(N_PP − 1) / (N_mb · N_loop)`.
+    pub fn bubble_overhead(&self) -> f64 {
+        self.makespan as f64 / self.ideal_per_device as f64 - 1.0
+    }
+
+    /// Compute utilization implied by the bubble alone: `ideal/makespan`.
+    pub fn compute_utilization(&self) -> f64 {
+        self.ideal_per_device as f64 / self.makespan as f64
+    }
+
+    /// Timings of one device, in execution order.
+    pub fn device_timings(&self, device: u32) -> &[ActionTiming] {
+        &self.timings[device as usize]
+    }
+
+    /// Iterates over all action timings.
+    pub fn all(&self) -> impl Iterator<Item = &ActionTiming> {
+        self.timings.iter().flatten()
+    }
+
+    /// The end slot of a specific action, if it exists in the schedule.
+    pub fn end_of(&self, action: Action) -> Option<u64> {
+        self.all().find(|t| t.action == action).map(|t| t.end)
+    }
+}
+
+impl Schedule {
+    /// Solves the schedule's exact timing with the given per-action costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is not executable (call
+    /// [`Schedule::validate`] first for a diagnostic error); generated
+    /// schedules are always executable.
+    pub fn exact_timing(&self, fwd_cost: u64, bwd_cost: u64) -> ExactTiming {
+        self.try_exact_timing(fwd_cost, bwd_cost)
+            .expect("generated schedules are executable")
+    }
+
+    /// Fallible version of [`Schedule::exact_timing`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::Deadlock`] if the per-device orders admit
+    /// no execution.
+    pub fn try_exact_timing(
+        &self,
+        fwd_cost: u64,
+        bwd_cost: u64,
+    ) -> Result<ExactTiming, ValidateError> {
+        let n_pp = self.n_pp();
+        let n_mb = self.num_microbatches();
+        let n_stage = self.placement().num_stages();
+        let last_stage = n_stage - 1;
+
+        let idx = |mb: u32, stage: StageId| (mb * n_stage + stage.0) as usize;
+        let mut fwd_end: Vec<Option<u64>> = vec![None; (n_mb * n_stage) as usize];
+        let mut bwd_end: Vec<Option<u64>> = vec![None; (n_mb * n_stage) as usize];
+
+        let mut pos = vec![0usize; n_pp as usize];
+        let mut free_at = vec![0u64; n_pp as usize];
+        let mut timings: Vec<Vec<ActionTiming>> = (0..n_pp)
+            .map(|d| Vec::with_capacity(self.device_actions(d).len()))
+            .collect();
+        let total: usize = self.num_actions();
+        let mut done = 0usize;
+
+        loop {
+            let mut progressed = false;
+            for d in 0..n_pp {
+                let queue = self.device_actions(d);
+                while let Some(a) = queue.get(pos[d as usize]) {
+                    // Earliest start given cross-device dependencies.
+                    let dep_end = match a.dir {
+                        Direction::Forward => {
+                            if a.stage.0 == 0 {
+                                Some(0)
+                            } else {
+                                fwd_end[idx(a.microbatch, StageId(a.stage.0 - 1))]
+                            }
+                        }
+                        Direction::Backward => {
+                            let own_fwd = fwd_end[idx(a.microbatch, a.stage)];
+                            if a.stage.0 == last_stage {
+                                own_fwd
+                            } else {
+                                match (own_fwd, bwd_end[idx(a.microbatch, StageId(a.stage.0 + 1))])
+                                {
+                                    (Some(x), Some(y)) => Some(x.max(y)),
+                                    _ => None,
+                                }
+                            }
+                        }
+                    };
+                    let Some(dep_end) = dep_end else { break };
+                    let start = dep_end.max(free_at[d as usize]);
+                    let cost = match a.dir {
+                        Direction::Forward => fwd_cost,
+                        Direction::Backward => bwd_cost,
+                    };
+                    let end = start + cost;
+                    match a.dir {
+                        Direction::Forward => fwd_end[idx(a.microbatch, a.stage)] = Some(end),
+                        Direction::Backward => bwd_end[idx(a.microbatch, a.stage)] = Some(end),
+                    }
+                    free_at[d as usize] = end;
+                    timings[d as usize].push(ActionTiming {
+                        action: *a,
+                        device: d,
+                        start,
+                        end,
+                    });
+                    pos[d as usize] += 1;
+                    done += 1;
+                    progressed = true;
+                }
+            }
+            if done == total {
+                break;
+            }
+            if !progressed {
+                let (device, action) = (0..n_pp)
+                    .find_map(|d| {
+                        self.device_actions(d)
+                            .get(pos[d as usize])
+                            .map(|a| (d, *a))
+                    })
+                    .expect("unfinished schedules have a blocked device");
+                return Err(ValidateError::Deadlock { device, action });
+            }
+        }
+
+        let makespan = free_at.iter().copied().max().unwrap_or(0);
+        let ideal_per_device =
+            n_mb as u64 * self.placement().n_loop() as u64 * (fwd_cost + bwd_cost);
+        Ok(ExactTiming {
+            timings,
+            makespan,
+            ideal_per_device,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleKind;
+    use bfpp_parallel::Placement;
+
+    fn bubble_formula(n_pp: u32, n_mb: u32, n_loop: u32) -> f64 {
+        (n_pp - 1) as f64 / (n_mb as f64 * n_loop as f64)
+    }
+
+    #[test]
+    fn gpipe_bubble_matches_eq3() {
+        for (n_pp, n_mb) in [(2, 2), (4, 4), (4, 8), (8, 16)] {
+            let s = Schedule::generate(ScheduleKind::GPipe, Placement::linear(n_pp), n_mb).unwrap();
+            let t = s.exact_timing(1, 2);
+            let expect = bubble_formula(n_pp, n_mb, 1);
+            assert!(
+                (t.bubble_overhead() - expect).abs() < 1e-9,
+                "pp={n_pp} mb={n_mb}: measured {} expected {expect}",
+                t.bubble_overhead()
+            );
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_has_gpipe_efficiency() {
+        // §3.2: "the two schedules have the same computational efficiency".
+        for (n_pp, n_mb) in [(4, 4), (4, 8), (8, 16)] {
+            let g = Schedule::generate(ScheduleKind::GPipe, Placement::linear(n_pp), n_mb).unwrap();
+            let o =
+                Schedule::generate(ScheduleKind::OneFOneB, Placement::linear(n_pp), n_mb).unwrap();
+            assert_eq!(
+                g.exact_timing(1, 2).makespan(),
+                o.exact_timing(1, 2).makespan(),
+                "pp={n_pp} mb={n_mb}"
+            );
+        }
+    }
+
+    #[test]
+    fn breadth_first_bubble_matches_eq7() {
+        for (n_pp, n_loop, n_mb) in [(4, 2, 4), (4, 4, 8), (2, 8, 4), (8, 2, 8)] {
+            let s = Schedule::generate(
+                ScheduleKind::BreadthFirst,
+                Placement::looping(n_pp, n_loop),
+                n_mb,
+            )
+            .unwrap();
+            let t = s.exact_timing(1, 2);
+            let expect = bubble_formula(n_pp, n_mb, n_loop);
+            assert!(
+                (t.bubble_overhead() - expect).abs() < 1e-9,
+                "pp={n_pp} loop={n_loop} mb={n_mb}: measured {} expected {expect}",
+                t.bubble_overhead()
+            );
+        }
+    }
+
+    #[test]
+    fn depth_first_bubble_matches_eq7() {
+        for (n_pp, n_loop, n_mb) in [(4, 2, 8), (2, 4, 4), (4, 4, 8)] {
+            let s = Schedule::generate(
+                ScheduleKind::DepthFirst,
+                Placement::looping(n_pp, n_loop),
+                n_mb,
+            )
+            .unwrap();
+            let t = s.exact_timing(1, 2);
+            let expect = bubble_formula(n_pp, n_mb, n_loop);
+            assert!(
+                (t.bubble_overhead() - expect).abs() < 1e-9,
+                "pp={n_pp} loop={n_loop} mb={n_mb}: measured {} expected {expect}",
+                t.bubble_overhead()
+            );
+        }
+    }
+
+    #[test]
+    fn looping_beats_non_looping() {
+        // The point of Figure 4: looped schedules finish sooner per unit
+        // of work. Compare overheads with the same N_mb.
+        let bf = Schedule::generate(
+            ScheduleKind::BreadthFirst,
+            Placement::looping(4, 4),
+            8,
+        )
+        .unwrap();
+        let np = Schedule::generate(ScheduleKind::GPipe, Placement::linear(4), 8).unwrap();
+        assert!(bf.exact_timing(1, 2).bubble_overhead() < np.exact_timing(1, 2).bubble_overhead());
+    }
+
+    #[test]
+    fn makespan_at_least_ideal() {
+        for kind in ScheduleKind::ALL {
+            let p = if kind.supports_looping() {
+                Placement::looping(4, 2)
+            } else {
+                Placement::linear(4)
+            };
+            let s = Schedule::generate(kind, p, 8).unwrap();
+            let t = s.exact_timing(3, 7);
+            assert!(t.makespan() >= t.ideal_per_device(), "{kind}");
+            assert!(t.bubble_overhead() >= 0.0, "{kind}");
+            assert!(t.compute_utilization() <= 1.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn end_of_finds_actions() {
+        let s = Schedule::generate(ScheduleKind::GPipe, Placement::linear(2), 2).unwrap();
+        let t = s.exact_timing(1, 2);
+        assert_eq!(t.end_of(Action::fwd(0, StageId(0))), Some(1));
+        assert_eq!(t.end_of(Action::fwd(9, StageId(0))), None);
+    }
+
+    #[test]
+    fn device_timings_are_in_order() {
+        let s = Schedule::generate(
+            ScheduleKind::BreadthFirst,
+            Placement::looping(4, 2),
+            8,
+        )
+        .unwrap();
+        let t = s.exact_timing(1, 2);
+        for d in 0..4 {
+            for w in t.device_timings(d).windows(2) {
+                assert!(w[0].end <= w[1].start);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Schedule validation: structure + executability.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::action::{Action, Direction};
+use crate::schedule::Schedule;
+
+/// Why a schedule is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An action appears on a device that does not host its stage.
+    WrongDevice {
+        /// The device the action was scheduled on.
+        device: u32,
+        /// The offending action.
+        action: Action,
+        /// The device that hosts the action's stage.
+        expected_device: u32,
+    },
+    /// An action appears more than once.
+    Duplicate {
+        /// The duplicated action.
+        action: Action,
+    },
+    /// An expected action is missing from the schedule.
+    Missing {
+        /// The absent action.
+        action: Action,
+    },
+    /// The per-device orders admit no execution: the head of some
+    /// device's remaining queue can never start.
+    Deadlock {
+        /// The blocked device.
+        device: u32,
+        /// The action at the head of its queue.
+        action: Action,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::WrongDevice {
+                device,
+                action,
+                expected_device,
+            } => write!(
+                f,
+                "action {action} scheduled on device {device} but its stage lives on {expected_device}"
+            ),
+            ValidateError::Duplicate { action } => write!(f, "action {action} appears twice"),
+            ValidateError::Missing { action } => write!(f, "action {action} is missing"),
+            ValidateError::Deadlock { device, action } => write!(
+                f,
+                "deadlock: device {device} is blocked on {action} which can never start"
+            ),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+impl Schedule {
+    /// Checks that the schedule is structurally complete (every
+    /// (micro-batch, stage) has exactly one forward and one backward on
+    /// the hosting device) and executable (the per-device orders do not
+    /// deadlock given the pipeline dependencies).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let placement = self.placement();
+        let mut seen: HashSet<Action> = HashSet::with_capacity(self.num_actions());
+        for (device, actions) in self.devices() {
+            for a in actions {
+                let expected_device = placement.device_of_stage(a.stage);
+                if expected_device != device {
+                    return Err(ValidateError::WrongDevice {
+                        device,
+                        action: *a,
+                        expected_device,
+                    });
+                }
+                if !seen.insert(*a) {
+                    return Err(ValidateError::Duplicate { action: *a });
+                }
+            }
+        }
+        for stage in placement.stages() {
+            for mb in 0..self.num_microbatches() {
+                for dir in [Direction::Forward, Direction::Backward] {
+                    let action = Action {
+                        dir,
+                        microbatch: mb,
+                        stage,
+                    };
+                    if !seen.contains(&action) {
+                        return Err(ValidateError::Missing { action });
+                    }
+                }
+            }
+        }
+        self.try_exact_timing(1, 1).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleKind;
+    use bfpp_parallel::Placement;
+
+    #[test]
+    fn generated_schedules_validate() {
+        for kind in ScheduleKind::ALL {
+            for n_pp in [1u32, 2, 4, 8] {
+                let loops: &[u32] = if kind.supports_looping() {
+                    &[1, 2, 4]
+                } else {
+                    &[1]
+                };
+                for &n_loop in loops {
+                    for n_mb in [1u32, 2, 4, 8, 16] {
+                        let p = Placement::looping(n_pp, n_loop);
+                        match Schedule::generate(kind, p, n_mb) {
+                            Ok(s) => s.validate().unwrap_or_else(|e| {
+                                panic!("{kind} pp={n_pp} loop={n_loop} mb={n_mb}: {e}")
+                            }),
+                            Err(e) => assert!(
+                                kind == ScheduleKind::DepthFirst && n_mb % n_pp != 0,
+                                "unexpected generate error for {kind}: {e}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        use crate::action::Action;
+        use bfpp_parallel::StageId;
+        let a = Action::fwd(1, StageId(2));
+        assert!(ValidateError::Duplicate { action: a }.to_string().contains("twice"));
+        assert!(ValidateError::Missing { action: a }.to_string().contains("missing"));
+        assert!(ValidateError::Deadlock { device: 3, action: a }
+            .to_string()
+            .contains("deadlock"));
+        assert!(ValidateError::WrongDevice {
+            device: 1,
+            action: a,
+            expected_device: 2
+        }
+        .to_string()
+        .contains("stage lives on"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests over random pipeline shapes: every generated
+//! schedule is valid, bubbles match the closed forms, and the schedule
+//! family invariants of the paper hold.
+
+use bfpp_core::{Schedule, ScheduleKind};
+use bfpp_parallel::Placement;
+use proptest::prelude::*;
+
+fn shapes() -> impl Strategy<Value = (u32, u32, u32)> {
+    // (n_pp, n_loop, n_mb_factor): n_mb = factor * n_pp keeps depth-first
+    // generable.
+    (1u32..=8, 1u32..=4, 1u32..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every kind validates for every shape it can be generated for.
+    #[test]
+    fn generated_schedules_are_valid((n_pp, n_loop, factor) in shapes()) {
+        let n_mb = factor * n_pp;
+        for kind in ScheduleKind::ALL {
+            let placement = if kind.supports_looping() {
+                Placement::looping(n_pp, n_loop)
+            } else {
+                Placement::linear(n_pp)
+            };
+            let s = Schedule::generate(kind, placement, n_mb).unwrap();
+            prop_assert!(s.validate().is_ok(), "{kind} pp={n_pp} loop={n_loop} mb={n_mb}");
+        }
+    }
+
+    /// Measured bubble equals (N_PP − 1)/(N_mb · N_loop) exactly for all
+    /// four schedules whenever N_mb ≥ N_PP (Eqs. 3 and 7).
+    #[test]
+    fn bubble_matches_closed_form((n_pp, n_loop, factor) in shapes()) {
+        let n_mb = factor * n_pp;
+        for kind in ScheduleKind::ALL {
+            let (placement, loops) = if kind.supports_looping() {
+                (Placement::looping(n_pp, n_loop), n_loop)
+            } else {
+                (Placement::linear(n_pp), 1)
+            };
+            let s = Schedule::generate(kind, placement, n_mb).unwrap();
+            let t = s.exact_timing(1, 2);
+            let expect = (n_pp - 1) as f64 / (n_mb as f64 * loops as f64);
+            prop_assert!(
+                (t.bubble_overhead() - expect).abs() < 1e-9,
+                "{kind} pp={n_pp} loop={loops} mb={n_mb}: got {} want {expect}",
+                t.bubble_overhead()
+            );
+        }
+    }
+
+    /// Breadth-first FS gather count is 2·N_loop regardless of N_mb; all
+    /// other schedules fragment at least as much.
+    #[test]
+    fn breadth_first_minimizes_fs_gathers((n_pp, n_loop, factor) in shapes()) {
+        let n_mb = factor * n_pp;
+        let p = Placement::looping(n_pp, n_loop);
+        let bf = Schedule::generate(ScheduleKind::BreadthFirst, p, n_mb).unwrap();
+        let df = Schedule::generate(ScheduleKind::DepthFirst, p, n_mb).unwrap();
+        for d in 0..n_pp {
+            prop_assert_eq!(bf.fs_gathers_per_device(d), 2 * n_loop as usize);
+            prop_assert!(df.fs_gathers_per_device(d) >= bf.fs_gathers_per_device(d));
+        }
+    }
+
+    /// Checkpoint peaks: BF = N_mb·N_loop on every device; 1F1B never
+    /// exceeds GPipe.
+    #[test]
+    fn checkpoint_peaks_ordering((n_pp, n_loop, factor) in shapes()) {
+        let n_mb = factor * n_pp;
+        let bf = Schedule::generate(
+            ScheduleKind::BreadthFirst,
+            Placement::looping(n_pp, n_loop),
+            n_mb,
+        )
+        .unwrap();
+        prop_assert_eq!(bf.peak_checkpoints(), n_mb * n_loop);
+        let g = Schedule::generate(ScheduleKind::GPipe, Placement::linear(n_pp), n_mb).unwrap();
+        let o = Schedule::generate(ScheduleKind::OneFOneB, Placement::linear(n_pp), n_mb).unwrap();
+        prop_assert!(o.peak_checkpoints() <= g.peak_checkpoints());
+    }
+
+    /// Timings respect pipeline dependencies: forward of (mb, s) ends
+    /// before forward of (mb, s+1) starts; backward of (mb, s+1) ends
+    /// before backward of (mb, s) starts.
+    #[test]
+    fn timing_respects_dependencies((n_pp, n_loop, factor) in shapes()) {
+        let n_mb = factor * n_pp;
+        let p = Placement::looping(n_pp, n_loop);
+        let s = Schedule::generate(ScheduleKind::BreadthFirst, p, n_mb).unwrap();
+        let t = s.exact_timing(1, 2);
+        let n_stage = p.num_stages();
+        for mb in 0..n_mb {
+            for st in 0..n_stage.saturating_sub(1) {
+                let f_lo = t
+                    .end_of(bfpp_core::Action::fwd(mb, bfpp_parallel::StageId(st)))
+                    .unwrap();
+                let f_hi = t
+                    .end_of(bfpp_core::Action::fwd(mb, bfpp_parallel::StageId(st + 1)))
+                    .unwrap();
+                prop_assert!(f_lo < f_hi);
+                let b_hi = t
+                    .end_of(bfpp_core::Action::bwd(mb, bfpp_parallel::StageId(st + 1)))
+                    .unwrap();
+                let b_lo = t
+                    .end_of(bfpp_core::Action::bwd(mb, bfpp_parallel::StageId(st)))
+                    .unwrap();
+                prop_assert!(b_hi < b_lo);
+            }
+        }
+    }
+}

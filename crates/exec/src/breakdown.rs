@@ -1,0 +1,146 @@
+//! Where did the batch time go?
+//!
+//! Attributes the solved timeline to the categories the paper reasons
+//! about: kernel time, communication serialized into the compute stream
+//! (the non-overlapped overhead), overlapped communication (hidden on the
+//! parallel streams), and compute idle time (pipeline bubble + waiting on
+//! exposed communication of *other* devices).
+
+use bfpp_sim::Timeline;
+
+use crate::lower::{LoweredGraph, OpTag};
+
+/// Per-device-average time attribution for one simulated batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Batch duration, seconds.
+    pub makespan_s: f64,
+    /// Forward/backward kernel seconds on the compute stream.
+    pub kernel_s: f64,
+    /// Communication seconds *serialized into the compute stream*
+    /// (blocking transfers — zero under full overlap).
+    pub inline_comm_s: f64,
+    /// Compute-stream idle seconds (`makespan − kernel − inline_comm`):
+    /// the bubble plus stalls on dependencies.
+    pub idle_s: f64,
+    /// Communication seconds on the parallel DP stream (hidden unless it
+    /// outlasts the compute it overlaps).
+    pub dp_stream_s: f64,
+    /// Communication seconds on the parallel PP stream.
+    pub pp_stream_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Fraction of the makespan the compute stream spent on kernels.
+    pub fn kernel_fraction(&self) -> f64 {
+        if self.makespan_s == 0.0 {
+            0.0
+        } else {
+            self.kernel_s / self.makespan_s
+        }
+    }
+}
+
+/// Computes the per-device-average breakdown of a solved lowering.
+pub fn breakdown(lowered: &LoweredGraph, timeline: &Timeline) -> TimeBreakdown {
+    let n_dev = lowered.compute_resources.len() as f64;
+    let makespan_s = timeline.makespan().as_secs_f64();
+    let mut kernel_s = 0.0;
+    let mut inline_comm_s = 0.0;
+    let mut dp_stream_s = 0.0;
+    let mut pp_stream_s = 0.0;
+
+    for s in timeline.scheduled_ops() {
+        let dur = s.duration().as_secs_f64();
+        let tag = lowered.graph.op(s.op).tag();
+        let on_compute = lowered.compute_resources.contains(&s.resource);
+        match (tag, on_compute) {
+            (OpTag::Compute(_), _) => kernel_s += dur,
+            (_, true) => inline_comm_s += dur,
+            (OpTag::PpSend { .. }, false) => pp_stream_s += dur,
+            (_, false) => dp_stream_s += dur,
+        }
+    }
+    kernel_s /= n_dev;
+    inline_comm_s /= n_dev;
+    dp_stream_s /= n_dev;
+    pp_stream_s /= n_dev;
+
+    TimeBreakdown {
+        makespan_s,
+        kernel_s,
+        inline_comm_s,
+        idle_s: (makespan_s - kernel_s - inline_comm_s).max(0.0),
+        dp_stream_s,
+        pp_stream_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelModel;
+    use crate::lower::lower;
+    use crate::overlap::OverlapConfig;
+    use bfpp_cluster::presets::dgx1_v100;
+    use bfpp_core::ScheduleKind;
+    use bfpp_model::presets::bert_52b;
+    use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+
+    fn run(overlap: OverlapConfig) -> TimeBreakdown {
+        let cfg = ParallelConfig::new(
+            Grid::new(16, 2, 2),
+            Placement::looping(2, 16),
+            BatchConfig::new(4, 1),
+            DataParallelism::FullySharded,
+        );
+        let lowered = lower(
+            &bert_52b(),
+            &dgx1_v100(8),
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            overlap,
+            &KernelModel::v100(),
+        )
+        .unwrap();
+        let t = lowered.graph.solve().unwrap();
+        breakdown(&lowered, &t)
+    }
+
+    #[test]
+    fn full_overlap_has_no_inline_comm() {
+        let b = run(OverlapConfig::full());
+        assert_eq!(b.inline_comm_s, 0.0);
+        assert!(b.dp_stream_s > 0.0, "FS gathers must appear on the DP stream");
+        assert!(b.pp_stream_s > 0.0);
+        assert!(b.kernel_fraction() > 0.5, "{b:?}");
+    }
+
+    #[test]
+    fn no_overlap_serializes_comm() {
+        let b = run(OverlapConfig::none());
+        assert!(b.inline_comm_s > 0.0);
+        assert_eq!(b.dp_stream_s, 0.0);
+        assert_eq!(b.pp_stream_s, 0.0);
+    }
+
+    #[test]
+    fn categories_tile_the_makespan() {
+        for ov in [OverlapConfig::full(), OverlapConfig::none()] {
+            let b = run(ov);
+            let sum = b.kernel_s + b.inline_comm_s + b.idle_s;
+            assert!(
+                (sum - b.makespan_s).abs() < 1e-9 * b.makespan_s.max(1.0),
+                "{b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_overlap_invariant() {
+        let with = run(OverlapConfig::full());
+        let without = run(OverlapConfig::none());
+        assert!((with.kernel_s - without.kernel_s).abs() < 1e-9);
+        assert!(without.makespan_s > with.makespan_s);
+    }
+}

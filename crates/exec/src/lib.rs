@@ -1,0 +1,64 @@
+//! # bfpp-exec — simulated execution and configuration search
+//!
+//! Lowers a complete training configuration — model ([`bfpp_model`]),
+//! cluster ([`bfpp_cluster`]), parallel layout ([`bfpp_parallel`]) and
+//! pipeline schedule ([`bfpp_core`]) — onto the deterministic timeline
+//! solver of [`bfpp_sim`], and measures what the paper measures:
+//!
+//! * batch duration and GPU utilization (%, and Tflop/s per GPU),
+//! * peak memory per device,
+//! * where the time went (compute, pipeline bubble, exposed network).
+//!
+//! The lowering models one pipeline "column" (data- and tensor-parallel
+//! peers behave symmetrically, so their communication costs are charged
+//! analytically from the group sizes): each pipeline device gets a
+//! *compute stream*, a *data-parallel network stream* and a
+//! *pipeline-parallel network stream*, mirroring the parallel CUDA
+//! streams of the paper's Figure 4. Overlap can be disabled per class of
+//! communication ([`OverlapConfig`]) to reproduce the Megatron-LM
+//! baselines, which lacked it (§5.1).
+//!
+//! On top of single-configuration measurement sits [`search`]: the
+//! paper's methodology of trying "a wide variety of configurations in
+//! each case and selecting the fastest one" (§5.1), which regenerates
+//! Figure 5 and Tables E.1–E.3.
+//!
+//! ```
+//! use bfpp_cluster::presets::dgx1_v100;
+//! use bfpp_exec::{simulate, KernelModel, OverlapConfig};
+//! use bfpp_model::presets::bert_52b;
+//! use bfpp_core::ScheduleKind;
+//! use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+//!
+//! let cfg = ParallelConfig::new(
+//!     Grid::new(4, 2, 8),
+//!     Placement::looping(8, 8),
+//!     BatchConfig::new(12, 1),
+//!     DataParallelism::FullySharded,
+//! );
+//! let m = simulate(
+//!     &bert_52b(),
+//!     &dgx1_v100(8),
+//!     &cfg,
+//!     ScheduleKind::BreadthFirst,
+//!     OverlapConfig::full(),
+//!     &KernelModel::v100(),
+//! )
+//! .unwrap();
+//! assert!(m.tflops_per_gpu > 10.0);
+//! ```
+
+mod breakdown;
+mod kernel;
+mod lower;
+mod measure;
+mod memory;
+mod overlap;
+pub mod search;
+
+pub use breakdown::{breakdown, TimeBreakdown};
+pub use kernel::KernelModel;
+pub use lower::{lower, LoweredGraph, OpTag};
+pub use measure::{simulate, Measurement, SimulateError};
+pub use memory::estimate_memory;
+pub use overlap::OverlapConfig;

@@ -1,0 +1,601 @@
+//! Lowering a training configuration to a `bfpp-sim` operation graph.
+//!
+//! One pipeline "column" is simulated (data- and tensor-parallel peers
+//! are symmetric); each pipeline device contributes three FIFO resources,
+//! mirroring the parallel CUDA streams of the paper's Figure 4:
+//!
+//! * `gpu{d}.compute` — forward/backward kernels (tensor-parallel
+//!   all-reduce time is folded in, since it is mostly non-overlapped —
+//!   Appendix A.3.3 footnote 9);
+//! * `gpu{d}.dp` — data-parallel collectives (gradient reduction, weight
+//!   reconstruction);
+//! * `gpu{d}.pp` — pipeline stage-boundary transfers.
+//!
+//! When a class of communication cannot overlap
+//! ([`OverlapConfig`]), its operations are placed directly on the compute
+//! stream instead, serializing with the kernels — which is exactly what a
+//! blocking NCCL call does.
+
+use bfpp_cluster::ClusterSpec;
+use bfpp_collectives::cost;
+use bfpp_core::{Action, Direction, Schedule, ScheduleKind, StageRun};
+use bfpp_model::TransformerConfig;
+use bfpp_parallel::{DataParallelism, ParallelConfig, RankCoord, StageId};
+use bfpp_sim::{OpGraph, OpId, ResourceId, SimDuration};
+
+use crate::kernel::KernelModel;
+use crate::measure::SimulateError;
+use crate::overlap::OverlapConfig;
+
+/// Metadata attached to every simulated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTag {
+    /// A forward or backward kernel of one (micro-batch, stage).
+    Compute(Action),
+    /// A pipeline stage-boundary transfer leaving `from_stage`.
+    PpSend {
+        /// Direction of the pass producing the transfer.
+        dir: Direction,
+        /// Micro-batch being moved.
+        microbatch: u32,
+        /// The stage whose output is being sent.
+        from_stage: StageId,
+    },
+    /// A data-parallel weight reconstruction (all-gather) for a stage.
+    DpGather {
+        /// The stage whose weights are gathered.
+        stage: StageId,
+    },
+    /// A data-parallel gradient reduction for a stage.
+    DpReduce {
+        /// The stage whose gradients are reduced.
+        stage: StageId,
+    },
+}
+
+impl OpTag {
+    /// Single-character glyph for timeline rendering: `F`/`B` for
+    /// kernels, `s` for pipeline sends, `g`/`r` for DP gather/reduce.
+    pub fn glyph(&self) -> char {
+        match self {
+            OpTag::Compute(a) => a.dir.glyph(),
+            OpTag::PpSend { .. } => 's',
+            OpTag::DpGather { .. } => 'g',
+            OpTag::DpReduce { .. } => 'r',
+        }
+    }
+
+    /// Readable label for CSV export.
+    pub fn label(&self) -> String {
+        match self {
+            OpTag::Compute(a) => a.label(),
+            OpTag::PpSend {
+                dir,
+                microbatch,
+                from_stage,
+            } => format!("send-{}{}@s{}", dir.glyph(), microbatch, from_stage.0),
+            OpTag::DpGather { stage } => format!("gather@s{}", stage.0),
+            OpTag::DpReduce { stage } => format!("reduce@s{}", stage.0),
+        }
+    }
+}
+
+/// The lowered operation graph plus the bookkeeping the measurement layer
+/// needs.
+#[derive(Debug)]
+pub struct LoweredGraph {
+    /// The operation graph, ready to solve.
+    pub graph: OpGraph<OpTag>,
+    /// Compute-stream resource per pipeline device.
+    pub compute_resources: Vec<ResourceId>,
+    /// The schedule that was lowered.
+    pub schedule: Schedule,
+    /// Ideal compute seconds per device (all kernels, no waiting).
+    pub ideal_compute_seconds: f64,
+}
+
+struct Durations {
+    fwd: SimDuration,
+    bwd: SimDuration,
+    p2p: SimDuration,
+    dp_gather: SimDuration,
+    dp_reduce_rs: SimDuration,
+    dp_reduce_ar: SimDuration,
+}
+
+/// Seconds for a data-parallel collective over the DP group, two-level
+/// hierarchical when the group has several members per node and spans
+/// nodes.
+fn dp_collective_seconds(
+    cluster: &ClusterSpec,
+    n_dp: u32,
+    n_tp: u32,
+    payload_bytes: f64,
+    all_reduce: bool,
+) -> f64 {
+    let spn = cluster.node.gpus_per_node;
+    let intra = &cluster.node.intra_link;
+    let inter = &cluster.node.inter_link;
+    let per_node = (spn / n_tp).max(1).min(n_dp);
+    let flat = |link| {
+        if all_reduce {
+            cost::all_reduce(link, n_dp, payload_bytes).seconds
+        } else {
+            cost::reduce_scatter(link, n_dp, payload_bytes).seconds
+        }
+    };
+    if n_dp <= per_node {
+        flat(intra)
+    } else if n_dp.is_multiple_of(per_node) && per_node > 1 {
+        let n_inter = n_dp / per_node;
+        if all_reduce {
+            cost::hierarchical_all_reduce(intra, inter, per_node, n_inter, payload_bytes).seconds
+        } else {
+            // Hierarchical reduce-scatter / all-gather: intra phase on the
+            // full payload, inter phase on the per-node shard.
+            cost::reduce_scatter(intra, per_node, payload_bytes).seconds
+                + cost::reduce_scatter(inter, n_inter, payload_bytes / per_node as f64).seconds
+        }
+    } else {
+        flat(inter)
+    }
+}
+
+fn compute_durations(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    kernel: &KernelModel,
+    comm_multiplier: f64,
+) -> Durations {
+    let grid = cfg.grid;
+    let placement = cfg.placement;
+    let s_mb = cfg.batch.microbatch_size;
+    let tokens = s_mb as f64 * model.seq_length as f64;
+    let layers_per_stage = (model.num_layers / placement.num_stages()) as f64;
+    let gpu = &cluster.node.gpu;
+
+    // Kernel time.
+    let fwd_flops =
+        tokens * layers_per_stage * model.fwd_flops_per_token_per_layer() / grid.n_tp as f64;
+    let bwd_flops = tokens
+        * layers_per_stage
+        * (model.bwd_flops_per_token_per_layer() + model.recompute_flops_per_token_per_layer())
+        / grid.n_tp as f64;
+    let fwd_kernel = kernel.seconds(model, s_mb, grid.n_tp, fwd_flops, gpu.peak_fp16_flops);
+    let bwd_kernel = kernel.seconds(model, s_mb, grid.n_tp, bwd_flops, gpu.peak_fp16_flops);
+
+    // Non-overlapped tensor-parallel all-reduces (two per layer in the
+    // forward pass, two more during the backward's recomputation —
+    // Appendix A.3.3 footnote 9).
+    let tp_time = if grid.n_tp > 1 {
+        let payload = 2.0 * tokens * model.hidden_size as f64;
+        2.0 * layers_per_stage
+            * cost::all_reduce(&cluster.node.intra_link, grid.n_tp, payload).seconds
+    } else {
+        0.0
+    };
+
+    // Pipeline stage-boundary transfer: one hidden vector per token in
+    // half precision, sliced by tensor parallelism.
+    let p2p = if grid.n_pp > 1 {
+        let payload = tokens * model.boundary_bytes_per_token() / grid.n_tp as f64;
+        let from = grid.global_rank(RankCoord { dp: 0, tp: 0, pp: 0 });
+        let to = grid.global_rank(RankCoord { dp: 0, tp: 0, pp: 1 });
+        cost::point_to_point(cluster.link_between(from, to), payload).seconds
+    } else {
+        0.0
+    };
+
+    // Data-parallel collectives on one stage's parameter shard.
+    let stage_params =
+        layers_per_stage * model.params_per_layer() as f64 / grid.n_tp as f64;
+    let payload = 2.0 * stage_params; // fp16
+    let (dp_gather, dp_reduce_rs, dp_reduce_ar) = if grid.n_dp > 1 {
+        (
+            dp_collective_seconds(cluster, grid.n_dp, grid.n_tp, payload, false),
+            dp_collective_seconds(cluster, grid.n_dp, grid.n_tp, payload, false),
+            dp_collective_seconds(cluster, grid.n_dp, grid.n_tp, payload, true),
+        )
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+
+    let m = comm_multiplier;
+    Durations {
+        fwd: SimDuration::from_secs_f64(fwd_kernel + tp_time),
+        bwd: SimDuration::from_secs_f64(bwd_kernel + tp_time),
+        p2p: SimDuration::from_secs_f64(p2p * m),
+        dp_gather: SimDuration::from_secs_f64(dp_gather * m),
+        dp_reduce_rs: SimDuration::from_secs_f64(dp_reduce_rs * m),
+        dp_reduce_ar: SimDuration::from_secs_f64(dp_reduce_ar * m),
+    }
+}
+
+/// Lowers one configuration to an operation graph.
+///
+/// # Errors
+///
+/// Returns [`SimulateError`] when the configuration is invalid for the
+/// model/cluster or the schedule cannot be generated.
+pub fn lower(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    kind: ScheduleKind,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+) -> Result<LoweredGraph, SimulateError> {
+    cfg.validate(model, cluster).map_err(SimulateError::Config)?;
+    let schedule = Schedule::generate(kind, cfg.placement, cfg.batch.num_microbatches)
+        .map_err(SimulateError::Schedule)?;
+
+    let d = compute_durations(model, cluster, cfg, kernel, overlap.comm_multiplier);
+    let grid = cfg.grid;
+    let n_pp = grid.n_pp;
+    let n_mb = cfg.batch.num_microbatches;
+    let n_stage = cfg.placement.num_stages();
+
+    let mut graph: OpGraph<OpTag> = OpGraph::new();
+    let compute_resources: Vec<ResourceId> = (0..n_pp)
+        .map(|dev| graph.add_resource(format!("gpu{dev}.compute")))
+        .collect();
+    let dp_resources: Vec<ResourceId> = (0..n_pp)
+        .map(|dev| {
+            if overlap.dp {
+                graph.add_resource(format!("gpu{dev}.dp"))
+            } else {
+                compute_resources[dev as usize]
+            }
+        })
+        .collect();
+    let pp_resources: Vec<ResourceId> = (0..n_pp)
+        .map(|dev| {
+            if overlap.pp {
+                graph.add_resource(format!("gpu{dev}.pp"))
+            } else {
+                compute_resources[dev as usize]
+            }
+        })
+        .collect();
+
+    let idx = |mb: u32, stage: StageId| (mb * n_stage + stage.0) as usize;
+    let mut compute_op: Vec<Option<OpId>> = vec![None; (2 * n_mb * n_stage) as usize];
+    let cidx = |a: &Action| {
+        (match a.dir {
+            Direction::Forward => 0,
+            Direction::Backward => 1,
+        }) * (n_mb * n_stage) as usize
+            + idx(a.microbatch, a.stage)
+    };
+    // Pipeline sends keyed like compute ops.
+    let mut send_op: Vec<Option<OpId>> = vec![None; (2 * n_mb * n_stage) as usize];
+
+    let use_fs = cfg.dp == DataParallelism::FullySharded && grid.n_dp > 1;
+    let last_stage = StageId(n_stage - 1);
+
+    for dev in 0..n_pp {
+        let actions = schedule.device_actions(dev);
+        let runs: Vec<StageRun> = schedule.stage_runs(dev);
+        // Map action index -> run index starting there, and run ends.
+        let mut run_start_at = vec![usize::MAX; actions.len()];
+        let mut run_end_at = vec![usize::MAX; actions.len()];
+        for (k, r) in runs.iter().enumerate() {
+            run_start_at[r.start] = k;
+            run_end_at[r.start + r.len - 1] = k;
+        }
+        // Last compute op of each run (filled during the walk).
+        let mut run_last_op: Vec<Option<OpId>> = vec![None; runs.len()];
+
+        // Per-stage last backward action index (for DP_0/DP_PS reduction).
+        let mut last_bwd_at = vec![usize::MAX; n_stage as usize];
+        for (i, a) in actions.iter().enumerate() {
+            if a.dir == Direction::Backward {
+                last_bwd_at[a.stage.0 as usize] = i;
+            }
+        }
+
+        for (i, a) in actions.iter().enumerate() {
+            // Fully sharded: gather this run's weights before its first
+            // action; double-buffered, so the gather also waits for the
+            // buffer freed by run k-2. Mid-run actions inherit the wait
+            // through the compute stream's FIFO order.
+            let mut extra_dep: Option<OpId> = None;
+            if use_fs && run_start_at[i] != usize::MAX {
+                let k = run_start_at[i];
+                let mut deps: Vec<OpId> = Vec::new();
+                if k >= 2 {
+                    if let Some(prev) = run_last_op[k - 2] {
+                        deps.push(prev);
+                    }
+                }
+                let g = graph.add_op(
+                    dp_resources[dev as usize],
+                    d.dp_gather,
+                    &deps,
+                    OpTag::DpGather { stage: a.stage },
+                );
+                extra_dep = Some(g);
+            }
+
+            let duration = match a.dir {
+                Direction::Forward => d.fwd,
+                Direction::Backward => d.bwd,
+            };
+            let deps: Vec<OpId> = extra_dep.into_iter().collect();
+            let op = graph.add_op(
+                compute_resources[dev as usize],
+                duration,
+                &deps,
+                OpTag::Compute(*a),
+            );
+            compute_op[cidx(a)] = Some(op);
+            if run_end_at[i] != usize::MAX {
+                run_last_op[run_end_at[i]] = Some(op);
+            }
+
+            // Outgoing pipeline transfer, issued right after the kernel in
+            // this device's stream order.
+            let sends_forward = a.dir == Direction::Forward && a.stage != last_stage;
+            let sends_backward = a.dir == Direction::Backward && a.stage.0 > 0;
+            if (sends_forward || sends_backward) && !d.p2p.is_zero() {
+                let send = graph.add_op(
+                    pp_resources[dev as usize],
+                    d.p2p,
+                    &[op],
+                    OpTag::PpSend {
+                        dir: a.dir,
+                        microbatch: a.microbatch,
+                        from_stage: a.stage,
+                    },
+                );
+                send_op[cidx(a)] = Some(send);
+            }
+
+            // Fully sharded: flush (reduce-scatter) gradients at the end
+            // of each backward run.
+            if use_fs && run_end_at[i] != usize::MAX && a.dir == Direction::Backward {
+                graph.add_op(
+                    dp_resources[dev as usize],
+                    d.dp_reduce_rs,
+                    &[op],
+                    OpTag::DpReduce { stage: a.stage },
+                );
+            }
+
+            // DP_0 / DP_PS: one reduction per stage after its last
+            // backward. DP_PS chains the weight all-gather behind it.
+            if !use_fs && grid.n_dp > 1 && last_bwd_at[a.stage.0 as usize] == i {
+                match cfg.dp {
+                    DataParallelism::Unsharded => {
+                        graph.add_op(
+                            dp_resources[dev as usize],
+                            d.dp_reduce_ar,
+                            &[op],
+                            OpTag::DpReduce { stage: a.stage },
+                        );
+                    }
+                    DataParallelism::PartiallySharded => {
+                        let rs = graph.add_op(
+                            dp_resources[dev as usize],
+                            d.dp_reduce_rs,
+                            &[op],
+                            OpTag::DpReduce { stage: a.stage },
+                        );
+                        graph.add_op(
+                            dp_resources[dev as usize],
+                            d.dp_gather,
+                            &[rs],
+                            OpTag::DpGather { stage: a.stage },
+                        );
+                    }
+                    DataParallelism::FullySharded => unreachable!("use_fs covers this"),
+                }
+            }
+        }
+    }
+
+    // Wire cross-device pipeline dependencies.
+    for mb in 0..n_mb {
+        for s in 0..n_stage {
+            let stage = StageId(s);
+            // Forward: fwd(mb, s+1) waits for the transfer out of s (or
+            // directly for fwd(mb, s) when transfers are free / same dev).
+            if s + 1 < n_stage {
+                let consumer = compute_op[cidx(&Action::fwd(mb, StageId(s + 1)))]
+                    .expect("all compute ops created");
+                let producer_fwd = Action::fwd(mb, stage);
+                match send_op[cidx(&producer_fwd)] {
+                    Some(send) => graph.add_dep(consumer, send),
+                    None => {
+                        let p = compute_op[cidx(&producer_fwd)].expect("created");
+                        graph.add_dep(consumer, p);
+                    }
+                }
+            }
+            // Backward: bwd(mb, s-1) waits for the transfer out of s.
+            if s > 0 {
+                let consumer = compute_op[cidx(&Action::bwd(mb, StageId(s - 1)))]
+                    .expect("all compute ops created");
+                let producer_bwd = Action::bwd(mb, stage);
+                match send_op[cidx(&producer_bwd)] {
+                    Some(send) => graph.add_dep(consumer, send),
+                    None => {
+                        let p = compute_op[cidx(&producer_bwd)].expect("created");
+                        graph.add_dep(consumer, p);
+                    }
+                }
+            }
+        }
+    }
+
+    let per_device_kernels =
+        n_mb as u64 * cfg.placement.n_loop() as u64;
+    let ideal_compute_seconds = per_device_kernels as f64 * (d.fwd + d.bwd).as_secs_f64();
+
+    Ok(LoweredGraph {
+        graph,
+        compute_resources,
+        schedule,
+        ideal_compute_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_cluster::presets;
+    use bfpp_model::presets as models;
+    use bfpp_parallel::{BatchConfig, Grid, ParallelConfig, Placement};
+
+    fn simple_cfg() -> ParallelConfig {
+        ParallelConfig::new(
+            Grid::new(4, 2, 8),
+            Placement::looping(8, 8),
+            BatchConfig::new(12, 1),
+            DataParallelism::FullySharded,
+        )
+    }
+
+    #[test]
+    fn lowering_produces_a_solvable_graph() {
+        let g = lower(
+            &models::bert_52b(),
+            &presets::dgx1_v100(8),
+            &simple_cfg(),
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &KernelModel::v100(),
+        )
+        .unwrap();
+        let t = g.graph.solve().expect("lowered graphs are acyclic");
+        assert!(t.makespan().as_secs_f64() > 0.0);
+        // All compute, send, gather and reduce ops exist:
+        // compute = 2 * 12 * 64 stages; sends = transfers between stages.
+        assert!(g.graph.num_ops() > 2 * 12 * 64);
+    }
+
+    #[test]
+    fn overlap_reduces_batch_time() {
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let cfg = simple_cfg();
+        let k = KernelModel::v100();
+        let solve = |ov: OverlapConfig| {
+            lower(&model, &cluster, &cfg, ScheduleKind::BreadthFirst, ov, &k)
+                .unwrap()
+                .graph
+                .solve()
+                .unwrap()
+                .makespan()
+        };
+        let with = solve(OverlapConfig::full());
+        let without = solve(OverlapConfig::none());
+        assert!(
+            with < without,
+            "overlap must help: {with} !< {without}"
+        );
+    }
+
+    #[test]
+    fn no_pipeline_has_no_sends() {
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let cfg = ParallelConfig::new(
+            Grid::new(8, 8, 1),
+            Placement::linear(1),
+            BatchConfig::new(2, 4),
+            DataParallelism::FullySharded,
+        );
+        let g = lower(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::GPipe,
+            OverlapConfig::full(),
+            &KernelModel::v100(),
+        )
+        .unwrap();
+        let sends = g
+            .graph
+            .op_ids()
+            .filter(|id| matches!(g.graph.op(*id).tag(), OpTag::PpSend { .. }))
+            .count();
+        assert_eq!(sends, 0);
+    }
+
+    #[test]
+    fn dp0_emits_one_reduce_per_stage() {
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let cfg = ParallelConfig::new(
+            Grid::new(4, 2, 8),
+            Placement::looping(8, 4),
+            BatchConfig::new(12, 1),
+            DataParallelism::Unsharded,
+        );
+        let g = lower(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &KernelModel::v100(),
+        )
+        .unwrap();
+        let reduces = g
+            .graph
+            .op_ids()
+            .filter(|id| matches!(g.graph.op(*id).tag(), OpTag::DpReduce { .. }))
+            .count();
+        assert_eq!(reduces, 32, "one per stage");
+    }
+
+    #[test]
+    fn fs_with_breadth_first_gathers_twice_per_stage() {
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let cfg = simple_cfg(); // FS, 64 stages, 8 per device
+        let g = lower(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &KernelModel::v100(),
+        )
+        .unwrap();
+        let gathers = g
+            .graph
+            .op_ids()
+            .filter(|id| matches!(g.graph.op(*id).tag(), OpTag::DpGather { .. }))
+            .count();
+        // 2 runs per local stage x 8 local stages x 8 devices.
+        assert_eq!(gathers, 2 * 64);
+        let reduces = g
+            .graph
+            .op_ids()
+            .filter(|id| matches!(g.graph.op(*id).tag(), OpTag::DpReduce { .. }))
+            .count();
+        assert_eq!(reduces, 64, "one flush per stage");
+    }
+
+    #[test]
+    fn tags_have_labels_and_glyphs() {
+        assert_eq!(OpTag::Compute(Action::fwd(0, StageId(0))).glyph(), 'F');
+        assert_eq!(
+            OpTag::DpGather { stage: StageId(3) }.label(),
+            "gather@s3"
+        );
+        assert_eq!(
+            OpTag::PpSend {
+                dir: Direction::Backward,
+                microbatch: 2,
+                from_stage: StageId(1)
+            }
+            .glyph(),
+            's'
+        );
+        assert!(OpTag::DpReduce { stage: StageId(0) }.label().contains("reduce"));
+    }
+}

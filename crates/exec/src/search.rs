@@ -1,0 +1,378 @@
+//! Configuration search: the paper's §5.1 methodology.
+//!
+//! "To ensure a fair comparison, we tested a wide variety of
+//! configurations in each case and selected the fastest one." For each
+//! *method* (the four lines of Figure 5) and each global batch size, we
+//! enumerate every valid combination of tensor/pipeline/data parallelism,
+//! micro-batch shape, loop count and sharding level, simulate each, drop
+//! those that do not fit device memory, and keep the fastest.
+//!
+//! Baseline fidelity: the depth-first method is simulated like the
+//! paper's Megatron-LM baseline — no network overlap, no sharding
+//! (§5.1) — and each method searches the same sharding levels the paper
+//! tried (Tables E.1–E.3 footnote 2: "DP_FS for breadth-first and
+//! non-pipelined, DP_PS for non-looped").
+
+use bfpp_cluster::ClusterSpec;
+use bfpp_core::ScheduleKind;
+use bfpp_model::TransformerConfig;
+use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+
+use crate::kernel::KernelModel;
+use crate::measure::{simulate, Measurement};
+use crate::overlap::OverlapConfig;
+
+/// The four methods compared in Figure 5 and Tables E.1–E.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's breadth-first looping pipeline.
+    BreadthFirst,
+    /// Depth-first looping pipeline (Megatron-LM interleaved baseline).
+    DepthFirst,
+    /// Non-looped pipeline (GPipe / 1F1B).
+    NonLooped,
+    /// No pipeline: data (+ tensor) parallelism only.
+    NoPipeline,
+}
+
+impl Method {
+    /// All methods, paper order.
+    pub const ALL: [Method; 4] = [
+        Method::BreadthFirst,
+        Method::DepthFirst,
+        Method::NonLooped,
+        Method::NoPipeline,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::BreadthFirst => "Breadth-first",
+            Method::DepthFirst => "Depth-first",
+            Method::NonLooped => "Non-looped",
+            Method::NoPipeline => "No pipeline",
+        }
+    }
+
+    /// The schedule kinds this method may use.
+    fn kinds(&self) -> &'static [ScheduleKind] {
+        match self {
+            Method::BreadthFirst => &[ScheduleKind::BreadthFirst],
+            Method::DepthFirst => &[ScheduleKind::DepthFirst],
+            // "Non-looped" tries both classic schedules; "no pipeline"
+            // tries both gradient-accumulation orders (Appendix C:
+            // breadth-first = GPipe order, depth-first = 1F1B order).
+            Method::NonLooped => &[ScheduleKind::GPipe, ScheduleKind::OneFOneB],
+            Method::NoPipeline => &[ScheduleKind::GPipe, ScheduleKind::OneFOneB],
+        }
+    }
+
+    /// The sharding levels the paper tried for this method.
+    fn dp_variants(&self) -> &'static [DataParallelism] {
+        match self {
+            Method::BreadthFirst | Method::NoPipeline => &[
+                DataParallelism::Unsharded,
+                DataParallelism::FullySharded,
+            ],
+            Method::NonLooped => &[
+                DataParallelism::Unsharded,
+                DataParallelism::PartiallySharded,
+            ],
+            // Megatron-LM baseline: unsharded only.
+            Method::DepthFirst => &[DataParallelism::Unsharded],
+        }
+    }
+
+    /// The overlap capability of this method's implementation (§5.1:
+    /// Megatron-LM supports neither data- nor pipeline-parallel overlap,
+    /// and pays synchronization overhead around each transfer).
+    pub fn overlap(&self) -> OverlapConfig {
+        match self {
+            Method::DepthFirst => OverlapConfig::megatron(),
+            _ => OverlapConfig::full(),
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Limits on the configuration enumeration.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Largest micro-batch size tried.
+    pub max_microbatch: u32,
+    /// Largest stages-per-device (loop count) tried.
+    pub max_loop: u32,
+    /// Skip configurations whose op graph would exceed this many compute
+    /// actions (guards the search's own runtime).
+    pub max_actions: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            max_microbatch: 16,
+            max_loop: 32,
+            max_actions: 400_000,
+        }
+    }
+}
+
+/// The winning configuration for one (method, batch) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The method searched.
+    pub method: Method,
+    /// The winning schedule kind.
+    pub kind: ScheduleKind,
+    /// The winning configuration.
+    pub cfg: ParallelConfig,
+    /// The overlap setting used.
+    pub overlap: OverlapConfig,
+    /// Its measurement.
+    pub measurement: Measurement,
+}
+
+fn divisors(n: u32) -> Vec<u32> {
+    (1..=n).filter(|d| n.is_multiple_of(*d)).collect()
+}
+
+/// Enumerates, simulates and ranks every valid configuration of `method`
+/// at `global_batch`; returns the fastest that fits device memory, or
+/// `None` if nothing fits (e.g. batch smaller than the data-parallel
+/// width of every feasible grid).
+pub fn best_config(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    method: Method,
+    global_batch: u64,
+    kernel: &KernelModel,
+    opts: &SearchOptions,
+) -> Option<SearchResult> {
+    let num_gpus = cluster.num_gpus();
+    let spn = cluster.node.gpus_per_node;
+    let overlap = method.overlap();
+    let mut best: Option<SearchResult> = None;
+
+    for n_tp in divisors(spn) {
+        let rest = num_gpus / n_tp;
+        if !num_gpus.is_multiple_of(n_tp) {
+            continue;
+        }
+        let pp_options: Vec<u32> = match method {
+            Method::NoPipeline => vec![1],
+            _ => divisors(rest)
+                .into_iter()
+                .filter(|&pp| pp >= 2 && pp <= model.num_layers)
+                .collect(),
+        };
+        for n_pp in pp_options {
+            let n_dp = rest / n_pp;
+            if !global_batch.is_multiple_of(n_dp as u64) {
+                continue;
+            }
+            let per_replica = (global_batch / n_dp as u64) as u32;
+            for s_mb in divisors(per_replica.min(opts.max_microbatch)) {
+                if !per_replica.is_multiple_of(s_mb) {
+                    continue;
+                }
+                let n_mb = per_replica / s_mb;
+                let loops: Vec<u32> = match method {
+                    Method::BreadthFirst | Method::DepthFirst => (0..)
+                        .map(|i| 1u32 << i)
+                        .take_while(|&l| l <= opts.max_loop)
+                        .filter(|&l| {
+                            let stages = n_pp * l;
+                            stages <= model.num_layers && model.num_layers.is_multiple_of(stages)
+                        })
+                        .collect(),
+                    _ => vec![1],
+                };
+                for n_loop in loops {
+                    if method == Method::DepthFirst && (n_loop < 2 || !n_mb.is_multiple_of(n_pp)) {
+                        continue;
+                    }
+                    let actions = 2 * n_mb as u64 * (n_pp * n_loop) as u64;
+                    if actions > opts.max_actions {
+                        continue;
+                    }
+                    for &kind in method.kinds() {
+                        for &dp in method.dp_variants() {
+                            let cfg = ParallelConfig::new(
+                                Grid::new(n_dp, n_tp, n_pp),
+                                Placement::looping(n_pp, n_loop),
+                                BatchConfig::new(n_mb, s_mb),
+                                dp,
+                            );
+                            let Ok(m) = simulate(model, cluster, &cfg, kind, overlap, kernel)
+                            else {
+                                continue;
+                            };
+                            if !m.fits(cluster.node.gpu.memory_bytes) {
+                                continue;
+                            }
+                            let better = best
+                                .as_ref()
+                                .map(|b| m.tflops_per_gpu > b.measurement.tflops_per_gpu)
+                                .unwrap_or(true);
+                            if better {
+                                best = Some(SearchResult {
+                                    method,
+                                    kind,
+                                    cfg,
+                                    overlap,
+                                    measurement: m,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Runs [`best_config`] over a set of batch sizes — one Figure 5 line.
+pub fn sweep(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    method: Method,
+    batches: &[u64],
+    kernel: &KernelModel,
+    opts: &SearchOptions,
+) -> Vec<(u64, Option<SearchResult>)> {
+    batches
+        .iter()
+        .map(|&b| (b, best_config(model, cluster, method, b, kernel, opts)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_cluster::presets;
+    use bfpp_model::presets as models;
+
+    fn quick_opts() -> SearchOptions {
+        SearchOptions {
+            max_microbatch: 8,
+            max_loop: 16,
+            max_actions: 60_000,
+        }
+    }
+
+    #[test]
+    fn methods_have_labels_and_variants() {
+        for m in Method::ALL {
+            assert!(!m.label().is_empty());
+            assert!(!m.dp_variants().is_empty());
+        }
+        assert_eq!(Method::DepthFirst.overlap(), OverlapConfig::megatron());
+        assert_eq!(Method::BreadthFirst.overlap(), OverlapConfig::full());
+        assert_eq!(Method::BreadthFirst.to_string(), "Breadth-first");
+    }
+
+    #[test]
+    fn breadth_first_wins_at_small_batch_52b() {
+        // The paper's headline (Figure 5a): near β_min, breadth-first
+        // outperforms both the non-looped and depth-first baselines.
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let opts = quick_opts();
+        let b = 9;
+        let bf = best_config(&model, &cluster, Method::BreadthFirst, b, &k, &opts)
+            .expect("breadth-first must have a feasible config at batch 9");
+        // Batch 9 is awkward for the baselines (9 = 3^2): give them their
+        // best nearby batch (8) as the paper's Figure 5a does.
+        let nl = best_config(&model, &cluster, Method::NonLooped, 8, &k, &opts)
+            .expect("non-looped feasible at batch 8");
+        let df = best_config(&model, &cluster, Method::DepthFirst, 8, &k, &opts)
+            .expect("depth-first feasible at batch 8");
+        assert!(
+            bf.measurement.tflops_per_gpu > nl.measurement.tflops_per_gpu,
+            "bf {} !> non-looped {}",
+            bf.measurement.tflops_per_gpu,
+            nl.measurement.tflops_per_gpu
+        );
+        assert!(
+            bf.measurement.tflops_per_gpu > df.measurement.tflops_per_gpu,
+            "bf {} !> depth-first {}",
+            bf.measurement.tflops_per_gpu,
+            df.measurement.tflops_per_gpu
+        );
+        // And the winning config is looped.
+        assert!(bf.cfg.placement.is_looping());
+    }
+
+    #[test]
+    fn no_pipeline_catches_up_at_large_batch() {
+        // Figure 5a: the non-pipelined approach achieves high utilization
+        // only at a high batch size per GPU.
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let opts = quick_opts();
+        let small = best_config(&model, &cluster, Method::NoPipeline, 8, &k, &opts)
+            .expect("feasible")
+            .measurement
+            .tflops_per_gpu;
+        let large = best_config(&model, &cluster, Method::NoPipeline, 512, &k, &opts)
+            .expect("feasible")
+            .measurement
+            .tflops_per_gpu;
+        assert!(
+            large > 3.0 * small,
+            "no-pipeline must be steep in batch size: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_all_batches() {
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let opts = quick_opts();
+        let rows = sweep(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            &[16, 64],
+            &k,
+            &opts,
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|(_, r)| r.is_some()));
+        // Larger batch should not be slower for the same method.
+        let t16 = rows[0].1.as_ref().unwrap().measurement.tflops_per_gpu;
+        let t64 = rows[1].1.as_ref().unwrap().measurement.tflops_per_gpu;
+        assert!(t64 >= t16 * 0.95, "bf 16 -> 64 should not regress: {t16} {t64}");
+    }
+
+    #[test]
+    fn infeasible_batch_returns_none() {
+        // Batch 1 on 64 GPUs with pipeline methods: N_DP must be 1 and the
+        // single micro-batch starves everything — but some config still
+        // exists; instead test a batch that divides nothing.
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let opts = quick_opts();
+        // Batch 7 with no-pipeline: n_dp = 64 required... 7 % 64 != 0 for
+        // every tp/pp split except n_dp = 7 or 1 which don't divide 64.
+        let r = best_config(&model, &cluster, Method::NoPipeline, 7, &k, &opts);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn divisors_helper() {
+        assert_eq!(divisors(8), vec![1, 2, 4, 8]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests over random valid configurations: the simulator
+//! must stay sane for every shape the search can visit.
+
+use bfpp_cluster::presets::dgx1_v100;
+use bfpp_core::ScheduleKind;
+use bfpp_exec::{simulate, KernelModel, OverlapConfig};
+use bfpp_model::presets::bert_6_6b;
+use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use proptest::prelude::*;
+
+/// Random valid configuration on a 2-node (16-GPU) cluster for the 6.6 B
+/// model (32 layers).
+fn configs() -> impl Strategy<Value = (ParallelConfig, ScheduleKind, OverlapConfig)> {
+    // tp in {1,2,4,8}, pp divides rest, stages divide 32.
+    (0u32..4, proptest::sample::select(vec![1u32, 2, 4, 8]))
+        .prop_flat_map(|(tp_pow, _)| {
+            let n_tp = 1 << tp_pow;
+            let rest = 16 / n_tp;
+            let pps: Vec<u32> = (0..5u32)
+                .map(|p| 1 << p)
+                .filter(|pp| *pp <= rest && rest % pp == 0 && *pp <= 32)
+                .collect();
+            (Just(n_tp), proptest::sample::select(pps))
+        })
+        .prop_flat_map(|(n_tp, n_pp)| {
+            let n_dp = 16 / n_tp / n_pp;
+            let loops: Vec<u32> = (0..6u32)
+                .map(|l| 1 << l)
+                .filter(|l| n_pp * l <= 32 && 32 % (n_pp * l) == 0)
+                .collect();
+            (
+                Just(n_tp),
+                Just(n_pp),
+                Just(n_dp),
+                proptest::sample::select(loops),
+                1u32..16,
+                proptest::sample::select(vec![1u32, 2, 4]),
+                proptest::sample::select(vec![
+                    DataParallelism::Unsharded,
+                    DataParallelism::PartiallySharded,
+                    DataParallelism::FullySharded,
+                ]),
+                any::<bool>(),
+                any::<bool>(),
+            )
+        })
+        .prop_map(
+            |(n_tp, n_pp, n_dp, n_loop, n_mb, s_mb, dp, ov_dp, ov_pp)| {
+                let kind = if n_loop > 1 {
+                    ScheduleKind::BreadthFirst
+                } else if n_mb % 2 == 0 {
+                    ScheduleKind::GPipe
+                } else {
+                    ScheduleKind::OneFOneB
+                };
+                let mut overlap = OverlapConfig::full();
+                overlap.dp = ov_dp;
+                overlap.pp = ov_pp;
+                (
+                    ParallelConfig::new(
+                        Grid::new(n_dp, n_tp, n_pp),
+                        Placement::looping(n_pp, n_loop),
+                        BatchConfig::new(n_mb, s_mb),
+                        dp,
+                    ),
+                    kind,
+                    overlap,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every valid configuration simulates to finite, positive, bounded
+    /// metrics.
+    #[test]
+    fn simulation_metrics_are_sane((cfg, kind, overlap) in configs()) {
+        let model = bert_6_6b();
+        let cluster = dgx1_v100(2);
+        let m = simulate(&model, &cluster, &cfg, kind, overlap, &KernelModel::v100())
+            .expect("valid config");
+        prop_assert!(m.batch_seconds > 0.0 && m.batch_seconds.is_finite());
+        prop_assert!(m.tflops_per_gpu > 0.0);
+        prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        prop_assert!(m.compute_busy > 0.0 && m.compute_busy <= 1.0);
+        prop_assert!(m.memory_bytes > 0.0 && m.memory_bytes.is_finite());
+        // Utilization can never exceed the busy fraction of the compute
+        // stream (kernels run below peak).
+        prop_assert!(m.utilization <= m.compute_busy + 1e-9);
+    }
+
+    /// Removing overlap never makes a configuration faster.
+    #[test]
+    fn overlap_is_never_harmful((cfg, kind, _) in configs()) {
+        let model = bert_6_6b();
+        let cluster = dgx1_v100(2);
+        let k = KernelModel::v100();
+        let with = simulate(&model, &cluster, &cfg, kind, OverlapConfig::full(), &k).unwrap();
+        let without = simulate(&model, &cluster, &cfg, kind, OverlapConfig::none(), &k).unwrap();
+        prop_assert!(
+            with.batch_seconds <= without.batch_seconds * (1.0 + 1e-9),
+            "overlap slowed things down: {} vs {}",
+            with.batch_seconds,
+            without.batch_seconds
+        );
+    }
+
+    /// The Megatron baseline (penalized blocking comm) is never faster
+    /// than the plain blocking model.
+    #[test]
+    fn megatron_penalty_is_monotone((cfg, kind, _) in configs()) {
+        let model = bert_6_6b();
+        let cluster = dgx1_v100(2);
+        let k = KernelModel::v100();
+        let plain = simulate(&model, &cluster, &cfg, kind, OverlapConfig::none(), &k).unwrap();
+        let megatron =
+            simulate(&model, &cluster, &cfg, kind, OverlapConfig::megatron(), &k).unwrap();
+        prop_assert!(megatron.batch_seconds >= plain.batch_seconds * (1.0 - 1e-9));
+    }
+}

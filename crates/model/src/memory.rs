@@ -1,0 +1,220 @@
+//! Memory-footprint formulas (paper Appendix A.2).
+//!
+//! All results are in bytes. "State memory" covers the training state
+//! (fp32 master weights + Adam momenta) and the half-precision weight and
+//! gradient buffers; "activation memory" covers layer activations and
+//! their gradients; "checkpoint memory" covers activation checkpoints
+//! retained between the forward and backward pass of each micro-batch.
+
+use crate::transformer::TransformerConfig;
+
+/// A (low, high) range of state-memory estimates, reflecting the paper's
+/// "(12 to 20)" and "(2 or 4)" bytes-per-parameter brackets, which depend
+/// on whether gradients can be reduced immediately and buffers reused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateMemoryRange {
+    /// Optimistic estimate (immediate gradient reduction, shared buffers).
+    pub low: f64,
+    /// Conservative estimate.
+    pub high: f64,
+}
+
+impl StateMemoryRange {
+    /// Midpoint of the range (a reasonable single figure for search).
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+}
+
+/// Eq. (10): unsharded data parallelism (`DP_0`) state memory per device,
+/// `(12 to 20) · N_params / (N_PP · N_TP)` bytes.
+///
+/// # Panics
+///
+/// Panics if `n_pp` or `n_tp` is zero.
+pub fn state_memory_dp0_bytes(params: u64, n_pp: u32, n_tp: u32) -> StateMemoryRange {
+    assert!(n_pp > 0 && n_tp > 0, "parallel degrees must be positive");
+    let per_device = params as f64 / (n_pp as f64 * n_tp as f64);
+    StateMemoryRange {
+        low: 12.0 * per_device,
+        high: 20.0 * per_device,
+    }
+}
+
+/// Eq. (11): partially sharded data parallelism (`DP_PS`, ZeRO stage 2)
+/// state memory per device, `(2 or 4) · N_params / (N_PP · N_TP)` bytes
+/// (given enough data parallelism; the half-precision buffers dominate).
+/// The low figure applies when gradients can be reduced immediately
+/// (breadth-first schedule or a single micro-batch).
+///
+/// # Panics
+///
+/// Panics if `n_pp` or `n_tp` is zero.
+pub fn state_memory_ps_bytes(params: u64, n_pp: u32, n_tp: u32) -> StateMemoryRange {
+    assert!(n_pp > 0 && n_tp > 0, "parallel degrees must be positive");
+    let per_device = params as f64 / (n_pp as f64 * n_tp as f64);
+    StateMemoryRange {
+        low: 2.0 * per_device,
+        high: 4.0 * per_device,
+    }
+}
+
+/// Eq. (12): fully sharded data parallelism (`DP_FS`, ZeRO stage 3) state
+/// memory per device, `8 · N_params / (N_layers · N_TP)` bytes — only the
+/// two active layers keep half-precision weight and gradient buffers
+/// resident (2 layers × 2 buffers × 2 bytes).
+///
+/// # Panics
+///
+/// Panics if `n_layers` or `n_tp` is zero.
+pub fn state_memory_fs_bytes(params: u64, n_layers: u32, n_tp: u32) -> StateMemoryRange {
+    assert!(
+        n_layers > 0 && n_tp > 0,
+        "layer count and N_TP must be positive"
+    );
+    let v = 8.0 * params as f64 / (n_layers as f64 * n_tp as f64);
+    StateMemoryRange { low: v, high: v }
+}
+
+/// Eq. (13): peak activation (+ gradient) memory for one layer and one
+/// micro-batch of size `s_mb`, under tensor parallelism `n_tp`:
+///
+/// `S_seq · S_mb · S_hidden · (10 + 24/N_TP + 5·S_seq·N_heads/(S_hidden·N_TP))`
+///
+/// # Panics
+///
+/// Panics if `n_tp` or `s_mb` is zero.
+pub fn activation_memory_bytes(model: &TransformerConfig, s_mb: u32, n_tp: u32) -> f64 {
+    assert!(n_tp > 0, "N_TP must be positive");
+    assert!(s_mb > 0, "micro-batch size must be positive");
+    let seq = model.seq_length as f64;
+    let h = model.hidden_size as f64;
+    let heads = model.num_heads as f64;
+    let ntp = n_tp as f64;
+    seq * s_mb as f64 * h * (10.0 + 24.0 / ntp + 5.0 * seq * heads / (h * ntp))
+}
+
+/// Eq. (14) inner factor: bytes of one activation checkpoint (one layer,
+/// one micro-batch): `2 · S_seq · S_mb · S_hidden / N_TP` (stored in half
+/// precision).
+///
+/// The *number* of live checkpoints depends on the pipeline schedule and
+/// is computed in `bfpp-core`; multiply by this figure.
+///
+/// # Panics
+///
+/// Panics if `n_tp` or `s_mb` is zero.
+pub fn checkpoint_memory_per_layer_bytes(model: &TransformerConfig, s_mb: u32, n_tp: u32) -> f64 {
+    assert!(n_tp > 0, "N_TP must be positive");
+    assert!(s_mb > 0, "micro-batch size must be positive");
+    2.0 * model.seq_length as f64 * s_mb as f64 * model.hidden_size as f64 / n_tp as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    const MIB: f64 = 1024.0 * 1024.0;
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn gpt3_activation_memory_matches_paper() {
+        // Paper A.2.2: "GPT-3 uses 552 MB per sample" (S_mb = 1, N_TP = 8).
+        let m = presets::gpt3();
+        let bytes = activation_memory_bytes(&m, 1, 8);
+        assert!(
+            (bytes / MIB - 552.0).abs() < 1.0,
+            "got {} MiB",
+            bytes / MIB
+        );
+    }
+
+    #[test]
+    fn one_t_activation_memory_matches_paper() {
+        // Paper A.2.2: "1T uses 1050 MB per sample".
+        let m = presets::one_t();
+        let bytes = activation_memory_bytes(&m, 1, 8);
+        assert!(
+            (bytes / MIB - 1050.0).abs() < 2.0,
+            "got {} MiB",
+            bytes / MIB
+        );
+    }
+
+    #[test]
+    fn gpt3_checkpoint_memory_at_beta_min_matches_paper() {
+        // Paper A.2.2: at β_min (N_mb = N_PP = 4, S_mb = 1, N_TP = 8) with
+        // GPipe/BF the checkpoints use N_mb·N_layers/N_PP ·
+        // 2·S_seq·S_mb·S_hidden/N_TP = 576 MB for GPT-3.
+        let m = presets::gpt3();
+        let per_layer = checkpoint_memory_per_layer_bytes(&m, 1, 8);
+        let count = 4.0 * m.num_layers as f64 / 4.0;
+        assert!(
+            (per_layer * count / MIB - 576.0).abs() < 1.0,
+            "got {} MiB",
+            per_layer * count / MIB
+        );
+    }
+
+    #[test]
+    fn one_t_checkpoint_memory_at_beta_min_matches_paper() {
+        // Paper A.2.2: 1600 MB for 1T.
+        let m = presets::one_t();
+        let per_layer = checkpoint_memory_per_layer_bytes(&m, 1, 8);
+        let count = 4.0 * m.num_layers as f64 / 4.0;
+        assert!(
+            (per_layer * count / MIB - 1600.0).abs() < 2.0,
+            "got {} MiB",
+            per_layer * count / MIB
+        );
+    }
+
+    #[test]
+    fn gpt3_state_memory_ps_matches_paper() {
+        // Paper A.2.1: GPT-3 with N_TP = 8, N_PP = 4 and DP_PS: 10 or 20 GB.
+        // The paper quotes decimal-ish GB on the nominal 175e9 parameters.
+        let r = state_memory_ps_bytes(175_000_000_000, 4, 8);
+        assert!((r.low / GIB - 10.0).abs() < 1.0, "low = {} GiB", r.low / GIB);
+        assert!(
+            (r.high / GIB - 20.0).abs() < 1.0,
+            "high = {} GiB",
+            r.high / GIB
+        );
+    }
+
+    #[test]
+    fn one_t_state_memory_fs_matches_paper() {
+        // Paper A.2.1: 1T with DP_FS needs about 7 GB.
+        let m = presets::one_t();
+        let r = state_memory_fs_bytes(m.total_params(), m.num_layers, 8);
+        assert!(
+            (r.low / GIB - 7.0).abs() < 1.0,
+            "got {} GiB",
+            r.low / GIB
+        );
+        assert_eq!(r.low, r.high);
+    }
+
+    #[test]
+    fn dp0_brackets_are_wider_than_ps() {
+        let r0 = state_memory_dp0_bytes(1_000_000, 2, 2);
+        let rps = state_memory_ps_bytes(1_000_000, 2, 2);
+        assert!(r0.low > rps.high);
+        assert_eq!(r0.mid(), (r0.low + r0.high) / 2.0);
+    }
+
+    #[test]
+    fn fs_memory_independent_of_pp() {
+        let m = presets::gpt3();
+        let a = state_memory_fs_bytes(m.total_params(), m.num_layers, 8);
+        // No N_PP argument at all: sharding is over layers.
+        assert!(a.low > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn activation_memory_rejects_zero_tp() {
+        activation_memory_bytes(&presets::gpt3(), 1, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Micro-batching configuration.
+
+use std::fmt;
+
+/// How one data-parallel replica's share of the batch is split into
+/// sequential micro-batches.
+///
+/// The replica processes `num_microbatches` (`N_mb`) micro-batches of
+/// `microbatch_size` (`S_mb`) samples each; the global batch is
+/// `B = N_DP · N_mb · S_mb`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchConfig {
+    /// Sequential micro-batches per replica (`N_mb`).
+    pub num_microbatches: u32,
+    /// Samples per micro-batch (`S_mb`).
+    pub microbatch_size: u32,
+}
+
+impl BatchConfig {
+    /// Creates a batch configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is zero.
+    pub fn new(num_microbatches: u32, microbatch_size: u32) -> Self {
+        assert!(num_microbatches > 0, "N_mb must be positive");
+        assert!(microbatch_size > 0, "S_mb must be positive");
+        BatchConfig {
+            num_microbatches,
+            microbatch_size,
+        }
+    }
+
+    /// Samples processed per replica per step: `N_mb · S_mb`.
+    pub fn samples_per_replica(&self) -> u64 {
+        self.num_microbatches as u64 * self.microbatch_size as u64
+    }
+
+    /// Whether the pipeline can overlap its stage-boundary transfers with
+    /// computation: requires at least one extra micro-batch beyond the
+    /// pipeline depth (`N_mb ≥ N_PP + 1`, §3.2/§4.2 — a micro-batch cannot
+    /// take part in computation while being transferred).
+    pub fn allows_pp_overlap(&self, n_pp: u32) -> bool {
+        self.num_microbatches > n_pp
+    }
+
+    /// Whether the pipeline can keep every device busy at the steady
+    /// state (`N_mb ≥ N_PP`).
+    pub fn fills_pipeline(&self, n_pp: u32) -> bool {
+        self.num_microbatches >= n_pp
+    }
+}
+
+impl fmt::Display for BatchConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} micro-batches x {} samples",
+            self.num_microbatches, self.microbatch_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_per_replica_multiplies() {
+        assert_eq!(BatchConfig::new(9, 2).samples_per_replica(), 18);
+    }
+
+    #[test]
+    fn overlap_needs_one_extra_microbatch() {
+        // §5.2: the paper runs the 52 B model at batch 9 = N_PP(8) + 1
+        // "to allow for pipeline-parallel network overlap".
+        let b = BatchConfig::new(9, 1);
+        assert!(b.allows_pp_overlap(8));
+        assert!(!BatchConfig::new(8, 1).allows_pp_overlap(8));
+    }
+
+    #[test]
+    fn pipeline_fill() {
+        assert!(BatchConfig::new(8, 1).fills_pipeline(8));
+        assert!(!BatchConfig::new(7, 1).fills_pipeline(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "N_mb")]
+    fn zero_microbatches_rejected() {
+        BatchConfig::new(0, 1);
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        assert_eq!(BatchConfig::new(4, 2).to_string(), "4 micro-batches x 2 samples");
+    }
+}

@@ -1,0 +1,149 @@
+//! Data-parallel sharding levels (paper §3.1, Eqs. 10–12).
+
+use std::fmt;
+
+use bfpp_model::{
+    state_memory_dp0_bytes, state_memory_fs_bytes, state_memory_ps_bytes, StateMemoryRange,
+};
+
+/// The data-parallel variant.
+///
+/// In ZeRO terms (Rajbhandari et al. 2019): `Unsharded` keeps the whole
+/// training state on every replica; `PartiallySharded` is ZeRO stage 2
+/// (optimizer state + gradients sharded); `FullySharded` is ZeRO stage 3
+/// (weights sharded too, reconstructed around each use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataParallelism {
+    /// `DP_0`: plain all-reduce data parallelism.
+    Unsharded,
+    /// `DP_PS`: partially sharded (reduce-scatter gradients, all-gather
+    /// updated weights).
+    PartiallySharded,
+    /// `DP_FS`: fully sharded — weights live as shards and are
+    /// reconstructed (all-gathered) before each forward *and* backward
+    /// use, then dropped; gradients are reduce-scattered after last use.
+    FullySharded,
+}
+
+impl DataParallelism {
+    /// All variants, in increasing sharding order.
+    pub const ALL: [DataParallelism; 3] = [
+        DataParallelism::Unsharded,
+        DataParallelism::PartiallySharded,
+        DataParallelism::FullySharded,
+    ];
+
+    /// State-memory estimate per device for `params` parameters hosted on
+    /// this device group (Eqs. 10–12). `n_layers` is the total layer count
+    /// (used by the fully sharded estimate, which keeps only ~2 active
+    /// layers resident).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any degree argument is zero.
+    pub fn state_memory_bytes(
+        &self,
+        params: u64,
+        n_layers: u32,
+        n_pp: u32,
+        n_tp: u32,
+    ) -> StateMemoryRange {
+        match self {
+            DataParallelism::Unsharded => state_memory_dp0_bytes(params, n_pp, n_tp),
+            DataParallelism::PartiallySharded => state_memory_ps_bytes(params, n_pp, n_tp),
+            DataParallelism::FullySharded => state_memory_fs_bytes(params, n_layers, n_tp),
+        }
+    }
+
+    /// Whether weights must be gathered (reconstructed) before every use
+    /// of a layer — true only for the fully sharded variant.
+    pub fn gathers_weights_per_use(&self) -> bool {
+        matches!(self, DataParallelism::FullySharded)
+    }
+
+    /// Bytes of *gradient reduction* traffic per parameter of a layer, per
+    /// reduction event: half-precision gradients, all-reduce for `DP_0`
+    /// (≈8 bytes/param counted in+out at large `N_DP`) or reduce-scatter
+    /// for the sharded variants (≈4 bytes/param). The paper's "8 bytes per
+    /// parameter per batch" (A.3.1) is the sum of reduction and
+    /// reconstruction for the sharded variants.
+    pub fn reduce_payload_bytes(&self, params: u64) -> f64 {
+        // Payload handed to the collective: fp16 gradients.
+        2.0 * params as f64
+    }
+
+    /// Bytes of *weight reconstruction* payload per parameter of a layer
+    /// per gather event: fp16 weights all-gathered. Zero for `DP_0`, which
+    /// keeps full replicas and updates them redundantly.
+    pub fn gather_payload_bytes(&self, params: u64) -> f64 {
+        match self {
+            DataParallelism::Unsharded => 0.0,
+            _ => 2.0 * params as f64,
+        }
+    }
+
+    /// Short label used in tables (matching the paper's "Sharded" column:
+    /// `DP_0` = ✗, sharded variants = ✓).
+    pub fn is_sharded(&self) -> bool {
+        !matches!(self, DataParallelism::Unsharded)
+    }
+}
+
+impl fmt::Display for DataParallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataParallelism::Unsharded => "DP_0",
+            DataParallelism::PartiallySharded => "DP_PS",
+            DataParallelism::FullySharded => "DP_FS",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_ordering_dp0_ps_fs() {
+        // For a deep model, sharding strictly reduces state memory:
+        // DP_0 > DP_PS > DP_FS.
+        let params = 12u64 * 64 * 8192 * 8192;
+        let m0 = DataParallelism::Unsharded.state_memory_bytes(params, 64, 4, 8);
+        let mps = DataParallelism::PartiallySharded.state_memory_bytes(params, 64, 4, 8);
+        let mfs = DataParallelism::FullySharded.state_memory_bytes(params, 64, 4, 8);
+        assert!(m0.low > mps.high);
+        assert!(mps.low > mfs.high);
+    }
+
+    #[test]
+    fn only_fs_gathers_per_use() {
+        assert!(!DataParallelism::Unsharded.gathers_weights_per_use());
+        assert!(!DataParallelism::PartiallySharded.gathers_weights_per_use());
+        assert!(DataParallelism::FullySharded.gathers_weights_per_use());
+    }
+
+    #[test]
+    fn payloads_are_half_precision() {
+        let p = 1000u64;
+        for dp in DataParallelism::ALL {
+            assert_eq!(dp.reduce_payload_bytes(p), 2000.0);
+        }
+        assert_eq!(DataParallelism::Unsharded.gather_payload_bytes(p), 0.0);
+        assert_eq!(DataParallelism::FullySharded.gather_payload_bytes(p), 2000.0);
+    }
+
+    #[test]
+    fn sharded_flag_matches_paper_tables() {
+        assert!(!DataParallelism::Unsharded.is_sharded());
+        assert!(DataParallelism::PartiallySharded.is_sharded());
+        assert!(DataParallelism::FullySharded.is_sharded());
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(DataParallelism::Unsharded.to_string(), "DP_0");
+        assert_eq!(DataParallelism::PartiallySharded.to_string(), "DP_PS");
+        assert_eq!(DataParallelism::FullySharded.to_string(), "DP_FS");
+    }
+}

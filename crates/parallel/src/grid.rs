@@ -1,0 +1,208 @@
+//! The 3-d device grid and its rank mapping.
+
+use std::fmt;
+
+use bfpp_cluster::GlobalRank;
+
+/// The `N_DP × N_TP × N_PP` device grid.
+///
+/// The mapping onto global ranks places tensor parallelism innermost
+/// (consecutive ranks, so a TP group always shares a node and its NVLink),
+/// data parallelism next, and pipeline parallelism outermost:
+///
+/// `global = tp + N_TP · (dp + N_DP · pp)`
+///
+/// This matches Megatron-LM's default order and the paper's assumption
+/// that TP is intra-node while DP and PP may cross nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Grid {
+    /// Data-parallel degree (`N_DP`).
+    pub n_dp: u32,
+    /// Tensor-parallel degree (`N_TP`).
+    pub n_tp: u32,
+    /// Pipeline-parallel degree (`N_PP`).
+    pub n_pp: u32,
+}
+
+/// A device's coordinates on the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RankCoord {
+    /// Data-parallel rank, `0..N_DP`.
+    pub dp: u32,
+    /// Tensor-parallel rank, `0..N_TP`.
+    pub tp: u32,
+    /// Pipeline-parallel rank, `0..N_PP`.
+    pub pp: u32,
+}
+
+impl Grid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any degree is zero.
+    pub fn new(n_dp: u32, n_tp: u32, n_pp: u32) -> Self {
+        assert!(
+            n_dp > 0 && n_tp > 0 && n_pp > 0,
+            "all parallel degrees must be positive"
+        );
+        Grid { n_dp, n_tp, n_pp }
+    }
+
+    /// Total devices: `N_DP · N_TP · N_PP`.
+    pub fn num_gpus(&self) -> u32 {
+        self.n_dp * self.n_tp * self.n_pp
+    }
+
+    /// Maps grid coordinates to the global rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn global_rank(&self, coord: RankCoord) -> GlobalRank {
+        assert!(coord.dp < self.n_dp, "dp coordinate out of range");
+        assert!(coord.tp < self.n_tp, "tp coordinate out of range");
+        assert!(coord.pp < self.n_pp, "pp coordinate out of range");
+        GlobalRank(coord.tp + self.n_tp * (coord.dp + self.n_dp * coord.pp))
+    }
+
+    /// Maps a global rank back to grid coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn coord(&self, rank: GlobalRank) -> RankCoord {
+        assert!(rank.0 < self.num_gpus(), "rank out of range");
+        let tp = rank.0 % self.n_tp;
+        let rest = rank.0 / self.n_tp;
+        let dp = rest % self.n_dp;
+        let pp = rest / self.n_dp;
+        RankCoord { dp, tp, pp }
+    }
+
+    /// The tensor-parallel group containing `(dp, pp)`: `N_TP` consecutive
+    /// global ranks.
+    pub fn tp_group(&self, dp: u32, pp: u32) -> Vec<GlobalRank> {
+        (0..self.n_tp)
+            .map(|tp| self.global_rank(RankCoord { dp, tp, pp }))
+            .collect()
+    }
+
+    /// The data-parallel group containing `(tp, pp)`: the ranks that hold
+    /// replicas (or shards) of the same stage slice.
+    pub fn dp_group(&self, tp: u32, pp: u32) -> Vec<GlobalRank> {
+        (0..self.n_dp)
+            .map(|dp| self.global_rank(RankCoord { dp, tp, pp }))
+            .collect()
+    }
+
+    /// The pipeline group containing `(dp, tp)`: the ranks a micro-batch
+    /// visits, in pipeline order.
+    pub fn pp_group(&self, dp: u32, tp: u32) -> Vec<GlobalRank> {
+        (0..self.n_pp)
+            .map(|pp| self.global_rank(RankCoord { dp, tp, pp }))
+            .collect()
+    }
+
+    /// Iterates over all coordinates, global-rank order.
+    pub fn coords(&self) -> impl Iterator<Item = RankCoord> + '_ {
+        (0..self.num_gpus()).map(|r| self.coord(GlobalRank(r)))
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DPxTPxPP = {}x{}x{} ({} GPUs)",
+            self.n_dp,
+            self.n_tp,
+            self.n_pp,
+            self.num_gpus()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_rank_mapping() {
+        let g = Grid::new(4, 2, 8);
+        for r in 0..g.num_gpus() {
+            let coord = g.coord(GlobalRank(r));
+            assert_eq!(g.global_rank(coord), GlobalRank(r));
+        }
+    }
+
+    #[test]
+    fn tp_groups_are_consecutive_ranks() {
+        let g = Grid::new(2, 4, 2);
+        let group = g.tp_group(1, 0);
+        let base = group[0].0;
+        for (i, r) in group.iter().enumerate() {
+            assert_eq!(r.0, base + i as u32);
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_grid() {
+        let g = Grid::new(3, 2, 4);
+        // Every rank appears in exactly one tp group.
+        let mut seen = vec![false; g.num_gpus() as usize];
+        for dp in 0..g.n_dp {
+            for pp in 0..g.n_pp {
+                for r in g.tp_group(dp, pp) {
+                    assert!(!seen[r.0 as usize], "rank {} duplicated", r.0);
+                    seen[r.0 as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn pp_group_strides_are_largest() {
+        // Pipeline outermost: the stride between consecutive pipeline
+        // ranks is N_TP * N_DP.
+        let g = Grid::new(4, 2, 8);
+        let group = g.pp_group(0, 0);
+        for w in group.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, g.n_tp * g.n_dp);
+        }
+    }
+
+    #[test]
+    fn dp_group_stride_is_n_tp() {
+        let g = Grid::new(4, 2, 8);
+        let group = g.dp_group(1, 3);
+        for w in group.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, g.n_tp);
+        }
+    }
+
+    #[test]
+    fn coords_iterates_all() {
+        let g = Grid::new(2, 2, 2);
+        assert_eq!(g.coords().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_degree_rejected() {
+        Grid::new(0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_out_of_range_rejected() {
+        let g = Grid::new(2, 2, 2);
+        g.global_rank(RankCoord { dp: 2, tp: 0, pp: 0 });
+    }
+
+    #[test]
+    fn display_shows_shape() {
+        assert!(Grid::new(4, 2, 8).to_string().contains("4x2x8"));
+    }
+}

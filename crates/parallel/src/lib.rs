@@ -1,0 +1,288 @@
+//! # bfpp-parallel — parallelism configuration
+//!
+//! The vocabulary shared by the schedule generators (`bfpp-core`), the
+//! performance simulator (`bfpp-exec`) and the real training substrate
+//! (`bfpp-train`):
+//!
+//! * [`Grid`] — the 3-d device grid `N_DP × N_TP × N_PP` and its mapping
+//!   onto the global ranks of a [`bfpp_cluster::ClusterSpec`] (tensor
+//!   parallelism innermost so it stays on NVLink, as in Megatron-LM);
+//! * [`Placement`] — how the model's layers are divided into pipeline
+//!   stages, either the standard one-stage-per-device linear placement or
+//!   the paper's *looping* placement (Figure 3) with
+//!   `N_loop = N_stage / N_PP` stages per device;
+//! * [`BatchConfig`] — micro-batch count and size, and the paper's key
+//!   metric β, the batch size per GPU;
+//! * [`DataParallelism`] — the three sharding levels `DP_0`, `DP_PS`
+//!   (ZeRO-2) and `DP_FS` (ZeRO-3), with their memory and communication
+//!   characteristics (Eqs. 10–12, §3.1);
+//! * [`ParallelConfig`] — a validated combination of all of the above for
+//!   a given model and cluster.
+//!
+//! ```
+//! use bfpp_cluster::presets::dgx1_v100;
+//! use bfpp_model::presets::bert_52b;
+//! use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+//!
+//! // The Table E.1 breadth-first best-at-48: N_PP=8, N_TP=2, S_mb=1,
+//! // N_mb=12, 8 stages/device, fully sharded.
+//! let cfg = ParallelConfig::new(
+//!     Grid::new(4, 2, 8),
+//!     Placement::looping(8, 8),
+//!     BatchConfig::new(12, 1),
+//!     DataParallelism::FullySharded,
+//! );
+//! let cluster = dgx1_v100(8);
+//! let model = bert_52b();
+//! cfg.validate(&model, &cluster).expect("a valid paper configuration");
+//! assert_eq!(cfg.global_batch_size(), 48);
+//! ```
+
+mod batch;
+mod dp;
+mod grid;
+mod placement;
+
+pub use batch::BatchConfig;
+pub use dp::DataParallelism;
+pub use grid::{Grid, RankCoord};
+pub use placement::{Placement, StageId};
+
+use bfpp_cluster::ClusterSpec;
+use bfpp_model::TransformerConfig;
+
+/// A fully specified parallel training configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParallelConfig {
+    /// The device grid.
+    pub grid: Grid,
+    /// Layer-to-stage placement.
+    pub placement: Placement,
+    /// Micro-batching.
+    pub batch: BatchConfig,
+    /// Data-parallel sharding level.
+    pub dp: DataParallelism,
+}
+
+/// Why a [`ParallelConfig`] is invalid for a given model and cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Grid size does not equal the cluster's GPU count.
+    GridClusterMismatch {
+        /// GPUs required by the grid.
+        grid: u32,
+        /// GPUs present in the cluster.
+        cluster: u32,
+    },
+    /// Tensor-parallel group would span nodes.
+    TensorParallelSpansNodes {
+        /// Requested tensor-parallel degree.
+        n_tp: u32,
+        /// GPUs per node in the cluster.
+        gpus_per_node: u32,
+    },
+    /// The placement's pipeline degree differs from the grid's.
+    PlacementGridMismatch {
+        /// Pipeline degree in the placement.
+        placement: u32,
+        /// Pipeline degree in the grid.
+        grid: u32,
+    },
+    /// Layers cannot be divided evenly into the requested stages.
+    UnevenStages {
+        /// Model layers.
+        layers: u32,
+        /// Requested stage count.
+        stages: u32,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::GridClusterMismatch { grid, cluster } => {
+                write!(f, "grid needs {grid} GPUs but the cluster has {cluster}")
+            }
+            ConfigError::TensorParallelSpansNodes { n_tp, gpus_per_node } => write!(
+                f,
+                "tensor parallelism of {n_tp} does not fit a {gpus_per_node}-GPU node"
+            ),
+            ConfigError::PlacementGridMismatch { placement, grid } => write!(
+                f,
+                "placement pipeline degree {placement} != grid pipeline degree {grid}"
+            ),
+            ConfigError::UnevenStages { layers, stages } => write!(
+                f,
+                "{layers} layers cannot be divided evenly into {stages} stages"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ParallelConfig {
+    /// Bundles the pieces into one configuration (no validation; call
+    /// [`ParallelConfig::validate`]).
+    pub fn new(grid: Grid, placement: Placement, batch: BatchConfig, dp: DataParallelism) -> Self {
+        ParallelConfig {
+            grid,
+            placement,
+            batch,
+            dp,
+        }
+    }
+
+    /// Global batch size `B = N_DP · N_mb · S_mb`.
+    pub fn global_batch_size(&self) -> u64 {
+        self.grid.n_dp as u64
+            * self.batch.num_microbatches as u64
+            * self.batch.microbatch_size as u64
+    }
+
+    /// The paper's β: batch size per GPU,
+    /// `B / N_GPU = N_mb · S_mb / (N_TP · N_PP)`.
+    pub fn batch_per_gpu(&self) -> f64 {
+        self.global_batch_size() as f64 / self.grid.num_gpus() as f64
+    }
+
+    /// Checks the configuration against a model and cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found: grid/cluster size mismatch,
+    /// tensor parallelism spanning nodes, placement/grid mismatch, or
+    /// stages that do not divide the layer count evenly.
+    pub fn validate(
+        &self,
+        model: &TransformerConfig,
+        cluster: &ClusterSpec,
+    ) -> Result<(), ConfigError> {
+        if self.grid.num_gpus() != cluster.num_gpus() {
+            return Err(ConfigError::GridClusterMismatch {
+                grid: self.grid.num_gpus(),
+                cluster: cluster.num_gpus(),
+            });
+        }
+        let spn = cluster.node.gpus_per_node;
+        if self.grid.n_tp > spn || !spn.is_multiple_of(self.grid.n_tp) {
+            return Err(ConfigError::TensorParallelSpansNodes {
+                n_tp: self.grid.n_tp,
+                gpus_per_node: spn,
+            });
+        }
+        if self.placement.n_pp() != self.grid.n_pp {
+            return Err(ConfigError::PlacementGridMismatch {
+                placement: self.placement.n_pp(),
+                grid: self.grid.n_pp,
+            });
+        }
+        let stages = self.placement.num_stages();
+        if stages > model.num_layers || !model.num_layers.is_multiple_of(stages) {
+            return Err(ConfigError::UnevenStages {
+                layers: model.num_layers,
+                stages,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_cluster::presets;
+    use bfpp_model::presets as models;
+
+    fn cfg(n_dp: u32, n_tp: u32, n_pp: u32, n_loop: u32, n_mb: u32, s_mb: u32) -> ParallelConfig {
+        ParallelConfig::new(
+            Grid::new(n_dp, n_tp, n_pp),
+            Placement::looping(n_pp, n_loop),
+            BatchConfig::new(n_mb, s_mb),
+            DataParallelism::Unsharded,
+        )
+    }
+
+    #[test]
+    fn paper_best_config_validates() {
+        // Table E.1, breadth-first at batch 48: PP=8, TP=2, DP=4, S_mb=1,
+        // N_mb=12, 8 stages/device on 64 GPUs.
+        let c = cfg(4, 2, 8, 8, 12, 1);
+        assert!(c
+            .validate(&models::bert_52b(), &presets::dgx1_v100(8))
+            .is_ok());
+        assert_eq!(c.global_batch_size(), 48);
+        assert!((c.batch_per_gpu() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_min_is_one_over_node_size() {
+        // β_min = 1/S_Node: N_TP = 8, N_mb = N_PP, S_mb = 1 on one replica.
+        let c = cfg(1, 8, 8, 1, 8, 1);
+        assert!((c.batch_per_gpu() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_mismatch_rejected() {
+        let c = cfg(1, 8, 8, 1, 8, 1);
+        let err = c
+            .validate(&models::bert_52b(), &presets::dgx1_v100(2))
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::GridClusterMismatch { .. }));
+        assert!(err.to_string().contains("GPUs"));
+    }
+
+    #[test]
+    fn tp_spanning_nodes_rejected() {
+        let c = ParallelConfig::new(
+            Grid::new(1, 16, 4),
+            Placement::linear(4),
+            BatchConfig::new(4, 1),
+            DataParallelism::Unsharded,
+        );
+        let err = c
+            .validate(&models::bert_52b(), &presets::dgx1_v100(8))
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TensorParallelSpansNodes { .. }));
+    }
+
+    #[test]
+    fn tp_must_divide_node_size() {
+        let c = ParallelConfig::new(
+            Grid::new(4, 3, 4),
+            Placement::linear(4),
+            BatchConfig::new(4, 1),
+            DataParallelism::Unsharded,
+        );
+        // 48 GPUs needed; a 6-node DGX-1 cluster has 48 GPUs, but TP=3
+        // doesn't divide the 8-GPU node.
+        let err = c
+            .validate(&models::bert_52b(), &presets::dgx1_v100(6))
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::TensorParallelSpansNodes { .. }));
+    }
+
+    #[test]
+    fn uneven_stages_rejected() {
+        // 64 layers into 48 stages does not divide.
+        let c = cfg(1, 8, 8, 6, 8, 1);
+        let err = c
+            .validate(&models::bert_52b(), &presets::dgx1_v100(8))
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnevenStages { .. }));
+    }
+
+    #[test]
+    fn placement_grid_mismatch_rejected() {
+        let c = ParallelConfig::new(
+            Grid::new(1, 8, 8),
+            Placement::linear(4),
+            BatchConfig::new(8, 1),
+            DataParallelism::Unsharded,
+        );
+        let err = c
+            .validate(&models::bert_52b(), &presets::dgx1_v100(8))
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::PlacementGridMismatch { .. }));
+    }
+}

@@ -1,0 +1,237 @@
+//! Layer-to-stage placement: standard (linear) and looping pipelines
+//! (paper Figure 3).
+
+use std::fmt;
+use std::ops::Range;
+
+/// Index of a pipeline stage, `0..num_stages`. Stages are visited in
+/// increasing order by the forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub u32);
+
+/// How the model's transformer layers are divided into pipeline stages
+/// and assigned to the `N_PP` pipeline devices.
+///
+/// * **Linear** (Figure 3a): `N_stage = N_PP`, device `d` hosts stage `d`
+///   — one contiguous block of layers per device.
+/// * **Looping** (Figure 3b): `N_stage = N_PP · N_loop`, stage `s` lives
+///   on device `s mod N_PP` — the pipeline wraps around `N_loop` times,
+///   cutting the bubble by `N_loop` (Eq. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    n_pp: u32,
+    n_loop: u32,
+}
+
+impl Placement {
+    /// Standard placement: one stage per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pp` is zero.
+    pub fn linear(n_pp: u32) -> Self {
+        Placement::looping(n_pp, 1)
+    }
+
+    /// Looping placement with `n_loop` stages per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn looping(n_pp: u32, n_loop: u32) -> Self {
+        assert!(n_pp > 0, "N_PP must be positive");
+        assert!(n_loop > 0, "N_loop must be positive");
+        Placement { n_pp, n_loop }
+    }
+
+    /// Pipeline-parallel degree `N_PP`.
+    pub fn n_pp(&self) -> u32 {
+        self.n_pp
+    }
+
+    /// Loops `N_loop` (1 for a linear pipeline).
+    pub fn n_loop(&self) -> u32 {
+        self.n_loop
+    }
+
+    /// Total stages `N_stage = N_PP · N_loop`.
+    pub fn num_stages(&self) -> u32 {
+        self.n_pp * self.n_loop
+    }
+
+    /// Whether this is a looping placement (`N_loop > 1`).
+    pub fn is_looping(&self) -> bool {
+        self.n_loop > 1
+    }
+
+    /// The pipeline device hosting a stage: `s mod N_PP`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage is out of range.
+    pub fn device_of_stage(&self, stage: StageId) -> u32 {
+        assert!(stage.0 < self.num_stages(), "stage out of range");
+        stage.0 % self.n_pp
+    }
+
+    /// The loop index of a stage: `s / N_PP` — which of the device's local
+    /// stage slots it occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage is out of range.
+    pub fn loop_of_stage(&self, stage: StageId) -> u32 {
+        assert!(stage.0 < self.num_stages(), "stage out of range");
+        stage.0 / self.n_pp
+    }
+
+    /// The global stage in a device's local slot `loop_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn stage_at(&self, device: u32, loop_idx: u32) -> StageId {
+        assert!(device < self.n_pp, "device out of range");
+        assert!(loop_idx < self.n_loop, "loop index out of range");
+        StageId(loop_idx * self.n_pp + device)
+    }
+
+    /// The stages hosted by a pipeline device, in forward order.
+    pub fn stages_of_device(&self, device: u32) -> Vec<StageId> {
+        assert!(device < self.n_pp, "device out of range");
+        (0..self.n_loop).map(|l| self.stage_at(device, l)).collect()
+    }
+
+    /// The contiguous range of transformer layers assigned to a stage,
+    /// for a model with `num_layers` layers. Layers are distributed as
+    /// evenly as possible, earlier stages getting the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage is out of range or there are fewer layers than
+    /// stages.
+    pub fn layers_of_stage(&self, stage: StageId, num_layers: u32) -> Range<u32> {
+        let stages = self.num_stages();
+        assert!(stage.0 < stages, "stage out of range");
+        assert!(
+            num_layers >= stages,
+            "fewer layers ({num_layers}) than stages ({stages})"
+        );
+        let base = num_layers / stages;
+        let extra = num_layers % stages;
+        let start = stage.0 * base + stage.0.min(extra);
+        let len = base + u32::from(stage.0 < extra);
+        start..start + len
+    }
+
+    /// Number of layers per stage when even (`num_layers / num_stages`);
+    /// `None` when the division is uneven.
+    pub fn even_layers_per_stage(&self, num_layers: u32) -> Option<u32> {
+        num_layers.is_multiple_of(self.num_stages()).then(|| num_layers / self.num_stages())
+    }
+
+    /// Iterates over all stages in forward order.
+    pub fn stages(&self) -> impl Iterator<Item = StageId> {
+        (0..self.num_stages()).map(StageId)
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_looping() {
+            write!(
+                f,
+                "looping (N_PP={}, {} stages/device)",
+                self.n_pp, self.n_loop
+            )
+        } else {
+            write!(f, "linear (N_PP={})", self.n_pp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_looping_example() {
+        // Figure 3b: 16 layers, 4 devices, 2 loops => 8 stages of 2 layers.
+        let p = Placement::looping(4, 2);
+        assert_eq!(p.num_stages(), 8);
+        // Device 0 hosts stages 0 and 4 => layers 0-1 and 8-9.
+        assert_eq!(p.stages_of_device(0), vec![StageId(0), StageId(4)]);
+        assert_eq!(p.layers_of_stage(StageId(0), 16), 0..2);
+        assert_eq!(p.layers_of_stage(StageId(4), 16), 8..10);
+        // Device 3 hosts stages 3 and 7 => layers 6-7 and 14-15.
+        assert_eq!(p.layers_of_stage(StageId(7), 16), 14..16);
+    }
+
+    #[test]
+    fn figure3_linear_example() {
+        // Figure 3a: 16 layers, 4 devices => 4 stages of 4 layers.
+        let p = Placement::linear(4);
+        assert_eq!(p.num_stages(), 4);
+        assert!(!p.is_looping());
+        assert_eq!(p.layers_of_stage(StageId(2), 16), 8..12);
+        assert_eq!(p.device_of_stage(StageId(2)), 2);
+    }
+
+    #[test]
+    fn stage_device_loop_roundtrip() {
+        let p = Placement::looping(4, 3);
+        for s in p.stages() {
+            let d = p.device_of_stage(s);
+            let l = p.loop_of_stage(s);
+            assert_eq!(p.stage_at(d, l), s);
+        }
+    }
+
+    #[test]
+    fn layers_partition_exactly() {
+        for (n_pp, n_loop, layers) in [(4, 2, 16), (3, 2, 13), (8, 8, 64), (2, 16, 32)] {
+            let p = Placement::looping(n_pp, n_loop);
+            let mut next = 0;
+            for s in p.stages() {
+                let r = p.layers_of_stage(s, layers);
+                assert_eq!(r.start, next, "stages must tile the layers");
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, layers);
+        }
+    }
+
+    #[test]
+    fn even_layers_detection() {
+        let p = Placement::looping(4, 2);
+        assert_eq!(p.even_layers_per_stage(16), Some(2));
+        assert_eq!(p.even_layers_per_stage(15), None);
+    }
+
+    #[test]
+    fn uneven_split_gives_early_stages_extra() {
+        let p = Placement::linear(4);
+        // 10 layers on 4 stages: 3,3,2,2.
+        let lens: Vec<u32> = p
+            .stages()
+            .map(|s| {
+                let r = p.layers_of_stage(s, 10);
+                r.end - r.start
+            })
+            .collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer layers")]
+    fn too_many_stages_rejected() {
+        Placement::looping(4, 4).layers_of_stage(StageId(0), 8);
+    }
+
+    #[test]
+    fn display_distinguishes_modes() {
+        assert!(Placement::linear(4).to_string().contains("linear"));
+        assert!(Placement::looping(4, 2).to_string().contains("looping"));
+    }
+}

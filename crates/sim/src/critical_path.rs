@@ -1,0 +1,138 @@
+//! Critical-path extraction from a solved timeline.
+//!
+//! The critical path is the chain of operations whose durations sum to the
+//! makespan, following both dependency edges and FIFO resource-order edges.
+//! It tells you *what to optimize*: ops on the critical path directly bound
+//! the batch time; everything else is slack (overlapped).
+
+use crate::graph::{OpGraph, OpId};
+use crate::solver::Timeline;
+use crate::time::{SimDuration, SimTime};
+
+/// A chain of operations realizing the makespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Operations on the path, in execution order.
+    pub ops: Vec<OpId>,
+    /// Total busy time along the path (time actually spent executing ops;
+    /// the remainder of the makespan is waiting that the path inherits from
+    /// resource-order edges with gaps — zero in a tight schedule).
+    pub busy: SimDuration,
+}
+
+impl Timeline {
+    /// Extracts one critical path from the solved timeline.
+    ///
+    /// Walks backwards from an operation finishing at the makespan,
+    /// repeatedly stepping to a predecessor (dependency or same-resource
+    /// FIFO predecessor) that finishes exactly when the current op starts;
+    /// if none matches exactly (the op waited on nothing — it started at
+    /// t=0), the walk ends.
+    pub fn critical_path<T>(&self, graph: &OpGraph<T>) -> CriticalPath {
+        if self.scheduled.is_empty() {
+            return CriticalPath {
+                ops: Vec::new(),
+                busy: SimDuration::ZERO,
+            };
+        }
+        // Index of FIFO predecessor per op.
+        let mut fifo_prev: Vec<Option<OpId>> = vec![None; graph.num_ops()];
+        for q in &graph.resource_queues {
+            for w in q.windows(2) {
+                fifo_prev[w[1].index()] = Some(w[0]);
+            }
+        }
+        let end_time = SimTime::ZERO + self.makespan;
+        let mut cur = self
+            .scheduled
+            .iter()
+            .find(|s| s.end == end_time)
+            .expect("some op ends at the makespan")
+            .op;
+        let mut path = vec![cur];
+        let mut busy = self.scheduled[cur.index()].duration();
+        loop {
+            let start = self.start_of(cur);
+            if start == SimTime::ZERO {
+                break;
+            }
+            let op = graph.op(cur);
+            let pred = op
+                .deps()
+                .iter()
+                .copied()
+                .chain(fifo_prev[cur.index()])
+                .find(|p| self.end_of(*p) == start);
+            match pred {
+                Some(p) => {
+                    busy += self.scheduled[p.index()].duration();
+                    path.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        CriticalPath { ops: path, busy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpGraph;
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_nanos(v)
+    }
+
+    #[test]
+    fn chain_is_its_own_critical_path() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_op(r, ns(3), &[], ());
+        let b = g.add_op(r, ns(4), &[a], ());
+        let t = g.solve().unwrap();
+        let cp = t.critical_path(&g);
+        assert_eq!(cp.ops, vec![a, b]);
+        assert_eq!(cp.busy, ns(7));
+        assert_eq!(cp.busy, t.makespan());
+    }
+
+    #[test]
+    fn critical_path_crosses_resources() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_op(r1, ns(10), &[], ());
+        let short = g.add_op(r2, ns(1), &[], ());
+        let b = g.add_op(r2, ns(5), &[a], ());
+        let t = g.solve().unwrap();
+        let cp = t.critical_path(&g);
+        // short (1ns) is off the path; a -> b realizes the 15ns makespan.
+        assert_eq!(cp.ops, vec![a, b]);
+        assert!(!cp.ops.contains(&short));
+        assert_eq!(cp.busy, t.makespan());
+    }
+
+    #[test]
+    fn empty_timeline_has_empty_path() {
+        let g: OpGraph<()> = OpGraph::new();
+        let t = g.solve().unwrap();
+        let cp = t.critical_path(&g);
+        assert!(cp.ops.is_empty());
+        assert_eq!(cp.busy, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fifo_edge_participates_in_path() {
+        // b has no dep on a, but queues behind it on the same resource.
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_op(r, ns(6), &[], ());
+        let b = g.add_op(r, ns(6), &[], ());
+        let t = g.solve().unwrap();
+        let cp = t.critical_path(&g);
+        assert_eq!(cp.ops, vec![a, b]);
+    }
+}

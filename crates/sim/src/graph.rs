@@ -1,0 +1,259 @@
+//! Operation graphs: resources, operations and dependencies.
+
+use crate::solver::{solve, DeadlockError, Timeline};
+use crate::time::SimDuration;
+
+/// Identifier of an operation within an [`OpGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// The index of this operation in the graph's insertion order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a FIFO execution resource (a "stream").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// The index of this resource in the graph's insertion order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single operation: a fixed-duration task bound to one resource.
+#[derive(Debug, Clone)]
+pub struct Op<T> {
+    pub(crate) resource: ResourceId,
+    pub(crate) duration: SimDuration,
+    pub(crate) deps: Vec<OpId>,
+    pub(crate) tag: T,
+}
+
+impl<T> Op<T> {
+    /// The resource this operation executes on.
+    pub fn resource(&self) -> ResourceId {
+        self.resource
+    }
+
+    /// The operation's fixed duration.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Operations that must finish before this one may start.
+    pub fn deps(&self) -> &[OpId] {
+        &self.deps
+    }
+
+    /// User metadata attached to the operation.
+    pub fn tag(&self) -> &T {
+        &self.tag
+    }
+}
+
+/// A dependency graph of fixed-duration operations over FIFO resources.
+///
+/// Operations submitted to the same resource execute in submission order
+/// (CUDA-stream semantics); operations on different resources overlap
+/// freely subject to their dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct OpGraph<T> {
+    pub(crate) ops: Vec<Op<T>>,
+    pub(crate) resource_names: Vec<String>,
+    /// Per-resource list of op ids in submission order.
+    pub(crate) resource_queues: Vec<Vec<OpId>>,
+}
+
+impl<T> OpGraph<T> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        OpGraph {
+            ops: Vec::new(),
+            resource_names: Vec::new(),
+            resource_queues: Vec::new(),
+        }
+    }
+
+    /// Registers a new FIFO resource and returns its id.
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        let id = ResourceId(self.resource_names.len() as u32);
+        self.resource_names.push(name.into());
+        self.resource_queues.push(Vec::new());
+        id
+    }
+
+    /// Submits an operation to `resource` with the given `duration`,
+    /// depending on `deps`, carrying user metadata `tag`.
+    ///
+    /// Dependencies on operations created *later* can be added afterwards
+    /// with [`OpGraph::add_dep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` or any dependency id does not belong to this
+    /// graph.
+    pub fn add_op(
+        &mut self,
+        resource: ResourceId,
+        duration: SimDuration,
+        deps: &[OpId],
+        tag: T,
+    ) -> OpId {
+        assert!(
+            (resource.0 as usize) < self.resource_names.len(),
+            "unknown resource {resource:?}"
+        );
+        let id = OpId(self.ops.len() as u32);
+        for d in deps {
+            assert!(d.0 <= id.0, "dependency {d:?} not defined for op {id:?}");
+        }
+        self.ops.push(Op {
+            resource,
+            duration,
+            deps: deps.to_vec(),
+            tag,
+        });
+        self.resource_queues[resource.0 as usize].push(id);
+        id
+    }
+
+    /// Adds a dependency edge after both operations exist: `op` will not
+    /// start before `dep` has finished. Unlike the `deps` argument of
+    /// [`OpGraph::add_op`], this accepts edges to operations created later,
+    /// which is needed when building per-device queues one device at a time
+    /// (backward-pass edges point "forwards" in creation order).
+    ///
+    /// Adding a cyclic edge is not rejected here; [`OpGraph::solve`] will
+    /// report it as a [`crate::DeadlockError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or `op == dep`.
+    pub fn add_dep(&mut self, op: OpId, dep: OpId) {
+        assert!((op.0 as usize) < self.ops.len(), "unknown op {op:?}");
+        assert!((dep.0 as usize) < self.ops.len(), "unknown dep {dep:?}");
+        assert_ne!(op, dep, "an op cannot depend on itself");
+        self.ops[op.0 as usize].deps.push(dep);
+    }
+
+    /// Number of operations in the graph.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of resources in the graph.
+    pub fn num_resources(&self) -> usize {
+        self.resource_names.len()
+    }
+
+    /// The operation with the given id.
+    pub fn op(&self, id: OpId) -> &Op<T> {
+        &self.ops[id.0 as usize]
+    }
+
+    /// The name of a resource.
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        &self.resource_names[id.0 as usize]
+    }
+
+    /// Iterates over all operation ids in submission order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Iterates over all resource ids.
+    pub fn resource_ids(&self) -> impl Iterator<Item = ResourceId> {
+        (0..self.resource_names.len() as u32).map(ResourceId)
+    }
+
+    /// The submission-order queue of a resource.
+    pub fn resource_queue(&self, id: ResourceId) -> &[OpId] {
+        &self.resource_queues[id.0 as usize]
+    }
+
+    /// Total duration of all operations on a resource (its minimum busy
+    /// time; a lower bound on the makespan).
+    pub fn resource_work(&self, id: ResourceId) -> SimDuration {
+        self.resource_queues[id.0 as usize]
+            .iter()
+            .map(|op| self.ops[op.0 as usize].duration)
+            .sum()
+    }
+
+    /// Computes a start/end time for every operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlockError`] if the combination of dependency edges and
+    /// FIFO resource order admits no schedule (e.g. an op waits on another
+    /// op queued *behind* it on the same resource).
+    pub fn solve(&self) -> Result<Timeline, DeadlockError> {
+        solve(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut g: OpGraph<u32> = OpGraph::new();
+        let r = g.add_resource("compute");
+        let a = g.add_op(r, SimDuration::from_nanos(5), &[], 1);
+        let b = g.add_op(r, SimDuration::from_nanos(7), &[a], 2);
+        assert_eq!(g.num_ops(), 2);
+        assert_eq!(g.num_resources(), 1);
+        assert_eq!(g.op(b).deps(), &[a]);
+        assert_eq!(*g.op(a).tag(), 1);
+        assert_eq!(g.resource_name(r), "compute");
+        assert_eq!(g.resource_queue(r), &[a, b]);
+        assert_eq!(g.resource_work(r), SimDuration::from_nanos(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn unknown_dependency_panics() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        // Depend on an op id that does not exist yet.
+        g.add_op(r, SimDuration::ZERO, &[OpId(5)], ());
+    }
+
+    #[test]
+    fn add_dep_allows_forward_edges() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_op(r1, SimDuration::from_nanos(5), &[], ());
+        let b = g.add_op(r2, SimDuration::from_nanos(5), &[], ());
+        g.add_dep(a, b); // forward in creation order, across resources
+        let t = g.solve().unwrap();
+        assert_eq!(t.start_of(a).as_nanos(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot depend on itself")]
+    fn self_dep_panics() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_op(r, SimDuration::ZERO, &[], ());
+        g.add_dep(a, a);
+    }
+
+    #[test]
+    fn op_ids_iterate_in_order() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        for _ in 0..3 {
+            g.add_op(r, SimDuration::ZERO, &[], ());
+        }
+        let ids: Vec<usize> = g.op_ids().map(OpId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

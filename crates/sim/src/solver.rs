@@ -1,0 +1,304 @@
+//! The deterministic list-scheduling solver.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{OpGraph, OpId, ResourceId};
+use crate::time::{SimDuration, SimTime};
+
+/// The solved start/end time of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// The operation.
+    pub op: OpId,
+    /// The resource it ran on.
+    pub resource: ResourceId,
+    /// When it started.
+    pub start: SimTime,
+    /// When it finished.
+    pub end: SimTime,
+}
+
+impl ScheduledOp {
+    /// The operation's duration as scheduled.
+    pub fn duration(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+}
+
+/// The output of [`OpGraph::solve`]: a start/end time for every operation.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    pub(crate) scheduled: Vec<ScheduledOp>,
+    pub(crate) makespan: SimDuration,
+    pub(crate) num_resources: usize,
+}
+
+impl Timeline {
+    /// Completion time of the whole graph.
+    pub fn makespan(&self) -> SimDuration {
+        self.makespan
+    }
+
+    /// Start time of an operation.
+    pub fn start_of(&self, op: OpId) -> SimTime {
+        self.scheduled[op.index()].start
+    }
+
+    /// End time of an operation.
+    pub fn end_of(&self, op: OpId) -> SimTime {
+        self.scheduled[op.index()].end
+    }
+
+    /// All scheduled operations, indexed by [`OpId::index`].
+    pub fn scheduled_ops(&self) -> &[ScheduledOp] {
+        &self.scheduled
+    }
+
+    /// Number of resources in the solved graph.
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+}
+
+/// The graph admits no schedule: an operation can never start.
+///
+/// This happens when an operation depends (directly or transitively) on an
+/// operation queued *behind* it on the same FIFO resource — the moral
+/// equivalent of a CUDA stream deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockError {
+    /// One of the operations that could never start.
+    pub stuck_op: OpId,
+    /// The resource whose queue is blocked at `stuck_op`.
+    pub resource: ResourceId,
+    /// Number of operations that never ran.
+    pub unscheduled: usize,
+}
+
+impl fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule deadlock: op #{} at the head of resource #{} can never start \
+             ({} ops unscheduled)",
+            self.stuck_op.index(),
+            self.resource.index(),
+            self.unscheduled
+        )
+    }
+}
+
+impl Error for DeadlockError {}
+
+/// Solves the graph: every resource executes its queue in order; an op
+/// starts at `max(resource free, all deps done)`.
+pub(crate) fn solve<T>(graph: &OpGraph<T>) -> Result<Timeline, DeadlockError> {
+    let n = graph.ops.len();
+    let num_resources = graph.resource_queues.len();
+
+    // end[i] = Some(end time) once scheduled.
+    let mut end: Vec<Option<SimTime>> = vec![None; n];
+    let mut start: Vec<SimTime> = vec![SimTime::ZERO; n];
+    // Per-resource: index of the next queued op to run, and the time the
+    // resource becomes free.
+    let mut queue_pos: Vec<usize> = vec![0; num_resources];
+    let mut free_at: Vec<SimTime> = vec![SimTime::ZERO; num_resources];
+    let mut scheduled_count = 0usize;
+
+    // Round-robin over resources until no progress. Each inner `while`
+    // drains a resource as far as dependencies allow, so the outer loop
+    // runs at most O(n) times in total across all its iterations.
+    loop {
+        let mut progressed = false;
+        for r in 0..num_resources {
+            while let Some(&op_id) = graph.resource_queues[r].get(queue_pos[r]) {
+                let op = &graph.ops[op_id.index()];
+                let mut ready_at = free_at[r];
+                let mut all_done = true;
+                for d in &op.deps {
+                    match end[d.index()] {
+                        Some(t) => ready_at = ready_at.max(t),
+                        None => {
+                            all_done = false;
+                            break;
+                        }
+                    }
+                }
+                if !all_done {
+                    break;
+                }
+                start[op_id.index()] = ready_at;
+                let finish = ready_at + op.duration;
+                end[op_id.index()] = Some(finish);
+                free_at[r] = finish;
+                queue_pos[r] += 1;
+                scheduled_count += 1;
+                progressed = true;
+            }
+        }
+        if scheduled_count == n {
+            break;
+        }
+        if !progressed {
+            // Find a blocked queue head to report.
+            let (r, stuck) = (0..num_resources)
+                .find_map(|r| {
+                    graph.resource_queues[r]
+                        .get(queue_pos[r])
+                        .map(|&op| (r, op))
+                })
+                .expect("unscheduled ops must sit on some queue");
+            return Err(DeadlockError {
+                stuck_op: stuck,
+                resource: ResourceId(r as u32),
+                unscheduled: n - scheduled_count,
+            });
+        }
+    }
+
+    let makespan = end
+        .iter()
+        .map(|t| t.expect("all ops scheduled"))
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .duration_since(SimTime::ZERO);
+
+    let scheduled = (0..n)
+        .map(|i| ScheduledOp {
+            op: OpId(i as u32),
+            resource: graph.ops[i].resource,
+            start: start[i],
+            end: end[i].expect("all ops scheduled"),
+        })
+        .collect();
+
+    Ok(Timeline {
+        scheduled,
+        makespan,
+        num_resources,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpGraph;
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_nanos(v)
+    }
+
+    #[test]
+    fn serial_chain_sums() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let mut prev: Option<OpId> = None;
+        for _ in 0..4 {
+            let deps: Vec<OpId> = prev.into_iter().collect();
+            prev = Some(g.add_op(r, ns(10), &deps, ()));
+        }
+        let t = g.solve().unwrap();
+        assert_eq!(t.makespan(), ns(40));
+    }
+
+    #[test]
+    fn fifo_order_enforced_without_deps() {
+        // Two ops on the same resource with no deps still serialize.
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_op(r, ns(10), &[], ());
+        let b = g.add_op(r, ns(5), &[], ());
+        let t = g.solve().unwrap();
+        assert_eq!(t.end_of(a).as_nanos(), 10);
+        assert_eq!(t.start_of(b).as_nanos(), 10);
+        assert_eq!(t.makespan(), ns(15));
+    }
+
+    #[test]
+    fn independent_resources_overlap() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        g.add_op(r1, ns(10), &[], ());
+        g.add_op(r2, ns(8), &[], ());
+        let t = g.solve().unwrap();
+        assert_eq!(t.makespan(), ns(10));
+    }
+
+    #[test]
+    fn cross_resource_dependency_waits() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let compute = g.add_resource("compute");
+        let net = g.add_resource("net");
+        let a = g.add_op(compute, ns(10), &[], ());
+        let send = g.add_op(net, ns(4), &[a], ());
+        let b = g.add_op(compute, ns(6), &[], ());
+        let c = g.add_op(compute, ns(3), &[send], ());
+        let t = g.solve().unwrap();
+        // send waits for a; b overlaps with send; c waits for send end (14)
+        // and compute free (16).
+        assert_eq!(t.start_of(send).as_nanos(), 10);
+        assert_eq!(t.start_of(b).as_nanos(), 10);
+        assert_eq!(t.start_of(c).as_nanos(), 16);
+        assert_eq!(t.makespan(), ns(19));
+    }
+
+    #[test]
+    fn fifo_deadlock_detected() {
+        // The head of resource r's queue depends on the op queued behind it.
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let head = g.add_op(r, ns(1), &[], ());
+        let tail = g.add_op(r, ns(1), &[], ());
+        g.add_dep(head, tail);
+        let err = g.solve().unwrap_err();
+        assert_eq!(err.stuck_op, head);
+        assert_eq!(err.unscheduled, 2);
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn cyclic_dependency_detected() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_op(r1, ns(1), &[], ());
+        let b = g.add_op(r2, ns(1), &[a], ());
+        g.add_dep(a, b); // a -> b -> a
+        assert!(g.solve().is_err());
+    }
+
+    #[test]
+    fn ops_created_in_id_order_always_solve() {
+        // When all deps point to earlier-created ops (as with the `deps`
+        // argument), FIFO order == creation order guarantees solvability.
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let s = g.add_resource("s");
+        let x0 = g.add_op(r, ns(1), &[], ());
+        let x1 = g.add_op(s, ns(1), &[x0], ());
+        let x2 = g.add_op(r, ns(1), &[x1], ());
+        let t = g.solve().unwrap();
+        assert_eq!(t.end_of(x2).as_nanos(), 3);
+    }
+
+    #[test]
+    fn empty_graph_solves_to_zero() {
+        let g: OpGraph<()> = OpGraph::new();
+        let t = g.solve().unwrap();
+        assert_eq!(t.makespan(), SimDuration::ZERO);
+        assert!(t.scheduled_ops().is_empty());
+    }
+
+    #[test]
+    fn zero_duration_ops_chain() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_op(r, ns(0), &[], ());
+        let b = g.add_op(r, ns(0), &[a], ());
+        let t = g.solve().unwrap();
+        assert_eq!(t.makespan(), SimDuration::ZERO);
+        assert_eq!(t.start_of(b), SimTime::ZERO);
+    }
+}

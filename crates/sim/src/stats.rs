@@ -1,0 +1,143 @@
+//! Per-resource utilization statistics derived from a solved [`Timeline`].
+
+use crate::graph::ResourceId;
+use crate::solver::Timeline;
+use crate::time::SimDuration;
+
+/// Busy/idle accounting for one resource over the full timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// The resource.
+    pub resource: ResourceId,
+    /// Total time the resource spent executing operations.
+    pub busy: SimDuration,
+    /// `makespan - busy`.
+    pub idle: SimDuration,
+    /// Number of operations executed.
+    pub num_ops: usize,
+}
+
+impl ResourceStats {
+    /// Fraction of the makespan the resource was busy, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.busy.ratio(self.busy + self.idle)
+    }
+}
+
+/// Utilization summary across a set of resources (typically: the compute
+/// streams of every simulated GPU).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSummary {
+    /// Mean busy fraction across the selected resources.
+    pub mean: f64,
+    /// Smallest busy fraction (the most input-starved device).
+    pub min: f64,
+    /// Largest busy fraction.
+    pub max: f64,
+}
+
+impl Timeline {
+    /// Busy/idle statistics for one resource.
+    pub fn resource_stats(&self, resource: ResourceId) -> ResourceStats {
+        let mut busy = SimDuration::ZERO;
+        let mut num_ops = 0;
+        for s in &self.scheduled {
+            if s.resource == resource {
+                busy += s.duration();
+                num_ops += 1;
+            }
+        }
+        ResourceStats {
+            resource,
+            busy,
+            idle: self.makespan.saturating_sub(busy),
+            num_ops,
+        }
+    }
+
+    /// Utilization summary over the given resources.
+    ///
+    /// Returns a zeroed summary when `resources` is empty.
+    pub fn utilization_over<I>(&self, resources: I) -> UtilizationSummary
+    where
+        I: IntoIterator<Item = ResourceId>,
+    {
+        let mut count = 0usize;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for r in resources {
+            let u = self.resource_stats(r).utilization();
+            sum += u;
+            min = min.min(u);
+            max = max.max(u);
+            count += 1;
+        }
+        if count == 0 {
+            UtilizationSummary {
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+            }
+        } else {
+            UtilizationSummary {
+                mean: sum / count as f64,
+                min,
+                max,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::graph::OpGraph;
+    use crate::time::SimDuration;
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_nanos(v)
+    }
+
+    #[test]
+    fn busy_and_idle_account_for_makespan() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_op(r1, ns(10), &[], ());
+        g.add_op(r2, ns(4), &[a], ());
+        let t = g.solve().unwrap();
+        let s1 = t.resource_stats(r1);
+        let s2 = t.resource_stats(r2);
+        assert_eq!(s1.busy, ns(10));
+        assert_eq!(s1.idle, ns(4));
+        assert_eq!(s2.busy, ns(4));
+        assert_eq!(s2.idle, ns(10));
+        assert_eq!(s1.num_ops, 1);
+        assert!((s1.utilization() - 10.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_over_resources() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        g.add_op(r1, ns(10), &[], ());
+        g.add_op(r2, ns(5), &[], ());
+        let t = g.solve().unwrap();
+        let s = t.utilization_over([r1, r2]);
+        assert!((s.mean - 0.75).abs() < 1e-12);
+        assert!((s.min - 0.5).abs() < 1e-12);
+        assert!((s.max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_over_empty_is_zero() {
+        let g: OpGraph<()> = OpGraph::new();
+        let t = g.solve().unwrap();
+        let s = t.utilization_over(std::iter::empty());
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Single-head self-attention with a hand-written backward pass.
+//!
+//! With this layer a pipeline [`Stage`](crate::layers::Stage) can be a
+//! *real transformer block* (attention + MLP), so the schedule-equivalence
+//! tests exercise the same layer structure the paper's models have. The
+//! convention: a micro-batch tensor of shape `(n, d)` is one sequence of
+//! `n` tokens with hidden size `d` (i.e. `S_mb = 1` semantics — the shape
+//! the paper's §A.1 activation analysis assumes).
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Single-head self-attention:
+/// `Y = softmax(XW_q (XW_k)ᵀ / √d) · XW_v · W_o`.
+///
+/// All four projections are `d × d`; biases are omitted (wrap the layer
+/// between [`crate::layers::Linear`]s for biased variants). Optionally
+/// causal (token `i` attends to tokens `≤ i`), as in GPT-style decoders.
+#[derive(Debug, Clone)]
+pub struct SelfAttention {
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    causal: bool,
+}
+
+impl SelfAttention {
+    /// Creates an attention layer from explicit projection matrices
+    /// (each `d × d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all four matrices are square with the same size.
+    pub fn new(wq: Tensor, wk: Tensor, wv: Tensor, wo: Tensor, causal: bool) -> Self {
+        let d = wq.rows();
+        for (name, w) in [("wq", &wq), ("wk", &wk), ("wv", &wv), ("wo", &wo)] {
+            assert_eq!(
+                (w.rows(), w.cols()),
+                (d, d),
+                "{name} must be {d}x{d} to match wq"
+            );
+        }
+        SelfAttention {
+            wq,
+            wk,
+            wv,
+            wo,
+            causal,
+        }
+    }
+
+    /// Deterministic seeded initialization of a `d × d` attention layer.
+    pub fn seeded(d: usize, causal: bool, seed: u64) -> Self {
+        let mk = |i: u64| {
+            let l = crate::layers::Linear::seeded(d, d, seed.wrapping_add(i));
+            // Reuse Linear's seeded weights; drop its bias.
+            let mut v = vec![0.0; l.num_params()];
+            l.write_params(&mut v);
+            Tensor::from_vec(d, d, v[..d * d].to_vec())
+        };
+        SelfAttention::new(mk(1), mk(2), mk(3), mk(4), causal)
+    }
+
+    /// Hidden size `d`.
+    pub fn dim(&self) -> usize {
+        self.wq.rows()
+    }
+
+    /// Attention scores before softmax, with the causal mask applied.
+    fn masked_scores(&self, q: &Tensor, k: &Tensor) -> Tensor {
+        let d = self.dim() as f32;
+        let mut s = q.matmul_nt(k).scale(1.0 / d.sqrt());
+        if self.causal {
+            let n = s.rows();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.data_mut()[i * n + j] = f32::NEG_INFINITY;
+                }
+            }
+        }
+        s
+    }
+}
+
+impl Layer for SelfAttention {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        let q = input.matmul(&self.wq);
+        let k = input.matmul(&self.wk);
+        let v = input.matmul(&self.wv);
+        let a = self.masked_scores(&q, &k).softmax_rows();
+        a.matmul(&v).matmul(&self.wo)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn backward(&self, input: &Tensor, grad_out: &Tensor, grads: &mut [f32]) -> Tensor {
+        let d = self.dim();
+        let scale = 1.0 / (d as f32).sqrt();
+        // Recompute the forward intermediates (activation checkpointing).
+        let q = input.matmul(&self.wq);
+        let k = input.matmul(&self.wk);
+        let v = input.matmul(&self.wv);
+        let a = self.masked_scores(&q, &k).softmax_rows();
+        let z = a.matmul(&v);
+
+        // Y = Z Wo.
+        let grad_wo = z.matmul_tn(grad_out);
+        let grad_z = grad_out.matmul_nt(&self.wo);
+        // Z = A V.
+        let grad_a = grad_z.matmul_nt(&v);
+        let grad_v = a.matmul_tn(&grad_z);
+        // A = softmax(S): dS_ij = A_ij (dA_ij − Σ_k dA_ik A_ik).
+        let n = a.rows();
+        let mut grad_s = Tensor::zeros(n, n);
+        for i in 0..n {
+            let mut dot = 0.0;
+            for kx in 0..n {
+                dot += grad_a.at(i, kx) * a.at(i, kx);
+            }
+            for j in 0..n {
+                grad_s.data_mut()[i * n + j] = a.at(i, j) * (grad_a.at(i, j) - dot);
+            }
+        }
+        // S = Q Kᵀ · scale.
+        let grad_q = grad_s.matmul(&k).scale(scale);
+        let grad_k = grad_s.matmul_tn(&q);
+        let grad_k = {
+            // grad_s.matmul_tn(q) computes Sᵀ·Q; scale it.
+            grad_k.scale(scale)
+        };
+        // Projections.
+        let grad_wq = input.matmul_tn(&grad_q);
+        let grad_wk = input.matmul_tn(&grad_k);
+        let grad_wv = input.matmul_tn(&grad_v);
+
+        // Accumulate parameter gradients in [wq, wk, wv, wo] layout.
+        let dd = d * d;
+        let (gq, rest) = grads.split_at_mut(dd);
+        let (gk, rest) = rest.split_at_mut(dd);
+        let (gv, go) = rest.split_at_mut(dd);
+        for (seg, g) in [
+            (gq, &grad_wq),
+            (gk, &grad_wk),
+            (gv, &grad_wv),
+            (go, &grad_wo),
+        ] {
+            for (a, b) in seg.iter_mut().zip(g.data()) {
+                *a += *b;
+            }
+        }
+
+        // Input gradient: X feeds Q, K and V.
+        let mut grad_x = grad_q.matmul_nt(&self.wq);
+        grad_x.add_assign(&grad_k.matmul_nt(&self.wk));
+        grad_x.add_assign(&grad_v.matmul_nt(&self.wv));
+        grad_x
+    }
+
+    fn num_params(&self) -> usize {
+        4 * self.dim() * self.dim()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let dd = self.dim() * self.dim();
+        out[0..dd].copy_from_slice(self.wq.data());
+        out[dd..2 * dd].copy_from_slice(self.wk.data());
+        out[2 * dd..3 * dd].copy_from_slice(self.wv.data());
+        out[3 * dd..4 * dd].copy_from_slice(self.wo.data());
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let dd = self.dim() * self.dim();
+        self.wq.data_mut().copy_from_slice(&src[0..dd]);
+        self.wk.data_mut().copy_from_slice(&src[dd..2 * dd]);
+        self.wv.data_mut().copy_from_slice(&src[2 * dd..3 * dd]);
+        self.wo.data_mut().copy_from_slice(&src[3 * dd..4 * dd]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Stage;
+
+    fn demo_input(n: usize, d: usize) -> Tensor {
+        Tensor::from_vec(
+            n,
+            d,
+            (0..n * d).map(|i| ((i * 37 % 11) as f32 - 5.0) * 0.1).collect(),
+        )
+    }
+
+    fn attn_stage(d: usize, causal: bool) -> Stage {
+        Stage::new(vec![Box::new(SelfAttention::seeded(d, causal, 3))])
+    }
+
+    #[test]
+    fn forward_shape_is_preserved() {
+        let a = SelfAttention::seeded(6, false, 1);
+        let x = demo_input(5, 6);
+        let y = a.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 6));
+    }
+
+    #[test]
+    fn causal_mask_blocks_the_future() {
+        // With a causal mask, changing a *later* token must not change an
+        // earlier token's output.
+        let a = SelfAttention::seeded(4, true, 5);
+        let x1 = demo_input(4, 4);
+        let mut x2 = x1.clone();
+        // Perturb the last token only.
+        let cols = x2.cols();
+        let n = x2.rows();
+        for c in 0..cols {
+            x2.data_mut()[(n - 1) * cols + c] += 1.0;
+        }
+        let y1 = a.forward(&x1);
+        let y2 = a.forward(&x2);
+        for i in 0..n - 1 {
+            for c in 0..cols {
+                assert_eq!(
+                    y1.at(i, c),
+                    y2.at(i, c),
+                    "token {i} must not see the future"
+                );
+            }
+        }
+        // The last token's output does change.
+        assert_ne!(y1.at(n - 1, 0), y2.at(n - 1, 0));
+    }
+
+    #[test]
+    fn non_causal_attends_everywhere() {
+        let a = SelfAttention::seeded(4, false, 5);
+        let x1 = demo_input(4, 4);
+        let mut x2 = x1.clone();
+        let cols = x2.cols();
+        let n = x2.rows();
+        for c in 0..cols {
+            x2.data_mut()[(n - 1) * cols + c] += 1.0;
+        }
+        let y1 = a.forward(&x1);
+        let y2 = a.forward(&x2);
+        assert_ne!(y1.at(0, 0), y2.at(0, 0), "token 0 should see token n-1");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        for causal in [false, true] {
+            let stage = attn_stage(4, causal);
+            let x = demo_input(3, 4);
+            let out = stage.forward(&x);
+            let ones =
+                Tensor::from_vec(out.rows(), out.cols(), vec![1.0; out.data().len()]);
+            let mut grads = vec![0.0; stage.num_params()];
+            let grad_in = stage.backward(&x, &ones, &mut grads);
+
+            let base = stage.param_vector();
+            let eps = 1e-3f32;
+            for idx in [0usize, 7, base.len() / 2, base.len() - 1] {
+                let mut s2 = attn_stage(4, causal);
+                let mut plus = base.clone();
+                plus[idx] += eps;
+                s2.set_param_vector(&plus);
+                let fp: f32 = s2.forward(&x).data().iter().sum();
+                let mut minus = base.clone();
+                minus[idx] -= eps;
+                s2.set_param_vector(&minus);
+                let fm: f32 = s2.forward(&x).data().iter().sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (numeric - grads[idx]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                    "causal={causal} param {idx}: numeric {numeric} vs {}",
+                    grads[idx]
+                );
+            }
+            // Input gradient check on a few coordinates.
+            for i in [0usize, 5, 11] {
+                let mut xp = x.clone();
+                xp.data_mut()[i] += eps;
+                let mut xm = x.clone();
+                xm.data_mut()[i] -= eps;
+                let fp: f32 = stage.forward(&xp).data().iter().sum();
+                let fm: f32 = stage.forward(&xm).data().iter().sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (numeric - grad_in.data()[i]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                    "causal={causal} input {i}: numeric {numeric} vs {}",
+                    grad_in.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn param_vector_roundtrips() {
+        let a = SelfAttention::seeded(5, false, 9);
+        let mut v = vec![0.0; a.num_params()];
+        a.write_params(&mut v);
+        let mut b = SelfAttention::seeded(5, false, 10);
+        b.read_params(&v);
+        let mut v2 = vec![0.0; b.num_params()];
+        b.write_params(&mut v2);
+        assert_eq!(v, v2);
+        assert_eq!(a.num_params(), 4 * 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be")]
+    fn mismatched_projections_rejected() {
+        SelfAttention::new(
+            Tensor::zeros(4, 4),
+            Tensor::zeros(4, 4),
+            Tensor::zeros(3, 3),
+            Tensor::zeros(4, 4),
+            false,
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Model and workload builders for the training substrate.
+
+use crate::attention::SelfAttention;
+use crate::layers::{LayerNorm, Linear, Stage, Tanh};
+use crate::tensor::Tensor;
+
+/// Builds an MLP of `num_stages` pipeline stages, each a
+/// `Linear(width→width) + Tanh` pair, with an input projection
+/// `in_dim → width` in the first stage and an output projection
+/// `width → out_dim` in the last. Initialization is deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `num_stages == 0`.
+pub fn build_mlp_stages(
+    in_dim: usize,
+    width: usize,
+    out_dim: usize,
+    num_stages: u32,
+    seed: u64,
+) -> Vec<Stage> {
+    assert!(num_stages > 0, "need at least one stage");
+    (0..num_stages)
+        .map(|s| {
+            let mut layers: Vec<Box<dyn crate::layers::Layer>> = Vec::new();
+            let input = if s == 0 { in_dim } else { width };
+            layers.push(Box::new(Linear::seeded(
+                input,
+                width,
+                seed.wrapping_add(1 + 2 * s as u64),
+            )));
+            layers.push(Box::new(Tanh));
+            if s == num_stages - 1 {
+                layers.push(Box::new(Linear::seeded(
+                    width,
+                    out_dim,
+                    seed.wrapping_add(2 + 2 * s as u64),
+                )));
+            }
+            Stage::new(layers)
+        })
+        .collect()
+}
+
+/// Builds a pipeline of `num_stages` *transformer blocks*: each stage is
+/// `LayerNorm(d) → SelfAttention(d) → Linear(d→d) → Tanh`
+/// (pre-norm). With the convention that a
+/// micro-batch tensor of shape `(n, d)` is one `n`-token sequence, this
+/// is the layer structure of the paper's models (§A.1), scaled down.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `num_stages` or `d` is zero.
+pub fn build_transformer_stages(d: usize, num_stages: u32, causal: bool, seed: u64) -> Vec<Stage> {
+    assert!(num_stages > 0, "need at least one stage");
+    assert!(d > 0, "hidden size must be positive");
+    (0..num_stages)
+        .map(|s| {
+            let base = seed.wrapping_add(100 + 10 * s as u64);
+            Stage::new(vec![
+                Box::new(LayerNorm::new(d)),
+                Box::new(SelfAttention::seeded(d, causal, base)),
+                Box::new(Linear::seeded(d, d, base + 5)),
+                Box::new(Tanh),
+            ])
+        })
+        .collect()
+}
+
+/// Generates a deterministic synthetic regression batch:
+/// `num_microbatches` micro-batches of `s_mb` samples with `in_dim`
+/// inputs and `out_dim` targets each. Targets are a *learnable* function
+/// of the inputs (`tanh` of a fixed random linear map), so training on
+/// this workload actually drives the loss down. Returns
+/// `(inputs, targets)`.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn synthetic_batch(
+    in_dim: usize,
+    out_dim: usize,
+    num_microbatches: u32,
+    s_mb: u32,
+    seed: u64,
+) -> (Vec<Tensor>, Vec<Tensor>) {
+    assert!(
+        in_dim > 0 && out_dim > 0 && num_microbatches > 0 && s_mb > 0,
+        "dimensions must be positive"
+    );
+    let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32 - 0.5
+    };
+    // The hidden teacher map.
+    let teacher = Tensor::from_vec(
+        in_dim,
+        out_dim,
+        (0..in_dim * out_dim).map(|_| 2.0 * next()).collect(),
+    );
+    let mut inputs = Vec::with_capacity(num_microbatches as usize);
+    let mut targets = Vec::with_capacity(num_microbatches as usize);
+    for _ in 0..num_microbatches {
+        let x = Tensor::from_vec(
+            s_mb as usize,
+            in_dim,
+            (0..s_mb as usize * in_dim).map(|_| next()).collect(),
+        );
+        let y = x.matmul(&teacher).map(f32::tanh);
+        inputs.push(x);
+        targets.push(y);
+    }
+    (inputs, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_shapes_chain() {
+        let stages = build_mlp_stages(4, 8, 3, 4, 1);
+        assert_eq!(stages.len(), 4);
+        let x = Tensor::zeros(2, 4);
+        let mut h = x;
+        for s in &stages {
+            h = s.forward(&h);
+        }
+        assert_eq!((h.rows(), h.cols()), (2, 3));
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = build_mlp_stages(4, 8, 3, 2, 7);
+        let b = build_mlp_stages(4, 8, 3, 2, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.param_vector(), y.param_vector());
+        }
+        let (i1, t1) = synthetic_batch(4, 3, 2, 5, 9);
+        let (i2, t2) = synthetic_batch(4, 3, 2, 5, 9);
+        assert_eq!(i1, i2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let (inputs, targets) = synthetic_batch(6, 2, 3, 4, 1);
+        assert_eq!(inputs.len(), 3);
+        assert_eq!((inputs[0].rows(), inputs[0].cols()), (4, 6));
+        assert_eq!((targets[2].rows(), targets[2].cols()), (4, 2));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = synthetic_batch(4, 2, 1, 2, 1);
+        let (b, _) = synthetic_batch(4, 2, 1, 2, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn transformer_stages_chain_shapes() {
+        let stages = build_transformer_stages(6, 3, true, 11);
+        assert_eq!(stages.len(), 3);
+        let x = Tensor::zeros(5, 6); // 5 tokens, hidden 6
+        let mut h = x;
+        for s in &stages {
+            h = s.forward(&h);
+        }
+        assert_eq!((h.rows(), h.cols()), (5, 6));
+        // Per stage: norm 2d + attention 4d² + linear (d² + d) params.
+        assert_eq!(stages[0].num_params(), 2 * 6 + 4 * 36 + 36 + 6);
+    }
+
+    #[test]
+    fn transformer_builder_is_deterministic() {
+        let a = build_transformer_stages(4, 2, false, 3);
+        let b = build_transformer_stages(4, 2, false, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.param_vector(), y.param_vector());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! IEEE 754 binary16 ("f16") emulation.
+//!
+//! The paper's communication volumes are all half-precision (2 bytes per
+//! activation/gradient/weight element). The performance simulator charges
+//! those bytes; this module lets the *numeric* substrate reproduce the
+//! precision too: [`quantize`] rounds an `f32` through binary16 with
+//! round-to-nearest-even, exactly as storing to an `f16` buffer would.
+//! No external crates — the conversion is implemented bit-by-bit and
+//! verified exhaustively over all 65 536 half patterns.
+
+/// Converts an `f32` to its nearest binary16 bit pattern
+/// (round-to-nearest-even; overflow to ±inf; NaN preserved as a quiet
+/// NaN).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00 // quiet NaN
+        };
+    }
+
+    // Unbiased exponent; f16 bias is 15, f32 bias is 127.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal f16. Mantissa: 23 -> 10 bits with RNE.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let shift = 13;
+        let kept = (mant >> shift) as u16;
+        let round_bits = mant & 0x1FFF;
+        let halfway = 0x1000;
+        let mut out = sign | half_exp | kept;
+        if round_bits > halfway || (round_bits == halfway && (kept & 1) == 1) {
+            out += 1; // may carry into the exponent: that is correct RNE
+        }
+        return out;
+    }
+    if unbiased >= -25 {
+        // Subnormal f16: implicit leading 1 becomes explicit.
+        let full = mant | 0x80_0000;
+        let shift = (-unbiased - 14) + 13;
+        let kept = (full >> shift) as u16;
+        let round_mask = (1u32 << shift) - 1;
+        let round_bits = full & round_mask;
+        let halfway = 1u32 << (shift - 1);
+        let mut out = sign | kept;
+        if round_bits > halfway || (round_bits == halfway && (kept & 1) == 1) {
+            out += 1;
+        }
+        return out;
+    }
+    sign // underflow to (signed) zero
+}
+
+/// Converts a binary16 bit pattern to the `f32` it denotes exactly.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x3FF) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: value = m × 2⁻²⁴. Normalize: with p the highest
+            // set bit of m (0..=9), value = 1.x × 2^(p−24), so the f32
+            // exponent field is p + 103.
+            let p = 31 - m.leading_zeros();
+            let exp32 = p + 103;
+            let mant32 = (m << (23 - p)) & 0x7F_FFFF;
+            sign | (exp32 << 23) | mant32
+        }
+        (0x1F, 0) => sign | 0x7F80_0000,
+        (0x1F, m) => sign | 0x7F80_0000 | (m << 13) | 0x40_0000,
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an `f32` through binary16 and back — the value an `f16` buffer
+/// would hold.
+pub fn quantize(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Quantizes a slice in place.
+pub fn quantize_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = quantize(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 2.0, 0.5, 0.25, 1024.0, -2048.0] {
+            assert_eq!(quantize(v), v, "{v} is representable in f16");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // f16::MAX
+        assert_eq!(f32_to_f16_bits(65536.0), 0x7C00); // overflow -> inf
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16_bits(-f32::INFINITY), 0xFC00);
+        assert_eq!(f32_to_f16_bits(6.1035156e-5), 0x0400); // smallest normal
+        assert_eq!(f32_to_f16_bits(5.9604645e-8), 0x0001); // smallest subnormal
+        assert_eq!(f32_to_f16_bits(1e-9), 0x0000); // underflow
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10:
+        // RNE keeps the even mantissa (1.0).
+        let halfway = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(halfway), 0x3C00);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0_f32.powi(-11) + 2.0_f32.powi(-20);
+        assert_eq!(f32_to_f16_bits(above), 0x3C01);
+    }
+
+    #[test]
+    fn exhaustive_f16_roundtrip() {
+        // Every finite half value must decode and re-encode to itself.
+        for h in 0u16..=0xFFFF {
+            let exp = (h >> 10) & 0x1F;
+            let f = f16_bits_to_f32(h);
+            if exp == 0x1F {
+                if h & 0x3FF == 0 {
+                    assert!(f.is_infinite(), "{h:#06x}");
+                } else {
+                    assert!(f.is_nan(), "{h:#06x}");
+                    continue; // NaN payloads need not roundtrip exactly
+                }
+            }
+            if !f.is_nan() {
+                assert_eq!(
+                    f32_to_f16_bits(f),
+                    h,
+                    "{h:#06x} decoded to {f} which re-encodes differently"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(quantize(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        // Relative error of f16 rounding is at most 2^-11 for normal
+        // values.
+        let mut x = 0.001f32;
+        while x < 60000.0 {
+            let q = quantize(x);
+            let rel = ((q - x) / x).abs();
+            assert!(rel <= 2.0_f32.powi(-11), "x = {x}: rel = {rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn quantize_slice_applies_elementwise() {
+        let mut xs = vec![1.0f32, 1.0 + 1e-4, -2.65625];
+        quantize_slice(&mut xs);
+        assert_eq!(xs[0], 1.0);
+        assert_eq!(xs[1], 1.0, "1 + 1e-4 rounds to 1 in f16");
+        assert_eq!(xs[2], -2.65625, "exactly representable in f16");
+    }
+}

@@ -1,0 +1,576 @@
+//! Layers with hand-written backward passes.
+//!
+//! Layers are *stateless between calls*: `forward` is a pure function of
+//! (parameters, input), and `backward` recomputes whatever intermediates
+//! it needs from the stage input — i.e. real activation checkpointing,
+//! which is exactly what the paper assumes (§A.1: "mixed precision…
+//! activation checkpoints"; here we stay in f32 for exactness). This is
+//! what lets many micro-batches be in flight without aliasing state.
+
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+pub trait Layer: Send {
+    /// Computes the layer output for `input` (`batch × in_dim`).
+    fn forward(&self, input: &Tensor) -> Tensor;
+
+    /// Clones the layer behind a box (lets [`Stage`] be `Clone`, which
+    /// the pipeline executor needs to replicate stages across
+    /// data-parallel workers).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Given the stage `input` and the gradient of the loss w.r.t. this
+    /// layer's *output*, returns the gradient w.r.t. the input and
+    /// accumulates parameter gradients into `grads` (same layout as
+    /// [`Layer::write_params`], accumulated in place).
+    fn backward(&self, input: &Tensor, grad_out: &Tensor, grads: &mut [f32]) -> Tensor;
+
+    /// Number of scalar parameters.
+    fn num_params(&self) -> usize;
+
+    /// Flattens the parameters into a vector segment.
+    fn write_params(&self, out: &mut [f32]);
+
+    /// Loads parameters from a vector segment.
+    fn read_params(&mut self, src: &[f32]);
+}
+
+/// A fully connected layer: `y = x·W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Tensor,
+    b: Tensor,
+}
+
+impl Linear {
+    /// Creates a linear layer with the given weights (`in × out`) and
+    /// bias (`1 × out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bias width does not match the weights.
+    pub fn new(w: Tensor, b: Tensor) -> Self {
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(b.cols(), w.cols(), "bias width mismatch");
+        Linear { w, b }
+    }
+
+    /// Deterministic pseudo-random initialization (a small LCG — no
+    /// external entropy, so builds are reproducible across platforms).
+    pub fn seeded(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Xavier-uniform: (-a, a) with a = sqrt(6 / (in + out)).
+            let a = (6.0 / (in_dim + out_dim) as f32).sqrt();
+            ((state >> 11) as f32 / (1u64 << 53) as f32 - 0.5) * 2.0 * a
+        };
+        let w = Tensor::from_vec(
+            in_dim,
+            out_dim,
+            (0..in_dim * out_dim).map(|_| next()).collect(),
+        );
+        let b = Tensor::from_vec(1, out_dim, (0..out_dim).map(|_| next()).collect());
+        Linear { w, b }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        input.matmul(&self.w).add_row(&self.b)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn backward(&self, input: &Tensor, grad_out: &Tensor, grads: &mut [f32]) -> Tensor {
+        let grad_w = input.matmul_tn(grad_out);
+        let grad_b = grad_out.col_sums();
+        let nw = grad_w.data().len();
+        for (g, x) in grads[..nw].iter_mut().zip(grad_w.data()) {
+            *g += *x;
+        }
+        for (g, x) in grads[nw..].iter_mut().zip(grad_b.data()) {
+            *g += *x;
+        }
+        grad_out.matmul_nt(&self.w)
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.data().len() + self.b.data().len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let nw = self.w.data().len();
+        out[..nw].copy_from_slice(self.w.data());
+        out[nw..nw + self.b.data().len()].copy_from_slice(self.b.data());
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let nw = self.w.data().len();
+        let nb = self.b.data().len();
+        self.w.data_mut().copy_from_slice(&src[..nw]);
+        self.b.data_mut().copy_from_slice(&src[nw..nw + nb]);
+    }
+}
+
+/// Element-wise `tanh` activation (exact, cheap gradient).
+#[derive(Debug, Clone, Default)]
+pub struct Tanh;
+
+impl Layer for Tanh {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        input.map(f32::tanh)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn backward(&self, input: &Tensor, grad_out: &Tensor, _grads: &mut [f32]) -> Tensor {
+        let y = self.forward(input);
+        // d tanh = 1 − y².
+        grad_out.hadamard(&y.map(|v| 1.0 - v * v))
+    }
+
+    fn num_params(&self) -> usize {
+        0
+    }
+
+    fn write_params(&self, _out: &mut [f32]) {}
+
+    fn read_params(&mut self, _src: &[f32]) {}
+}
+
+/// Layer normalization over each row (token), with learned gain and bias:
+/// `y = γ ⊙ (x − μ)/σ + β`, the normalization every transformer layer
+/// uses (paper §A.1's layer structure).
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over rows of width `dim` (γ = 1, β = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        LayerNorm {
+            gamma: Tensor::from_vec(1, dim, vec![1.0; dim]),
+            beta: Tensor::zeros(1, dim),
+            eps: 1e-5,
+        }
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.gamma.cols()
+    }
+
+    /// Per-row mean and 1/σ for `input`.
+    fn stats(&self, input: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let d = self.dim() as f32;
+        let mut means = Vec::with_capacity(input.rows());
+        let mut inv_stds = Vec::with_capacity(input.rows());
+        for r in 0..input.rows() {
+            let row = &input.data()[r * input.cols()..(r + 1) * input.cols()];
+            let mean = row.iter().sum::<f32>() / d;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d;
+            means.push(mean);
+            inv_stds.push(1.0 / (var + self.eps).sqrt());
+        }
+        (means, inv_stds)
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.cols(), self.dim(), "layer norm width mismatch");
+        let (means, inv_stds) = self.stats(input);
+        let mut out = input.clone();
+        let cols = input.cols();
+        for r in 0..input.rows() {
+            for c in 0..cols {
+                let x = input.at(r, c);
+                out.data_mut()[r * cols + c] = self.gamma.data()[c]
+                    * (x - means[r])
+                    * inv_stds[r]
+                    + self.beta.data()[c];
+            }
+        }
+        out
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn backward(&self, input: &Tensor, grad_out: &Tensor, grads: &mut [f32]) -> Tensor {
+        let d = self.dim();
+        let n = d as f32;
+        let (means, inv_stds) = self.stats(input);
+        let mut grad_in = Tensor::zeros(input.rows(), d);
+        // grads layout: [gamma, beta].
+        let (g_gamma, g_beta) = grads.split_at_mut(d);
+        for r in 0..input.rows() {
+            let mu = means[r];
+            let is = inv_stds[r];
+            // x̂ and upstream-through-γ.
+            let mut sum_dy_xhat = 0.0;
+            let mut sum_dy = 0.0;
+            let mut xhat = vec![0.0f32; d];
+            let mut dy = vec![0.0f32; d];
+            for c in 0..d {
+                xhat[c] = (input.at(r, c) - mu) * is;
+                let g = grad_out.at(r, c);
+                g_gamma[c] += g * xhat[c];
+                g_beta[c] += g;
+                dy[c] = g * self.gamma.data()[c];
+                sum_dy += dy[c];
+                sum_dy_xhat += dy[c] * xhat[c];
+            }
+            // dx = (is/n) · (n·dy − Σdy − x̂·Σ(dy·x̂)).
+            for c in 0..d {
+                grad_in.data_mut()[r * d + c] =
+                    (is / n) * (n * dy[c] - sum_dy - xhat[c] * sum_dy_xhat);
+            }
+        }
+        grad_in
+    }
+
+    fn num_params(&self) -> usize {
+        2 * self.dim()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let d = self.dim();
+        out[..d].copy_from_slice(self.gamma.data());
+        out[d..2 * d].copy_from_slice(self.beta.data());
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let d = self.dim();
+        self.gamma.data_mut().copy_from_slice(&src[..d]);
+        self.beta.data_mut().copy_from_slice(&src[d..2 * d]);
+    }
+}
+
+/// A pipeline stage: an ordered stack of layers with a flattened
+/// parameter vector (the unit of sharding for `DP_FS`).
+pub struct Stage {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Clone for Stage {
+    fn clone(&self) -> Self {
+        Stage {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Stage({} layers, {} params)", self.layers.len(), self.num_params())
+    }
+}
+
+impl Stage {
+    /// Builds a stage from layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Stage { layers }
+    }
+
+    /// Number of scalar parameters across all layers.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Forward through the whole stack.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for l in &self.layers {
+            x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Backward through the stack with recomputation: re-runs the forward
+    /// pass from the checkpointed `input` to recover intermediates, then
+    /// walks back. Parameter gradients are *accumulated* into `grads`
+    /// (flattened, same layout as [`Stage::param_vector`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != self.num_params()`.
+    pub fn backward(&self, input: &Tensor, grad_out: &Tensor, grads: &mut [f32]) -> Tensor {
+        assert_eq!(grads.len(), self.num_params(), "gradient buffer size");
+        // Recompute intermediate inputs (activation checkpointing).
+        let mut inputs: Vec<Tensor> = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for l in &self.layers {
+            inputs.push(x.clone());
+            x = l.forward(&x);
+        }
+        // Walk back, slicing the flat gradient buffer per layer.
+        let mut offsets: Vec<usize> = Vec::with_capacity(self.layers.len() + 1);
+        let mut acc = 0;
+        for l in &self.layers {
+            offsets.push(acc);
+            acc += l.num_params();
+        }
+        offsets.push(acc);
+        let mut g = grad_out.clone();
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let seg = &mut grads[offsets[i]..offsets[i + 1]];
+            g = l.backward(&inputs[i], &g, seg);
+        }
+        g
+    }
+
+    /// Flattened parameter vector.
+    pub fn param_vector(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.num_params()];
+        let mut offset = 0;
+        for l in &self.layers {
+            let n = l.num_params();
+            l.write_params(&mut out[offset..offset + n]);
+            offset += n;
+        }
+        out
+    }
+
+    /// Loads parameters from a flattened vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.num_params()`.
+    pub fn set_param_vector(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.num_params(), "parameter vector size");
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let n = l.num_params();
+            l.read_params(&src[offset..offset + n]);
+            offset += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(stage: &Stage, input: &Tensor) {
+        // Loss = sum of outputs; grad_out = ones.
+        let out = stage.forward(input);
+        let ones = Tensor::from_vec(
+            out.rows(),
+            out.cols(),
+            vec![1.0; out.rows() * out.cols()],
+        );
+        let mut grads = vec![0.0; stage.num_params()];
+        let grad_in = stage.backward(input, &ones, &mut grads);
+
+        // Parameter gradients by central differences.
+        let base = stage.param_vector();
+        let eps = 1e-3f32;
+        let mut stage_mut = Stage::new(vec![]);
+        let _ = &mut stage_mut;
+        for idx in [0usize, base.len() / 2, base.len() - 1] {
+            let mut plus = base.clone();
+            plus[idx] += eps;
+            let mut minus = base.clone();
+            minus[idx] -= eps;
+            let mut s2 = clone_like(stage);
+            s2.set_param_vector(&plus);
+            let f_plus: f32 = s2.forward(input).data().iter().sum();
+            s2.set_param_vector(&minus);
+            let f_minus: f32 = s2.forward(input).data().iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (numeric - grads[idx]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "param {idx}: numeric {numeric} vs analytic {}",
+                grads[idx]
+            );
+        }
+
+        // Input gradient by central differences (first element).
+        let mut xp = input.clone();
+        xp.data_mut()[0] += eps;
+        let mut xm = input.clone();
+        xm.data_mut()[0] -= eps;
+        let fp: f32 = stage.forward(&xp).data().iter().sum();
+        let fm: f32 = stage.forward(&xm).data().iter().sum();
+        let numeric = (fp - fm) / (2.0 * eps);
+        assert!(
+            (numeric - grad_in.data()[0]).abs() < 2e-2 * (1.0 + numeric.abs()),
+            "input grad: numeric {numeric} vs analytic {}",
+            grad_in.data()[0]
+        );
+    }
+
+    fn clone_like(stage: &Stage) -> Stage {
+        // Rebuild the same architecture as the demo stage below.
+        let s = demo_stage();
+        let mut s2 = s;
+        s2.set_param_vector(&stage.param_vector());
+        s2
+    }
+
+    fn demo_stage() -> Stage {
+        Stage::new(vec![
+            Box::new(Linear::seeded(4, 6, 1)),
+            Box::new(Tanh),
+            Box::new(Linear::seeded(6, 3, 2)),
+        ])
+    }
+
+    fn demo_input() -> Tensor {
+        Tensor::from_vec(2, 4, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, -0.7, 0.8])
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        finite_diff_check(&demo_stage(), &demo_input());
+    }
+
+    #[test]
+    fn param_vector_roundtrips() {
+        let s = demo_stage();
+        let v = s.param_vector();
+        let mut s2 = demo_stage();
+        s2.set_param_vector(&v);
+        assert_eq!(s2.param_vector(), v);
+        assert_eq!(v.len(), s.num_params());
+        assert_eq!(s.num_params(), 4 * 6 + 6 + 6 * 3 + 3);
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let s = demo_stage();
+        let x = demo_input();
+        let out = s.forward(&x);
+        let ones = Tensor::from_vec(out.rows(), out.cols(), vec![1.0; out.data().len()]);
+        let mut g1 = vec![0.0; s.num_params()];
+        s.backward(&x, &ones, &mut g1);
+        let mut g2 = vec![0.0; s.num_params()];
+        s.backward(&x, &ones, &mut g2);
+        s.backward(&x, &ones, &mut g2);
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((2.0 * a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = Linear::seeded(8, 8, 42);
+        let b = Linear::seeded(8, 8, 42);
+        let c = Linear::seeded(8, 8, 43);
+        let to_v = |l: &Linear| {
+            let mut v = vec![0.0; l.num_params()];
+            l.write_params(&mut v);
+            v
+        };
+        assert_eq!(to_v(&a), to_v(&b));
+        assert_ne!(to_v(&a), to_v(&c));
+        assert_eq!(a.in_dim(), 8);
+        assert_eq!(a.out_dim(), 8);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(2, 4, vec![1., 2., 3., 4., -10., 0., 10., 20.]);
+        let y = ln.forward(&x);
+        for r in 0..2 {
+            let row: Vec<f32> = (0..4).map(|c| y.at(r, c)).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_gradients_match_finite_differences() {
+        let mut ln = LayerNorm::new(4);
+        // Non-trivial gain/bias so their gradients are exercised.
+        ln.read_params(&[1.2, 0.8, -0.5, 1.0, 0.1, -0.2, 0.3, 0.0]);
+        let stage = Stage::new(vec![Box::new(ln)]);
+        let x = Tensor::from_vec(2, 4, vec![0.3, -0.7, 1.1, 0.2, -0.4, 0.9, 0.0, -1.3]);
+        let out = stage.forward(&x);
+        // Weighted loss so row symmetry doesn't hide errors.
+        let w: Vec<f32> = (0..8).map(|i| 0.25 + 0.1 * i as f32).collect();
+        let gout = Tensor::from_vec(2, 4, w.clone());
+        let mut grads = vec![0.0; stage.num_params()];
+        let grad_in = stage.backward(&x, &gout, &mut grads);
+        let loss = |s: &Stage, x: &Tensor| -> f32 {
+            s.forward(x)
+                .data()
+                .iter()
+                .zip(&w)
+                .map(|(v, wi)| v * wi)
+                .sum()
+        };
+        let _ = out;
+        let eps = 1e-3;
+        // Parameter gradients.
+        let base = stage.param_vector();
+        for idx in 0..base.len() {
+            let mut s2 = Stage::new(vec![Box::new(LayerNorm::new(4))]);
+            let mut p = base.clone();
+            p[idx] += eps;
+            s2.set_param_vector(&p);
+            let fp = loss(&s2, &x);
+            p[idx] -= 2.0 * eps;
+            s2.set_param_vector(&p);
+            let fm = loss(&s2, &x);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grads[idx]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "param {idx}: numeric {numeric} vs {}",
+                grads[idx]
+            );
+        }
+        // Input gradients.
+        for i in 0..8 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let numeric = (loss(&stage, &xp) - loss(&stage, &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.data()[i]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "input {i}: numeric {numeric} vs {}",
+                grad_in.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn tanh_has_no_params() {
+        let t = Tanh;
+        assert_eq!(t.num_params(), 0);
+        let x = demo_input();
+        let y = t.forward(&x);
+        assert!((y.at(0, 0) - 0.1f32.tanh()).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,63 @@
+//! Loss functions.
+
+use crate::tensor::Tensor;
+
+/// Mean-squared-error loss over one micro-batch:
+/// `L = mean((pred − target)²)`, with gradient `2·(pred − target)/n`.
+///
+/// Returns `(loss, grad)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "mse shape mismatch"
+    );
+    let diff = pred.sub(target);
+    let n = (pred.rows() * pred.cols()) as f32;
+    let loss = diff.sq_norm() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_when_equal() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let (loss, grad) = mse(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let p = Tensor::from_vec(1, 2, vec![1.0, 3.0]);
+        let t = Tensor::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = mse(&p, &t);
+        // ((1)² + (2)²)/2 = 2.5; grads: 2·diff/2 = diff.
+        assert!((loss - 2.5).abs() < 1e-7);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let p = Tensor::from_vec(1, 3, vec![0.5, -0.5, 2.0]);
+        let t = Tensor::from_vec(1, 3, vec![0.0, 0.0, 1.0]);
+        let (_, grad) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= eps;
+            let numeric = (mse(&pp, &t).0 - mse(&pm, &t).0) / (2.0 * eps);
+            assert!((numeric - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Optimizers with shardable state.
+//!
+//! The paper's memory analysis (Eq. 10–12) is driven by the *optimizer
+//! state*: Adam keeps two momenta plus fp32 master weights — 12 bytes per
+//! parameter — and sharding that state across data-parallel ranks is what
+//! `DP_PS`/`DP_FS` (ZeRO) are for. All updates here are **element-wise**,
+//! which is the property that makes sharding exact: applying the update
+//! to a shard with the shard's slice of the state gives bit-identical
+//! results to applying it to the full vector.
+
+/// Which optimizer to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Plain SGD: `w ← w − lr·g`. Stateless.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with momentum: `v ← β·v + g; w ← w − lr·v`.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient β.
+        beta: f32,
+    },
+    /// Adam (Kingma & Ba) with bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay β₁.
+        beta1: f32,
+        /// Second-moment decay β₂.
+        beta2: f32,
+        /// Numerical-stability ε.
+        eps: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Adam with the conventional hyper-parameters
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e−8).
+    pub fn adam(lr: f32) -> Self {
+        OptimizerKind::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Plain SGD.
+    pub fn sgd(lr: f32) -> Self {
+        OptimizerKind::Sgd { lr }
+    }
+
+    /// Initializes the state for `len` parameters.
+    pub fn init_state(&self, len: usize) -> OptimizerState {
+        match self {
+            OptimizerKind::Sgd { .. } => OptimizerState::Sgd,
+            OptimizerKind::Momentum { .. } => OptimizerState::Momentum {
+                velocity: vec![0.0; len],
+            },
+            OptimizerKind::Adam { .. } => OptimizerState::Adam {
+                m: vec![0.0; len],
+                v: vec![0.0; len],
+                t: 0,
+            },
+        }
+    }
+
+    /// Bytes of optimizer state per parameter (Adam's 8 = two fp32
+    /// momenta; the fp32 master weights are accounted separately in the
+    /// paper's 12-byte figure).
+    pub fn state_bytes_per_param(&self) -> usize {
+        match self {
+            OptimizerKind::Sgd { .. } => 0,
+            OptimizerKind::Momentum { .. } => 4,
+            OptimizerKind::Adam { .. } => 8,
+        }
+    }
+
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params`, `grads` and the state disagree on length, or
+    /// if the state variant does not match the kind.
+    pub fn step(&self, state: &mut OptimizerState, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        match (self, state) {
+            (OptimizerKind::Sgd { lr }, OptimizerState::Sgd) => {
+                for (p, g) in params.iter_mut().zip(grads) {
+                    *p -= lr * g;
+                }
+            }
+            (OptimizerKind::Momentum { lr, beta }, OptimizerState::Momentum { velocity }) => {
+                assert_eq!(velocity.len(), params.len(), "state length mismatch");
+                for ((p, g), v) in params.iter_mut().zip(grads).zip(velocity.iter_mut()) {
+                    *v = beta * *v + g;
+                    *p -= lr * *v;
+                }
+            }
+            (
+                OptimizerKind::Adam {
+                    lr,
+                    beta1,
+                    beta2,
+                    eps,
+                },
+                OptimizerState::Adam { m, v, t },
+            ) => {
+                assert_eq!(m.len(), params.len(), "state length mismatch");
+                *t += 1;
+                let bc1 = 1.0 - beta1.powi(*t);
+                let bc2 = 1.0 - beta2.powi(*t);
+                for (((p, g), mi), vi) in
+                    params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+                {
+                    *mi = beta1 * *mi + (1.0 - beta1) * g;
+                    *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                    let m_hat = *mi / bc1;
+                    let v_hat = *vi / bc2;
+                    *p -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+            _ => panic!("optimizer state variant does not match kind"),
+        }
+    }
+}
+
+/// Per-parameter-vector optimizer state (one per stage shard).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerState {
+    /// No state.
+    Sgd,
+    /// Momentum buffer.
+    Momentum {
+        /// The velocity vector.
+        velocity: Vec<f32>,
+    },
+    /// Adam moments and step counter.
+    Adam {
+        /// First moments.
+        m: Vec<f32>,
+        /// Second moments.
+        v: Vec<f32>,
+        /// Step counter (for bias correction).
+        t: i32,
+    },
+}
+
+impl OptimizerState {
+    /// Extracts the sub-state for a contiguous shard `range` — the ZeRO
+    /// sharding operation. Element-wise optimizers make this exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn shard(&self, range: std::ops::Range<usize>) -> OptimizerState {
+        match self {
+            OptimizerState::Sgd => OptimizerState::Sgd,
+            OptimizerState::Momentum { velocity } => OptimizerState::Momentum {
+                velocity: velocity[range].to_vec(),
+            },
+            OptimizerState::Adam { m, v, t } => OptimizerState::Adam {
+                m: m[range.clone()].to_vec(),
+                v: v[range].to_vec(),
+                t: *t,
+            },
+        }
+    }
+
+    /// Returns a copy zero-padded (or truncated) to `len` elements —
+    /// used to align state with padded shard boundaries.
+    pub fn resized(&self, len: usize) -> OptimizerState {
+        let fit = |v: &Vec<f32>| {
+            let mut v = v.clone();
+            v.resize(len, 0.0);
+            v
+        };
+        match self {
+            OptimizerState::Sgd => OptimizerState::Sgd,
+            OptimizerState::Momentum { velocity } => OptimizerState::Momentum {
+                velocity: fit(velocity),
+            },
+            OptimizerState::Adam { m, v, t } => OptimizerState::Adam {
+                m: fit(m),
+                v: fit(v),
+                t: *t,
+            },
+        }
+    }
+
+    /// Reassembles a full state from rank-ordered shards (the inverse of
+    /// [`OptimizerState::shard`] over a partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input or mixed variants.
+    pub fn concat(shards: &[OptimizerState]) -> OptimizerState {
+        let first = shards.first().expect("at least one shard");
+        match first {
+            OptimizerState::Sgd => OptimizerState::Sgd,
+            OptimizerState::Momentum { .. } => {
+                let mut velocity = Vec::new();
+                for s in shards {
+                    match s {
+                        OptimizerState::Momentum { velocity: v } => velocity.extend(v),
+                        _ => panic!("mixed optimizer state variants"),
+                    }
+                }
+                OptimizerState::Momentum { velocity }
+            }
+            OptimizerState::Adam { t, .. } => {
+                let t = *t;
+                let mut m = Vec::new();
+                let mut v = Vec::new();
+                for s in shards {
+                    match s {
+                        OptimizerState::Adam { m: ms, v: vs, t: ts } => {
+                            assert_eq!(*ts, t, "shards disagree on step counter");
+                            m.extend(ms);
+                            v.extend(vs);
+                        }
+                        _ => panic!("mixed optimizer state variants"),
+                    }
+                }
+                OptimizerState::Adam { m, v, t }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_matches_closed_form() {
+        let k = OptimizerKind::sgd(0.1);
+        let mut s = k.init_state(2);
+        let mut p = vec![1.0, 2.0];
+        k.step(&mut s, &mut p, &[10.0, -10.0]);
+        assert_eq!(p, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let k = OptimizerKind::Momentum { lr: 1.0, beta: 0.5 };
+        let mut s = k.init_state(1);
+        let mut p = vec![0.0];
+        k.step(&mut s, &mut p, &[1.0]); // v = 1, p = -1
+        k.step(&mut s, &mut p, &[1.0]); // v = 1.5, p = -2.5
+        assert_eq!(p, vec![-2.5]);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step ≈ lr·sign(g).
+        let k = OptimizerKind::adam(0.001);
+        let mut s = k.init_state(2);
+        let mut p = vec![0.0, 0.0];
+        k.step(&mut s, &mut p, &[3.0, -0.5]);
+        assert!((p[0] + 0.001).abs() < 1e-6, "{p:?}");
+        assert!((p[1] - 0.001).abs() < 1e-6, "{p:?}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize (w − 3)²: Adam must approach 3.
+        let k = OptimizerKind::adam(0.1);
+        let mut s = k.init_state(1);
+        let mut p = vec![0.0];
+        for _ in 0..500 {
+            let g = 2.0 * (p[0] - 3.0);
+            k.step(&mut s, &mut p, &[g]);
+        }
+        assert!((p[0] - 3.0).abs() < 0.05, "got {}", p[0]);
+    }
+
+    #[test]
+    fn sharded_update_equals_full_update() {
+        // The ZeRO property: per-shard update == slice of full update.
+        let k = OptimizerKind::adam(0.01);
+        let grads: Vec<f32> = (0..10).map(|i| (i as f32 - 5.0) * 0.3).collect();
+        // Full update, two steps.
+        let mut full_state = k.init_state(10);
+        let mut full = vec![1.0f32; 10];
+        k.step(&mut full_state, &mut full, &grads);
+        k.step(&mut full_state, &mut full, &grads);
+        // Sharded update: two ranks of 5.
+        let mut out = Vec::new();
+        for r in 0..2 {
+            let range = r * 5..(r + 1) * 5;
+            let mut st = k.init_state(5);
+            let mut p = vec![1.0f32; 5];
+            k.step(&mut st, &mut p, &grads[range.clone()]);
+            k.step(&mut st, &mut p, &grads[range]);
+            out.extend(p);
+        }
+        assert_eq!(out, full, "elementwise updates shard exactly");
+    }
+
+    #[test]
+    fn state_shard_extracts_ranges() {
+        let k = OptimizerKind::adam(0.01);
+        let mut s = k.init_state(4);
+        let mut p = vec![0.0; 4];
+        k.step(&mut s, &mut p, &[1.0, 2.0, 3.0, 4.0]);
+        let shard = s.shard(1..3);
+        match (&s, &shard) {
+            (OptimizerState::Adam { m, t, .. }, OptimizerState::Adam { m: ms, t: ts, .. }) => {
+                assert_eq!(&m[1..3], ms.as_slice());
+                assert_eq!(t, ts);
+            }
+            _ => panic!("wrong variants"),
+        }
+    }
+
+    #[test]
+    fn state_bytes_match_paper_accounting() {
+        assert_eq!(OptimizerKind::sgd(0.1).state_bytes_per_param(), 0);
+        assert_eq!(OptimizerKind::adam(0.1).state_bytes_per_param(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "variant does not match")]
+    fn mismatched_state_rejected() {
+        let k = OptimizerKind::adam(0.1);
+        let mut s = OptimizerState::Sgd;
+        k.step(&mut s, &mut [0.0], &[1.0]);
+    }
+}

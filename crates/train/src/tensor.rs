@@ -1,0 +1,357 @@
+//! A minimal dense f32 matrix type with exactly the operations the
+//! training substrate needs. Row-major, two-dimensional.
+
+use std::fmt;
+
+/// A dense row-major f32 matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// `self · other` (matrix product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, b) in out_row.iter_mut().zip(row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` — used for weight gradients (`xᵀ · g`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.data[r * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let grow = &other.data[r * other.cols..(r + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, g) in orow.iter_mut().zip(grow) {
+                    *o += a * g;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` — used for input gradients (`g · Wᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds `other` element-wise into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// `self − other`, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "sub shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let data = self.data.iter().map(|x| x * s).collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Applies `f` element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data.iter().map(|x| f(*x)).collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Column sums (used for bias gradients): a `1 × cols` tensor.
+    pub fn col_sums(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Adds a `1 × cols` row vector to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols`.
+    pub fn add_row(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+
+    /// Sum of squared elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Row-wise numerically stable softmax.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let g = Tensor::from_vec(3, 4, (0..12).map(|i| i as f32).collect());
+        // aᵀ·g == transpose(a).matmul(g)
+        let mut at = Tensor::zeros(2, 3);
+        for r in 0..3 {
+            for c in 0..2 {
+                at.data_mut()[c * 3 + r] = a.at(r, c);
+            }
+        }
+        assert_eq!(a.matmul_tn(&g), at.matmul(&g));
+        // g·aᵀ over matching inner dim.
+        let w = Tensor::from_vec(5, 2, (0..10).map(|i| i as f32).collect());
+        let x = Tensor::from_vec(3, 2, (0..6).map(|i| i as f32).collect());
+        let mut wt = Tensor::zeros(2, 5);
+        for r in 0..5 {
+            for c in 0..2 {
+                wt.data_mut()[c * 5 + r] = w.at(r, c);
+            }
+        }
+        assert_eq!(x.matmul_nt(&w), x.matmul(&wt));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(2, 2, vec![4., 3., 2., 1.]);
+        assert_eq!(a.sub(&b).data(), &[-3., -1., 1., 3.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6., 8.]);
+        assert_eq!(a.hadamard(&b).data(), &[4., 6., 6., 4.]);
+        assert_eq!(a.map(|x| x * x).data(), &[1., 4., 9., 16.]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.data(), &[5., 5., 5., 5.]);
+        assert_eq!(a.sq_norm(), 30.0);
+    }
+
+    #[test]
+    fn bias_helpers() {
+        let x = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(x.col_sums().data(), &[5., 7., 9.]);
+        let b = Tensor::from_vec(1, 3, vec![10., 20., 30.]);
+        assert_eq!(x.add_row(&b).data(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let x = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        let s = x.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Uniform row -> uniform softmax.
+        assert!((s.at(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+        // Monotone in the logits.
+        assert!(s.at(0, 2) > s.at(0, 1) && s.at(0, 1) > s.at(0, 0));
+    }
+
+    #[test]
+    fn softmax_rows_is_stable_for_large_logits() {
+        let x = Tensor::from_vec(1, 2, vec![1000.0, 999.0]);
+        let s = x.softmax_rows();
+        assert!(s.at(0, 0).is_finite() && s.at(0, 1).is_finite());
+        assert!((s.at(0, 0) + s.at(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        Tensor::zeros(2, 3).matmul(&Tensor::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_vec_length_checked() {
+        Tensor::from_vec(2, 2, vec![1.0]);
+    }
+}

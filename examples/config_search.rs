@@ -1,0 +1,45 @@
+//! The paper's §5.1 methodology as a tool: for a model and a global batch
+//! size, search every valid configuration of each method and print the
+//! winners — the data behind one column of Figure 5.
+//!
+//! ```sh
+//! cargo run --release --example config_search [52b|6.6b] [batch]
+//! ```
+
+use bfpp::cluster::presets::dgx1_v100;
+use bfpp::exec::search::{best_config, Method, SearchOptions};
+use bfpp::exec::KernelModel;
+use bfpp::model::presets::by_name;
+
+fn main() {
+    let model_name = std::env::args().nth(1).unwrap_or_else(|| "52b".into());
+    let batch: u64 = std::env::args()
+        .nth(2)
+        .map(|b| b.parse().expect("numeric batch"))
+        .unwrap_or(48);
+    let model = by_name(&model_name).expect("model: 52b or 6.6b");
+    let cluster = dgx1_v100(8);
+    let kernel = KernelModel::v100();
+    let opts = SearchOptions::default();
+
+    println!(
+        "best configurations for {} at global batch {batch} on {}:\n",
+        model.name, cluster.name
+    );
+    for method in Method::ALL {
+        match best_config(&model, &cluster, method, batch, &kernel, &opts) {
+            Some(r) => println!(
+                "{:>14}: {:>6.2} Tflop/s/GPU  ({}, {} | {} | {} | {}, {:>5.1} GiB)",
+                method.label(),
+                r.measurement.tflops_per_gpu,
+                r.kind,
+                r.cfg.grid,
+                r.cfg.placement,
+                r.cfg.batch,
+                r.cfg.dp,
+                r.measurement.memory_gib(),
+            ),
+            None => println!("{:>14}: no feasible configuration", method.label()),
+        }
+    }
+}

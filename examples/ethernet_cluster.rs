@@ -1,0 +1,45 @@
+//! The paper's §4.3 "additional use case": clusters without InfiniBand.
+//! On a slow Ethernet network the data-parallel overhead is hard to
+//! amortize, and the breadth-first schedule's whole-batch overlap matters
+//! even at moderate batch sizes. This example compares the four methods
+//! on the same 64-GPU cluster with and without InfiniBand.
+//!
+//! ```sh
+//! cargo run --release --example ethernet_cluster [batch]
+//! ```
+
+use bfpp::cluster::presets::{dgx1_v100, dgx1_v100_ethernet};
+use bfpp::exec::search::{best_config, Method, SearchOptions};
+use bfpp::exec::KernelModel;
+use bfpp::model::presets::bert_6_6b;
+
+fn main() {
+    let batch: u64 = std::env::args()
+        .nth(1)
+        .map(|b| b.parse().expect("numeric batch"))
+        .unwrap_or(128);
+    let model = bert_6_6b();
+    let kernel = KernelModel::v100();
+    let opts = SearchOptions::default();
+
+    for cluster in [dgx1_v100(8), dgx1_v100_ethernet(8)] {
+        println!("== {} (batch {batch}) ==", cluster.name);
+        println!(
+            "   inter-node hardware intensity: {:.0} flop/byte",
+            cluster.inter_node_intensity()
+        );
+        for method in Method::ALL {
+            match best_config(&model, &cluster, method, batch, &kernel, &opts) {
+                Some(r) => println!(
+                    "{:>16}: {:>6.2} Tflop/s/GPU ({}, {})",
+                    method.label(),
+                    r.measurement.tflops_per_gpu,
+                    r.cfg.grid,
+                    r.cfg.dp,
+                ),
+                None => println!("{:>16}: no feasible configuration", method.label()),
+            }
+        }
+        println!();
+    }
+}

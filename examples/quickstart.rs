@@ -1,0 +1,64 @@
+//! Quickstart: simulate one training batch of the paper's headline
+//! configuration — the 52 B BERT on 64 V100s with a breadth-first looped
+//! pipeline and fully sharded data parallelism — and print the metrics
+//! the paper reports.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bfpp::cluster::presets::dgx1_v100;
+use bfpp::core::ScheduleKind;
+use bfpp::exec::{simulate, KernelModel, OverlapConfig};
+use bfpp::model::presets::bert_52b;
+use bfpp::parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+
+fn main() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+
+    // Table E.1's best breadth-first entry at batch 48:
+    // N_PP = 8, N_TP = 2, N_DP = 4, S_mb = 1, N_mb = 12, 8 stages/device,
+    // fully sharded.
+    let cfg = ParallelConfig::new(
+        Grid::new(4, 2, 8),
+        Placement::looping(8, 8),
+        BatchConfig::new(12, 1),
+        DataParallelism::FullySharded,
+    );
+
+    println!("model:   {model}");
+    println!("cluster: {cluster}");
+    println!(
+        "config:  {} | {} | {} | {}",
+        cfg.grid, cfg.placement, cfg.batch, cfg.dp
+    );
+    println!("batch size per GPU (beta): {:.3}\n", cfg.batch_per_gpu());
+
+    // The depth-first baseline needs N_mb divisible by N_PP (§4.1) and,
+    // as the Megatron-LM of the paper, runs unsharded — at the same global
+    // batch of 48 its best shape looks like Table E.1's: N_TP = 8,
+    // N_PP = 8, 48 sequential micro-batches.
+    let df_cfg = ParallelConfig::new(
+        Grid::new(1, 8, 8),
+        Placement::looping(8, 4),
+        BatchConfig::new(48, 1),
+        DataParallelism::Unsharded,
+    );
+
+    for (kind, cfg, overlap) in [
+        (ScheduleKind::BreadthFirst, &cfg, OverlapConfig::full()),
+        (ScheduleKind::DepthFirst, &df_cfg, OverlapConfig::megatron()),
+    ] {
+        let m = simulate(&model, &cluster, cfg, kind, overlap, &KernelModel::v100())
+            .expect("valid configuration");
+        println!(
+            "{kind:>14}: {:>7.2} ms/batch  {:>6.2} Tflop/s/GPU  {:>5.1}% utilization  {:>5.1} GiB  (batch {})",
+            m.batch_seconds * 1e3,
+            m.tflops_per_gpu,
+            m.utilization * 100.0,
+            m.memory_gib(),
+            m.global_batch
+        );
+    }
+}

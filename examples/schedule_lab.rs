@@ -1,0 +1,89 @@
+//! Schedule laboratory: explores the schedules *between* the paper's four
+//! named ones using the extension generators —
+//!
+//! * the hybrid schedule of §4.2 ("sequences of more than N_PP
+//!   micro-batches"), sweeping the sequence length `k` between
+//!   depth-first-like and breadth-first behaviour;
+//! * the greedy generator with 1F1B-style in-flight caps, trading
+//!   activation memory against bubble.
+//!
+//! For each schedule it reports the exact bubble, the peak checkpoint
+//! count, and the fully-sharded gather count — the three quantities the
+//! paper's §4.2 trades off.
+//!
+//! ```sh
+//! cargo run --release --example schedule_lab [n_pp] [n_loop] [n_mb]
+//! ```
+
+use bfpp::core::{GreedyPolicy, Schedule, ScheduleKind};
+use bfpp::parallel::Placement;
+
+fn report(name: &str, s: &Schedule) {
+    s.validate().expect("valid schedule");
+    let t = s.exact_timing(1, 2);
+    let gathers: usize = (0..s.n_pp()).map(|d| s.fs_gathers_per_device(d)).sum();
+    println!(
+        "{name:>24}: bubble {:>5.1}%  peak ckpts {:>3}  FS gathers {:>3}",
+        t.bubble_overhead() * 100.0,
+        s.peak_checkpoints(),
+        gathers
+    );
+}
+
+fn main() {
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric arguments"))
+        .collect();
+    let n_pp = args.first().copied().unwrap_or(4);
+    let n_loop = args.get(1).copied().unwrap_or(4);
+    let n_mb = args.get(2).copied().unwrap_or(16);
+    let p = Placement::looping(n_pp, n_loop);
+
+    println!("pipeline: N_PP = {n_pp}, N_loop = {n_loop}, N_mb = {n_mb}\n");
+
+    println!("-- the paper's named schedules --");
+    report(
+        "breadth-first",
+        &Schedule::generate(ScheduleKind::BreadthFirst, p, n_mb).unwrap(),
+    );
+    if n_mb % n_pp == 0 {
+        report(
+            "depth-first",
+            &Schedule::generate(ScheduleKind::DepthFirst, p, n_mb).unwrap(),
+        );
+    }
+
+    println!("\n-- hybrid (sequences of k micro-batches, §4.2's sketch) --");
+    let mut k = n_pp;
+    while k < n_mb {
+        report(
+            &format!("hybrid k={k}"),
+            &Schedule::generate_hybrid(p, n_mb, k).unwrap(),
+        );
+        k *= 2;
+    }
+    report(
+        &format!("hybrid k={n_mb} (=BF)"),
+        &Schedule::generate_hybrid(p, n_mb, n_mb).unwrap(),
+    );
+
+    println!("\n-- greedy with in-flight caps (1F1B's warmup knob) --");
+    for cap in [n_pp, 2 * n_pp, n_mb] {
+        let policy = GreedyPolicy {
+            backward_first: true,
+            breadth_first_forwards: false,
+            max_in_flight: Some(cap),
+        };
+        match Schedule::generate_greedy(p, n_mb, policy) {
+            Ok(s) => report(&format!("greedy cap={cap}"), &s),
+            Err(e) => println!("{:>24}: {e}", format!("greedy cap={cap}")),
+        }
+    }
+
+    println!(
+        "\nreading: breadth-first minimizes bubble and FS gathers but holds\n\
+         every checkpoint; tighter caps and shorter sequences trade memory\n\
+         against bubble and gather count — the §4.2 design space."
+    );
+}

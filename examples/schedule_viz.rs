@@ -1,0 +1,27 @@
+//! Renders the four pipeline schedules as ASCII timelines (the paper's
+//! Figure 4), both in idealized unit-cost form and as a full hardware
+//! simulation with communication streams.
+//!
+//! ```sh
+//! cargo run --release --example schedule_viz [n_pp] [n_loop] [n_mb]
+//! ```
+
+use bfpp_bench::figures::{figure4, schedule_unit_timelines};
+
+fn main() {
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric arguments"))
+        .collect();
+    let n_pp = args.first().copied().unwrap_or(4);
+    let n_loop = args.get(1).copied().unwrap_or(4);
+    let n_mb = args.get(2).copied().unwrap_or(8);
+
+    println!("## Unit-cost schedules (digits = forward micro-batch, letters = backward)\n");
+    print!("{}", schedule_unit_timelines(n_pp, n_loop, n_mb));
+
+    println!("\n## Hardware simulation (Figure 4 setup: compute + DP streams)\n");
+    let (art, table) = figure4();
+    print!("{art}");
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,14 @@
+//! # bfpp — Breadth-First Pipeline Parallelism
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! overview and the `examples/` directory for runnable entry points.
+
+pub use bfpp_analytic as analytic;
+pub use bfpp_cluster as cluster;
+pub use bfpp_collectives as collectives;
+pub use bfpp_core as core;
+pub use bfpp_exec as exec;
+pub use bfpp_model as model;
+pub use bfpp_parallel as parallel;
+pub use bfpp_sim as sim;
+pub use bfpp_train as train;

@@ -1,0 +1,277 @@
+//! Cross-crate integration tests: the paper's qualitative claims, checked
+//! end-to-end through the full stack (model → cluster → schedules →
+//! lowering → simulation → search).
+
+use bfpp::cluster::presets::{dgx1_v100, dgx1_v100_ethernet};
+use bfpp::core::ScheduleKind;
+use bfpp::exec::search::{best_config, Method, SearchOptions};
+use bfpp::exec::{simulate, KernelModel, OverlapConfig};
+use bfpp::model::presets::{bert_52b, bert_6_6b};
+use bfpp::parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+
+fn quick_opts() -> SearchOptions {
+    SearchOptions {
+        max_microbatch: 8,
+        max_loop: 16,
+        max_actions: 60_000,
+    }
+}
+
+/// §5.2, Figure 5a: near β_min the ordering is
+/// breadth-first > depth-first > non-looped ≫ no-pipeline.
+#[test]
+fn method_ordering_at_small_batch() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let k = KernelModel::v100();
+    let opts = quick_opts();
+    let t = |method, batch| {
+        best_config(&model, &cluster, method, batch, &k, &opts)
+            .map(|r| r.measurement.tflops_per_gpu)
+            .unwrap_or(0.0)
+    };
+    let bf = t(Method::BreadthFirst, 8);
+    let df = t(Method::DepthFirst, 8);
+    let nl = t(Method::NonLooped, 8);
+    let np = t(Method::NoPipeline, 8);
+    assert!(bf > df, "bf {bf} !> df {df}");
+    assert!(df > nl, "df {df} !> non-looped {nl}");
+    assert!(nl > np, "non-looped {nl} !> no-pipeline {np}");
+}
+
+/// §5.2: the breadth-first advantage over the baselines near β_min is
+/// large (the paper reports 53% and 43%; we require >25% to be robust to
+/// calibration details).
+#[test]
+fn breadth_first_margin_near_beta_min() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let k = KernelModel::v100();
+    let opts = quick_opts();
+    let bf = best_config(&model, &cluster, Method::BreadthFirst, 9, &k, &opts)
+        .unwrap()
+        .measurement
+        .tflops_per_gpu;
+    let nl = best_config(&model, &cluster, Method::NonLooped, 8, &k, &opts)
+        .unwrap()
+        .measurement
+        .tflops_per_gpu;
+    let df = best_config(&model, &cluster, Method::DepthFirst, 8, &k, &opts)
+        .unwrap()
+        .measurement
+        .tflops_per_gpu;
+    assert!(
+        bf > 1.25 * nl,
+        "breadth-first must beat non-looped by a wide margin: {bf} vs {nl}"
+    );
+    assert!(
+        bf > 1.15 * df,
+        "breadth-first must beat depth-first clearly: {bf} vs {df}"
+    );
+}
+
+/// Figure 5a's right side: with a large enough batch, the no-pipeline
+/// method becomes competitive (within ~20% of breadth-first).
+#[test]
+fn no_pipeline_competitive_at_large_batch() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let k = KernelModel::v100();
+    let opts = quick_opts();
+    let bf = best_config(&model, &cluster, Method::BreadthFirst, 256, &k, &opts)
+        .unwrap()
+        .measurement
+        .tflops_per_gpu;
+    let np = best_config(&model, &cluster, Method::NoPipeline, 512, &k, &opts)
+        .unwrap()
+        .measurement
+        .tflops_per_gpu;
+    assert!(
+        np > 0.8 * bf,
+        "no-pipeline should catch up at high batch: {np} vs bf {bf}"
+    );
+}
+
+/// §4.2/A.2: with the same grid and batch, breadth-first + fully sharded
+/// uses less memory than the unsharded alternative, at comparable or
+/// better speed.
+#[test]
+fn fully_sharded_breadth_first_saves_memory() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let k = KernelModel::v100();
+    let mk = |dp| {
+        ParallelConfig::new(
+            Grid::new(4, 2, 8),
+            Placement::looping(8, 8),
+            BatchConfig::new(12, 1),
+            dp,
+        )
+    };
+    let fs = simulate(
+        &model,
+        &cluster,
+        &mk(DataParallelism::FullySharded),
+        ScheduleKind::BreadthFirst,
+        OverlapConfig::full(),
+        &k,
+    )
+    .unwrap();
+    let dp0 = simulate(
+        &model,
+        &cluster,
+        &mk(DataParallelism::Unsharded),
+        ScheduleKind::BreadthFirst,
+        OverlapConfig::full(),
+        &k,
+    )
+    .unwrap();
+    assert!(
+        fs.memory_bytes < 0.5 * dp0.memory_bytes,
+        "FS memory {} must be far below DP0 {}",
+        fs.memory_gib(),
+        dp0.memory_gib()
+    );
+    assert!(
+        fs.tflops_per_gpu > 0.85 * dp0.tflops_per_gpu,
+        "BF+FS must not give up much speed: {} vs {}",
+        fs.tflops_per_gpu,
+        dp0.tflops_per_gpu
+    );
+}
+
+/// §4.3 / Figure 5c: on Ethernet everything is slower, and the
+/// no-pipeline method suffers the most (its DP traffic cannot hide).
+#[test]
+fn ethernet_slows_everything_and_punishes_pure_dp() {
+    let model = bert_6_6b();
+    let ib = dgx1_v100(8);
+    let eth = dgx1_v100_ethernet(8);
+    let k = KernelModel::v100();
+    let opts = quick_opts();
+    let batch = 128;
+    let run = |cluster, method| {
+        best_config(&model, cluster, method, batch, &k, &opts)
+            .map(|r| r.measurement.tflops_per_gpu)
+            .unwrap_or(0.0)
+    };
+    let bf_ib = run(&ib, Method::BreadthFirst);
+    let bf_eth = run(&eth, Method::BreadthFirst);
+    let np_ib = run(&ib, Method::NoPipeline);
+    let np_eth = run(&eth, Method::NoPipeline);
+    assert!(bf_eth < bf_ib, "ethernet must slow breadth-first");
+    assert!(np_eth < np_ib, "ethernet must slow no-pipeline");
+    // Relative damage is worse for pure DP.
+    assert!(
+        np_eth / np_ib < bf_eth / bf_ib,
+        "no-pipeline must lose more on ethernet: np {:.2} vs bf {:.2}",
+        np_eth / np_ib,
+        bf_eth / bf_ib
+    );
+    // And breadth-first leads on Ethernet at this batch.
+    assert!(bf_eth > np_eth, "bf {bf_eth} !> np {np_eth} on ethernet");
+}
+
+/// Overlap matters (Figure 2b): the same breadth-first configuration
+/// without network overlap loses meaningful throughput.
+#[test]
+fn disabling_overlap_hurts() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let k = KernelModel::v100();
+    // A grid whose data-parallel groups span nodes (DP stride × width
+    // exceeds a node), so the gradient traffic rides InfiniBand and
+    // overlap has something real to hide.
+    let cfg = ParallelConfig::new(
+        Grid::new(16, 2, 2),
+        Placement::looping(2, 16),
+        BatchConfig::new(4, 1),
+        DataParallelism::FullySharded,
+    );
+    let with = simulate(
+        &model,
+        &cluster,
+        &cfg,
+        ScheduleKind::BreadthFirst,
+        OverlapConfig::full(),
+        &k,
+    )
+    .unwrap();
+    let without = simulate(
+        &model,
+        &cluster,
+        &cfg,
+        ScheduleKind::BreadthFirst,
+        OverlapConfig::none(),
+        &k,
+    )
+    .unwrap();
+    assert!(
+        with.tflops_per_gpu > 1.1 * without.tflops_per_gpu,
+        "overlap must buy >10%: {} vs {}",
+        with.tflops_per_gpu,
+        without.tflops_per_gpu
+    );
+}
+
+/// The search must actually pick looped configurations for the
+/// breadth-first method at small batch — the mechanism, not just the
+/// outcome.
+#[test]
+fn search_prefers_looping_at_small_batch() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let k = KernelModel::v100();
+    let r = best_config(
+        &model,
+        &cluster,
+        Method::BreadthFirst,
+        9,
+        &k,
+        &quick_opts(),
+    )
+    .unwrap();
+    assert!(
+        r.cfg.placement.n_loop() >= 4,
+        "expected a deeply looped winner, got {}",
+        r.cfg.placement
+    );
+}
+
+/// Table E.1's structural signature of the Megatron depth-first baseline:
+/// at large batch the synchronization-heavy transfers make deep
+/// interleaving unprofitable, so the search settles on shallow loops
+/// (the paper's winning configurations use 2 stages/device).
+#[test]
+fn depth_first_baseline_prefers_shallow_loops_at_large_batch() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let k = KernelModel::v100();
+    let r = best_config(
+        &model,
+        &cluster,
+        Method::DepthFirst,
+        256,
+        &k,
+        &quick_opts(),
+    )
+    .expect("feasible");
+    assert!(
+        r.cfg.placement.n_loop() <= 4,
+        "expected a shallow-loop Megatron-style winner, got {}",
+        r.cfg.placement
+    );
+    // While breadth-first at the same batch happily uses deeper loops or
+    // large micro-batches with sharding.
+    let bf = best_config(
+        &model,
+        &cluster,
+        Method::BreadthFirst,
+        256,
+        &k,
+        &quick_opts(),
+    )
+    .expect("feasible");
+    assert!(bf.measurement.tflops_per_gpu > r.measurement.tflops_per_gpu);
+    assert!(bf.cfg.dp.is_sharded(), "BF should win with sharding here");
+}

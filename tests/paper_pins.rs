@@ -1,0 +1,98 @@
+//! Pins the paper's own worked numbers across crate boundaries — the
+//! quantitative anchors of the reproduction.
+
+use bfpp::analytic::intensity;
+use bfpp::cluster::presets::{dgx_a100, dgx1_v100};
+use bfpp::core::{Schedule, ScheduleKind};
+use bfpp::model::presets::{bert_52b, bert_6_6b, gpt3, one_t};
+use bfpp::parallel::Placement;
+
+/// Appendix A.3: A100 hardware intensities.
+#[test]
+fn a100_hardware_intensities() {
+    let c = dgx_a100(2);
+    assert!((c.inter_node_intensity() - 6240.0).abs() < 1.0);
+    assert!((c.intra_node_intensity() - 520.0).abs() < 1.0);
+}
+
+/// A.3.1: β̃_min = 4 on an A100 at S_seq = 2048.
+#[test]
+fn beta_min_tilde_a100() {
+    let c = dgx_a100(2);
+    let b = intensity::beta_min_tilde(&gpt3(), c.inter_node_intensity());
+    assert_eq!(b, 4.0);
+}
+
+/// A.3.3: tensor-parallel intensities 3072 (GPT-3) and 6400 (1T) at
+/// N_TP = 8.
+#[test]
+fn tensor_parallel_intensities() {
+    assert_eq!(intensity::tensor(&gpt3(), 8), 3072.0);
+    assert_eq!(intensity::tensor(&one_t(), 8), 6400.0);
+}
+
+/// Table 5.1 parameter counts: ~52 B and ~6.6 B.
+#[test]
+fn evaluation_model_sizes() {
+    assert!((bert_52b().total_params() as f64 / 1e9 - 52.0).abs() < 1.0);
+    assert!((bert_6_6b().total_params() as f64 / 1e9 - 6.6).abs() < 0.2);
+}
+
+/// §5.1: the evaluation cluster is 8 DGX-1 nodes = 64 V100s.
+#[test]
+fn evaluation_cluster_shape() {
+    let c = dgx1_v100(8);
+    assert_eq!(c.num_gpus(), 64);
+    assert_eq!(c.node.gpus_per_node, 8);
+    assert_eq!(c.node.gpu.peak_fp16_flops, 125e12);
+}
+
+/// Eqs. (3)/(7) as one statement across the whole schedule family: the
+/// measured bubble equals (N_PP − 1)/(N_mb · N_loop).
+#[test]
+fn bubble_closed_form_all_schedules() {
+    for kind in ScheduleKind::ALL {
+        let (placement, n_loop) = if kind.supports_looping() {
+            (Placement::looping(4, 4), 4u32)
+        } else {
+            (Placement::linear(4), 1u32)
+        };
+        let s = Schedule::generate(kind, placement, 8).unwrap();
+        let t = s.exact_timing(1, 2);
+        let expect = 3.0 / (8.0 * n_loop as f64);
+        assert!(
+            (t.bubble_overhead() - expect).abs() < 1e-9,
+            "{kind}: {} vs {expect}",
+            t.bubble_overhead()
+        );
+    }
+}
+
+/// §4.2: the paper's example — 128 layers on 64 pipeline devices
+/// constrains the loop count to at most 2.
+#[test]
+fn trillion_parameter_loop_constraint() {
+    let m = one_t();
+    let n_pp = 64;
+    let max_loop = m.num_layers / n_pp;
+    assert_eq!(max_loop, 2);
+    // And the corresponding placement is constructible.
+    let p = Placement::looping(n_pp, max_loop);
+    assert_eq!(p.num_stages(), 128);
+    assert!(p.even_layers_per_stage(m.num_layers).is_some());
+}
+
+/// A.2.2 context: the 52 B model at β_min on the paper's cluster —
+/// N_TP = 8, N_PP = 8, one sample per micro-batch — has β = 1/8.
+#[test]
+fn beta_min_on_evaluation_cluster() {
+    use bfpp::parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig};
+    let cfg = ParallelConfig::new(
+        Grid::new(1, 8, 8),
+        Placement::looping(8, 8),
+        BatchConfig::new(8, 1),
+        DataParallelism::Unsharded,
+    );
+    assert!((cfg.batch_per_gpu() - 0.125).abs() < 1e-12);
+    assert!(cfg.validate(&bert_52b(), &dgx1_v100(8)).is_ok());
+}
