@@ -104,7 +104,13 @@ impl EfficiencyModel {
         best
     }
 
-    fn pipeline_efficiency(&self, beta: f64, n_loop: u32, breadth_first: bool, overlap: bool) -> f64 {
+    fn pipeline_efficiency(
+        &self,
+        beta: f64,
+        n_loop: u32,
+        breadth_first: bool,
+        overlap: bool,
+    ) -> f64 {
         self.pipeline_efficiency_loop(beta, n_loop, breadth_first, overlap)
     }
 

@@ -116,8 +116,6 @@ mod tests {
     #[test]
     fn looping_divides_pipeline_intensity() {
         let m = presets::bert_52b();
-        assert!(
-            (pipeline(&m, 8, 4) - pipeline(&m, 8, 1) / 4.0).abs() < 1e-9
-        );
+        assert!((pipeline(&m, 8, 4) - pipeline(&m, 8, 1) / 4.0).abs() < 1e-9);
     }
 }

@@ -111,22 +111,15 @@ impl TradeoffModel {
     ///
     /// Returns one [`TradeoffPoint`] per cluster size; sizes with no
     /// operating points are skipped.
-    pub fn frontier(
-        &self,
-        points: &[OperatingPoint],
-        cluster_sizes: &[u32],
-    ) -> Vec<TradeoffPoint> {
+    pub fn frontier(&self, points: &[OperatingPoint], cluster_sizes: &[u32]) -> Vec<TradeoffPoint> {
         cluster_sizes
             .iter()
             .filter_map(|&n| {
-                points
-                    .iter()
-                    .map(|&p| self.evaluate(p, n))
-                    .min_by(|a, b| {
-                        (a.time_days, a.cost_gpu_days)
-                            .partial_cmp(&(b.time_days, b.cost_gpu_days))
-                            .expect("finite")
-                    })
+                points.iter().map(|&p| self.evaluate(p, n)).min_by(|a, b| {
+                    (a.time_days, a.cost_gpu_days)
+                        .partial_cmp(&(b.time_days, b.cost_gpu_days))
+                        .expect("finite")
+                })
             })
             .collect()
     }

@@ -12,9 +12,11 @@ fn bench_generate(c: &mut Criterion) {
         } else {
             Placement::linear(8)
         };
-        group.bench_with_input(BenchmarkId::new("generate", kind.to_string()), &kind, |b, &k| {
-            b.iter(|| Schedule::generate(k, placement, 64).unwrap().num_actions())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate", kind.to_string()),
+            &kind,
+            |b, &k| b.iter(|| Schedule::generate(k, placement, 64).unwrap().num_actions()),
+        );
     }
     group.finish();
 }
@@ -23,7 +25,9 @@ fn bench_validate_and_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_analysis");
     let s = Schedule::generate(ScheduleKind::BreadthFirst, Placement::looping(8, 8), 64).unwrap();
     group.bench_function("validate", |b| b.iter(|| s.validate().unwrap()));
-    group.bench_function("exact_timing", |b| b.iter(|| s.exact_timing(1, 2).makespan()));
+    group.bench_function("exact_timing", |b| {
+        b.iter(|| s.exact_timing(1, 2).makespan())
+    });
     group.bench_function("peak_checkpoints", |b| b.iter(|| s.peak_checkpoints()));
     group.bench_function("stage_runs", |b| {
         b.iter(|| (0..8).map(|d| s.stage_runs(d).len()).sum::<usize>())

@@ -1,12 +1,14 @@
-//! Criterion: one configuration-search cell and one simulation.
+//! Criterion: one simulation, plus the layered search engine against
+//! the exhaustive serial loop it replaced — same Figure 5a cell, same
+//! answer (verified by test), different amounts of work.
 
 use bfpp_cluster::presets::dgx1_v100;
 use bfpp_core::ScheduleKind;
-use bfpp_exec::search::{best_config, Method, SearchOptions};
+use bfpp_exec::search::{best_config, best_config_exhaustive, Method, SearchOptions};
 use bfpp_exec::{simulate, KernelModel, OverlapConfig};
 use bfpp_model::presets::bert_52b;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_simulate(c: &mut Criterion) {
     let model = bert_52b();
@@ -34,23 +36,54 @@ fn bench_simulate(c: &mut Criterion) {
     });
 }
 
+fn quick_search_opts(threads: usize) -> SearchOptions {
+    SearchOptions {
+        max_microbatch: 4,
+        max_loop: 8,
+        max_actions: 30_000,
+        threads,
+    }
+}
+
+/// The Figure 5a sweep cell both engines race on: the 52 B model at
+/// batch 48, every method.
+fn run_sweep(search: impl Fn(Method) -> f64) -> f64 {
+    Method::ALL.iter().map(|&m| search(m)).sum()
+}
+
 fn bench_search(c: &mut Criterion) {
     let model = bert_52b();
     let cluster = dgx1_v100(8);
     let kernel = KernelModel::v100();
-    let opts = SearchOptions {
-        max_microbatch: 4,
-        max_loop: 8,
-        max_actions: 30_000,
-    };
-    c.bench_function("search_best_config_b48", |b| {
+
+    let mut group = c.benchmark_group("search_fig5a_b48");
+    group.bench_function("exhaustive_serial", |b| {
+        let opts = quick_search_opts(1);
         b.iter(|| {
-            best_config(&model, &cluster, Method::BreadthFirst, 48, &kernel, &opts)
-                .unwrap()
-                .measurement
-                .tflops_per_gpu
+            run_sweep(|m| {
+                best_config_exhaustive(&model, &cluster, m, 48, &kernel, &opts)
+                    .map(|r| r.measurement.tflops_per_gpu)
+                    .unwrap_or(0.0)
+            })
         })
     });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("layered", threads),
+            &threads,
+            |b, &threads| {
+                let opts = quick_search_opts(threads);
+                b.iter(|| {
+                    run_sweep(|m| {
+                        best_config(&model, &cluster, m, 48, &kernel, &opts)
+                            .map(|r| r.measurement.tflops_per_gpu)
+                            .unwrap_or(0.0)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 fn quick_criterion() -> Criterion {

@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 /// every op depending on the previous op of the neighbouring chain.
 fn pipeline_graph(chains: usize, len: usize) -> OpGraph<u32> {
     let mut g: OpGraph<u32> = OpGraph::new();
-    let resources: Vec<_> = (0..chains).map(|i| g.add_resource(format!("r{i}"))).collect();
+    let resources: Vec<_> = (0..chains)
+        .map(|i| g.add_resource(format!("r{i}")))
+        .collect();
     let mut prev_row: Vec<Option<OpId>> = vec![None; chains];
     for step in 0..len {
         for (c, &r) in resources.iter().enumerate() {
@@ -17,7 +19,12 @@ fn pipeline_graph(chains: usize, len: usize) -> OpGraph<u32> {
                     deps.push(p);
                 }
             }
-            let id = g.add_op(r, SimDuration::from_nanos(10), &deps, (step * chains + c) as u32);
+            let id = g.add_op(
+                r,
+                SimDuration::from_nanos(10),
+                &deps,
+                (step * chains + c) as u32,
+            );
             prev_row[c] = Some(id);
         }
     }

@@ -33,8 +33,15 @@ fn main() {
         ("pp-only", OverlapConfig::pp_only()),
         ("full", OverlapConfig::full()),
     ] {
-        let m = simulate(&model, &cluster, &cfg, ScheduleKind::BreadthFirst, ov, &kernel)
-            .expect("valid");
+        let m = simulate(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            ov,
+            &kernel,
+        )
+        .expect("valid");
         t.push([
             name.to_string(),
             format!("{:.2}", m.tflops_per_gpu),
@@ -82,8 +89,8 @@ fn main() {
     );
     let mut t = Table::new(["schedule", "tflops_per_gpu"]);
     for kind in [ScheduleKind::DepthFirst, ScheduleKind::BreadthFirst] {
-        let m = simulate(&model, &cluster, &cfg, kind, OverlapConfig::full(), &kernel)
-            .expect("valid");
+        let m =
+            simulate(&model, &cluster, &cfg, kind, OverlapConfig::full(), &kernel).expect("valid");
         t.push([kind.to_string(), format!("{:.2}", m.tflops_per_gpu)]);
     }
     println!("\n# Ablation 3 — schedule at identical configuration");

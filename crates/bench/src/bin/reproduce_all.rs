@@ -51,7 +51,10 @@ fn main() {
     println!("\n# Table E.1 (CSV)");
     print!("{}", table_e(&rows).to_csv());
     println!("\n# Figure 1");
-    print!("{}", figure1(&rows, cluster.num_gpus(), &tradeoff).to_text());
+    print!(
+        "{}",
+        figure1(&rows, cluster.num_gpus(), &tradeoff).to_text()
+    );
     println!("\n# Figure 6a (CSV)");
     print!(
         "{}",

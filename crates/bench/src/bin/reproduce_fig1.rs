@@ -13,5 +13,8 @@ fn main() {
     let batches = figure5_batches("52b", false, quick_mode());
     let rows = figure5_sweep(&model, &cluster, &batches, &SearchOptions::default());
     println!("# Figure 1 — 52 B model on 4096 V100s: predicted time, cost and memory");
-    print!("{}", figure1(&rows, cluster.num_gpus(), &tradeoff).to_text());
+    print!(
+        "{}",
+        figure1(&rows, cluster.num_gpus(), &tradeoff).to_text()
+    );
 }

@@ -1,16 +1,20 @@
 //! Reproduces Figure 5: highest GPU utilization per method as a function
 //! of batch size, on the 64-V100 cluster.
 //!
-//! Usage: `reproduce_fig5 [52b|6.6b] [--ethernet]`
+//! Usage: `reproduce_fig5 [52b|6.6b] [--ethernet] [--threads N]`
 
 use bfpp_bench::figures::{figure5_batches, figure5_sweep, figure5_table};
-use bfpp_bench::quick_mode;
+use bfpp_bench::{quick_mode, threads_arg};
 use bfpp_exec::search::SearchOptions;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_arg(&args);
     let model_name = args
         .iter()
+        .enumerate()
+        .filter(|(i, _)| *i == 0 || args[i - 1] != "--threads")
+        .map(|(_, a)| a)
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "52b".to_string());
@@ -23,8 +27,14 @@ fn main() {
         bfpp_cluster::presets::dgx1_v100(8)
     };
     let batches = figure5_batches(&model_name, ethernet, quick_mode());
-    let opts = SearchOptions::default();
-    eprintln!("sweeping {} on {} over {:?}...", model.name, cluster.name, batches);
+    let opts = SearchOptions {
+        threads,
+        ..SearchOptions::default()
+    };
+    eprintln!(
+        "sweeping {} on {} over {:?}...",
+        model.name, cluster.name, batches
+    );
     let rows = figure5_sweep(&model, &cluster, &batches, &opts);
     let panel = if ethernet {
         "5c"
@@ -33,6 +43,9 @@ fn main() {
     } else {
         "5b"
     };
-    println!("# Figure {panel} — best utilization vs batch size ({}, {})", model.name, cluster.name);
+    println!(
+        "# Figure {panel} — best utilization vs batch size ({}, {})",
+        model.name, cluster.name
+    );
     print!("{}", figure5_table(&rows, cluster.num_gpus()).to_csv());
 }

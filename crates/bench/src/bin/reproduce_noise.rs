@@ -2,9 +2,7 @@
 //! scale (≈ the critical batch size) from synthetic stochastic gradients,
 //! with both the per-sample and the practical two-batch estimator.
 
-use bfpp_analytic::noise::{
-    noise_scale_per_sample, noise_scale_two_batch, SyntheticGradients,
-};
+use bfpp_analytic::noise::{noise_scale_per_sample, noise_scale_two_batch, SyntheticGradients};
 use bfpp_bench::report::Table;
 
 fn main() {

@@ -4,7 +4,9 @@ use bfpp_analytic::efficiency::{EffMethod, EfficiencyModel};
 use bfpp_analytic::tradeoff::{OperatingPoint, TradeoffModel};
 use bfpp_cluster::ClusterSpec;
 use bfpp_core::{Schedule, ScheduleKind};
-use bfpp_exec::search::{best_config, Method, SearchOptions, SearchResult};
+use bfpp_exec::search::{
+    best_config_with_report, Method, SearchOptions, SearchReport, SearchResult,
+};
 use bfpp_exec::{lower, KernelModel, OverlapConfig};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
@@ -74,21 +76,30 @@ pub fn figure4() -> (String, Table) {
     let mut t = Table::new(["schedule", "makespan_ms", "speedup_vs_gpipe"]);
     let mut gpipe_ms = None;
     for (kind, placement, dp) in [
-        (ScheduleKind::GPipe, Placement::linear(4), DataParallelism::Unsharded),
-        (ScheduleKind::OneFOneB, Placement::linear(4), DataParallelism::Unsharded),
-        (ScheduleKind::DepthFirst, Placement::looping(4, 4), DataParallelism::Unsharded),
-        (ScheduleKind::BreadthFirst, Placement::looping(4, 4), DataParallelism::Unsharded),
+        (
+            ScheduleKind::GPipe,
+            Placement::linear(4),
+            DataParallelism::Unsharded,
+        ),
+        (
+            ScheduleKind::OneFOneB,
+            Placement::linear(4),
+            DataParallelism::Unsharded,
+        ),
+        (
+            ScheduleKind::DepthFirst,
+            Placement::looping(4, 4),
+            DataParallelism::Unsharded,
+        ),
+        (
+            ScheduleKind::BreadthFirst,
+            Placement::looping(4, 4),
+            DataParallelism::Unsharded,
+        ),
     ] {
         let cfg = ParallelConfig::new(Grid::new(2, 1, 4), placement, BatchConfig::new(8, 1), dp);
-        let lowered = lower(
-            &model,
-            &cluster,
-            &cfg,
-            kind,
-            OverlapConfig::full(),
-            &kernel,
-        )
-        .expect("figure 4 configs are valid");
+        let lowered = lower(&model, &cluster, &cfg, kind, OverlapConfig::full(), &kernel)
+            .expect("figure 4 configs are valid");
         let timeline = lowered.graph.solve().expect("acyclic");
         let ms = timeline.makespan().as_secs_f64() * 1e3;
         let gp = *gpipe_ms.get_or_insert(ms);
@@ -120,6 +131,8 @@ pub struct SweepRow {
     pub batch: u64,
     /// The winning configuration, when one fits.
     pub result: Option<SearchResult>,
+    /// What the search did to find it (enumeration/pruning counters).
+    pub report: SearchReport,
 }
 
 /// The batch sizes of each Figure 5 panel.
@@ -149,18 +162,21 @@ pub fn figure5_sweep(
     let mut rows = Vec::new();
     for method in Method::ALL {
         for &batch in batches {
-            let result = best_config(model, cluster, method, batch, &kernel, opts);
+            let (result, report) =
+                best_config_with_report(model, cluster, method, batch, &kernel, opts);
             rows.push(SweepRow {
                 method,
                 batch,
                 result,
+                report,
             });
         }
     }
     rows
 }
 
-/// Renders sweep rows in the Figure 5 shape (utilization vs batch).
+/// Renders sweep rows in the Figure 5 shape (utilization vs batch),
+/// with the search's observability counters as trailing columns.
 pub fn figure5_table(rows: &[SweepRow], num_gpus: u32) -> Table {
     let mut t = Table::new([
         "method",
@@ -168,24 +184,27 @@ pub fn figure5_table(rows: &[SweepRow], num_gpus: u32) -> Table {
         "beta",
         "tflops_per_gpu",
         "utilization_pct",
+        "enumerated",
+        "pruned_memory",
+        "pruned_bound",
+        "simulated",
+        "search_ms",
     ]);
     for r in rows {
-        match &r.result {
-            Some(res) => t.push([
-                r.method.label().to_string(),
-                r.batch.to_string(),
-                format!("{:.3}", r.batch as f64 / num_gpus as f64),
+        let head = [
+            r.method.label().to_string(),
+            r.batch.to_string(),
+            format!("{:.3}", r.batch as f64 / num_gpus as f64),
+        ];
+        let metrics = match &r.result {
+            Some(res) => [
                 format!("{:.2}", res.measurement.tflops_per_gpu),
                 format!("{:.1}", res.measurement.utilization * 100.0),
-            ]),
-            None => t.push([
-                r.method.label().to_string(),
-                r.batch.to_string(),
-                format!("{:.3}", r.batch as f64 / num_gpus as f64),
-                "-".to_string(),
-                "-".to_string(),
-            ]),
-        }
+            ],
+            None => ["-".to_string(), "-".to_string()],
+        };
+        let report: Vec<String> = r.report.csv_row().split(',').map(String::from).collect();
+        t.push(head.into_iter().chain(metrics).chain(report));
     }
     t
 }
@@ -241,13 +260,7 @@ pub fn figure6(
 /// Figure 1: predicted training time (a) and per-device memory (b) for
 /// the 52 B model on a 4096-GPU cluster, per method.
 pub fn figure1(rows: &[SweepRow], num_gpus: u32, tradeoff: &TradeoffModel) -> Table {
-    let mut t = Table::new([
-        "method",
-        "beta",
-        "time_days",
-        "cost_gpu_days",
-        "memory_gib",
-    ]);
+    let mut t = Table::new(["method", "beta", "time_days", "cost_gpu_days", "memory_gib"]);
     for method in Method::ALL {
         let points = operating_points(rows, num_gpus, method);
         if points.is_empty() {
@@ -262,9 +275,7 @@ pub fn figure1(rows: &[SweepRow], num_gpus: u32, tradeoff: &TradeoffModel) -> Ta
             .iter()
             .filter(|r| r.method == method)
             .filter_map(|r| r.result.as_ref())
-            .find(|res| {
-                (res.measurement.batch_per_gpu - best.beta).abs() < 1e-9
-            })
+            .find(|res| (res.measurement.batch_per_gpu - best.beta).abs() < 1e-9)
             .map(|res| res.measurement.memory_gib());
         t.push([
             method.label().to_string(),
@@ -417,11 +428,14 @@ mod tests {
             max_microbatch: 4,
             max_loop: 8,
             max_actions: 30_000,
+            threads: 0,
         };
         let rows = figure5_sweep(&model, &cluster, &[64], &opts);
         assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.report.enumerated > 0));
         let t = figure5_table(&rows, cluster.num_gpus());
         assert_eq!(t.len(), 4);
+        assert!(t.to_csv().lines().next().unwrap().ends_with("search_ms"));
         let points = operating_points(&rows, 64, Method::BreadthFirst);
         assert_eq!(points.len(), 1);
     }

@@ -16,7 +16,20 @@ pub mod tables;
 /// True when the `BFPP_QUICK` environment variable asks for reduced
 /// sweeps.
 pub fn quick_mode() -> bool {
-    std::env::var("BFPP_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BFPP_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Parses a `--threads N` flag from an argument list (the search worker
+/// count; `0` = available parallelism). Missing or malformed values fall
+/// back to `0`.
+pub fn threads_arg<S: AsRef<str>>(args: &[S]) -> usize {
+    args.iter()
+        .position(|a| a.as_ref() == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.as_ref().parse().ok())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -26,5 +39,15 @@ mod tests {
         // Can't mutate the environment safely in parallel tests; just
         // exercise the call.
         let _ = super::quick_mode();
+    }
+
+    #[test]
+    fn threads_arg_parses_the_flag() {
+        assert_eq!(super::threads_arg(&["--threads", "4"]), 4);
+        assert_eq!(super::threads_arg(&["52b", "--threads", "2", "--x"]), 2);
+        assert_eq!(super::threads_arg(&["52b"]), 0);
+        assert_eq!(super::threads_arg(&["--threads"]), 0);
+        assert_eq!(super::threads_arg(&["--threads", "lots"]), 0);
+        assert_eq!(super::threads_arg::<&str>(&[]), 0);
     }
 }

@@ -35,7 +35,8 @@ fn push_model(t: &mut Table, m: &TransformerConfig) {
 }
 
 /// Tables E.1–E.3: the selected optimal configuration per (method,
-/// batch), with the same columns the paper reports.
+/// batch), with the same columns the paper reports, plus the search's
+/// observability counters as trailing columns.
 pub fn table_e(rows: &[SweepRow]) -> Table {
     let mut t = Table::new([
         "method",
@@ -49,13 +50,18 @@ pub fn table_e(rows: &[SweepRow]) -> Table {
         "sharded",
         "tflops_per_gpu",
         "memory_gib",
+        "enumerated",
+        "pruned_memory",
+        "pruned_bound",
+        "simulated",
+        "search_ms",
     ]);
     for r in rows {
         let Some(res) = &r.result else {
             continue;
         };
         let cfg = &res.cfg;
-        t.push([
+        let head = [
             r.method.label().to_string(),
             r.batch.to_string(),
             res.kind.to_string(),
@@ -67,7 +73,9 @@ pub fn table_e(rows: &[SweepRow]) -> Table {
             if cfg.dp.is_sharded() { "yes" } else { "no" }.to_string(),
             format!("{:.2}", res.measurement.tflops_per_gpu),
             format!("{:.2}", res.measurement.memory_gib()),
-        ]);
+        ];
+        let report: Vec<String> = r.report.csv_row().split(',').map(String::from).collect();
+        t.push(head.into_iter().chain(report));
     }
     t
 }
@@ -87,11 +95,12 @@ mod tests {
 
     #[test]
     fn table_e_skips_infeasible_rows() {
-        use bfpp_exec::search::Method;
+        use bfpp_exec::search::{Method, SearchReport};
         let rows = vec![SweepRow {
             method: Method::BreadthFirst,
             batch: 7,
             result: None,
+            report: SearchReport::default(),
         }];
         assert!(table_e(&rows).is_empty());
     }

@@ -65,12 +65,7 @@ impl LinkSpec {
     ///
     /// Panics if `bandwidth` is not strictly positive and finite, or if
     /// either latency figure is negative or non-finite.
-    pub fn new(
-        tier: NetworkTier,
-        bandwidth: f64,
-        latency: f64,
-        per_message_overhead: f64,
-    ) -> Self {
+    pub fn new(tier: NetworkTier, bandwidth: f64, latency: f64, per_message_overhead: f64) -> Self {
         assert!(
             bandwidth.is_finite() && bandwidth > 0.0,
             "bandwidth must be positive"

@@ -25,7 +25,12 @@ impl NodeSpec {
     /// # Panics
     ///
     /// Panics if `gpus_per_node` is zero.
-    pub fn new(gpus_per_node: u32, gpu: GpuSpec, intra_link: LinkSpec, inter_link: LinkSpec) -> Self {
+    pub fn new(
+        gpus_per_node: u32,
+        gpu: GpuSpec,
+        intra_link: LinkSpec,
+        inter_link: LinkSpec,
+    ) -> Self {
         assert!(gpus_per_node > 0, "gpus_per_node must be positive");
         NodeSpec {
             gpus_per_node,

@@ -80,9 +80,7 @@ pub fn reduce_scatter(link: &LinkSpec, n: u32, payload_bytes: f64) -> Collective
     let frac = (n - 1) as f64 / n as f64;
     let bytes = 2.0 * frac * v;
     CollectiveCost {
-        seconds: link.per_message_overhead
-            + (n - 1) as f64 * link.latency
-            + link.wire_time(bytes),
+        seconds: link.per_message_overhead + (n - 1) as f64 * link.latency + link.wire_time(bytes),
         bytes_per_rank: bytes,
     }
 }

@@ -224,7 +224,9 @@ impl CommHandle {
         self.round(OpKind::ReduceScatter, 0, data.to_vec(), move |inputs, _| {
             let sum = rank_ordered_sum(inputs);
             let shard = sum.len() / n;
-            (0..n).map(|r| sum[r * shard..(r + 1) * shard].to_vec()).collect()
+            (0..n)
+                .map(|r| sum[r * shard..(r + 1) * shard].to_vec())
+                .collect()
         })
     }
 

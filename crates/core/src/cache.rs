@@ -1,0 +1,159 @@
+//! A concurrency-safe, keyed cache of generated [`Schedule`]s.
+//!
+//! A schedule is fully determined by `(kind, placement, N_mb)`; the
+//! configuration search enumerates many candidates that differ only in
+//! micro-batch *size* or sharding level and would otherwise regenerate
+//! (and re-time, for checkpoint peaks) the identical schedule for each.
+//! Sharing them behind an [`Arc`] makes the marginal cost of those
+//! candidates one hash lookup.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bfpp_parallel::Placement;
+
+use crate::schedule::{Schedule, ScheduleError, ScheduleKind};
+
+type Key = (ScheduleKind, Placement, u32);
+
+/// A shared cache of generated schedules, keyed by
+/// `(kind, placement, num_microbatches)`. Safe to share across worker
+/// threads by reference.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    map: Mutex<HashMap<Key, Arc<Schedule>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// Returns the cached schedule for the key, generating and inserting
+    /// it on first use. Generation runs outside the lock; if two threads
+    /// race on the same key, the first insertion wins and both receive
+    /// the same `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScheduleError`] from [`Schedule::generate`];
+    /// failures are not cached.
+    pub fn get_or_generate(
+        &self,
+        kind: ScheduleKind,
+        placement: Placement,
+        num_microbatches: u32,
+    ) -> Result<Arc<Schedule>, ScheduleError> {
+        let key = (kind, placement, num_microbatches);
+        if let Some(s) = self.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(s));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let generated = Arc::new(Schedule::generate(kind, placement, num_microbatches)?);
+        let mut map = self.lock();
+        let stored = map.entry(key).or_insert(generated);
+        Ok(Arc::clone(stored))
+    }
+
+    /// Number of lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to generate a schedule.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct schedules currently held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no schedules.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Key, Arc<Schedule>>> {
+        match self.map.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ScheduleCache::new();
+        let p = Placement::looping(4, 2);
+        let a = cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 8)
+            .unwrap();
+        let b = cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 8)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one schedule");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = ScheduleCache::new();
+        let p = Placement::looping(4, 2);
+        let bf = cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 8)
+            .unwrap();
+        let df = cache
+            .get_or_generate(ScheduleKind::DepthFirst, p, 8)
+            .unwrap();
+        let bf16 = cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 16)
+            .unwrap();
+        assert_eq!(bf.kind(), ScheduleKind::BreadthFirst);
+        assert_eq!(df.kind(), ScheduleKind::DepthFirst);
+        assert_eq!(bf16.num_microbatches(), 16);
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn errors_are_returned_not_cached() {
+        let cache = ScheduleCache::new();
+        // Depth-first needs N_mb divisible by N_PP.
+        let err = cache.get_or_generate(ScheduleKind::DepthFirst, Placement::looping(4, 2), 7);
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_schedule() {
+        let cache = ScheduleCache::new();
+        let p = Placement::looping(8, 4);
+        let first = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache
+                            .get_or_generate(ScheduleKind::BreadthFirst, p, 16)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            let all: Vec<Arc<Schedule>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            all
+        });
+        assert!(first.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        assert_eq!(cache.len(), 1);
+    }
+}

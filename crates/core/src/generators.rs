@@ -135,7 +135,10 @@ mod tests {
     fn gpipe_is_forward_then_backward() {
         let acts = gpipe(Placement::linear(2), 3);
         let d0: Vec<String> = acts[0].iter().map(|a| a.label()).collect();
-        assert_eq!(d0, vec!["F0@s0", "F1@s0", "F2@s0", "B0@s0", "B1@s0", "B2@s0"]);
+        assert_eq!(
+            d0,
+            vec!["F0@s0", "F1@s0", "F2@s0", "B0@s0", "B1@s0", "B2@s0"]
+        );
     }
 
     #[test]
@@ -188,7 +191,16 @@ mod tests {
             .collect();
         assert_eq!(
             fwd_only,
-            vec![(0, 0), (1, 0), (0, 2), (1, 2), (2, 0), (3, 0), (2, 2), (3, 2)]
+            vec![
+                (0, 0),
+                (1, 0),
+                (0, 2),
+                (1, 2),
+                (2, 0),
+                (3, 0),
+                (2, 2),
+                (3, 2)
+            ]
         );
     }
 
@@ -208,10 +220,7 @@ mod tests {
     #[test]
     fn all_generators_emit_every_action_once() {
         let p = Placement::looping(4, 2);
-        for (name, acts) in [
-            ("bf", breadth_first(p, 8)),
-            ("df", depth_first(p, 8)),
-        ] {
+        for (name, acts) in [("bf", breadth_first(p, 8)), ("df", depth_first(p, 8))] {
             let mut seen = std::collections::HashSet::new();
             for dev in &acts {
                 for a in dev {

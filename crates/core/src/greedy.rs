@@ -120,12 +120,13 @@ impl Schedule {
                     if !bwd_issued[i]
                         && fwd_end[i].map(|t| t <= now).unwrap_or(false)
                         && (stage.0 == last
-                            || bwd_end[idx(mb, stage.0 + 1)].map(|t| t <= now).unwrap_or(false))
+                            || bwd_end[idx(mb, stage.0 + 1)]
+                                .map(|t| t <= now)
+                                .unwrap_or(false))
                     {
                         let dir_rank = u64::from(!policy.backward_first);
-                        let key = (dir_rank << 40)
-                            | ((mb as u64) << 20)
-                            | (n_stage - stage.0) as u64;
+                        let key =
+                            (dir_rank << 40) | ((mb as u64) << 20) | (n_stage - stage.0) as u64;
                         if best.map(|(k, _)| key < k).unwrap_or(true) {
                             best = Some((key, Action::bwd(mb, stage)));
                         }
@@ -140,7 +141,9 @@ impl Schedule {
                     if !fwd_issued[i]
                         && !capped
                         && (stage.0 == 0
-                            || fwd_end[idx(mb, stage.0 - 1)].map(|t| t <= now).unwrap_or(false))
+                            || fwd_end[idx(mb, stage.0 - 1)]
+                                .map(|t| t <= now)
+                                .unwrap_or(false))
                     {
                         let dir_rank = u64::from(policy.backward_first);
                         let order = if policy.breadth_first_forwards {

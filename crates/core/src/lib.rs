@@ -29,7 +29,13 @@
 //!   (§4.2, Appendix A.3.1) — the structural reason breadth-first
 //!   composes with `DP_FS` and the others do not;
 //! * [`Schedule::peak_checkpoints_per_device`] — live activation
-//!   checkpoints over time (Appendix A.2.2).
+//!   checkpoints over time (Appendix A.2.2);
+//! * [`bubble`] — the closed-form Eq. (3)/(7) bubble bound, stated as a
+//!   provable lower bound on any schedule's makespan (what the
+//!   configuration search prunes against);
+//! * [`ScheduleCache`] — a keyed, thread-safe cache of generated
+//!   schedules for search workloads that revisit the same
+//!   `(kind, placement, N_mb)` shape.
 //!
 //! ```
 //! use bfpp_core::{Schedule, ScheduleKind};
@@ -45,6 +51,8 @@
 //! ```
 
 mod action;
+pub mod bubble;
+mod cache;
 mod generators;
 mod greedy;
 mod hybrid;
@@ -55,6 +63,7 @@ mod timing;
 mod validate;
 
 pub use action::{Action, Direction};
+pub use cache::ScheduleCache;
 pub use greedy::GreedyPolicy;
 pub use runs::StageRun;
 pub use schedule::{Schedule, ScheduleError, ScheduleKind};

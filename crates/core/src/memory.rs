@@ -68,12 +68,8 @@ mod tests {
 
     #[test]
     fn breadth_first_peaks_at_mb_times_loop() {
-        let s = Schedule::generate(
-            ScheduleKind::BreadthFirst,
-            Placement::looping(4, 2),
-            8,
-        )
-        .unwrap();
+        let s =
+            Schedule::generate(ScheduleKind::BreadthFirst, Placement::looping(4, 2), 8).unwrap();
         // N_mb · N_loop = 16 per device (Eq. 14 first ratio).
         assert_eq!(s.peak_checkpoints(), 16);
     }

@@ -87,12 +87,8 @@ mod tests {
 
     #[test]
     fn breadth_first_has_two_runs_per_local_stage() {
-        let s = Schedule::generate(
-            ScheduleKind::BreadthFirst,
-            Placement::looping(4, 4),
-            8,
-        )
-        .unwrap();
+        let s =
+            Schedule::generate(ScheduleKind::BreadthFirst, Placement::looping(4, 4), 8).unwrap();
         for d in 0..4 {
             let runs = s.stage_runs(d);
             assert_eq!(runs.len(), 2 * 4, "device {d}");

@@ -81,7 +81,10 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::LoopingNotSupported { kind, n_loop } => {
-                write!(f, "{kind} does not support looping placements (N_loop = {n_loop})")
+                write!(
+                    f,
+                    "{kind} does not support looping placements (N_loop = {n_loop})"
+                )
             }
             ScheduleError::MicrobatchesNotMultipleOfPipeline { n_mb, n_pp } => write!(
                 f,

@@ -172,11 +172,7 @@ impl Schedule {
             }
             if !progressed {
                 let (device, action) = (0..n_pp)
-                    .find_map(|d| {
-                        self.device_actions(d)
-                            .get(pos[d as usize])
-                            .map(|a| (d, *a))
-                    })
+                    .find_map(|d| self.device_actions(d).get(pos[d as usize]).map(|a| (d, *a)))
                     .expect("unfinished schedules have a blocked device");
                 return Err(ValidateError::Deadlock { device, action });
             }
@@ -274,12 +270,8 @@ mod tests {
     fn looping_beats_non_looping() {
         // The point of Figure 4: looped schedules finish sooner per unit
         // of work. Compare overheads with the same N_mb.
-        let bf = Schedule::generate(
-            ScheduleKind::BreadthFirst,
-            Placement::looping(4, 4),
-            8,
-        )
-        .unwrap();
+        let bf =
+            Schedule::generate(ScheduleKind::BreadthFirst, Placement::looping(4, 4), 8).unwrap();
         let np = Schedule::generate(ScheduleKind::GPipe, Placement::linear(4), 8).unwrap();
         assert!(bf.exact_timing(1, 2).bubble_overhead() < np.exact_timing(1, 2).bubble_overhead());
     }
@@ -310,12 +302,8 @@ mod tests {
 
     #[test]
     fn device_timings_are_in_order() {
-        let s = Schedule::generate(
-            ScheduleKind::BreadthFirst,
-            Placement::looping(4, 2),
-            8,
-        )
-        .unwrap();
+        let s =
+            Schedule::generate(ScheduleKind::BreadthFirst, Placement::looping(4, 2), 8).unwrap();
         let t = s.exact_timing(1, 2);
         for d in 0..4 {
             for w in t.device_timings(d).windows(2) {

@@ -145,11 +145,18 @@ mod tests {
         use crate::action::Action;
         use bfpp_parallel::StageId;
         let a = Action::fwd(1, StageId(2));
-        assert!(ValidateError::Duplicate { action: a }.to_string().contains("twice"));
-        assert!(ValidateError::Missing { action: a }.to_string().contains("missing"));
-        assert!(ValidateError::Deadlock { device: 3, action: a }
+        assert!(ValidateError::Duplicate { action: a }
             .to_string()
-            .contains("deadlock"));
+            .contains("twice"));
+        assert!(ValidateError::Missing { action: a }
+            .to_string()
+            .contains("missing"));
+        assert!(ValidateError::Deadlock {
+            device: 3,
+            action: a
+        }
+        .to_string()
+        .contains("deadlock"));
         assert!(ValidateError::WrongDevice {
             device: 1,
             action: a,

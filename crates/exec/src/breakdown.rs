@@ -111,7 +111,10 @@ mod tests {
     fn full_overlap_has_no_inline_comm() {
         let b = run(OverlapConfig::full());
         assert_eq!(b.inline_comm_s, 0.0);
-        assert!(b.dp_stream_s > 0.0, "FS gathers must appear on the DP stream");
+        assert!(
+            b.dp_stream_s > 0.0,
+            "FS gathers must appear on the DP stream"
+        );
         assert!(b.pp_stream_s > 0.0);
         assert!(b.kernel_fraction() > 0.5, "{b:?}");
     }

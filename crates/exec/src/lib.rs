@@ -18,10 +18,16 @@
 //! communication ([`OverlapConfig`]) to reproduce the Megatron-LM
 //! baselines, which lacked it (§5.1).
 //!
-//! On top of single-configuration measurement sits [`search`]: the
-//! paper's methodology of trying "a wide variety of configurations in
-//! each case and selecting the fastest one" (§5.1), which regenerates
-//! Figure 5 and Tables E.1–E.3.
+//! On top of single-configuration measurement sits the configuration
+//! search: the paper's methodology of trying "a wide variety of
+//! configurations in each case and selecting the fastest one" (§5.1),
+//! which regenerates Figure 5 and Tables E.1–E.3. It is layered:
+//! [`candidates`] enumerates the typed search space in a fixed total
+//! order, [`prune`] rejects candidates by closed-form memory and
+//! Eq. (3)/(7) throughput bounds, and [`search`] evaluates the survivors
+//! on a worker pool with a deterministic, order-based reduction — the
+//! winner is bit-identical to the exhaustive serial reference for any
+//! thread count.
 //!
 //! ```
 //! use bfpp_cluster::presets::dgx1_v100;
@@ -49,16 +55,21 @@
 //! ```
 
 mod breakdown;
+pub mod candidates;
 mod kernel;
 mod lower;
 mod measure;
 mod memory;
 mod overlap;
+pub mod prune;
 pub mod search;
 
 pub use breakdown::{breakdown, TimeBreakdown};
+pub use candidates::Candidate;
 pub use kernel::KernelModel;
-pub use lower::{lower, LoweredGraph, OpTag};
-pub use measure::{simulate, Measurement, SimulateError};
+pub use lower::{lower, lower_with_schedule, LoweredGraph, OpTag};
+pub use measure::{simulate, simulate_with_schedule, Measurement, SimulateError};
 pub use memory::estimate_memory;
 pub use overlap::OverlapConfig;
+pub use prune::lower_bound_tflops;
+pub use search::SearchReport;

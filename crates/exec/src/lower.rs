@@ -16,6 +16,8 @@
 //! stream instead, serializing with the kernels — which is exactly what a
 //! blocking NCCL call does.
 
+use std::sync::Arc;
+
 use bfpp_cluster::ClusterSpec;
 use bfpp_collectives::cost;
 use bfpp_core::{Action, Direction, Schedule, ScheduleKind, StageRun};
@@ -88,19 +90,23 @@ pub struct LoweredGraph {
     pub graph: OpGraph<OpTag>,
     /// Compute-stream resource per pipeline device.
     pub compute_resources: Vec<ResourceId>,
-    /// The schedule that was lowered.
-    pub schedule: Schedule,
+    /// The schedule that was lowered (shared — search workloads lower the
+    /// same schedule under many micro-batch sizes and sharding levels).
+    pub schedule: Arc<Schedule>,
     /// Ideal compute seconds per device (all kernels, no waiting).
     pub ideal_compute_seconds: f64,
 }
 
-struct Durations {
-    fwd: SimDuration,
-    bwd: SimDuration,
-    p2p: SimDuration,
-    dp_gather: SimDuration,
-    dp_reduce_rs: SimDuration,
-    dp_reduce_ar: SimDuration,
+/// Per-operation durations of one configuration, as charged to the
+/// simulated streams. `fwd`/`bwd` fold in the non-overlapped
+/// tensor-parallel all-reduce time.
+pub(crate) struct Durations {
+    pub(crate) fwd: SimDuration,
+    pub(crate) bwd: SimDuration,
+    pub(crate) p2p: SimDuration,
+    pub(crate) dp_gather: SimDuration,
+    pub(crate) dp_reduce_rs: SimDuration,
+    pub(crate) dp_reduce_ar: SimDuration,
 }
 
 /// Seconds for a data-parallel collective over the DP group, two-level
@@ -141,7 +147,7 @@ fn dp_collective_seconds(
     }
 }
 
-fn compute_durations(
+pub(crate) fn compute_durations(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
     cfg: &ParallelConfig,
@@ -180,16 +186,23 @@ fn compute_durations(
     // half precision, sliced by tensor parallelism.
     let p2p = if grid.n_pp > 1 {
         let payload = tokens * model.boundary_bytes_per_token() / grid.n_tp as f64;
-        let from = grid.global_rank(RankCoord { dp: 0, tp: 0, pp: 0 });
-        let to = grid.global_rank(RankCoord { dp: 0, tp: 0, pp: 1 });
+        let from = grid.global_rank(RankCoord {
+            dp: 0,
+            tp: 0,
+            pp: 0,
+        });
+        let to = grid.global_rank(RankCoord {
+            dp: 0,
+            tp: 0,
+            pp: 1,
+        });
         cost::point_to_point(cluster.link_between(from, to), payload).seconds
     } else {
         0.0
     };
 
     // Data-parallel collectives on one stage's parameter shard.
-    let stage_params =
-        layers_per_stage * model.params_per_layer() as f64 / grid.n_tp as f64;
+    let stage_params = layers_per_stage * model.params_per_layer() as f64 / grid.n_tp as f64;
     let payload = 2.0 * stage_params; // fp16
     let (dp_gather, dp_reduce_rs, dp_reduce_ar) = if grid.n_dp > 1 {
         (
@@ -226,9 +239,35 @@ pub fn lower(
     overlap: OverlapConfig,
     kernel: &KernelModel,
 ) -> Result<LoweredGraph, SimulateError> {
-    cfg.validate(model, cluster).map_err(SimulateError::Config)?;
-    let schedule = Schedule::generate(kind, cfg.placement, cfg.batch.num_microbatches)
-        .map_err(SimulateError::Schedule)?;
+    cfg.validate(model, cluster)
+        .map_err(SimulateError::Config)?;
+    let schedule = Arc::new(
+        Schedule::generate(kind, cfg.placement, cfg.batch.num_microbatches)
+            .map_err(SimulateError::Schedule)?,
+    );
+    lower_with_schedule(model, cluster, cfg, schedule, overlap, kernel)
+}
+
+/// [`lower`] with an already generated (possibly cached and shared)
+/// schedule. The schedule must have been generated for `cfg.placement`
+/// and `cfg.batch.num_microbatches`.
+///
+/// # Errors
+///
+/// Returns [`SimulateError`] when the configuration is invalid for the
+/// model/cluster.
+pub fn lower_with_schedule(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    schedule: Arc<Schedule>,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+) -> Result<LoweredGraph, SimulateError> {
+    cfg.validate(model, cluster)
+        .map_err(SimulateError::Config)?;
+    debug_assert_eq!(schedule.n_pp(), cfg.placement.n_pp());
+    debug_assert_eq!(schedule.num_microbatches(), cfg.batch.num_microbatches);
 
     let d = compute_durations(model, cluster, cfg, kernel, overlap.comm_multiplier);
     let grid = cfg.grid;
@@ -429,8 +468,7 @@ pub fn lower(
         }
     }
 
-    let per_device_kernels =
-        n_mb as u64 * cfg.placement.n_loop() as u64;
+    let per_device_kernels = n_mb as u64 * cfg.placement.n_loop() as u64;
     let ideal_compute_seconds = per_device_kernels as f64 * (d.fwd + d.bwd).as_secs_f64();
 
     Ok(LoweredGraph {
@@ -491,10 +529,7 @@ mod tests {
         };
         let with = solve(OverlapConfig::full());
         let without = solve(OverlapConfig::none());
-        assert!(
-            with < without,
-            "overlap must help: {with} !< {without}"
-        );
+        assert!(with < without, "overlap must help: {with} !< {without}");
     }
 
     #[test]
@@ -583,10 +618,7 @@ mod tests {
     #[test]
     fn tags_have_labels_and_glyphs() {
         assert_eq!(OpTag::Compute(Action::fwd(0, StageId(0))).glyph(), 'F');
-        assert_eq!(
-            OpTag::DpGather { stage: StageId(3) }.label(),
-            "gather@s3"
-        );
+        assert_eq!(OpTag::DpGather { stage: StageId(3) }.label(), "gather@s3");
         assert_eq!(
             OpTag::PpSend {
                 dir: Direction::Backward,
@@ -596,6 +628,8 @@ mod tests {
             .glyph(),
             's'
         );
-        assert!(OpTag::DpReduce { stage: StageId(0) }.label().contains("reduce"));
+        assert!(OpTag::DpReduce { stage: StageId(0) }
+            .label()
+            .contains("reduce"));
     }
 }

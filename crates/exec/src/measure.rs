@@ -2,16 +2,24 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use bfpp_cluster::ClusterSpec;
-use bfpp_core::{ScheduleError, ScheduleKind};
+use bfpp_core::{Schedule, ScheduleError, ScheduleKind};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{ConfigError, ParallelConfig};
 
 use crate::kernel::KernelModel;
-use crate::lower::lower;
+use crate::lower::{lower, lower_with_schedule, LoweredGraph};
 use crate::memory::estimate_memory;
 use crate::overlap::OverlapConfig;
+
+/// Fraction of device memory a configuration may use; the rest is a
+/// fragmentation reserve (the paper's Appendix D.2 discusses
+/// fragmentation at length; we keep 8% headroom). Shared between
+/// [`Measurement::fits`] and the search's analytic memory pre-filter so
+/// both apply the identical threshold.
+pub(crate) const MEMORY_HEADROOM: f64 = 0.92;
 
 /// What the paper measures for each configuration (§5.1): batch duration,
 /// utilization, throughput and memory.
@@ -39,11 +47,10 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Whether the estimated memory fits the device, with a fragmentation
-    /// reserve (the paper's Appendix D.2 discusses fragmentation at
-    /// length; we keep 8% headroom).
+    /// Whether the estimated memory fits the device, with the
+    /// [`MEMORY_HEADROOM`] fragmentation reserve.
     pub fn fits(&self, memory_bytes: u64) -> bool {
-        self.memory_bytes <= memory_bytes as f64 * 0.92
+        self.memory_bytes <= memory_bytes as f64 * MEMORY_HEADROOM
     }
 
     /// Memory in GiB, for reporting.
@@ -95,6 +102,34 @@ pub fn simulate(
     kernel: &KernelModel,
 ) -> Result<Measurement, SimulateError> {
     let lowered = lower(model, cluster, cfg, kind, overlap, kernel)?;
+    Ok(measure_lowered(model, cluster, cfg, &lowered))
+}
+
+/// [`simulate`] with an already generated (possibly cached and shared)
+/// schedule, as the configuration search uses it. The schedule's kind
+/// replaces the `kind` argument of [`simulate`].
+///
+/// # Errors
+///
+/// Returns [`SimulateError`] for invalid configurations.
+pub fn simulate_with_schedule(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    schedule: Arc<Schedule>,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+) -> Result<Measurement, SimulateError> {
+    let lowered = lower_with_schedule(model, cluster, cfg, schedule, overlap, kernel)?;
+    Ok(measure_lowered(model, cluster, cfg, &lowered))
+}
+
+fn measure_lowered(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    lowered: &LoweredGraph,
+) -> Measurement {
     let timeline = lowered
         .graph
         .solve()
@@ -111,7 +146,7 @@ pub fn simulate(
         .mean;
     let memory_bytes = estimate_memory(model, cfg, &lowered.schedule);
 
-    Ok(Measurement {
+    Measurement {
         batch_seconds,
         tflops_per_gpu,
         utilization,
@@ -119,7 +154,7 @@ pub fn simulate(
         memory_bytes,
         global_batch,
         batch_per_gpu: cfg.batch_per_gpu(),
-    })
+    }
 }
 
 #[cfg(test)]
@@ -222,7 +257,10 @@ mod tests {
             global_batch: 8,
             batch_per_gpu: 0.125,
         };
-        assert!(!m.fits(32 * (1 << 30)), "31 GiB does not fit with 8% reserve");
+        assert!(
+            !m.fits(32 * (1 << 30)),
+            "31 GiB does not fit with 8% reserve"
+        );
         assert!(m.fits(64 * (1 << 30)));
         assert!((m.memory_gib() - 31.0).abs() < 1e-9);
     }

@@ -1,10 +1,8 @@
 //! Per-device peak memory estimate (paper Appendix A.2).
 
 use bfpp_core::{Schedule, ScheduleKind};
-use bfpp_model::{
-    activation_memory_bytes, checkpoint_memory_per_layer_bytes, TransformerConfig,
-};
-use bfpp_parallel::{DataParallelism, ParallelConfig};
+use bfpp_model::{activation_memory_bytes, checkpoint_memory_per_layer_bytes, TransformerConfig};
+use bfpp_parallel::ParallelConfig;
 
 /// Estimates the worst device's peak memory in bytes for one
 /// configuration and schedule: training state (Eqs. 10–12), activation
@@ -20,6 +18,21 @@ pub fn estimate_memory(
     cfg: &ParallelConfig,
     schedule: &Schedule,
 ) -> f64 {
+    memory_with_checkpoints(model, cfg, schedule.kind(), schedule.peak_checkpoints())
+}
+
+/// [`estimate_memory`] without the schedule: everything but the live
+/// checkpoint count is closed-form in the configuration, so given a
+/// count this computes the estimate directly. The search's analytic
+/// pre-filter calls it with a *lower bound* on the peak count to get a
+/// lower bound on memory; [`estimate_memory`] calls it with the measured
+/// peak.
+pub(crate) fn memory_with_checkpoints(
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    kind: ScheduleKind,
+    peak_checkpoints: u32,
+) -> f64 {
     let grid = cfg.grid;
     let s_mb = cfg.batch.microbatch_size;
     let layer_params = model.num_layers as u64 * model.params_per_layer();
@@ -27,7 +40,7 @@ pub fn estimate_memory(
     let range = cfg
         .dp
         .state_memory_bytes(layer_params, model.num_layers, grid.n_pp, grid.n_tp);
-    let state = if schedule.kind() == ScheduleKind::BreadthFirst {
+    let state = if kind == ScheduleKind::BreadthFirst {
         range.low
     } else {
         range.high
@@ -36,19 +49,15 @@ pub fn estimate_memory(
     // Embedding state on the first pipeline device (weights shared with
     // the LM head, counted once). Sharded variants spread it over the DP
     // group as well.
-    let emb_bytes_per_param = match cfg.dp {
-        DataParallelism::Unsharded => 20.0,
-        DataParallelism::PartiallySharded => 4.0,
-        DataParallelism::FullySharded => 20.0 / grid.n_dp as f64,
-    };
-    let embedding = emb_bytes_per_param * model.embedding_params() as f64 / grid.n_tp as f64;
+    let embedding = cfg.dp.embedding_state_bytes_per_param(grid.n_dp)
+        * model.embedding_params() as f64
+        / grid.n_tp as f64;
 
     // Activation checkpoints: worst device's live count times the bytes of
     // one stage's checkpoint.
     let layers_per_stage = (model.num_layers / cfg.placement.num_stages()) as f64;
-    let ckpt_unit =
-        layers_per_stage * checkpoint_memory_per_layer_bytes(model, s_mb, grid.n_tp);
-    let checkpoints = schedule.peak_checkpoints() as f64 * ckpt_unit;
+    let ckpt_unit = layers_per_stage * checkpoint_memory_per_layer_bytes(model, s_mb, grid.n_tp);
+    let checkpoints = peak_checkpoints as f64 * ckpt_unit;
 
     // Working activations for the layer being computed (double-buffered).
     let working = 2.0 * activation_memory_bytes(model, s_mb, grid.n_tp);
@@ -60,7 +69,7 @@ pub fn estimate_memory(
 mod tests {
     use super::*;
     use bfpp_model::presets;
-    use bfpp_parallel::{BatchConfig, Grid, Placement};
+    use bfpp_parallel::{BatchConfig, DataParallelism, Grid, Placement};
 
     const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 

@@ -7,20 +7,37 @@
 //! micro-batch shape, loop count and sharding level, simulate each, drop
 //! those that do not fit device memory, and keep the fastest.
 //!
+//! The engine is layered (see DESIGN.md § Search engine):
+//!
+//! 1. [`crate::candidates`] lazily enumerates typed [`Candidate`]s in a
+//!    fixed total order;
+//! 2. [`crate::prune`] rejects candidates whose closed-form memory lower
+//!    bound cannot fit, or whose Eq. (3)/(7) throughput upper bound
+//!    cannot beat the best result so far;
+//! 3. survivors are simulated on a scoped worker pool, sharing generated
+//!    schedules through a [`ScheduleCache`];
+//! 4. results reduce serially in candidate order, so the winner (and
+//!    every [`SearchReport`] counter) is bit-identical to the exhaustive
+//!    serial reference ([`best_config_exhaustive`]) for any thread count.
+//!
 //! Baseline fidelity: the depth-first method is simulated like the
 //! paper's Megatron-LM baseline — no network overlap, no sharding
 //! (§5.1) — and each method searches the same sharding levels the paper
 //! tried (Tables E.1–E.3 footnote 2: "DP_FS for breadth-first and
 //! non-pipelined, DP_PS for non-looped").
 
-use bfpp_cluster::ClusterSpec;
-use bfpp_core::ScheduleKind;
-use bfpp_model::TransformerConfig;
-use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use std::time::{Duration, Instant};
 
+use bfpp_cluster::ClusterSpec;
+use bfpp_core::{ScheduleCache, ScheduleKind};
+use bfpp_model::TransformerConfig;
+use bfpp_parallel::{DataParallelism, ParallelConfig};
+
+use crate::candidates::{enumerate, Candidate};
 use crate::kernel::KernelModel;
-use crate::measure::{simulate, Measurement};
+use crate::measure::{simulate, simulate_with_schedule, Measurement};
 use crate::overlap::OverlapConfig;
+use crate::prune::{exceeds_device_memory, lower_bound_tflops};
 
 /// The four methods compared in Figure 5 and Tables E.1–E.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,8 +71,8 @@ impl Method {
         }
     }
 
-    /// The schedule kinds this method may use.
-    fn kinds(&self) -> &'static [ScheduleKind] {
+    /// The schedule kinds this method may use, in enumeration order.
+    pub fn kinds(&self) -> &'static [ScheduleKind] {
         match self {
             Method::BreadthFirst => &[ScheduleKind::BreadthFirst],
             Method::DepthFirst => &[ScheduleKind::DepthFirst],
@@ -67,13 +84,13 @@ impl Method {
         }
     }
 
-    /// The sharding levels the paper tried for this method.
-    fn dp_variants(&self) -> &'static [DataParallelism] {
+    /// The sharding levels the paper tried for this method, in
+    /// enumeration order.
+    pub fn dp_variants(&self) -> &'static [DataParallelism] {
         match self {
-            Method::BreadthFirst | Method::NoPipeline => &[
-                DataParallelism::Unsharded,
-                DataParallelism::FullySharded,
-            ],
+            Method::BreadthFirst | Method::NoPipeline => {
+                &[DataParallelism::Unsharded, DataParallelism::FullySharded]
+            }
             Method::NonLooped => &[
                 DataParallelism::Unsharded,
                 DataParallelism::PartiallySharded,
@@ -100,7 +117,7 @@ impl std::fmt::Display for Method {
     }
 }
 
-/// Limits on the configuration enumeration.
+/// Limits on the configuration enumeration and evaluation.
 #[derive(Debug, Clone)]
 pub struct SearchOptions {
     /// Largest micro-batch size tried.
@@ -110,6 +127,23 @@ pub struct SearchOptions {
     /// Skip configurations whose op graph would exceed this many compute
     /// actions (guards the search's own runtime).
     pub max_actions: u64,
+    /// Worker threads for candidate evaluation; `0` uses the machine's
+    /// available parallelism. The result is identical for every value.
+    pub threads: usize,
+}
+
+impl SearchOptions {
+    /// The worker count to actually use: `threads`, or the machine's
+    /// available parallelism when `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
 }
 
 impl Default for SearchOptions {
@@ -118,6 +152,7 @@ impl Default for SearchOptions {
             max_microbatch: 16,
             max_loop: 32,
             max_actions: 400_000,
+            threads: 0,
         }
     }
 }
@@ -137,14 +172,191 @@ pub struct SearchResult {
     pub measurement: Measurement,
 }
 
-fn divisors(n: u32) -> Vec<u32> {
-    (1..=n).filter(|d| n.is_multiple_of(*d)).collect()
+/// What one search run did: how many candidates were enumerated, how
+/// many each analytic filter rejected, how many reached the simulator,
+/// and how long the whole search took. Counters are deterministic —
+/// independent of the worker thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchReport {
+    /// Candidates enumerated (every valid point of the search space).
+    pub enumerated: u64,
+    /// Rejected because their memory lower bound cannot fit the device.
+    pub pruned_memory: u64,
+    /// Rejected because their throughput upper bound cannot beat the
+    /// best simulated result so far.
+    pub pruned_bound: u64,
+    /// Candidates handed to the simulator.
+    pub simulated: u64,
+    /// Wall-clock time of the whole search.
+    pub wall_time: Duration,
+    /// The winner's throughput (Tflop/s per GPU), if anything fit.
+    pub best: Option<f64>,
 }
 
-/// Enumerates, simulates and ranks every valid configuration of `method`
-/// at `global_batch`; returns the fastest that fits device memory, or
-/// `None` if nothing fits (e.g. batch smaller than the data-parallel
-/// width of every feasible grid).
+impl SearchReport {
+    /// Header for the trailing CSV columns the reproduction binaries
+    /// emit, matching [`SearchReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "enumerated,pruned_memory,pruned_bound,simulated,search_ms"
+    }
+
+    /// The report as trailing CSV columns (wall time in milliseconds).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{:.1}",
+            self.enumerated,
+            self.pruned_memory,
+            self.pruned_bound,
+            self.simulated,
+            self.wall_time.as_secs_f64() * 1e3
+        )
+    }
+
+    /// Accumulates another report's counters (for sweep-level totals).
+    /// `best` keeps the larger of the two.
+    pub fn accumulate(&mut self, other: &SearchReport) {
+        self.enumerated += other.enumerated;
+        self.pruned_memory += other.pruned_memory;
+        self.pruned_bound += other.pruned_bound;
+        self.simulated += other.simulated;
+        self.wall_time += other.wall_time;
+        self.best = match (self.best, other.best) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Candidates are pruned and reduced in fixed-size chunks: each chunk is
+/// pruned against the best of the chunks *before* it only, evaluated in
+/// parallel, then reduced serially in candidate order. Keeping the chunk
+/// size a constant (rather than deriving it from the thread count) is
+/// what makes the report's counters — not just the winner —
+/// thread-count-independent.
+const EVAL_CHUNK: usize = 32;
+
+/// Enumerates, prunes, simulates and ranks every valid configuration of
+/// `method` at `global_batch`; returns the fastest that fits device
+/// memory (or `None` if nothing fits) plus a [`SearchReport`] of what
+/// the search did. Equally fast configurations resolve to the earliest
+/// in enumeration order, exactly like [`best_config_exhaustive`].
+pub fn best_config_with_report(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    method: Method,
+    global_batch: u64,
+    kernel: &KernelModel,
+    opts: &SearchOptions,
+) -> (Option<SearchResult>, SearchReport) {
+    let start = Instant::now();
+    let overlap = method.overlap();
+    let candidates: Vec<Candidate> =
+        enumerate(model, cluster, method, global_batch, opts).collect();
+    let mut report = SearchReport {
+        enumerated: candidates.len() as u64,
+        ..SearchReport::default()
+    };
+    let cache = ScheduleCache::new();
+    let cache = &cache;
+    let threads = opts.effective_threads();
+    let mut best: Option<SearchResult> = None;
+
+    for chunk in candidates.chunks(EVAL_CHUNK) {
+        let best_tflops = best.as_ref().map(|b| b.measurement.tflops_per_gpu);
+
+        // Analytic pre-filters (closed-form, no simulation). Ties with
+        // the current best survive the bound filter: equally fast
+        // candidates lose to the earlier incumbent in the reduction, so
+        // pruning them would be sound too — but only strictly dominated
+        // candidates are *counted* as pruned.
+        let mut survivors: Vec<Candidate> = Vec::with_capacity(chunk.len());
+        for cand in chunk {
+            if exceeds_device_memory(model, cluster, cand) {
+                report.pruned_memory += 1;
+            } else if best_tflops
+                .is_some_and(|t| lower_bound_tflops(model, cluster, cand, overlap, kernel) < t)
+            {
+                report.pruned_bound += 1;
+            } else {
+                survivors.push(*cand);
+            }
+        }
+        if survivors.is_empty() {
+            continue;
+        }
+        report.simulated += survivors.len() as u64;
+
+        // Parallel evaluation: contiguous slices of the survivor list,
+        // one scoped worker per slice, results written into
+        // order-indexed slots (no locks, no reordering). Workers are
+        // capped so each gets a few simulations — spawning a thread for
+        // one candidate costs more than simulating it. This affects only
+        // scheduling, never results.
+        let threads = threads.min(survivors.len().div_ceil(4));
+        let mut results: Vec<Option<Measurement>> = vec![None; survivors.len()];
+        if threads <= 1 {
+            for (cand, slot) in survivors.iter().zip(results.iter_mut()) {
+                *slot = evaluate_candidate(model, cluster, cache, cand, overlap, kernel);
+            }
+        } else {
+            let per = survivors.len().div_ceil(threads).max(1);
+            crossbeam::thread::scope(|s| {
+                for (cands, out) in survivors.chunks(per).zip(results.chunks_mut(per)) {
+                    s.spawn(move || {
+                        for (cand, slot) in cands.iter().zip(out.iter_mut()) {
+                            *slot =
+                                evaluate_candidate(model, cluster, cache, cand, overlap, kernel);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Serial in-order reduction: strictly-greater replaces, so the
+        // first of equally fast candidates wins — the exhaustive serial
+        // semantics.
+        for (cand, m) in survivors.iter().zip(results) {
+            let Some(m) = m else { continue };
+            if !m.fits(cluster.node.gpu.memory_bytes) {
+                continue;
+            }
+            let better = best
+                .as_ref()
+                .map(|b| m.tflops_per_gpu > b.measurement.tflops_per_gpu)
+                .unwrap_or(true);
+            if better {
+                best = Some(SearchResult {
+                    method,
+                    kind: cand.kind,
+                    cfg: cand.config(),
+                    overlap,
+                    measurement: m,
+                });
+            }
+        }
+    }
+
+    report.best = best.as_ref().map(|b| b.measurement.tflops_per_gpu);
+    report.wall_time = start.elapsed();
+    (best, report)
+}
+
+fn evaluate_candidate(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cache: &ScheduleCache,
+    cand: &Candidate,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+) -> Option<Measurement> {
+    let cfg = cand.config();
+    let schedule = cache
+        .get_or_generate(cand.kind, cfg.placement, cfg.batch.num_microbatches)
+        .ok()?;
+    simulate_with_schedule(model, cluster, &cfg, schedule, overlap, kernel).ok()
+}
+
+/// The layered engine's winner, without the report.
 pub fn best_config(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
@@ -153,85 +365,42 @@ pub fn best_config(
     kernel: &KernelModel,
     opts: &SearchOptions,
 ) -> Option<SearchResult> {
-    let num_gpus = cluster.num_gpus();
-    let spn = cluster.node.gpus_per_node;
+    best_config_with_report(model, cluster, method, global_batch, kernel, opts).0
+}
+
+/// The exhaustive serial reference: simulates *every* enumerated
+/// candidate, no pruning, no caching, no threads. [`best_config`] is
+/// verified (by test and by property test) to return exactly this.
+pub fn best_config_exhaustive(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    method: Method,
+    global_batch: u64,
+    kernel: &KernelModel,
+    opts: &SearchOptions,
+) -> Option<SearchResult> {
     let overlap = method.overlap();
     let mut best: Option<SearchResult> = None;
-
-    for n_tp in divisors(spn) {
-        let rest = num_gpus / n_tp;
-        if !num_gpus.is_multiple_of(n_tp) {
+    for cand in enumerate(model, cluster, method, global_batch, opts) {
+        let cfg = cand.config();
+        let Ok(m) = simulate(model, cluster, &cfg, cand.kind, overlap, kernel) else {
+            continue;
+        };
+        if !m.fits(cluster.node.gpu.memory_bytes) {
             continue;
         }
-        let pp_options: Vec<u32> = match method {
-            Method::NoPipeline => vec![1],
-            _ => divisors(rest)
-                .into_iter()
-                .filter(|&pp| pp >= 2 && pp <= model.num_layers)
-                .collect(),
-        };
-        for n_pp in pp_options {
-            let n_dp = rest / n_pp;
-            if !global_batch.is_multiple_of(n_dp as u64) {
-                continue;
-            }
-            let per_replica = (global_batch / n_dp as u64) as u32;
-            for s_mb in divisors(per_replica.min(opts.max_microbatch)) {
-                if !per_replica.is_multiple_of(s_mb) {
-                    continue;
-                }
-                let n_mb = per_replica / s_mb;
-                let loops: Vec<u32> = match method {
-                    Method::BreadthFirst | Method::DepthFirst => (0..)
-                        .map(|i| 1u32 << i)
-                        .take_while(|&l| l <= opts.max_loop)
-                        .filter(|&l| {
-                            let stages = n_pp * l;
-                            stages <= model.num_layers && model.num_layers.is_multiple_of(stages)
-                        })
-                        .collect(),
-                    _ => vec![1],
-                };
-                for n_loop in loops {
-                    if method == Method::DepthFirst && (n_loop < 2 || !n_mb.is_multiple_of(n_pp)) {
-                        continue;
-                    }
-                    let actions = 2 * n_mb as u64 * (n_pp * n_loop) as u64;
-                    if actions > opts.max_actions {
-                        continue;
-                    }
-                    for &kind in method.kinds() {
-                        for &dp in method.dp_variants() {
-                            let cfg = ParallelConfig::new(
-                                Grid::new(n_dp, n_tp, n_pp),
-                                Placement::looping(n_pp, n_loop),
-                                BatchConfig::new(n_mb, s_mb),
-                                dp,
-                            );
-                            let Ok(m) = simulate(model, cluster, &cfg, kind, overlap, kernel)
-                            else {
-                                continue;
-                            };
-                            if !m.fits(cluster.node.gpu.memory_bytes) {
-                                continue;
-                            }
-                            let better = best
-                                .as_ref()
-                                .map(|b| m.tflops_per_gpu > b.measurement.tflops_per_gpu)
-                                .unwrap_or(true);
-                            if better {
-                                best = Some(SearchResult {
-                                    method,
-                                    kind,
-                                    cfg,
-                                    overlap,
-                                    measurement: m,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
+        let better = best
+            .as_ref()
+            .map(|b| m.tflops_per_gpu > b.measurement.tflops_per_gpu)
+            .unwrap_or(true);
+        if better {
+            best = Some(SearchResult {
+                method,
+                kind: cand.kind,
+                cfg,
+                overlap,
+                measurement: m,
+            });
         }
     }
     best
@@ -263,6 +432,7 @@ mod tests {
             max_microbatch: 8,
             max_loop: 16,
             max_actions: 60_000,
+            threads: 0,
         }
     }
 
@@ -338,41 +508,159 @@ mod tests {
         let cluster = presets::dgx1_v100(8);
         let k = KernelModel::v100();
         let opts = quick_opts();
-        let rows = sweep(
-            &model,
-            &cluster,
-            Method::BreadthFirst,
-            &[16, 64],
-            &k,
-            &opts,
-        );
+        let rows = sweep(&model, &cluster, Method::BreadthFirst, &[16, 64], &k, &opts);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|(_, r)| r.is_some()));
         // Larger batch should not be slower for the same method.
         let t16 = rows[0].1.as_ref().unwrap().measurement.tflops_per_gpu;
         let t64 = rows[1].1.as_ref().unwrap().measurement.tflops_per_gpu;
-        assert!(t64 >= t16 * 0.95, "bf 16 -> 64 should not regress: {t16} {t64}");
+        assert!(
+            t64 >= t16 * 0.95,
+            "bf 16 -> 64 should not regress: {t16} {t64}"
+        );
     }
 
     #[test]
     fn infeasible_batch_returns_none() {
-        // Batch 1 on 64 GPUs with pipeline methods: N_DP must be 1 and the
-        // single micro-batch starves everything — but some config still
-        // exists; instead test a batch that divides nothing.
         let model = models::bert_52b();
         let cluster = presets::dgx1_v100(8);
         let k = KernelModel::v100();
         let opts = quick_opts();
-        // Batch 7 with no-pipeline: n_dp = 64 required... 7 % 64 != 0 for
-        // every tp/pp split except n_dp = 7 or 1 which don't divide 64.
-        let r = best_config(&model, &cluster, Method::NoPipeline, 7, &k, &opts);
+        // Batch 7 with no-pipeline: no n_dp drawn from the 64-GPU grid
+        // divides 7, so nothing is even enumerable.
+        let (r, report) =
+            best_config_with_report(&model, &cluster, Method::NoPipeline, 7, &k, &opts);
         assert!(r.is_none());
+        assert_eq!(report.enumerated, 0);
+        assert_eq!(report.best, None);
     }
 
     #[test]
-    fn divisors_helper() {
-        assert_eq!(divisors(8), vec![1, 2, 4, 8]);
-        assert_eq!(divisors(1), vec![1]);
-        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+    fn engine_is_thread_count_invariant_and_matches_exhaustive() {
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let opts = quick_opts();
+        let reference =
+            best_config_exhaustive(&model, &cluster, Method::BreadthFirst, 16, &k, &opts);
+        assert!(reference.is_some());
+        let mut first_report: Option<SearchReport> = None;
+        for threads in [1usize, 2, 5] {
+            let opts = SearchOptions {
+                threads,
+                ..quick_opts()
+            };
+            let (r, report) =
+                best_config_with_report(&model, &cluster, Method::BreadthFirst, 16, &k, &opts);
+            assert_eq!(
+                r, reference,
+                "threads={threads} must match the serial reference"
+            );
+            assert_eq!(
+                report.enumerated,
+                report.pruned_memory + report.pruned_bound + report.simulated,
+                "every candidate is pruned or simulated"
+            );
+            assert_eq!(report.best, r.map(|r| r.measurement.tflops_per_gpu));
+            if let Some(prev) = &first_report {
+                assert_eq!(
+                    (
+                        prev.enumerated,
+                        prev.pruned_memory,
+                        prev.pruned_bound,
+                        prev.simulated
+                    ),
+                    (
+                        report.enumerated,
+                        report.pruned_memory,
+                        report.pruned_bound,
+                        report.simulated
+                    ),
+                    "threads={threads}: counters must be thread-count-independent"
+                );
+            } else {
+                first_report = Some(report);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_the_first_enumerated() {
+        // On a single pipeline stage, GPipe and 1F1B order the same
+        // kernels differently on one FIFO stream — identical batch time,
+        // a genuine throughput tie. The tie must resolve to GPipe, the
+        // earlier kind in enumeration (and Candidate) order.
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(1);
+        let k = KernelModel::v100();
+        let opts = SearchOptions {
+            threads: 2,
+            ..quick_opts()
+        };
+        let r = best_config(&model, &cluster, Method::NoPipeline, 64, &k, &opts)
+            .expect("no-pipeline feasible at batch 64");
+        let other = simulate(
+            &model,
+            &cluster,
+            &r.cfg,
+            ScheduleKind::OneFOneB,
+            r.overlap,
+            &k,
+        )
+        .expect("same config must simulate under the other kind");
+        assert_eq!(
+            other.tflops_per_gpu, r.measurement.tflops_per_gpu,
+            "the tie must be real"
+        );
+        assert_eq!(r.kind, ScheduleKind::GPipe, "first in order wins the tie");
+    }
+
+    #[test]
+    fn pruning_actually_prunes() {
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let (r, report) = best_config_with_report(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            48,
+            &k,
+            &quick_opts(),
+        );
+        assert!(r.is_some());
+        assert!(
+            report.pruned_memory + report.pruned_bound > 0,
+            "the 52B sweep must reject something analytically: {report:?}"
+        );
+        assert!(report.simulated < report.enumerated);
+        assert!(report.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn report_csv_round_trip() {
+        let report = SearchReport {
+            enumerated: 100,
+            pruned_memory: 40,
+            pruned_bound: 30,
+            simulated: 30,
+            wall_time: Duration::from_millis(12),
+            best: Some(51.5),
+        };
+        assert_eq!(
+            SearchReport::csv_header().split(',').count(),
+            report.csv_row().split(',').count()
+        );
+        assert!(report.csv_row().starts_with("100,40,30,30,"));
+
+        let mut total = SearchReport::default();
+        total.accumulate(&report);
+        total.accumulate(&SearchReport {
+            enumerated: 10,
+            best: Some(60.0),
+            ..SearchReport::default()
+        });
+        assert_eq!(total.enumerated, 110);
+        assert_eq!(total.best, Some(60.0));
     }
 }

@@ -44,30 +44,28 @@ fn configs() -> impl Strategy<Value = (ParallelConfig, ScheduleKind, OverlapConf
                 any::<bool>(),
             )
         })
-        .prop_map(
-            |(n_tp, n_pp, n_dp, n_loop, n_mb, s_mb, dp, ov_dp, ov_pp)| {
-                let kind = if n_loop > 1 {
-                    ScheduleKind::BreadthFirst
-                } else if n_mb % 2 == 0 {
-                    ScheduleKind::GPipe
-                } else {
-                    ScheduleKind::OneFOneB
-                };
-                let mut overlap = OverlapConfig::full();
-                overlap.dp = ov_dp;
-                overlap.pp = ov_pp;
-                (
-                    ParallelConfig::new(
-                        Grid::new(n_dp, n_tp, n_pp),
-                        Placement::looping(n_pp, n_loop),
-                        BatchConfig::new(n_mb, s_mb),
-                        dp,
-                    ),
-                    kind,
-                    overlap,
-                )
-            },
-        )
+        .prop_map(|(n_tp, n_pp, n_dp, n_loop, n_mb, s_mb, dp, ov_dp, ov_pp)| {
+            let kind = if n_loop > 1 {
+                ScheduleKind::BreadthFirst
+            } else if n_mb % 2 == 0 {
+                ScheduleKind::GPipe
+            } else {
+                ScheduleKind::OneFOneB
+            };
+            let mut overlap = OverlapConfig::full();
+            overlap.dp = ov_dp;
+            overlap.pp = ov_pp;
+            (
+                ParallelConfig::new(
+                    Grid::new(n_dp, n_tp, n_pp),
+                    Placement::looping(n_pp, n_loop),
+                    BatchConfig::new(n_mb, s_mb),
+                    dp,
+                ),
+                kind,
+                overlap,
+            )
+        })
 }
 
 proptest! {

@@ -1,0 +1,67 @@
+//! Property test of the search engine's soundness: for random methods,
+//! batch sizes, limits and thread counts, the layered engine (analytic
+//! pruning + schedule cache + worker pool) must return *exactly* the
+//! result of the exhaustive serial reference, and its report must
+//! account for every enumerated candidate.
+
+use bfpp_cluster::presets::dgx1_v100;
+use bfpp_exec::search::{best_config_exhaustive, best_config_with_report, Method, SearchOptions};
+use bfpp_exec::KernelModel;
+use bfpp_model::presets::bert_6_6b;
+use proptest::prelude::*;
+
+fn searches() -> impl Strategy<Value = (Method, u64, SearchOptions)> {
+    (
+        proptest::sample::select(Method::ALL.to_vec()),
+        proptest::sample::select(vec![8u64, 16, 24, 48]),
+        proptest::sample::select(vec![2u32, 4]),
+        proptest::sample::select(vec![4u32, 8]),
+        1usize..5,
+    )
+        .prop_map(|(method, batch, max_microbatch, max_loop, threads)| {
+            (
+                method,
+                batch,
+                SearchOptions {
+                    max_microbatch,
+                    max_loop,
+                    max_actions: 20_000,
+                    threads,
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Pruning and parallelism must never change the answer: same
+    /// winner (bit-identical measurement included), and every enumerated
+    /// candidate either pruned or simulated.
+    #[test]
+    fn engine_equals_exhaustive_reference((method, batch, opts) in searches()) {
+        let model = bert_6_6b();
+        let cluster = dgx1_v100(1);
+        let kernel = KernelModel::v100();
+        let reference =
+            best_config_exhaustive(&model, &cluster, method, batch, &kernel, &opts);
+        let (engine, report) =
+            best_config_with_report(&model, &cluster, method, batch, &kernel, &opts);
+        prop_assert_eq!(
+            &engine,
+            &reference,
+            "{} @ batch {} with {:?}",
+            method,
+            batch,
+            &opts
+        );
+        prop_assert_eq!(
+            report.enumerated,
+            report.pruned_memory + report.pruned_bound + report.simulated
+        );
+        prop_assert_eq!(
+            report.best,
+            engine.as_ref().map(|r| r.measurement.tflops_per_gpu)
+        );
+    }
+}

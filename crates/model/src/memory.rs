@@ -123,11 +123,7 @@ mod tests {
         // Paper A.2.2: "GPT-3 uses 552 MB per sample" (S_mb = 1, N_TP = 8).
         let m = presets::gpt3();
         let bytes = activation_memory_bytes(&m, 1, 8);
-        assert!(
-            (bytes / MIB - 552.0).abs() < 1.0,
-            "got {} MiB",
-            bytes / MIB
-        );
+        assert!((bytes / MIB - 552.0).abs() < 1.0, "got {} MiB", bytes / MIB);
     }
 
     #[test]
@@ -175,7 +171,11 @@ mod tests {
         // Paper A.2.1: GPT-3 with N_TP = 8, N_PP = 4 and DP_PS: 10 or 20 GB.
         // The paper quotes decimal-ish GB on the nominal 175e9 parameters.
         let r = state_memory_ps_bytes(175_000_000_000, 4, 8);
-        assert!((r.low / GIB - 10.0).abs() < 1.0, "low = {} GiB", r.low / GIB);
+        assert!(
+            (r.low / GIB - 10.0).abs() < 1.0,
+            "low = {} GiB",
+            r.low / GIB
+        );
         assert!(
             (r.high / GIB - 20.0).abs() < 1.0,
             "high = {} GiB",
@@ -188,11 +188,7 @@ mod tests {
         // Paper A.2.1: 1T with DP_FS needs about 7 GB.
         let m = presets::one_t();
         let r = state_memory_fs_bytes(m.total_params(), m.num_layers, 8);
-        assert!(
-            (r.low / GIB - 7.0).abs() < 1.0,
-            "got {} GiB",
-            r.low / GIB
-        );
+        assert!((r.low / GIB - 7.0).abs() < 1.0, "got {} GiB", r.low / GIB);
         assert_eq!(r.low, r.high);
     }
 

@@ -52,7 +52,13 @@ mod tests {
     fn bert_52b_matches_table_5_1() {
         let m = bert_52b();
         assert_eq!(
-            (m.num_layers, m.num_heads, m.head_size, m.hidden_size, m.seq_length),
+            (
+                m.num_layers,
+                m.num_heads,
+                m.head_size,
+                m.hidden_size,
+                m.seq_length
+            ),
             (64, 64, 128, 8192, 1024)
         );
         // ~52 B parameters: 12 · 64 · 8192² ≈ 51.5 B + embeddings.
@@ -64,7 +70,13 @@ mod tests {
     fn bert_6_6b_matches_table_5_1() {
         let m = bert_6_6b();
         assert_eq!(
-            (m.num_layers, m.num_heads, m.head_size, m.hidden_size, m.seq_length),
+            (
+                m.num_layers,
+                m.num_heads,
+                m.head_size,
+                m.hidden_size,
+                m.seq_length
+            ),
             (32, 32, 128, 4096, 1024)
         );
         // Table 5.1 calls it "6607 M".

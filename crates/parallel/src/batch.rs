@@ -93,6 +93,9 @@ mod tests {
 
     #[test]
     fn display_reads_naturally() {
-        assert_eq!(BatchConfig::new(4, 2).to_string(), "4 micro-batches x 2 samples");
+        assert_eq!(
+            BatchConfig::new(4, 2).to_string(),
+            "4 micro-batches x 2 samples"
+        );
     }
 }

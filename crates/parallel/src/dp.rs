@@ -87,6 +87,21 @@ impl DataParallelism {
     pub fn is_sharded(&self) -> bool {
         !matches!(self, DataParallelism::Unsharded)
     }
+
+    /// State bytes per *embedding* parameter on the hosting device:
+    /// fp16 weights + fp16 gradients + fp32 Adam state = 20 bytes,
+    /// reduced to the sharded portion where the variant shards it.
+    /// `DP_PS` keeps only the fp16 weights + fp16 gradients resident
+    /// (its optimizer shard is counted in the bracketed state estimate);
+    /// `DP_FS` spreads the full 20 bytes over the `n_dp` replicas.
+    pub fn embedding_state_bytes_per_param(&self, n_dp: u32) -> f64 {
+        assert!(n_dp > 0, "N_DP must be positive");
+        match self {
+            DataParallelism::Unsharded => 20.0,
+            DataParallelism::PartiallySharded => 4.0,
+            DataParallelism::FullySharded => 20.0 / n_dp as f64,
+        }
+    }
 }
 
 impl fmt::Display for DataParallelism {
@@ -130,7 +145,10 @@ mod tests {
             assert_eq!(dp.reduce_payload_bytes(p), 2000.0);
         }
         assert_eq!(DataParallelism::Unsharded.gather_payload_bytes(p), 0.0);
-        assert_eq!(DataParallelism::FullySharded.gather_payload_bytes(p), 2000.0);
+        assert_eq!(
+            DataParallelism::FullySharded.gather_payload_bytes(p),
+            2000.0
+        );
     }
 
     #[test]
@@ -138,6 +156,26 @@ mod tests {
         assert!(!DataParallelism::Unsharded.is_sharded());
         assert!(DataParallelism::PartiallySharded.is_sharded());
         assert!(DataParallelism::FullySharded.is_sharded());
+    }
+
+    #[test]
+    fn embedding_state_shrinks_with_sharding() {
+        assert_eq!(
+            DataParallelism::Unsharded.embedding_state_bytes_per_param(8),
+            20.0
+        );
+        assert_eq!(
+            DataParallelism::PartiallySharded.embedding_state_bytes_per_param(8),
+            4.0
+        );
+        assert_eq!(
+            DataParallelism::FullySharded.embedding_state_bytes_per_param(8),
+            2.5
+        );
+        assert_eq!(
+            DataParallelism::FullySharded.embedding_state_bytes_per_param(1),
+            20.0
+        );
     }
 
     #[test]

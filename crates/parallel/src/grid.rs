@@ -198,7 +198,11 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn coord_out_of_range_rejected() {
         let g = Grid::new(2, 2, 2);
-        g.global_rank(RankCoord { dp: 2, tp: 0, pp: 0 });
+        g.global_rank(RankCoord {
+            dp: 2,
+            tp: 0,
+            pp: 0,
+        });
     }
 
     #[test]

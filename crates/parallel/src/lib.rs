@@ -42,11 +42,13 @@ mod batch;
 mod dp;
 mod grid;
 mod placement;
+mod util;
 
 pub use batch::BatchConfig;
 pub use dp::DataParallelism;
 pub use grid::{Grid, RankCoord};
 pub use placement::{Placement, StageId};
+pub use util::divisors;
 
 use bfpp_cluster::ClusterSpec;
 use bfpp_model::TransformerConfig;
@@ -103,7 +105,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::GridClusterMismatch { grid, cluster } => {
                 write!(f, "grid needs {grid} GPUs but the cluster has {cluster}")
             }
-            ConfigError::TensorParallelSpansNodes { n_tp, gpus_per_node } => write!(
+            ConfigError::TensorParallelSpansNodes {
+                n_tp,
+                gpus_per_node,
+            } => write!(
                 f,
                 "tensor parallelism of {n_tp} does not fit a {gpus_per_node}-GPU node"
             ),

@@ -127,7 +127,9 @@ impl Placement {
     /// Number of layers per stage when even (`num_layers / num_stages`);
     /// `None` when the division is uneven.
     pub fn even_layers_per_stage(&self, num_layers: u32) -> Option<u32> {
-        num_layers.is_multiple_of(self.num_stages()).then(|| num_layers / self.num_stages())
+        num_layers
+            .is_multiple_of(self.num_stages())
+            .then(|| num_layers / self.num_stages())
     }
 
     /// Iterates over all stages in forward order.

@@ -1,0 +1,70 @@
+//! Small numeric helpers shared by the parallel-layout and search crates.
+
+/// All divisors of `n` in ascending order, in `O(√n)` time.
+///
+/// `divisors(0)` is empty: every positive integer divides zero, so there
+/// is no finite list to return, and the search layers treat a zero width
+/// as "nothing to enumerate".
+pub fn divisors(n: u32) -> Vec<u32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1u32;
+    while (d as u64) * (d as u64) <= n as u64 {
+        if n.is_multiple_of(d) {
+            small.push(d);
+            let q = n / d;
+            if q != d {
+                large.push(q);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+#[cfg(test)]
+mod tests {
+    use super::divisors;
+
+    #[test]
+    fn zero_has_no_divisor_list() {
+        assert!(divisors(0).is_empty());
+    }
+
+    #[test]
+    fn one_divides_itself() {
+        assert_eq!(divisors(1), vec![1]);
+    }
+
+    #[test]
+    fn small_composites_are_sorted_and_complete() {
+        assert_eq!(divisors(8), vec![1, 2, 4, 8]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(60), vec![1, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30, 60]);
+    }
+
+    #[test]
+    fn perfect_squares_count_the_root_once() {
+        assert_eq!(divisors(36), vec![1, 2, 3, 4, 6, 9, 12, 18, 36]);
+    }
+
+    #[test]
+    fn large_primes_have_exactly_two() {
+        // 2^31 - 1 is a Mersenne prime; the sqrt bound keeps this fast.
+        assert_eq!(divisors(2_147_483_647), vec![1, 2_147_483_647]);
+        assert_eq!(divisors(65_537), vec![1, 65_537]);
+    }
+
+    #[test]
+    fn agrees_with_the_naive_definition() {
+        for n in 1..=256u32 {
+            let naive: Vec<u32> = (1..=n).filter(|d| n % d == 0).collect();
+            assert_eq!(divisors(n), naive, "n = {n}");
+        }
+    }
+}

@@ -91,7 +91,7 @@ impl Timeline {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::graph::OpGraph;
     use crate::time::SimDuration;
 

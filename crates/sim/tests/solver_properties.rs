@@ -17,17 +17,17 @@ fn random_graph(
     max_ops: usize,
 ) -> impl Strategy<Value = (usize, Vec<RandomOp>)> {
     (1..=max_resources).prop_flat_map(move |nres| {
-        let op = (0..nres, 0u64..1000, proptest::collection::vec(0usize..100, 0..3)).prop_map(
-            |(resource, duration_ns, dep_picks)| RandomOp {
+        let op = (
+            0..nres,
+            0u64..1000,
+            proptest::collection::vec(0usize..100, 0..3),
+        )
+            .prop_map(|(resource, duration_ns, dep_picks)| RandomOp {
                 resource,
                 duration_ns,
                 dep_picks,
-            },
-        );
-        (
-            Just(nres),
-            proptest::collection::vec(op, 1..=max_ops),
-        )
+            });
+        (Just(nres), proptest::collection::vec(op, 1..=max_ops))
     })
 }
 
@@ -40,7 +40,13 @@ fn build(nres: usize, ops: &[RandomOp]) -> OpGraph<usize> {
         let deps: Vec<OpId> = op
             .dep_picks
             .iter()
-            .filter_map(|p| if ids.is_empty() { None } else { Some(ids[p % ids.len()]) })
+            .filter_map(|p| {
+                if ids.is_empty() {
+                    None
+                } else {
+                    Some(ids[p % ids.len()])
+                }
+            })
             .collect();
         ids.push(g.add_op(
             resources[op.resource],

@@ -189,7 +189,9 @@ mod tests {
         Tensor::from_vec(
             n,
             d,
-            (0..n * d).map(|i| ((i * 37 % 11) as f32 - 5.0) * 0.1).collect(),
+            (0..n * d)
+                .map(|i| ((i * 37 % 11) as f32 - 5.0) * 0.1)
+                .collect(),
         )
     }
 
@@ -254,8 +256,7 @@ mod tests {
             let stage = attn_stage(4, causal);
             let x = demo_input(3, 4);
             let out = stage.forward(&x);
-            let ones =
-                Tensor::from_vec(out.rows(), out.cols(), vec![1.0; out.data().len()]);
+            let ones = Tensor::from_vec(out.rows(), out.cols(), vec![1.0; out.data().len()]);
             let mut grads = vec![0.0; stage.num_params()];
             let grad_in = stage.backward(&x, &ones, &mut grads);
 

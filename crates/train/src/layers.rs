@@ -210,10 +210,8 @@ impl Layer for LayerNorm {
         for r in 0..input.rows() {
             for c in 0..cols {
                 let x = input.at(r, c);
-                out.data_mut()[r * cols + c] = self.gamma.data()[c]
-                    * (x - means[r])
-                    * inv_stds[r]
-                    + self.beta.data()[c];
+                out.data_mut()[r * cols + c] =
+                    self.gamma.data()[c] * (x - means[r]) * inv_stds[r] + self.beta.data()[c];
             }
         }
         out
@@ -289,7 +287,12 @@ impl Clone for Stage {
 
 impl std::fmt::Debug for Stage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Stage({} layers, {} params)", self.layers.len(), self.num_params())
+        write!(
+            f,
+            "Stage({} layers, {} params)",
+            self.layers.len(),
+            self.num_params()
+        )
     }
 }
 
@@ -381,11 +384,7 @@ mod tests {
     fn finite_diff_check(stage: &Stage, input: &Tensor) {
         // Loss = sum of outputs; grad_out = ones.
         let out = stage.forward(input);
-        let ones = Tensor::from_vec(
-            out.rows(),
-            out.cols(),
-            vec![1.0; out.rows() * out.cols()],
-        );
+        let ones = Tensor::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
         let mut grads = vec![0.0; stage.num_params()];
         let grad_in = stage.backward(input, &ones, &mut grads);
 

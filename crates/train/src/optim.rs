@@ -113,8 +113,11 @@ impl OptimizerKind {
                 *t += 1;
                 let bc1 = 1.0 - beta1.powi(*t);
                 let bc2 = 1.0 - beta2.powi(*t);
-                for (((p, g), mi), vi) in
-                    params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+                for (((p, g), mi), vi) in params
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(m.iter_mut())
+                    .zip(v.iter_mut())
                 {
                     *mi = beta1 * *mi + (1.0 - beta1) * g;
                     *vi = beta2 * *vi + (1.0 - beta2) * g * g;
@@ -217,7 +220,11 @@ impl OptimizerState {
                 let mut v = Vec::new();
                 for s in shards {
                     match s {
-                        OptimizerState::Adam { m: ms, v: vs, t: ts } => {
+                        OptimizerState::Adam {
+                            m: ms,
+                            v: vs,
+                            t: ts,
+                        } => {
                             assert_eq!(*ts, t, "shards disagree on step counter");
                             m.extend(ms);
                             v.extend(vs);

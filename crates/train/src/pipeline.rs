@@ -151,9 +151,8 @@ pub fn run_batch_stateful(
     schedule.validate().expect("generated schedules are valid");
 
     // Per-pipeline-device communication groups across replicas.
-    let mut comms: Vec<Vec<CommHandle>> = (0..n_pp)
-        .map(|_| CommGroup::new(n_dp as usize))
-        .collect();
+    let mut comms: Vec<Vec<CommHandle>> =
+        (0..n_pp).map(|_| CommGroup::new(n_dp as usize)).collect();
 
     // Channels per replica per boundary.
     let mut wirings: Vec<Wiring> = Vec::with_capacity(n_dp as usize);
@@ -224,12 +223,10 @@ pub fn run_batch_stateful(
                         bwd_send[b as usize] = wiring.bwd_send[b as usize].take();
                     }
                 }
-                let my_inputs: Vec<Tensor> = inputs
-                    [(r * spec.n_mb) as usize..((r + 1) * spec.n_mb) as usize]
-                    .to_vec();
-                let my_targets: Vec<Tensor> = targets
-                    [(r * spec.n_mb) as usize..((r + 1) * spec.n_mb) as usize]
-                    .to_vec();
+                let my_inputs: Vec<Tensor> =
+                    inputs[(r * spec.n_mb) as usize..((r + 1) * spec.n_mb) as usize].to_vec();
+                let my_targets: Vec<Tensor> =
+                    targets[(r * spec.n_mb) as usize..((r + 1) * spec.n_mb) as usize].to_vec();
                 let schedule = &schedule;
                 let spec = spec.clone();
                 handles.push(scope.spawn(move || {
@@ -259,8 +256,9 @@ fn assemble(
     let mut gradients: Vec<Vec<f32>> = vec![Vec::new(); n_stage];
     let mut losses: Vec<(u32, u32, f32)> = Vec::new();
     // Per stage, per replica: the returned optimizer state shard.
-    let mut state_shards: Vec<Vec<Option<OptimizerState>>> =
-        (0..n_stage).map(|_| vec![None; spec.n_dp as usize]).collect();
+    let mut state_shards: Vec<Vec<Option<OptimizerState>>> = (0..n_stage)
+        .map(|_| vec![None; spec.n_dp as usize])
+        .collect();
     for o in outcomes {
         for (sid, stage, grad, state) in o.stages {
             state_shards[sid.0 as usize][o.replica as usize] = Some(state);
@@ -277,8 +275,10 @@ fn assemble(
         .into_iter()
         .enumerate()
         .map(|(si, shards)| {
-            let shards: Vec<OptimizerState> =
-                shards.into_iter().map(|s| s.expect("state returned")).collect();
+            let shards: Vec<OptimizerState> = shards
+                .into_iter()
+                .map(|s| s.expect("state returned"))
+                .collect();
             if spec.dp == DataParallelism::Unsharded || spec.n_dp == 1 {
                 // Replicated: all identical; keep replica 0's.
                 shards.into_iter().next().expect("replica 0")
@@ -493,9 +493,9 @@ fn device_main(
                 let g_shard = comm.reduce_scatter(&flat);
                 let p_full = padded(&my_stages[i].1.param_vector(), n_dp);
                 let r = replica as usize;
-                let mut p_shard =
-                    p_full[r * shard_len[i]..(r + 1) * shard_len[i]].to_vec();
-                spec.optimizer.step(&mut my_states[i], &mut p_shard, &g_shard);
+                let mut p_shard = p_full[r * shard_len[i]..(r + 1) * shard_len[i]].to_vec();
+                spec.optimizer
+                    .step(&mut my_states[i], &mut p_shard, &g_shard);
                 let p_new = comm.all_gather(&p_shard);
                 my_stages[i].1.set_param_vector(&p_new[..n]);
                 let mut g = comm.all_gather(&g_shard);
@@ -535,7 +535,13 @@ mod tests {
 
     use crate::optim::OptimizerKind;
 
-    fn spec(kind: ScheduleKind, placement: Placement, n_mb: u32, n_dp: u32, dp: DataParallelism) -> TrainSpec {
+    fn spec(
+        kind: ScheduleKind,
+        placement: Placement,
+        n_mb: u32,
+        n_dp: u32,
+        dp: DataParallelism,
+    ) -> TrainSpec {
         TrainSpec {
             kind,
             placement,
@@ -547,11 +553,7 @@ mod tests {
         }
     }
 
-    fn setup(
-        n_stage: u32,
-        n_mb: u32,
-        n_dp: u32,
-    ) -> (Vec<Stage>, Vec<Tensor>, Vec<Tensor>) {
+    fn setup(n_stage: u32, n_mb: u32, n_dp: u32) -> (Vec<Stage>, Vec<Tensor>, Vec<Tensor>) {
         let stages = build_mlp_stages(6, 10, 3, n_stage, 77);
         let (inputs, targets) = synthetic_batch(6, 3, n_dp * n_mb, 4, 123);
         (stages, inputs, targets)
@@ -781,8 +783,7 @@ mod tests {
             half_comms: false,
         };
         for step in 0..3 {
-            let (p, pst) =
-                run_batch_stateful(&s, piped_stages, piped_states, &inputs, &targets);
+            let (p, pst) = run_batch_stateful(&s, piped_stages, piped_states, &inputs, &targets);
             let (ser, sst) =
                 run_serial_stateful(serial_stages, &inputs, &targets, 2, kind, serial_states);
             assert_eq!(p.losses, ser.losses, "step {step}: losses");
@@ -838,8 +839,16 @@ mod tests {
         for (a, b) in st_fs.iter().zip(&st_dp0) {
             match (a, b) {
                 (
-                    OptimizerState::Adam { m: ma, v: va, t: ta },
-                    OptimizerState::Adam { m: mb, v: vb, t: tb },
+                    OptimizerState::Adam {
+                        m: ma,
+                        v: va,
+                        t: ta,
+                    },
+                    OptimizerState::Adam {
+                        m: mb,
+                        v: vb,
+                        t: tb,
+                    },
                 ) => {
                     assert_eq!(ta, tb);
                     let dm = ma

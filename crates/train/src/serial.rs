@@ -162,8 +162,7 @@ mod tests {
                 .collect();
             let mut mean = f32::INFINITY;
             for _ in 0..40 {
-                let (r, st) =
-                    run_serial_stateful(stages, &inputs, &targets, 1, kind, states);
+                let (r, st) = run_serial_stateful(stages, &inputs, &targets, 1, kind, states);
                 stages = r.stages;
                 states = st;
                 mean = r.losses.iter().sum::<f32>() / r.losses.len() as f32;
@@ -194,13 +193,7 @@ mod tests {
         // in that exact order; verify against manual composition.
         let stages = build_mlp_stages(3, 4, 1, 2, 9);
         let (inputs, targets) = synthetic_batch(3, 1, 2, 2, 13);
-        let both = run_serial(
-            build_mlp_stages(3, 4, 1, 2, 9),
-            &inputs,
-            &targets,
-            2,
-            0.0,
-        );
+        let both = run_serial(build_mlp_stages(3, 4, 1, 2, 9), &inputs, &targets, 2, 0.0);
         let r0 = run_serial(
             build_mlp_stages(3, 4, 1, 2, 9),
             &inputs[..1],

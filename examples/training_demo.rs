@@ -30,7 +30,11 @@ fn main() {
     let mut stages = build_mlp_stages(8, 24, 4, placement.num_stages(), 7);
     let mut serial_stages = stages.clone();
 
-    println!("training a {}-stage MLP with {} + DP_FS on 4 threads x 2 replicas:", placement.num_stages(), spec.kind);
+    println!(
+        "training a {}-stage MLP with {} + DP_FS on 4 threads x 2 replicas:",
+        placement.num_stages(),
+        spec.kind
+    );
     for step in 0..40 {
         let r = run_batch(&spec, stages, &inputs, &targets);
         stages = r.stages;

@@ -121,18 +121,29 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         sharding,
     );
     let kernel = KernelModel::v100();
-    let m = simulate(&model, &cluster, &cfg, schedule, overlap, &kernel)
-        .map_err(|e| e.to_string())?;
+    let m =
+        simulate(&model, &cluster, &cfg, schedule, overlap, &kernel).map_err(|e| e.to_string())?;
     println!("model    : {model}");
     println!("cluster  : {cluster}");
-    println!("config   : {} | {} | {} | {}", cfg.grid, cfg.placement, cfg.batch, cfg.dp);
+    println!(
+        "config   : {} | {} | {} | {}",
+        cfg.grid, cfg.placement, cfg.batch, cfg.dp
+    );
     println!("schedule : {schedule}");
     println!("beta     : {:.3} samples/GPU", cfg.batch_per_gpu());
     println!("batch    : {:.3} ms", m.batch_seconds * 1e3);
-    println!("through  : {:.2} Tflop/s/GPU ({:.1}% of peak)", m.tflops_per_gpu, m.utilization * 100.0);
-    println!("memory   : {:.2} GiB (fits: {})", m.memory_gib(), m.fits(cluster.node.gpu.memory_bytes));
-    let lowered = lower(&model, &cluster, &cfg, schedule, overlap, &kernel)
-        .map_err(|e| e.to_string())?;
+    println!(
+        "through  : {:.2} Tflop/s/GPU ({:.1}% of peak)",
+        m.tflops_per_gpu,
+        m.utilization * 100.0
+    );
+    println!(
+        "memory   : {:.2} GiB (fits: {})",
+        m.memory_gib(),
+        m.fits(cluster.node.gpu.memory_bytes)
+    );
+    let lowered =
+        lower(&model, &cluster, &cfg, schedule, overlap, &kernel).map_err(|e| e.to_string())?;
     let t = lowered.graph.solve().expect("acyclic");
     let b = breakdown(&lowered, &t);
     println!(
@@ -153,7 +164,10 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
     let batch = get_u32(flags, "batch", 48)? as u64;
     let kernel = KernelModel::v100();
     let opts = SearchOptions::default();
-    println!("best configurations for {} at batch {batch} on {}:", model.name, cluster.name);
+    println!(
+        "best configurations for {} at batch {batch} on {}:",
+        model.name, cluster.name
+    );
     for method in Method::ALL {
         match best_config(&model, &cluster, method, batch, &kernel, &opts) {
             Some(r) => println!(

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bfpp-22b4dd84597326bc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbfpp-22b4dd84597326bc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbfpp-22b4dd84597326bc.rmeta: src/lib.rs
+
+src/lib.rs:

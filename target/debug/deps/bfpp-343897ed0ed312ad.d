@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bfpp-343897ed0ed312ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbfpp-343897ed0ed312ad.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbfpp-343897ed0ed312ad.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfpp-42ca5aa76cd40690.d: src/bin/bfpp.rs
+
+/root/repo/target/debug/deps/bfpp-42ca5aa76cd40690: src/bin/bfpp.rs
+
+src/bin/bfpp.rs:

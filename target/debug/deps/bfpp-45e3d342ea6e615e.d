@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfpp-45e3d342ea6e615e.d: src/bin/bfpp.rs
+
+/root/repo/target/debug/deps/bfpp-45e3d342ea6e615e: src/bin/bfpp.rs
+
+src/bin/bfpp.rs:

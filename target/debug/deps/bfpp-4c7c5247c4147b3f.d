@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfpp-4c7c5247c4147b3f.d: src/bin/bfpp.rs
+
+/root/repo/target/debug/deps/bfpp-4c7c5247c4147b3f: src/bin/bfpp.rs
+
+src/bin/bfpp.rs:

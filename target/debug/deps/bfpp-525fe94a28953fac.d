@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfpp-525fe94a28953fac.d: src/lib.rs
+
+/root/repo/target/debug/deps/bfpp-525fe94a28953fac: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfpp-957b567c952bb7ed.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp-957b567c952bb7ed.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

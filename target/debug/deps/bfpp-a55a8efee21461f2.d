@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfpp-a55a8efee21461f2.d: src/bin/bfpp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp-a55a8efee21461f2.rmeta: src/bin/bfpp.rs Cargo.toml
+
+src/bin/bfpp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfpp-a9012ae017dd3bbd.d: src/bin/bfpp.rs
+
+/root/repo/target/debug/deps/bfpp-a9012ae017dd3bbd: src/bin/bfpp.rs
+
+src/bin/bfpp.rs:

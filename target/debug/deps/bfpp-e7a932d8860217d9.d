@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfpp-e7a932d8860217d9.d: src/lib.rs
+
+/root/repo/target/debug/deps/bfpp-e7a932d8860217d9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bfpp_analytic-0e277866f9a6d0df.d: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+/root/repo/target/debug/deps/libbfpp_analytic-0e277866f9a6d0df.rlib: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+/root/repo/target/debug/deps/libbfpp_analytic-0e277866f9a6d0df.rmeta: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/intensity.rs:
+crates/analytic/src/noise.rs:
+crates/analytic/src/tradeoff.rs:

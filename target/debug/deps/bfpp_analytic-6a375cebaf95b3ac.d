@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bfpp_analytic-6a375cebaf95b3ac.d: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp_analytic-6a375cebaf95b3ac.rmeta: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs Cargo.toml
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/intensity.rs:
+crates/analytic/src/noise.rs:
+crates/analytic/src/tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

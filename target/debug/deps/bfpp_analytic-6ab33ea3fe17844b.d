@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfpp_analytic-6ab33ea3fe17844b.d: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+/root/repo/target/debug/deps/bfpp_analytic-6ab33ea3fe17844b: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/intensity.rs:
+crates/analytic/src/noise.rs:
+crates/analytic/src/tradeoff.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bfpp_bench-67632b03bd87e962.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbfpp_bench-67632b03bd87e962.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbfpp_bench-67632b03bd87e962.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bfpp_cluster-0e28e724a2d8d872.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs
+
+/root/repo/target/debug/deps/bfpp_cluster-0e28e724a2d8d872: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/presets.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bfpp_cluster-34b348db7a8f3711.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp_cluster-34b348db7a8f3711.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfpp_collectives-53e5b3d23a7bdc11.d: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+/root/repo/target/debug/deps/libbfpp_collectives-53e5b3d23a7bdc11.rlib: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+/root/repo/target/debug/deps/libbfpp_collectives-53e5b3d23a7bdc11.rmeta: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/thread.rs:

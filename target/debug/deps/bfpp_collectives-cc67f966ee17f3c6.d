@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bfpp_collectives-cc67f966ee17f3c6.d: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+/root/repo/target/debug/deps/bfpp_collectives-cc67f966ee17f3c6: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/thread.rs:

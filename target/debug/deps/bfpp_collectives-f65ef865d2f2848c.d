@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bfpp_collectives-f65ef865d2f2848c.d: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp_collectives-f65ef865d2f2848c.rmeta: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs Cargo.toml
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

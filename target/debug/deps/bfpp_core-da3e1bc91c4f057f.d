@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bfpp_core-da3e1bc91c4f057f.d: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/bubble.rs crates/core/src/cache.rs crates/core/src/generators.rs crates/core/src/greedy.rs crates/core/src/hybrid.rs crates/core/src/memory.rs crates/core/src/runs.rs crates/core/src/schedule.rs crates/core/src/timing.rs crates/core/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp_core-da3e1bc91c4f057f.rmeta: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/bubble.rs crates/core/src/cache.rs crates/core/src/generators.rs crates/core/src/greedy.rs crates/core/src/hybrid.rs crates/core/src/memory.rs crates/core/src/runs.rs crates/core/src/schedule.rs crates/core/src/timing.rs crates/core/src/validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/action.rs:
+crates/core/src/bubble.rs:
+crates/core/src/cache.rs:
+crates/core/src/generators.rs:
+crates/core/src/greedy.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/memory.rs:
+crates/core/src/runs.rs:
+crates/core/src/schedule.rs:
+crates/core/src/timing.rs:
+crates/core/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

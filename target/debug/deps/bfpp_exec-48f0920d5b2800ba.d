@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bfpp_exec-48f0920d5b2800ba.d: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs
+
+/root/repo/target/debug/deps/bfpp_exec-48f0920d5b2800ba: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/breakdown.rs:
+crates/exec/src/candidates.rs:
+crates/exec/src/kernel.rs:
+crates/exec/src/lower.rs:
+crates/exec/src/measure.rs:
+crates/exec/src/memory.rs:
+crates/exec/src/overlap.rs:
+crates/exec/src/prune.rs:
+crates/exec/src/search.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bfpp_exec-72b8911ce8e3a66d.d: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/search.rs
+
+/root/repo/target/debug/deps/bfpp_exec-72b8911ce8e3a66d: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/search.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/breakdown.rs:
+crates/exec/src/kernel.rs:
+crates/exec/src/lower.rs:
+crates/exec/src/measure.rs:
+crates/exec/src/memory.rs:
+crates/exec/src/overlap.rs:
+crates/exec/src/search.rs:

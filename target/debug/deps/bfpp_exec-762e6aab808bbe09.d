@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bfpp_exec-762e6aab808bbe09.d: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp_exec-762e6aab808bbe09.rmeta: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/breakdown.rs:
+crates/exec/src/candidates.rs:
+crates/exec/src/kernel.rs:
+crates/exec/src/lower.rs:
+crates/exec/src/measure.rs:
+crates/exec/src/memory.rs:
+crates/exec/src/overlap.rs:
+crates/exec/src/prune.rs:
+crates/exec/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bfpp_exec-b50594a6c12f21df.d: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/search.rs
+
+/root/repo/target/debug/deps/libbfpp_exec-b50594a6c12f21df.rlib: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/search.rs
+
+/root/repo/target/debug/deps/libbfpp_exec-b50594a6c12f21df.rmeta: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/search.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/breakdown.rs:
+crates/exec/src/kernel.rs:
+crates/exec/src/lower.rs:
+crates/exec/src/measure.rs:
+crates/exec/src/memory.rs:
+crates/exec/src/overlap.rs:
+crates/exec/src/search.rs:

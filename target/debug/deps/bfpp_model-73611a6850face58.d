@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bfpp_model-73611a6850face58.d: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+/root/repo/target/debug/deps/bfpp_model-73611a6850face58: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+crates/model/src/lib.rs:
+crates/model/src/memory.rs:
+crates/model/src/presets.rs:
+crates/model/src/transformer.rs:

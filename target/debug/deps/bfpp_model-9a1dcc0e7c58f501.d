@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bfpp_model-9a1dcc0e7c58f501.d: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp_model-9a1dcc0e7c58f501.rmeta: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/memory.rs:
+crates/model/src/presets.rs:
+crates/model/src/transformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bfpp_model-b4308e1f09311f53.d: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+/root/repo/target/debug/deps/libbfpp_model-b4308e1f09311f53.rlib: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+/root/repo/target/debug/deps/libbfpp_model-b4308e1f09311f53.rmeta: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+crates/model/src/lib.rs:
+crates/model/src/memory.rs:
+crates/model/src/presets.rs:
+crates/model/src/transformer.rs:

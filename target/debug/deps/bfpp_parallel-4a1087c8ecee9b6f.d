@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bfpp_parallel-4a1087c8ecee9b6f.d: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp_parallel-4a1087c8ecee9b6f.rmeta: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/batch.rs:
+crates/parallel/src/dp.rs:
+crates/parallel/src/grid.rs:
+crates/parallel/src/placement.rs:
+crates/parallel/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

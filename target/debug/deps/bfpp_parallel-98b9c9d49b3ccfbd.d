@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bfpp_parallel-98b9c9d49b3ccfbd.d: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs
+
+/root/repo/target/debug/deps/libbfpp_parallel-98b9c9d49b3ccfbd.rlib: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs
+
+/root/repo/target/debug/deps/libbfpp_parallel-98b9c9d49b3ccfbd.rmeta: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/batch.rs:
+crates/parallel/src/dp.rs:
+crates/parallel/src/grid.rs:
+crates/parallel/src/placement.rs:
+crates/parallel/src/util.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bfpp_train-f32c4a3d066d74f1.d: crates/train/src/lib.rs crates/train/src/attention.rs crates/train/src/builder.rs crates/train/src/half.rs crates/train/src/layers.rs crates/train/src/loss.rs crates/train/src/optim.rs crates/train/src/pipeline.rs crates/train/src/serial.rs crates/train/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfpp_train-f32c4a3d066d74f1.rmeta: crates/train/src/lib.rs crates/train/src/attention.rs crates/train/src/builder.rs crates/train/src/half.rs crates/train/src/layers.rs crates/train/src/loss.rs crates/train/src/optim.rs crates/train/src/pipeline.rs crates/train/src/serial.rs crates/train/src/tensor.rs Cargo.toml
+
+crates/train/src/lib.rs:
+crates/train/src/attention.rs:
+crates/train/src/builder.rs:
+crates/train/src/half.rs:
+crates/train/src/layers.rs:
+crates/train/src/loss.rs:
+crates/train/src/optim.rs:
+crates/train/src/pipeline.rs:
+crates/train/src/serial.rs:
+crates/train/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2e33c3338dd6c29b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2e33c3338dd6c29b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a819aa2b26d41b3f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a819aa2b26d41b3f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_properties-ae5f016b3b4c1ffb.d: crates/exec/tests/exec_properties.rs
+
+/root/repo/target/debug/deps/exec_properties-ae5f016b3b4c1ffb: crates/exec/tests/exec_properties.rs
+
+crates/exec/tests/exec_properties.rs:

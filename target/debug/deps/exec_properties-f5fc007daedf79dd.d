@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_properties-f5fc007daedf79dd.d: crates/exec/tests/exec_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_properties-f5fc007daedf79dd.rmeta: crates/exec/tests/exec_properties.rs Cargo.toml
+
+crates/exec/tests/exec_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_properties-f742fb51ef983fcd.d: crates/exec/tests/exec_properties.rs
+
+/root/repo/target/debug/deps/exec_properties-f742fb51ef983fcd: crates/exec/tests/exec_properties.rs
+
+crates/exec/tests/exec_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_pins-16d577e5a8fe0784.d: tests/paper_pins.rs
+
+/root/repo/target/debug/deps/paper_pins-16d577e5a8fe0784: tests/paper_pins.rs
+
+tests/paper_pins.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_pins-e7c10d54a83f5774.d: tests/paper_pins.rs
+
+/root/repo/target/debug/deps/paper_pins-e7c10d54a83f5774: tests/paper_pins.rs
+
+tests/paper_pins.rs:

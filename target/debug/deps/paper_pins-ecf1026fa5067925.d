@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_pins-ecf1026fa5067925.d: tests/paper_pins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_pins-ecf1026fa5067925.rmeta: tests/paper_pins.rs Cargo.toml
+
+tests/paper_pins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_a100-2e2e434a441528de.d: crates/bench/src/bin/reproduce_a100.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_a100-2e2e434a441528de.rmeta: crates/bench/src/bin/reproduce_a100.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_a100.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

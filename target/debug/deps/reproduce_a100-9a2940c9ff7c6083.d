@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_a100-9a2940c9ff7c6083.d: crates/bench/src/bin/reproduce_a100.rs
+
+/root/repo/target/debug/deps/reproduce_a100-9a2940c9ff7c6083: crates/bench/src/bin/reproduce_a100.rs
+
+crates/bench/src/bin/reproduce_a100.rs:

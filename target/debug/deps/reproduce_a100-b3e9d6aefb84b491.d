@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_a100-b3e9d6aefb84b491.d: crates/bench/src/bin/reproduce_a100.rs
+
+/root/repo/target/debug/deps/reproduce_a100-b3e9d6aefb84b491: crates/bench/src/bin/reproduce_a100.rs
+
+crates/bench/src/bin/reproduce_a100.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_a100-cd041277de7f2f0a.d: crates/bench/src/bin/reproduce_a100.rs
+
+/root/repo/target/debug/deps/reproduce_a100-cd041277de7f2f0a: crates/bench/src/bin/reproduce_a100.rs
+
+crates/bench/src/bin/reproduce_a100.rs:

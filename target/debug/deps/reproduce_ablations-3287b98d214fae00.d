@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_ablations-3287b98d214fae00.d: crates/bench/src/bin/reproduce_ablations.rs
+
+/root/repo/target/debug/deps/reproduce_ablations-3287b98d214fae00: crates/bench/src/bin/reproduce_ablations.rs
+
+crates/bench/src/bin/reproduce_ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_ablations-682442331eb5cdb9.d: crates/bench/src/bin/reproduce_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_ablations-682442331eb5cdb9.rmeta: crates/bench/src/bin/reproduce_ablations.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

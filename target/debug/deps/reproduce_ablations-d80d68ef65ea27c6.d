@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_ablations-d80d68ef65ea27c6.d: crates/bench/src/bin/reproduce_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_ablations-d80d68ef65ea27c6.rmeta: crates/bench/src/bin/reproduce_ablations.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_ablations-f863da6b4164b174.d: crates/bench/src/bin/reproduce_ablations.rs
+
+/root/repo/target/debug/deps/reproduce_ablations-f863da6b4164b174: crates/bench/src/bin/reproduce_ablations.rs
+
+crates/bench/src/bin/reproduce_ablations.rs:

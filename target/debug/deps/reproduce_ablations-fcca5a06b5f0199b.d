@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_ablations-fcca5a06b5f0199b.d: crates/bench/src/bin/reproduce_ablations.rs
+
+/root/repo/target/debug/deps/reproduce_ablations-fcca5a06b5f0199b: crates/bench/src/bin/reproduce_ablations.rs
+
+crates/bench/src/bin/reproduce_ablations.rs:

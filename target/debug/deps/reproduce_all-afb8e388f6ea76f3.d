@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-afb8e388f6ea76f3.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-afb8e388f6ea76f3: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_all-c5f8d586c12e86a3.d: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_all-c5f8d586c12e86a3.rmeta: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-c91802da917c214d.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-c91802da917c214d: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-e848bd3caff3fad8.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-e848bd3caff3fad8: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_fig1-4a90324bfefb972c.d: crates/bench/src/bin/reproduce_fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_fig1-4a90324bfefb972c.rmeta: crates/bench/src/bin/reproduce_fig1.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig1-6be9a9c24f096c8d.d: crates/bench/src/bin/reproduce_fig1.rs
+
+/root/repo/target/debug/deps/reproduce_fig1-6be9a9c24f096c8d: crates/bench/src/bin/reproduce_fig1.rs
+
+crates/bench/src/bin/reproduce_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig1-75bce1bb99bee9ff.d: crates/bench/src/bin/reproduce_fig1.rs
+
+/root/repo/target/debug/deps/reproduce_fig1-75bce1bb99bee9ff: crates/bench/src/bin/reproduce_fig1.rs
+
+crates/bench/src/bin/reproduce_fig1.rs:

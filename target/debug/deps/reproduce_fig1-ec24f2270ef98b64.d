@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig1-ec24f2270ef98b64.d: crates/bench/src/bin/reproduce_fig1.rs
+
+/root/repo/target/debug/deps/reproduce_fig1-ec24f2270ef98b64: crates/bench/src/bin/reproduce_fig1.rs
+
+crates/bench/src/bin/reproduce_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig2-1f5b72bc1dc632a6.d: crates/bench/src/bin/reproduce_fig2.rs
+
+/root/repo/target/debug/deps/reproduce_fig2-1f5b72bc1dc632a6: crates/bench/src/bin/reproduce_fig2.rs
+
+crates/bench/src/bin/reproduce_fig2.rs:

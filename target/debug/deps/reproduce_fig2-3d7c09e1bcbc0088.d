@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig2-3d7c09e1bcbc0088.d: crates/bench/src/bin/reproduce_fig2.rs
+
+/root/repo/target/debug/deps/reproduce_fig2-3d7c09e1bcbc0088: crates/bench/src/bin/reproduce_fig2.rs
+
+crates/bench/src/bin/reproduce_fig2.rs:

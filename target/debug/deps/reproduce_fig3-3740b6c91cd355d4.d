@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_fig3-3740b6c91cd355d4.d: crates/bench/src/bin/reproduce_fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_fig3-3740b6c91cd355d4.rmeta: crates/bench/src/bin/reproduce_fig3.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig3-8b3629bcb62ac1f4.d: crates/bench/src/bin/reproduce_fig3.rs
+
+/root/repo/target/debug/deps/reproduce_fig3-8b3629bcb62ac1f4: crates/bench/src/bin/reproduce_fig3.rs
+
+crates/bench/src/bin/reproduce_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig3-a563928c9e931037.d: crates/bench/src/bin/reproduce_fig3.rs
+
+/root/repo/target/debug/deps/reproduce_fig3-a563928c9e931037: crates/bench/src/bin/reproduce_fig3.rs
+
+crates/bench/src/bin/reproduce_fig3.rs:

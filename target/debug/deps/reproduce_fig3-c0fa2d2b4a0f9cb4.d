@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig3-c0fa2d2b4a0f9cb4.d: crates/bench/src/bin/reproduce_fig3.rs
+
+/root/repo/target/debug/deps/reproduce_fig3-c0fa2d2b4a0f9cb4: crates/bench/src/bin/reproduce_fig3.rs
+
+crates/bench/src/bin/reproduce_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig4-b1779da534dc3369.d: crates/bench/src/bin/reproduce_fig4.rs
+
+/root/repo/target/debug/deps/reproduce_fig4-b1779da534dc3369: crates/bench/src/bin/reproduce_fig4.rs
+
+crates/bench/src/bin/reproduce_fig4.rs:

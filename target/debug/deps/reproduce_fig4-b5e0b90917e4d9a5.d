@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig4-b5e0b90917e4d9a5.d: crates/bench/src/bin/reproduce_fig4.rs
+
+/root/repo/target/debug/deps/reproduce_fig4-b5e0b90917e4d9a5: crates/bench/src/bin/reproduce_fig4.rs
+
+crates/bench/src/bin/reproduce_fig4.rs:

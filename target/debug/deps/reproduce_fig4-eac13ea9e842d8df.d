@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig4-eac13ea9e842d8df.d: crates/bench/src/bin/reproduce_fig4.rs
+
+/root/repo/target/debug/deps/reproduce_fig4-eac13ea9e842d8df: crates/bench/src/bin/reproduce_fig4.rs
+
+crates/bench/src/bin/reproduce_fig4.rs:

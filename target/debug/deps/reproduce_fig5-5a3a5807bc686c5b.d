@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig5-5a3a5807bc686c5b.d: crates/bench/src/bin/reproduce_fig5.rs
+
+/root/repo/target/debug/deps/reproduce_fig5-5a3a5807bc686c5b: crates/bench/src/bin/reproduce_fig5.rs
+
+crates/bench/src/bin/reproduce_fig5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_fig5-6114f043d915929b.d: crates/bench/src/bin/reproduce_fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_fig5-6114f043d915929b.rmeta: crates/bench/src/bin/reproduce_fig5.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

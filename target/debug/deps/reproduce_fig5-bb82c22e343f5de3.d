@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig5-bb82c22e343f5de3.d: crates/bench/src/bin/reproduce_fig5.rs
+
+/root/repo/target/debug/deps/reproduce_fig5-bb82c22e343f5de3: crates/bench/src/bin/reproduce_fig5.rs
+
+crates/bench/src/bin/reproduce_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig5-d39e5843dba35ab4.d: crates/bench/src/bin/reproduce_fig5.rs
+
+/root/repo/target/debug/deps/reproduce_fig5-d39e5843dba35ab4: crates/bench/src/bin/reproduce_fig5.rs
+
+crates/bench/src/bin/reproduce_fig5.rs:

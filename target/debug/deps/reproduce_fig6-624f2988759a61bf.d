@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig6-624f2988759a61bf.d: crates/bench/src/bin/reproduce_fig6.rs
+
+/root/repo/target/debug/deps/reproduce_fig6-624f2988759a61bf: crates/bench/src/bin/reproduce_fig6.rs
+
+crates/bench/src/bin/reproduce_fig6.rs:

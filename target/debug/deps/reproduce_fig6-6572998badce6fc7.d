@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig6-6572998badce6fc7.d: crates/bench/src/bin/reproduce_fig6.rs
+
+/root/repo/target/debug/deps/reproduce_fig6-6572998badce6fc7: crates/bench/src/bin/reproduce_fig6.rs
+
+crates/bench/src/bin/reproduce_fig6.rs:

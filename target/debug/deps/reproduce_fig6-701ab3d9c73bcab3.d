@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig6-701ab3d9c73bcab3.d: crates/bench/src/bin/reproduce_fig6.rs
+
+/root/repo/target/debug/deps/reproduce_fig6-701ab3d9c73bcab3: crates/bench/src/bin/reproduce_fig6.rs
+
+crates/bench/src/bin/reproduce_fig6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_fig7-105d94dca8d8f147.d: crates/bench/src/bin/reproduce_fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_fig7-105d94dca8d8f147.rmeta: crates/bench/src/bin/reproduce_fig7.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig7-3f4d9ffc13b273d2.d: crates/bench/src/bin/reproduce_fig7.rs
+
+/root/repo/target/debug/deps/reproduce_fig7-3f4d9ffc13b273d2: crates/bench/src/bin/reproduce_fig7.rs
+
+crates/bench/src/bin/reproduce_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig7-719f8ac73445b28a.d: crates/bench/src/bin/reproduce_fig7.rs
+
+/root/repo/target/debug/deps/reproduce_fig7-719f8ac73445b28a: crates/bench/src/bin/reproduce_fig7.rs
+
+crates/bench/src/bin/reproduce_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig7-a42e94b911665f95.d: crates/bench/src/bin/reproduce_fig7.rs
+
+/root/repo/target/debug/deps/reproduce_fig7-a42e94b911665f95: crates/bench/src/bin/reproduce_fig7.rs
+
+crates/bench/src/bin/reproduce_fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_models-17b53053df258edf.d: crates/bench/src/bin/reproduce_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_models-17b53053df258edf.rmeta: crates/bench/src/bin/reproduce_models.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_models-4537321491f28a38.d: crates/bench/src/bin/reproduce_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_models-4537321491f28a38.rmeta: crates/bench/src/bin/reproduce_models.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_models-472284b138326ffb.d: crates/bench/src/bin/reproduce_models.rs
+
+/root/repo/target/debug/deps/reproduce_models-472284b138326ffb: crates/bench/src/bin/reproduce_models.rs
+
+crates/bench/src/bin/reproduce_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_models-9a9fc0c83e1b6c53.d: crates/bench/src/bin/reproduce_models.rs
+
+/root/repo/target/debug/deps/reproduce_models-9a9fc0c83e1b6c53: crates/bench/src/bin/reproduce_models.rs
+
+crates/bench/src/bin/reproduce_models.rs:

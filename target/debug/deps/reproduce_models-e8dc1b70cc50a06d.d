@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_models-e8dc1b70cc50a06d.d: crates/bench/src/bin/reproduce_models.rs
+
+/root/repo/target/debug/deps/reproduce_models-e8dc1b70cc50a06d: crates/bench/src/bin/reproduce_models.rs
+
+crates/bench/src/bin/reproduce_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_noise-0ade69a6950ea80a.d: crates/bench/src/bin/reproduce_noise.rs
+
+/root/repo/target/debug/deps/reproduce_noise-0ade69a6950ea80a: crates/bench/src/bin/reproduce_noise.rs
+
+crates/bench/src/bin/reproduce_noise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_noise-587c0c1800d2a9ad.d: crates/bench/src/bin/reproduce_noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_noise-587c0c1800d2a9ad.rmeta: crates/bench/src/bin/reproduce_noise.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

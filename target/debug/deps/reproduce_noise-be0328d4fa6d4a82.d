@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_noise-be0328d4fa6d4a82.d: crates/bench/src/bin/reproduce_noise.rs
+
+/root/repo/target/debug/deps/reproduce_noise-be0328d4fa6d4a82: crates/bench/src/bin/reproduce_noise.rs
+
+crates/bench/src/bin/reproduce_noise.rs:

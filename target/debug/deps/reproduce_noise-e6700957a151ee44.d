@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_noise-e6700957a151ee44.d: crates/bench/src/bin/reproduce_noise.rs
+
+/root/repo/target/debug/deps/reproduce_noise-e6700957a151ee44: crates/bench/src/bin/reproduce_noise.rs
+
+crates/bench/src/bin/reproduce_noise.rs:

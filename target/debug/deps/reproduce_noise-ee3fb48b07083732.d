@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_noise-ee3fb48b07083732.d: crates/bench/src/bin/reproduce_noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_noise-ee3fb48b07083732.rmeta: crates/bench/src/bin/reproduce_noise.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

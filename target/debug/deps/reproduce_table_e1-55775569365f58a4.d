@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_table_e1-55775569365f58a4.d: crates/bench/src/bin/reproduce_table_e1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_table_e1-55775569365f58a4.rmeta: crates/bench/src/bin/reproduce_table_e1.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_table_e1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e1-6d229397caca15ea.d: crates/bench/src/bin/reproduce_table_e1.rs
+
+/root/repo/target/debug/deps/reproduce_table_e1-6d229397caca15ea: crates/bench/src/bin/reproduce_table_e1.rs
+
+crates/bench/src/bin/reproduce_table_e1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e1-7645199475c65a43.d: crates/bench/src/bin/reproduce_table_e1.rs
+
+/root/repo/target/debug/deps/reproduce_table_e1-7645199475c65a43: crates/bench/src/bin/reproduce_table_e1.rs
+
+crates/bench/src/bin/reproduce_table_e1.rs:

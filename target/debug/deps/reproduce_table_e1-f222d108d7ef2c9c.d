@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e1-f222d108d7ef2c9c.d: crates/bench/src/bin/reproduce_table_e1.rs
+
+/root/repo/target/debug/deps/reproduce_table_e1-f222d108d7ef2c9c: crates/bench/src/bin/reproduce_table_e1.rs
+
+crates/bench/src/bin/reproduce_table_e1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e2-47cd27ab26ad2c79.d: crates/bench/src/bin/reproduce_table_e2.rs
+
+/root/repo/target/debug/deps/reproduce_table_e2-47cd27ab26ad2c79: crates/bench/src/bin/reproduce_table_e2.rs
+
+crates/bench/src/bin/reproduce_table_e2.rs:

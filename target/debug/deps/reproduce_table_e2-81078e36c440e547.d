@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_table_e2-81078e36c440e547.d: crates/bench/src/bin/reproduce_table_e2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_table_e2-81078e36c440e547.rmeta: crates/bench/src/bin/reproduce_table_e2.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_table_e2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e2-9dcaef1cb065ee36.d: crates/bench/src/bin/reproduce_table_e2.rs
+
+/root/repo/target/debug/deps/reproduce_table_e2-9dcaef1cb065ee36: crates/bench/src/bin/reproduce_table_e2.rs
+
+crates/bench/src/bin/reproduce_table_e2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e2-a93147200f1ed411.d: crates/bench/src/bin/reproduce_table_e2.rs
+
+/root/repo/target/debug/deps/reproduce_table_e2-a93147200f1ed411: crates/bench/src/bin/reproduce_table_e2.rs
+
+crates/bench/src/bin/reproduce_table_e2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e3-0b7ba7f92a5073d2.d: crates/bench/src/bin/reproduce_table_e3.rs
+
+/root/repo/target/debug/deps/reproduce_table_e3-0b7ba7f92a5073d2: crates/bench/src/bin/reproduce_table_e3.rs
+
+crates/bench/src/bin/reproduce_table_e3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e3-173de462aa1808e4.d: crates/bench/src/bin/reproduce_table_e3.rs
+
+/root/repo/target/debug/deps/reproduce_table_e3-173de462aa1808e4: crates/bench/src/bin/reproduce_table_e3.rs
+
+crates/bench/src/bin/reproduce_table_e3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e3-56509fcac0f8e9ed.d: crates/bench/src/bin/reproduce_table_e3.rs
+
+/root/repo/target/debug/deps/reproduce_table_e3-56509fcac0f8e9ed: crates/bench/src/bin/reproduce_table_e3.rs
+
+crates/bench/src/bin/reproduce_table_e3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_table_e3-9d70925971c51242.d: crates/bench/src/bin/reproduce_table_e3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_table_e3-9d70925971c51242.rmeta: crates/bench/src/bin/reproduce_table_e3.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_table_e3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

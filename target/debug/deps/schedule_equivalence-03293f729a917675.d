@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_equivalence-03293f729a917675.d: tests/schedule_equivalence.rs
+
+/root/repo/target/debug/deps/schedule_equivalence-03293f729a917675: tests/schedule_equivalence.rs
+
+tests/schedule_equivalence.rs:

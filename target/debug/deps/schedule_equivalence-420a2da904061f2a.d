@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_equivalence-420a2da904061f2a.d: tests/schedule_equivalence.rs
+
+/root/repo/target/debug/deps/schedule_equivalence-420a2da904061f2a: tests/schedule_equivalence.rs
+
+tests/schedule_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_properties-452679df4d94aff3.d: crates/core/tests/schedule_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_properties-452679df4d94aff3.rmeta: crates/core/tests/schedule_properties.rs Cargo.toml
+
+crates/core/tests/schedule_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

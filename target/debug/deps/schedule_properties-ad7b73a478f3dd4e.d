@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_properties-ad7b73a478f3dd4e.d: crates/core/tests/schedule_properties.rs
+
+/root/repo/target/debug/deps/schedule_properties-ad7b73a478f3dd4e: crates/core/tests/schedule_properties.rs
+
+crates/core/tests/schedule_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedules-2ea05a777297f6bf.d: crates/bench/benches/schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedules-2ea05a777297f6bf.rmeta: crates/bench/benches/schedules.rs Cargo.toml
+
+crates/bench/benches/schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_equivalence-7a9da84f569ef1c3.d: crates/exec/tests/search_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_equivalence-7a9da84f569ef1c3.rmeta: crates/exec/tests/search_equivalence.rs Cargo.toml
+
+crates/exec/tests/search_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

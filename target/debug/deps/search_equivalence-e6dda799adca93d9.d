@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_equivalence-e6dda799adca93d9.d: crates/exec/tests/search_equivalence.rs
+
+/root/repo/target/debug/deps/search_equivalence-e6dda799adca93d9: crates/exec/tests/search_equivalence.rs
+
+crates/exec/tests/search_equivalence.rs:

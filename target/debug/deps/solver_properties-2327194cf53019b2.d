@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_properties-2327194cf53019b2.d: crates/sim/tests/solver_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_properties-2327194cf53019b2.rmeta: crates/sim/tests/solver_properties.rs Cargo.toml
+
+crates/sim/tests/solver_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

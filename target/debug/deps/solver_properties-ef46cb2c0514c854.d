@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_properties-ef46cb2c0514c854.d: crates/sim/tests/solver_properties.rs
+
+/root/repo/target/debug/deps/solver_properties-ef46cb2c0514c854: crates/sim/tests/solver_properties.rs
+
+crates/sim/tests/solver_properties.rs:

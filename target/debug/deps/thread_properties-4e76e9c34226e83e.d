@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thread_properties-4e76e9c34226e83e.d: crates/collectives/tests/thread_properties.rs
+
+/root/repo/target/debug/deps/thread_properties-4e76e9c34226e83e: crates/collectives/tests/thread_properties.rs
+
+crates/collectives/tests/thread_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thread_properties-afca6bc74b1b93c0.d: crates/collectives/tests/thread_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthread_properties-afca6bc74b1b93c0.rmeta: crates/collectives/tests/thread_properties.rs Cargo.toml
+
+crates/collectives/tests/thread_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

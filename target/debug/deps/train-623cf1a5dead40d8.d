@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/train-623cf1a5dead40d8.d: crates/bench/benches/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrain-623cf1a5dead40d8.rmeta: crates/bench/benches/train.rs Cargo.toml
+
+crates/bench/benches/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/config_search-b146f9df8ccec1b2.d: examples/config_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconfig_search-b146f9df8ccec1b2.rmeta: examples/config_search.rs Cargo.toml
+
+examples/config_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

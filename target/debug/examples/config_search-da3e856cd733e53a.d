@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_search-da3e856cd733e53a.d: examples/config_search.rs
+
+/root/repo/target/debug/examples/config_search-da3e856cd733e53a: examples/config_search.rs
+
+examples/config_search.rs:

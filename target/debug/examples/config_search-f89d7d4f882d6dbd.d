@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_search-f89d7d4f882d6dbd.d: examples/config_search.rs
+
+/root/repo/target/debug/examples/config_search-f89d7d4f882d6dbd: examples/config_search.rs
+
+examples/config_search.rs:

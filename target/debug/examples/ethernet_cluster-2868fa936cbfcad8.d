@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ethernet_cluster-2868fa936cbfcad8.d: examples/ethernet_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libethernet_cluster-2868fa936cbfcad8.rmeta: examples/ethernet_cluster.rs Cargo.toml
+
+examples/ethernet_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ethernet_cluster-4ad3f955fc04e869.d: examples/ethernet_cluster.rs
+
+/root/repo/target/debug/examples/ethernet_cluster-4ad3f955fc04e869: examples/ethernet_cluster.rs
+
+examples/ethernet_cluster.rs:

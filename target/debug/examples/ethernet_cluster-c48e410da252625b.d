@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ethernet_cluster-c48e410da252625b.d: examples/ethernet_cluster.rs
+
+/root/repo/target/debug/examples/ethernet_cluster-c48e410da252625b: examples/ethernet_cluster.rs
+
+examples/ethernet_cluster.rs:

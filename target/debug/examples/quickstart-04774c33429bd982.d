@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-04774c33429bd982.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-04774c33429bd982: examples/quickstart.rs
+
+examples/quickstart.rs:

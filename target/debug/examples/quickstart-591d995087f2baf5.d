@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-591d995087f2baf5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-591d995087f2baf5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_lab-4c5573df5af4a3ef.d: examples/schedule_lab.rs
+
+/root/repo/target/debug/examples/schedule_lab-4c5573df5af4a3ef: examples/schedule_lab.rs
+
+examples/schedule_lab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_lab-6224ebf28c0ee5ca.d: examples/schedule_lab.rs
+
+/root/repo/target/debug/examples/schedule_lab-6224ebf28c0ee5ca: examples/schedule_lab.rs
+
+examples/schedule_lab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_lab-74d45ca81f8c8d33.d: examples/schedule_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_lab-74d45ca81f8c8d33.rmeta: examples/schedule_lab.rs Cargo.toml
+
+examples/schedule_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

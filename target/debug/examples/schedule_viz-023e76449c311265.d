@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_viz-023e76449c311265.d: examples/schedule_viz.rs
+
+/root/repo/target/debug/examples/schedule_viz-023e76449c311265: examples/schedule_viz.rs
+
+examples/schedule_viz.rs:

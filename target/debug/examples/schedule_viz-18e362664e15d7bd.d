@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_viz-18e362664e15d7bd.d: examples/schedule_viz.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_viz-18e362664e15d7bd.rmeta: examples/schedule_viz.rs Cargo.toml
+
+examples/schedule_viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

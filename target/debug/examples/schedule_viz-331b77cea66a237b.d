@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_viz-331b77cea66a237b.d: examples/schedule_viz.rs
+
+/root/repo/target/debug/examples/schedule_viz-331b77cea66a237b: examples/schedule_viz.rs
+
+examples/schedule_viz.rs:

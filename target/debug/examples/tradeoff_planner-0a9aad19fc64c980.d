@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tradeoff_planner-0a9aad19fc64c980.d: examples/tradeoff_planner.rs
+
+/root/repo/target/debug/examples/tradeoff_planner-0a9aad19fc64c980: examples/tradeoff_planner.rs
+
+examples/tradeoff_planner.rs:

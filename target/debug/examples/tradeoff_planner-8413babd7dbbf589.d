@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tradeoff_planner-8413babd7dbbf589.d: examples/tradeoff_planner.rs
+
+/root/repo/target/debug/examples/tradeoff_planner-8413babd7dbbf589: examples/tradeoff_planner.rs
+
+examples/tradeoff_planner.rs:

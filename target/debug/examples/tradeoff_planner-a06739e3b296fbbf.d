@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tradeoff_planner-a06739e3b296fbbf.d: examples/tradeoff_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtradeoff_planner-a06739e3b296fbbf.rmeta: examples/tradeoff_planner.rs Cargo.toml
+
+examples/tradeoff_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

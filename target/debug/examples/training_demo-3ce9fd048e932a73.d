@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/training_demo-3ce9fd048e932a73.d: examples/training_demo.rs
+
+/root/repo/target/debug/examples/training_demo-3ce9fd048e932a73: examples/training_demo.rs
+
+examples/training_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/training_demo-689280b2e5c9460a.d: examples/training_demo.rs
+
+/root/repo/target/debug/examples/training_demo-689280b2e5c9460a: examples/training_demo.rs
+
+examples/training_demo.rs:

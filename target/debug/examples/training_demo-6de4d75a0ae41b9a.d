@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/training_demo-6de4d75a0ae41b9a.d: examples/training_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraining_demo-6de4d75a0ae41b9a.rmeta: examples/training_demo.rs Cargo.toml
+
+examples/training_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbfpp_model.rlib: /root/repo/crates/model/src/lib.rs /root/repo/crates/model/src/memory.rs /root/repo/crates/model/src/presets.rs /root/repo/crates/model/src/transformer.rs

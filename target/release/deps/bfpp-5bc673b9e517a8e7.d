@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bfpp-5bc673b9e517a8e7.d: src/lib.rs
+
+/root/repo/target/release/deps/libbfpp-5bc673b9e517a8e7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbfpp-5bc673b9e517a8e7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfpp-8cb0fc35f1ecc0b5.d: src/bin/bfpp.rs
+
+/root/repo/target/release/deps/bfpp-8cb0fc35f1ecc0b5: src/bin/bfpp.rs
+
+src/bin/bfpp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfpp-b11ebf34fbcc225b.d: src/bin/bfpp.rs
+
+/root/repo/target/release/deps/bfpp-b11ebf34fbcc225b: src/bin/bfpp.rs
+
+src/bin/bfpp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bfpp-f291de6608a49288.d: src/lib.rs
+
+/root/repo/target/release/deps/libbfpp-f291de6608a49288.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbfpp-f291de6608a49288.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bfpp_analytic-34fbc89717c62f8b.d: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+/root/repo/target/release/deps/libbfpp_analytic-34fbc89717c62f8b.rlib: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+/root/repo/target/release/deps/libbfpp_analytic-34fbc89717c62f8b.rmeta: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/intensity.rs:
+crates/analytic/src/noise.rs:
+crates/analytic/src/tradeoff.rs:

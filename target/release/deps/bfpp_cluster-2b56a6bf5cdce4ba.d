@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bfpp_cluster-2b56a6bf5cdce4ba.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs
+
+/root/repo/target/release/deps/libbfpp_cluster-2b56a6bf5cdce4ba.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs
+
+/root/repo/target/release/deps/libbfpp_cluster-2b56a6bf5cdce4ba.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/presets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bfpp_collectives-d3c3f9e4ccbfcc63.d: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+/root/repo/target/release/deps/libbfpp_collectives-d3c3f9e4ccbfcc63.rlib: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+/root/repo/target/release/deps/libbfpp_collectives-d3c3f9e4ccbfcc63.rmeta: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/thread.rs:

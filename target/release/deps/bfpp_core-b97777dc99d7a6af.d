@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bfpp_core-b97777dc99d7a6af.d: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/bubble.rs crates/core/src/cache.rs crates/core/src/generators.rs crates/core/src/greedy.rs crates/core/src/hybrid.rs crates/core/src/memory.rs crates/core/src/runs.rs crates/core/src/schedule.rs crates/core/src/timing.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libbfpp_core-b97777dc99d7a6af.rlib: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/bubble.rs crates/core/src/cache.rs crates/core/src/generators.rs crates/core/src/greedy.rs crates/core/src/hybrid.rs crates/core/src/memory.rs crates/core/src/runs.rs crates/core/src/schedule.rs crates/core/src/timing.rs crates/core/src/validate.rs
+
+/root/repo/target/release/deps/libbfpp_core-b97777dc99d7a6af.rmeta: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/bubble.rs crates/core/src/cache.rs crates/core/src/generators.rs crates/core/src/greedy.rs crates/core/src/hybrid.rs crates/core/src/memory.rs crates/core/src/runs.rs crates/core/src/schedule.rs crates/core/src/timing.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/action.rs:
+crates/core/src/bubble.rs:
+crates/core/src/cache.rs:
+crates/core/src/generators.rs:
+crates/core/src/greedy.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/memory.rs:
+crates/core/src/runs.rs:
+crates/core/src/schedule.rs:
+crates/core/src/timing.rs:
+crates/core/src/validate.rs:

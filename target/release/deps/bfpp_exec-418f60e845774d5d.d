@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/bfpp_exec-418f60e845774d5d.d: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs
+
+/root/repo/target/release/deps/libbfpp_exec-418f60e845774d5d.rlib: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs
+
+/root/repo/target/release/deps/libbfpp_exec-418f60e845774d5d.rmeta: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/breakdown.rs:
+crates/exec/src/candidates.rs:
+crates/exec/src/kernel.rs:
+crates/exec/src/lower.rs:
+crates/exec/src/measure.rs:
+crates/exec/src/memory.rs:
+crates/exec/src/overlap.rs:
+crates/exec/src/prune.rs:
+crates/exec/src/search.rs:

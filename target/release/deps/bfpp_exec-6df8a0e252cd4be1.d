@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bfpp_exec-6df8a0e252cd4be1.d: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/search.rs
+
+/root/repo/target/release/deps/libbfpp_exec-6df8a0e252cd4be1.rlib: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/search.rs
+
+/root/repo/target/release/deps/libbfpp_exec-6df8a0e252cd4be1.rmeta: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/search.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/breakdown.rs:
+crates/exec/src/kernel.rs:
+crates/exec/src/lower.rs:
+crates/exec/src/measure.rs:
+crates/exec/src/memory.rs:
+crates/exec/src/overlap.rs:
+crates/exec/src/search.rs:

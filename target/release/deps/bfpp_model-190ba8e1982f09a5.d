@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bfpp_model-190ba8e1982f09a5.d: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+/root/repo/target/release/deps/libbfpp_model-190ba8e1982f09a5.rlib: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+/root/repo/target/release/deps/libbfpp_model-190ba8e1982f09a5.rmeta: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+crates/model/src/lib.rs:
+crates/model/src/memory.rs:
+crates/model/src/presets.rs:
+crates/model/src/transformer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bfpp_parallel-9698286ae44caf81.d: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs
+
+/root/repo/target/release/deps/libbfpp_parallel-9698286ae44caf81.rlib: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs
+
+/root/repo/target/release/deps/libbfpp_parallel-9698286ae44caf81.rmeta: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/batch.rs:
+crates/parallel/src/dp.rs:
+crates/parallel/src/grid.rs:
+crates/parallel/src/placement.rs:
+crates/parallel/src/util.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/bfpp_train-7afef5cc31371831.d: crates/train/src/lib.rs crates/train/src/attention.rs crates/train/src/builder.rs crates/train/src/half.rs crates/train/src/layers.rs crates/train/src/loss.rs crates/train/src/optim.rs crates/train/src/pipeline.rs crates/train/src/serial.rs crates/train/src/tensor.rs
+
+/root/repo/target/release/deps/libbfpp_train-7afef5cc31371831.rlib: crates/train/src/lib.rs crates/train/src/attention.rs crates/train/src/builder.rs crates/train/src/half.rs crates/train/src/layers.rs crates/train/src/loss.rs crates/train/src/optim.rs crates/train/src/pipeline.rs crates/train/src/serial.rs crates/train/src/tensor.rs
+
+/root/repo/target/release/deps/libbfpp_train-7afef5cc31371831.rmeta: crates/train/src/lib.rs crates/train/src/attention.rs crates/train/src/builder.rs crates/train/src/half.rs crates/train/src/layers.rs crates/train/src/loss.rs crates/train/src/optim.rs crates/train/src/pipeline.rs crates/train/src/serial.rs crates/train/src/tensor.rs
+
+crates/train/src/lib.rs:
+crates/train/src/attention.rs:
+crates/train/src/builder.rs:
+crates/train/src/half.rs:
+crates/train/src/layers.rs:
+crates/train/src/loss.rs:
+crates/train/src/optim.rs:
+crates/train/src/pipeline.rs:
+crates/train/src/serial.rs:
+crates/train/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_a100-34b10ea74cec125f.d: crates/bench/src/bin/reproduce_a100.rs
+
+/root/repo/target/release/deps/reproduce_a100-34b10ea74cec125f: crates/bench/src/bin/reproduce_a100.rs
+
+crates/bench/src/bin/reproduce_a100.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_ablations-aa5021886837d39c.d: crates/bench/src/bin/reproduce_ablations.rs
+
+/root/repo/target/release/deps/reproduce_ablations-aa5021886837d39c: crates/bench/src/bin/reproduce_ablations.rs
+
+crates/bench/src/bin/reproduce_ablations.rs:

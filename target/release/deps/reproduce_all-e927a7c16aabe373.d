@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-e927a7c16aabe373.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-e927a7c16aabe373: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

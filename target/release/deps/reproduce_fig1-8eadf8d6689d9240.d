@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_fig1-8eadf8d6689d9240.d: crates/bench/src/bin/reproduce_fig1.rs
+
+/root/repo/target/release/deps/reproduce_fig1-8eadf8d6689d9240: crates/bench/src/bin/reproduce_fig1.rs
+
+crates/bench/src/bin/reproduce_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_fig2-96f6d9d2762ea399.d: crates/bench/src/bin/reproduce_fig2.rs
+
+/root/repo/target/release/deps/reproduce_fig2-96f6d9d2762ea399: crates/bench/src/bin/reproduce_fig2.rs
+
+crates/bench/src/bin/reproduce_fig2.rs:

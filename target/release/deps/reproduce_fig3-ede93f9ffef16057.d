@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_fig3-ede93f9ffef16057.d: crates/bench/src/bin/reproduce_fig3.rs
+
+/root/repo/target/release/deps/reproduce_fig3-ede93f9ffef16057: crates/bench/src/bin/reproduce_fig3.rs
+
+crates/bench/src/bin/reproduce_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_fig4-c4fc2c60bdef08e4.d: crates/bench/src/bin/reproduce_fig4.rs
+
+/root/repo/target/release/deps/reproduce_fig4-c4fc2c60bdef08e4: crates/bench/src/bin/reproduce_fig4.rs
+
+crates/bench/src/bin/reproduce_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_fig5-fbb542a6e9b3e298.d: crates/bench/src/bin/reproduce_fig5.rs
+
+/root/repo/target/release/deps/reproduce_fig5-fbb542a6e9b3e298: crates/bench/src/bin/reproduce_fig5.rs
+
+crates/bench/src/bin/reproduce_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_fig6-80cdea40648702f7.d: crates/bench/src/bin/reproduce_fig6.rs
+
+/root/repo/target/release/deps/reproduce_fig6-80cdea40648702f7: crates/bench/src/bin/reproduce_fig6.rs
+
+crates/bench/src/bin/reproduce_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_fig7-9d06f4f3124f26b3.d: crates/bench/src/bin/reproduce_fig7.rs
+
+/root/repo/target/release/deps/reproduce_fig7-9d06f4f3124f26b3: crates/bench/src/bin/reproduce_fig7.rs
+
+crates/bench/src/bin/reproduce_fig7.rs:

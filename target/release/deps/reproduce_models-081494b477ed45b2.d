@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_models-081494b477ed45b2.d: crates/bench/src/bin/reproduce_models.rs
+
+/root/repo/target/release/deps/reproduce_models-081494b477ed45b2: crates/bench/src/bin/reproduce_models.rs
+
+crates/bench/src/bin/reproduce_models.rs:

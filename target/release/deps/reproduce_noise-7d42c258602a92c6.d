@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_noise-7d42c258602a92c6.d: crates/bench/src/bin/reproduce_noise.rs
+
+/root/repo/target/release/deps/reproduce_noise-7d42c258602a92c6: crates/bench/src/bin/reproduce_noise.rs
+
+crates/bench/src/bin/reproduce_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_table_e1-564ae0c2201aa5c8.d: crates/bench/src/bin/reproduce_table_e1.rs
+
+/root/repo/target/release/deps/reproduce_table_e1-564ae0c2201aa5c8: crates/bench/src/bin/reproduce_table_e1.rs
+
+crates/bench/src/bin/reproduce_table_e1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_table_e2-790f155b0ef72454.d: crates/bench/src/bin/reproduce_table_e2.rs
+
+/root/repo/target/release/deps/reproduce_table_e2-790f155b0ef72454: crates/bench/src/bin/reproduce_table_e2.rs
+
+crates/bench/src/bin/reproduce_table_e2.rs:

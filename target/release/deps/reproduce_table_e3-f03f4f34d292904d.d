@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_table_e3-f03f4f34d292904d.d: crates/bench/src/bin/reproduce_table_e3.rs
+
+/root/repo/target/release/deps/reproduce_table_e3-f03f4f34d292904d: crates/bench/src/bin/reproduce_table_e3.rs
+
+crates/bench/src/bin/reproduce_table_e3.rs:

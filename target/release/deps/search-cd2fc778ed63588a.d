@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search-cd2fc778ed63588a.d: crates/bench/benches/search.rs
+
+/root/repo/target/release/deps/search-cd2fc778ed63588a: crates/bench/benches/search.rs
+
+crates/bench/benches/search.rs:

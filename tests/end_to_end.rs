@@ -14,6 +14,7 @@ fn quick_opts() -> SearchOptions {
         max_microbatch: 8,
         max_loop: 16,
         max_actions: 60_000,
+        threads: 0,
     }
 }
 
@@ -222,15 +223,7 @@ fn search_prefers_looping_at_small_batch() {
     let model = bert_52b();
     let cluster = dgx1_v100(8);
     let k = KernelModel::v100();
-    let r = best_config(
-        &model,
-        &cluster,
-        Method::BreadthFirst,
-        9,
-        &k,
-        &quick_opts(),
-    )
-    .unwrap();
+    let r = best_config(&model, &cluster, Method::BreadthFirst, 9, &k, &quick_opts()).unwrap();
     assert!(
         r.cfg.placement.n_loop() >= 4,
         "expected a deeply looped winner, got {}",
@@ -247,15 +240,8 @@ fn depth_first_baseline_prefers_shallow_loops_at_large_batch() {
     let model = bert_52b();
     let cluster = dgx1_v100(8);
     let k = KernelModel::v100();
-    let r = best_config(
-        &model,
-        &cluster,
-        Method::DepthFirst,
-        256,
-        &k,
-        &quick_opts(),
-    )
-    .expect("feasible");
+    let r = best_config(&model, &cluster, Method::DepthFirst, 256, &k, &quick_opts())
+        .expect("feasible");
     assert!(
         r.cfg.placement.n_loop() <= 4,
         "expected a shallow-loop Megatron-style winner, got {}",

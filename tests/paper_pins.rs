@@ -2,7 +2,7 @@
 //! quantitative anchors of the reproduction.
 
 use bfpp::analytic::intensity;
-use bfpp::cluster::presets::{dgx_a100, dgx1_v100};
+use bfpp::cluster::presets::{dgx1_v100, dgx_a100};
 use bfpp::core::{Schedule, ScheduleKind};
 use bfpp::model::presets::{bert_52b, bert_6_6b, gpt3, one_t};
 use bfpp::parallel::Placement;

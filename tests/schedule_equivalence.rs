@@ -56,7 +56,7 @@ fn full_matrix_matches_serial() {
                 n_dp,
                 dp,
                 optimizer: bfpp::train::optim::OptimizerKind::sgd(LR),
-            half_comms: false,
+                half_comms: false,
             };
             let piped = run_batch(&spec, stages, &inputs, &targets);
             assert_eq!(
@@ -142,7 +142,7 @@ fn multi_step_training_stays_in_sync() {
         n_dp: 2,
         dp: DataParallelism::FullySharded,
         optimizer: bfpp::train::optim::OptimizerKind::sgd(LR),
-            half_comms: false,
+        half_comms: false,
     };
     for step in 0..5 {
         let p = run_batch(&spec, piped_stages, &inputs, &targets);

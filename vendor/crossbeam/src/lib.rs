@@ -1,0 +1,161 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Covers the surface this workspace uses: `channel::{unbounded,
+//! Sender, Receiver}` (both endpoints cloneable, like crossbeam's) and
+//! `thread::scope` (delegating to `std::thread::scope`, stable since
+//! Rust 1.63). Channels wrap `std::sync::mpsc` with the receiver behind
+//! a mutex so it can be shared; per-message cost is a lock acquisition,
+//! which is irrelevant at this workspace's message granularity (whole
+//! activation tensors).
+
+/// MPMC channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// An error returned when sending on a disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// An error returned when receiving from an empty, disconnected
+    /// channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending end of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only if every receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying the value back when the
+        /// channel is disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving end of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value is available.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every
+        /// sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a value if one is immediately available.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when no message is ready (the stub does
+        /// not distinguish empty from disconnected).
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let rx = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            rx.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    /// Delegates to [`std::thread::scope`].
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::thread;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let t = thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        t.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cloned_endpoints_share_the_channel() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(7u8).unwrap();
+        assert_eq!(rx2.recv(), Ok(7));
+        drop(tx);
+        drop(tx2);
+        assert!(rx.recv().is_err(), "disconnected channel must error");
+    }
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let data = [1u64, 2, 3];
+        let total = super::thread::scope(|s| {
+            let h = s.spawn(|| data.iter().sum::<u64>());
+            h.join().unwrap()
+        });
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Provides [`Mutex`] and [`Condvar`] with `parking_lot`'s ergonomics
+//! (no lock poisoning, `Condvar::wait(&mut guard)`) implemented over
+//! `std::sync`. Only the surface this workspace uses is covered.
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual-exclusion lock whose `lock` never fails: a poisoned std
+/// mutex (a holder panicked) is recovered into its inner state, which is
+/// exactly `parking_lot`'s behavior of not tracking poisoning at all.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard of a locked [`Mutex`].
+///
+/// Holds the std guard in an `Option` so [`Condvar::wait`] can move it
+/// out and back while the caller keeps a single `&mut` borrow.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard { guard: Some(guard) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable with `parking_lot`'s `wait(&mut guard)` shape.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified;
+    /// the lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard present outside wait");
+        let reacquired = match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.guard = Some(reacquired);
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn wait_and_notify_round_trip() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let waiter = thread::spawn(move || {
+            let (lock, cv) = &*s2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            true
+        });
+        {
+            let (lock, cv) = &*shared;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+}
