@@ -13,8 +13,60 @@
 //!   gradient *norms* observed at two batch sizes (what a real training
 //!   run can measure for free).
 
+use std::error::Error;
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Why a noise-scale estimate could not be computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// [`noise_scale_per_sample`] needs at least two gradients to form an
+    /// unbiased variance estimate; it got this many.
+    TooFewGradients(usize),
+    /// Per-sample gradients must share a dimension; gradient `index` has
+    /// length `got` where the first had `expected`.
+    DimensionMismatch {
+        /// Index of the offending gradient.
+        index: usize,
+        /// Length of the first gradient.
+        expected: usize,
+        /// Length of the offending gradient.
+        got: usize,
+    },
+    /// The two-batch estimator needs two positive batch sizes.
+    NonPositiveBatch(f64),
+    /// The two-batch estimator needs two *distinct* batch sizes; both
+    /// were this value.
+    EqualBatchSizes(f64),
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::TooFewGradients(n) => {
+                write!(f, "need at least two sample gradients, got {n}")
+            }
+            NoiseError::DimensionMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "gradient length mismatch: gradient {index} has length {got}, expected {expected}"
+            ),
+            NoiseError::NonPositiveBatch(b) => {
+                write!(f, "batch sizes must be positive, got {b}")
+            }
+            NoiseError::EqualBatchSizes(b) => {
+                write!(f, "batch sizes must differ, both are {b}")
+            }
+        }
+    }
+}
+
+impl Error for NoiseError {}
 
 fn mean(vectors: &[Vec<f64>]) -> Vec<f64> {
     let n = vectors.len() as f64;
@@ -36,16 +88,22 @@ fn sq_norm(v: &[f64]) -> f64 {
 /// `B_noise = tr(Σ) / |G|²` with `G` the sample mean and `tr(Σ)` the
 /// summed per-coordinate variance (unbiased).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with fewer than two gradients or mismatched lengths.
-pub fn noise_scale_per_sample(gradients: &[Vec<f64>]) -> f64 {
-    assert!(gradients.len() >= 2, "need at least two sample gradients");
+/// Returns [`NoiseError`] with fewer than two gradients or mismatched
+/// lengths.
+pub fn noise_scale_per_sample(gradients: &[Vec<f64>]) -> Result<f64, NoiseError> {
+    if gradients.len() < 2 {
+        return Err(NoiseError::TooFewGradients(gradients.len()));
+    }
     let d = gradients[0].len();
-    assert!(
-        gradients.iter().all(|g| g.len() == d),
-        "gradient length mismatch"
-    );
+    if let Some((index, bad)) = gradients.iter().enumerate().find(|(_, g)| g.len() != d) {
+        return Err(NoiseError::DimensionMismatch {
+            index,
+            expected: d,
+            got: bad.len(),
+        });
+    }
     let g = mean(gradients);
     let n = gradients.len() as f64;
     let mut tr_sigma = 0.0;
@@ -55,7 +113,7 @@ pub fn noise_scale_per_sample(gradients: &[Vec<f64>]) -> f64 {
         }
     }
     tr_sigma /= n - 1.0;
-    tr_sigma / sq_norm(&g)
+    Ok(tr_sigma / sq_norm(&g))
 }
 
 /// The two-batch-size estimator: given the expected squared gradient
@@ -66,20 +124,27 @@ pub fn noise_scale_per_sample(gradients: &[Vec<f64>]) -> f64 {
 ///
 /// and `B_noise = tr(Σ)_est / |G|²_est`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the batch sizes are equal or non-positive.
+/// Returns [`NoiseError`] if the batch sizes are equal or non-positive.
 pub fn noise_scale_two_batch(
     b_small: f64,
     sq_norm_small: f64,
     b_big: f64,
     sq_norm_big: f64,
-) -> f64 {
-    assert!(b_small > 0.0 && b_big > 0.0, "batch sizes must be positive");
-    assert!(b_small != b_big, "batch sizes must differ");
+) -> Result<f64, NoiseError> {
+    if b_small <= 0.0 || b_small.is_nan() {
+        return Err(NoiseError::NonPositiveBatch(b_small));
+    }
+    if b_big <= 0.0 || b_big.is_nan() {
+        return Err(NoiseError::NonPositiveBatch(b_big));
+    }
+    if b_small == b_big {
+        return Err(NoiseError::EqualBatchSizes(b_small));
+    }
     let g2 = (b_big * sq_norm_big - b_small * sq_norm_small) / (b_big - b_small);
     let tr = (sq_norm_small - sq_norm_big) / (1.0 / b_small - 1.0 / b_big);
-    tr / g2
+    Ok(tr / g2)
 }
 
 /// A synthetic stochastic-gradient source with a *known* noise scale:
@@ -160,7 +225,7 @@ mod tests {
         let mut src = SyntheticGradients::new(64, 0.5, 7);
         let truth = src.analytic_noise_scale();
         let grads: Vec<Vec<f64>> = (0..4000).map(|_| src.sample()).collect();
-        let est = noise_scale_per_sample(&grads);
+        let est = noise_scale_per_sample(&grads).unwrap();
         assert!(
             (est / truth - 1.0).abs() < 0.15,
             "estimate {est} vs analytic {truth}"
@@ -174,7 +239,7 @@ mod tests {
         let (b_small, b_big) = (4usize, 64usize);
         let small = src.expected_sq_norm(b_small, 3000);
         let big = src.expected_sq_norm(b_big, 3000);
-        let est = noise_scale_two_batch(b_small as f64, small, b_big as f64, big);
+        let est = noise_scale_two_batch(b_small as f64, small, b_big as f64, big).unwrap();
         assert!(
             (est / truth - 1.0).abs() < 0.2,
             "estimate {est} vs analytic {truth}"
@@ -185,10 +250,10 @@ mod tests {
     fn estimators_agree_with_each_other() {
         let mut src = SyntheticGradients::new(32, 1.0, 23);
         let grads: Vec<Vec<f64>> = (0..4000).map(|_| src.sample()).collect();
-        let per_sample = noise_scale_per_sample(&grads);
+        let per_sample = noise_scale_per_sample(&grads).unwrap();
         let small = src.expected_sq_norm(2, 4000);
         let big = src.expected_sq_norm(32, 2000);
-        let two_batch = noise_scale_two_batch(2.0, small, 32.0, big);
+        let two_batch = noise_scale_two_batch(2.0, small, 32.0, big).unwrap();
         assert!(
             (per_sample / two_batch - 1.0).abs() < 0.25,
             "{per_sample} vs {two_batch}"
@@ -212,14 +277,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "two sample gradients")]
     fn per_sample_needs_two() {
-        noise_scale_per_sample(&[vec![1.0]]);
+        let err = noise_scale_per_sample(&[vec![1.0]]).unwrap_err();
+        assert_eq!(err, NoiseError::TooFewGradients(1));
+        assert!(err.to_string().contains("two sample gradients"));
     }
 
     #[test]
-    #[should_panic(expected = "must differ")]
+    fn per_sample_rejects_mismatched_lengths() {
+        let err = noise_scale_per_sample(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0]]).unwrap_err();
+        assert_eq!(
+            err,
+            NoiseError::DimensionMismatch {
+                index: 2,
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("gradient 2"));
+    }
+
+    #[test]
     fn two_batch_needs_distinct_sizes() {
-        noise_scale_two_batch(4.0, 1.0, 4.0, 1.0);
+        let err = noise_scale_two_batch(4.0, 1.0, 4.0, 1.0).unwrap_err();
+        assert_eq!(err, NoiseError::EqualBatchSizes(4.0));
+        assert!(err.to_string().contains("must differ"));
+    }
+
+    #[test]
+    fn two_batch_needs_positive_sizes() {
+        let err = noise_scale_two_batch(0.0, 1.0, 4.0, 1.0).unwrap_err();
+        assert_eq!(err, NoiseError::NonPositiveBatch(0.0));
+        let err = noise_scale_two_batch(4.0, 1.0, -2.0, 1.0).unwrap_err();
+        assert_eq!(err, NoiseError::NonPositiveBatch(-2.0));
     }
 }

@@ -42,6 +42,7 @@ fn quick_search_opts(threads: usize) -> SearchOptions {
         max_loop: 8,
         max_actions: 30_000,
         threads,
+        ..SearchOptions::default()
     }
 }
 

@@ -8,6 +8,7 @@ use bfpp_bench::figures::{
     figure7,
 };
 use bfpp_bench::quick_mode;
+use bfpp_bench::robustness::{most_graceful, robustness_table, straggler_sweep, SEVERITIES};
 use bfpp_bench::tables::{table_5_1, table_e};
 use bfpp_exec::search::SearchOptions;
 
@@ -38,6 +39,20 @@ fn main() {
     // 52 B sweeps: Figure 5a, Table E.1, Figures 1 and 6a.
     let model = bfpp_model::presets::bert_52b();
     let cluster = bfpp_cluster::presets::dgx1_v100(8);
+
+    // Straggler sensitivity: degradation curves of the four schedules.
+    eprintln!("sweeping straggler severities...");
+    let severities: &[f64] = if quick { &[1.0, 2.0] } else { &SEVERITIES };
+    let straggler_rows = straggler_sweep(&model, &cluster, severities);
+    println!("\n# Straggler sensitivity (CSV)");
+    print!("{}", robustness_table(&straggler_rows).to_csv());
+    if let Some((kind, worst)) = most_graceful(&straggler_rows) {
+        println!(
+            "most graceful: {kind} (worst-case retention {:.1}%)",
+            worst * 100.0
+        );
+    }
+
     let tradeoff = TradeoffModel::paper_52b(&model, cluster.node.gpu.peak_fp16_flops);
     eprintln!("sweeping 52b / InfiniBand...");
     let rows = figure5_sweep(

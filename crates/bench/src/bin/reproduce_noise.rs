@@ -18,10 +18,12 @@ fn main() {
         let mut src = SyntheticGradients::new(dim, sigma, 42);
         let analytic = src.analytic_noise_scale();
         let grads: Vec<Vec<f64>> = (0..3000).map(|_| src.sample()).collect();
-        let per_sample = noise_scale_per_sample(&grads);
+        let per_sample =
+            noise_scale_per_sample(&grads).expect("3000 same-dimension gradients are valid input");
         let small = src.expected_sq_norm(4, 2000);
         let big = src.expected_sq_norm(64, 1000);
-        let two_batch = noise_scale_two_batch(4.0, small, 64.0, big);
+        let two_batch = noise_scale_two_batch(4.0, small, 64.0, big)
+            .expect("distinct positive batch sizes are valid input");
         t.push([
             dim.to_string(),
             format!("{sigma}"),

@@ -1,0 +1,40 @@
+//! Straggler-sensitivity experiment: utilization vs straggler severity
+//! for the four pipeline schedules, with one mid-pipeline device slowed
+//! by a deterministic multiplicative perturbation.
+//!
+//! Prints each schedule's degradation curve (throughput, utilization and
+//! retention vs its own fault-free baseline) and names the schedule that
+//! degrades most gracefully.
+
+use bfpp_bench::robustness::{
+    most_graceful, robustness_table, straggler_sweep, SEVERITIES, STRAGGLER_DEVICE,
+};
+use bfpp_cluster::presets::dgx1_v100;
+use bfpp_model::presets::bert_52b;
+
+fn main() {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    println!(
+        "# Straggler sensitivity — {} on {}, device {} slowed by each multiplier",
+        model.name, cluster.name, STRAGGLER_DEVICE
+    );
+    let severities: &[f64] = if bfpp_bench::quick_mode() {
+        &[1.0, 1.5, 2.0]
+    } else {
+        &SEVERITIES
+    };
+    let rows = straggler_sweep(&model, &cluster, severities);
+    let t = robustness_table(&rows);
+    print!("{}", t.to_text());
+    println!();
+    println!("csv:");
+    print!("{}", t.to_csv());
+    if let Some((kind, worst)) = most_graceful(&rows) {
+        println!();
+        println!(
+            "most graceful schedule: {kind} (worst-case retention {:.1}%)",
+            worst * 100.0
+        );
+    }
+}

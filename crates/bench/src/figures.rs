@@ -189,6 +189,8 @@ pub fn figure5_table(rows: &[SweepRow], num_gpus: u32) -> Table {
         "pruned_bound",
         "simulated",
         "search_ms",
+        "robust_tflops",
+        "retention_pct",
     ]);
     for r in rows {
         let head = [
@@ -429,13 +431,19 @@ mod tests {
             max_loop: 8,
             max_actions: 30_000,
             threads: 0,
+            ..SearchOptions::default()
         };
         let rows = figure5_sweep(&model, &cluster, &[64], &opts);
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.report.enumerated > 0));
         let t = figure5_table(&rows, cluster.num_gpus());
         assert_eq!(t.len(), 4);
-        assert!(t.to_csv().lines().next().unwrap().ends_with("search_ms"));
+        assert!(t
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("retention_pct"));
         let points = operating_points(&rows, 64, Method::BreadthFirst);
         assert_eq!(points.len(), 1);
     }

@@ -11,6 +11,7 @@
 
 pub mod figures;
 pub mod report;
+pub mod robustness;
 pub mod tables;
 
 /// True when the `BFPP_QUICK` environment variable asks for reduced

@@ -1,0 +1,191 @@
+//! Straggler-sensitivity experiment: how gracefully each pipeline
+//! schedule degrades when one mid-pipeline device runs slow.
+//!
+//! A single multiplicative straggler is injected on one device via the
+//! deterministic [`Perturbation`] model and swept over a severity range;
+//! throughput and utilization stay credited against the *fault-free*
+//! ideal, so everything the straggler costs shows up as lost
+//! utilization. Each schedule's *retention* at a severity is its
+//! throughput relative to its own unperturbed baseline — the degradation
+//! curve the `reproduce_stragglers` binary prints.
+
+use bfpp_cluster::ClusterSpec;
+use bfpp_core::ScheduleKind;
+use bfpp_exec::{simulate_perturbed, KernelModel, Measurement, OverlapConfig, Perturbation};
+use bfpp_model::TransformerConfig;
+use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+
+use crate::report::Table;
+
+/// The default severity sweep: a 1.0 baseline plus three degraded
+/// points, up to a device running at half speed.
+pub const SEVERITIES: [f64; 4] = [1.0, 1.25, 1.5, 2.0];
+
+/// The straggling device: mid-pipeline, where both the forward and the
+/// backward wave must pass through it.
+pub const STRAGGLER_DEVICE: u32 = 4;
+
+/// One point of a degradation curve.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// The schedule under test.
+    pub schedule: ScheduleKind,
+    /// Straggler duration multiplier on [`STRAGGLER_DEVICE`] (1.0 =
+    /// fault-free baseline).
+    pub straggler: f64,
+    /// The perturbed measurement.
+    pub measurement: Measurement,
+    /// Throughput retained vs this schedule's own 1.0 baseline, in
+    /// `(0, 1]`.
+    pub retention: f64,
+}
+
+/// The fixed eight-device configuration each schedule is measured in:
+/// `N_PP = 8`, `TP = 8`, 16 micro-batches, looping placement where the
+/// schedule supports it (the paper's small-β regime, where schedules
+/// differ most).
+fn config_for(kind: ScheduleKind) -> ParallelConfig {
+    let placement = if kind.supports_looping() {
+        Placement::looping(8, 8)
+    } else {
+        Placement::linear(8)
+    };
+    ParallelConfig::new(
+        Grid::new(1, 8, 8),
+        placement,
+        BatchConfig::new(16, 1),
+        DataParallelism::Unsharded,
+    )
+}
+
+/// Runs the sweep: every schedule at every severity, deterministic
+/// (seeded perturbation, no jitter — the straggler is the only fault).
+///
+/// # Panics
+///
+/// Panics if the fixed configurations fail to simulate (they are valid
+/// on any 8-GPU cluster).
+pub fn straggler_sweep(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    severities: &[f64],
+) -> Vec<RobustnessRow> {
+    let kernel = KernelModel::v100();
+    let mut rows = Vec::new();
+    for kind in ScheduleKind::ALL {
+        let cfg = config_for(kind);
+        let mut baseline = None;
+        for &severity in severities {
+            let perturbation =
+                Perturbation::with_seed(0xB1F).with_straggler(STRAGGLER_DEVICE, severity);
+            let m = simulate_perturbed(
+                model,
+                cluster,
+                &cfg,
+                kind,
+                OverlapConfig::full(),
+                &kernel,
+                &perturbation,
+            )
+            .expect("straggler-sweep configurations are valid");
+            let base = *baseline.get_or_insert(m.tflops_per_gpu);
+            rows.push(RobustnessRow {
+                schedule: kind,
+                straggler: severity,
+                retention: m.tflops_per_gpu / base,
+                measurement: m,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the degradation curves as a table.
+pub fn robustness_table(rows: &[RobustnessRow]) -> Table {
+    let mut t = Table::new([
+        "schedule",
+        "straggler_mult",
+        "tflops_per_gpu",
+        "utilization_pct",
+        "retention_pct",
+    ]);
+    for r in rows {
+        t.push([
+            r.schedule.to_string(),
+            format!("{:.2}", r.straggler),
+            format!("{:.2}", r.measurement.tflops_per_gpu),
+            format!("{:.1}", r.measurement.utilization * 100.0),
+            format!("{:.1}", r.retention * 100.0),
+        ]);
+    }
+    t
+}
+
+/// The schedule that degrades most gracefully: the one with the highest
+/// worst-case (minimum over severities) retention. Ties resolve to the
+/// first schedule in [`ScheduleKind::ALL`] order.
+pub fn most_graceful(rows: &[RobustnessRow]) -> Option<(ScheduleKind, f64)> {
+    let mut best: Option<(ScheduleKind, f64)> = None;
+    for kind in ScheduleKind::ALL {
+        let worst = rows
+            .iter()
+            .filter(|r| r.schedule == kind)
+            .map(|r| r.retention)
+            .fold(f64::INFINITY, f64::min);
+        if worst.is_finite() && best.is_none_or(|(_, b)| worst > b) {
+            best = Some((kind, worst));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_cluster::presets::dgx1_v100;
+    use bfpp_model::presets::bert_52b;
+
+    #[test]
+    fn sweep_covers_all_schedules_and_degrades_monotonically() {
+        let rows = straggler_sweep(&bert_52b(), &dgx1_v100(8), &SEVERITIES);
+        assert_eq!(rows.len(), ScheduleKind::ALL.len() * SEVERITIES.len());
+        for kind in ScheduleKind::ALL {
+            let curve: Vec<&RobustnessRow> = rows.iter().filter(|r| r.schedule == kind).collect();
+            assert_eq!(curve.len(), SEVERITIES.len());
+            assert!((curve[0].retention - 1.0).abs() < 1e-12, "{kind}: baseline");
+            for pair in curve.windows(2) {
+                assert!(
+                    pair[1].measurement.utilization <= pair[0].measurement.utilization + 1e-12,
+                    "{kind}: utilization must not rise with straggler severity"
+                );
+                assert!(
+                    pair[1].retention <= pair[0].retention + 1e-12,
+                    "{kind}: retention must not rise with straggler severity"
+                );
+            }
+        }
+        let table = robustness_table(&rows);
+        assert_eq!(table.len(), rows.len());
+        assert!(table
+            .to_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("retention_pct"));
+        let (_, worst) = most_graceful(&rows).expect("non-empty sweep");
+        assert!(worst > 0.0 && worst <= 1.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let model = bert_52b();
+        let cluster = dgx1_v100(8);
+        let severities = [1.0, 1.5];
+        let a = straggler_sweep(&model, &cluster, &severities);
+        let b = straggler_sweep(&model, &cluster, &severities);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.measurement, y.measurement);
+            assert_eq!(x.retention, y.retention);
+        }
+    }
+}

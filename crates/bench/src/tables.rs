@@ -55,6 +55,8 @@ pub fn table_e(rows: &[SweepRow]) -> Table {
         "pruned_bound",
         "simulated",
         "search_ms",
+        "robust_tflops",
+        "retention_pct",
     ]);
     for r in rows {
         let Some(res) = &r.result else {

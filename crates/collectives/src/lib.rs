@@ -13,7 +13,10 @@
 //!   `bfpp-train` uses it to actually run data-parallel and
 //!   fully-sharded-data-parallel training, exercising the same
 //!   reduce-scatter / all-gather code paths the paper's DP_PS / DP_FS
-//!   variants require.
+//!   variants require. Every rendezvous carries a deadline, and a rank
+//!   that panics, times out, or shuts down *poisons* the group so peers
+//!   fail fast with a typed [`thread::CollectiveError`] instead of
+//!   hanging; see the module docs for the fault model.
 //!
 //! ```
 //! use bfpp_collectives::thread::CommGroup;

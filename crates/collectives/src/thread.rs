@@ -10,11 +10,40 @@
 //! the group must call the same operation with compatible arguments; the
 //! call returns once the result is available. Calling different
 //! operations concurrently from ranks of the same group is a contract
-//! violation and panics (when detectable) or deadlocks.
+//! violation and panics (when detectable).
+//!
+//! # Fault tolerance: deadlines and group poisoning
+//!
+//! A rendezvous can only complete if *every* rank shows up, so a peer
+//! that panics, returns early, or hangs would classically strand the
+//! rest of the group on a condition variable forever. This
+//! implementation never blocks indefinitely:
+//!
+//! * every wait carries a **deadline** ([`CommGroup::with_timeout`];
+//!   default [`DEFAULT_TIMEOUT`]). A rank whose wait expires *poisons*
+//!   the group and returns [`CollectiveError::Timeout`];
+//! * a handle dropped while its thread is panicking poisons the group
+//!   ([`PoisonReason::Panicked`]); a harness shutting down an errored
+//!   worker can poison explicitly via [`CommHandle::poison`];
+//! * once poisoned, every blocked rank wakes immediately and every
+//!   current or future operation returns
+//!   [`CollectiveError::PeerFailed`] naming the rank that failed first.
+//!   Poisoning is permanent: the group is dead, state is no longer
+//!   consistent across ranks.
+//!
+//! The `try_*` methods surface these errors; the plain methods
+//! (`all_reduce`, …) are convenience wrappers that panic on them, for
+//! callers (and tests) that treat any fault as fatal.
 
+use std::error::Error;
+use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+/// How long a rank waits at a rendezvous before declaring the group dead.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Which collective a rank is participating in (used to detect mismatched
 /// concurrent calls).
@@ -26,6 +55,82 @@ enum OpKind {
     Broadcast,
     Barrier,
 }
+
+impl OpKind {
+    fn name(self) -> &'static str {
+        match self {
+            OpKind::AllReduce => "all_reduce",
+            OpKind::ReduceScatter => "reduce_scatter",
+            OpKind::AllGather => "all_gather",
+            OpKind::Broadcast => "broadcast",
+            OpKind::Barrier => "barrier",
+        }
+    }
+}
+
+/// Why a group was poisoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonReason {
+    /// The poisoning rank's thread panicked with its handle live.
+    Panicked,
+    /// The poisoning rank's wait deadline expired.
+    TimedOut,
+    /// The poisoning rank shut down deliberately (harness error path).
+    Shutdown,
+}
+
+impl fmt::Display for PoisonReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PoisonReason::Panicked => "panicked",
+            PoisonReason::TimedOut => "timed out",
+            PoisonReason::Shutdown => "shut down",
+        })
+    }
+}
+
+/// Why a collective operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// This rank's own wait deadline expired (it is the first failure:
+    /// it poisoned the group on its way out).
+    Timeout {
+        /// The rank whose wait expired.
+        rank: usize,
+        /// The operation it was waiting in.
+        op: &'static str,
+        /// The deadline it waited for.
+        waited: Duration,
+    },
+    /// Another rank failed first and poisoned the group.
+    PeerFailed {
+        /// The rank observing the failure.
+        rank: usize,
+        /// The rank that poisoned the group.
+        peer: usize,
+        /// Why the peer poisoned it.
+        reason: PoisonReason,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::Timeout { rank, op, waited } => write!(
+                f,
+                "rank {rank} timed out after {waited:?} in {op} (group poisoned)"
+            ),
+            CollectiveError::PeerFailed { rank, peer, reason } => {
+                write!(
+                    f,
+                    "rank {rank}: peer rank {peer} {reason}; group is poisoned"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CollectiveError {}
 
 #[derive(Debug)]
 struct RoundState {
@@ -43,24 +148,53 @@ struct RoundState {
     departed: usize,
     /// Monotonic round counter.
     generation: u64,
+    /// Set once by the first failing rank; never cleared.
+    poison: Option<(usize, PoisonReason)>,
 }
 
 #[derive(Debug)]
 struct Shared {
     n: usize,
+    timeout: Duration,
     state: Mutex<RoundState>,
     arrived_cv: Condvar,
     departed_cv: Condvar,
+}
+
+impl Shared {
+    /// Records the group's first failure and wakes every waiter. Later
+    /// poisonings are ignored — the first failure wins, so every rank
+    /// reports the same culprit.
+    fn poison(&self, rank: usize, reason: PoisonReason) {
+        let mut st = self.state.lock();
+        if st.poison.is_none() {
+            st.poison = Some((rank, reason));
+        }
+        drop(st);
+        self.arrived_cv.notify_all();
+        self.departed_cv.notify_all();
+    }
 }
 
 /// One rank's handle to a collective communication group.
 ///
 /// Handles are `Send` (move one into each worker thread) but a single
 /// handle must not be shared between threads.
+///
+/// Dropping a handle while its thread is panicking poisons the group so
+/// peers blocked in a collective fail fast instead of hanging.
 #[derive(Debug)]
 pub struct CommHandle {
     rank: usize,
     shared: Arc<Shared>,
+}
+
+impl Drop for CommHandle {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.poison(self.rank, PoisonReason::Panicked);
+        }
+    }
 }
 
 /// A group of `n` ranks. Constructed once; hands out the per-rank handles.
@@ -68,8 +202,8 @@ pub struct CommHandle {
 pub struct CommGroup;
 
 impl CommGroup {
-    /// Creates a group of `n` ranks and returns one handle per rank,
-    /// ordered by rank.
+    /// Creates a group of `n` ranks with the [`DEFAULT_TIMEOUT`] deadline
+    /// and returns one handle per rank, ordered by rank.
     ///
     /// # Panics
     ///
@@ -77,9 +211,22 @@ impl CommGroup {
     // Deliberately a factory: the group *is* its set of per-rank handles.
     #[allow(clippy::new_ret_no_self)]
     pub fn new(n: usize) -> Vec<CommHandle> {
+        Self::with_timeout(n, DEFAULT_TIMEOUT)
+    }
+
+    /// As [`CommGroup::new`], with an explicit rendezvous deadline: a
+    /// rank blocked longer than `timeout` in any collective poisons the
+    /// group and returns [`CollectiveError::Timeout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn with_timeout(n: usize, timeout: Duration) -> Vec<CommHandle> {
         assert!(n > 0, "group size must be positive");
         let shared = Arc::new(Shared {
             n,
+            timeout,
             state: Mutex::new(RoundState {
                 inputs: (0..n).map(|_| None).collect(),
                 outputs: (0..n).map(|_| None).collect(),
@@ -88,6 +235,7 @@ impl CommGroup {
                 arrived: 0,
                 departed: 0,
                 generation: 0,
+                poison: None,
             }),
             arrived_cv: Condvar::new(),
             departed_cv: Condvar::new(),
@@ -112,22 +260,80 @@ impl CommHandle {
         self.shared.n
     }
 
+    /// Poisons the group on behalf of this rank: peers blocked in (or
+    /// later entering) a collective return
+    /// [`CollectiveError::PeerFailed`] immediately. Used by worker
+    /// harnesses on their error-path shutdown; panics poison
+    /// automatically through the handle's `Drop`.
+    pub fn poison(&self, reason: PoisonReason) {
+        self.shared.poison(self.rank, reason);
+    }
+
+    /// The error this rank reports for an observed poisoning.
+    fn peer_failed(&self, poison: (usize, PoisonReason)) -> CollectiveError {
+        CollectiveError::PeerFailed {
+            rank: self.rank,
+            peer: poison.0,
+            reason: poison.1,
+        }
+    }
+
+    /// One bounded wait step: returns `Err(Timeout)` (after poisoning
+    /// the group) once `deadline` passes, `Ok(())` otherwise. Spurious
+    /// wakeups are fine — callers loop on their predicate.
+    fn wait_step(
+        &self,
+        cv: &Condvar,
+        st: &mut MutexGuard<'_, RoundState>,
+        deadline: Instant,
+        op: OpKind,
+    ) -> Result<(), CollectiveError> {
+        let now = Instant::now();
+        if now >= deadline {
+            if st.poison.is_none() {
+                st.poison = Some((self.rank, PoisonReason::TimedOut));
+            }
+            self.shared.arrived_cv.notify_all();
+            self.shared.departed_cv.notify_all();
+            return Err(CollectiveError::Timeout {
+                rank: self.rank,
+                op: op.name(),
+                waited: self.shared.timeout,
+            });
+        }
+        let _ = cv.wait_for(st, deadline - now);
+        Ok(())
+    }
+
     /// One rendezvous round: deposit `input`, let the last arriving rank
     /// run `compute` over all inputs to produce per-rank outputs, return
     /// this rank's output.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError::Timeout`] when this rank's deadline expires,
+    /// [`CollectiveError::PeerFailed`] when the group is (or becomes)
+    /// poisoned by another rank.
     fn round(
         &self,
         op: OpKind,
         root: usize,
         input: Vec<f32>,
         compute: impl FnOnce(&[Vec<f32>], usize) -> Vec<Vec<f32>>,
-    ) -> Vec<f32> {
+    ) -> Result<Vec<f32>, CollectiveError> {
         let shared = &*self.shared;
+        let deadline = Instant::now() + shared.timeout;
         let mut st = shared.state.lock();
         // Wait for the previous round to fully drain before starting a new
         // one (a rank can race ahead to its next collective).
-        while st.departed != 0 && st.departed != shared.n {
-            shared.departed_cv.wait(&mut st);
+        loop {
+            if let Some(p) = st.poison {
+                return Err(self.peer_failed(p));
+            }
+            if st.departed == 0 || st.departed == shared.n {
+                break;
+            }
+            self.wait_step(&shared.departed_cv, &mut st, deadline, op)?;
         }
         if st.departed == shared.n {
             // Last round fully drained but not yet reset (we are the first
@@ -180,8 +386,14 @@ impl CommHandle {
             st.generation += 1;
             shared.arrived_cv.notify_all();
         } else {
-            while st.generation == my_generation {
-                shared.arrived_cv.wait(&mut st);
+            loop {
+                if st.generation != my_generation {
+                    break;
+                }
+                if let Some(p) = st.poison {
+                    return Err(self.peer_failed(p));
+                }
+                self.wait_step(&shared.arrived_cv, &mut st, deadline, op)?;
             }
         }
         let out = st.outputs[self.rank].take().expect("output ready");
@@ -189,31 +401,40 @@ impl CommHandle {
         if st.departed == shared.n {
             shared.departed_cv.notify_all();
         }
-        out
+        Ok(out)
     }
 
     /// Sums `data` element-wise across all ranks (in rank order) and
     /// writes the identical result back on every rank.
     ///
+    /// # Errors
+    ///
+    /// [`CollectiveError`] when this rank times out or a peer fails.
+    ///
     /// # Panics
     ///
     /// Panics if ranks pass slices of different lengths.
-    pub fn all_reduce(&self, data: &mut [f32]) {
+    pub fn try_all_reduce(&self, data: &mut [f32]) -> Result<(), CollectiveError> {
         let out = self.round(OpKind::AllReduce, 0, data.to_vec(), |inputs, _| {
             let sum = rank_ordered_sum(inputs);
             vec![sum; inputs.len()]
-        });
+        })?;
         data.copy_from_slice(&out);
+        Ok(())
     }
 
     /// Sums `data` across ranks and returns this rank's shard
     /// (`data.len() / n` contiguous elements).
     ///
+    /// # Errors
+    ///
+    /// [`CollectiveError`] when this rank times out or a peer fails.
+    ///
     /// # Panics
     ///
     /// Panics if `data.len()` is not divisible by the group size or ranks
     /// pass different lengths.
-    pub fn reduce_scatter(&self, data: &[f32]) -> Vec<f32> {
+    pub fn try_reduce_scatter(&self, data: &[f32]) -> Result<Vec<f32>, CollectiveError> {
         let n = self.shared.n;
         assert!(
             data.len().is_multiple_of(n),
@@ -233,10 +454,14 @@ impl CommHandle {
     /// Concatenates every rank's `shard` in rank order and returns the
     /// full tensor (identical on every rank).
     ///
+    /// # Errors
+    ///
+    /// [`CollectiveError`] when this rank times out or a peer fails.
+    ///
     /// # Panics
     ///
     /// Panics if ranks pass shards of different lengths.
-    pub fn all_gather(&self, shard: &[f32]) -> Vec<f32> {
+    pub fn try_all_gather(&self, shard: &[f32]) -> Result<Vec<f32>, CollectiveError> {
         self.round(OpKind::AllGather, 0, shard.to_vec(), |inputs, _| {
             let len = inputs[0].len();
             for (r, i) in inputs.iter().enumerate() {
@@ -249,11 +474,15 @@ impl CommHandle {
 
     /// Copies `data` from `root` to every rank.
     ///
+    /// # Errors
+    ///
+    /// [`CollectiveError`] when this rank times out or a peer fails.
+    ///
     /// # Panics
     ///
     /// Panics if ranks disagree on `root`, or buffers have different
     /// lengths.
-    pub fn broadcast(&self, data: &mut [f32], root: usize) {
+    pub fn try_broadcast(&self, data: &mut [f32], root: usize) -> Result<(), CollectiveError> {
         assert!(root < self.shared.n, "broadcast root out of range");
         let out = self.round(OpKind::Broadcast, root, data.to_vec(), |inputs, root| {
             let src = inputs[root].clone();
@@ -261,15 +490,67 @@ impl CommHandle {
                 assert_eq!(i.len(), src.len(), "broadcast length mismatch at rank {r}");
             }
             vec![src; inputs.len()]
-        });
+        })?;
         data.copy_from_slice(&out);
+        Ok(())
     }
 
     /// Blocks until every rank of the group has reached the barrier.
-    pub fn barrier(&self) {
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError`] when this rank times out or a peer fails.
+    pub fn try_barrier(&self) -> Result<(), CollectiveError> {
         let _ = self.round(OpKind::Barrier, 0, Vec::new(), |inputs, _| {
             vec![Vec::new(); inputs.len()]
-        });
+        })?;
+        Ok(())
+    }
+
+    /// [`CommHandle::try_all_reduce`], panicking on faults.
+    ///
+    /// # Panics
+    ///
+    /// As `try_all_reduce`, plus on any [`CollectiveError`].
+    pub fn all_reduce(&self, data: &mut [f32]) {
+        self.try_all_reduce(data).expect("all_reduce failed");
+    }
+
+    /// [`CommHandle::try_reduce_scatter`], panicking on faults.
+    ///
+    /// # Panics
+    ///
+    /// As `try_reduce_scatter`, plus on any [`CollectiveError`].
+    pub fn reduce_scatter(&self, data: &[f32]) -> Vec<f32> {
+        self.try_reduce_scatter(data)
+            .expect("reduce_scatter failed")
+    }
+
+    /// [`CommHandle::try_all_gather`], panicking on faults.
+    ///
+    /// # Panics
+    ///
+    /// As `try_all_gather`, plus on any [`CollectiveError`].
+    pub fn all_gather(&self, shard: &[f32]) -> Vec<f32> {
+        self.try_all_gather(shard).expect("all_gather failed")
+    }
+
+    /// [`CommHandle::try_broadcast`], panicking on faults.
+    ///
+    /// # Panics
+    ///
+    /// As `try_broadcast`, plus on any [`CollectiveError`].
+    pub fn broadcast(&self, data: &mut [f32], root: usize) {
+        self.try_broadcast(data, root).expect("broadcast failed");
+    }
+
+    /// [`CommHandle::try_barrier`], panicking on faults.
+    ///
+    /// # Panics
+    ///
+    /// On any [`CollectiveError`].
+    pub fn barrier(&self) {
+        self.try_barrier().expect("barrier failed");
     }
 }
 
@@ -448,5 +729,105 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(*r, results[0]);
         }
+    }
+
+    #[test]
+    fn absent_rank_times_out_and_reports() {
+        // Three ranks rendezvous, the fourth never calls: someone's
+        // deadline expires, poisons the group, and everyone else gets
+        // PeerFailed(TimedOut) — nobody hangs.
+        let mut handles = CommGroup::with_timeout(4, Duration::from_millis(100));
+        let _absent = handles.pop().expect("rank 3 stays home");
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let mut v = vec![1.0f32];
+                    h.try_all_reduce(&mut v).unwrap_err()
+                })
+            })
+            .collect();
+        let errors: Vec<CollectiveError> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let timeouts = errors
+            .iter()
+            .filter(|e| matches!(e, CollectiveError::Timeout { .. }))
+            .count();
+        assert!(timeouts >= 1, "at least one rank must time out: {errors:?}");
+        for e in &errors {
+            match e {
+                CollectiveError::Timeout { op, .. } => assert_eq!(*op, "all_reduce"),
+                CollectiveError::PeerFailed { reason, .. } => {
+                    assert_eq!(*reason, PoisonReason::TimedOut)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_poison_unblocks_waiters() {
+        let mut handles = CommGroup::with_timeout(3, Duration::from_secs(30));
+        let quitter = handles.pop().expect("rank 2");
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|h| {
+                thread::spawn(move || {
+                    let mut v = vec![1.0f32];
+                    h.try_all_reduce(&mut v).unwrap_err()
+                })
+            })
+            .collect();
+        // Give the workers a moment to block, then bail out.
+        thread::sleep(Duration::from_millis(50));
+        quitter.poison(PoisonReason::Shutdown);
+        for j in joins {
+            let e = j.join().unwrap();
+            assert_eq!(
+                e,
+                CollectiveError::PeerFailed {
+                    rank: match e {
+                        CollectiveError::PeerFailed { rank, .. } => rank,
+                        _ => unreachable!(),
+                    },
+                    peer: 2,
+                    reason: PoisonReason::Shutdown,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_group_rejects_future_operations() {
+        let handles = CommGroup::with_timeout(2, Duration::from_secs(30));
+        handles[1].poison(PoisonReason::Shutdown);
+        let mut v = vec![1.0f32];
+        let e = handles[0].try_all_reduce(&mut v).unwrap_err();
+        assert!(matches!(
+            e,
+            CollectiveError::PeerFailed {
+                peer: 1,
+                reason: PoisonReason::Shutdown,
+                ..
+            }
+        ));
+        // Still poisoned on the next call — poisoning is permanent.
+        assert!(handles[0].try_barrier().is_err());
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let t = CollectiveError::Timeout {
+            rank: 1,
+            op: "all_gather",
+            waited: Duration::from_secs(5),
+        };
+        assert!(t.to_string().contains("rank 1"));
+        assert!(t.to_string().contains("all_gather"));
+        let p = CollectiveError::PeerFailed {
+            rank: 0,
+            peer: 3,
+            reason: PoisonReason::Panicked,
+        };
+        assert!(p.to_string().contains("peer rank 3"));
+        assert!(p.to_string().contains("panicked"));
     }
 }

@@ -231,6 +231,7 @@ mod tests {
             max_loop: 16,
             max_actions: 60_000,
             threads: 1,
+            ..SearchOptions::default()
         }
     }
 

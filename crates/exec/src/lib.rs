@@ -67,9 +67,18 @@ pub mod search;
 pub use breakdown::{breakdown, TimeBreakdown};
 pub use candidates::Candidate;
 pub use kernel::KernelModel;
-pub use lower::{lower, lower_with_schedule, LoweredGraph, OpTag};
-pub use measure::{simulate, simulate_with_schedule, Measurement, SimulateError};
+pub use lower::{
+    lower, lower_perturbed, lower_with_schedule, lower_with_schedule_perturbed, LoweredGraph, OpTag,
+};
+pub use measure::{
+    simulate, simulate_perturbed, simulate_with_schedule, simulate_with_schedule_perturbed,
+    Measurement, SimulateError,
+};
 pub use memory::estimate_memory;
 pub use overlap::OverlapConfig;
 pub use prune::lower_bound_tflops;
 pub use search::SearchReport;
+
+// Re-exported so search/bench callers can build fault models without
+// depending on `bfpp_sim` directly.
+pub use bfpp_sim::{OpClass, Perturbation};

@@ -23,7 +23,7 @@ use bfpp_collectives::cost;
 use bfpp_core::{Action, Direction, Schedule, ScheduleKind, StageRun};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{DataParallelism, ParallelConfig, RankCoord, StageId};
-use bfpp_sim::{OpGraph, OpId, ResourceId, SimDuration};
+use bfpp_sim::{OpClass, OpGraph, OpId, Perturbation, ResourceId, SimDuration};
 
 use crate::kernel::KernelModel;
 use crate::measure::SimulateError;
@@ -239,13 +239,44 @@ pub fn lower(
     overlap: OverlapConfig,
     kernel: &KernelModel,
 ) -> Result<LoweredGraph, SimulateError> {
+    lower_perturbed(
+        model,
+        cluster,
+        cfg,
+        kind,
+        overlap,
+        kernel,
+        &Perturbation::none(),
+    )
+}
+
+/// [`lower`] under a deterministic [`Perturbation`]: every op duration is
+/// scaled through [`Perturbation::perturb`] with the op's insertion index
+/// as salt, so the same perturbation yields a bit-identical graph
+/// regardless of caller threading, and an identity perturbation yields
+/// exactly the unperturbed graph. Compute kernels take the per-device
+/// straggler multiplier; pipeline/data-parallel transfers take the link
+/// degradation.
+///
+/// # Errors
+///
+/// As [`lower`].
+pub fn lower_perturbed(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    kind: ScheduleKind,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+    perturbation: &Perturbation,
+) -> Result<LoweredGraph, SimulateError> {
     cfg.validate(model, cluster)
         .map_err(SimulateError::Config)?;
     let schedule = Arc::new(
         Schedule::generate(kind, cfg.placement, cfg.batch.num_microbatches)
             .map_err(SimulateError::Schedule)?,
     );
-    lower_with_schedule(model, cluster, cfg, schedule, overlap, kernel)
+    lower_with_schedule_perturbed(model, cluster, cfg, schedule, overlap, kernel, perturbation)
 }
 
 /// [`lower`] with an already generated (possibly cached and shared)
@@ -263,6 +294,32 @@ pub fn lower_with_schedule(
     schedule: Arc<Schedule>,
     overlap: OverlapConfig,
     kernel: &KernelModel,
+) -> Result<LoweredGraph, SimulateError> {
+    lower_with_schedule_perturbed(
+        model,
+        cluster,
+        cfg,
+        schedule,
+        overlap,
+        kernel,
+        &Perturbation::none(),
+    )
+}
+
+/// [`lower_with_schedule`] under a deterministic [`Perturbation`]; see
+/// [`lower_perturbed`] for the fault model.
+///
+/// # Errors
+///
+/// As [`lower_with_schedule`].
+pub fn lower_with_schedule_perturbed(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    schedule: Arc<Schedule>,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+    perturbation: &Perturbation,
 ) -> Result<LoweredGraph, SimulateError> {
     cfg.validate(model, cluster)
         .map_err(SimulateError::Config)?;
@@ -313,6 +370,13 @@ pub fn lower_with_schedule(
     let use_fs = cfg.dp == DataParallelism::FullySharded && grid.n_dp > 1;
     let last_stage = StageId(n_stage - 1);
 
+    // Perturb durations at insertion time, salted by the op's index in
+    // the graph: a pure function of (perturbation, lowering order), so
+    // perturbed graphs are bit-identical across runs and caller threading.
+    let pert = |g: &OpGraph<OpTag>, base: SimDuration, class: OpClass, dev: u32| {
+        perturbation.perturb(base, class, dev, g.num_ops() as u64)
+    };
+
     for dev in 0..n_pp {
         let actions = schedule.device_actions(dev);
         let runs: Vec<StageRun> = schedule.stage_runs(dev);
@@ -348,9 +412,10 @@ pub fn lower_with_schedule(
                         deps.push(prev);
                     }
                 }
+                let dur = pert(&graph, d.dp_gather, OpClass::Communication, dev);
                 let g = graph.add_op(
                     dp_resources[dev as usize],
-                    d.dp_gather,
+                    dur,
                     &deps,
                     OpTag::DpGather { stage: a.stage },
                 );
@@ -361,6 +426,7 @@ pub fn lower_with_schedule(
                 Direction::Forward => d.fwd,
                 Direction::Backward => d.bwd,
             };
+            let duration = pert(&graph, duration, OpClass::Compute, dev);
             let deps: Vec<OpId> = extra_dep.into_iter().collect();
             let op = graph.add_op(
                 compute_resources[dev as usize],
@@ -378,9 +444,10 @@ pub fn lower_with_schedule(
             let sends_forward = a.dir == Direction::Forward && a.stage != last_stage;
             let sends_backward = a.dir == Direction::Backward && a.stage.0 > 0;
             if (sends_forward || sends_backward) && !d.p2p.is_zero() {
+                let dur = pert(&graph, d.p2p, OpClass::Communication, dev);
                 let send = graph.add_op(
                     pp_resources[dev as usize],
-                    d.p2p,
+                    dur,
                     &[op],
                     OpTag::PpSend {
                         dir: a.dir,
@@ -394,9 +461,10 @@ pub fn lower_with_schedule(
             // Fully sharded: flush (reduce-scatter) gradients at the end
             // of each backward run.
             if use_fs && run_end_at[i] != usize::MAX && a.dir == Direction::Backward {
+                let dur = pert(&graph, d.dp_reduce_rs, OpClass::Communication, dev);
                 graph.add_op(
                     dp_resources[dev as usize],
-                    d.dp_reduce_rs,
+                    dur,
                     &[op],
                     OpTag::DpReduce { stage: a.stage },
                 );
@@ -407,23 +475,26 @@ pub fn lower_with_schedule(
             if !use_fs && grid.n_dp > 1 && last_bwd_at[a.stage.0 as usize] == i {
                 match cfg.dp {
                     DataParallelism::Unsharded => {
+                        let dur = pert(&graph, d.dp_reduce_ar, OpClass::Communication, dev);
                         graph.add_op(
                             dp_resources[dev as usize],
-                            d.dp_reduce_ar,
+                            dur,
                             &[op],
                             OpTag::DpReduce { stage: a.stage },
                         );
                     }
                     DataParallelism::PartiallySharded => {
+                        let dur = pert(&graph, d.dp_reduce_rs, OpClass::Communication, dev);
                         let rs = graph.add_op(
                             dp_resources[dev as usize],
-                            d.dp_reduce_rs,
+                            dur,
                             &[op],
                             OpTag::DpReduce { stage: a.stage },
                         );
+                        let dur = pert(&graph, d.dp_gather, OpClass::Communication, dev);
                         graph.add_op(
                             dp_resources[dev as usize],
-                            d.dp_gather,
+                            dur,
                             &[rs],
                             OpTag::DpGather { stage: a.stage },
                         );
@@ -613,6 +684,74 @@ mod tests {
             .filter(|id| matches!(g.graph.op(*id).tag(), OpTag::DpReduce { .. }))
             .count();
         assert_eq!(reduces, 64, "one flush per stage");
+    }
+
+    #[test]
+    fn identity_perturbation_lowers_bit_identically() {
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let cfg = simple_cfg();
+        let k = KernelModel::v100();
+        let base = lower(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &k,
+        )
+        .unwrap();
+        // A seeded-but-zero-magnitude perturbation must not move a single
+        // op by a nanosecond.
+        let seeded = lower_perturbed(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &k,
+            &Perturbation::with_seed(1234),
+        )
+        .unwrap();
+        let tb = base.graph.solve().unwrap();
+        let ts = seeded.graph.solve().unwrap();
+        assert_eq!(tb.makespan(), ts.makespan());
+        for id in base.graph.op_ids() {
+            assert_eq!(base.graph.op(id).duration(), seeded.graph.op(id).duration());
+        }
+    }
+
+    #[test]
+    fn straggler_slows_only_its_device_and_makespan_grows() {
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let cfg = simple_cfg();
+        let k = KernelModel::v100();
+        let run = |p: &Perturbation| {
+            lower_perturbed(
+                &model,
+                &cluster,
+                &cfg,
+                ScheduleKind::BreadthFirst,
+                OverlapConfig::full(),
+                &k,
+                p,
+            )
+            .unwrap()
+            .graph
+            .solve()
+            .unwrap()
+            .makespan()
+        };
+        let clean = run(&Perturbation::none());
+        let degraded = run(&Perturbation::with_seed(7).with_straggler(3, 1.5));
+        assert!(
+            degraded > clean,
+            "a 1.5x straggler must stretch the pipeline: {degraded} !> {clean}"
+        );
+        // Deterministic: the same perturbation lowers to the same timeline.
+        let again = run(&Perturbation::with_seed(7).with_straggler(3, 1.5));
+        assert_eq!(degraded, again);
     }
 
     #[test]

@@ -9,8 +9,10 @@ use bfpp_core::{Schedule, ScheduleError, ScheduleKind};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{ConfigError, ParallelConfig};
 
+use bfpp_sim::Perturbation;
+
 use crate::kernel::KernelModel;
-use crate::lower::{lower, lower_with_schedule, LoweredGraph};
+use crate::lower::{lower_perturbed, lower_with_schedule_perturbed, LoweredGraph};
 use crate::memory::estimate_memory;
 use crate::overlap::OverlapConfig;
 
@@ -101,7 +103,36 @@ pub fn simulate(
     overlap: OverlapConfig,
     kernel: &KernelModel,
 ) -> Result<Measurement, SimulateError> {
-    let lowered = lower(model, cluster, cfg, kind, overlap, kernel)?;
+    simulate_perturbed(
+        model,
+        cluster,
+        cfg,
+        kind,
+        overlap,
+        kernel,
+        &Perturbation::none(),
+    )
+}
+
+/// [`simulate`] under a deterministic [`Perturbation`] (stragglers, link
+/// degradation, jitter, stalls). Throughput and utilization are still
+/// credited against the *fault-free* ideal, so a straggler shows up as
+/// lost utilization — the quantity the straggler-sensitivity experiment
+/// sweeps. An identity perturbation reproduces [`simulate`] bit-for-bit.
+///
+/// # Errors
+///
+/// As [`simulate`].
+pub fn simulate_perturbed(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    kind: ScheduleKind,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+    perturbation: &Perturbation,
+) -> Result<Measurement, SimulateError> {
+    let lowered = lower_perturbed(model, cluster, cfg, kind, overlap, kernel, perturbation)?;
     Ok(measure_lowered(model, cluster, cfg, &lowered))
 }
 
@@ -120,7 +151,41 @@ pub fn simulate_with_schedule(
     overlap: OverlapConfig,
     kernel: &KernelModel,
 ) -> Result<Measurement, SimulateError> {
-    let lowered = lower_with_schedule(model, cluster, cfg, schedule, overlap, kernel)?;
+    simulate_with_schedule_perturbed(
+        model,
+        cluster,
+        cfg,
+        schedule,
+        overlap,
+        kernel,
+        &Perturbation::none(),
+    )
+}
+
+/// [`simulate_with_schedule`] under a deterministic [`Perturbation`]; see
+/// [`simulate_perturbed`].
+///
+/// # Errors
+///
+/// As [`simulate_with_schedule`].
+pub fn simulate_with_schedule_perturbed(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    schedule: Arc<Schedule>,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+    perturbation: &Perturbation,
+) -> Result<Measurement, SimulateError> {
+    let lowered = lower_with_schedule_perturbed(
+        model,
+        cluster,
+        cfg,
+        schedule,
+        overlap,
+        kernel,
+        perturbation,
+    )?;
     Ok(measure_lowered(model, cluster, cfg, &lowered))
 }
 

@@ -113,6 +113,7 @@ mod tests {
             max_loop: 8,
             max_actions: 30_000,
             threads: 1,
+            ..SearchOptions::default()
         }
     }
 

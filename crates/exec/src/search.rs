@@ -32,10 +32,11 @@ use bfpp_cluster::ClusterSpec;
 use bfpp_core::{ScheduleCache, ScheduleKind};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{DataParallelism, ParallelConfig};
+use bfpp_sim::Perturbation;
 
 use crate::candidates::{enumerate, Candidate};
 use crate::kernel::KernelModel;
-use crate::measure::{simulate, simulate_with_schedule, Measurement};
+use crate::measure::{simulate_perturbed, simulate_with_schedule_perturbed, Measurement};
 use crate::overlap::OverlapConfig;
 use crate::prune::{exceeds_device_memory, lower_bound_tflops};
 
@@ -130,6 +131,11 @@ pub struct SearchOptions {
     /// Worker threads for candidate evaluation; `0` uses the machine's
     /// available parallelism. The result is identical for every value.
     pub threads: usize,
+    /// Deterministic fault model every candidate is simulated under
+    /// (identity by default). Part of the candidate's evaluation
+    /// identity: the same options yield bit-identical searches for any
+    /// thread count, perturbed or not.
+    pub perturbation: Perturbation,
 }
 
 impl SearchOptions {
@@ -153,6 +159,7 @@ impl Default for SearchOptions {
             max_loop: 32,
             max_actions: 400_000,
             threads: 0,
+            perturbation: Perturbation::none(),
         }
     }
 }
@@ -191,29 +198,46 @@ pub struct SearchReport {
     pub wall_time: Duration,
     /// The winner's throughput (Tflop/s per GPU), if anything fit.
     pub best: Option<f64>,
+    /// The winner's throughput re-simulated under the
+    /// [`Perturbation::reference_probe`] straggler (Tflop/s per GPU) — a
+    /// standardized robustness probe, comparable across searches.
+    pub robust_tflops: Option<f64>,
+    /// `robust_tflops / best`: the fraction of clean throughput the
+    /// winner retains under the reference probe (lower = more fragile).
+    pub retention: Option<f64>,
 }
 
 impl SearchReport {
     /// Header for the trailing CSV columns the reproduction binaries
     /// emit, matching [`SearchReport::csv_row`].
     pub fn csv_header() -> &'static str {
-        "enumerated,pruned_memory,pruned_bound,simulated,search_ms"
+        "enumerated,pruned_memory,pruned_bound,simulated,search_ms,robust_tflops,retention_pct"
     }
 
-    /// The report as trailing CSV columns (wall time in milliseconds).
+    /// The report as trailing CSV columns (wall time in milliseconds,
+    /// retention in percent, `-` when no winner was found).
     pub fn csv_row(&self) -> String {
+        let robust = self
+            .robust_tflops
+            .map_or_else(|| "-".to_string(), |v| format!("{v:.2}"));
+        let retention = self
+            .retention
+            .map_or_else(|| "-".to_string(), |v| format!("{:.1}", v * 100.0));
         format!(
-            "{},{},{},{},{:.1}",
+            "{},{},{},{},{:.1},{},{}",
             self.enumerated,
             self.pruned_memory,
             self.pruned_bound,
             self.simulated,
-            self.wall_time.as_secs_f64() * 1e3
+            self.wall_time.as_secs_f64() * 1e3,
+            robust,
+            retention
         )
     }
 
     /// Accumulates another report's counters (for sweep-level totals).
-    /// `best` keeps the larger of the two.
+    /// `best`/`robust_tflops` keep the larger of the two; `retention`
+    /// keeps the smaller (a sweep is as robust as its most fragile cell).
     pub fn accumulate(&mut self, other: &SearchReport) {
         self.enumerated += other.enumerated;
         self.pruned_memory += other.pruned_memory;
@@ -222,6 +246,14 @@ impl SearchReport {
         self.wall_time += other.wall_time;
         self.best = match (self.best, other.best) {
             (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.robust_tflops = match (self.robust_tflops, other.robust_tflops) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.retention = match (self.retention, other.retention) {
+            (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
     }
@@ -268,14 +300,19 @@ pub fn best_config_with_report(
         // the current best survive the bound filter: equally fast
         // candidates lose to the earlier incumbent in the reduction, so
         // pruning them would be sound too — but only strictly dominated
-        // candidates are *counted* as pruned.
+        // candidates are *counted* as pruned. Under a jittery
+        // perturbation an op can run up to `max_speedup()` faster than
+        // its analytic duration, so the throughput bound is widened by
+        // that factor to stay sound (exactly 1.0 for identity — the
+        // unperturbed filter is unchanged bit-for-bit).
+        let speedup = opts.perturbation.max_speedup();
         let mut survivors: Vec<Candidate> = Vec::with_capacity(chunk.len());
         for cand in chunk {
             if exceeds_device_memory(model, cluster, cand) {
                 report.pruned_memory += 1;
-            } else if best_tflops
-                .is_some_and(|t| lower_bound_tflops(model, cluster, cand, overlap, kernel) < t)
-            {
+            } else if best_tflops.is_some_and(|t| {
+                lower_bound_tflops(model, cluster, cand, overlap, kernel) * speedup < t
+            }) {
                 report.pruned_bound += 1;
             } else {
                 survivors.push(*cand);
@@ -294,9 +331,11 @@ pub fn best_config_with_report(
         // scheduling, never results.
         let threads = threads.min(survivors.len().div_ceil(4));
         let mut results: Vec<Option<Measurement>> = vec![None; survivors.len()];
+        let perturbation = &opts.perturbation;
         if threads <= 1 {
             for (cand, slot) in survivors.iter().zip(results.iter_mut()) {
-                *slot = evaluate_candidate(model, cluster, cache, cand, overlap, kernel);
+                *slot =
+                    evaluate_candidate(model, cluster, cache, cand, overlap, kernel, perturbation);
             }
         } else {
             let per = survivors.len().div_ceil(threads).max(1);
@@ -304,8 +343,15 @@ pub fn best_config_with_report(
                 for (cands, out) in survivors.chunks(per).zip(results.chunks_mut(per)) {
                     s.spawn(move || {
                         for (cand, slot) in cands.iter().zip(out.iter_mut()) {
-                            *slot =
-                                evaluate_candidate(model, cluster, cache, cand, overlap, kernel);
+                            *slot = evaluate_candidate(
+                                model,
+                                cluster,
+                                cache,
+                                cand,
+                                overlap,
+                                kernel,
+                                perturbation,
+                            );
                         }
                     });
                 }
@@ -337,10 +383,26 @@ pub fn best_config_with_report(
     }
 
     report.best = best.as_ref().map(|b| b.measurement.tflops_per_gpu);
+    // Robustness columns: re-simulate the winner under the standardized
+    // reference straggler probe and report how much throughput survives.
+    if let Some(b) = &best {
+        let probe = Perturbation::reference_probe();
+        if let Ok(schedule) =
+            cache.get_or_generate(b.kind, b.cfg.placement, b.cfg.batch.num_microbatches)
+        {
+            if let Ok(m) = simulate_with_schedule_perturbed(
+                model, cluster, &b.cfg, schedule, b.overlap, kernel, &probe,
+            ) {
+                report.robust_tflops = Some(m.tflops_per_gpu);
+                report.retention = Some(m.tflops_per_gpu / b.measurement.tflops_per_gpu);
+            }
+        }
+    }
     report.wall_time = start.elapsed();
     (best, report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate_candidate(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
@@ -348,12 +410,22 @@ fn evaluate_candidate(
     cand: &Candidate,
     overlap: OverlapConfig,
     kernel: &KernelModel,
+    perturbation: &Perturbation,
 ) -> Option<Measurement> {
     let cfg = cand.config();
     let schedule = cache
         .get_or_generate(cand.kind, cfg.placement, cfg.batch.num_microbatches)
         .ok()?;
-    simulate_with_schedule(model, cluster, &cfg, schedule, overlap, kernel).ok()
+    simulate_with_schedule_perturbed(
+        model,
+        cluster,
+        &cfg,
+        schedule,
+        overlap,
+        kernel,
+        perturbation,
+    )
+    .ok()
 }
 
 /// The layered engine's winner, without the report.
@@ -383,7 +455,15 @@ pub fn best_config_exhaustive(
     let mut best: Option<SearchResult> = None;
     for cand in enumerate(model, cluster, method, global_batch, opts) {
         let cfg = cand.config();
-        let Ok(m) = simulate(model, cluster, &cfg, cand.kind, overlap, kernel) else {
+        let Ok(m) = simulate_perturbed(
+            model,
+            cluster,
+            &cfg,
+            cand.kind,
+            overlap,
+            kernel,
+            &opts.perturbation,
+        ) else {
             continue;
         };
         if !m.fits(cluster.node.gpu.memory_bytes) {
@@ -424,6 +504,7 @@ pub fn sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::measure::simulate;
     use bfpp_cluster::presets;
     use bfpp_model::presets as models;
 
@@ -433,6 +514,7 @@ mod tests {
             max_loop: 16,
             max_actions: 60_000,
             threads: 0,
+            perturbation: Perturbation::none(),
         }
     }
 
@@ -646,21 +728,149 @@ mod tests {
             simulated: 30,
             wall_time: Duration::from_millis(12),
             best: Some(51.5),
+            robust_tflops: Some(45.2),
+            retention: Some(0.877),
         };
         assert_eq!(
             SearchReport::csv_header().split(',').count(),
             report.csv_row().split(',').count()
         );
         assert!(report.csv_row().starts_with("100,40,30,30,"));
+        assert!(report.csv_row().ends_with("45.20,87.7"));
+        // A report with no winner renders placeholders, same column count.
+        let empty = SearchReport::default();
+        assert_eq!(
+            SearchReport::csv_header().split(',').count(),
+            empty.csv_row().split(',').count()
+        );
+        assert!(empty.csv_row().ends_with("-,-"));
 
         let mut total = SearchReport::default();
         total.accumulate(&report);
         total.accumulate(&SearchReport {
             enumerated: 10,
             best: Some(60.0),
+            robust_tflops: Some(40.0),
+            retention: Some(0.66),
             ..SearchReport::default()
         });
         assert_eq!(total.enumerated, 110);
         assert_eq!(total.best, Some(60.0));
+        assert_eq!(total.robust_tflops, Some(45.2), "max of the cells");
+        assert_eq!(total.retention, Some(0.66), "most fragile cell");
+    }
+
+    #[test]
+    fn search_report_carries_robustness_columns() {
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let (r, report) = best_config_with_report(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            16,
+            &k,
+            &quick_opts(),
+        );
+        assert!(r.is_some());
+        let robust = report.robust_tflops.expect("winner must be probed");
+        let retention = report.retention.expect("retention derived from probe");
+        assert!(robust > 0.0);
+        assert!(
+            retention > 0.0 && retention <= 1.0,
+            "a 1.5x straggler cannot speed training up: {retention}"
+        );
+    }
+
+    #[test]
+    fn perturbed_search_is_thread_invariant_and_matches_exhaustive() {
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let perturbed = SearchOptions {
+            perturbation: Perturbation::with_seed(11)
+                .with_straggler(2, 1.3)
+                .with_jitter(0.05),
+            ..quick_opts()
+        };
+        let reference =
+            best_config_exhaustive(&model, &cluster, Method::BreadthFirst, 16, &k, &perturbed);
+        assert!(reference.is_some());
+        let mut first: Option<(Option<SearchResult>, SearchReport)> = None;
+        for threads in [1usize, 3] {
+            let opts = SearchOptions {
+                threads,
+                ..perturbed.clone()
+            };
+            let (r, report) =
+                best_config_with_report(&model, &cluster, Method::BreadthFirst, 16, &k, &opts);
+            assert_eq!(
+                r, reference,
+                "threads={threads}: perturbed winner must match the serial reference"
+            );
+            if let Some((pr, prep)) = &first {
+                assert_eq!(&r, pr, "threads={threads}: winner bit-identical");
+                assert_eq!(
+                    (
+                        prep.enumerated,
+                        prep.pruned_memory,
+                        prep.pruned_bound,
+                        prep.simulated
+                    ),
+                    (
+                        report.enumerated,
+                        report.pruned_memory,
+                        report.pruned_bound,
+                        report.simulated
+                    ),
+                    "threads={threads}: perturbed counters thread-invariant"
+                );
+                assert_eq!(prep.robust_tflops, report.robust_tflops);
+            } else {
+                first = Some((r, report));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_magnitude_perturbation_searches_identically() {
+        // A seeded perturbation with no magnitudes is the identity: the
+        // whole search — winner, counters, everything but wall time —
+        // must be bit-identical to the unperturbed engine.
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let (clean_r, clean_rep) = best_config_with_report(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            16,
+            &k,
+            &quick_opts(),
+        );
+        let opts = SearchOptions {
+            perturbation: Perturbation::with_seed(0xDEAD),
+            ..quick_opts()
+        };
+        let (r, rep) =
+            best_config_with_report(&model, &cluster, Method::BreadthFirst, 16, &k, &opts);
+        assert_eq!(r, clean_r);
+        assert_eq!(
+            (
+                rep.enumerated,
+                rep.pruned_memory,
+                rep.pruned_bound,
+                rep.simulated,
+                rep.best
+            ),
+            (
+                clean_rep.enumerated,
+                clean_rep.pruned_memory,
+                clean_rep.pruned_bound,
+                clean_rep.simulated,
+                clean_rep.best
+            )
+        );
     }
 }

@@ -8,7 +8,22 @@ use bfpp_cluster::presets::dgx1_v100;
 use bfpp_exec::search::{best_config_exhaustive, best_config_with_report, Method, SearchOptions};
 use bfpp_exec::KernelModel;
 use bfpp_model::presets::bert_6_6b;
+use bfpp_sim::Perturbation;
 use proptest::prelude::*;
+
+/// The perturbations the property test samples: identity, seeded
+/// identity (must behave exactly like identity), and genuinely degraded
+/// timelines (the engine must stay exhaustive-equivalent under all).
+fn perturbations() -> Vec<Perturbation> {
+    vec![
+        Perturbation::none(),
+        Perturbation::with_seed(42),
+        Perturbation::with_seed(7).with_straggler(0, 1.4),
+        Perturbation::with_seed(9)
+            .with_jitter(0.1)
+            .with_link_degradation(1.2),
+    ]
+}
 
 fn searches() -> impl Strategy<Value = (Method, u64, SearchOptions)> {
     (
@@ -17,19 +32,23 @@ fn searches() -> impl Strategy<Value = (Method, u64, SearchOptions)> {
         proptest::sample::select(vec![2u32, 4]),
         proptest::sample::select(vec![4u32, 8]),
         1usize..5,
+        proptest::sample::select(perturbations()),
     )
-        .prop_map(|(method, batch, max_microbatch, max_loop, threads)| {
-            (
-                method,
-                batch,
-                SearchOptions {
-                    max_microbatch,
-                    max_loop,
-                    max_actions: 20_000,
-                    threads,
-                },
-            )
-        })
+        .prop_map(
+            |(method, batch, max_microbatch, max_loop, threads, perturbation)| {
+                (
+                    method,
+                    batch,
+                    SearchOptions {
+                        max_microbatch,
+                        max_loop,
+                        max_actions: 20_000,
+                        threads,
+                        perturbation,
+                    },
+                )
+            },
+        )
 }
 
 proptest! {
@@ -64,4 +83,85 @@ proptest! {
             engine.as_ref().map(|r| r.measurement.tflops_per_gpu)
         );
     }
+}
+
+/// A fixed perturbation seed must produce bit-identical timelines — and
+/// therefore bit-identical search results and counters — across repeated
+/// runs and across every worker thread count.
+#[test]
+fn fixed_seed_is_bit_identical_across_runs_and_threads() {
+    let model = bert_6_6b();
+    let cluster = dgx1_v100(1);
+    let kernel = KernelModel::v100();
+    let mk = |threads: usize| SearchOptions {
+        max_microbatch: 4,
+        max_loop: 8,
+        max_actions: 20_000,
+        threads,
+        perturbation: Perturbation::with_seed(0xB1F)
+            .with_straggler(0, 1.5)
+            .with_jitter(0.08),
+    };
+    let (first, first_report) =
+        best_config_with_report(&model, &cluster, Method::NonLooped, 16, &kernel, &mk(1));
+    assert!(first.is_some(), "perturbed search must still find a winner");
+    for threads in [1usize, 2, 4] {
+        for _run in 0..2 {
+            let (r, report) = best_config_with_report(
+                &model,
+                &cluster,
+                Method::NonLooped,
+                16,
+                &kernel,
+                &mk(threads),
+            );
+            assert_eq!(r, first, "threads={threads}: winner must be bit-identical");
+            assert_eq!(
+                (
+                    report.enumerated,
+                    report.pruned_memory,
+                    report.pruned_bound,
+                    report.simulated,
+                    report.best,
+                    report.robust_tflops,
+                    report.retention,
+                ),
+                (
+                    first_report.enumerated,
+                    first_report.pruned_memory,
+                    first_report.pruned_bound,
+                    first_report.simulated,
+                    first_report.best,
+                    first_report.robust_tflops,
+                    first_report.retention,
+                ),
+                "threads={threads}: report must be bit-identical"
+            );
+        }
+    }
+}
+
+/// A zero-magnitude (seeded but empty) perturbation is the identity:
+/// the perturbed engine must reproduce the unperturbed one bit-for-bit.
+#[test]
+fn zero_magnitude_equals_unperturbed() {
+    let model = bert_6_6b();
+    let cluster = dgx1_v100(1);
+    let kernel = KernelModel::v100();
+    let base = SearchOptions {
+        max_microbatch: 4,
+        max_loop: 8,
+        max_actions: 20_000,
+        threads: 2,
+        perturbation: Perturbation::none(),
+    };
+    let seeded = SearchOptions {
+        perturbation: Perturbation::with_seed(31337),
+        ..base.clone()
+    };
+    let clean = best_config_with_report(&model, &cluster, Method::NonLooped, 16, &kernel, &base);
+    let zeroed = best_config_with_report(&model, &cluster, Method::NonLooped, 16, &kernel, &seeded);
+    assert_eq!(clean.0, zeroed.0);
+    assert_eq!(clean.1.best, zeroed.1.best);
+    assert_eq!(clean.1.simulated, zeroed.1.simulated);
 }

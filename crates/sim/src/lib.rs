@@ -37,6 +37,7 @@
 
 mod critical_path;
 mod graph;
+mod perturb;
 mod solver;
 mod stats;
 mod time;
@@ -44,6 +45,7 @@ mod trace;
 
 pub use critical_path::CriticalPath;
 pub use graph::{Op, OpGraph, OpId, ResourceId};
+pub use perturb::{OpClass, Perturbation};
 pub use solver::{DeadlockError, ScheduledOp, Timeline};
 pub use stats::{ResourceStats, UtilizationSummary};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,414 @@
+//! Seeded, deterministic perturbation of operation durations.
+//!
+//! A [`Perturbation`] models a *degraded* cluster: per-op duration
+//! jitter, per-device straggler multipliers, per-link bandwidth
+//! degradation and transient stall events. It is applied when lowering
+//! op durations (see `bfpp-exec`), so the whole fault model lives in
+//! the durations and the solver stays untouched.
+//!
+//! Determinism is the load-bearing property: the factor applied to an
+//! op is a **pure hash** of (perturbation fingerprint, device, op
+//! class, salt) — there is no sequential RNG state — so the same seed
+//! yields the same timeline no matter how many threads evaluate
+//! candidates or in what order ops are perturbed. An *identity*
+//! perturbation (all magnitudes zero / multipliers 1) returns the base
+//! duration bit-for-bit, so the unperturbed path is exactly preserved.
+//!
+//! Magnitude constraints keep analytic pruning sound: stragglers and
+//! link degradation may only *slow* ops down (multipliers ≥ 1), and
+//! jitter is bounded (`jitter_frac < 1`), so the throughput upper
+//! bound of a perturbed run exceeds the unperturbed bound by at most
+//! [`Perturbation::max_speedup`].
+
+use crate::time::SimDuration;
+
+/// Which kind of work an operation represents, for perturbation
+/// purposes: compute kernels feel device stragglers, communication
+/// feels link degradation; both feel jitter and stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// A compute kernel on a device.
+    Compute,
+    /// A network transfer or collective.
+    Communication,
+}
+
+/// A seeded, deterministic perturbation of op durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perturbation {
+    seed: u64,
+    /// Symmetric per-op jitter: factor drawn from `[1 - j, 1 + j)`.
+    jitter_frac: f64,
+    /// Multiplier (≥ 1) on every communication op.
+    link_degradation: f64,
+    /// Per-op probability of a transient stall.
+    stall_probability: f64,
+    /// Duration added when a stall fires.
+    stall: SimDuration,
+    /// Per-device compute multipliers (≥ 1), sorted by device id.
+    stragglers: Vec<(u32, f64)>,
+}
+
+/// Mixes a 64-bit value through the splitmix64 finalizer — the standard
+/// statistically strong bijection; good enough to decorrelate per-op
+/// draws from structured (device, salt) inputs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from 53 hash bits.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Perturbation {
+    /// The identity perturbation: no jitter, no stragglers, no
+    /// degradation, no stalls. Applying it returns every duration
+    /// unchanged, bit-for-bit.
+    pub fn none() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// An identity-magnitude perturbation carrying `seed`. Until a
+    /// magnitude is set via the builder methods this is still the
+    /// identity (the seed alone changes nothing).
+    pub fn with_seed(seed: u64) -> Self {
+        Perturbation {
+            seed,
+            jitter_frac: 0.0,
+            link_degradation: 1.0,
+            stall_probability: 0.0,
+            stall: SimDuration::ZERO,
+            stragglers: Vec::new(),
+        }
+    }
+
+    /// Sets symmetric per-op duration jitter: each op's duration is
+    /// scaled by a factor drawn uniformly from `[1 - frac, 1 + frac)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= frac < 1` (a factor of zero or below would
+    /// let ops vanish and break the pruning bound).
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0, 1), got {frac}"
+        );
+        self.jitter_frac = frac;
+        self
+    }
+
+    /// Marks `device` as a straggler: all its compute ops are slowed by
+    /// `multiplier`. Setting a device twice replaces its multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier < 1` — stragglers may only slow devices
+    /// down (speedups would invalidate the search's pruning bound).
+    pub fn with_straggler(mut self, device: u32, multiplier: f64) -> Self {
+        assert!(
+            multiplier >= 1.0 && multiplier.is_finite(),
+            "straggler multiplier must be >= 1, got {multiplier}"
+        );
+        match self.stragglers.binary_search_by_key(&device, |&(d, _)| d) {
+            Ok(i) => self.stragglers[i].1 = multiplier,
+            Err(i) => self.stragglers.insert(i, (device, multiplier)),
+        }
+        self
+    }
+
+    /// Slows every communication op by `multiplier` (degraded links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier < 1`.
+    pub fn with_link_degradation(mut self, multiplier: f64) -> Self {
+        assert!(
+            multiplier >= 1.0 && multiplier.is_finite(),
+            "link degradation must be >= 1, got {multiplier}"
+        );
+        self.link_degradation = multiplier;
+        self
+    }
+
+    /// Adds transient stall events: each op independently stalls for
+    /// `stall` extra time with probability `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= probability <= 1`.
+    pub fn with_stalls(mut self, probability: f64, stall: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "stall probability must be in [0, 1], got {probability}"
+        );
+        self.stall_probability = probability;
+        self.stall = stall;
+        self
+    }
+
+    /// The reference probe used for robustness reporting: a fixed-seed
+    /// 1.5× straggler on device 0. One shared definition keeps the
+    /// search report's robustness columns comparable across runs.
+    pub fn reference_probe() -> Self {
+        Self::with_seed(0xB1F).with_straggler(0, 1.5)
+    }
+
+    /// True when applying this perturbation cannot change any duration
+    /// (all magnitudes are zero / all multipliers are one). Identity
+    /// perturbations short-circuit in [`Perturbation::perturb`], so the
+    /// perturbed path is bit-identical to the unperturbed one.
+    pub fn is_identity(&self) -> bool {
+        self.jitter_frac == 0.0
+            && self.link_degradation == 1.0
+            && (self.stall_probability == 0.0 || self.stall.is_zero())
+            && self.stragglers.iter().all(|&(_, m)| m == 1.0)
+    }
+
+    /// A stable 64-bit digest of every field, usable as a cache /
+    /// candidate-identity key: two perturbations with the same
+    /// fingerprint produce the same timeline for the same graph.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = splitmix64(self.seed ^ 0x6266_7070); // "bfpp"
+        let mut mix = |v: u64| h = splitmix64(h ^ v);
+        mix(self.jitter_frac.to_bits());
+        mix(self.link_degradation.to_bits());
+        mix(self.stall_probability.to_bits());
+        mix(self.stall.as_nanos());
+        for &(d, m) in &self.stragglers {
+            mix(u64::from(d));
+            mix(m.to_bits());
+        }
+        h
+    }
+
+    /// The compute multiplier of `device` (1 unless it is a straggler).
+    pub fn straggler_multiplier(&self, device: u32) -> f64 {
+        self.stragglers
+            .binary_search_by_key(&device, |&(d, _)| d)
+            .map(|i| self.stragglers[i].1)
+            .unwrap_or(1.0)
+    }
+
+    /// The largest factor by which this perturbation can *shorten* an
+    /// op: `1 / (1 - jitter_frac)` (only jitter can speed ops up; all
+    /// other knobs are constrained ≥ 1). The search scales its
+    /// throughput upper bound by this so pruning stays sound under
+    /// perturbation.
+    pub fn max_speedup(&self) -> f64 {
+        1.0 / (1.0 - self.jitter_frac)
+    }
+
+    /// Perturbs one op duration. `salt` disambiguates ops that share a
+    /// (device, class) — callers pass a per-op stable value (e.g. the
+    /// op's index in its graph). Identity perturbations and
+    /// zero-length ops return `base` unchanged.
+    pub fn perturb(
+        &self,
+        base: SimDuration,
+        class: OpClass,
+        device: u32,
+        salt: u64,
+    ) -> SimDuration {
+        if self.is_identity() || base.is_zero() {
+            return base;
+        }
+        let class_bits = match class {
+            OpClass::Compute => 0x43u64,       // 'C'
+            OpClass::Communication => 0x4du64, // 'M'
+        };
+        let key = splitmix64(self.fingerprint() ^ splitmix64(salt))
+            ^ splitmix64((u64::from(device) << 8) | class_bits);
+
+        let mut factor = if self.jitter_frac > 0.0 {
+            1.0 + self.jitter_frac * (2.0 * unit_f64(splitmix64(key ^ 1)) - 1.0)
+        } else {
+            1.0
+        };
+        match class {
+            OpClass::Compute => factor *= self.straggler_multiplier(device),
+            OpClass::Communication => factor *= self.link_degradation,
+        }
+        let mut nanos = (base.as_nanos() as f64 * factor).round() as u64;
+        if self.stall_probability > 0.0
+            && !self.stall.is_zero()
+            && unit_f64(splitmix64(key ^ 2)) < self.stall_probability
+        {
+            nanos += self.stall.as_nanos();
+        }
+        SimDuration::from_nanos(nanos)
+    }
+}
+
+impl Default for Perturbation {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn identity_returns_base_bit_for_bit() {
+        let p = Perturbation::none();
+        assert!(p.is_identity());
+        for ns in [0u64, 1, 17, 123_456_789] {
+            let base = SimDuration::from_nanos(ns);
+            assert_eq!(p.perturb(base, OpClass::Compute, 0, 9), base);
+            assert_eq!(p.perturb(base, OpClass::Communication, 3, 42), base);
+        }
+        // A seed alone is still the identity.
+        assert!(Perturbation::with_seed(77).is_identity());
+        assert_eq!(
+            Perturbation::with_seed(77).perturb(
+                SimDuration::from_nanos(100),
+                OpClass::Compute,
+                1,
+                2
+            ),
+            SimDuration::from_nanos(100)
+        );
+    }
+
+    #[test]
+    fn same_inputs_same_output() {
+        let p = Perturbation::with_seed(42)
+            .with_jitter(0.1)
+            .with_straggler(2, 1.5)
+            .with_link_degradation(1.2)
+            .with_stalls(0.05, SimDuration::from_millis(1));
+        let q = p.clone();
+        for salt in 0..100u64 {
+            for dev in 0..4 {
+                for class in [OpClass::Compute, OpClass::Communication] {
+                    let base = SimDuration::from_nanos(10 * MS + salt);
+                    assert_eq!(
+                        p.perturb(base, class, dev, salt),
+                        q.perturb(base, class, dev, salt),
+                        "pure function of its inputs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Perturbation::with_seed(1).with_jitter(0.2);
+        let b = Perturbation::with_seed(2).with_jitter(0.2);
+        let base = SimDuration::from_nanos(10 * MS);
+        let differs = (0..32u64).any(|s| {
+            a.perturb(base, OpClass::Compute, 0, s) != b.perturb(base, OpClass::Compute, 0, s)
+        });
+        assert!(differs, "seeds must decorrelate the draws");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn straggler_slows_only_its_device_compute() {
+        let p = Perturbation::with_seed(7).with_straggler(1, 2.0);
+        let base = SimDuration::from_nanos(10 * MS);
+        assert_eq!(p.perturb(base, OpClass::Compute, 0, 3), base);
+        assert_eq!(
+            p.perturb(base, OpClass::Compute, 1, 3),
+            SimDuration::from_nanos(20 * MS)
+        );
+        // Communication on the straggler device is unaffected.
+        assert_eq!(p.perturb(base, OpClass::Communication, 1, 3), base);
+        assert_eq!(p.straggler_multiplier(1), 2.0);
+        assert_eq!(p.straggler_multiplier(0), 1.0);
+        // Re-setting replaces, does not duplicate.
+        let p = p.with_straggler(1, 3.0);
+        assert_eq!(p.straggler_multiplier(1), 3.0);
+    }
+
+    #[test]
+    fn link_degradation_slows_only_communication() {
+        let p = Perturbation::with_seed(7).with_link_degradation(1.5);
+        let base = SimDuration::from_nanos(10 * MS);
+        assert_eq!(p.perturb(base, OpClass::Compute, 0, 3), base);
+        assert_eq!(
+            p.perturb(base, OpClass::Communication, 0, 3),
+            SimDuration::from_nanos(15 * MS)
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_varies() {
+        let j = 0.25;
+        let p = Perturbation::with_seed(5).with_jitter(j);
+        let base = SimDuration::from_nanos(1000 * MS);
+        let mut seen = std::collections::HashSet::new();
+        for salt in 0..200u64 {
+            let d = p.perturb(base, OpClass::Compute, 0, salt);
+            let ratio = d.as_nanos() as f64 / base.as_nanos() as f64;
+            assert!(
+                (1.0 - j - 1e-9..1.0 + j + 1e-9).contains(&ratio),
+                "jitter out of range: {ratio}"
+            );
+            seen.insert(d.as_nanos());
+        }
+        assert!(seen.len() > 100, "draws must vary across salts");
+        assert!((p.max_speedup() - 1.0 / (1.0 - j)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalls_fire_at_roughly_the_requested_rate() {
+        let p = Perturbation::with_seed(9).with_stalls(0.25, SimDuration::from_millis(5));
+        let base = SimDuration::from_nanos(MS);
+        let n = 2000;
+        let stalled = (0..n)
+            .filter(|&salt| p.perturb(base, OpClass::Compute, 0, salt) > base)
+            .count();
+        let rate = stalled as f64 / n as f64;
+        assert!(
+            (0.18..0.32).contains(&rate),
+            "stall rate {rate} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = Perturbation::with_seed(3);
+        let variants = [
+            base.clone().with_jitter(0.1),
+            base.clone().with_straggler(0, 1.5),
+            base.clone().with_straggler(1, 1.5),
+            base.clone().with_link_degradation(2.0),
+            base.clone().with_stalls(0.1, SimDuration::from_millis(1)),
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(Perturbation::fingerprint).collect();
+        prints.push(base.fingerprint());
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), variants.len() + 1, "all distinct");
+    }
+
+    #[test]
+    fn reference_probe_is_a_straggler_probe() {
+        let p = Perturbation::reference_probe();
+        assert!(!p.is_identity());
+        assert_eq!(p.straggler_multiplier(0), 1.5);
+        assert_eq!(p.max_speedup(), 1.0, "the probe must not speed anything up");
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler multiplier must be >= 1")]
+    fn speedup_stragglers_rejected() {
+        let _ = Perturbation::none().with_straggler(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction must be in [0, 1)")]
+    fn full_jitter_rejected() {
+        let _ = Perturbation::none().with_jitter(1.0);
+    }
+}

@@ -72,6 +72,13 @@ pub struct DeadlockError {
     pub stuck_op: OpId,
     /// The resource whose queue is blocked at `stuck_op`.
     pub resource: ResourceId,
+    /// The name of that resource (captured at solve time, so the error
+    /// is self-describing without the graph).
+    pub resource_name: String,
+    /// The unresolvable blocking cycle, starting at an op on it: each op
+    /// waits (through a dependency edge or FIFO queue order) for the
+    /// next, and the last waits for the first.
+    pub cycle: Vec<OpId>,
     /// Number of operations that never ran.
     pub unscheduled: usize,
 }
@@ -80,16 +87,55 @@ impl fmt::Display for DeadlockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "schedule deadlock: op #{} at the head of resource #{} can never start \
-             ({} ops unscheduled)",
+            "schedule deadlock: op #{} at the head of resource #{} (\"{}\") can never start; \
+             blocking cycle: ",
             self.stuck_op.index(),
             self.resource.index(),
-            self.unscheduled
-        )
+            self.resource_name,
+        )?;
+        for op in &self.cycle {
+            write!(f, "#{} -> ", op.index())?;
+        }
+        match self.cycle.first() {
+            Some(first) => write!(f, "#{}", first.index())?,
+            None => f.write_str("(unknown)")?,
+        }
+        write!(f, " ({} ops unscheduled)", self.unscheduled)
     }
 }
 
 impl Error for DeadlockError {}
+
+/// In a stalled solver state, finds the cycle of mutually blocking ops
+/// reachable from `start`: every unscheduled op is blocked either by an
+/// unfinished dependency or (when its deps are all done) by the current
+/// head of its resource's FIFO queue. Following that single "binding
+/// blocker" edge from any blocked op must revisit a node — that loop is
+/// the unresolvable cycle.
+fn blocking_cycle<T>(
+    graph: &OpGraph<T>,
+    end: &[Option<SimTime>],
+    queue_pos: &[usize],
+    start: OpId,
+) -> Vec<OpId> {
+    let mut seen_at: Vec<Option<usize>> = vec![None; graph.ops.len()];
+    let mut chain: Vec<OpId> = Vec::new();
+    let mut cur = start;
+    loop {
+        if let Some(at) = seen_at[cur.index()] {
+            return chain[at..].to_vec();
+        }
+        seen_at[cur.index()] = Some(chain.len());
+        chain.push(cur);
+        let op = &graph.ops[cur.index()];
+        cur = match op.deps.iter().copied().find(|d| end[d.index()].is_none()) {
+            Some(dep) => dep,
+            // Deps all done yet unscheduled: blocked behind its queue's
+            // current (dep-blocked) head.
+            None => graph.resource_queues[op.resource.index()][queue_pos[op.resource.index()]],
+        };
+    }
+}
 
 /// Solves the graph: every resource executes its queue in order; an op
 /// starts at `max(resource free, all deps done)`.
@@ -152,6 +198,8 @@ pub(crate) fn solve<T>(graph: &OpGraph<T>) -> Result<Timeline, DeadlockError> {
             return Err(DeadlockError {
                 stuck_op: stuck,
                 resource: ResourceId(r as u32),
+                resource_name: graph.resource_names[r].clone(),
+                cycle: blocking_cycle(graph, &end, &queue_pos, stuck),
                 unscheduled: n - scheduled_count,
             });
         }
@@ -256,6 +304,43 @@ mod tests {
         assert_eq!(err.stuck_op, head);
         assert_eq!(err.unscheduled, 2);
         assert!(err.to_string().contains("deadlock"));
+        assert_eq!(err.cycle, vec![head, tail]);
+    }
+
+    #[test]
+    fn deadlock_message_names_the_stuck_cycle() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("gpu0.compute");
+        let head = g.add_op(r, ns(1), &[], ());
+        let tail = g.add_op(r, ns(1), &[], ());
+        g.add_dep(head, tail);
+        let err = g.solve().unwrap_err();
+        let msg = err.to_string();
+        assert_eq!(
+            msg,
+            "schedule deadlock: op #0 at the head of resource #0 (\"gpu0.compute\") \
+             can never start; blocking cycle: #0 -> #1 -> #0 (2 ops unscheduled)"
+        );
+        let _ = (head, tail);
+    }
+
+    #[test]
+    fn cross_resource_cycle_is_reported_in_full() {
+        // a (on r1) -> b (on r2) -> c (on r1, behind a): c waits for b's
+        // dep a... build a 3-op loop through a FIFO edge.
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let x = g.add_op(r1, ns(1), &[], ());
+        let y = g.add_op(r2, ns(1), &[x], ());
+        g.add_dep(x, y); // x -> y -> x across resources
+        let err = g.solve().unwrap_err();
+        assert_eq!(err.cycle.len(), 2);
+        assert!(err.cycle.contains(&x) && err.cycle.contains(&y));
+        assert!(err.to_string().contains(&format!("#{}", x.index())));
+        assert!(err.to_string().contains(&format!("#{}", y.index())));
+        // The named resource matches the reported stuck head.
+        assert_eq!(err.resource_name, g.resource_name(err.resource));
     }
 
     #[test]

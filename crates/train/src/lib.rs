@@ -19,6 +19,13 @@
 //! serial reference (bit-for-bit for the unsharded and partially sharded
 //! variants, whose reduction orders we make deterministic).
 //!
+//! Device threads run inside a panic-catching harness: a worker that
+//! panics or errors poisons its collective group and drops its channels,
+//! so peers fail fast with a typed [`pipeline::TrainError`] instead of
+//! deadlocking, and transient faults can be retried with
+//! [`pipeline::run_batch_with_retry`] (see the [`pipeline`] module docs
+//! for the fault model).
+//!
 //! ```
 //! use bfpp_core::ScheduleKind;
 //! use bfpp_parallel::{DataParallelism, Placement};

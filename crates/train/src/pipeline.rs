@@ -17,11 +17,39 @@
 //!   gradients are flushed with a reduce-scatter (ZeRO-3, with exactly
 //!   the per-schedule repetition the paper analyzes in §4.2 — one
 //!   gather/flush pair per run, so breadth-first pays the minimum).
+//!
+//! # Fault handling
+//!
+//! Every device thread runs inside a panic-catching harness. A thread
+//! that panics, loses a channel peer, or sees a collective fail does not
+//! strand the rest of the step:
+//!
+//! * its channel endpoints drop, so pipeline neighbours blocked on
+//!   send/recv fail fast with a typed channel error;
+//! * its data-parallel communication group is *poisoned*, so replicas
+//!   blocked in a collective return
+//!   [`bfpp_collectives::thread::CollectiveError::PeerFailed`] instead of
+//!   hanging (with the group's rendezvous deadline as a backstop);
+//! * the step as a whole returns a [`TrainError`] identifying the device
+//!   and replica where the failure *originated* (injected faults and
+//!   panics outrank the secondary channel/collective errors they cause).
+//!
+//! [`try_run_batch_stateful`] surfaces these errors; [`run_batch`] and
+//! [`run_batch_stateful`] keep their infallible signatures and panic on
+//! them. [`run_batch_with_retry`] retries a failed step from pristine
+//! inputs with bounded exponential backoff, for transient faults
+//! (injected via [`FaultPlan`] in tests and resilience experiments).
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-use bfpp_collectives::thread::{CommGroup, CommHandle};
+use bfpp_collectives::thread::{CollectiveError, CommGroup, CommHandle, PoisonReason};
 use bfpp_core::{Direction, Schedule, ScheduleKind};
 use bfpp_parallel::{DataParallelism, Placement, StageId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -69,6 +97,157 @@ pub struct TrainResult {
     pub mean_loss: f32,
 }
 
+/// Why a device thread failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The thread panicked; the payload message is preserved.
+    Panicked(String),
+    /// A data-parallel collective failed (peer died or rendezvous timed
+    /// out).
+    Collective(CollectiveError),
+    /// A pipeline stage-boundary channel disconnected (the peer device
+    /// thread is gone).
+    ChannelClosed {
+        /// What the thread was doing when the channel died.
+        what: &'static str,
+    },
+    /// A [`FaultPlan`] fired with [`FaultKind::Error`].
+    InjectedFault,
+}
+
+impl FailureReason {
+    /// Primary reasons are root causes; channel/collective errors are
+    /// usually secondary damage radiating from one.
+    fn is_primary(&self) -> bool {
+        matches!(
+            self,
+            FailureReason::Panicked(_) | FailureReason::InjectedFault
+        )
+    }
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureReason::Panicked(msg) => write!(f, "panicked: {msg}"),
+            FailureReason::Collective(e) => write!(f, "collective failed: {e}"),
+            FailureReason::ChannelClosed { what } => {
+                write!(f, "pipeline channel closed while {what}")
+            }
+            FailureReason::InjectedFault => f.write_str("injected transient fault"),
+        }
+    }
+}
+
+/// A pipelined training step failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// A device thread failed; the step's partial work was discarded.
+    DeviceFailed {
+        /// Pipeline device of the failing thread.
+        device: u32,
+        /// Data-parallel replica of the failing thread.
+        replica: u32,
+        /// Why it failed.
+        reason: FailureReason,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::DeviceFailed {
+                device,
+                replica,
+                reason,
+            } => write!(
+                f,
+                "pipeline step failed: device {device} (replica {replica}) {reason}"
+            ),
+        }
+    }
+}
+
+impl Error for TrainError {}
+
+/// How an injected fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The device thread panics (exercises the catch/poison path).
+    Panic,
+    /// The device thread returns a typed error (exercises graceful
+    /// shutdown).
+    Error,
+}
+
+/// A deterministic fault to inject into one device thread, for tests and
+/// resilience experiments. The fault fires at the device's first backward
+/// action, once per run attempt, until its budget is exhausted — so a
+/// budget of `k` makes the first `k` attempts fail and every later one
+/// succeed (a *transient* fault under retry).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Pipeline device to sabotage.
+    pub device: u32,
+    /// Data-parallel replica to sabotage.
+    pub replica: u32,
+    /// How the fault manifests.
+    pub kind: FaultKind,
+    budget: Arc<AtomicU32>,
+}
+
+impl FaultPlan {
+    /// A fault on `(device, replica)` that fires on the first
+    /// `failing_attempts` run attempts (clones share the budget).
+    pub fn transient(device: u32, replica: u32, failing_attempts: u32, kind: FaultKind) -> Self {
+        FaultPlan {
+            device,
+            replica,
+            kind,
+            budget: Arc::new(AtomicU32::new(failing_attempts)),
+        }
+    }
+
+    /// Consumes one unit of budget; true if the fault should fire now.
+    fn fire(&self) -> bool {
+        self.budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Bounded retry with exponential backoff for [`run_batch_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Sleep before retry `k` is `backoff * 2^(k-1)`.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Fault-handling knobs of one pipelined step. Kept separate from
+/// [`TrainSpec`] (which describes the *training computation*) so specs
+/// stay comparable across runs regardless of harness settings.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessOptions {
+    /// Fault to inject, if any.
+    pub fault: Option<FaultPlan>,
+    /// Retry policy for [`run_batch_with_retry`].
+    pub retry: RetryPolicy,
+    /// Rendezvous deadline for the data-parallel collectives; `None`
+    /// uses [`bfpp_collectives::thread::DEFAULT_TIMEOUT`].
+    pub collective_timeout: Option<Duration>,
+}
+
 /// A message crossing a stage boundary.
 type Packet = (u32, Tensor);
 
@@ -97,11 +276,10 @@ struct DeviceOutcome {
 /// # Panics
 ///
 /// Panics if shapes disagree with the spec, or the schedule cannot be
-/// generated (e.g. depth-first with `n_mb` not a multiple of `N_PP`).
-/// A panic inside a device thread (e.g. a shape error) propagates;
-/// channel peers fail fast on the disconnect, but threads blocked in a
-/// data-parallel *collective* at that moment will wait — this executor is
-/// a correctness harness, not a fault-tolerant runtime.
+/// generated (e.g. depth-first with `n_mb` not a multiple of `N_PP`),
+/// or a device thread fails (see [`try_run_batch_stateful`] for the
+/// fallible form — device panics are caught there and surfaced as
+/// [`TrainError`]; peers fail fast instead of hanging).
 pub fn run_batch(
     spec: &TrainSpec,
     stages: Vec<Stage>,
@@ -130,6 +308,42 @@ pub fn run_batch_stateful(
     inputs: &[Tensor],
     targets: &[Tensor],
 ) -> (TrainResult, Vec<OptimizerState>) {
+    try_run_batch_stateful(
+        spec,
+        stages,
+        states,
+        inputs,
+        targets,
+        &HarnessOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// As [`run_batch_stateful`] with explicit [`HarnessOptions`], returning
+/// [`TrainError`] instead of panicking when a device thread fails: the
+/// failing thread's panic is caught, its communication group is poisoned
+/// so data-parallel peers unblock, its channels disconnect so pipeline
+/// neighbours fail fast, and the error names the device and replica
+/// where the failure originated.
+///
+/// # Errors
+///
+/// [`TrainError::DeviceFailed`] when any device thread panics, loses a
+/// peer, fails a collective, or trips an injected fault.
+///
+/// # Panics
+///
+/// Panics on *caller* contract violations: shape mismatches with the
+/// spec, an ungenerable schedule, or a `states`/`stages` length mismatch
+/// (all detected before any thread spawns).
+pub fn try_run_batch_stateful(
+    spec: &TrainSpec,
+    stages: Vec<Stage>,
+    states: Vec<OptimizerState>,
+    inputs: &[Tensor],
+    targets: &[Tensor],
+    harness: &HarnessOptions,
+) -> Result<(TrainResult, Vec<OptimizerState>), TrainError> {
     let n_stage = spec.placement.num_stages();
     assert_eq!(states.len(), stages.len(), "one optimizer state per stage");
     let n_pp = spec.placement.n_pp();
@@ -151,8 +365,12 @@ pub fn run_batch_stateful(
     schedule.validate().expect("generated schedules are valid");
 
     // Per-pipeline-device communication groups across replicas.
-    let mut comms: Vec<Vec<CommHandle>> =
-        (0..n_pp).map(|_| CommGroup::new(n_dp as usize)).collect();
+    let comm_timeout = harness
+        .collective_timeout
+        .unwrap_or(bfpp_collectives::thread::DEFAULT_TIMEOUT);
+    let mut comms: Vec<Vec<CommHandle>> = (0..n_pp)
+        .map(|_| CommGroup::with_timeout(n_dp as usize, comm_timeout))
+        .collect();
 
     // Channels per replica per boundary.
     let mut wirings: Vec<Wiring> = Vec::with_capacity(n_dp as usize);
@@ -174,7 +392,8 @@ pub fn run_batch_stateful(
         wirings.push(w);
     }
 
-    let mut outcomes: Vec<DeviceOutcome> = Vec::new();
+    // (device, replica, what the thread produced), in spawn order.
+    let mut results: Vec<(u32, u32, Result<DeviceOutcome, FailureReason>)> = Vec::new();
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for r in 0..n_dp {
@@ -229,21 +448,133 @@ pub fn run_batch_stateful(
                     targets[(r * spec.n_mb) as usize..((r + 1) * spec.n_mb) as usize].to_vec();
                 let schedule = &schedule;
                 let spec = spec.clone();
-                handles.push(scope.spawn(move || {
-                    device_main(
-                        &spec, schedule, d, r, my_stages, my_states, comm, fwd_send, fwd_recv,
-                        bwd_send, bwd_recv, my_inputs, my_targets,
-                    )
-                }));
+                let fault = harness.fault.clone();
+                handles.push((
+                    d,
+                    r,
+                    scope.spawn(move || {
+                        // Catch panics so one bad device cannot tear the whole
+                        // process down, then poison its collective group so
+                        // replicas blocked in a rendezvous unblock. Channel
+                        // endpoints are owned by `device_main`, so either exit
+                        // path drops them and pipeline neighbours fail fast.
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            device_main(
+                                &spec,
+                                schedule,
+                                d,
+                                r,
+                                my_stages,
+                                my_states,
+                                &comm,
+                                fwd_send,
+                                fwd_recv,
+                                bwd_send,
+                                bwd_recv,
+                                my_inputs,
+                                my_targets,
+                                fault.as_ref(),
+                            )
+                        }));
+                        match caught {
+                            Ok(Ok(outcome)) => Ok(outcome),
+                            Ok(Err(reason)) => {
+                                comm.poison(PoisonReason::Shutdown);
+                                Err(reason)
+                            }
+                            Err(payload) => {
+                                comm.poison(PoisonReason::Panicked);
+                                Err(FailureReason::Panicked(panic_message(payload.as_ref())))
+                            }
+                        }
+                    }),
+                ));
             }
         }
-        for h in handles {
-            outcomes.push(h.join().expect("device thread must not panic"));
+        for (d, r, h) in handles {
+            // `join` only fails if the harness itself panicked (the device
+            // body is behind `catch_unwind`); fold that into a failure too.
+            let res = h.join().unwrap_or_else(|payload| {
+                Err(FailureReason::Panicked(panic_message(payload.as_ref())))
+            });
+            results.push((d, r, res));
         }
     });
 
+    let mut outcomes: Vec<DeviceOutcome> = Vec::with_capacity(results.len());
+    let mut failures: Vec<(u32, u32, FailureReason)> = Vec::new();
+    for (d, r, res) in results {
+        match res {
+            Ok(o) => outcomes.push(o),
+            Err(reason) => failures.push((d, r, reason)),
+        }
+    }
+    if !failures.is_empty() {
+        // Report the root cause: a panic or injected fault outranks the
+        // channel/collective errors it radiates to the other threads.
+        // Ties break by spawn order.
+        let idx = failures
+            .iter()
+            .position(|(_, _, reason)| reason.is_primary())
+            .unwrap_or(0);
+        let (device, replica, reason) = failures.swap_remove(idx);
+        return Err(TrainError::DeviceFailed {
+            device,
+            replica,
+            reason,
+        });
+    }
+
     let stage_sizes: Vec<usize> = stages.iter().map(Stage::num_params).collect();
-    assemble(spec, stages.len(), &stage_sizes, outcomes)
+    Ok(assemble(spec, stages.len(), &stage_sizes, outcomes))
+}
+
+/// Retries [`try_run_batch_stateful`] per `harness.retry`, restarting
+/// each attempt from the pristine `stages`/`states` the caller passed —
+/// so a step that eventually succeeds is bit-identical to one that never
+/// failed. Sleeps `backoff * 2^(k-1)` before retry `k`.
+///
+/// # Errors
+///
+/// The last attempt's [`TrainError`] once retries are exhausted.
+pub fn run_batch_with_retry(
+    spec: &TrainSpec,
+    stages: &[Stage],
+    states: &[OptimizerState],
+    inputs: &[Tensor],
+    targets: &[Tensor],
+    harness: &HarnessOptions,
+) -> Result<(TrainResult, Vec<OptimizerState>), TrainError> {
+    let mut attempt = 0u32;
+    loop {
+        match try_run_batch_stateful(
+            spec,
+            stages.to_vec(),
+            states.to_vec(),
+            inputs,
+            targets,
+            harness,
+        ) {
+            Ok(out) => return Ok(out),
+            Err(_) if attempt < harness.retry.max_retries => {
+                attempt += 1;
+                let exp = 1u32 << (attempt - 1).min(16);
+                thread::sleep(harness.retry.backoff.saturating_mul(exp));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn assemble(
@@ -325,14 +656,15 @@ fn device_main(
     replica: u32,
     mut my_stages: Vec<(StageId, Stage)>,
     mut my_states: Vec<OptimizerState>,
-    comm: CommHandle,
+    comm: &CommHandle,
     fwd_send: Vec<Option<Sender<Packet>>>,
     fwd_recv: Vec<Option<Receiver<Packet>>>,
     bwd_send: Vec<Option<Sender<Packet>>>,
     bwd_recv: Vec<Option<Receiver<Packet>>>,
     inputs: Vec<Tensor>,
     targets: Vec<Tensor>,
-) -> DeviceOutcome {
+    fault: Option<&FaultPlan>,
+) -> Result<DeviceOutcome, FailureReason> {
     let n_stage = spec.placement.num_stages();
     let n_dp = spec.n_dp as usize;
     let use_fs = spec.dp == DataParallelism::FullySharded;
@@ -389,7 +721,9 @@ fn device_main(
 
         // FS: reconstruct this run's weights from the shards.
         if use_fs && run_start.contains_key(&i) {
-            let full = comm.all_gather(&param_shard[si]);
+            let full = comm
+                .try_all_gather(&param_shard[si])
+                .map_err(FailureReason::Collective)?;
             let n = my_stages[si].1.num_params();
             my_stages[si].1.set_param_vector(&full[..n]);
         }
@@ -402,7 +736,9 @@ fn device_main(
                     let rx = fwd_recv[(a.stage.0 - 1) as usize]
                         .as_ref()
                         .expect("boundary channel exists");
-                    let (mb, tensor) = rx.recv().expect("upstream alive");
+                    let (mb, tensor) = rx.recv().map_err(|_| FailureReason::ChannelClosed {
+                        what: "receiving forward activations",
+                    })?;
                     assert_eq!(mb, a.microbatch, "forward packet order mismatch");
                     tensor
                 };
@@ -419,10 +755,22 @@ fn device_main(
                         .as_ref()
                         .expect("boundary channel exists")
                         .send((a.microbatch, out))
-                        .expect("downstream alive");
+                        .map_err(|_| FailureReason::ChannelClosed {
+                            what: "sending forward activations",
+                        })?;
                 }
             }
             Direction::Backward => {
+                if let Some(plan) = fault {
+                    if plan.device == device && plan.replica == replica && plan.fire() {
+                        match plan.kind {
+                            FaultKind::Panic => {
+                                panic!("injected fault: device {device} replica {replica}")
+                            }
+                            FaultKind::Error => return Err(FailureReason::InjectedFault),
+                        }
+                    }
+                }
                 let grad_out = if a.stage == last_stage {
                     let pred = pred_stash.remove(&a.microbatch).expect("forward ran");
                     let (loss, grad) = mse(&pred, &targets[a.microbatch as usize]);
@@ -432,7 +780,9 @@ fn device_main(
                     let rx = bwd_recv[a.stage.0 as usize]
                         .as_ref()
                         .expect("boundary channel exists");
-                    let (mb, tensor) = rx.recv().expect("downstream alive");
+                    let (mb, tensor) = rx.recv().map_err(|_| FailureReason::ChannelClosed {
+                        what: "receiving backward gradients",
+                    })?;
                     assert_eq!(mb, a.microbatch, "backward packet order mismatch");
                     tensor
                 };
@@ -451,7 +801,9 @@ fn device_main(
                         .as_ref()
                         .expect("boundary channel exists")
                         .send((a.microbatch, grad_in))
-                        .expect("upstream alive");
+                        .map_err(|_| FailureReason::ChannelClosed {
+                            what: "sending backward gradients",
+                        })?;
                 }
             }
         }
@@ -460,7 +812,9 @@ fn device_main(
         // buffers are about to be evicted).
         if use_fs && a.dir == Direction::Backward && run_end.contains_key(&i) {
             let flat = padded(&pending[si], n_dp);
-            let shard = comm.reduce_scatter(&flat);
+            let shard = comm
+                .try_reduce_scatter(&flat)
+                .map_err(FailureReason::Collective)?;
             for (g, x) in grad_shard[si].iter_mut().zip(&shard) {
                 *g += *x;
             }
@@ -482,7 +836,8 @@ fn device_main(
         let full_grad: Vec<f32> = match spec.dp {
             DataParallelism::Unsharded => {
                 let mut g = pending[i].clone();
-                comm.all_reduce(&mut g);
+                comm.try_all_reduce(&mut g)
+                    .map_err(FailureReason::Collective)?;
                 let mut p = my_stages[i].1.param_vector();
                 spec.optimizer.step(&mut my_states[i], &mut p, &g);
                 my_stages[i].1.set_param_vector(&p);
@@ -490,24 +845,34 @@ fn device_main(
             }
             DataParallelism::PartiallySharded => {
                 let flat = padded(&pending[i], n_dp);
-                let g_shard = comm.reduce_scatter(&flat);
+                let g_shard = comm
+                    .try_reduce_scatter(&flat)
+                    .map_err(FailureReason::Collective)?;
                 let p_full = padded(&my_stages[i].1.param_vector(), n_dp);
                 let r = replica as usize;
                 let mut p_shard = p_full[r * shard_len[i]..(r + 1) * shard_len[i]].to_vec();
                 spec.optimizer
                     .step(&mut my_states[i], &mut p_shard, &g_shard);
-                let p_new = comm.all_gather(&p_shard);
+                let p_new = comm
+                    .try_all_gather(&p_shard)
+                    .map_err(FailureReason::Collective)?;
                 my_stages[i].1.set_param_vector(&p_new[..n]);
-                let mut g = comm.all_gather(&g_shard);
+                let mut g = comm
+                    .try_all_gather(&g_shard)
+                    .map_err(FailureReason::Collective)?;
                 g.truncate(n);
                 g
             }
             DataParallelism::FullySharded => {
                 spec.optimizer
                     .step(&mut my_states[i], &mut param_shard[i], &grad_shard[i]);
-                let p_new = comm.all_gather(&param_shard[i]);
+                let p_new = comm
+                    .try_all_gather(&param_shard[i])
+                    .map_err(FailureReason::Collective)?;
                 my_stages[i].1.set_param_vector(&p_new[..n]);
-                let mut g = comm.all_gather(&grad_shard[i]);
+                let mut g = comm
+                    .try_all_gather(&grad_shard[i])
+                    .map_err(FailureReason::Collective)?;
                 g.truncate(n);
                 g
             }
@@ -520,11 +885,11 @@ fn device_main(
         ));
     }
 
-    DeviceOutcome {
+    Ok(DeviceOutcome {
         replica,
         stages: results,
         losses,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -798,6 +1163,152 @@ mod tests {
                 .fold(0.0f32, f32::max);
             assert!(diff < 1e-5, "step {step}: Adam diverged by {diff}");
         }
+    }
+
+    #[test]
+    fn injected_panic_fails_step_and_names_device() {
+        // Device 1 / replica 0 panics at its first backward action. Every
+        // other thread must unwind promptly (channel disconnects plus
+        // collective poisoning) and the step must report the *origin*,
+        // not the secondary damage.
+        let (stages, inputs, targets) = setup(2, 4, 2);
+        let s = spec(
+            ScheduleKind::GPipe,
+            Placement::linear(2),
+            4,
+            2,
+            DataParallelism::Unsharded,
+        );
+        let states: Vec<OptimizerState> = stages
+            .iter()
+            .map(|st| s.optimizer.init_state(st.num_params()))
+            .collect();
+        let harness = HarnessOptions {
+            fault: Some(FaultPlan::transient(1, 0, 1, FaultKind::Panic)),
+            // Backstop so a regression fails the test instead of hanging.
+            collective_timeout: Some(std::time::Duration::from_secs(10)),
+            ..HarnessOptions::default()
+        };
+        let err = try_run_batch_stateful(&s, stages, states, &inputs, &targets, &harness)
+            .expect_err("injected panic must fail the step");
+        match err {
+            TrainError::DeviceFailed {
+                device,
+                replica,
+                reason: FailureReason::Panicked(msg),
+            } => {
+                assert_eq!((device, replica), (1, 0), "must name the origin");
+                assert!(msg.contains("injected fault"), "got: {msg}");
+            }
+            other => panic!("expected the panic as root cause, got {other}"),
+        }
+    }
+
+    #[test]
+    fn injected_error_reports_injected_fault() {
+        let (stages, inputs, targets) = setup(2, 2, 1);
+        let s = spec(
+            ScheduleKind::GPipe,
+            Placement::linear(2),
+            2,
+            1,
+            DataParallelism::Unsharded,
+        );
+        let states: Vec<OptimizerState> = stages
+            .iter()
+            .map(|st| s.optimizer.init_state(st.num_params()))
+            .collect();
+        let harness = HarnessOptions {
+            fault: Some(FaultPlan::transient(0, 0, 1, FaultKind::Error)),
+            ..HarnessOptions::default()
+        };
+        let err = try_run_batch_stateful(&s, stages, states, &inputs, &targets, &harness)
+            .expect_err("injected error must fail the step");
+        assert_eq!(
+            err,
+            TrainError::DeviceFailed {
+                device: 0,
+                replica: 0,
+                reason: FailureReason::InjectedFault,
+            }
+        );
+    }
+
+    #[test]
+    fn transient_fault_with_retry_is_bit_identical_to_clean_run() {
+        // One failing attempt, then success: because retry restarts from
+        // the caller's pristine stages/states, the eventual result must be
+        // bit-for-bit what a fault-free run produces.
+        let (stages, inputs, targets) = setup(2, 4, 2);
+        let s = spec(
+            ScheduleKind::OneFOneB,
+            Placement::linear(2),
+            4,
+            2,
+            DataParallelism::Unsharded,
+        );
+        let states: Vec<OptimizerState> = stages
+            .iter()
+            .map(|st| s.optimizer.init_state(st.num_params()))
+            .collect();
+        let clean = run_batch_stateful(&s, stages.clone(), states.clone(), &inputs, &targets);
+        let harness = HarnessOptions {
+            fault: Some(FaultPlan::transient(1, 1, 1, FaultKind::Panic)),
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff: std::time::Duration::from_millis(1),
+            },
+            collective_timeout: Some(std::time::Duration::from_secs(10)),
+        };
+        let (retried, retried_states) =
+            run_batch_with_retry(&s, &stages, &states, &inputs, &targets, &harness)
+                .expect("one transient failure is within the retry budget");
+        assert_eq!(retried.losses, clean.0.losses, "losses must be identical");
+        for (a, b) in retried.stages.iter().zip(&clean.0.stages) {
+            assert_eq!(
+                a.param_vector(),
+                b.param_vector(),
+                "retried weights must be bit-identical to a clean run"
+            );
+        }
+        for (a, b) in retried.gradients.iter().zip(&clean.0.gradients) {
+            assert_eq!(a, b, "retried gradients must be bit-identical");
+        }
+        assert_eq!(retried_states, clean.1, "optimizer state must match");
+    }
+
+    #[test]
+    fn retries_exhausted_surfaces_the_error() {
+        let (stages, inputs, targets) = setup(2, 2, 1);
+        let s = spec(
+            ScheduleKind::GPipe,
+            Placement::linear(2),
+            2,
+            1,
+            DataParallelism::Unsharded,
+        );
+        let states: Vec<OptimizerState> = stages
+            .iter()
+            .map(|st| s.optimizer.init_state(st.num_params()))
+            .collect();
+        let harness = HarnessOptions {
+            // Fails 5 attempts; only 1 retry allowed (2 attempts total).
+            fault: Some(FaultPlan::transient(0, 0, 5, FaultKind::Error)),
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff: std::time::Duration::from_millis(1),
+            },
+            ..HarnessOptions::default()
+        };
+        let err = run_batch_with_retry(&s, &stages, &states, &inputs, &targets, &harness)
+            .expect_err("budget outlasts the retries");
+        assert!(matches!(
+            err,
+            TrainError::DeviceFailed {
+                reason: FailureReason::InjectedFault,
+                ..
+            }
+        ));
     }
 
     #[test]

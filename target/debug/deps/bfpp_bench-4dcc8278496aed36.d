@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bfpp_bench-4dcc8278496aed36.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/bfpp_bench-4dcc8278496aed36.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbfpp_bench-4dcc8278496aed36.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/libbfpp_bench-4dcc8278496aed36.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures.rs:
 crates/bench/src/report.rs:
+crates/bench/src/robustness.rs:
 crates/bench/src/tables.rs:
 Cargo.toml:
 

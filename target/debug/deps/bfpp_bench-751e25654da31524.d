@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/bfpp_bench-751e25654da31524.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/bfpp_bench-751e25654da31524.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
 
-/root/repo/target/debug/deps/bfpp_bench-751e25654da31524: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/bfpp_bench-751e25654da31524: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures.rs:
 crates/bench/src/report.rs:
+crates/bench/src/robustness.rs:
 crates/bench/src/tables.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bfpp_bench-c8b8309fb1ae43b1.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/bfpp_bench-c8b8309fb1ae43b1.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
 
-/root/repo/target/debug/deps/libbfpp_bench-c8b8309fb1ae43b1.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/libbfpp_bench-c8b8309fb1ae43b1.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
 
-/root/repo/target/debug/deps/libbfpp_bench-c8b8309fb1ae43b1.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+/root/repo/target/debug/deps/libbfpp_bench-c8b8309fb1ae43b1.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures.rs:
 crates/bench/src/report.rs:
+crates/bench/src/robustness.rs:
 crates/bench/src/tables.rs:

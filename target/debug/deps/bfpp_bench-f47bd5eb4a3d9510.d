@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bfpp_bench-f47bd5eb4a3d9510.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/bfpp_bench-f47bd5eb4a3d9510.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbfpp_bench-f47bd5eb4a3d9510.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/libbfpp_bench-f47bd5eb4a3d9510.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures.rs:
 crates/bench/src/report.rs:
+crates/bench/src/robustness.rs:
 crates/bench/src/tables.rs:
 Cargo.toml:
 

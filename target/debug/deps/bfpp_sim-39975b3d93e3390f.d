@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bfpp_sim-39975b3d93e3390f.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/bfpp_sim-39975b3d93e3390f.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbfpp_sim-39975b3d93e3390f.rmeta: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libbfpp_sim-39975b3d93e3390f.rmeta: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/critical_path.rs:
 crates/sim/src/graph.rs:
+crates/sim/src/perturb.rs:
 crates/sim/src/solver.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/time.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/bfpp_sim-bcd6149b6f3318a6.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/bfpp_sim-bcd6149b6f3318a6.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/bfpp_sim-bcd6149b6f3318a6: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/bfpp_sim-bcd6149b6f3318a6: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/critical_path.rs:
 crates/sim/src/graph.rs:
+crates/sim/src/perturb.rs:
 crates/sim/src/solver.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/time.rs:

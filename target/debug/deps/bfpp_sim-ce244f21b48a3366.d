@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/bfpp_sim-ce244f21b48a3366.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/bfpp_sim-ce244f21b48a3366.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/libbfpp_sim-ce244f21b48a3366.rlib: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/libbfpp_sim-ce244f21b48a3366.rlib: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/libbfpp_sim-ce244f21b48a3366.rmeta: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/libbfpp_sim-ce244f21b48a3366.rmeta: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/critical_path.rs:
 crates/sim/src/graph.rs:
+crates/sim/src/perturb.rs:
 crates/sim/src/solver.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/time.rs:

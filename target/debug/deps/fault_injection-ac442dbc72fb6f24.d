@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-ac442dbc72fb6f24.d: crates/collectives/tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-ac442dbc72fb6f24: crates/collectives/tests/fault_injection.rs
+
+crates/collectives/tests/fault_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-b04d0b1295879f79.d: crates/collectives/tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-b04d0b1295879f79.rmeta: crates/collectives/tests/fault_injection.rs Cargo.toml
+
+crates/collectives/tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

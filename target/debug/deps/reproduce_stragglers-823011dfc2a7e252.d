@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_stragglers-823011dfc2a7e252.d: crates/bench/src/bin/reproduce_stragglers.rs
+
+/root/repo/target/debug/deps/reproduce_stragglers-823011dfc2a7e252: crates/bench/src/bin/reproduce_stragglers.rs
+
+crates/bench/src/bin/reproduce_stragglers.rs:

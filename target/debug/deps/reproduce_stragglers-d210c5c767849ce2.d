@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_stragglers-d210c5c767849ce2.d: crates/bench/src/bin/reproduce_stragglers.rs
+
+/root/repo/target/debug/deps/reproduce_stragglers-d210c5c767849ce2: crates/bench/src/bin/reproduce_stragglers.rs
+
+crates/bench/src/bin/reproduce_stragglers.rs:

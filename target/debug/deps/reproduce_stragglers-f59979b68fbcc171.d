@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_stragglers-f59979b68fbcc171.d: crates/bench/src/bin/reproduce_stragglers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_stragglers-f59979b68fbcc171.rmeta: crates/bench/src/bin/reproduce_stragglers.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_stragglers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/bfpp_bench-c79cf2bd4b46c1ed.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+/root/repo/target/release/deps/bfpp_bench-c79cf2bd4b46c1ed.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
 
-/root/repo/target/release/deps/libbfpp_bench-c79cf2bd4b46c1ed.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+/root/repo/target/release/deps/libbfpp_bench-c79cf2bd4b46c1ed.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
 
-/root/repo/target/release/deps/libbfpp_bench-c79cf2bd4b46c1ed.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+/root/repo/target/release/deps/libbfpp_bench-c79cf2bd4b46c1ed.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/figures.rs:
 crates/bench/src/report.rs:
+crates/bench/src/robustness.rs:
 crates/bench/src/tables.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/bfpp_sim-81f3c0301c731d48.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/bfpp_sim-81f3c0301c731d48.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libbfpp_sim-81f3c0301c731d48.rlib: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libbfpp_sim-81f3c0301c731d48.rlib: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libbfpp_sim-81f3c0301c731d48.rmeta: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libbfpp_sim-81f3c0301c731d48.rmeta: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/critical_path.rs:
 crates/sim/src/graph.rs:
+crates/sim/src/perturb.rs:
 crates/sim/src/solver.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/time.rs:

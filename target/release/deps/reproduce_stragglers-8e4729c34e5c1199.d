@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_stragglers-8e4729c34e5c1199.d: crates/bench/src/bin/reproduce_stragglers.rs
+
+/root/repo/target/release/deps/reproduce_stragglers-8e4729c34e5c1199: crates/bench/src/bin/reproduce_stragglers.rs
+
+crates/bench/src/bin/reproduce_stragglers.rs:

@@ -15,6 +15,7 @@ fn quick_opts() -> SearchOptions {
         max_loop: 16,
         max_actions: 60_000,
         threads: 0,
+        ..SearchOptions::default()
     }
 }
 

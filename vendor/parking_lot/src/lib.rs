@@ -6,6 +6,7 @@
 
 use std::ops::{Deref, DerefMut};
 use std::sync;
+use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock` never fails: a poisoned std
 /// mutex (a holder panicked) is recovered into its inner state, which is
@@ -64,6 +65,19 @@ impl<T> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because of a timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A condition variable with `parking_lot`'s `wait(&mut guard)` shape.
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -87,6 +101,29 @@ impl Condvar {
             Err(poisoned) => poisoned.into_inner(),
         };
         guard.guard = Some(reacquired);
+    }
+
+    /// As [`Condvar::wait`], but gives up after `timeout`: the lock is
+    /// re-acquired and the returned [`WaitTimeoutResult`] says whether
+    /// the wait timed out (spurious wakeups are possible either way, as
+    /// with `std`; callers must re-check their predicate).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.guard.take().expect("guard present outside wait");
+        let (reacquired, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.guard = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Wakes one blocked waiter.
@@ -123,6 +160,39 @@ mod tests {
             let mut ready = lock.lock();
             while !*ready {
                 cv.wait(&mut ready);
+            }
+            true
+        });
+        {
+            let (lock, cv) = &*shared;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
+        // The guard is live again after the timed-out wait.
+        drop(g);
+        assert_eq!(*m.lock(), ());
+    }
+
+    #[test]
+    fn wait_for_returns_promptly_when_notified() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let waiter = thread::spawn(move || {
+            let (lock, cv) = &*s2;
+            let mut ready = lock.lock();
+            while !*ready {
+                let r = cv.wait_for(&mut ready, std::time::Duration::from_secs(30));
+                assert!(!r.timed_out(), "notification must arrive well within 30s");
             }
             true
         });
