@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfpp-9ce2cae4caa63df1.d: src/bin/bfpp.rs
+
+/root/repo/target/debug/deps/libbfpp-9ce2cae4caa63df1.rmeta: src/bin/bfpp.rs
+
+src/bin/bfpp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfpp-f8ac9ddb1651474e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbfpp-f8ac9ddb1651474e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfpp_analytic-97e0ba139580db01.d: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+/root/repo/target/debug/deps/libbfpp_analytic-97e0ba139580db01.rmeta: crates/analytic/src/lib.rs crates/analytic/src/efficiency.rs crates/analytic/src/intensity.rs crates/analytic/src/noise.rs crates/analytic/src/tradeoff.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/efficiency.rs:
+crates/analytic/src/intensity.rs:
+crates/analytic/src/noise.rs:
+crates/analytic/src/tradeoff.rs:

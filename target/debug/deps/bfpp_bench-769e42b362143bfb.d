@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfpp_bench-769e42b362143bfb.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libbfpp_bench-769e42b362143bfb.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/robustness.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/robustness.rs:
+crates/bench/src/tables.rs:

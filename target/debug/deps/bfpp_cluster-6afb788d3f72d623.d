@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bfpp_cluster-6afb788d3f72d623.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs
+
+/root/repo/target/debug/deps/libbfpp_cluster-6afb788d3f72d623.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/gpu.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/presets.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/presets.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bfpp_collectives-1f7bb22cf16bc89d.d: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+/root/repo/target/debug/deps/libbfpp_collectives-1f7bb22cf16bc89d.rmeta: crates/collectives/src/lib.rs crates/collectives/src/cost.rs crates/collectives/src/thread.rs
+
+crates/collectives/src/lib.rs:
+crates/collectives/src/cost.rs:
+crates/collectives/src/thread.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bfpp_core-d6a6d64eecc7ee6d.d: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/bubble.rs crates/core/src/cache.rs crates/core/src/generators.rs crates/core/src/greedy.rs crates/core/src/hybrid.rs crates/core/src/memory.rs crates/core/src/runs.rs crates/core/src/schedule.rs crates/core/src/timing.rs crates/core/src/validate.rs
+
+/root/repo/target/debug/deps/libbfpp_core-d6a6d64eecc7ee6d.rmeta: crates/core/src/lib.rs crates/core/src/action.rs crates/core/src/bubble.rs crates/core/src/cache.rs crates/core/src/generators.rs crates/core/src/greedy.rs crates/core/src/hybrid.rs crates/core/src/memory.rs crates/core/src/runs.rs crates/core/src/schedule.rs crates/core/src/timing.rs crates/core/src/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/action.rs:
+crates/core/src/bubble.rs:
+crates/core/src/cache.rs:
+crates/core/src/generators.rs:
+crates/core/src/greedy.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/memory.rs:
+crates/core/src/runs.rs:
+crates/core/src/schedule.rs:
+crates/core/src/timing.rs:
+crates/core/src/validate.rs:

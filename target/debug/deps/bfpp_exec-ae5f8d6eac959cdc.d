@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bfpp_exec-ae5f8d6eac959cdc.d: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs
+
+/root/repo/target/debug/deps/libbfpp_exec-ae5f8d6eac959cdc.rmeta: crates/exec/src/lib.rs crates/exec/src/breakdown.rs crates/exec/src/candidates.rs crates/exec/src/kernel.rs crates/exec/src/lower.rs crates/exec/src/measure.rs crates/exec/src/memory.rs crates/exec/src/overlap.rs crates/exec/src/prune.rs crates/exec/src/search.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/breakdown.rs:
+crates/exec/src/candidates.rs:
+crates/exec/src/kernel.rs:
+crates/exec/src/lower.rs:
+crates/exec/src/measure.rs:
+crates/exec/src/memory.rs:
+crates/exec/src/overlap.rs:
+crates/exec/src/prune.rs:
+crates/exec/src/search.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bfpp_model-77633a4bd166a2a4.d: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+/root/repo/target/debug/deps/libbfpp_model-77633a4bd166a2a4.rmeta: crates/model/src/lib.rs crates/model/src/memory.rs crates/model/src/presets.rs crates/model/src/transformer.rs
+
+crates/model/src/lib.rs:
+crates/model/src/memory.rs:
+crates/model/src/presets.rs:
+crates/model/src/transformer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bfpp_parallel-aa42255aa3b96438.d: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs
+
+/root/repo/target/debug/deps/libbfpp_parallel-aa42255aa3b96438.rmeta: crates/parallel/src/lib.rs crates/parallel/src/batch.rs crates/parallel/src/dp.rs crates/parallel/src/grid.rs crates/parallel/src/placement.rs crates/parallel/src/util.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/batch.rs:
+crates/parallel/src/dp.rs:
+crates/parallel/src/grid.rs:
+crates/parallel/src/placement.rs:
+crates/parallel/src/util.rs:

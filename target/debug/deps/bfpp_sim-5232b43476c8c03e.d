@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bfpp_sim-5232b43476c8c03e.d: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libbfpp_sim-5232b43476c8c03e.rmeta: crates/sim/src/lib.rs crates/sim/src/critical_path.rs crates/sim/src/graph.rs crates/sim/src/perturb.rs crates/sim/src/solver.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/critical_path.rs:
+crates/sim/src/graph.rs:
+crates/sim/src/perturb.rs:
+crates/sim/src/solver.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

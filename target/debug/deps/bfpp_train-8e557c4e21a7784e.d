@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bfpp_train-8e557c4e21a7784e.d: crates/train/src/lib.rs crates/train/src/attention.rs crates/train/src/builder.rs crates/train/src/half.rs crates/train/src/layers.rs crates/train/src/loss.rs crates/train/src/optim.rs crates/train/src/pipeline.rs crates/train/src/serial.rs crates/train/src/tensor.rs
+
+/root/repo/target/debug/deps/libbfpp_train-8e557c4e21a7784e.rmeta: crates/train/src/lib.rs crates/train/src/attention.rs crates/train/src/builder.rs crates/train/src/half.rs crates/train/src/layers.rs crates/train/src/loss.rs crates/train/src/optim.rs crates/train/src/pipeline.rs crates/train/src/serial.rs crates/train/src/tensor.rs
+
+crates/train/src/lib.rs:
+crates/train/src/attention.rs:
+crates/train/src/builder.rs:
+crates/train/src/half.rs:
+crates/train/src/layers.rs:
+crates/train/src/loss.rs:
+crates/train/src/optim.rs:
+crates/train/src/pipeline.rs:
+crates/train/src/serial.rs:
+crates/train/src/tensor.rs:

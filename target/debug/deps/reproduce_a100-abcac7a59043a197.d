@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_a100-abcac7a59043a197.d: crates/bench/src/bin/reproduce_a100.rs
+
+/root/repo/target/debug/deps/libreproduce_a100-abcac7a59043a197.rmeta: crates/bench/src/bin/reproduce_a100.rs
+
+crates/bench/src/bin/reproduce_a100.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_ablations-e82a4010d9efca0e.d: crates/bench/src/bin/reproduce_ablations.rs
+
+/root/repo/target/debug/deps/libreproduce_ablations-e82a4010d9efca0e.rmeta: crates/bench/src/bin/reproduce_ablations.rs
+
+crates/bench/src/bin/reproduce_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-3bbabacd4649344c.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/libreproduce_all-3bbabacd4649344c.rmeta: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig1-49e2f79bb00f8d41.d: crates/bench/src/bin/reproduce_fig1.rs
+
+/root/repo/target/debug/deps/libreproduce_fig1-49e2f79bb00f8d41.rmeta: crates/bench/src/bin/reproduce_fig1.rs
+
+crates/bench/src/bin/reproduce_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig2-712c695515c29bda.d: crates/bench/src/bin/reproduce_fig2.rs
+
+/root/repo/target/debug/deps/libreproduce_fig2-712c695515c29bda.rmeta: crates/bench/src/bin/reproduce_fig2.rs
+
+crates/bench/src/bin/reproduce_fig2.rs:

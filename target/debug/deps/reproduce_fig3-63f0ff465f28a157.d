@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig3-63f0ff465f28a157.d: crates/bench/src/bin/reproduce_fig3.rs
+
+/root/repo/target/debug/deps/libreproduce_fig3-63f0ff465f28a157.rmeta: crates/bench/src/bin/reproduce_fig3.rs
+
+crates/bench/src/bin/reproduce_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig4-0327a791e5876aec.d: crates/bench/src/bin/reproduce_fig4.rs
+
+/root/repo/target/debug/deps/libreproduce_fig4-0327a791e5876aec.rmeta: crates/bench/src/bin/reproduce_fig4.rs
+
+crates/bench/src/bin/reproduce_fig4.rs:

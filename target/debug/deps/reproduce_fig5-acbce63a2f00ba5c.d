@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig5-acbce63a2f00ba5c.d: crates/bench/src/bin/reproduce_fig5.rs
+
+/root/repo/target/debug/deps/libreproduce_fig5-acbce63a2f00ba5c.rmeta: crates/bench/src/bin/reproduce_fig5.rs
+
+crates/bench/src/bin/reproduce_fig5.rs:

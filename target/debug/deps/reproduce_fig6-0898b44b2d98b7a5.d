@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig6-0898b44b2d98b7a5.d: crates/bench/src/bin/reproduce_fig6.rs
+
+/root/repo/target/debug/deps/libreproduce_fig6-0898b44b2d98b7a5.rmeta: crates/bench/src/bin/reproduce_fig6.rs
+
+crates/bench/src/bin/reproduce_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_fig7-1d41cf2bbe00ce88.d: crates/bench/src/bin/reproduce_fig7.rs
+
+/root/repo/target/debug/deps/libreproduce_fig7-1d41cf2bbe00ce88.rmeta: crates/bench/src/bin/reproduce_fig7.rs
+
+crates/bench/src/bin/reproduce_fig7.rs:

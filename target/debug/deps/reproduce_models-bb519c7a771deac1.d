@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_models-bb519c7a771deac1.d: crates/bench/src/bin/reproduce_models.rs
+
+/root/repo/target/debug/deps/libreproduce_models-bb519c7a771deac1.rmeta: crates/bench/src/bin/reproduce_models.rs
+
+crates/bench/src/bin/reproduce_models.rs:

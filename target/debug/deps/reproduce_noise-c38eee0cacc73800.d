@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_noise-c38eee0cacc73800.d: crates/bench/src/bin/reproduce_noise.rs
+
+/root/repo/target/debug/deps/libreproduce_noise-c38eee0cacc73800.rmeta: crates/bench/src/bin/reproduce_noise.rs
+
+crates/bench/src/bin/reproduce_noise.rs:

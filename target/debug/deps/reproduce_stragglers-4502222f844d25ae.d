@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_stragglers-4502222f844d25ae.d: crates/bench/src/bin/reproduce_stragglers.rs
+
+/root/repo/target/debug/deps/libreproduce_stragglers-4502222f844d25ae.rmeta: crates/bench/src/bin/reproduce_stragglers.rs
+
+crates/bench/src/bin/reproduce_stragglers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e1-cdac847d2a5b5213.d: crates/bench/src/bin/reproduce_table_e1.rs
+
+/root/repo/target/debug/deps/libreproduce_table_e1-cdac847d2a5b5213.rmeta: crates/bench/src/bin/reproduce_table_e1.rs
+
+crates/bench/src/bin/reproduce_table_e1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e2-5d233fcce12653f0.d: crates/bench/src/bin/reproduce_table_e2.rs
+
+/root/repo/target/debug/deps/libreproduce_table_e2-5d233fcce12653f0.rmeta: crates/bench/src/bin/reproduce_table_e2.rs
+
+crates/bench/src/bin/reproduce_table_e2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_table_e3-f77888e5357203e0.d: crates/bench/src/bin/reproduce_table_e3.rs
+
+/root/repo/target/debug/deps/libreproduce_table_e3-f77888e5357203e0.rmeta: crates/bench/src/bin/reproduce_table_e3.rs
+
+crates/bench/src/bin/reproduce_table_e3.rs:
