@@ -11,9 +11,10 @@
 
 use bfpp_cluster::ClusterSpec;
 use bfpp_core::ScheduleKind;
-use bfpp_exec::{simulate_perturbed, KernelModel, Measurement, OverlapConfig, Perturbation};
+use bfpp_exec::{lower, measure_stats, KernelModel, Measurement, OverlapConfig, Perturbation};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp_sim::{SimDuration, Solver};
 
 use crate::report::Table;
 
@@ -61,6 +62,12 @@ fn config_for(kind: ScheduleKind) -> ParallelConfig {
 /// Runs the sweep: every schedule at every severity, deterministic
 /// (seeded perturbation, no jitter — the straggler is the only fault).
 ///
+/// Each schedule is lowered *once*; every severity point then recomputes
+/// the per-op durations ([`bfpp_exec::LoweredGraph::perturbed_durations`])
+/// and re-solves the fixed topology through
+/// [`Solver::solve_stats_with_durations`] — bit-identical to re-lowering
+/// under the perturbation, at a fraction of the cost.
+///
 /// # Panics
 ///
 /// Panics if the fixed configurations fail to simulate (they are valid
@@ -72,22 +79,21 @@ pub fn straggler_sweep(
 ) -> Vec<RobustnessRow> {
     let kernel = KernelModel::v100();
     let mut rows = Vec::new();
+    let mut durations: Vec<SimDuration> = Vec::new();
     for kind in ScheduleKind::ALL {
         let cfg = config_for(kind);
+        let lowered = lower(model, cluster, &cfg, kind, OverlapConfig::full(), &kernel)
+            .expect("straggler-sweep configurations are valid");
+        let mut solver = Solver::new(&lowered.graph);
         let mut baseline = None;
         for &severity in severities {
             let perturbation =
                 Perturbation::with_seed(0xB1F).with_straggler(STRAGGLER_DEVICE, severity);
-            let m = simulate_perturbed(
-                model,
-                cluster,
-                &cfg,
-                kind,
-                OverlapConfig::full(),
-                &kernel,
-                &perturbation,
-            )
-            .expect("straggler-sweep configurations are valid");
+            lowered.perturbed_durations(&perturbation, &mut durations);
+            let stats = solver
+                .solve_stats_with_durations(&durations)
+                .expect("lowered graphs are acyclic by construction");
+            let m = measure_stats(model, cluster, &cfg, &lowered, &stats);
             let base = *baseline.get_or_insert(m.tflops_per_gpu);
             rows.push(RobustnessRow {
                 schedule: kind,
@@ -174,6 +180,32 @@ mod tests {
             .ends_with("retention_pct"));
         let (_, worst) = most_graceful(&rows).expect("non-empty sweep");
         assert!(worst > 0.0 && worst <= 1.0);
+    }
+
+    #[test]
+    fn fast_resolve_path_matches_full_relowering() {
+        // The duration-only re-solve must reproduce, bit for bit, what
+        // re-lowering under each perturbation produces.
+        let model = bert_52b();
+        let cluster = dgx1_v100(8);
+        let severities = [1.0, 1.5, 2.0];
+        let rows = straggler_sweep(&model, &cluster, &severities);
+        let kernel = KernelModel::v100();
+        for row in &rows {
+            let perturbation =
+                Perturbation::with_seed(0xB1F).with_straggler(STRAGGLER_DEVICE, row.straggler);
+            let slow = bfpp_exec::simulate_perturbed(
+                &model,
+                &cluster,
+                &config_for(row.schedule),
+                row.schedule,
+                OverlapConfig::full(),
+                &kernel,
+                &perturbation,
+            )
+            .unwrap();
+            assert_eq!(row.measurement, slow, "{}@{}", row.schedule, row.straggler);
+        }
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub use lower::{
     lower, lower_perturbed, lower_with_schedule, lower_with_schedule_perturbed, LoweredGraph, OpTag,
 };
 pub use measure::{
-    simulate, simulate_perturbed, simulate_with_schedule, simulate_with_schedule_perturbed,
-    Measurement, SimulateError,
+    measure_stats, measure_timeline, simulate, simulate_perturbed, simulate_with_schedule,
+    simulate_with_schedule_perturbed, Measurement, SimulateError,
 };
 pub use memory::estimate_memory;
 pub use overlap::OverlapConfig;

@@ -90,11 +90,79 @@ pub struct LoweredGraph {
     pub graph: OpGraph<OpTag>,
     /// Compute-stream resource per pipeline device.
     pub compute_resources: Vec<ResourceId>,
+    /// Pipeline device index per resource (indexed by
+    /// [`ResourceId::index`]); several resources (compute/dp/pp streams)
+    /// map to the same device.
+    pub resource_device: Vec<u32>,
     /// The schedule that was lowered (shared — search workloads lower the
     /// same schedule under many micro-batch sizes and sharding levels).
     pub schedule: Arc<Schedule>,
     /// Ideal compute seconds per device (all kernels, no waiting).
     pub ideal_compute_seconds: f64,
+    /// Whether a non-identity perturbation was folded into the op
+    /// durations at lowering time. An unperturbed lowering is the valid
+    /// base for [`LoweredGraph::perturbed_durations`].
+    pub perturbed: bool,
+    /// The schedule's worst-device peak checkpoint count, cached at
+    /// lowering time: it is duration-independent, and recomputing it
+    /// (a full `exact_timing` pass) per measurement would dominate the
+    /// duration-only re-measure path of perturbation sweeps.
+    pub peak_checkpoints: u32,
+    /// Per-op `(base duration, factor slot)` where the slot is
+    /// `2 * resource + is_compute` — the dense inputs of
+    /// [`LoweredGraph::perturbed_durations`]'s randomness-free fast path,
+    /// cached so re-perturbing never walks `Op` structs.
+    op_perturb: Vec<(SimDuration, u32)>,
+}
+
+impl LoweredGraph {
+    /// Recomputes every op's duration under `perturbation`, bit-identical
+    /// to what [`lower_with_schedule_perturbed`] would have produced —
+    /// without re-lowering. Graph *structure* is perturbation-independent
+    /// (transfer emission tests base durations), and each op's perturbed
+    /// duration is a pure function of (base duration, op class, device,
+    /// insertion index), all of which this lowering retains. Feed the
+    /// result to [`bfpp_sim::Solver::solve_with_durations`] to sweep many
+    /// perturbation points over one lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this graph was itself lowered under a non-identity
+    /// perturbation (its durations are not a valid base).
+    pub fn perturbed_durations(&self, perturbation: &Perturbation, out: &mut Vec<SimDuration>) {
+        assert!(
+            !self.perturbed,
+            "perturbed_durations requires an unperturbed base lowering"
+        );
+        out.clear();
+        out.reserve(self.graph.num_ops());
+        if !perturbation.has_randomness() {
+            // Randomness-free (the straggler-sweep case): one factor per
+            // (resource, class) decides every op, so skip the per-op
+            // perturb calls and read the dense `op_perturb` cache instead
+            // of `Op` structs. `apply_factor` keeps this bit-identical.
+            let mut factors: Vec<f64> = Vec::with_capacity(2 * self.resource_device.len());
+            for &dev in &self.resource_device {
+                factors.push(perturbation.class_factor(OpClass::Communication, dev));
+                factors.push(perturbation.class_factor(OpClass::Compute, dev));
+            }
+            out.extend(
+                self.op_perturb
+                    .iter()
+                    .map(|&(base, slot)| Perturbation::apply_factor(base, factors[slot as usize])),
+            );
+            return;
+        }
+        for id in self.graph.op_ids() {
+            let op = self.graph.op(id);
+            let class = match op.tag() {
+                OpTag::Compute(_) => OpClass::Compute,
+                _ => OpClass::Communication,
+            };
+            let dev = self.resource_device[op.resource().index()];
+            out.push(perturbation.perturb(op.duration(), class, dev, id.index() as u64));
+        }
+    }
 }
 
 /// Per-operation durations of one configuration, as charged to the
@@ -332,13 +400,24 @@ pub fn lower_with_schedule_perturbed(
     let n_mb = cfg.batch.num_microbatches;
     let n_stage = cfg.placement.num_stages();
 
-    let mut graph: OpGraph<OpTag> = OpGraph::new();
+    // Size the graph up front: per device, every action yields a kernel,
+    // at most one send, and at most two DP collectives; cross-device
+    // wiring adds at most two late edges per (microbatch, stage).
+    let total_actions = 2 * n_mb as usize * n_stage as usize;
+    let op_bound = 4 * total_actions;
+    let mut graph: OpGraph<OpTag> =
+        OpGraph::with_capacity(3 * n_pp as usize, op_bound, 3 * op_bound);
+    let mut resource_device: Vec<u32> = Vec::with_capacity(3 * n_pp as usize);
     let compute_resources: Vec<ResourceId> = (0..n_pp)
-        .map(|dev| graph.add_resource(format!("gpu{dev}.compute")))
+        .map(|dev| {
+            resource_device.push(dev);
+            graph.add_resource(format!("gpu{dev}.compute"))
+        })
         .collect();
     let dp_resources: Vec<ResourceId> = (0..n_pp)
         .map(|dev| {
             if overlap.dp {
+                resource_device.push(dev);
                 graph.add_resource(format!("gpu{dev}.dp"))
             } else {
                 compute_resources[dev as usize]
@@ -348,6 +427,7 @@ pub fn lower_with_schedule_perturbed(
     let pp_resources: Vec<ResourceId> = (0..n_pp)
         .map(|dev| {
             if overlap.pp {
+                resource_device.push(dev);
                 graph.add_resource(format!("gpu{dev}.pp"))
             } else {
                 compute_resources[dev as usize]
@@ -542,11 +622,24 @@ pub fn lower_with_schedule_perturbed(
     let per_device_kernels = n_mb as u64 * cfg.placement.n_loop() as u64;
     let ideal_compute_seconds = per_device_kernels as f64 * (d.fwd + d.bwd).as_secs_f64();
 
+    let op_perturb = graph
+        .op_ids()
+        .map(|id| {
+            let op = graph.op(id);
+            let is_compute = matches!(op.tag(), OpTag::Compute(_)) as u32;
+            (op.duration(), 2 * op.resource().index() as u32 + is_compute)
+        })
+        .collect();
+
     Ok(LoweredGraph {
         graph,
         compute_resources,
+        resource_device,
+        peak_checkpoints: schedule.peak_checkpoints(),
         schedule,
         ideal_compute_seconds,
+        perturbed: !perturbation.is_identity(),
+        op_perturb,
     })
 }
 
@@ -752,6 +845,78 @@ mod tests {
         // Deterministic: the same perturbation lowers to the same timeline.
         let again = run(&Perturbation::with_seed(7).with_straggler(3, 1.5));
         assert_eq!(degraded, again);
+    }
+
+    #[test]
+    fn perturbed_durations_match_perturbed_lowering() {
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let cfg = simple_cfg();
+        let k = KernelModel::v100();
+        let p = Perturbation::with_seed(0xB1F)
+            .with_straggler(3, 1.4)
+            .with_jitter(0.05)
+            .with_link_degradation(1.3);
+        let base = lower(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &k,
+        )
+        .unwrap();
+        let perturbed = lower_perturbed(
+            &model,
+            &cluster,
+            &cfg,
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &k,
+            &p,
+        )
+        .unwrap();
+        assert!(!base.perturbed);
+        assert!(perturbed.perturbed);
+        assert_eq!(base.graph.num_ops(), perturbed.graph.num_ops());
+        // Recomputed durations are bit-identical to a fresh perturbed
+        // lowering, op by op...
+        let mut durs = Vec::new();
+        base.perturbed_durations(&p, &mut durs);
+        for id in base.graph.op_ids() {
+            assert_eq!(durs[id.index()], perturbed.graph.op(id).duration());
+        }
+        // ...so the duration-only re-solve reproduces its timeline.
+        let mut solver = bfpp_sim::Solver::new(&base.graph);
+        let fast = solver.solve_with_durations(&durs).unwrap();
+        let full = perturbed.graph.solve().unwrap();
+        assert_eq!(fast.scheduled_ops(), full.scheduled_ops());
+        assert_eq!(fast.makespan(), full.makespan());
+    }
+
+    #[test]
+    fn resource_device_maps_every_stream_to_its_gpu() {
+        let g = lower(
+            &models::bert_52b(),
+            &presets::dgx1_v100(8),
+            &simple_cfg(),
+            ScheduleKind::BreadthFirst,
+            OverlapConfig::full(),
+            &KernelModel::v100(),
+        )
+        .unwrap();
+        assert_eq!(g.resource_device.len(), g.graph.num_resources());
+        for (dev, r) in g.compute_resources.iter().enumerate() {
+            assert_eq!(g.resource_device[r.index()], dev as u32);
+        }
+        for r in g.graph.resource_ids() {
+            let name = g.graph.resource_name(r);
+            let dev = g.resource_device[r.index()];
+            assert!(
+                name.starts_with(&format!("gpu{dev}.")),
+                "resource {name:?} mapped to device {dev}"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulated measurement of one configuration.
 
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -9,11 +10,11 @@ use bfpp_core::{Schedule, ScheduleError, ScheduleKind};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{ConfigError, ParallelConfig};
 
-use bfpp_sim::Perturbation;
+use bfpp_sim::{Perturbation, SimDuration, SolveScratch, SolveStats, Timeline};
 
 use crate::kernel::KernelModel;
 use crate::lower::{lower_perturbed, lower_with_schedule_perturbed, LoweredGraph};
-use crate::memory::estimate_memory;
+use crate::memory::memory_with_checkpoints;
 use crate::overlap::OverlapConfig;
 
 /// Fraction of device memory a configuration may use; the rest is a
@@ -189,27 +190,85 @@ pub fn simulate_with_schedule_perturbed(
     Ok(measure_lowered(model, cluster, cfg, &lowered))
 }
 
+thread_local! {
+    /// Per-thread solver workspace: the search evaluates thousands of
+    /// candidates per worker thread, and reusing one scratch removes
+    /// every per-solve allocation after the first.
+    static SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
+}
+
 fn measure_lowered(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
     cfg: &ParallelConfig,
     lowered: &LoweredGraph,
 ) -> Measurement {
-    let timeline = lowered
-        .graph
-        .solve()
+    let timeline = SCRATCH
+        .with(|scratch| lowered.graph.solve_with(&mut scratch.borrow_mut()))
         .expect("lowered graphs are acyclic by construction");
+    measure_timeline(model, cluster, cfg, lowered, &timeline)
+}
 
-    let batch_seconds = timeline.makespan().as_secs_f64();
+/// Derives the paper's metrics from an already solved timeline of
+/// `lowered` — the companion to [`bfpp_sim::Solver::solve_with_durations`]
+/// for perturbation sweeps that lower once and re-solve per point.
+pub fn measure_timeline(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    lowered: &LoweredGraph,
+    timeline: &Timeline,
+) -> Measurement {
+    let compute_busy = timeline
+        .utilization_over(lowered.compute_resources.iter().copied())
+        .mean;
+    measure_from(
+        model,
+        cluster,
+        cfg,
+        lowered,
+        timeline.makespan(),
+        compute_busy,
+    )
+}
+
+/// As [`measure_timeline`], from the aggregate [`SolveStats`] of a solve
+/// ([`bfpp_sim::Solver::solve_stats_with_durations`]) — the cheapest
+/// per-point path in a perturbation sweep, and bit-identical to
+/// measuring a materialized timeline of the same solve.
+pub fn measure_stats(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    lowered: &LoweredGraph,
+    stats: &SolveStats,
+) -> Measurement {
+    let compute_busy = stats
+        .utilization_over(lowered.compute_resources.iter().copied())
+        .mean;
+    measure_from(model, cluster, cfg, lowered, stats.makespan, compute_busy)
+}
+
+fn measure_from(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    lowered: &LoweredGraph,
+    makespan: SimDuration,
+    compute_busy: f64,
+) -> Measurement {
+    let batch_seconds = makespan.as_secs_f64();
     let global_batch = cfg.global_batch_size();
     let num_gpus = cfg.grid.num_gpus() as f64;
     let flops_per_gpu = model.hardware_flops_per_batch(global_batch) / num_gpus;
     let tflops_per_gpu = flops_per_gpu / batch_seconds / 1e12;
     let utilization = flops_per_gpu / batch_seconds / cluster.node.gpu.peak_fp16_flops;
-    let compute_busy = timeline
-        .utilization_over(lowered.compute_resources.iter().copied())
-        .mean;
-    let memory_bytes = estimate_memory(model, cfg, &lowered.schedule);
+    let memory_bytes = memory_with_checkpoints(
+        model,
+        cfg,
+        lowered.schedule.kind(),
+        lowered.peak_checkpoints,
+    );
 
     Measurement {
         batch_seconds,

@@ -56,9 +56,8 @@ impl Timeline {
             if start == SimTime::ZERO {
                 break;
             }
-            let op = graph.op(cur);
-            let pred = op
-                .deps()
+            let pred = graph
+                .deps_of(cur)
                 .iter()
                 .copied()
                 .chain(fifo_prev[cur.index()])

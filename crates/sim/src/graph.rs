@@ -1,6 +1,11 @@
 //! Operation graphs: resources, operations and dependencies.
+//!
+//! Dependency edges live in a single flat arena shared by every operation
+//! (each [`Op`] stores only an offset + length into it), so building a
+//! graph performs no per-op allocation and the solver can walk edges with
+//! perfect locality.
 
-use crate::solver::{solve, DeadlockError, Timeline};
+use crate::solver::{solve, solve_makespan, DeadlockError, SolveScratch, Solver, Timeline};
 use crate::time::SimDuration;
 
 /// Identifier of an operation within an [`OpGraph`].
@@ -26,11 +31,17 @@ impl ResourceId {
 }
 
 /// A single operation: a fixed-duration task bound to one resource.
+///
+/// Dependency ids are stored in the graph's shared edge arena; read them
+/// with [`OpGraph::deps_of`].
 #[derive(Debug, Clone)]
 pub struct Op<T> {
     pub(crate) resource: ResourceId,
     pub(crate) duration: SimDuration,
-    pub(crate) deps: Vec<OpId>,
+    /// Offset of this op's dependency slice in the graph's edge arena.
+    pub(crate) deps_start: u32,
+    /// Length of this op's dependency slice.
+    pub(crate) deps_len: u32,
     pub(crate) tag: T,
 }
 
@@ -45,9 +56,9 @@ impl<T> Op<T> {
         self.duration
     }
 
-    /// Operations that must finish before this one may start.
-    pub fn deps(&self) -> &[OpId] {
-        &self.deps
+    /// Number of operations that must finish before this one may start.
+    pub fn num_deps(&self) -> usize {
+        self.deps_len as usize
     }
 
     /// User metadata attached to the operation.
@@ -64,6 +75,13 @@ impl<T> Op<T> {
 #[derive(Debug, Clone, Default)]
 pub struct OpGraph<T> {
     pub(crate) ops: Vec<Op<T>>,
+    /// Flat dependency-edge arena; each op owns the contiguous slice
+    /// `deps_start .. deps_start + deps_len`. [`OpGraph::add_dep`] may
+    /// relocate a slice to the tail, leaving a dead hole behind, so the
+    /// arena length can exceed [`OpGraph::num_edges`].
+    pub(crate) deps_arena: Vec<OpId>,
+    /// Live dependency-edge count (sum of all `deps_len`).
+    pub(crate) num_edges: usize,
     pub(crate) resource_names: Vec<String>,
     /// Per-resource list of op ids in submission order.
     pub(crate) resource_queues: Vec<Vec<OpId>>,
@@ -74,8 +92,23 @@ impl<T> OpGraph<T> {
     pub fn new() -> Self {
         OpGraph {
             ops: Vec::new(),
+            deps_arena: Vec::new(),
+            num_edges: 0,
             resource_names: Vec::new(),
             resource_queues: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with capacity reserved for `resources`
+    /// resources, `ops` operations and `edges` dependency edges, so
+    /// building a graph of known shape never reallocates.
+    pub fn with_capacity(resources: usize, ops: usize, edges: usize) -> Self {
+        OpGraph {
+            ops: Vec::with_capacity(ops),
+            deps_arena: Vec::with_capacity(edges),
+            num_edges: 0,
+            resource_names: Vec::with_capacity(resources),
+            resource_queues: Vec::with_capacity(resources),
         }
     }
 
@@ -96,7 +129,8 @@ impl<T> OpGraph<T> {
     /// # Panics
     ///
     /// Panics if `resource` or any dependency id does not belong to this
-    /// graph.
+    /// graph, or if a dependency names the operation being created (a
+    /// self-dependency — the id equal to the one about to be returned).
     pub fn add_op(
         &mut self,
         resource: ResourceId,
@@ -110,12 +144,17 @@ impl<T> OpGraph<T> {
         );
         let id = OpId(self.ops.len() as u32);
         for d in deps {
-            assert!(d.0 <= id.0, "dependency {d:?} not defined for op {id:?}");
+            assert_ne!(d.0, id.0, "an op cannot depend on itself ({id:?})");
+            assert!(d.0 < id.0, "dependency {d:?} not defined for op {id:?}");
         }
+        let deps_start = self.deps_arena.len() as u32;
+        self.deps_arena.extend_from_slice(deps);
+        self.num_edges += deps.len();
         self.ops.push(Op {
             resource,
             duration,
-            deps: deps.to_vec(),
+            deps_start,
+            deps_len: deps.len() as u32,
             tag,
         });
         self.resource_queues[resource.0 as usize].push(id);
@@ -138,12 +177,32 @@ impl<T> OpGraph<T> {
         assert!((op.0 as usize) < self.ops.len(), "unknown op {op:?}");
         assert!((dep.0 as usize) < self.ops.len(), "unknown dep {dep:?}");
         assert_ne!(op, dep, "an op cannot depend on itself");
-        self.ops[op.0 as usize].deps.push(dep);
+        let (start, len) = {
+            let o = &self.ops[op.0 as usize];
+            (o.deps_start as usize, o.deps_len as usize)
+        };
+        if start + len != self.deps_arena.len() {
+            // The op's slice is not at the arena tail: relocate it there
+            // so the appended edge stays contiguous. The old slice becomes
+            // a dead hole (bounded: lowering appends at most a couple of
+            // late edges per op).
+            let new_start = self.deps_arena.len() as u32;
+            self.deps_arena.extend_from_within(start..start + len);
+            self.ops[op.0 as usize].deps_start = new_start;
+        }
+        self.deps_arena.push(dep);
+        self.ops[op.0 as usize].deps_len += 1;
+        self.num_edges += 1;
     }
 
     /// Number of operations in the graph.
     pub fn num_ops(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Number of dependency edges in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
     }
 
     /// Number of resources in the graph.
@@ -154,6 +213,12 @@ impl<T> OpGraph<T> {
     /// The operation with the given id.
     pub fn op(&self, id: OpId) -> &Op<T> {
         &self.ops[id.0 as usize]
+    }
+
+    /// The operations `id` depends on (they must finish before it starts).
+    pub fn deps_of(&self, id: OpId) -> &[OpId] {
+        let op = &self.ops[id.0 as usize];
+        &self.deps_arena[op.deps_start as usize..(op.deps_start + op.deps_len) as usize]
     }
 
     /// The name of a resource.
@@ -187,6 +252,10 @@ impl<T> OpGraph<T> {
 
     /// Computes a start/end time for every operation.
     ///
+    /// Event-driven, O(V + E): see [`Solver`] for re-solving the same
+    /// graph repeatedly and [`OpGraph::solve_with`] for reusing the
+    /// solver workspace across graphs.
+    ///
     /// # Errors
     ///
     /// Returns [`DeadlockError`] if the combination of dependency edges and
@@ -194,6 +263,45 @@ impl<T> OpGraph<T> {
     /// op queued *behind* it on the same resource).
     pub fn solve(&self) -> Result<Timeline, DeadlockError> {
         solve(self)
+    }
+
+    /// Computes just the makespan, skipping the per-op [`Timeline`]
+    /// materialization — the fast path for search and pruning throughput.
+    ///
+    /// # Errors
+    ///
+    /// As [`OpGraph::solve`].
+    pub fn solve_makespan(&self) -> Result<SimDuration, DeadlockError> {
+        solve_makespan(self)
+    }
+
+    /// [`OpGraph::solve`] reusing a caller-owned workspace, so repeated
+    /// solves of many graphs (e.g. a configuration search) stop
+    /// reallocating.
+    ///
+    /// # Errors
+    ///
+    /// As [`OpGraph::solve`].
+    pub fn solve_with(&self, scratch: &mut SolveScratch) -> Result<Timeline, DeadlockError> {
+        let mut solver = Solver::with_scratch(self, std::mem::take(scratch));
+        let result = solver.solve();
+        *scratch = solver.into_scratch();
+        result
+    }
+
+    /// [`OpGraph::solve_makespan`] reusing a caller-owned workspace.
+    ///
+    /// # Errors
+    ///
+    /// As [`OpGraph::solve`].
+    pub fn solve_makespan_with(
+        &self,
+        scratch: &mut SolveScratch,
+    ) -> Result<SimDuration, DeadlockError> {
+        let mut solver = Solver::with_scratch(self, std::mem::take(scratch));
+        let result = solver.solve_makespan();
+        *scratch = solver.into_scratch();
+        result
     }
 }
 
@@ -208,12 +316,28 @@ mod tests {
         let a = g.add_op(r, SimDuration::from_nanos(5), &[], 1);
         let b = g.add_op(r, SimDuration::from_nanos(7), &[a], 2);
         assert_eq!(g.num_ops(), 2);
+        assert_eq!(g.num_edges(), 1);
         assert_eq!(g.num_resources(), 1);
-        assert_eq!(g.op(b).deps(), &[a]);
+        assert_eq!(g.deps_of(b), &[a]);
+        assert_eq!(g.op(b).num_deps(), 1);
         assert_eq!(*g.op(a).tag(), 1);
         assert_eq!(g.resource_name(r), "compute");
         assert_eq!(g.resource_queue(r), &[a, b]);
         assert_eq!(g.resource_work(r), SimDuration::from_nanos(12));
+    }
+
+    #[test]
+    fn with_capacity_builds_identically() {
+        let mut g: OpGraph<()> = OpGraph::with_capacity(2, 3, 2);
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_op(r1, SimDuration::from_nanos(1), &[], ());
+        let b = g.add_op(r2, SimDuration::from_nanos(2), &[a], ());
+        let c = g.add_op(r1, SimDuration::from_nanos(3), &[a, b], ());
+        assert_eq!(g.num_ops(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.deps_of(c), &[a, b]);
+        assert_eq!(g.solve().unwrap().makespan(), SimDuration::from_nanos(6));
     }
 
     #[test]
@@ -226,6 +350,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "cannot depend on itself")]
+    fn add_op_self_dep_panics() {
+        // The id a new op will get is `num_ops()`; naming it in `deps`
+        // is a self-dependency and must be rejected at insert time (it
+        // used to slip through the `<=` bound and only surface later as
+        // a confusing solve-time deadlock).
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        g.add_op(r, SimDuration::ZERO, &[OpId(0)], ());
+    }
+
+    #[test]
     fn add_dep_allows_forward_edges() {
         let mut g: OpGraph<()> = OpGraph::new();
         let r1 = g.add_resource("a");
@@ -235,6 +371,24 @@ mod tests {
         g.add_dep(a, b); // forward in creation order, across resources
         let t = g.solve().unwrap();
         assert_eq!(t.start_of(a).as_nanos(), 5);
+    }
+
+    #[test]
+    fn add_dep_relocates_non_tail_slices() {
+        // Append a late edge to an op whose dep slice is buried in the
+        // middle of the arena: the slice must stay contiguous and correct.
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_op(r1, SimDuration::from_nanos(1), &[], ());
+        let b = g.add_op(r2, SimDuration::from_nanos(2), &[a], ());
+        let c = g.add_op(r2, SimDuration::from_nanos(3), &[a, b], ());
+        g.add_dep(b, c); // b's slice [a] is not at the tail
+        assert_eq!(g.deps_of(b), &[a, c]);
+        assert_eq!(g.deps_of(c), &[a, b]);
+        assert_eq!(g.num_edges(), 4);
+        // b now waits for c, but c queues behind b on r2: deadlock.
+        assert!(g.solve().is_err());
     }
 
     #[test]

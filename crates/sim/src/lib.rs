@@ -38,6 +38,8 @@
 mod critical_path;
 mod graph;
 mod perturb;
+#[cfg(any(test, feature = "reference-solver"))]
+mod reference;
 mod solver;
 mod stats;
 mod time;
@@ -46,7 +48,7 @@ mod trace;
 pub use critical_path::CriticalPath;
 pub use graph::{Op, OpGraph, OpId, ResourceId};
 pub use perturb::{OpClass, Perturbation};
-pub use solver::{DeadlockError, ScheduledOp, Timeline};
+pub use solver::{DeadlockError, ScheduledOp, SolveScratch, SolveStats, Solver, Timeline};
 pub use stats::{ResourceStats, UtilizationSummary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{AsciiTimelineOptions, TraceRow};

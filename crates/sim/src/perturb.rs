@@ -194,6 +194,36 @@ impl Perturbation {
             .unwrap_or(1.0)
     }
 
+    /// True when this perturbation draws per-op randomness (jitter or
+    /// active stalls). Without randomness, [`Perturbation::perturb`] is
+    /// fully decided by [`Perturbation::class_factor`], letting bulk
+    /// callers precompute one factor per (class, device) instead of
+    /// hashing per op.
+    pub fn has_randomness(&self) -> bool {
+        self.jitter_frac > 0.0 || (self.stall_probability > 0.0 && !self.stall.is_zero())
+    }
+
+    /// The deterministic multiplier applied to ops of `class` on
+    /// `device`: the straggler multiplier for compute, the link
+    /// degradation for communication.
+    pub fn class_factor(&self, class: OpClass, device: u32) -> f64 {
+        match class {
+            OpClass::Compute => self.straggler_multiplier(device),
+            OpClass::Communication => self.link_degradation,
+        }
+    }
+
+    /// Applies a deterministic factor exactly as
+    /// [`Perturbation::perturb`] does on its randomness-free path, so
+    /// bulk fast paths built on [`Perturbation::class_factor`] stay
+    /// bit-identical to per-op `perturb` calls.
+    pub fn apply_factor(base: SimDuration, factor: f64) -> SimDuration {
+        if factor == 1.0 || base.is_zero() {
+            return base;
+        }
+        SimDuration::from_nanos((base.as_nanos() as f64 * factor).round() as u64)
+    }
+
     /// The largest factor by which this perturbation can *shorten* an
     /// op: `1 / (1 - jitter_frac)` (only jitter can speed ops up; all
     /// other knobs are constrained ≥ 1). The search scales its
@@ -205,8 +235,11 @@ impl Perturbation {
 
     /// Perturbs one op duration. `salt` disambiguates ops that share a
     /// (device, class) — callers pass a per-op stable value (e.g. the
-    /// op's index in its graph). Identity perturbations and
-    /// zero-length ops return `base` unchanged.
+    /// op's index in its graph). Identity perturbations, zero-length
+    /// ops, and ops a randomness-free perturbation does not touch (the
+    /// usual straggler-sweep case) return `base` unchanged, without any
+    /// hashing — this keeps the duration-only re-solve path in the
+    /// robustness sweep cheap.
     pub fn perturb(
         &self,
         base: SimDuration,
@@ -214,8 +247,14 @@ impl Perturbation {
         device: u32,
         salt: u64,
     ) -> SimDuration {
-        if self.is_identity() || base.is_zero() {
+        if base.is_zero() {
             return base;
+        }
+        let class_factor = self.class_factor(class, device);
+        if !self.has_randomness() {
+            // No per-op randomness configured: the deterministic class
+            // factor fully decides the result, so skip the hashing.
+            return Self::apply_factor(base, class_factor);
         }
         let class_bits = match class {
             OpClass::Compute => 0x43u64,       // 'C'
@@ -224,15 +263,11 @@ impl Perturbation {
         let key = splitmix64(self.fingerprint() ^ splitmix64(salt))
             ^ splitmix64((u64::from(device) << 8) | class_bits);
 
-        let mut factor = if self.jitter_frac > 0.0 {
-            1.0 + self.jitter_frac * (2.0 * unit_f64(splitmix64(key ^ 1)) - 1.0)
+        let factor = if self.jitter_frac > 0.0 {
+            (1.0 + self.jitter_frac * (2.0 * unit_f64(splitmix64(key ^ 1)) - 1.0)) * class_factor
         } else {
-            1.0
+            class_factor
         };
-        match class {
-            OpClass::Compute => factor *= self.straggler_multiplier(device),
-            OpClass::Communication => factor *= self.link_degradation,
-        }
         let mut nanos = (base.as_nanos() as f64 * factor).round() as u64;
         if self.stall_probability > 0.0
             && !self.stall.is_zero()

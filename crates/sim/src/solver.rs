@@ -1,4 +1,13 @@
-//! The deterministic list-scheduling solver.
+//! The deterministic timeline solver.
+//!
+//! Event-driven, O(V + E): a CSR reverse-dependency index (flat
+//! `dependents` arena plus per-op pending-dep counters) is built once per
+//! graph, then a ready queue schedules each operation exactly once — no
+//! round-robin rescanning. The produced timeline is *bit-identical* to
+//! the reference round-robin solver ([`crate::reference`], kept as a
+//! test/bench oracle), because an op's start time — `max(resource free,
+//! all deps done)` — is a pure function of already-scheduled ops, so the
+//! ready-queue processing order cannot change any time. See DESIGN.md §9.
 
 use std::error::Error;
 use std::fmt;
@@ -35,6 +44,21 @@ pub struct Timeline {
 }
 
 impl Timeline {
+    /// Assembles a timeline from solved parts (used by the reference
+    /// solver, which lives in a sibling module).
+    #[cfg(any(test, feature = "reference-solver"))]
+    pub(crate) fn from_parts(
+        scheduled: Vec<ScheduledOp>,
+        makespan: SimDuration,
+        num_resources: usize,
+    ) -> Self {
+        Timeline {
+            scheduled,
+            makespan,
+            num_resources,
+        }
+    }
+
     /// Completion time of the whole graph.
     pub fn makespan(&self) -> SimDuration {
         self.makespan
@@ -59,6 +83,20 @@ impl Timeline {
     pub fn num_resources(&self) -> usize {
         self.num_resources
     }
+}
+
+/// The aggregate outputs of one solve — makespan plus per-resource busy
+/// time — without the per-op timeline. Busy time is an order-independent
+/// integer sum of op durations, so these match what
+/// [`Timeline::resource_stats`] derives from a materialized timeline
+/// bit for bit, at a fraction of the cost; perturbation sweeps use this
+/// via [`Solver::solve_stats_with_durations`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Completion time of the whole graph.
+    pub makespan: SimDuration,
+    /// Total executing time per resource, indexed by [`ResourceId::index`].
+    pub busy: Vec<SimDuration>,
 }
 
 /// The graph admits no schedule: an operation can never start.
@@ -111,14 +149,15 @@ impl Error for DeadlockError {}
 /// unfinished dependency or (when its deps are all done) by the current
 /// head of its resource's FIFO queue. Following that single "binding
 /// blocker" edge from any blocked op must revisit a node — that loop is
-/// the unresolvable cycle.
-fn blocking_cycle<T>(
+/// the unresolvable cycle. Shared by the event-driven solver and the
+/// reference round-robin solver so their reports agree exactly.
+pub(crate) fn blocking_cycle<T>(
     graph: &OpGraph<T>,
-    end: &[Option<SimTime>],
+    done: &[bool],
     queue_pos: &[usize],
     start: OpId,
 ) -> Vec<OpId> {
-    let mut seen_at: Vec<Option<usize>> = vec![None; graph.ops.len()];
+    let mut seen_at: Vec<Option<usize>> = vec![None; graph.num_ops()];
     let mut chain: Vec<OpId> = Vec::new();
     let mut cur = start;
     loop {
@@ -127,105 +166,572 @@ fn blocking_cycle<T>(
         }
         seen_at[cur.index()] = Some(chain.len());
         chain.push(cur);
-        let op = &graph.ops[cur.index()];
-        cur = match op.deps.iter().copied().find(|d| end[d.index()].is_none()) {
+        let resource = graph.op(cur).resource();
+        cur = match graph
+            .deps_of(cur)
+            .iter()
+            .copied()
+            .find(|d| !done[d.index()])
+        {
             Some(dep) => dep,
             // Deps all done yet unscheduled: blocked behind its queue's
             // current (dep-blocked) head.
-            None => graph.resource_queues[op.resource.index()][queue_pos[op.resource.index()]],
+            None => graph.resource_queues[resource.index()][queue_pos[resource.index()]],
         };
     }
 }
 
-/// Solves the graph: every resource executes its queue in order; an op
-/// starts at `max(resource free, all deps done)`.
-pub(crate) fn solve<T>(graph: &OpGraph<T>) -> Result<Timeline, DeadlockError> {
-    let n = graph.ops.len();
-    let num_resources = graph.resource_queues.len();
+/// Per-op solve state, packed into one location so the hot reverse-edge
+/// pass touches a single cache line per dependent: the countdown of
+/// unfinished dependencies and the running max of finished-dependency end
+/// times (so scheduling an op never re-walks its dependency list).
+#[derive(Debug, Clone, Copy)]
+struct OpState {
+    /// Latest end time among this op's *finished* dependencies; the true
+    /// dependency-ready time once `pending` reaches zero.
+    deps_ready: SimTime,
+    /// Unfinished dependency count. Not updated when the op itself runs:
+    /// a scheduled op is never revisited (it can't reappear as a queue
+    /// head or a dependent), and the deadlock path recovers the scheduled
+    /// set from the consumed worklist prefix instead.
+    pending: u32,
+    /// The op's resource index, packed here so the reverse-edge pass
+    /// finds it on the cache line it already loaded.
+    resource: u32,
+}
 
-    // end[i] = Some(end time) once scheduled.
-    let mut end: Vec<Option<SimTime>> = vec![None; n];
-    let mut start: Vec<SimTime> = vec![SimTime::ZERO; n];
-    // Per-resource: index of the next queued op to run, and the time the
-    // resource becomes free.
-    let mut queue_pos: Vec<usize> = vec![0; num_resources];
-    let mut free_at: Vec<SimTime> = vec![SimTime::ZERO; num_resources];
-    let mut scheduled_count = 0usize;
+/// Per-resource solve state, packed so each scheduling step touches one
+/// location: when the resource frees up, the absolute `queue_arena`
+/// cursor/limit of its FIFO queue, and the cached current head.
+#[derive(Debug, Clone, Copy)]
+struct ResourceState {
+    /// When the resource next becomes free.
+    free_at: SimTime,
+    /// Total duration scheduled on this resource so far — accumulated in
+    /// the hot loop (the line is already being written) so
+    /// [`SolveStats`] needs no second pass over the ops.
+    busy: SimDuration,
+    /// Absolute `queue_arena` position of the next queued op.
+    next_pos: u32,
+    /// Absolute end of this resource's `queue_arena` slice.
+    limit: u32,
+    /// Raw id of the current queue head (`u32::MAX` once drained),
+    /// cached so the reverse-edge pass checks readiness without
+    /// touching the queue itself.
+    head: u32,
+}
 
-    // Round-robin over resources until no progress. Each inner `while`
-    // drains a resource as far as dependencies allow, so the outer loop
-    // runs at most O(n) times in total across all its iterations.
-    loop {
-        let mut progressed = false;
+/// Reusable solver workspace: the CSR reverse-dependency index plus every
+/// per-solve buffer. Passing one scratch through
+/// [`OpGraph::solve_with`] / [`Solver::with_scratch`] lets thousands of
+/// candidate solves (as in the configuration search) run without a single
+/// heap allocation after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    /// CSR row pointers: dependents of op `i` live at
+    /// `dependents[indptr[i] .. indptr[i + 1]]`.
+    indptr: Vec<u32>,
+    /// CSR column indices: flat arena of reverse dependency edges.
+    dependents: Vec<OpId>,
+    /// Scatter cursors used while filling `dependents`.
+    fill_cursor: Vec<u32>,
+    /// Pristine per-op state (dependency count + resource index,
+    /// `deps_ready` zeroed), built once per graph; every solve resets
+    /// `state` with one flat copy of this template.
+    init_state: Vec<OpState>,
+    /// Per-op resource index, copied out of the graph so the hot loop
+    /// reads a dense array instead of chasing `Op` structs.
+    op_resource: Vec<u32>,
+    /// Per-op base duration, copied out of the graph: solves without a
+    /// duration override index this, so both paths run the same loop.
+    op_duration: Vec<SimDuration>,
+    /// Flattened FIFO queues: resource `r`'s queue is
+    /// `queue_arena[queue_indptr[r] .. queue_indptr[r + 1]]`.
+    queue_indptr: Vec<u32>,
+    /// Concatenated per-resource queues (see `queue_indptr`).
+    queue_arena: Vec<OpId>,
+    /// Per-solve countdown + dependency-ready time per op.
+    state: Vec<OpState>,
+    /// Ready worklist (ops whose deps are done and which head their
+    /// resource queue).
+    ready: Vec<OpId>,
+    /// Solved start time per op (written only when a full timeline is
+    /// materialized).
+    start: Vec<SimTime>,
+    /// Solved end time per op (written only when a full timeline is
+    /// materialized).
+    end: Vec<SimTime>,
+    /// Per-resource packed solve state (free time, queue cursor, head).
+    res: Vec<ResourceState>,
+}
+
+impl SolveScratch {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+
+    /// Creates a workspace pre-sized for graphs of the given shape.
+    pub fn with_capacity(ops: usize, edges: usize, resources: usize) -> Self {
+        SolveScratch {
+            indptr: Vec::with_capacity(ops + 1),
+            dependents: Vec::with_capacity(edges),
+            fill_cursor: Vec::with_capacity(ops),
+            init_state: Vec::with_capacity(ops),
+            op_resource: Vec::with_capacity(ops),
+            op_duration: Vec::with_capacity(ops),
+            queue_indptr: Vec::with_capacity(resources + 1),
+            queue_arena: Vec::with_capacity(ops),
+            state: Vec::with_capacity(ops),
+            ready: Vec::with_capacity(resources),
+            start: Vec::with_capacity(ops),
+            end: Vec::with_capacity(ops),
+            res: Vec::with_capacity(resources),
+        }
+    }
+}
+
+/// An event-driven solver bound to one graph.
+///
+/// Construction builds the CSR reverse-dependency index once, O(V + E);
+/// every subsequent solve reuses it. Because the solver borrows the
+/// graph, the topology cannot change underneath it — which is what makes
+/// the duration-only re-solve paths
+/// ([`Solver::solve_with_durations`] and
+/// [`Solver::solve_makespan_with_durations`]) sound: perturbation sweeps
+/// lower a schedule once and re-solve it under many duration vectors.
+#[derive(Debug)]
+pub struct Solver<'g, T> {
+    graph: &'g OpGraph<T>,
+    s: SolveScratch,
+}
+
+impl<'g, T> Solver<'g, T> {
+    /// Builds the solver (and its CSR index) for `graph`.
+    pub fn new(graph: &'g OpGraph<T>) -> Self {
+        Self::with_scratch(graph, SolveScratch::new())
+    }
+
+    /// As [`Solver::new`], reusing a previously allocated workspace
+    /// (recovered from another solver via [`Solver::into_scratch`]).
+    pub fn with_scratch(graph: &'g OpGraph<T>, mut scratch: SolveScratch) -> Self {
+        build_csr(graph, &mut scratch);
+        Solver { graph, s: scratch }
+    }
+
+    /// Releases the workspace for reuse with another graph.
+    pub fn into_scratch(self) -> SolveScratch {
+        self.s
+    }
+
+    /// Solves the graph into a full [`Timeline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlockError`] if the graph admits no schedule.
+    pub fn solve(&mut self) -> Result<Timeline, DeadlockError> {
+        let makespan = self.run(None, true)?;
+        Ok(self.materialize(makespan))
+    }
+
+    /// Solves for the makespan only, skipping the per-op timeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve`].
+    pub fn solve_makespan(&mut self) -> Result<SimDuration, DeadlockError> {
+        self.run(None, false)
+    }
+
+    /// Re-solves the fixed topology with every op's duration replaced by
+    /// `durations[op.index()]` — the duration-only fast path for
+    /// perturbation sweeps (the graph is lowered once, then re-solved per
+    /// severity/seed point).
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.len() != graph.num_ops()`.
+    pub fn solve_with_durations(
+        &mut self,
+        durations: &[SimDuration],
+    ) -> Result<Timeline, DeadlockError> {
+        let makespan = self.run(Some(durations), true)?;
+        Ok(self.materialize(makespan))
+    }
+
+    /// Makespan-only variant of [`Solver::solve_with_durations`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.len() != graph.num_ops()`.
+    pub fn solve_makespan_with_durations(
+        &mut self,
+        durations: &[SimDuration],
+    ) -> Result<SimDuration, DeadlockError> {
+        self.run(Some(durations), false)
+    }
+
+    /// Solves for the makespan and per-resource busy times — everything
+    /// the measurement layer consumes — without materializing a per-op
+    /// timeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve`].
+    pub fn solve_stats(&mut self) -> Result<SolveStats, DeadlockError> {
+        let makespan = self.run(None, false)?;
+        Ok(self.stats(makespan))
+    }
+
+    /// As [`Solver::solve_stats`], with every op's duration replaced by
+    /// `durations[op.index()]` — the cheapest re-solve in a perturbation
+    /// sweep that still feeds the full measurement.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.len() != graph.num_ops()`.
+    pub fn solve_stats_with_durations(
+        &mut self,
+        durations: &[SimDuration],
+    ) -> Result<SolveStats, DeadlockError> {
+        let makespan = self.run(Some(durations), false)?;
+        Ok(self.stats(makespan))
+    }
+
+    /// Per-resource busy sums of the solve that just ran, accumulated in
+    /// the hot loop. Plain integer sums of op durations — identical to
+    /// summing a materialized timeline's per-op `end - start`.
+    fn stats(&self, makespan: SimDuration) -> SolveStats {
+        SolveStats {
+            makespan,
+            busy: self.s.res.iter().map(|r| r.busy).collect(),
+        }
+    }
+
+    /// The event loop. Schedules every op exactly once: an op enters the
+    /// ready queue when its pending-dep counter hits zero *and* it heads
+    /// its resource's FIFO queue; scheduling it advances the queue (which
+    /// may ready the next head) and decrements its CSR dependents (which
+    /// may ready ops that were already at their queue head). Each op's
+    /// start time depends only on previously scheduled ops, so the
+    /// worklist order never affects the timeline — determinism needs no
+    /// tie-breaking at all.
+    fn run(
+        &mut self,
+        durations: Option<&[SimDuration]>,
+        record_starts: bool,
+    ) -> Result<SimDuration, DeadlockError> {
+        if record_starts {
+            self.run_impl::<true>(durations)
+        } else {
+            self.run_impl::<false>(durations)
+        }
+    }
+
+    /// [`Solver::run`], monomorphized over whether per-op start/end
+    /// times are recorded (timeline solves) or skipped (makespan/stats
+    /// solves).
+    fn run_impl<const RECORD: bool>(
+        &mut self,
+        durations: Option<&[SimDuration]>,
+    ) -> Result<SimDuration, DeadlockError> {
+        let graph = self.graph;
+        let s = &mut self.s;
+        let n = graph.num_ops();
+        let num_resources = graph.resource_queues.len();
+        if let Some(d) = durations {
+            assert_eq!(
+                d.len(),
+                n,
+                "duration override must cover every op (got {}, graph has {n})",
+                d.len()
+            );
+        }
+        // Split borrows: the topology caches stay shared while the
+        // per-solve buffers are written.
+        let SolveScratch {
+            indptr,
+            dependents,
+            init_state,
+            op_duration,
+            queue_indptr,
+            queue_arena,
+            state,
+            ready,
+            start,
+            end,
+            res,
+            ..
+        } = s;
+        // Without an override, the base durations cached at build time
+        // serve as the "override": both paths run one slice-indexed loop.
+        let ds: &[SimDuration] = durations.unwrap_or(op_duration);
+
+        state.clear();
+        state.extend_from_slice(init_state);
+        // `end`/`start` are only read for ops scheduled *this* solve, so
+        // stale values from a previous solve need no zeroing.
+        if RECORD {
+            start.resize(n, SimTime::ZERO);
+            end.resize(n, SimTime::ZERO);
+        }
+        ready.clear();
+
+        // Seed: cache every queue's head; heads with no pending deps are
+        // ready.
+        res.clear();
         for r in 0..num_resources {
-            while let Some(&op_id) = graph.resource_queues[r].get(queue_pos[r]) {
-                let op = &graph.ops[op_id.index()];
-                let mut ready_at = free_at[r];
-                let mut all_done = true;
-                for d in &op.deps {
-                    match end[d.index()] {
-                        Some(t) => ready_at = ready_at.max(t),
-                        None => {
-                            all_done = false;
-                            break;
-                        }
+            let (lo, hi) = (queue_indptr[r], queue_indptr[r + 1]);
+            let head = if lo < hi {
+                let first = queue_arena[lo as usize];
+                if state[first.index()].pending == 0 {
+                    ready.push(first);
+                }
+                first.0
+            } else {
+                u32::MAX
+            };
+            res.push(ResourceState {
+                free_at: SimTime::ZERO,
+                busy: SimDuration::ZERO,
+                next_pos: lo,
+                limit: hi,
+                head,
+            });
+        }
+
+        // The worklist is consumed FIFO via a cursor (never popped):
+        // processing order then tracks the schedule's wave order, which
+        // keeps the scattered per-op state accesses roughly sequential.
+        // Each op enters the list exactly once, so it tops out at `n`.
+        //
+        // SAFETY (for the `get_unchecked` accesses below): every `OpId`
+        // reaching the worklist comes from `queue_arena` or `dependents`,
+        // which hold ids the graph validated at `add_op` time, so every
+        // op index is `< n` — the length of `state`, `ds`, and (when
+        // `RECORD`) `start`/`end`, and `i + 1 <= n` indexes `indptr`
+        // (length `n + 1`). Every `OpState::resource` was an in-range
+        // resource id at `add_op` time, so it indexes `res` (length
+        // `num_resources`). `next_pos < rs.limit <= queue_arena.len()`
+        // guards the arena read, and `indptr` is a prefix sum bounded by
+        // `dependents.len()`. These invariants hold for any input graph
+        // (they do not depend on acyclicity), and the debug assertions
+        // below re-check them in debug builds.
+        let mut cursor = 0usize;
+        while cursor < ready.len() {
+            let op_id = ready[cursor];
+            cursor += 1;
+            let i = op_id.index();
+            debug_assert!(i < n);
+            let st_i = unsafe { *state.get_unchecked(i) };
+            debug_assert!((st_i.resource as usize) < num_resources);
+            let rs = unsafe { res.get_unchecked_mut(st_i.resource as usize) };
+
+            // `deps_ready` was folded in as each dependency finished, so
+            // scheduling never re-walks the dependency list.
+            let d = unsafe { *ds.get_unchecked(i) };
+            let ready_at = rs.free_at.max(st_i.deps_ready);
+            let finish = ready_at + d;
+            rs.busy += d;
+            if RECORD {
+                unsafe {
+                    *start.get_unchecked_mut(i) = ready_at;
+                    *end.get_unchecked_mut(i) = finish;
+                }
+            }
+            rs.free_at = finish;
+            let next_pos = rs.next_pos + 1;
+            rs.next_pos = next_pos;
+
+            // The next op on this queue may now be schedulable.
+            if next_pos < rs.limit {
+                let next = unsafe { *queue_arena.get_unchecked(next_pos as usize) };
+                rs.head = next.0;
+                if unsafe { state.get_unchecked(next.index()) }.pending == 0 {
+                    ready.push(next);
+                }
+            } else {
+                rs.head = u32::MAX;
+            }
+            // Dependents lose one pending dep and absorb this end time;
+            // those already heading their queue become ready. (An op is
+            // pushed exactly once: the two conditions — counter reaching
+            // zero and reaching the queue head — complete in some order,
+            // and only the later event pushes.)
+            let (lo, hi) = unsafe {
+                (
+                    *indptr.get_unchecked(i) as usize,
+                    *indptr.get_unchecked(i + 1) as usize,
+                )
+            };
+            debug_assert!(lo <= hi && hi <= dependents.len());
+            for &dependent in unsafe { dependents.get_unchecked(lo..hi) } {
+                let j = dependent.index();
+                debug_assert!(j < n);
+                let st = unsafe { state.get_unchecked_mut(j) };
+                st.deps_ready = st.deps_ready.max(finish);
+                st.pending -= 1;
+                if st.pending == 0 {
+                    let rq = st.resource as usize;
+                    if unsafe { res.get_unchecked(rq) }.head == dependent.0 {
+                        ready.push(dependent);
                     }
                 }
-                if !all_done {
-                    break;
-                }
-                start[op_id.index()] = ready_at;
-                let finish = ready_at + op.duration;
-                end[op_id.index()] = Some(finish);
-                free_at[r] = finish;
-                queue_pos[r] += 1;
-                scheduled_count += 1;
-                progressed = true;
             }
         }
-        if scheduled_count == n {
-            break;
-        }
-        if !progressed {
-            // Find a blocked queue head to report.
+
+        if cursor != n {
+            // Report the lowest-numbered resource with a blocked head —
+            // the same choice the reference round-robin solver makes, so
+            // errors are bit-identical too. `blocking_cycle` is shared
+            // with the reference solver and takes queue-relative
+            // positions and a done array, so convert back from the arena
+            // offsets; the scheduled set is exactly the consumed worklist
+            // prefix (each op is pushed once and processed once).
+            let rel_pos: Vec<usize> = (0..num_resources)
+                .map(|r| (res[r].next_pos - queue_indptr[r]) as usize)
+                .collect();
+            let mut done = vec![false; n];
+            for &op in &ready[..cursor] {
+                done[op.index()] = true;
+            }
             let (r, stuck) = (0..num_resources)
-                .find_map(|r| {
-                    graph.resource_queues[r]
-                        .get(queue_pos[r])
-                        .map(|&op| (r, op))
-                })
+                .find_map(|r| graph.resource_queues[r].get(rel_pos[r]).map(|&op| (r, op)))
                 .expect("unscheduled ops must sit on some queue");
             return Err(DeadlockError {
                 stuck_op: stuck,
                 resource: ResourceId(r as u32),
                 resource_name: graph.resource_names[r].clone(),
-                cycle: blocking_cycle(graph, &end, &queue_pos, stuck),
-                unscheduled: n - scheduled_count,
+                cycle: blocking_cycle(graph, &done, &rel_pos, stuck),
+                unscheduled: n - cursor,
             });
         }
+
+        // Every resource's `free_at` is its last op's end time, so the
+        // makespan is their max — no per-op max in the hot loop.
+        let makespan = res.iter().map(|r| r.free_at).max().unwrap_or(SimTime::ZERO);
+        Ok(makespan.duration_since(SimTime::ZERO))
     }
 
-    let makespan = end
-        .iter()
-        .map(|t| t.expect("all ops scheduled"))
-        .max()
-        .unwrap_or(SimTime::ZERO)
-        .duration_since(SimTime::ZERO);
+    /// Collects the per-op times of the last successful [`Solver::run`]
+    /// (with `record_starts`) into a [`Timeline`].
+    fn materialize(&self, makespan: SimDuration) -> Timeline {
+        let graph = self.graph;
+        let s = &self.s;
+        let scheduled = (0..graph.num_ops())
+            .map(|i| ScheduledOp {
+                op: OpId(i as u32),
+                resource: ResourceId(s.op_resource[i]),
+                start: s.start[i],
+                end: s.end[i],
+            })
+            .collect();
+        Timeline {
+            scheduled,
+            makespan,
+            num_resources: graph.num_resources(),
+        }
+    }
+}
 
-    let scheduled = (0..n)
-        .map(|i| ScheduledOp {
-            op: OpId(i as u32),
-            resource: graph.ops[i].resource,
-            start: start[i],
-            end: end[i].expect("all ops scheduled"),
-        })
-        .collect();
+/// Builds the per-graph topology caches of `graph` into `scratch`
+/// (reusing its buffers): the CSR reverse-dependency index
+/// (`indptr`/`dependents` list, for each op, the ops that depend on it;
+/// `init_pending` counts each op's dependencies) plus the flat per-op
+/// resource/duration arrays and the flattened FIFO queue arena the hot
+/// loop reads instead of the graph.
+fn build_csr<T>(graph: &OpGraph<T>, scratch: &mut SolveScratch) {
+    let n = graph.num_ops();
+    scratch.indptr.clear();
+    scratch.indptr.resize(n + 1, 0);
+    scratch.init_state.clear();
+    scratch.op_resource.clear();
+    scratch.op_duration.clear();
+    for id in graph.op_ids() {
+        let op = graph.op(id);
+        scratch.op_resource.push(op.resource().0);
+        scratch.op_duration.push(op.duration());
+    }
+    scratch.queue_indptr.clear();
+    scratch.queue_arena.clear();
+    scratch.queue_indptr.push(0);
+    for queue in &graph.resource_queues {
+        scratch.queue_arena.extend_from_slice(queue);
+        scratch.queue_indptr.push(scratch.queue_arena.len() as u32);
+    }
 
-    Ok(Timeline {
-        scheduled,
-        makespan,
-        num_resources,
+    // Count in-edges per *dependency* (out-degree of the reverse graph)
+    // and lay down the pristine per-solve state template.
+    for id in graph.op_ids() {
+        let deps = graph.deps_of(id);
+        scratch.init_state.push(OpState {
+            deps_ready: SimTime::ZERO,
+            pending: deps.len() as u32,
+            resource: scratch.op_resource[id.index()],
+        });
+        for d in deps {
+            scratch.indptr[d.index() + 1] += 1;
+        }
+    }
+    for i in 1..=n {
+        scratch.indptr[i] += scratch.indptr[i - 1];
+    }
+    scratch.dependents.clear();
+    scratch.dependents.resize(graph.num_edges(), OpId(0));
+    // Fill using a moving cursor per row (cursor[i] ends at indptr[i+1]).
+    scratch.fill_cursor.clear();
+    scratch.fill_cursor.extend_from_slice(&scratch.indptr[..n]);
+    for id in graph.op_ids() {
+        for d in graph.deps_of(id) {
+            let c = &mut scratch.fill_cursor[d.index()];
+            scratch.dependents[*c as usize] = id;
+            *c += 1;
+        }
+    }
+}
+
+thread_local! {
+    /// Workspace reused by the transient-solve entry points
+    /// ([`OpGraph::solve`] / [`OpGraph::solve_makespan`]): without it,
+    /// every call re-allocates (and, for large graphs, page-faults in)
+    /// several MB of scratch. The cell retains the capacity of the
+    /// largest graph solved on this thread — bounded and cheap for the
+    /// graph sizes this workspace simulates.
+    static TRANSIENT_SCRATCH: std::cell::Cell<SolveScratch> =
+        std::cell::Cell::new(SolveScratch::new());
+}
+
+/// Runs `f` with a [`Solver`] borrowing the thread-local scratch.
+fn with_transient_solver<T, R>(graph: &OpGraph<T>, f: impl FnOnce(&mut Solver<'_, T>) -> R) -> R {
+    TRANSIENT_SCRATCH.with(|cell| {
+        let mut solver = Solver::with_scratch(graph, cell.take());
+        let result = f(&mut solver);
+        cell.set(solver.into_scratch());
+        result
     })
+}
+
+/// Solves the graph with a transient [`Solver`]: every resource executes
+/// its queue in order; an op starts at `max(resource free, all deps done)`.
+pub(crate) fn solve<T>(graph: &OpGraph<T>) -> Result<Timeline, DeadlockError> {
+    with_transient_solver(graph, |solver| solver.solve())
+}
+
+/// Makespan-only transient solve (see [`solve`]).
+pub(crate) fn solve_makespan<T>(graph: &OpGraph<T>) -> Result<SimDuration, DeadlockError> {
+    with_transient_solver(graph, |solver| solver.solve_makespan())
 }
 
 #[cfg(test)]
@@ -248,6 +754,7 @@ mod tests {
         }
         let t = g.solve().unwrap();
         assert_eq!(t.makespan(), ns(40));
+        assert_eq!(g.solve_makespan().unwrap(), ns(40));
     }
 
     #[test]
@@ -352,6 +859,7 @@ mod tests {
         let b = g.add_op(r2, ns(1), &[a], ());
         g.add_dep(a, b); // a -> b -> a
         assert!(g.solve().is_err());
+        assert!(g.solve_makespan().is_err());
     }
 
     #[test]
@@ -374,6 +882,7 @@ mod tests {
         let t = g.solve().unwrap();
         assert_eq!(t.makespan(), SimDuration::ZERO);
         assert!(t.scheduled_ops().is_empty());
+        assert_eq!(g.solve_makespan().unwrap(), SimDuration::ZERO);
     }
 
     #[test]
@@ -385,5 +894,68 @@ mod tests {
         let t = g.solve().unwrap();
         assert_eq!(t.makespan(), SimDuration::ZERO);
         assert_eq!(t.start_of(b), SimTime::ZERO);
+    }
+
+    #[test]
+    fn solver_resolves_repeatedly_and_with_durations() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_op(r1, ns(10), &[], ());
+        let send = g.add_op(r2, ns(4), &[a], ());
+        let c = g.add_op(r1, ns(3), &[send], ());
+        let _ = c;
+        let mut solver = Solver::new(&g);
+        let t1 = solver.solve().unwrap();
+        assert_eq!(t1.makespan(), ns(17));
+        assert_eq!(solver.solve_makespan().unwrap(), ns(17));
+
+        // Same topology, new durations: only the numbers move.
+        let durs = [ns(20), ns(4), ns(3)];
+        let t2 = solver.solve_with_durations(&durs).unwrap();
+        assert_eq!(t2.makespan(), ns(27));
+        assert_eq!(solver.solve_makespan_with_durations(&durs).unwrap(), ns(27));
+        // Original durations still produce the original timeline.
+        let t3 = solver.solve().unwrap();
+        assert_eq!(t3.makespan(), ns(17));
+        assert_eq!(t3.scheduled_ops(), t1.scheduled_ops());
+    }
+
+    #[test]
+    fn scratch_reuse_across_graphs_is_clean() {
+        let mut scratch = SolveScratch::with_capacity(8, 8, 2);
+        // First graph: a chain.
+        let mut g1: OpGraph<()> = OpGraph::new();
+        let r = g1.add_resource("r");
+        let a = g1.add_op(r, ns(5), &[], ());
+        g1.add_op(r, ns(5), &[a], ());
+        assert_eq!(g1.solve_with(&mut scratch).unwrap().makespan(), ns(10));
+        assert_eq!(g1.solve_makespan_with(&mut scratch).unwrap(), ns(10));
+        // Second, differently shaped graph with the same scratch.
+        let mut g2: OpGraph<()> = OpGraph::new();
+        let r1 = g2.add_resource("a");
+        let r2 = g2.add_resource("b");
+        let x = g2.add_op(r1, ns(7), &[], ());
+        let y = g2.add_op(r2, ns(2), &[x], ());
+        g2.add_op(r1, ns(1), &[y], ());
+        assert_eq!(g2.solve_with(&mut scratch).unwrap().makespan(), ns(10));
+        // And a deadlocked graph leaves the scratch reusable.
+        let mut g3: OpGraph<()> = OpGraph::new();
+        let r = g3.add_resource("r");
+        let h = g3.add_op(r, ns(1), &[], ());
+        let t = g3.add_op(r, ns(1), &[], ());
+        g3.add_dep(h, t);
+        assert!(g3.solve_with(&mut scratch).is_err());
+        assert_eq!(g1.solve_with(&mut scratch).unwrap().makespan(), ns(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration override must cover every op")]
+    fn wrong_duration_len_panics() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        g.add_op(r, ns(1), &[], ());
+        let mut solver = Solver::new(&g);
+        let _ = solver.solve_with_durations(&[]);
     }
 }

@@ -1,7 +1,7 @@
 //! Per-resource utilization statistics derived from a solved [`Timeline`].
 
 use crate::graph::ResourceId;
-use crate::solver::Timeline;
+use crate::solver::{SolveStats, Timeline};
 use crate::time::SimDuration;
 
 /// Busy/idle accounting for one resource over the full timeline.
@@ -62,29 +62,59 @@ impl Timeline {
     where
         I: IntoIterator<Item = ResourceId>,
     {
-        let mut count = 0usize;
-        let mut sum = 0.0;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for r in resources {
-            let u = self.resource_stats(r).utilization();
-            sum += u;
-            min = min.min(u);
-            max = max.max(u);
-            count += 1;
+        summarize(
+            resources
+                .into_iter()
+                .map(|r| self.resource_stats(r).utilization()),
+        )
+    }
+}
+
+impl SolveStats {
+    /// Busy fraction of one resource, identical to
+    /// [`ResourceStats::utilization`] on a materialized timeline of the
+    /// same solve (the busy sums are integer-exact either way).
+    pub fn utilization(&self, resource: ResourceId) -> f64 {
+        let busy = self.busy[resource.index()];
+        let idle = self.makespan.saturating_sub(busy);
+        busy.ratio(busy + idle)
+    }
+
+    /// Utilization summary over the given resources; matches
+    /// [`Timeline::utilization_over`] bit for bit.
+    ///
+    /// Returns a zeroed summary when `resources` is empty.
+    pub fn utilization_over<I>(&self, resources: I) -> UtilizationSummary
+    where
+        I: IntoIterator<Item = ResourceId>,
+    {
+        summarize(resources.into_iter().map(|r| self.utilization(r)))
+    }
+}
+
+/// Folds per-resource busy fractions into a [`UtilizationSummary`].
+fn summarize(utils: impl Iterator<Item = f64>) -> UtilizationSummary {
+    let mut count = 0usize;
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for u in utils {
+        sum += u;
+        min = min.min(u);
+        max = max.max(u);
+        count += 1;
+    }
+    if count == 0 {
+        UtilizationSummary {
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
         }
-        if count == 0 {
-            UtilizationSummary {
-                mean: 0.0,
-                min: 0.0,
-                max: 0.0,
-            }
-        } else {
-            UtilizationSummary {
-                mean: sum / count as f64,
-                min,
-                max,
-            }
+    } else {
+        UtilizationSummary {
+            mean: sum / count as f64,
+            min,
+            max,
         }
     }
 }

@@ -75,14 +75,13 @@ proptest! {
         // Longest chain through dep edges.
         let mut chain = vec![SimDuration::ZERO; g.num_ops()];
         for id in g.op_ids() {
-            let op = g.op(id);
-            let best = op
-                .deps()
+            let best = g
+                .deps_of(id)
                 .iter()
                 .map(|d| chain[d.index()])
                 .max()
                 .unwrap_or(SimDuration::ZERO);
-            chain[id.index()] = best + op.duration();
+            chain[id.index()] = best + g.op(id).duration();
         }
         let longest = chain.iter().copied().max().unwrap_or(SimDuration::ZERO);
         prop_assert!(t.makespan() >= longest);
@@ -102,7 +101,7 @@ proptest! {
             }
         }
         for id in g.op_ids() {
-            for d in g.op(id).deps() {
+            for d in g.deps_of(id) {
                 prop_assert!(t.start_of(id) >= t.end_of(*d), "dep violated");
             }
             let dur = t.end_of(id).duration_since(t.start_of(id));
