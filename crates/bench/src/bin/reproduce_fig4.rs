@@ -1,12 +1,22 @@
 //! Reproduces Figure 4: simulated timelines of the four schedules for a
 //! 16-layer model on 4 pipeline devices with 8 micro-batches, in the
 //! presence of data parallelism.
+//!
+//! Usage: `reproduce_fig4 [--trace out.json]`
+//!
+//! With `--trace`, also writes all four schedules as one Chrome-trace
+//! JSON document (open in `ui.perfetto.dev` or `chrome://tracing`).
 
-use bfpp_bench::figures::figure4;
+use bfpp_bench::figures::{figure4, figure4_trace};
+use bfpp_bench::{trace_arg, write_trace};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let (art, table) = figure4();
     println!("# Figure 4 — schedule timelines (F/B kernels, s sends, g/r DP collectives)");
     print!("{art}");
     print!("{}", table.to_text());
+    if let Some(path) = trace_arg(&args) {
+        write_trace(&path, &figure4_trace());
+    }
 }

@@ -1,11 +1,21 @@
 //! Reproduces Figure 7 / Appendix C: depth-first vs breadth-first
 //! gradient accumulation under DP_0 and DP_FS (no pipeline).
+//!
+//! Usage: `reproduce_fig7 [--trace out.json]`
+//!
+//! With `--trace`, also writes the four accumulation variants as one
+//! Chrome-trace JSON document (open in `ui.perfetto.dev`).
 
-use bfpp_bench::figures::figure7;
+use bfpp_bench::figures::{figure7, figure7_trace};
+use bfpp_bench::{trace_arg, write_trace};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let (art, table) = figure7();
     println!("# Figure 7 — gradient-accumulation schedules (F/B kernels, g/r DP collectives)");
     print!("{art}");
     print!("{}", table.to_text());
+    if let Some(path) = trace_arg(&args) {
+        write_trace(&path, &figure7_trace());
+    }
 }

@@ -5,14 +5,23 @@
 //! Prints each schedule's degradation curve (throughput, utilization and
 //! retention vs its own fault-free baseline) and names the schedule that
 //! degrades most gracefully.
+//!
+//! Usage: `reproduce_stragglers [--trace out.json]`
+//!
+//! With `--trace`, the *perturbed* timelines at the worst severity are
+//! written as one Chrome-trace JSON document, so the straggler's
+//! inflated ops and the downstream waits they cause are visible in
+//! `ui.perfetto.dev`.
 
 use bfpp_bench::robustness::{
-    most_graceful, robustness_table, straggler_sweep, SEVERITIES, STRAGGLER_DEVICE,
+    most_graceful, robustness_table, straggler_sweep, straggler_trace, SEVERITIES, STRAGGLER_DEVICE,
 };
+use bfpp_bench::{trace_arg, write_trace};
 use bfpp_cluster::presets::dgx1_v100;
 use bfpp_model::presets::bert_52b;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let model = bert_52b();
     let cluster = dgx1_v100(8);
     println!(
@@ -36,5 +45,9 @@ fn main() {
             "most graceful schedule: {kind} (worst-case retention {:.1}%)",
             worst * 100.0
         );
+    }
+    if let Some(path) = trace_arg(&args) {
+        let worst = severities.last().copied().unwrap_or(2.0);
+        write_trace(&path, &straggler_trace(&model, &cluster, worst));
     }
 }

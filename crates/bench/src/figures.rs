@@ -7,7 +7,7 @@ use bfpp_core::{Schedule, ScheduleKind};
 use bfpp_exec::search::{
     best_config_with_report, Method, SearchOptions, SearchReport, SearchResult,
 };
-use bfpp_exec::{lower, KernelModel, OverlapConfig};
+use bfpp_exec::{lower, KernelModel, LoweredGraph, OverlapConfig, TraceBuilder};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
 use bfpp_sim::AsciiTimelineOptions;
@@ -65,41 +65,43 @@ fn figure4_model() -> TransformerConfig {
     TransformerConfig::new("fig4-toy", 16, 16, 64, 1024, 1000)
 }
 
+/// The four Figure 4 cases (16 layers, `N_PP = 4`, 8 micro-batches,
+/// with data parallelism), lowered onto the simulator. Shared by the
+/// ASCII rendering ([`figure4`]) and the Chrome-trace export
+/// ([`figure4_trace`]) so both views describe the same graphs.
+fn figure4_lowerings() -> Vec<(ScheduleKind, LoweredGraph)> {
+    let model = figure4_model();
+    let cluster = bfpp_cluster::presets::dgx1_v100(1);
+    let kernel = KernelModel::v100();
+    [
+        (ScheduleKind::GPipe, Placement::linear(4)),
+        (ScheduleKind::OneFOneB, Placement::linear(4)),
+        (ScheduleKind::DepthFirst, Placement::looping(4, 4)),
+        (ScheduleKind::BreadthFirst, Placement::looping(4, 4)),
+    ]
+    .into_iter()
+    .map(|(kind, placement)| {
+        let cfg = ParallelConfig::new(
+            Grid::new(2, 1, 4),
+            placement,
+            BatchConfig::new(8, 1),
+            DataParallelism::Unsharded,
+        );
+        let lowered = lower(&model, &cluster, &cfg, kind, OverlapConfig::full(), &kernel)
+            .expect("figure 4 configs are valid");
+        (kind, lowered)
+    })
+    .collect()
+}
+
 /// Figure 4: timelines of the four schedules (16 layers, `N_PP = 4`,
 /// 8 micro-batches, with data parallelism). Returns the rendered ASCII
 /// chart and a makespan table.
 pub fn figure4() -> (String, Table) {
-    let model = figure4_model();
-    let cluster = bfpp_cluster::presets::dgx1_v100(1);
-    let kernel = KernelModel::v100();
     let mut art = String::new();
     let mut t = Table::new(["schedule", "makespan_ms", "speedup_vs_gpipe"]);
     let mut gpipe_ms = None;
-    for (kind, placement, dp) in [
-        (
-            ScheduleKind::GPipe,
-            Placement::linear(4),
-            DataParallelism::Unsharded,
-        ),
-        (
-            ScheduleKind::OneFOneB,
-            Placement::linear(4),
-            DataParallelism::Unsharded,
-        ),
-        (
-            ScheduleKind::DepthFirst,
-            Placement::looping(4, 4),
-            DataParallelism::Unsharded,
-        ),
-        (
-            ScheduleKind::BreadthFirst,
-            Placement::looping(4, 4),
-            DataParallelism::Unsharded,
-        ),
-    ] {
-        let cfg = ParallelConfig::new(Grid::new(2, 1, 4), placement, BatchConfig::new(8, 1), dp);
-        let lowered = lower(&model, &cluster, &cfg, kind, OverlapConfig::full(), &kernel)
-            .expect("figure 4 configs are valid");
+    for (kind, lowered) in figure4_lowerings() {
         let timeline = lowered.graph.solve().expect("acyclic");
         let ms = timeline.makespan().as_secs_f64() * 1e3;
         let gp = *gpipe_ms.get_or_insert(ms);
@@ -120,6 +122,18 @@ pub fn figure4() -> (String, Table) {
         ]);
     }
     (art, t)
+}
+
+/// The Figure 4 schedules as one Chrome-trace JSON document: each
+/// schedule becomes its own process group (`<schedule>/gpu<d>`), so all
+/// four timelines can be compared side by side in `ui.perfetto.dev`.
+pub fn figure4_trace() -> String {
+    let mut builder = TraceBuilder::new();
+    for (kind, lowered) in figure4_lowerings() {
+        let timeline = lowered.graph.solve().expect("acyclic");
+        builder.add(Some(&kind.to_string()), &lowered, &timeline);
+    }
+    builder.finish()
 }
 
 /// One row of a Figure 5 / Table E sweep.
@@ -211,6 +225,39 @@ pub fn figure5_table(rows: &[SweepRow], num_gpus: u32) -> Table {
     t
 }
 
+/// Re-lowers each method's best configuration from a Figure 5 sweep
+/// (highest Tflop/s per GPU over the swept batches) and exports the
+/// winners as one Chrome-trace JSON document — the "inspect the winning
+/// config" path of EXPERIMENTS.md. Methods where nothing fit are
+/// skipped.
+pub fn sweep_trace(model: &TransformerConfig, cluster: &ClusterSpec, rows: &[SweepRow]) -> String {
+    let kernel = KernelModel::v100();
+    let mut builder = TraceBuilder::new();
+    for method in Method::ALL {
+        let best = rows
+            .iter()
+            .filter(|r| r.method == method)
+            .filter_map(|r| r.result.as_ref().map(|res| (r.batch, res)))
+            .max_by(|a, b| {
+                a.1.measurement
+                    .tflops_per_gpu
+                    .total_cmp(&b.1.measurement.tflops_per_gpu)
+            });
+        let Some((batch, res)) = best else {
+            continue;
+        };
+        let lowered = lower(model, cluster, &res.cfg, res.kind, res.overlap, &kernel)
+            .expect("winning configurations re-lower");
+        let timeline = lowered.graph.solve().expect("acyclic");
+        builder.add(
+            Some(&format!("{} b{batch}", method.label())),
+            &lowered,
+            &timeline,
+        );
+    }
+    builder.finish()
+}
+
 /// Extracts each method's operating points (β, utilization) from a sweep.
 pub fn operating_points(rows: &[SweepRow], num_gpus: u32, method: Method) -> Vec<OperatingPoint> {
     rows.iter()
@@ -290,18 +337,15 @@ pub fn figure1(rows: &[SweepRow], num_gpus: u32, tradeoff: &TradeoffModel) -> Ta
     t
 }
 
-/// Figure 7 / Appendix C: gradient accumulation without a pipeline —
-/// depth-first vs breadth-first order under `DP_0` and `DP_FS`. Returns
-/// the rendered timelines and a makespan table.
-pub fn figure7() -> (String, Table) {
+/// The four Figure 7 cases (gradient accumulation without a pipeline:
+/// one device hosting all 8 stage-groups, depth-first vs breadth-first
+/// order under `DP_0` and `DP_FS`), lowered onto the simulator. Shared
+/// by [`figure7`] and [`figure7_trace`].
+fn figure7_lowerings() -> Vec<(String, DataParallelism, LoweredGraph)> {
     let model = figure4_model();
     let cluster = bfpp_cluster::presets::dgx1_v100(1);
     let kernel = KernelModel::v100();
-    let mut art = String::new();
-    let mut t = Table::new(["accumulation", "sharding", "batch_ms"]);
-    // One device hosting all 8 stage-groups (a looping pipeline of depth
-    // one): gradient accumulation with per-layer-group reductions, the
-    // exact setting of the paper's Figure 7.
+    let mut out = Vec::new();
     for (label, kind) in [
         ("depth-first", ScheduleKind::DepthFirst),
         ("breadth-first", ScheduleKind::BreadthFirst),
@@ -315,25 +359,51 @@ pub fn figure7() -> (String, Table) {
             );
             let lowered = lower(&model, &cluster, &cfg, kind, OverlapConfig::full(), &kernel)
                 .expect("figure 7 configs are valid");
-            let timeline = lowered.graph.solve().expect("acyclic");
-            art.push_str(&format!("== {label} + {dp} ==\n"));
-            art.push_str(&timeline.render_ascii(
-                &lowered.graph,
-                &AsciiTimelineOptions {
-                    width: 96,
-                    idle_char: '.',
-                },
-                |tag| tag.glyph(),
-            ));
-            art.push('\n');
-            t.push([
-                label.to_string(),
-                dp.to_string(),
-                format!("{:.3}", timeline.makespan().as_secs_f64() * 1e3),
-            ]);
+            out.push((label.to_string(), dp, lowered));
         }
     }
+    out
+}
+
+/// Figure 7 / Appendix C: gradient accumulation without a pipeline —
+/// depth-first vs breadth-first order under `DP_0` and `DP_FS`. Returns
+/// the rendered timelines and a makespan table.
+pub fn figure7() -> (String, Table) {
+    let mut art = String::new();
+    let mut t = Table::new(["accumulation", "sharding", "batch_ms"]);
+    // One device hosting all 8 stage-groups (a looping pipeline of depth
+    // one): gradient accumulation with per-layer-group reductions, the
+    // exact setting of the paper's Figure 7.
+    for (label, dp, lowered) in figure7_lowerings() {
+        let timeline = lowered.graph.solve().expect("acyclic");
+        art.push_str(&format!("== {label} + {dp} ==\n"));
+        art.push_str(&timeline.render_ascii(
+            &lowered.graph,
+            &AsciiTimelineOptions {
+                width: 96,
+                idle_char: '.',
+            },
+            |tag| tag.glyph(),
+        ));
+        art.push('\n');
+        t.push([
+            label,
+            dp.to_string(),
+            format!("{:.3}", timeline.makespan().as_secs_f64() * 1e3),
+        ]);
+    }
     (art, t)
+}
+
+/// The Figure 7 accumulation variants as one Chrome-trace JSON document
+/// (one process group per `<accumulation> <sharding>` case).
+pub fn figure7_trace() -> String {
+    let mut builder = TraceBuilder::new();
+    for (label, dp, lowered) in figure7_lowerings() {
+        let timeline = lowered.graph.solve().expect("acyclic");
+        builder.add(Some(&format!("{label} {dp}")), &lowered, &timeline);
+    }
+    builder.finish()
 }
 
 /// The pipeline-schedule ASCII rendering used by the `schedule_viz`
@@ -438,6 +508,9 @@ mod tests {
         assert!(rows.iter().all(|r| r.report.enumerated > 0));
         let t = figure5_table(&rows, cluster.num_gpus());
         assert_eq!(t.len(), 4);
+        let json = sweep_trace(&model, &cluster, &rows);
+        bfpp_sim::observe::validate_json(&json).expect("sweep trace must be valid JSON");
+        assert!(json.contains(" b64/gpu0"));
         assert!(t
             .to_csv()
             .lines()
@@ -446,6 +519,26 @@ mod tests {
             .ends_with("retention_pct"));
         let points = operating_points(&rows, 64, Method::BreadthFirst);
         assert_eq!(points.len(), 1);
+    }
+
+    #[test]
+    fn sweep_trace_is_thread_count_invariant() {
+        // The search winner is bit-identical for any worker count, so
+        // the trace of the winners must be too — byte for byte.
+        let model = presets::bert_6_6b();
+        let cluster = bfpp_cluster::presets::dgx1_v100(8);
+        let trace_with = |threads| {
+            let opts = SearchOptions {
+                max_microbatch: 4,
+                max_loop: 8,
+                max_actions: 30_000,
+                threads,
+                ..SearchOptions::default()
+            };
+            let rows = figure5_sweep(&model, &cluster, &[64], &opts);
+            sweep_trace(&model, &cluster, &rows)
+        };
+        assert_eq!(trace_with(1), trace_with(3));
     }
 
     #[test]
@@ -465,6 +558,36 @@ mod tests {
             bf_fs < df_fs,
             "Appendix C: BF accumulation must beat DF under DP_FS: {bf_fs} vs {df_fs}"
         );
+    }
+
+    #[test]
+    fn figure4_trace_is_valid_and_reconciles() {
+        let json = figure4_trace();
+        bfpp_sim::observe::validate_json(&json).expect("figure 4 trace must be valid JSON");
+        // One process group per schedule, with annotated events.
+        assert!(json.contains("breadth-first/gpu0"));
+        assert!(json.contains("gpipe/gpu0"));
+        assert!(json.contains("\"flops\""));
+        // The time attribution behind the trace tiles each solved
+        // timeline exactly: busy + wait + bubble == makespan per
+        // resource (also asserted inside `attribute`).
+        for (kind, lowered) in figure4_lowerings() {
+            let timeline = lowered.graph.solve().expect("acyclic");
+            let bd = bfpp_exec::attribution(&lowered, &timeline);
+            assert_eq!(
+                bd.grand_total(),
+                bd.makespan() * bd.num_resources() as u64,
+                "{kind}: attribution must reconcile with the makespan"
+            );
+        }
+    }
+
+    #[test]
+    fn figure7_trace_is_valid() {
+        let json = figure7_trace();
+        bfpp_sim::observe::validate_json(&json).expect("figure 7 trace must be valid JSON");
+        assert!(json.contains("breadth-first DP_FS/gpu0"));
+        assert!(json.contains("depth-first DP_0/gpu0"));
     }
 
     #[test]

@@ -33,6 +33,29 @@ pub fn threads_arg<S: AsRef<str>>(args: &[S]) -> usize {
         .unwrap_or(0)
 }
 
+/// Parses a `--trace <path>` flag from an argument list: the file a
+/// Chrome-trace JSON dump of the run's timelines should be written to
+/// (open it in `ui.perfetto.dev` or `chrome://tracing`). Returns `None`
+/// when the flag is absent or has no value.
+pub fn trace_arg<S: AsRef<str>>(args: &[S]) -> Option<String> {
+    args.iter()
+        .position(|a| a.as_ref() == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.as_ref().to_string())
+}
+
+/// Writes a Chrome-trace JSON string to `path` and confirms on stderr
+/// (stderr so the CSV on stdout stays machine-readable).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — in a reproduction binary a
+/// silently dropped trace is worse than an abort.
+pub fn write_trace(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("failed to write trace to {path}: {e}"));
+    eprintln!("wrote Chrome trace to {path} (open in ui.perfetto.dev)");
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -50,5 +73,20 @@ mod tests {
         assert_eq!(super::threads_arg(&["--threads"]), 0);
         assert_eq!(super::threads_arg(&["--threads", "lots"]), 0);
         assert_eq!(super::threads_arg::<&str>(&[]), 0);
+    }
+
+    #[test]
+    fn trace_arg_parses_the_flag() {
+        assert_eq!(
+            super::trace_arg(&["--trace", "out.json"]),
+            Some("out.json".to_string())
+        );
+        assert_eq!(
+            super::trace_arg(&["52b", "--threads", "2", "--trace", "t.json"]),
+            Some("t.json".to_string())
+        );
+        assert_eq!(super::trace_arg(&["52b"]), None);
+        assert_eq!(super::trace_arg(&["--trace"]), None);
+        assert_eq!(super::trace_arg::<&str>(&[]), None);
     }
 }

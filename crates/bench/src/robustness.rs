@@ -14,6 +14,7 @@ use bfpp_core::ScheduleKind;
 use bfpp_exec::{lower, measure_stats, KernelModel, Measurement, OverlapConfig, Perturbation};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp_sim::observe::Counters;
 use bfpp_sim::{SimDuration, Solver};
 
 use crate::report::Table;
@@ -77,22 +78,45 @@ pub fn straggler_sweep(
     cluster: &ClusterSpec,
     severities: &[f64],
 ) -> Vec<RobustnessRow> {
+    straggler_sweep_instrumented(model, cluster, severities, &mut Counters::new())
+}
+
+/// [`straggler_sweep`], recording what the sweep did into `counters`:
+/// `lowerings` / `points` counts and the `lower` / `resolve` phase
+/// spans — the numbers behind the "lower once, re-solve per point"
+/// claim (see DESIGN.md §9).
+///
+/// # Panics
+///
+/// As [`straggler_sweep`].
+pub fn straggler_sweep_instrumented(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    severities: &[f64],
+    counters: &mut Counters,
+) -> Vec<RobustnessRow> {
     let kernel = KernelModel::v100();
     let mut rows = Vec::new();
     let mut durations: Vec<SimDuration> = Vec::new();
     for kind in ScheduleKind::ALL {
         let cfg = config_for(kind);
-        let lowered = lower(model, cluster, &cfg, kind, OverlapConfig::full(), &kernel)
-            .expect("straggler-sweep configurations are valid");
+        counters.incr("lowerings");
+        let lowered = counters.time("lower", || {
+            lower(model, cluster, &cfg, kind, OverlapConfig::full(), &kernel)
+                .expect("straggler-sweep configurations are valid")
+        });
         let mut solver = Solver::new(&lowered.graph);
         let mut baseline = None;
         for &severity in severities {
+            counters.incr("points");
             let perturbation =
                 Perturbation::with_seed(0xB1F).with_straggler(STRAGGLER_DEVICE, severity);
-            lowered.perturbed_durations(&perturbation, &mut durations);
-            let stats = solver
-                .solve_stats_with_durations(&durations)
-                .expect("lowered graphs are acyclic by construction");
+            let stats = counters.time("resolve", || {
+                lowered.perturbed_durations(&perturbation, &mut durations);
+                solver
+                    .solve_stats_with_durations(&durations)
+                    .expect("lowered graphs are acyclic by construction")
+            });
             let m = measure_stats(model, cluster, &cfg, &lowered, &stats);
             let base = *baseline.get_or_insert(m.tflops_per_gpu);
             rows.push(RobustnessRow {
@@ -104,6 +128,34 @@ pub fn straggler_sweep(
         }
     }
     rows
+}
+
+/// Exports every schedule's *perturbed* timeline at `severity` as one
+/// Chrome-trace JSON document (one process group per schedule, labelled
+/// with the straggler multiplier). The straggler's inflated ops and the
+/// waits they induce downstream are directly visible in
+/// `ui.perfetto.dev`.
+///
+/// # Panics
+///
+/// As [`straggler_sweep`].
+pub fn straggler_trace(model: &TransformerConfig, cluster: &ClusterSpec, severity: f64) -> String {
+    let kernel = KernelModel::v100();
+    let mut builder = bfpp_exec::TraceBuilder::new();
+    let mut durations: Vec<SimDuration> = Vec::new();
+    for kind in ScheduleKind::ALL {
+        let cfg = config_for(kind);
+        let lowered = lower(model, cluster, &cfg, kind, OverlapConfig::full(), &kernel)
+            .expect("straggler-sweep configurations are valid");
+        let perturbation =
+            Perturbation::with_seed(0xB1F).with_straggler(STRAGGLER_DEVICE, severity);
+        lowered.perturbed_durations(&perturbation, &mut durations);
+        let timeline = Solver::new(&lowered.graph)
+            .solve_with_durations(&durations)
+            .expect("lowered graphs are acyclic by construction");
+        builder.add(Some(&format!("{kind} x{severity}")), &lowered, &timeline);
+    }
+    builder.finish()
 }
 
 /// Renders the degradation curves as a table.
@@ -180,6 +232,26 @@ mod tests {
             .ends_with("retention_pct"));
         let (_, worst) = most_graceful(&rows).expect("non-empty sweep");
         assert!(worst > 0.0 && worst <= 1.0);
+    }
+
+    #[test]
+    fn instrumented_sweep_counts_lowerings_and_points() {
+        let severities = [1.0, 1.5];
+        let mut counters = Counters::new();
+        let rows =
+            straggler_sweep_instrumented(&bert_52b(), &dgx1_v100(8), &severities, &mut counters);
+        assert_eq!(rows.len(), ScheduleKind::ALL.len() * severities.len());
+        assert_eq!(counters.count("lowerings"), ScheduleKind::ALL.len() as u64);
+        assert_eq!(counters.count("points"), rows.len() as u64);
+        assert!(counters.spans().any(|(name, _)| name == "resolve"));
+    }
+
+    #[test]
+    fn straggler_trace_is_valid_and_labelled() {
+        let json = straggler_trace(&bert_52b(), &dgx1_v100(8), 1.5);
+        bfpp_sim::observe::validate_json(&json).expect("straggler trace must be valid JSON");
+        assert!(json.contains("breadth-first x1.5/gpu0"));
+        assert!(json.contains("gpipe x1.5/gpu7"));
     }
 
     #[test]

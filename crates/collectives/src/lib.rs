@@ -18,6 +18,12 @@
 //!   fail fast with a typed [`thread::CollectiveError`] instead of
 //!   hanging; see the module docs for the fault model.
 //!
+//! The seconds the [`cost`] models produce are what the simulator
+//! schedules on each device's `pp`/`dp` network streams — in a Chrome
+//! trace exported via `bfpp_exec::chrome_trace` they appear as the
+//! `pp-comm`/`dp-comm` events, annotated with the byte counts the cost
+//! was computed from.
+//!
 //! ```
 //! use bfpp_collectives::thread::CommGroup;
 //! use std::thread;

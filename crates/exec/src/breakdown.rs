@@ -6,9 +6,11 @@
 //! parallel streams), and compute idle time (pipeline bubble + waiting on
 //! exposed communication of *other* devices).
 
-use bfpp_sim::Timeline;
+use bfpp_sim::observe::Category;
+use bfpp_sim::{SimDuration, Timeline};
 
-use crate::lower::{LoweredGraph, OpTag};
+use crate::lower::LoweredGraph;
+use crate::observe::attribution;
 
 /// Per-device-average time attribution for one simulated batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,37 +44,42 @@ impl TimeBreakdown {
 }
 
 /// Computes the per-device-average breakdown of a solved lowering.
+///
+/// Derived from the exact five-category attribution pass
+/// ([`crate::observe::attribution`]), so the analytic terms reported
+/// here and an exported trace reconcile to the nanosecond: per compute
+/// stream, `kernel + inline_comm + idle == makespan` holds in integer
+/// arithmetic before the single conversion to seconds.
 pub fn breakdown(lowered: &LoweredGraph, timeline: &Timeline) -> TimeBreakdown {
+    let bd = attribution(lowered, timeline);
     let n_dev = lowered.compute_resources.len() as f64;
-    let makespan_s = timeline.makespan().as_secs_f64();
-    let mut kernel_s = 0.0;
-    let mut inline_comm_s = 0.0;
-    let mut dp_stream_s = 0.0;
-    let mut pp_stream_s = 0.0;
+    let mut kernel = SimDuration::ZERO;
+    let mut inline_comm = SimDuration::ZERO;
+    let mut idle = SimDuration::ZERO;
+    let mut dp_stream = SimDuration::ZERO;
+    let mut pp_stream = SimDuration::ZERO;
 
-    for s in timeline.scheduled_ops() {
-        let dur = s.duration().as_secs_f64();
-        let tag = lowered.graph.op(s.op).tag();
-        let on_compute = lowered.compute_resources.contains(&s.resource);
-        match (tag, on_compute) {
-            (OpTag::Compute(_), _) => kernel_s += dur,
-            (_, true) => inline_comm_s += dur,
-            (OpTag::PpSend { .. }, false) => pp_stream_s += dur,
-            (_, false) => dp_stream_s += dur,
+    for row in bd.per_resource() {
+        // Kernels only ever run on compute streams.
+        kernel += row.time(Category::Compute);
+        if lowered.compute_resources.contains(&row.resource()) {
+            // Comm on the compute stream is serialized (blocking) comm;
+            // compute-stream idle is the bubble plus comm-wait.
+            inline_comm += row.time(Category::PpComm) + row.time(Category::DpComm);
+            idle += row.time(Category::CommWait) + row.time(Category::Bubble);
+        } else {
+            pp_stream += row.time(Category::PpComm);
+            dp_stream += row.time(Category::DpComm);
         }
     }
-    kernel_s /= n_dev;
-    inline_comm_s /= n_dev;
-    dp_stream_s /= n_dev;
-    pp_stream_s /= n_dev;
 
     TimeBreakdown {
-        makespan_s,
-        kernel_s,
-        inline_comm_s,
-        idle_s: (makespan_s - kernel_s - inline_comm_s).max(0.0),
-        dp_stream_s,
-        pp_stream_s,
+        makespan_s: bd.makespan().as_secs_f64(),
+        kernel_s: kernel.as_secs_f64() / n_dev,
+        inline_comm_s: inline_comm.as_secs_f64() / n_dev,
+        idle_s: idle.as_secs_f64() / n_dev,
+        dp_stream_s: dp_stream.as_secs_f64() / n_dev,
+        pp_stream_s: pp_stream.as_secs_f64() / n_dev,
     }
 }
 

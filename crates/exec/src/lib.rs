@@ -60,6 +60,7 @@ mod kernel;
 mod lower;
 mod measure;
 mod memory;
+pub mod observe;
 mod overlap;
 pub mod prune;
 pub mod search;
@@ -68,13 +69,15 @@ pub use breakdown::{breakdown, TimeBreakdown};
 pub use candidates::Candidate;
 pub use kernel::KernelModel;
 pub use lower::{
-    lower, lower_perturbed, lower_with_schedule, lower_with_schedule_perturbed, LoweredGraph, OpTag,
+    lower, lower_perturbed, lower_with_schedule, lower_with_schedule_perturbed, LoweredGraph,
+    OpTag, TraceInfo,
 };
 pub use measure::{
     measure_stats, measure_timeline, simulate, simulate_perturbed, simulate_with_schedule,
     simulate_with_schedule_perturbed, Measurement, SimulateError,
 };
 pub use memory::estimate_memory;
+pub use observe::{attribution, chrome_trace, op_category, TraceBuilder};
 pub use overlap::OverlapConfig;
 pub use prune::lower_bound_tflops;
 pub use search::SearchReport;

@@ -82,6 +82,22 @@ impl OpTag {
     }
 }
 
+/// Per-op-kind workload sizes of one lowering, used to annotate exported
+/// traces (`args` on the Chrome-trace events): how many FLOPs a kernel
+/// performs and how many bytes each transfer moves. All ops of a kind
+/// share these (the lowering is per-microbatch uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceInfo {
+    /// Forward kernel FLOPs per (micro-batch, stage), after TP slicing.
+    pub fwd_flops: f64,
+    /// Backward (+ recompute) kernel FLOPs per (micro-batch, stage).
+    pub bwd_flops: f64,
+    /// Pipeline stage-boundary transfer payload, bytes.
+    pub p2p_bytes: f64,
+    /// Data-parallel collective payload per stage shard, bytes.
+    pub dp_bytes: f64,
+}
+
 /// The lowered operation graph plus the bookkeeping the measurement layer
 /// needs.
 #[derive(Debug)]
@@ -108,6 +124,8 @@ pub struct LoweredGraph {
     /// (a full `exact_timing` pass) per measurement would dominate the
     /// duration-only re-measure path of perturbation sweeps.
     pub peak_checkpoints: u32,
+    /// Workload sizes for trace annotation (see [`TraceInfo`]).
+    pub trace_info: TraceInfo,
     /// Per-op `(base duration, factor slot)` where the slot is
     /// `2 * resource + is_compute` — the dense inputs of
     /// [`LoweredGraph::perturbed_durations`]'s randomness-free fast path,
@@ -175,6 +193,7 @@ pub(crate) struct Durations {
     pub(crate) dp_gather: SimDuration,
     pub(crate) dp_reduce_rs: SimDuration,
     pub(crate) dp_reduce_ar: SimDuration,
+    pub(crate) trace_info: TraceInfo,
 }
 
 /// Seconds for a data-parallel collective over the DP group, two-level
@@ -252,8 +271,9 @@ pub(crate) fn compute_durations(
 
     // Pipeline stage-boundary transfer: one hidden vector per token in
     // half precision, sliced by tensor parallelism.
+    let p2p_payload = tokens * model.boundary_bytes_per_token() / grid.n_tp as f64;
     let p2p = if grid.n_pp > 1 {
-        let payload = tokens * model.boundary_bytes_per_token() / grid.n_tp as f64;
+        let payload = p2p_payload;
         let from = grid.global_rank(RankCoord {
             dp: 0,
             tp: 0,
@@ -290,6 +310,12 @@ pub(crate) fn compute_durations(
         dp_gather: SimDuration::from_secs_f64(dp_gather * m),
         dp_reduce_rs: SimDuration::from_secs_f64(dp_reduce_rs * m),
         dp_reduce_ar: SimDuration::from_secs_f64(dp_reduce_ar * m),
+        trace_info: TraceInfo {
+            fwd_flops,
+            bwd_flops,
+            p2p_bytes: if grid.n_pp > 1 { p2p_payload } else { 0.0 },
+            dp_bytes: if grid.n_dp > 1 { payload } else { 0.0 },
+        },
     }
 }
 
@@ -639,6 +665,7 @@ pub fn lower_with_schedule_perturbed(
         schedule,
         ideal_compute_seconds,
         perturbed: !perturbation.is_identity(),
+        trace_info: d.trace_info,
         op_perturb,
     })
 }

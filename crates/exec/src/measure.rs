@@ -50,8 +50,9 @@ pub struct Measurement {
 }
 
 impl Measurement {
-    /// Whether the estimated memory fits the device, with the
-    /// [`MEMORY_HEADROOM`] fragmentation reserve.
+    /// Whether the estimated memory fits the device, with the crate's
+    /// shared 8% fragmentation reserve (`MEMORY_HEADROOM`, also applied
+    /// by the search's analytic memory pre-filter).
     pub fn fits(&self, memory_bytes: u64) -> bool {
         self.memory_bytes <= memory_bytes as f64 * MEMORY_HEADROOM
     }

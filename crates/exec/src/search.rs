@@ -32,6 +32,7 @@ use bfpp_cluster::ClusterSpec;
 use bfpp_core::{ScheduleCache, ScheduleKind};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{DataParallelism, ParallelConfig};
+use bfpp_sim::observe::Counters;
 use bfpp_sim::Perturbation;
 
 use crate::candidates::{enumerate, Candidate};
@@ -205,6 +206,14 @@ pub struct SearchReport {
     /// `robust_tflops / best`: the fraction of clean throughput the
     /// winner retains under the reference probe (lower = more fragile).
     pub retention: Option<f64>,
+    /// Instrumentation detail: phase wall-clock spans (`enumerate`,
+    /// `prune`, `evaluate`, `probe`) and schedule-cache `cache_hits` /
+    /// `cache_misses` counts. Diagnostic only — spans are host
+    /// wall-clock, and two workers racing on a cold cache key can both
+    /// count a miss — so, like [`SearchReport::wall_time`], this field
+    /// is excluded from the bit-stability guarantees (the headline
+    /// counters above remain thread-count-invariant).
+    pub counters: Counters,
 }
 
 impl SearchReport {
@@ -256,6 +265,7 @@ impl SearchReport {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        self.counters.merge(&other.counters);
     }
 }
 
@@ -282,8 +292,10 @@ pub fn best_config_with_report(
 ) -> (Option<SearchResult>, SearchReport) {
     let start = Instant::now();
     let overlap = method.overlap();
-    let candidates: Vec<Candidate> =
-        enumerate(model, cluster, method, global_batch, opts).collect();
+    let mut counters = Counters::new();
+    let candidates: Vec<Candidate> = counters.time("enumerate", || {
+        enumerate(model, cluster, method, global_batch, opts).collect()
+    });
     let mut report = SearchReport {
         enumerated: candidates.len() as u64,
         ..SearchReport::default()
@@ -307,17 +319,19 @@ pub fn best_config_with_report(
         // unperturbed filter is unchanged bit-for-bit).
         let speedup = opts.perturbation.max_speedup();
         let mut survivors: Vec<Candidate> = Vec::with_capacity(chunk.len());
-        for cand in chunk {
-            if exceeds_device_memory(model, cluster, cand) {
-                report.pruned_memory += 1;
-            } else if best_tflops.is_some_and(|t| {
-                lower_bound_tflops(model, cluster, cand, overlap, kernel) * speedup < t
-            }) {
-                report.pruned_bound += 1;
-            } else {
-                survivors.push(*cand);
+        counters.time("prune", || {
+            for cand in chunk {
+                if exceeds_device_memory(model, cluster, cand) {
+                    report.pruned_memory += 1;
+                } else if best_tflops.is_some_and(|t| {
+                    lower_bound_tflops(model, cluster, cand, overlap, kernel) * speedup < t
+                }) {
+                    report.pruned_bound += 1;
+                } else {
+                    survivors.push(*cand);
+                }
             }
-        }
+        });
         if survivors.is_empty() {
             continue;
         }
@@ -332,31 +346,40 @@ pub fn best_config_with_report(
         let threads = threads.min(survivors.len().div_ceil(4));
         let mut results: Vec<Option<Measurement>> = vec![None; survivors.len()];
         let perturbation = &opts.perturbation;
-        if threads <= 1 {
-            for (cand, slot) in survivors.iter().zip(results.iter_mut()) {
-                *slot =
-                    evaluate_candidate(model, cluster, cache, cand, overlap, kernel, perturbation);
-            }
-        } else {
-            let per = survivors.len().div_ceil(threads).max(1);
-            crossbeam::thread::scope(|s| {
-                for (cands, out) in survivors.chunks(per).zip(results.chunks_mut(per)) {
-                    s.spawn(move || {
-                        for (cand, slot) in cands.iter().zip(out.iter_mut()) {
-                            *slot = evaluate_candidate(
-                                model,
-                                cluster,
-                                cache,
-                                cand,
-                                overlap,
-                                kernel,
-                                perturbation,
-                            );
-                        }
-                    });
+        counters.time("evaluate", || {
+            if threads <= 1 {
+                for (cand, slot) in survivors.iter().zip(results.iter_mut()) {
+                    *slot = evaluate_candidate(
+                        model,
+                        cluster,
+                        cache,
+                        cand,
+                        overlap,
+                        kernel,
+                        perturbation,
+                    );
                 }
-            });
-        }
+            } else {
+                let per = survivors.len().div_ceil(threads).max(1);
+                crossbeam::thread::scope(|s| {
+                    for (cands, out) in survivors.chunks(per).zip(results.chunks_mut(per)) {
+                        s.spawn(move || {
+                            for (cand, slot) in cands.iter().zip(out.iter_mut()) {
+                                *slot = evaluate_candidate(
+                                    model,
+                                    cluster,
+                                    cache,
+                                    cand,
+                                    overlap,
+                                    kernel,
+                                    perturbation,
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+        });
 
         // Serial in-order reduction: strictly-greater replaces, so the
         // first of equally fast candidates wins — the exhaustive serial
@@ -386,18 +409,23 @@ pub fn best_config_with_report(
     // Robustness columns: re-simulate the winner under the standardized
     // reference straggler probe and report how much throughput survives.
     if let Some(b) = &best {
-        let probe = Perturbation::reference_probe();
-        if let Ok(schedule) =
-            cache.get_or_generate(b.kind, b.cfg.placement, b.cfg.batch.num_microbatches)
-        {
-            if let Ok(m) = simulate_with_schedule_perturbed(
-                model, cluster, &b.cfg, schedule, b.overlap, kernel, &probe,
-            ) {
-                report.robust_tflops = Some(m.tflops_per_gpu);
-                report.retention = Some(m.tflops_per_gpu / b.measurement.tflops_per_gpu);
+        counters.time("probe", || {
+            let probe = Perturbation::reference_probe();
+            if let Ok(schedule) =
+                cache.get_or_generate(b.kind, b.cfg.placement, b.cfg.batch.num_microbatches)
+            {
+                if let Ok(m) = simulate_with_schedule_perturbed(
+                    model, cluster, &b.cfg, schedule, b.overlap, kernel, &probe,
+                ) {
+                    report.robust_tflops = Some(m.tflops_per_gpu);
+                    report.retention = Some(m.tflops_per_gpu / b.measurement.tflops_per_gpu);
+                }
             }
-        }
+        });
     }
+    counters.add("cache_hits", cache.hits());
+    counters.add("cache_misses", cache.misses());
+    report.counters = counters;
     report.wall_time = start.elapsed();
     (best, report)
 }
@@ -730,6 +758,7 @@ mod tests {
             best: Some(51.5),
             robust_tflops: Some(45.2),
             retention: Some(0.877),
+            counters: Counters::new(),
         };
         assert_eq!(
             SearchReport::csv_header().split(',').count(),
@@ -758,6 +787,44 @@ mod tests {
         assert_eq!(total.best, Some(60.0));
         assert_eq!(total.robust_tflops, Some(45.2), "max of the cells");
         assert_eq!(total.retention, Some(0.66), "most fragile cell");
+    }
+
+    #[test]
+    fn report_counters_record_phases_and_cache_traffic() {
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let (r, report) = best_config_with_report(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            16,
+            &k,
+            &quick_opts(),
+        );
+        assert!(r.is_some());
+        let c = &report.counters;
+        assert!(
+            c.count("cache_hits") + c.count("cache_misses") >= report.simulated,
+            "every simulated candidate consults the schedule cache: {c:?}"
+        );
+        assert!(c.count("cache_hits") > 0, "repeat keys must hit");
+        for phase in ["enumerate", "prune", "evaluate", "probe"] {
+            assert!(
+                c.spans().any(|(name, _)| name == phase),
+                "missing phase span {phase}: {c:?}"
+            );
+        }
+        assert!(c.render().contains("cache_hits="));
+
+        // Accumulation folds counters like the other columns.
+        let mut total = SearchReport::default();
+        total.accumulate(&report);
+        total.accumulate(&report);
+        assert_eq!(
+            total.counters.count("cache_misses"),
+            2 * c.count("cache_misses")
+        );
     }
 
     #[test]

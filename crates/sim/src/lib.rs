@@ -37,6 +37,7 @@
 
 mod critical_path;
 mod graph;
+pub mod observe;
 mod perturb;
 #[cfg(any(test, feature = "reference-solver"))]
 mod reference;
@@ -47,6 +48,10 @@ mod trace;
 
 pub use critical_path::CriticalPath;
 pub use graph::{Op, OpGraph, OpId, ResourceId};
+pub use observe::{
+    attribute, ArgValue, Breakdown, Category, ChromeTraceWriter, Counters, OpCategory,
+    ResourceBreakdown, TraceOp, Track,
+};
 pub use perturb::{OpClass, Perturbation};
 pub use solver::{DeadlockError, ScheduledOp, SolveScratch, SolveStats, Solver, Timeline};
 pub use stats::{ResourceStats, UtilizationSummary};

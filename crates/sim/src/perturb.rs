@@ -34,6 +34,23 @@ pub enum OpClass {
 }
 
 /// A seeded, deterministic perturbation of op durations.
+///
+/// ```
+/// use bfpp_sim::{OpClass, Perturbation, SimDuration};
+///
+/// // Device 3's compute runs 2x slow; nothing else is touched.
+/// let p = Perturbation::with_seed(7).with_straggler(3, 2.0);
+/// let base = SimDuration::from_nanos(100);
+/// assert_eq!(
+///     p.perturb(base, OpClass::Compute, 3, 0),
+///     SimDuration::from_nanos(200),
+/// );
+/// // Other devices, and communication on the straggler, are unchanged
+/// // bit-for-bit — as is everything under an identity perturbation.
+/// assert_eq!(p.perturb(base, OpClass::Compute, 0, 0), base);
+/// assert_eq!(p.perturb(base, OpClass::Communication, 3, 0), base);
+/// assert!(Perturbation::with_seed(7).is_identity());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Perturbation {
     seed: u64,

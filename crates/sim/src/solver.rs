@@ -348,6 +348,23 @@ impl<'g, T> Solver<'g, T> {
     /// perturbation sweeps (the graph is lowered once, then re-solved per
     /// severity/seed point).
     ///
+    /// ```
+    /// use bfpp_sim::{OpGraph, SimDuration, Solver};
+    ///
+    /// let ns = SimDuration::from_nanos;
+    /// let mut g: OpGraph<&str> = OpGraph::new();
+    /// let r = g.add_resource("gpu0.compute");
+    /// let a = g.add_op(r, ns(5), &[], "a");
+    /// let _b = g.add_op(r, ns(7), &[a], "b");
+    ///
+    /// let mut solver = Solver::new(&g);
+    /// assert_eq!(solver.solve().unwrap().makespan(), ns(12));
+    ///
+    /// // Same topology, op "b" now three times slower — no re-lowering.
+    /// let t = solver.solve_with_durations(&[ns(5), ns(21)]).unwrap();
+    /// assert_eq!(t.makespan(), ns(26));
+    /// ```
+    ///
     /// # Errors
     ///
     /// As [`Solver::solve`].

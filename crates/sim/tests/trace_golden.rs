@@ -1,0 +1,107 @@
+//! Golden-file test: the Chrome-trace exporter must be byte-stable.
+//!
+//! The trace of a fixed graph is committed at `tests/golden/pipeline_trace.json`;
+//! any change to the exporter's output format shows up as a diff against
+//! it. The output must also be identical across repeated solves and
+//! across solver instances — the exporter iterates in op-id order and
+//! formats integers only, so nothing about it may depend on timing,
+//! hash-map order, or thread count.
+//!
+//! To regenerate the golden file after an *intentional* format change:
+//!
+//! ```sh
+//! BFPP_REGEN_GOLDEN=1 cargo test -p bfpp-sim --test trace_golden
+//! ```
+
+use bfpp_sim::observe::{validate_json, ArgValue, OpCategory, TraceOp, Track};
+use bfpp_sim::{ChromeTraceWriter, OpGraph, SimDuration};
+
+const GOLDEN: &str = include_str!("golden/pipeline_trace.json");
+
+/// A miniature two-device pipeline: each device has a compute and a
+/// network resource; device 0 computes, sends to device 1, which
+/// computes and sends a result back. Exercises complete events, flow
+/// events across resources, args, and name escaping.
+fn trace() -> String {
+    let us = |n: u64| SimDuration::from_nanos(n * 1_000);
+    let mut g: OpGraph<&str> = OpGraph::new();
+    let c0 = g.add_resource("gpu0.compute");
+    let n0 = g.add_resource("gpu0.net");
+    let c1 = g.add_resource("gpu1.compute");
+    let _n1 = g.add_resource("gpu1.net");
+
+    let f0 = g.add_op(c0, us(50), &[], "fwd \"mb0\"");
+    let s0 = g.add_op(n0, us(20), &[f0], "send\nmb0");
+    let f1 = g.add_op(c1, us(60), &[s0], "fwd mb0");
+    let b1 = g.add_op(c1, us(80), &[f1], "bwd mb0");
+    let s1 = g.add_op(n0, us(20), &[b1], "send grad");
+    let b0 = g.add_op(c0, us(70), &[s1], "bwd mb0");
+    let _r0 = g.add_op(n0, us(30), &[b0], "reduce");
+
+    let timeline = g.solve().expect("acyclic");
+    let mut w = ChromeTraceWriter::new();
+    w.add_timeline(
+        &g,
+        &timeline,
+        |r| {
+            let name = ["gpu0.compute", "gpu0.net", "gpu1.compute", "gpu1.net"][r.index()];
+            let (dev, stream) = name.split_once('.').unwrap();
+            Track {
+                pid: if dev == "gpu0" { 0 } else { 1 },
+                process: dev.to_string(),
+                thread: stream.to_string(),
+            }
+        },
+        |op, tag| TraceOp {
+            name: tag.to_string(),
+            category: if tag.starts_with("send") || tag.starts_with("reduce") {
+                OpCategory::PpComm
+            } else {
+                OpCategory::Compute
+            },
+            args: vec![("op".to_string(), ArgValue::U64(op.index() as u64))],
+        },
+    );
+    w.finish()
+}
+
+#[test]
+fn trace_matches_committed_golden_file() {
+    let json = trace();
+    validate_json(&json).expect("golden trace must be valid JSON");
+    if std::env::var("BFPP_REGEN_GOLDEN").is_ok() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/pipeline_trace.json"
+            ),
+            &json,
+        )
+        .expect("golden file is writable");
+    }
+    assert_eq!(
+        json, GOLDEN,
+        "Chrome-trace output drifted from tests/golden/pipeline_trace.json; \
+         if the format change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn trace_is_identical_across_repeated_runs() {
+    let first = trace();
+    for _ in 0..3 {
+        assert_eq!(trace(), first);
+    }
+}
+
+#[test]
+fn trace_is_identical_across_threads() {
+    // The exporter itself is single-threaded; what this pins down is
+    // that nothing it consumes (solve order, map iteration) varies when
+    // the surrounding program runs it from different threads.
+    let first = trace();
+    let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(trace)).collect();
+    for h in handles {
+        assert_eq!(h.join().expect("no panic"), first);
+    }
+}

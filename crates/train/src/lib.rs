@@ -24,7 +24,12 @@
 //! so peers fail fast with a typed [`pipeline::TrainError`] instead of
 //! deadlocking, and transient faults can be retried with
 //! [`pipeline::run_batch_with_retry`] (see the [`pipeline`] module docs
-//! for the fault model).
+//! for the fault model). The retry loop is observable:
+//! [`pipeline::run_batch_with_retry_instrumented`] records attempts,
+//! retries, per-cause failure counts and attempt/backoff wall-clock
+//! spans into a [`bfpp_sim::observe::Counters`], the same dependency-free
+//! registry the configuration search threads through its
+//! `SearchReport`.
 //!
 //! ```
 //! use bfpp_core::ScheduleKind;

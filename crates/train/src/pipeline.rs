@@ -52,6 +52,7 @@ use std::time::Duration;
 use bfpp_collectives::thread::{CollectiveError, CommGroup, CommHandle, PoisonReason};
 use bfpp_core::{Direction, Schedule, ScheduleKind};
 use bfpp_parallel::{DataParallelism, Placement, StageId};
+use bfpp_sim::observe::Counters;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::layers::Stage;
@@ -545,25 +546,80 @@ pub fn run_batch_with_retry(
     targets: &[Tensor],
     harness: &HarnessOptions,
 ) -> Result<(TrainResult, Vec<OptimizerState>), TrainError> {
+    run_batch_with_retry_instrumented(
+        spec,
+        stages,
+        states,
+        inputs,
+        targets,
+        harness,
+        &mut Counters::new(),
+    )
+}
+
+/// [`run_batch_with_retry`], recording what the harness did into
+/// `counters`: `attempts` (total tries), `retries` (tries after a
+/// failure), per-root-cause failure counts (`failures.<kind>`), and the
+/// `attempt` / `backoff` wall-clock spans. Counters are only ever added
+/// to, so one registry can instrument a whole run of steps.
+///
+/// # Errors
+///
+/// As [`run_batch_with_retry`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_batch_with_retry_instrumented(
+    spec: &TrainSpec,
+    stages: &[Stage],
+    states: &[OptimizerState],
+    inputs: &[Tensor],
+    targets: &[Tensor],
+    harness: &HarnessOptions,
+    counters: &mut Counters,
+) -> Result<(TrainResult, Vec<OptimizerState>), TrainError> {
     let mut attempt = 0u32;
     loop {
-        match try_run_batch_stateful(
-            spec,
-            stages.to_vec(),
-            states.to_vec(),
-            inputs,
-            targets,
-            harness,
-        ) {
+        counters.incr("attempts");
+        let result = counters.time("attempt", || {
+            try_run_batch_stateful(
+                spec,
+                stages.to_vec(),
+                states.to_vec(),
+                inputs,
+                targets,
+                harness,
+            )
+        });
+        match result {
             Ok(out) => return Ok(out),
-            Err(_) if attempt < harness.retry.max_retries => {
+            Err(e) if attempt < harness.retry.max_retries => {
+                counters.incr(&failure_counter(&e));
+                counters.incr("retries");
                 attempt += 1;
                 let exp = 1u32 << (attempt - 1).min(16);
-                thread::sleep(harness.retry.backoff.saturating_mul(exp));
+                counters.time("backoff", || {
+                    thread::sleep(harness.retry.backoff.saturating_mul(exp));
+                });
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                counters.incr(&failure_counter(&e));
+                return Err(e);
+            }
         }
     }
+}
+
+/// Counter name for a failed attempt, keyed by the root cause so a sweep
+/// can distinguish injected faults from timeouts from genuine panics.
+fn failure_counter(e: &TrainError) -> String {
+    let kind = match e {
+        TrainError::DeviceFailed { reason, .. } => match reason {
+            FailureReason::InjectedFault => "injected",
+            FailureReason::Panicked(_) => "panicked",
+            FailureReason::Collective(_) => "collective",
+            FailureReason::ChannelClosed { .. } => "channel",
+        },
+    };
+    format!("failures.{kind}")
 }
 
 /// Best-effort text of a caught panic payload.
@@ -1275,6 +1331,46 @@ mod tests {
             assert_eq!(a, b, "retried gradients must be bit-identical");
         }
         assert_eq!(retried_states, clean.1, "optimizer state must match");
+    }
+
+    #[test]
+    fn instrumented_retry_records_attempts_and_failures() {
+        let (stages, inputs, targets) = setup(2, 4, 2);
+        let s = spec(
+            ScheduleKind::OneFOneB,
+            Placement::linear(2),
+            4,
+            2,
+            DataParallelism::Unsharded,
+        );
+        let states: Vec<OptimizerState> = stages
+            .iter()
+            .map(|st| s.optimizer.init_state(st.num_params()))
+            .collect();
+        let harness = HarnessOptions {
+            fault: Some(FaultPlan::transient(1, 1, 1, FaultKind::Error)),
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff: std::time::Duration::from_millis(1),
+            },
+            collective_timeout: Some(std::time::Duration::from_secs(10)),
+        };
+        let mut counters = Counters::new();
+        run_batch_with_retry_instrumented(
+            &s,
+            &stages,
+            &states,
+            &inputs,
+            &targets,
+            &harness,
+            &mut counters,
+        )
+        .expect("one transient failure is within the retry budget");
+        assert_eq!(counters.count("attempts"), 2);
+        assert_eq!(counters.count("retries"), 1);
+        assert_eq!(counters.count("failures.injected"), 1);
+        assert!(counters.span("attempt") > std::time::Duration::ZERO);
+        assert!(counters.span("backoff") >= std::time::Duration::from_millis(1));
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Exports a solved schedule as Chrome-trace JSON (open the file in
+//! `ui.perfetto.dev` or `chrome://tracing`) and prints the exact per-op
+//! time attribution behind it: every nanosecond of every device stream
+//! classified as compute, pipeline communication, data-parallel
+//! communication, communication wait, or pipeline bubble.
+//!
+//! ```sh
+//! cargo run --release --example trace_export [out.json]
+//! ```
+
+use bfpp::cluster::presets::dgx1_v100;
+use bfpp::core::ScheduleKind;
+use bfpp::exec::{attribution, chrome_trace, lower, KernelModel, OverlapConfig};
+use bfpp::model::presets::bert_52b;
+use bfpp::parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp::sim::observe::Category;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".to_string());
+
+    // The paper's headline configuration (Table E.1, batch 48):
+    // breadth-first looped pipeline, fully sharded data parallelism.
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let cfg = ParallelConfig::new(
+        Grid::new(4, 2, 8),
+        Placement::looping(8, 8),
+        BatchConfig::new(12, 1),
+        DataParallelism::FullySharded,
+    );
+    let lowered = lower(
+        &model,
+        &cluster,
+        &cfg,
+        ScheduleKind::BreadthFirst,
+        OverlapConfig::full(),
+        &KernelModel::v100(),
+    )
+    .expect("valid configuration");
+    let timeline = lowered.graph.solve().expect("acyclic");
+
+    std::fs::write(&path, chrome_trace(&lowered, &timeline)).expect("trace file is writable");
+    println!("wrote {path} — open it in ui.perfetto.dev or chrome://tracing\n");
+
+    let bd = attribution(&lowered, &timeline);
+    print!("{}", bd.render_table());
+    println!(
+        "\nmakespan {} x {} resources = {} accounted for exactly",
+        bd.makespan(),
+        bd.num_resources(),
+        bd.grand_total()
+    );
+    println!(
+        "compute fraction {:.1}%, bubble {:.1}%, comm-wait {:.1}%",
+        bd.fraction(Category::Compute) * 100.0,
+        bd.fraction(Category::Bubble) * 100.0,
+        bd.fraction(Category::CommWait) * 100.0
+    );
+}

@@ -249,7 +249,7 @@ pub mod collection {
     use super::{Strategy, StubRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// A length distribution for [`vec`].
+    /// A length distribution for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -285,7 +285,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
