@@ -1,0 +1,95 @@
+//! Criterion: cost of the event-level memory profiler.
+//!
+//! Profiles a 32-stage breadth-first pipeline (8 devices × 4 loops,
+//! bert_52b, 16 micro-batches): the full per-device memory-timeline walk
+//! ([`bfpp_exec::memory_profile`]), the peaks-only path the solver's
+//! `solve_stats_with_memory` uses (no timeline materialized), and the
+//! memory-annotated Chrome-trace export against the time-only one.
+//! Headline numbers are recorded in `BENCH_memprof.json` at the repo
+//! root.
+
+use bfpp_cluster::presets::dgx1_v100;
+use bfpp_core::ScheduleKind;
+use bfpp_exec::{chrome_trace, chrome_trace_with_memory, lower, KernelModel, OverlapConfig};
+use bfpp_model::presets::bert_52b;
+use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp_sim::Solver;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_memprof(c: &mut Criterion) {
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    // 32 pipeline stages: 8 devices, 4 loops per device.
+    let cfg = ParallelConfig::new(
+        Grid::new(1, 8, 8),
+        Placement::looping(8, 4),
+        BatchConfig::new(16, 1),
+        DataParallelism::FullySharded,
+    );
+    let lowered = lower(
+        &model,
+        &cluster,
+        &cfg,
+        ScheduleKind::BreadthFirst,
+        OverlapConfig::full(),
+        &KernelModel::v100(),
+    )
+    .expect("32-stage bench configuration is valid");
+    let timeline = lowered.graph.solve().expect("acyclic");
+
+    let mut group = c.benchmark_group("memprof");
+    group.bench_function("profile", |b| {
+        b.iter(|| {
+            bfpp_exec::memory_profile(&lowered, &timeline)
+                .peak()
+                .total_bytes
+        })
+    });
+    group.bench_function("peaks_only", |b| {
+        // What `solve_stats_with_memory` adds on top of a solve: the
+        // event walk without materializing per-device timelines.
+        b.iter(|| {
+            lowered
+                .mem_spec
+                .peaks_from(|op| {
+                    (
+                        timeline.start_of(op).as_nanos(),
+                        timeline.end_of(op).as_nanos(),
+                    )
+                })
+                .peak_bytes()
+        })
+    });
+    group.bench_function("solve_stats_with_memory", |b| {
+        let mut solver = Solver::new(&lowered.graph);
+        b.iter(|| {
+            solver
+                .solve_stats_with_memory(&lowered.mem_spec)
+                .unwrap()
+                .peak_memory
+                .unwrap()
+                .peak_bytes()
+        })
+    });
+    group.bench_function("trace_time_only", |b| {
+        b.iter(|| chrome_trace(&lowered, &timeline).len())
+    });
+    group.bench_function("trace_with_memory", |b| {
+        b.iter(|| chrome_trace_with_memory(&lowered, &timeline).len())
+    });
+    group.finish();
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_memprof
+}
+criterion_main!(benches);

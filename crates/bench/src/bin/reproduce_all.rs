@@ -73,7 +73,15 @@ fn main() {
     println!("\n# Figure 6a (CSV)");
     print!(
         "{}",
-        figure6(&rows, cluster.num_gpus(), &tradeoff, &sizes).to_csv()
+        figure6(
+            &model,
+            &cluster,
+            &rows,
+            cluster.num_gpus(),
+            &tradeoff,
+            &sizes
+        )
+        .to_csv()
     );
 
     // 6.6 B sweeps: Figure 5b, Table E.2, Figure 6b.
@@ -93,7 +101,15 @@ fn main() {
     println!("\n# Figure 6b (CSV)");
     print!(
         "{}",
-        figure6(&rows, cluster.num_gpus(), &tradeoff, &sizes).to_csv()
+        figure6(
+            &model,
+            &cluster,
+            &rows,
+            cluster.num_gpus(),
+            &tradeoff,
+            &sizes
+        )
+        .to_csv()
     );
 
     // 6.6 B Ethernet: Figure 5c, Table E.3.

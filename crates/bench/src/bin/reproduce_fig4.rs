@@ -2,13 +2,16 @@
 //! 16-layer model on 4 pipeline devices with 8 micro-batches, in the
 //! presence of data parallelism.
 //!
-//! Usage: `reproduce_fig4 [--trace out.json]`
+//! Usage: `reproduce_fig4 [--trace out.json] [--mem-trace mem.json]`
 //!
 //! With `--trace`, also writes all four schedules as one Chrome-trace
 //! JSON document (open in `ui.perfetto.dev` or `chrome://tracing`).
+//! With `--mem-trace`, the document additionally carries the per-device
+//! memory counter tracks (stacked by buffer class) and PP/DP bandwidth
+//! counters.
 
-use bfpp_bench::figures::{figure4, figure4_trace};
-use bfpp_bench::{trace_arg, write_trace};
+use bfpp_bench::figures::{figure4, figure4_mem_trace, figure4_trace};
+use bfpp_bench::{mem_trace_arg, trace_arg, write_trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,5 +21,8 @@ fn main() {
     print!("{}", table.to_text());
     if let Some(path) = trace_arg(&args) {
         write_trace(&path, &figure4_trace());
+    }
+    if let Some(path) = mem_trace_arg(&args) {
+        write_trace(&path, &figure4_mem_trace());
     }
 }

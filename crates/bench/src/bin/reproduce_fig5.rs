@@ -1,23 +1,35 @@
 //! Reproduces Figure 5: highest GPU utilization per method as a function
 //! of batch size, on the 64-V100 cluster.
 //!
-//! Usage: `reproduce_fig5 [52b|6.6b] [--ethernet] [--threads N] [--trace out.json]`
+//! Usage: `reproduce_fig5 [52b|6.6b] [--ethernet] [--threads N] [--trace out.json]
+//! [--mem-trace mem.json]`
 //!
 //! With `--trace`, each method's best-utilization winner is re-lowered
 //! and written as one Chrome-trace JSON document (`ui.perfetto.dev`).
+//! With `--mem-trace`, the document additionally carries the per-device
+//! memory counter tracks (stacked by buffer class) and PP/DP bandwidth
+//! counters.
 
-use bfpp_bench::figures::{figure5_batches, figure5_sweep, figure5_table, sweep_trace};
-use bfpp_bench::{quick_mode, threads_arg, trace_arg, write_trace};
+use bfpp_bench::figures::{
+    figure5_batches, figure5_sweep, figure5_table, sweep_mem_trace, sweep_trace,
+};
+use bfpp_bench::{mem_trace_arg, quick_mode, threads_arg, trace_arg, write_trace};
 use bfpp_exec::search::SearchOptions;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let threads = threads_arg(&args);
     let trace = trace_arg(&args);
+    let mem_trace = mem_trace_arg(&args);
     let model_name = args
         .iter()
         .enumerate()
-        .filter(|(i, _)| *i == 0 || (args[i - 1] != "--threads" && args[i - 1] != "--trace"))
+        .filter(|(i, _)| {
+            *i == 0
+                || (args[i - 1] != "--threads"
+                    && args[i - 1] != "--trace"
+                    && args[i - 1] != "--mem-trace")
+        })
         .map(|(_, a)| a)
         .find(|a| !a.starts_with("--"))
         .cloned()
@@ -54,5 +66,8 @@ fn main() {
     print!("{}", figure5_table(&rows, cluster.num_gpus()).to_csv());
     if let Some(path) = trace {
         write_trace(&path, &sweep_trace(&model, &cluster, &rows));
+    }
+    if let Some(path) = mem_trace {
+        write_trace(&path, &sweep_mem_trace(&model, &cluster, &rows));
     }
 }

@@ -1,15 +1,41 @@
 //! Reproduces Figure 6: predicted cost/time trade-offs per method,
 //! extrapolated from the Figure 5 sweeps over a range of cluster sizes.
+//! The `memory_gib` column is regenerated from *event-level* per-device
+//! peaks (each winner re-lowered, solved and profiled), not the
+//! closed-form Eq. 10–14 estimate — the two reconcile byte-exactly.
 //!
-//! Usage: `reproduce_fig6 [52b|6.6b]`
+//! Usage: `reproduce_fig6 [52b|6.6b] [--threads N] [--trace out.json]
+//! [--mem-trace mem.json]`
+//!
+//! With `--trace`, each method's best-utilization winner is re-lowered
+//! and written as one Chrome-trace JSON document (`ui.perfetto.dev`).
+//! With `--mem-trace`, the document additionally carries the per-device
+//! memory counter tracks (stacked by buffer class) and PP/DP bandwidth
+//! counters.
 
 use bfpp_analytic::tradeoff::TradeoffModel;
-use bfpp_bench::figures::{figure5_batches, figure5_sweep, figure6};
-use bfpp_bench::quick_mode;
+use bfpp_bench::figures::{figure5_batches, figure5_sweep, figure6, sweep_mem_trace, sweep_trace};
+use bfpp_bench::{mem_trace_arg, quick_mode, threads_arg, trace_arg, write_trace};
 use bfpp_exec::search::SearchOptions;
 
 fn main() {
-    let model_name = std::env::args().nth(1).unwrap_or_else(|| "52b".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_arg(&args);
+    let trace = trace_arg(&args);
+    let mem_trace = mem_trace_arg(&args);
+    let model_name = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            *i == 0
+                || (args[i - 1] != "--threads"
+                    && args[i - 1] != "--trace"
+                    && args[i - 1] != "--mem-trace")
+        })
+        .map(|(_, a)| a)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "52b".to_string());
     let model = bfpp_model::presets::by_name(&model_name)
         .unwrap_or_else(|| panic!("unknown model {model_name}"));
     let cluster = bfpp_cluster::presets::dgx1_v100(8);
@@ -20,7 +46,11 @@ fn main() {
         TradeoffModel::paper_6_6b(&model, peak)
     };
     let batches = figure5_batches(&model_name, false, quick_mode());
-    let rows = figure5_sweep(&model, &cluster, &batches, &SearchOptions::default());
+    let opts = SearchOptions {
+        threads,
+        ..SearchOptions::default()
+    };
+    let rows = figure5_sweep(&model, &cluster, &batches, &opts);
     let sizes: Vec<u32> = [256u32, 512, 1024, 2048, 4096, 8192, 16384, 32768]
         .into_iter()
         .collect();
@@ -30,6 +60,20 @@ fn main() {
     );
     print!(
         "{}",
-        figure6(&rows, cluster.num_gpus(), &tradeoff, &sizes).to_csv()
+        figure6(
+            &model,
+            &cluster,
+            &rows,
+            cluster.num_gpus(),
+            &tradeoff,
+            &sizes
+        )
+        .to_csv()
     );
+    if let Some(path) = trace {
+        write_trace(&path, &sweep_trace(&model, &cluster, &rows));
+    }
+    if let Some(path) = mem_trace {
+        write_trace(&path, &sweep_mem_trace(&model, &cluster, &rows));
+    }
 }

@@ -1,13 +1,17 @@
 //! Reproduces Figure 7 / Appendix C: depth-first vs breadth-first
 //! gradient accumulation under DP_0 and DP_FS (no pipeline).
 //!
-//! Usage: `reproduce_fig7 [--trace out.json]`
+//! Usage: `reproduce_fig7 [--trace out.json] [--mem-trace mem.json]`
 //!
 //! With `--trace`, also writes the four accumulation variants as one
-//! Chrome-trace JSON document (open in `ui.perfetto.dev`).
+//! Chrome-trace JSON document (open in `ui.perfetto.dev`). With
+//! `--mem-trace`, the document additionally carries the per-device
+//! memory counter tracks (stacked by buffer class) and DP bandwidth
+//! counters — the sharding contrast between DP_0 and DP_FS is directly
+//! visible in the weight/optimizer series.
 
-use bfpp_bench::figures::{figure7, figure7_trace};
-use bfpp_bench::{trace_arg, write_trace};
+use bfpp_bench::figures::{figure7, figure7_mem_trace, figure7_trace};
+use bfpp_bench::{mem_trace_arg, trace_arg, write_trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,5 +21,8 @@ fn main() {
     print!("{}", table.to_text());
     if let Some(path) = trace_arg(&args) {
         write_trace(&path, &figure7_trace());
+    }
+    if let Some(path) = mem_trace_arg(&args) {
+        write_trace(&path, &figure7_mem_trace());
     }
 }

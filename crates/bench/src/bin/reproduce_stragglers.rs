@@ -6,17 +6,20 @@
 //! retention vs its own fault-free baseline) and names the schedule that
 //! degrades most gracefully.
 //!
-//! Usage: `reproduce_stragglers [--trace out.json]`
+//! Usage: `reproduce_stragglers [--trace out.json] [--mem-trace mem.json]`
 //!
 //! With `--trace`, the *perturbed* timelines at the worst severity are
 //! written as one Chrome-trace JSON document, so the straggler's
 //! inflated ops and the downstream waits they cause are visible in
-//! `ui.perfetto.dev`.
+//! `ui.perfetto.dev`. With `--mem-trace`, the document additionally
+//! carries the memory and bandwidth counter tracks — peak memory is
+//! invariant under the straggler, but the instant of peak shifts.
 
 use bfpp_bench::robustness::{
-    most_graceful, robustness_table, straggler_sweep, straggler_trace, SEVERITIES, STRAGGLER_DEVICE,
+    most_graceful, robustness_table, straggler_mem_trace, straggler_sweep, straggler_trace,
+    SEVERITIES, STRAGGLER_DEVICE,
 };
-use bfpp_bench::{trace_arg, write_trace};
+use bfpp_bench::{mem_trace_arg, trace_arg, write_trace};
 use bfpp_cluster::presets::dgx1_v100;
 use bfpp_model::presets::bert_52b;
 
@@ -46,8 +49,11 @@ fn main() {
             worst * 100.0
         );
     }
+    let worst = severities.last().copied().unwrap_or(2.0);
     if let Some(path) = trace_arg(&args) {
-        let worst = severities.last().copied().unwrap_or(2.0);
         write_trace(&path, &straggler_trace(&model, &cluster, worst));
+    }
+    if let Some(path) = mem_trace_arg(&args) {
+        write_trace(&path, &straggler_mem_trace(&model, &cluster, worst));
     }
 }

@@ -136,6 +136,19 @@ pub fn figure4_trace() -> String {
     builder.finish()
 }
 
+/// [`figure4_trace`] with the memory and bandwidth counter tracks: each
+/// schedule's per-device memory timeline (stacked by buffer class) and
+/// PP/DP link utilization, aligned with its time tracks under the same
+/// process ids.
+pub fn figure4_mem_trace() -> String {
+    let mut builder = TraceBuilder::new();
+    for (kind, lowered) in figure4_lowerings() {
+        let timeline = lowered.graph.solve().expect("acyclic");
+        builder.add_with_memory(Some(&kind.to_string()), &lowered, &timeline);
+    }
+    builder.finish()
+}
+
 /// One row of a Figure 5 / Table E sweep.
 #[derive(Debug, Clone)]
 pub struct SweepRow {
@@ -200,7 +213,7 @@ pub fn figure5_table(rows: &[SweepRow], num_gpus: u32) -> Table {
         "utilization_pct",
         "enumerated",
         "pruned_memory",
-        "pruned_bound",
+        "pruned_throughput",
         "simulated",
         "search_ms",
         "robust_tflops",
@@ -231,6 +244,27 @@ pub fn figure5_table(rows: &[SweepRow], num_gpus: u32) -> Table {
 /// config" path of EXPERIMENTS.md. Methods where nothing fit are
 /// skipped.
 pub fn sweep_trace(model: &TransformerConfig, cluster: &ClusterSpec, rows: &[SweepRow]) -> String {
+    sweep_trace_impl(model, cluster, rows, false)
+}
+
+/// [`sweep_trace`] with the memory and bandwidth counter tracks: each
+/// winner's per-device memory timeline (stacked by buffer class) and
+/// PP/DP link utilization, aligned with its time tracks under the same
+/// process ids.
+pub fn sweep_mem_trace(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    rows: &[SweepRow],
+) -> String {
+    sweep_trace_impl(model, cluster, rows, true)
+}
+
+fn sweep_trace_impl(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    rows: &[SweepRow],
+    with_memory: bool,
+) -> String {
     let kernel = KernelModel::v100();
     let mut builder = TraceBuilder::new();
     for method in Method::ALL {
@@ -249,11 +283,12 @@ pub fn sweep_trace(model: &TransformerConfig, cluster: &ClusterSpec, rows: &[Swe
         let lowered = lower(model, cluster, &res.cfg, res.kind, res.overlap, &kernel)
             .expect("winning configurations re-lower");
         let timeline = lowered.graph.solve().expect("acyclic");
-        builder.add(
-            Some(&format!("{} b{batch}", method.label())),
-            &lowered,
-            &timeline,
-        );
+        let label = format!("{} b{batch}", method.label());
+        if with_memory {
+            builder.add_with_memory(Some(&label), &lowered, &timeline);
+        } else {
+            builder.add(Some(&label), &lowered, &timeline);
+        }
     }
     builder.finish()
 }
@@ -273,12 +308,22 @@ pub fn operating_points(rows: &[SweepRow], num_gpus: u32, method: Method) -> Vec
 
 /// Figure 6: the cost/time trade-off per method over a range of cluster
 /// sizes, extrapolated from the Figure 5 sweep.
+///
+/// The `memory_gib` column is the *event-level* per-device peak of the
+/// configuration whose β each frontier point extrapolates: the winner is
+/// re-lowered, solved, and its memory profile walked
+/// ([`bfpp_exec::memory_profile`]) rather than read off the closed-form
+/// Eq. 10–14 estimate. The two reconcile byte-exactly (asserted in
+/// `bfpp-exec`'s tests), but the figure's pedigree is the event timeline.
 pub fn figure6(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
     rows: &[SweepRow],
     num_gpus: u32,
     tradeoff: &TradeoffModel,
     cluster_sizes: &[u32],
 ) -> Table {
+    let kernel = KernelModel::v100();
     let mut t = Table::new([
         "method",
         "n_gpus",
@@ -286,13 +331,37 @@ pub fn figure6(
         "global_batch",
         "time_days",
         "cost_gpu_days",
+        "memory_gib",
     ]);
+    // Event-level peaks memoized by (method, batch): one frontier β is
+    // shared by many cluster sizes, so each winner is lowered and solved
+    // once.
+    let mut peaks: Vec<((Method, u64), f64)> = Vec::new();
     for method in Method::ALL {
         let points = operating_points(rows, num_gpus, method);
         if points.is_empty() {
             continue;
         }
         for p in tradeoff.frontier(&points, cluster_sizes) {
+            // The sweep row whose configuration realized this β.
+            let mem = rows
+                .iter()
+                .filter(|r| r.method == method)
+                .filter_map(|r| r.result.as_ref().map(|res| (r.batch, res)))
+                .find(|(_, res)| (res.measurement.batch_per_gpu - p.beta).abs() < 1e-9)
+                .map(|(batch, res)| {
+                    if let Some((_, bytes)) = peaks.iter().find(|(k, _)| *k == (method, batch)) {
+                        return *bytes;
+                    }
+                    let lowered = lower(model, cluster, &res.cfg, res.kind, res.overlap, &kernel)
+                        .expect("winning configurations re-lower");
+                    let timeline = lowered.graph.solve().expect("acyclic");
+                    let bytes = bfpp_exec::memory_profile(&lowered, &timeline)
+                        .peak()
+                        .total_bytes;
+                    peaks.push(((method, batch), bytes));
+                    bytes
+                });
             t.push([
                 method.label().to_string(),
                 p.n_gpus.to_string(),
@@ -300,6 +369,8 @@ pub fn figure6(
                 format!("{:.0}", p.global_batch),
                 format!("{:.1}", p.time_days),
                 format!("{:.0}", p.cost_gpu_days),
+                mem.map(|m| format!("{:.1}", m / (1u64 << 30) as f64))
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
     }
@@ -402,6 +473,19 @@ pub fn figure7_trace() -> String {
     for (label, dp, lowered) in figure7_lowerings() {
         let timeline = lowered.graph.solve().expect("acyclic");
         builder.add(Some(&format!("{label} {dp}")), &lowered, &timeline);
+    }
+    builder.finish()
+}
+
+/// [`figure7_trace`] with the memory and bandwidth counter tracks — the
+/// sharding contrast is directly visible: under `DP_FS` the weight and
+/// optimizer series shrink by the sharding factor while the `dp MB/s`
+/// track lights up with the per-group gathers.
+pub fn figure7_mem_trace() -> String {
+    let mut builder = TraceBuilder::new();
+    for (label, dp, lowered) in figure7_lowerings() {
+        let timeline = lowered.graph.solve().expect("acyclic");
+        builder.add_with_memory(Some(&format!("{label} {dp}")), &lowered, &timeline);
     }
     builder.finish()
 }
@@ -511,6 +595,10 @@ mod tests {
         let json = sweep_trace(&model, &cluster, &rows);
         bfpp_sim::observe::validate_json(&json).expect("sweep trace must be valid JSON");
         assert!(json.contains(" b64/gpu0"));
+        let mem_json = sweep_mem_trace(&model, &cluster, &rows);
+        bfpp_sim::observe::validate_json(&mem_json).expect("sweep mem-trace must be valid JSON");
+        assert!(mem_json.contains("memory (bytes)"));
+        assert!(mem_json.contains("\"checkpoints\":"));
         assert!(t
             .to_csv()
             .lines()
@@ -522,12 +610,59 @@ mod tests {
     }
 
     #[test]
-    fn sweep_trace_is_thread_count_invariant() {
-        // The search winner is bit-identical for any worker count, so
-        // the trace of the winners must be too — byte for byte.
+    fn figure6_memory_column_comes_from_event_level_peaks() {
         let model = presets::bert_6_6b();
         let cluster = bfpp_cluster::presets::dgx1_v100(8);
-        let trace_with = |threads| {
+        let opts = SearchOptions {
+            max_microbatch: 4,
+            max_loop: 8,
+            max_actions: 30_000,
+            threads: 0,
+            ..SearchOptions::default()
+        };
+        let rows = figure5_sweep(&model, &cluster, &[64], &opts);
+        let peak = cluster.node.gpu.peak_fp16_flops;
+        let tradeoff = TradeoffModel::paper_6_6b(&model, peak);
+        let t = figure6(
+            &model,
+            &cluster,
+            &rows,
+            cluster.num_gpus(),
+            &tradeoff,
+            &[1024, 4096],
+        );
+        let csv = t.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("memory_gib"));
+        // Every frontier row extrapolates a swept winner, so the memory
+        // column is populated; and since event peaks reconcile with the
+        // closed form byte-exactly, it must equal the measurement's GiB.
+        for line in csv.lines().skip(1) {
+            let mem = line.rsplit(',').next().unwrap();
+            assert_ne!(mem, "-", "frontier row without a memory peak: {line}");
+            let method = line.split(',').next().unwrap();
+            let reported: f64 = mem.parse().unwrap();
+            let closed_form = rows
+                .iter()
+                .filter(|r| r.method.label() == method)
+                .filter_map(|r| r.result.as_ref())
+                .map(|res| res.measurement.memory_gib())
+                .next()
+                .expect("winner exists");
+            assert!(
+                (reported - closed_form).abs() < 0.05 + 1e-9,
+                "{method}: event-level {reported} vs closed-form {closed_form}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_trace_is_thread_count_invariant() {
+        // The search winner is bit-identical for any worker count, so
+        // the traces of the winners — time-only and memory variants —
+        // must be too, byte for byte.
+        let model = presets::bert_6_6b();
+        let cluster = bfpp_cluster::presets::dgx1_v100(8);
+        let traces_with = |threads| {
             let opts = SearchOptions {
                 max_microbatch: 4,
                 max_loop: 8,
@@ -536,9 +671,12 @@ mod tests {
                 ..SearchOptions::default()
             };
             let rows = figure5_sweep(&model, &cluster, &[64], &opts);
-            sweep_trace(&model, &cluster, &rows)
+            (
+                sweep_trace(&model, &cluster, &rows),
+                sweep_mem_trace(&model, &cluster, &rows),
+            )
         };
-        assert_eq!(trace_with(1), trace_with(3));
+        assert_eq!(traces_with(1), traces_with(3));
     }
 
     #[test]
@@ -588,6 +726,28 @@ mod tests {
         bfpp_sim::observe::validate_json(&json).expect("figure 7 trace must be valid JSON");
         assert!(json.contains("breadth-first DP_FS/gpu0"));
         assert!(json.contains("depth-first DP_0/gpu0"));
+    }
+
+    #[test]
+    fn mem_traces_are_valid_and_carry_counter_tracks() {
+        for (name, json) in [
+            ("figure 4", figure4_mem_trace()),
+            ("figure 7", figure7_mem_trace()),
+        ] {
+            bfpp_sim::observe::validate_json(&json)
+                .unwrap_or_else(|e| panic!("{name} mem-trace must be valid JSON: {e}"));
+            // Time tracks are still present, and the counter tracks ride
+            // alongside them.
+            assert!(json.contains("\"ph\":\"X\""), "{name}: time tracks");
+            assert!(json.contains("\"ph\":\"C\""), "{name}: counter tracks");
+            assert!(json.contains("memory (bytes)"), "{name}: memory track");
+            assert!(json.contains("\"activations\":"), "{name}: class series");
+        }
+        // Figure 4 has a real pipeline, so its PP links carry traffic.
+        assert!(figure4_mem_trace().contains("pp MB/s"));
+        // Figure 7 is pure gradient accumulation (no pipeline) under DP,
+        // so its DP links carry traffic instead.
+        assert!(figure7_mem_trace().contains("dp MB/s"));
     }
 
     #[test]

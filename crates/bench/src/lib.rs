@@ -44,6 +44,19 @@ pub fn trace_arg<S: AsRef<str>>(args: &[S]) -> Option<String> {
         .map(|v| v.as_ref().to_string())
 }
 
+/// Parses a `--mem-trace <path>` flag from an argument list: like
+/// [`trace_arg`], but selects the memory-and-bandwidth trace variant —
+/// the same time tracks plus stacked per-device `"memory (bytes)"`
+/// counter tracks and per-link `"pp MB/s"` / `"dp MB/s"` bandwidth
+/// counters (see `bfpp_exec::memprof`). Returns `None` when the flag is
+/// absent or has no value.
+pub fn mem_trace_arg<S: AsRef<str>>(args: &[S]) -> Option<String> {
+    args.iter()
+        .position(|a| a.as_ref() == "--mem-trace")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.as_ref().to_string())
+}
+
 /// Writes a Chrome-trace JSON string to `path` and confirms on stderr
 /// (stderr so the CSV on stdout stays machine-readable).
 ///
@@ -88,5 +101,21 @@ mod tests {
         assert_eq!(super::trace_arg(&["52b"]), None);
         assert_eq!(super::trace_arg(&["--trace"]), None);
         assert_eq!(super::trace_arg::<&str>(&[]), None);
+    }
+
+    #[test]
+    fn mem_trace_arg_parses_the_flag() {
+        assert_eq!(
+            super::mem_trace_arg(&["--mem-trace", "mem.json"]),
+            Some("mem.json".to_string())
+        );
+        assert_eq!(
+            super::mem_trace_arg(&["52b", "--trace", "t.json", "--mem-trace", "m.json"]),
+            Some("m.json".to_string())
+        );
+        // `--trace` and `--mem-trace` are independent flags.
+        assert_eq!(super::mem_trace_arg(&["--trace", "t.json"]), None);
+        assert_eq!(super::mem_trace_arg(&["--mem-trace"]), None);
+        assert_eq!(super::mem_trace_arg::<&str>(&[]), None);
     }
 }

@@ -140,6 +140,28 @@ pub fn straggler_sweep_instrumented(
 ///
 /// As [`straggler_sweep`].
 pub fn straggler_trace(model: &TransformerConfig, cluster: &ClusterSpec, severity: f64) -> String {
+    straggler_trace_impl(model, cluster, severity, false)
+}
+
+/// [`straggler_trace`] with the memory and bandwidth counter tracks.
+/// Peak memory is invariant under the straggler (the FIFO streams replay
+/// the same op order, so the same buffer counts coincide), but the
+/// *instant* of peak shifts with the inflated ops — which the counter
+/// tracks make visible next to the time tracks.
+pub fn straggler_mem_trace(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    severity: f64,
+) -> String {
+    straggler_trace_impl(model, cluster, severity, true)
+}
+
+fn straggler_trace_impl(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    severity: f64,
+    with_memory: bool,
+) -> String {
     let kernel = KernelModel::v100();
     let mut builder = bfpp_exec::TraceBuilder::new();
     let mut durations: Vec<SimDuration> = Vec::new();
@@ -153,7 +175,12 @@ pub fn straggler_trace(model: &TransformerConfig, cluster: &ClusterSpec, severit
         let timeline = Solver::new(&lowered.graph)
             .solve_with_durations(&durations)
             .expect("lowered graphs are acyclic by construction");
-        builder.add(Some(&format!("{kind} x{severity}")), &lowered, &timeline);
+        let label = format!("{kind} x{severity}");
+        if with_memory {
+            builder.add_with_memory(Some(&label), &lowered, &timeline);
+        } else {
+            builder.add(Some(&label), &lowered, &timeline);
+        }
     }
     builder.finish()
 }
@@ -252,6 +279,19 @@ mod tests {
         bfpp_sim::observe::validate_json(&json).expect("straggler trace must be valid JSON");
         assert!(json.contains("breadth-first x1.5/gpu0"));
         assert!(json.contains("gpipe x1.5/gpu7"));
+    }
+
+    #[test]
+    fn straggler_mem_trace_is_valid_and_carries_counters() {
+        let json = straggler_mem_trace(&bert_52b(), &dgx1_v100(8), 1.5);
+        bfpp_sim::observe::validate_json(&json).expect("straggler mem-trace must be valid JSON");
+        assert!(json.contains("breadth-first x1.5/gpu0"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("memory (bytes)"));
+        assert!(json.contains("pp MB/s"));
+        // Byte-determinism: the perturbation is seeded, so the whole
+        // document — counters included — reproduces exactly.
+        assert_eq!(json, straggler_mem_trace(&bert_52b(), &dgx1_v100(8), 1.5));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn table_e(rows: &[SweepRow]) -> Table {
         "memory_gib",
         "enumerated",
         "pruned_memory",
-        "pruned_bound",
+        "pruned_throughput",
         "simulated",
         "search_ms",
         "robust_tflops",

@@ -60,6 +60,7 @@ mod kernel;
 mod lower;
 mod measure;
 mod memory;
+pub mod memprof;
 pub mod observe;
 mod overlap;
 pub mod prune;
@@ -77,11 +78,14 @@ pub use measure::{
     simulate_with_schedule_perturbed, Measurement, SimulateError,
 };
 pub use memory::estimate_memory;
+pub use memprof::{chrome_trace_with_memory, link_spans, memory_profile, peak_attribution};
 pub use observe::{attribution, chrome_trace, op_category, TraceBuilder};
 pub use overlap::OverlapConfig;
-pub use prune::lower_bound_tflops;
+pub use prune::{lower_bound_tflops, PruneReason};
 pub use search::SearchReport;
 
-// Re-exported so search/bench callers can build fault models without
-// depending on `bfpp_sim` directly.
-pub use bfpp_sim::{OpClass, Perturbation};
+// Re-exported so search/bench callers can build fault models and consume
+// memory profiles without depending on `bfpp_sim` directly.
+pub use bfpp_sim::{
+    BufferClass, MemoryPeaks, MemoryProfile, OpClass, PeakAttribution, Perturbation,
+};

@@ -23,10 +23,12 @@ use bfpp_collectives::cost;
 use bfpp_core::{Action, Direction, Schedule, ScheduleKind, StageRun};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{DataParallelism, ParallelConfig, RankCoord, StageId};
+use bfpp_sim::memprof::{BufferClass, EventEdge, MemEffect, MemorySpec};
 use bfpp_sim::{OpClass, OpGraph, OpId, Perturbation, ResourceId, SimDuration};
 
 use crate::kernel::KernelModel;
 use crate::measure::SimulateError;
+use crate::memory::device_model;
 use crate::overlap::OverlapConfig;
 
 /// Metadata attached to every simulated operation.
@@ -126,6 +128,15 @@ pub struct LoweredGraph {
     pub peak_checkpoints: u32,
     /// Workload sizes for trace annotation (see [`TraceInfo`]).
     pub trace_info: TraceInfo,
+    /// Per-op memory alloc/free annotations plus each device's Eq. 10–14
+    /// unit sizes: one checkpoint pinned at every forward kernel's end
+    /// and released at the matching backward's end, and the working
+    /// activation buffer alive from the device's first kernel to its
+    /// last. Evaluate against a solve ([`bfpp_sim::MemorySpec::profile`]
+    /// or [`bfpp_sim::Solver::solve_stats_with_memory`]) for the exact
+    /// per-device memory timeline; the peak reconciles byte-exactly with
+    /// [`crate::memory::estimate_memory`].
+    pub mem_spec: MemorySpec,
     /// Per-op `(base duration, factor slot)` where the slot is
     /// `2 * resource + is_compute` — the dense inputs of
     /// [`LoweredGraph::perturbed_durations`]'s randomness-free fast path,
@@ -476,6 +487,13 @@ pub fn lower_with_schedule_perturbed(
     let use_fs = cfg.dp == DataParallelism::FullySharded && grid.n_dp > 1;
     let last_stage = StageId(n_stage - 1);
 
+    // Memory annotations: one checkpoint per (micro-batch, stage) pinned
+    // at its forward kernel's end and freed at its backward's end —
+    // matching `Schedule::peak_checkpoints_per_device`, since a device's
+    // FIFO compute stream replays its action order — plus one working
+    // activation buffer per device spanning its first to last kernel.
+    let mut mem_effects: Vec<MemEffect> = Vec::with_capacity(total_actions + 2 * n_pp as usize);
+
     // Perturb durations at insertion time, salted by the op's index in
     // the graph: a pure function of (perturbation, lowering order), so
     // perturbed graphs are bit-identical across runs and caller threading.
@@ -541,6 +559,34 @@ pub fn lower_with_schedule_perturbed(
                 OpTag::Compute(*a),
             );
             compute_op[cidx(a)] = Some(op);
+            if i == 0 {
+                mem_effects.push(MemEffect {
+                    op,
+                    device: dev,
+                    class: BufferClass::Activations,
+                    delta: 1,
+                    edge: EventEdge::Start,
+                });
+            }
+            mem_effects.push(MemEffect {
+                op,
+                device: dev,
+                class: BufferClass::Checkpoints,
+                delta: match a.dir {
+                    Direction::Forward => 1,
+                    Direction::Backward => -1,
+                },
+                edge: EventEdge::End,
+            });
+            if i == actions.len() - 1 {
+                mem_effects.push(MemEffect {
+                    op,
+                    device: dev,
+                    class: BufferClass::Activations,
+                    delta: -1,
+                    edge: EventEdge::End,
+                });
+            }
             if run_end_at[i] != usize::MAX {
                 run_last_op[run_end_at[i]] = Some(op);
             }
@@ -657,6 +703,13 @@ pub fn lower_with_schedule_perturbed(
         })
         .collect();
 
+    let mem_spec = MemorySpec {
+        devices: (0..n_pp)
+            .map(|dev| device_model(model, cfg, schedule.kind(), dev))
+            .collect(),
+        effects: mem_effects,
+    };
+
     Ok(LoweredGraph {
         graph,
         compute_resources,
@@ -667,6 +720,7 @@ pub fn lower_with_schedule_perturbed(
         perturbed: !perturbation.is_identity(),
         trace_info: d.trace_info,
         op_perturb,
+        mem_spec,
     })
 }
 

@@ -2,7 +2,8 @@
 
 use bfpp_core::{Schedule, ScheduleKind};
 use bfpp_model::{activation_memory_bytes, checkpoint_memory_per_layer_bytes, TransformerConfig};
-use bfpp_parallel::ParallelConfig;
+use bfpp_parallel::{DataParallelism, ParallelConfig};
+use bfpp_sim::memprof::{BufferClass, DeviceMemModel};
 
 /// Estimates the worst device's peak memory in bytes for one
 /// configuration and schedule: training state (Eqs. 10–12), activation
@@ -33,6 +34,40 @@ pub(crate) fn memory_with_checkpoints(
     kind: ScheduleKind,
     peak_checkpoints: u32,
 ) -> f64 {
+    // Device 0 is the worst device: it holds the embedding table *and*
+    // attains the schedule-wide peak checkpoint count (the first stage
+    // has the most micro-batches in flight under 1F1B/depth-first, and
+    // all stages peak equally under GPipe/breadth-first).
+    let m = device_model(model, cfg, kind, 0);
+    let mut counts = m.baseline_counts();
+    counts[BufferClass::Checkpoints.index()] = peak_checkpoints as i64;
+    counts[BufferClass::Activations.index()] = 1;
+    m.total_bytes(&counts)
+}
+
+/// Builds the memory model of one pipeline device: the byte size of one
+/// buffer of each [`BufferClass`] and the steady-state resident counts.
+///
+/// This is the **single source of the Eq. 10–14 byte figures** for both
+/// consumers: [`memory_with_checkpoints`] evaluates it at the analytic
+/// peak counts, and the event-level profile (`crate::memprof`) evaluates
+/// it at the counts alive at each instant of the solved timeline —
+/// through the same [`DeviceMemModel::total_bytes`] summation, which is
+/// what makes the two peaks comparable with `==` on `f64`s.
+///
+/// The class split refines the paper's state bracket: half-precision
+/// weights (`2 N/(N_PP·N_TP)` bytes, or the whole Eq. 12 working set
+/// under `DP_FS`), the gradient buffer (the `high − low` width of the
+/// Eq. 10/11 bracket; resident in steady state except under the
+/// breadth-first schedule, which reduces gradients immediately), and the
+/// optimizer slice (the remainder of the optimistic bracket). The
+/// embedding table's state sits on device 0 only.
+pub(crate) fn device_model(
+    model: &TransformerConfig,
+    cfg: &ParallelConfig,
+    kind: ScheduleKind,
+    device: u32,
+) -> DeviceMemModel {
     let grid = cfg.grid;
     let s_mb = cfg.batch.microbatch_size;
     let layer_params = model.num_layers as u64 * model.params_per_layer();
@@ -40,29 +75,43 @@ pub(crate) fn memory_with_checkpoints(
     let range = cfg
         .dp
         .state_memory_bytes(layer_params, model.num_layers, grid.n_pp, grid.n_tp);
-    let state = if kind == ScheduleKind::BreadthFirst {
+    // fp16 weight shards; under DP_FS the Eq. 12 working set (the two
+    // active layers' gathered buffers) plays the weights role and the
+    // bracket has no width left for separate gradient/optimizer terms.
+    let weights = if cfg.dp == DataParallelism::FullySharded {
         range.low
     } else {
-        range.high
+        2.0 * (layer_params as f64 / (grid.n_pp as f64 * grid.n_tp as f64))
     };
 
+    let layers_per_stage = (model.num_layers / cfg.placement.num_stages()) as f64;
+
+    let mut m = DeviceMemModel::default();
+    m.units[BufferClass::Weights.index()] = weights;
+    m.units[BufferClass::Gradients.index()] = range.high - range.low;
+    m.units[BufferClass::Optimizer.index()] = range.low - weights;
     // Embedding state on the first pipeline device (weights shared with
     // the LM head, counted once). Sharded variants spread it over the DP
     // group as well.
-    let embedding = cfg.dp.embedding_state_bytes_per_param(grid.n_dp)
+    m.units[BufferClass::Embedding.index()] = cfg.dp.embedding_state_bytes_per_param(grid.n_dp)
         * model.embedding_params() as f64
         / grid.n_tp as f64;
-
-    // Activation checkpoints: worst device's live count times the bytes of
-    // one stage's checkpoint.
-    let layers_per_stage = (model.num_layers / cfg.placement.num_stages()) as f64;
-    let ckpt_unit = layers_per_stage * checkpoint_memory_per_layer_bytes(model, s_mb, grid.n_tp);
-    let checkpoints = peak_checkpoints as f64 * ckpt_unit;
-
+    // One live checkpoint = one stage visit's worth of layers (Eq. 14);
+    // the live count is schedule-dependent.
+    m.units[BufferClass::Checkpoints.index()] =
+        layers_per_stage * checkpoint_memory_per_layer_bytes(model, s_mb, grid.n_tp);
     // Working activations for the layer being computed (double-buffered).
-    let working = 2.0 * activation_memory_bytes(model, s_mb, grid.n_tp);
+    m.units[BufferClass::Activations.index()] =
+        2.0 * activation_memory_bytes(model, s_mb, grid.n_tp);
 
-    state + embedding + checkpoints + working
+    m.baseline[BufferClass::Weights.index()] = 1;
+    // Breadth-first reduces gradients immediately (§A.2.1): no gradient
+    // buffer outlives its micro-batch, so the schedule sits at the
+    // optimistic end of the state bracket.
+    m.baseline[BufferClass::Gradients.index()] = (kind != ScheduleKind::BreadthFirst) as u32;
+    m.baseline[BufferClass::Optimizer.index()] = 1;
+    m.baseline[BufferClass::Embedding.index()] = (device == 0) as u32;
+    m
 }
 
 #[cfg(test)]

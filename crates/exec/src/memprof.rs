@@ -1,0 +1,306 @@
+//! Event-level memory and bandwidth profiles of lowered training runs.
+//!
+//! Glue between the generic memory-profiling layer of
+//! [`bfpp_sim::memprof`] and the lowering: every [`LoweredGraph`] carries
+//! a [`bfpp_sim::MemorySpec`] built from the Eq. 10–14 byte figures
+//! (`crate::memory`), so a solved timeline yields an exact per-device
+//! memory timeline — and its peak reconciles **byte-exactly** with the
+//! analytic [`crate::memory::estimate_memory`], because both sides
+//! evaluate the same per-class unit sizes through the same summation
+//! ([`bfpp_sim::DeviceMemModel::total_bytes`]).
+//!
+//! * [`memory_profile`] evaluates the timeline; [`peak_attribution`]
+//!   names the worst device's peak instant and its composition;
+//! * [`link_spans`] extracts the busy intervals of each device's
+//!   pipeline/data-parallel communication streams, for bandwidth
+//!   counter tracks;
+//! * [`chrome_trace_with_memory`] renders time tracks, stacked memory
+//!   counters and per-link bandwidth counters in one Perfetto document.
+//!
+//! ```
+//! use bfpp_cluster::presets::dgx1_v100;
+//! use bfpp_core::ScheduleKind;
+//! use bfpp_exec::{estimate_memory, lower, KernelModel, OverlapConfig};
+//! use bfpp_model::presets::bert_52b;
+//! use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+//!
+//! let cfg = ParallelConfig::new(
+//!     Grid::new(4, 2, 8),
+//!     Placement::looping(8, 8),
+//!     BatchConfig::new(12, 1),
+//!     DataParallelism::FullySharded,
+//! );
+//! let model = bert_52b();
+//! let lowered = lower(
+//!     &model,
+//!     &dgx1_v100(8),
+//!     &cfg,
+//!     ScheduleKind::BreadthFirst,
+//!     OverlapConfig::full(),
+//!     &KernelModel::v100(),
+//! )
+//! .unwrap();
+//! let timeline = lowered.graph.solve().unwrap();
+//! let peak = bfpp_exec::memprof::peak_attribution(&lowered, &timeline);
+//! // The event-level peak IS the analytic Eq. 10–14 estimate, byte for byte.
+//! assert_eq!(
+//!     peak.total_bytes,
+//!     estimate_memory(&model, &cfg, &lowered.schedule)
+//! );
+//! ```
+
+use bfpp_sim::memprof::{LinkSpan, MemoryProfile, PeakAttribution};
+use bfpp_sim::Timeline;
+
+use crate::lower::{LoweredGraph, OpTag};
+
+/// Evaluates a solved lowering's memory annotations into the exact
+/// per-device memory timeline (see [`bfpp_sim::MemorySpec::profile`]).
+pub fn memory_profile(lowered: &LoweredGraph, timeline: &Timeline) -> MemoryProfile {
+    lowered.mem_spec.profile(timeline)
+}
+
+/// The worst device's memory peak: the instant it occurs and its
+/// composition by buffer class. Its `total_bytes` equals
+/// [`crate::memory::estimate_memory`] for the same configuration and
+/// schedule, byte for byte.
+///
+/// # Panics
+///
+/// Panics if the lowering has no devices (lowerings always have ≥ 1).
+pub fn peak_attribution(lowered: &LoweredGraph, timeline: &Timeline) -> PeakAttribution {
+    memory_profile(lowered, timeline).peak()
+}
+
+/// One communication stream's bandwidth-track input: the device it
+/// belongs to, the counter name, and its busy intervals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkTrack {
+    /// The pipeline device whose stream this is.
+    pub device: u32,
+    /// Counter name (`"pp MB/s"` or `"dp MB/s"`).
+    pub counter: &'static str,
+    /// Busy intervals, sorted by start time.
+    pub spans: Vec<LinkSpan>,
+}
+
+/// Extracts each device's pipeline and data-parallel communication
+/// intervals from a solved lowering, sorted by start time — the input to
+/// [`bfpp_sim::memprof::add_bandwidth_track`]. Payload bytes come from
+/// the lowering's [`crate::TraceInfo`]; devices without traffic of a
+/// class contribute no track. When overlap is disabled the transfers run
+/// on the compute stream, but they are still reported under their
+/// communication class.
+pub fn link_spans(lowered: &LoweredGraph, timeline: &Timeline) -> Vec<LinkTrack> {
+    let info = &lowered.trace_info;
+    let n_dev = lowered.compute_resources.len();
+    // Per device: [pp spans, dp spans].
+    let mut per_dev: Vec<[Vec<LinkSpan>; 2]> = vec![[Vec::new(), Vec::new()]; n_dev];
+    for id in lowered.graph.op_ids() {
+        let op = lowered.graph.op(id);
+        let (slot, bytes) = match op.tag() {
+            OpTag::Compute(_) => continue,
+            OpTag::PpSend { .. } => (0, info.p2p_bytes),
+            OpTag::DpGather { .. } | OpTag::DpReduce { .. } => (1, info.dp_bytes),
+        };
+        let dev = lowered.resource_device[op.resource().index()] as usize;
+        per_dev[dev][slot].push(LinkSpan {
+            start_ns: timeline.start_of(id).as_nanos(),
+            end_ns: timeline.end_of(id).as_nanos(),
+            bytes: bytes.round() as u64,
+        });
+    }
+    let mut tracks = Vec::new();
+    for (dev, [pp, dp]) in per_dev.into_iter().enumerate() {
+        for (counter, mut spans) in [("pp MB/s", pp), ("dp MB/s", dp)] {
+            if spans.is_empty() {
+                continue;
+            }
+            // All spans of one class live on one FIFO stream, so id order
+            // is already start order; sort anyway for a stated invariant.
+            spans.sort_by_key(|s| (s.start_ns, s.end_ns));
+            tracks.push(LinkTrack {
+                device: dev as u32,
+                counter,
+                spans,
+            });
+        }
+    }
+    tracks
+}
+
+/// One-shot Chrome-trace export of a single solved lowering with its
+/// memory and bandwidth counter tracks (see
+/// [`crate::TraceBuilder::add_with_memory`]).
+pub fn chrome_trace_with_memory(lowered: &LoweredGraph, timeline: &Timeline) -> String {
+    let mut b = crate::observe::TraceBuilder::new();
+    b.add_with_memory(None, lowered, timeline);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelModel;
+    use crate::lower::lower;
+    use crate::memory::estimate_memory;
+    use crate::overlap::OverlapConfig;
+    use bfpp_cluster::presets::dgx1_v100;
+    use bfpp_core::ScheduleKind;
+    use bfpp_model::presets::bert_52b;
+    use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+    use bfpp_sim::observe::validate_json;
+
+    const ALL_KINDS: [ScheduleKind; 4] = [
+        ScheduleKind::BreadthFirst,
+        ScheduleKind::DepthFirst,
+        ScheduleKind::OneFOneB,
+        ScheduleKind::GPipe,
+    ];
+
+    fn cfg_for(kind: ScheduleKind, dp: DataParallelism) -> ParallelConfig {
+        let placement = match kind {
+            ScheduleKind::OneFOneB | ScheduleKind::GPipe => Placement::linear(4),
+            _ => Placement::looping(4, 4),
+        };
+        ParallelConfig::new(Grid::new(2, 1, 4), placement, BatchConfig::new(8, 1), dp)
+    }
+
+    fn lowered_for(kind: ScheduleKind, dp: DataParallelism) -> LoweredGraph {
+        lower(
+            &bert_52b(),
+            &dgx1_v100(1),
+            &cfg_for(kind, dp),
+            kind,
+            OverlapConfig::full(),
+            &KernelModel::v100(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn event_peak_reconciles_byte_exactly_for_all_kinds_and_shardings() {
+        let model = bert_52b();
+        for kind in ALL_KINDS {
+            for dp in [
+                DataParallelism::Unsharded,
+                DataParallelism::PartiallySharded,
+                DataParallelism::FullySharded,
+            ] {
+                let lowered = lowered_for(kind, dp);
+                let timeline = lowered.graph.solve().unwrap();
+                let profile = memory_profile(&lowered, &timeline);
+                profile.validate().unwrap();
+                let peak = profile.peak();
+                let analytic = estimate_memory(&model, &cfg_for(kind, dp), &lowered.schedule);
+                assert_eq!(
+                    peak.total_bytes, analytic,
+                    "{kind:?}/{dp:?}: event peak must equal the Eq. 10-14 \
+                     estimate byte-exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_checkpoint_count_matches_schedule() {
+        for kind in ALL_KINDS {
+            let lowered = lowered_for(kind, DataParallelism::FullySharded);
+            let timeline = lowered.graph.solve().unwrap();
+            let peaks = memory_profile(&lowered, &timeline).peaks();
+            let per_device = lowered.schedule.peak_checkpoints_per_device();
+            for p in &peaks.per_device {
+                assert_eq!(
+                    p.counts[bfpp_sim::BufferClass::Checkpoints.index()],
+                    per_device[p.device as usize] as i64,
+                    "{kind:?}: device {} peak checkpoint count",
+                    p.device
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_memory_is_invariant_under_perturbation() {
+        // Each device's compute stream is FIFO, so duration overrides
+        // move the peak instant but never the per-device alloc/free
+        // order — the peak bytes are timing-independent.
+        let lowered = lowered_for(ScheduleKind::BreadthFirst, DataParallelism::FullySharded);
+        let clean = lowered
+            .mem_spec
+            .profile(&lowered.graph.solve().unwrap())
+            .peaks();
+        let p = crate::Perturbation::with_seed(7)
+            .with_straggler(2, 1.7)
+            .with_jitter(0.1);
+        let mut durs = Vec::new();
+        lowered.perturbed_durations(&p, &mut durs);
+        let mut solver = bfpp_sim::Solver::new(&lowered.graph);
+        let stats = solver
+            .solve_stats_with_durations_and_memory(&durs, &lowered.mem_spec)
+            .unwrap();
+        let perturbed = stats.peak_memory.unwrap();
+        for (c, p) in clean.per_device.iter().zip(&perturbed.per_device) {
+            assert_eq!(c.total_bytes, p.total_bytes);
+            assert_eq!(c.counts, p.counts);
+        }
+    }
+
+    #[test]
+    fn solver_memory_stats_match_timeline_profile() {
+        let lowered = lowered_for(ScheduleKind::DepthFirst, DataParallelism::Unsharded);
+        let timeline = lowered.graph.solve().unwrap();
+        let from_timeline = memory_profile(&lowered, &timeline).peaks();
+        let stats = bfpp_sim::Solver::new(&lowered.graph)
+            .solve_stats_with_memory(&lowered.mem_spec)
+            .unwrap();
+        assert_eq!(stats.peak_memory.unwrap(), from_timeline);
+    }
+
+    #[test]
+    fn link_spans_cover_all_comm_ops() {
+        let lowered = lowered_for(ScheduleKind::BreadthFirst, DataParallelism::FullySharded);
+        let timeline = lowered.graph.solve().unwrap();
+        let tracks = link_spans(&lowered, &timeline);
+        let total_spans: usize = tracks.iter().map(|t| t.spans.len()).sum();
+        let comm_ops = lowered
+            .graph
+            .op_ids()
+            .filter(|&id| !matches!(lowered.graph.op(id).tag(), OpTag::Compute(_)))
+            .count();
+        assert_eq!(total_spans, comm_ops);
+        for t in &tracks {
+            assert!(t.spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        }
+        assert!(tracks.iter().any(|t| t.counter == "pp MB/s"));
+        assert!(tracks.iter().any(|t| t.counter == "dp MB/s"));
+    }
+
+    #[test]
+    fn chrome_trace_with_memory_is_valid_and_has_counter_tracks() {
+        let lowered = lowered_for(ScheduleKind::BreadthFirst, DataParallelism::FullySharded);
+        let timeline = lowered.graph.solve().unwrap();
+        let json = chrome_trace_with_memory(&lowered, &timeline);
+        validate_json(&json).unwrap();
+        // All the time-track events are still there...
+        assert_eq!(
+            json.matches("\"ph\":\"X\"").count(),
+            lowered.graph.num_ops()
+        );
+        // ...plus stacked memory counters and per-link bandwidth.
+        assert!(json.contains("\"memory (bytes)\""));
+        assert!(json.contains("\"checkpoints\":"));
+        assert!(json.contains("\"pp MB/s\""));
+        assert!(json.contains("\"dp MB/s\""));
+    }
+
+    #[test]
+    fn trace_with_memory_is_deterministic() {
+        let lowered = lowered_for(ScheduleKind::GPipe, DataParallelism::PartiallySharded);
+        let run = || {
+            let timeline = lowered.graph.solve().unwrap();
+            chrome_trace_with_memory(&lowered, &timeline)
+        };
+        assert_eq!(run(), run());
+    }
+}

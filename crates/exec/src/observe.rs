@@ -127,6 +127,39 @@ impl TraceBuilder {
         );
     }
 
+    /// As [`TraceBuilder::add`], additionally emitting the lowering's
+    /// memory profile as stacked per-device `"memory (bytes)"` counter
+    /// tracks (one series per buffer class) and per-link `"pp MB/s"` /
+    /// `"dp MB/s"` bandwidth counters — all under the same per-GPU
+    /// process ids as the time tracks, so time and memory align on one
+    /// Perfetto timeline. See [`crate::memprof`].
+    pub fn add_with_memory(
+        &mut self,
+        label: Option<&str>,
+        lowered: &LoweredGraph,
+        timeline: &Timeline,
+    ) {
+        let pid_base = self.next_pid;
+        self.add(label, lowered, timeline);
+        let process = |dev: u32| match label {
+            Some(l) => format!("{l}/gpu{dev}"),
+            None => format!("gpu{dev}"),
+        };
+        let profile = crate::memprof::memory_profile(lowered, timeline);
+        bfpp_sim::memprof::add_memory_tracks(&mut self.writer, &profile, |dev| {
+            (pid_base + dev, process(dev))
+        });
+        for track in crate::memprof::link_spans(lowered, timeline) {
+            bfpp_sim::memprof::add_bandwidth_track(
+                &mut self.writer,
+                pid_base + track.device,
+                &process(track.device),
+                track.counter,
+                &track.spans,
+            );
+        }
+    }
+
     /// Renders the trace JSON (open at `ui.perfetto.dev`).
     pub fn finish(&self) -> String {
         self.writer.finish()

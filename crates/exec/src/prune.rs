@@ -28,6 +28,47 @@ use crate::measure::MEMORY_HEADROOM;
 use crate::memory::memory_with_checkpoints;
 use crate::overlap::OverlapConfig;
 
+/// Why the analytic pre-filter rejected a candidate. Surfaced through
+/// [`crate::SearchReport`]'s `pruned_memory`/`pruned_throughput`
+/// counters (and their CSV columns), so "why was this candidate
+/// rejected" is answerable from a search report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneReason {
+    /// The memory lower bound ([`memory_lower_bound_bytes`]) already
+    /// exceeds the device's usable memory — the candidate can never fit.
+    Memory,
+    /// The throughput upper bound ([`lower_bound_tflops`]) is strictly
+    /// below the best simulated result so far — the candidate can never
+    /// win.
+    Throughput,
+}
+
+/// Applies both analytic filters to one candidate, in their fixed order
+/// (memory first, then throughput against `best_tflops`): `Some(reason)`
+/// if the candidate is rejected, `None` if it must be simulated.
+/// `speedup` widens the throughput bound for perturbed searches (1.0
+/// when unperturbed) — see
+/// [`bfpp_sim::Perturbation::max_speedup`](crate::Perturbation::max_speedup).
+pub fn prune_reason(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cand: &Candidate,
+    overlap: OverlapConfig,
+    kernel: &KernelModel,
+    best_tflops: Option<f64>,
+    speedup: f64,
+) -> Option<PruneReason> {
+    if exceeds_device_memory(model, cluster, cand) {
+        Some(PruneReason::Memory)
+    } else if best_tflops
+        .is_some_and(|t| lower_bound_tflops(model, cluster, cand, overlap, kernel) * speedup < t)
+    {
+        Some(PruneReason::Throughput)
+    } else {
+        None
+    }
+}
+
 /// A lower bound on [`Schedule::peak_checkpoints`] for a schedule of
 /// this shape, without generating it.
 ///

@@ -39,7 +39,7 @@ use crate::candidates::{enumerate, Candidate};
 use crate::kernel::KernelModel;
 use crate::measure::{simulate_perturbed, simulate_with_schedule_perturbed, Measurement};
 use crate::overlap::OverlapConfig;
-use crate::prune::{exceeds_device_memory, lower_bound_tflops};
+use crate::prune::{prune_reason, PruneReason};
 
 /// The four methods compared in Figure 5 and Tables E.1–E.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -192,7 +192,7 @@ pub struct SearchReport {
     pub pruned_memory: u64,
     /// Rejected because their throughput upper bound cannot beat the
     /// best simulated result so far.
-    pub pruned_bound: u64,
+    pub pruned_throughput: u64,
     /// Candidates handed to the simulator.
     pub simulated: u64,
     /// Wall-clock time of the whole search.
@@ -220,7 +220,7 @@ impl SearchReport {
     /// Header for the trailing CSV columns the reproduction binaries
     /// emit, matching [`SearchReport::csv_row`].
     pub fn csv_header() -> &'static str {
-        "enumerated,pruned_memory,pruned_bound,simulated,search_ms,robust_tflops,retention_pct"
+        "enumerated,pruned_memory,pruned_throughput,simulated,search_ms,robust_tflops,retention_pct"
     }
 
     /// The report as trailing CSV columns (wall time in milliseconds,
@@ -236,7 +236,7 @@ impl SearchReport {
             "{},{},{},{},{:.1},{},{}",
             self.enumerated,
             self.pruned_memory,
-            self.pruned_bound,
+            self.pruned_throughput,
             self.simulated,
             self.wall_time.as_secs_f64() * 1e3,
             robust,
@@ -250,7 +250,7 @@ impl SearchReport {
     pub fn accumulate(&mut self, other: &SearchReport) {
         self.enumerated += other.enumerated;
         self.pruned_memory += other.pruned_memory;
-        self.pruned_bound += other.pruned_bound;
+        self.pruned_throughput += other.pruned_throughput;
         self.simulated += other.simulated;
         self.wall_time += other.wall_time;
         self.best = match (self.best, other.best) {
@@ -321,14 +321,10 @@ pub fn best_config_with_report(
         let mut survivors: Vec<Candidate> = Vec::with_capacity(chunk.len());
         counters.time("prune", || {
             for cand in chunk {
-                if exceeds_device_memory(model, cluster, cand) {
-                    report.pruned_memory += 1;
-                } else if best_tflops.is_some_and(|t| {
-                    lower_bound_tflops(model, cluster, cand, overlap, kernel) * speedup < t
-                }) {
-                    report.pruned_bound += 1;
-                } else {
-                    survivors.push(*cand);
+                match prune_reason(model, cluster, cand, overlap, kernel, best_tflops, speedup) {
+                    Some(PruneReason::Memory) => report.pruned_memory += 1,
+                    Some(PruneReason::Throughput) => report.pruned_throughput += 1,
+                    None => survivors.push(*cand),
                 }
             }
         });
@@ -668,7 +664,7 @@ mod tests {
             );
             assert_eq!(
                 report.enumerated,
-                report.pruned_memory + report.pruned_bound + report.simulated,
+                report.pruned_memory + report.pruned_throughput + report.simulated,
                 "every candidate is pruned or simulated"
             );
             assert_eq!(report.best, r.map(|r| r.measurement.tflops_per_gpu));
@@ -677,13 +673,13 @@ mod tests {
                     (
                         prev.enumerated,
                         prev.pruned_memory,
-                        prev.pruned_bound,
+                        prev.pruned_throughput,
                         prev.simulated
                     ),
                     (
                         report.enumerated,
                         report.pruned_memory,
-                        report.pruned_bound,
+                        report.pruned_throughput,
                         report.simulated
                     ),
                     "threads={threads}: counters must be thread-count-independent"
@@ -740,7 +736,7 @@ mod tests {
         );
         assert!(r.is_some());
         assert!(
-            report.pruned_memory + report.pruned_bound > 0,
+            report.pruned_memory + report.pruned_throughput > 0,
             "the 52B sweep must reject something analytically: {report:?}"
         );
         assert!(report.simulated < report.enumerated);
@@ -752,7 +748,7 @@ mod tests {
         let report = SearchReport {
             enumerated: 100,
             pruned_memory: 40,
-            pruned_bound: 30,
+            pruned_throughput: 30,
             simulated: 30,
             wall_time: Duration::from_millis(12),
             best: Some(51.5),
@@ -882,13 +878,13 @@ mod tests {
                     (
                         prep.enumerated,
                         prep.pruned_memory,
-                        prep.pruned_bound,
+                        prep.pruned_throughput,
                         prep.simulated
                     ),
                     (
                         report.enumerated,
                         report.pruned_memory,
-                        report.pruned_bound,
+                        report.pruned_throughput,
                         report.simulated
                     ),
                     "threads={threads}: perturbed counters thread-invariant"
@@ -927,14 +923,14 @@ mod tests {
             (
                 rep.enumerated,
                 rep.pruned_memory,
-                rep.pruned_bound,
+                rep.pruned_throughput,
                 rep.simulated,
                 rep.best
             ),
             (
                 clean_rep.enumerated,
                 clean_rep.pruned_memory,
-                clean_rep.pruned_bound,
+                clean_rep.pruned_throughput,
                 clean_rep.simulated,
                 clean_rep.best
             )

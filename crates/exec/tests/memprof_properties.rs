@@ -1,0 +1,113 @@
+//! Property-based tests of the event-level memory profiler: for every
+//! shape the search can visit, each device's memory timeline must be
+//! well-formed and its maximum must reconcile **byte-exactly** with the
+//! closed-form Eq. 10–14 estimate ([`bfpp_exec::estimate_memory`]) —
+//! not to a tolerance: both sides total through the same
+//! `DeviceMemModel::total_bytes`, so `assert_eq!` on the `f64` holds.
+
+use bfpp_cluster::presets::dgx1_v100;
+use bfpp_core::{Schedule, ScheduleKind};
+use bfpp_exec::{estimate_memory, lower, memory_profile, KernelModel, OverlapConfig};
+use bfpp_model::presets::bert_6_6b;
+use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use proptest::prelude::*;
+
+/// Random valid configuration on a 2-node (16-GPU) cluster for the 6.6 B
+/// model (32 layers), covering all four schedule kinds and all three
+/// sharding modes.
+fn configs() -> impl Strategy<Value = (ParallelConfig, ScheduleKind)> {
+    (0u32..4)
+        .prop_flat_map(|tp_pow| {
+            let n_tp = 1 << tp_pow;
+            let rest = 16 / n_tp;
+            let pps: Vec<u32> = (0..5u32)
+                .map(|p| 1 << p)
+                .filter(|pp| *pp <= rest && rest % pp == 0 && *pp <= 32)
+                .collect();
+            (Just(n_tp), proptest::sample::select(pps))
+        })
+        .prop_flat_map(|(n_tp, n_pp)| {
+            let n_dp = 16 / n_tp / n_pp;
+            let loops: Vec<u32> = (0..6u32)
+                .map(|l| 1 << l)
+                .filter(|l| n_pp * l <= 32 && 32 % (n_pp * l) == 0)
+                .collect();
+            (
+                Just(n_tp),
+                Just(n_pp),
+                Just(n_dp),
+                proptest::sample::select(loops),
+                1u32..16,
+                proptest::sample::select(vec![1u32, 2, 4]),
+                proptest::sample::select(vec![
+                    DataParallelism::Unsharded,
+                    DataParallelism::PartiallySharded,
+                    DataParallelism::FullySharded,
+                ]),
+                0usize..4,
+            )
+        })
+        .prop_map(|(n_tp, n_pp, n_dp, n_loop, mut n_mb, s_mb, dp, kind_ix)| {
+            let kind = if n_loop > 1 {
+                // Only the looping schedules support n_loop > 1.
+                [ScheduleKind::BreadthFirst, ScheduleKind::DepthFirst][kind_ix % 2]
+            } else {
+                ScheduleKind::ALL[kind_ix]
+            };
+            if kind == ScheduleKind::DepthFirst {
+                // Depth-first constrains N_mb to a multiple of N_PP (§4.1).
+                n_mb = n_mb.div_ceil(n_pp) * n_pp;
+            }
+            (
+                ParallelConfig::new(
+                    Grid::new(n_dp, n_tp, n_pp),
+                    Placement::looping(n_pp, n_loop),
+                    BatchConfig::new(n_mb, s_mb),
+                    dp,
+                ),
+                kind,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every device's memory timeline is non-negative, sorted, constant
+    /// between events, ends at the steady-state baseline — and its
+    /// maximum equals the closed-form estimate byte-exactly.
+    #[test]
+    fn memory_timelines_are_well_formed_and_reconcile((cfg, kind) in configs()) {
+        let model = bert_6_6b();
+        let cluster = dgx1_v100(2);
+        let lowered = lower(&model, &cluster, &cfg, kind, OverlapConfig::full(), &KernelModel::v100())
+            .expect("valid config");
+        let timeline = lowered.graph.solve().expect("acyclic");
+        let profile = memory_profile(&lowered, &timeline);
+
+        // Well-formedness: sorted events, non-negative counts at every
+        // instant, final counts == the baseline (steady state).
+        profile.validate().expect("well-formed per-device timelines");
+        for dev in &profile.devices {
+            // The coalesced samples step only at event instants —
+            // between events the stack is constant by construction, so
+            // successive samples must sit at strictly increasing times.
+            let samples = dev.samples();
+            prop_assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
+            prop_assert!(samples.iter().all(|(_, c)| c.iter().all(|&n| n >= 0)));
+        }
+
+        // Byte-exact reconciliation with Eq. 10–14: same bits, not
+        // "close enough".
+        let schedule = Schedule::generate(kind, cfg.placement, cfg.batch.num_microbatches)
+            .expect("valid schedule shape");
+        let analytic = estimate_memory(&model, &cfg, &schedule);
+        let peak = profile.peak();
+        prop_assert_eq!(
+            peak.total_bytes,
+            analytic,
+            "{} event-level peak must equal the closed form exactly",
+            kind
+        );
+    }
+}

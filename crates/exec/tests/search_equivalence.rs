@@ -76,7 +76,7 @@ proptest! {
         );
         prop_assert_eq!(
             report.enumerated,
-            report.pruned_memory + report.pruned_bound + report.simulated
+            report.pruned_memory + report.pruned_throughput + report.simulated
         );
         prop_assert_eq!(
             report.best,
@@ -120,7 +120,7 @@ fn fixed_seed_is_bit_identical_across_runs_and_threads() {
                 (
                     report.enumerated,
                     report.pruned_memory,
-                    report.pruned_bound,
+                    report.pruned_throughput,
                     report.simulated,
                     report.best,
                     report.robust_tflops,
@@ -129,7 +129,7 @@ fn fixed_seed_is_bit_identical_across_runs_and_threads() {
                 (
                     first_report.enumerated,
                     first_report.pruned_memory,
-                    first_report.pruned_bound,
+                    first_report.pruned_throughput,
                     first_report.simulated,
                     first_report.best,
                     first_report.robust_tflops,

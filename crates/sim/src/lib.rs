@@ -37,6 +37,7 @@
 
 mod critical_path;
 mod graph;
+pub mod memprof;
 pub mod observe;
 mod perturb;
 #[cfg(any(test, feature = "reference-solver"))]
@@ -48,6 +49,10 @@ mod trace;
 
 pub use critical_path::CriticalPath;
 pub use graph::{Op, OpGraph, OpId, ResourceId};
+pub use memprof::{
+    BufferClass, DeviceMemModel, DeviceMemTimeline, EventEdge, LinkSpan, MemEffect, MemEvent,
+    MemoryPeaks, MemoryProfile, MemorySpec, PeakAttribution,
+};
 pub use observe::{
     attribute, ArgValue, Breakdown, Category, ChromeTraceWriter, Counters, OpCategory,
     ResourceBreakdown, TraceOp, Track,

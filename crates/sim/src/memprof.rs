@@ -1,0 +1,782 @@
+//! Event-level memory and bandwidth profiling over solved timelines.
+//!
+//! The time side of observability ([`crate::observe`]) tells you *where
+//! the nanoseconds went*; this module tells you *where the bytes live*:
+//! an exact per-device memory timeline — alloc/free events for buffers of
+//! a small set of [`BufferClass`]es, each tied to the op that creates or
+//! releases it — plus per-link bandwidth-utilization counter tracks for
+//! the communication streams.
+//!
+//! The simulator knows nothing about transformers: the caller (in this
+//! workspace, `bfpp_exec::memprof`) supplies a [`MemorySpec`] — a
+//! [`DeviceMemModel`] per device (the byte size of one buffer of each
+//! class and the steady-state resident counts) plus a list of
+//! [`MemEffect`]s (which op edge allocates/frees which buffer). The
+//! profile then evaluates memory as *live counts × unit sizes*, summed in
+//! a single fixed class order ([`DeviceMemModel::total_bytes`]). Because
+//! the analytic Eq. (10)–(14) estimate upstream is computed through the
+//! **same function** with the same unit sizes, the simulated per-device
+//! peak reconciles with the closed form byte-exactly — the memory twin of
+//! the time layer's `sum == makespan × resources` invariant.
+//!
+//! ```
+//! use bfpp_sim::memprof::{BufferClass, DeviceMemModel, EventEdge, MemEffect, MemorySpec};
+//! use bfpp_sim::{OpGraph, SimDuration};
+//!
+//! // One device: a 100-byte weight resident throughout, and a forward
+//! // kernel that pins a 10-byte checkpoint until the backward frees it.
+//! let mut g: OpGraph<&str> = OpGraph::new();
+//! let r = g.add_resource("gpu0.compute");
+//! let fwd = g.add_op(r, SimDuration::from_micros(5), &[], "fwd");
+//! let bwd = g.add_op(r, SimDuration::from_micros(9), &[fwd], "bwd");
+//!
+//! let mut model = DeviceMemModel::default();
+//! model.units[BufferClass::Weights.index()] = 100.0;
+//! model.baseline[BufferClass::Weights.index()] = 1;
+//! model.units[BufferClass::Checkpoints.index()] = 10.0;
+//! let spec = MemorySpec {
+//!     devices: vec![model],
+//!     effects: vec![
+//!         MemEffect { op: fwd, device: 0, class: BufferClass::Checkpoints, delta: 1, edge: EventEdge::End },
+//!         MemEffect { op: bwd, device: 0, class: BufferClass::Checkpoints, delta: -1, edge: EventEdge::End },
+//!     ],
+//! };
+//! let timeline = g.solve().unwrap();
+//! let profile = spec.profile(&timeline);
+//! let peak = profile.peak();
+//! assert_eq!(peak.total_bytes, 110.0); // weight + the live checkpoint
+//! assert_eq!(peak.time_ns, 5_000);     // the instant the forward ends
+//! profile.validate().unwrap();
+//! ```
+
+use std::fmt;
+
+use crate::graph::OpId;
+use crate::observe::ChromeTraceWriter;
+use crate::solver::Timeline;
+
+/// The classes of device memory the profile distinguishes. Each class is
+/// one stacked series in the exported counter track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BufferClass {
+    /// Half-precision weight shards (for sharded data parallelism, the
+    /// gathered working set the schedule keeps resident).
+    Weights,
+    /// Gradient buffers that outlive the micro-batch that produced them
+    /// (absent when the schedule reduces gradients immediately).
+    Gradients,
+    /// Optimizer state: fp32 master weights and moment estimates (their
+    /// sharded slice under `DP_PS`/`DP_FS`).
+    Optimizer,
+    /// Embedding-table state on the device holding the embedding layers.
+    Embedding,
+    /// Activation checkpoints retained between a micro-batch's forward
+    /// and backward pass (Eq. 14; the one schedule-dependent class).
+    Checkpoints,
+    /// Working activations (and their gradients) of the layer currently
+    /// being computed, double-buffered (Eq. 13).
+    Activations,
+}
+
+/// Number of [`BufferClass`] variants (array dimension of the models).
+pub const NUM_CLASSES: usize = 6;
+
+impl BufferClass {
+    /// All classes, in the fixed summation/rendering order.
+    pub const ALL: [BufferClass; NUM_CLASSES] = [
+        BufferClass::Weights,
+        BufferClass::Gradients,
+        BufferClass::Optimizer,
+        BufferClass::Embedding,
+        BufferClass::Checkpoints,
+        BufferClass::Activations,
+    ];
+
+    /// Position in [`BufferClass::ALL`]; indexes the per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            BufferClass::Weights => 0,
+            BufferClass::Gradients => 1,
+            BufferClass::Optimizer => 2,
+            BufferClass::Embedding => 3,
+            BufferClass::Checkpoints => 4,
+            BufferClass::Activations => 5,
+        }
+    }
+
+    /// Short lowercase name, used as the counter-series key.
+    pub fn name(self) -> &'static str {
+        match self {
+            BufferClass::Weights => "weights",
+            BufferClass::Gradients => "gradients",
+            BufferClass::Optimizer => "optimizer",
+            BufferClass::Embedding => "embedding",
+            BufferClass::Checkpoints => "checkpoints",
+            BufferClass::Activations => "activations",
+        }
+    }
+}
+
+/// Which edge of an op's scheduled interval a memory effect fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventEdge {
+    /// When the op starts (e.g. working buffers come alive).
+    Start,
+    /// When the op ends (e.g. a forward kernel pins its checkpoint; a
+    /// backward kernel releases it).
+    End,
+}
+
+/// The memory model of one device: the byte size of one buffer of each
+/// class, and how many of each are resident in steady state (before the
+/// first op and after the last).
+///
+/// Memory at any instant is `Σ_class units[class] × live_count[class]`,
+/// evaluated by [`DeviceMemModel::total_bytes`] in the fixed
+/// [`BufferClass::ALL`] order — every consumer of this model (the event
+/// timeline, the solver's streaming peak, and the analytic closed form
+/// upstream) computes bytes through this one function, which is what
+/// makes their results comparable with `==` on `f64`s.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceMemModel {
+    /// Bytes of one buffer of each class, indexed by [`BufferClass::index`].
+    pub units: [f64; NUM_CLASSES],
+    /// Steady-state resident buffer count per class.
+    pub baseline: [u32; NUM_CLASSES],
+}
+
+impl DeviceMemModel {
+    /// Total bytes for the given live counts: `Σ units[c] × counts[c]`,
+    /// accumulated in [`BufferClass::ALL`] order. The single source of
+    /// truth for turning counts into bytes.
+    pub fn total_bytes(&self, counts: &[i64; NUM_CLASSES]) -> f64 {
+        let mut total = 0.0;
+        for (c, &count) in counts.iter().enumerate() {
+            total += self.units[c] * count as f64;
+        }
+        total
+    }
+
+    /// The baseline counts widened to the signed type the running scan
+    /// uses.
+    pub fn baseline_counts(&self) -> [i64; NUM_CLASSES] {
+        let mut counts = [0i64; NUM_CLASSES];
+        for (c, count) in counts.iter_mut().enumerate() {
+            *count = self.baseline[c] as i64;
+        }
+        counts
+    }
+
+    /// Bytes resident in steady state.
+    pub fn baseline_bytes(&self) -> f64 {
+        self.total_bytes(&self.baseline_counts())
+    }
+}
+
+/// One alloc/free tied to an op: when `op`'s `edge` is reached, `delta`
+/// buffers of `class` come alive (positive) or are released (negative)
+/// on `device`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEffect {
+    /// The op whose scheduled interval triggers the effect.
+    pub op: OpId,
+    /// The device whose memory changes.
+    pub device: u32,
+    /// The buffer class.
+    pub class: BufferClass,
+    /// Signed buffer count (+1 alloc, -1 free).
+    pub delta: i32,
+    /// Fire at the op's start or end.
+    pub edge: EventEdge,
+}
+
+/// The caller-supplied memory model of a lowered graph: per-device unit
+/// sizes/baselines plus the op-edge effects. Pure data — evaluating it
+/// against a solve gives a [`MemoryProfile`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemorySpec {
+    /// Per-device models, indexed by device id.
+    pub devices: Vec<DeviceMemModel>,
+    /// All alloc/free effects, in any order.
+    pub effects: Vec<MemEffect>,
+}
+
+impl MemorySpec {
+    /// True when the spec carries no devices (profiling is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Evaluates the spec against a solved [`Timeline`], producing the
+    /// per-device event timelines.
+    pub fn profile(&self, timeline: &Timeline) -> MemoryProfile {
+        self.profile_from(|op| {
+            (
+                timeline.start_of(op).as_nanos(),
+                timeline.end_of(op).as_nanos(),
+            )
+        })
+    }
+
+    /// As [`MemorySpec::profile`], with op times supplied by a closure —
+    /// the solver's stats path uses this to compute peaks straight from
+    /// its scratch arrays, without materializing a [`Timeline`].
+    pub fn profile_from(&self, mut times: impl FnMut(OpId) -> (u64, u64)) -> MemoryProfile {
+        let mut devices: Vec<DeviceMemTimeline> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(d, model)| DeviceMemTimeline {
+                device: d as u32,
+                model: *model,
+                events: Vec::new(),
+            })
+            .collect();
+        for e in &self.effects {
+            let (start, end) = times(e.op);
+            let time_ns = match e.edge {
+                EventEdge::Start => start,
+                EventEdge::End => end,
+            };
+            devices[e.device as usize].events.push(MemEvent {
+                time_ns,
+                class: e.class,
+                delta: e.delta,
+                op: e.op,
+            });
+        }
+        for d in &mut devices {
+            // Allocations before frees at equal times (the transient
+            // overlap is real memory: a checkpoint is pinned at the same
+            // instant the working buffer that produced it dies), then op
+            // id and class for full determinism.
+            d.events
+                .sort_by_key(|e| (e.time_ns, e.delta < 0, e.op.index(), e.class.index()));
+        }
+        MemoryProfile { devices }
+    }
+
+    /// Per-device memory peaks of a solve, via [`MemorySpec::profile_from`].
+    pub fn peaks_from(&self, times: impl FnMut(OpId) -> (u64, u64)) -> MemoryPeaks {
+        self.profile_from(times).peaks()
+    }
+}
+
+/// One alloc/free event placed on the solved time axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Nanosecond on the solved timeline.
+    pub time_ns: u64,
+    /// The buffer class changing.
+    pub class: BufferClass,
+    /// Signed buffer count.
+    pub delta: i32,
+    /// The op whose edge fired the event.
+    pub op: OpId,
+}
+
+/// The exact memory timeline of one device: its model plus the sorted
+/// alloc/free events. Memory is piecewise constant between events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMemTimeline {
+    /// The device id.
+    pub device: u32,
+    /// Unit sizes and steady-state baseline.
+    pub model: DeviceMemModel,
+    /// Events sorted by (time, allocs-first, op, class).
+    pub events: Vec<MemEvent>,
+}
+
+impl DeviceMemTimeline {
+    /// The device's memory peak: scans the events, evaluating
+    /// [`DeviceMemModel::total_bytes`] after each one, and returns the
+    /// earliest instant attaining the maximum (the baseline counts as an
+    /// instant at time 0).
+    pub fn peak(&self) -> PeakAttribution {
+        let mut counts = self.model.baseline_counts();
+        let mut best = PeakAttribution::at(self.device, 0, &self.model, &counts);
+        for e in &self.events {
+            counts[e.class.index()] += e.delta as i64;
+            let total = self.model.total_bytes(&counts);
+            if total > best.total_bytes {
+                best = PeakAttribution::at(self.device, e.time_ns, &self.model, &counts);
+            }
+        }
+        best
+    }
+
+    /// Coalesced samples for counter export: the per-class live counts
+    /// after all events at each distinct time, preceded by the baseline
+    /// at time 0. (The transient alloc-before-free overlap inside one
+    /// instant is visible to [`DeviceMemTimeline::peak`], which scans
+    /// event by event, but not to the sampled track.)
+    pub fn samples(&self) -> Vec<(u64, [i64; NUM_CLASSES])> {
+        let mut counts = self.model.baseline_counts();
+        let mut out: Vec<(u64, [i64; NUM_CLASSES])> = vec![(0, counts)];
+        for e in &self.events {
+            counts[e.class.index()] += e.delta as i64;
+            match out.last_mut() {
+                Some(last) if last.0 == e.time_ns => last.1 = counts,
+                _ => out.push((e.time_ns, counts)),
+            }
+        }
+        out
+    }
+
+    /// Checks the timeline's invariants: no class count ever goes
+    /// negative, and the final counts return to the steady-state
+    /// baseline. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counts = self.model.baseline_counts();
+        let mut prev_time = 0u64;
+        for e in &self.events {
+            if e.time_ns < prev_time {
+                return Err(format!(
+                    "device {}: events not sorted at t={}ns",
+                    self.device, e.time_ns
+                ));
+            }
+            prev_time = e.time_ns;
+            counts[e.class.index()] += e.delta as i64;
+            if counts[e.class.index()] < 0 {
+                return Err(format!(
+                    "device {}: {} count negative ({}) at t={}ns (op #{})",
+                    self.device,
+                    e.class.name(),
+                    counts[e.class.index()],
+                    e.time_ns,
+                    e.op.index()
+                ));
+            }
+        }
+        let baseline = self.model.baseline_counts();
+        if counts != baseline {
+            return Err(format!(
+                "device {}: does not end at steady state (final {:?}, baseline {:?})",
+                self.device, counts, baseline
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The full memory profile: one [`DeviceMemTimeline`] per device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryProfile {
+    /// Per-device timelines, indexed by device id.
+    pub devices: Vec<DeviceMemTimeline>,
+}
+
+impl MemoryProfile {
+    /// Per-device peaks.
+    pub fn peaks(&self) -> MemoryPeaks {
+        MemoryPeaks {
+            per_device: self.devices.iter().map(|d| d.peak()).collect(),
+        }
+    }
+
+    /// The worst device's peak — the quantity that reconciles with the
+    /// analytic Eq. (10)–(14) estimate.
+    pub fn peak(&self) -> PeakAttribution {
+        self.peaks().into_max()
+    }
+
+    /// Validates every device timeline (see
+    /// [`DeviceMemTimeline::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        for d in &self.devices {
+            d.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-device peak memory of one solve, as attached to
+/// [`crate::SolveStats`] by the memory-aware solve paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPeaks {
+    /// Each device's peak, indexed by device id.
+    pub per_device: Vec<PeakAttribution>,
+}
+
+impl MemoryPeaks {
+    /// The worst device's peak (ties resolve to the lower device id);
+    /// `None` when there are no devices.
+    pub fn max(&self) -> Option<&PeakAttribution> {
+        self.per_device.iter().reduce(|best, p| {
+            if p.total_bytes > best.total_bytes {
+                p
+            } else {
+                best
+            }
+        })
+    }
+
+    /// Consumes the peaks, returning the worst device's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no devices.
+    pub fn into_max(self) -> PeakAttribution {
+        let i = self
+            .per_device
+            .iter()
+            .enumerate()
+            .reduce(|best, p| {
+                if p.1.total_bytes > best.1.total_bytes {
+                    p
+                } else {
+                    best
+                }
+            })
+            .map(|(i, _)| i)
+            .expect("memory profile has no devices");
+        self.per_device.into_iter().nth(i).unwrap()
+    }
+
+    /// The worst device's peak bytes (0.0 with no devices).
+    pub fn peak_bytes(&self) -> f64 {
+        self.max().map_or(0.0, |p| p.total_bytes)
+    }
+}
+
+/// Names the instant of a device's memory peak and its composition: the
+/// live buffer counts per class and the bytes they occupy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakAttribution {
+    /// The device.
+    pub device: u32,
+    /// Nanosecond of the (earliest) peak on the solved timeline.
+    pub time_ns: u64,
+    /// Live buffer counts per class at the peak, indexed by
+    /// [`BufferClass::index`].
+    pub counts: [i64; NUM_CLASSES],
+    /// Bytes per class at the peak (`units × counts`).
+    pub by_class: [f64; NUM_CLASSES],
+    /// Total bytes, exactly [`DeviceMemModel::total_bytes`] of `counts`.
+    pub total_bytes: f64,
+}
+
+impl PeakAttribution {
+    fn at(device: u32, time_ns: u64, model: &DeviceMemModel, counts: &[i64; NUM_CLASSES]) -> Self {
+        let mut by_class = [0.0; NUM_CLASSES];
+        for c in 0..NUM_CLASSES {
+            by_class[c] = model.units[c] * counts[c] as f64;
+        }
+        PeakAttribution {
+            device,
+            time_ns,
+            counts: *counts,
+            by_class,
+            total_bytes: model.total_bytes(counts),
+        }
+    }
+}
+
+impl fmt::Display for PeakAttribution {
+    /// Small fixed-width table: one row per non-empty class, then the
+    /// total. Intended for logs and examples.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        writeln!(
+            f,
+            "peak memory on device {} at {}.{:03}us:",
+            self.device,
+            self.time_ns / 1_000,
+            self.time_ns % 1_000
+        )?;
+        for class in BufferClass::ALL {
+            let i = class.index();
+            if self.counts[i] != 0 {
+                writeln!(
+                    f,
+                    "  {:<12} {:>4} x {:>10.1} MiB = {:>8.3} GiB",
+                    class.name(),
+                    self.counts[i],
+                    self.by_class[i] / self.counts[i] as f64 / (1024.0 * 1024.0),
+                    self.by_class[i] / GIB
+                )?;
+            }
+        }
+        write!(f, "  {:<12} {:>33.3} GiB", "total", self.total_bytes / GIB)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace counter export
+// ---------------------------------------------------------------------------
+
+/// Adds one stacked `"memory (bytes)"` counter track per device to `w`:
+/// a `"C"` sample at time 0 (the steady-state baseline) and after every
+/// alloc/free instant, with one series per buffer class. `track_of` maps
+/// a device id to its (pid, process-name) pair — use the same mapping as
+/// the time tracks so memory and time align in one Perfetto process
+/// group.
+///
+/// Byte values are rounded to whole bytes for rendering; the exact `f64`
+/// accounting stays in the profile.
+pub fn add_memory_tracks(
+    w: &mut ChromeTraceWriter,
+    profile: &MemoryProfile,
+    mut track_of: impl FnMut(u32) -> (u32, String),
+) {
+    for d in &profile.devices {
+        let (pid, process) = track_of(d.device);
+        for (ts, counts) in d.samples() {
+            let mut values: Vec<(&str, u64)> = Vec::with_capacity(NUM_CLASSES);
+            for class in BufferClass::ALL {
+                let i = class.index();
+                values.push((
+                    class.name(),
+                    (d.model.units[i] * counts[i] as f64).round() as u64,
+                ));
+            }
+            w.add_counter(pid, &process, "memory (bytes)", ts, &values);
+        }
+    }
+}
+
+/// One busy interval of a communication link carrying `bytes` payload
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpan {
+    /// Start nanosecond on the solved timeline.
+    pub start_ns: u64,
+    /// End nanosecond.
+    pub end_ns: u64,
+    /// Payload bytes moved during the interval.
+    pub bytes: u64,
+}
+
+/// Adds one bandwidth-utilization counter track (`counter`, in MB/s) for
+/// a link to process `pid`: the achieved rate `bytes / duration` while
+/// each span runs, dropping to zero in the gaps. `spans` must be sorted
+/// by start time and non-overlapping (intervals of one FIFO resource
+/// are). Rates are integer MB/s (`bytes × 1000 / dur_ns`), so the bytes
+/// are a pure function of the inputs; zero-duration spans are skipped.
+pub fn add_bandwidth_track(
+    w: &mut ChromeTraceWriter,
+    pid: u32,
+    process: &str,
+    counter: &str,
+    spans: &[LinkSpan],
+) {
+    let mut prev_end: Option<u64> = None;
+    for s in spans {
+        let dur = s.end_ns.saturating_sub(s.start_ns);
+        if dur == 0 {
+            continue;
+        }
+        // Close the previous span unless this one starts at the same
+        // instant (back-to-back traffic keeps the track continuous).
+        match prev_end {
+            Some(end) if end < s.start_ns => {
+                w.add_counter(pid, process, counter, end, &[("MB/s", 0)]);
+            }
+            None if s.start_ns > 0 => {
+                w.add_counter(pid, process, counter, 0, &[("MB/s", 0)]);
+            }
+            _ => {}
+        }
+        let rate = s.bytes.saturating_mul(1_000) / dur;
+        w.add_counter(pid, process, counter, s.start_ns, &[("MB/s", rate)]);
+        prev_end = Some(s.end_ns);
+    }
+    if let Some(end) = prev_end {
+        w.add_counter(pid, process, counter, end, &[("MB/s", 0)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::validate_json;
+    use crate::{OpGraph, SimDuration};
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    /// One device, two microbatches: fwd fwd bwd bwd (GPipe-like), with
+    /// checkpoints pinned at forward ends and released at backward ends,
+    /// and a working buffer alive from the first op's start to the last
+    /// op's end.
+    fn fixture() -> (OpGraph<&'static str>, MemorySpec) {
+        let mut g: OpGraph<&'static str> = OpGraph::new();
+        let r = g.add_resource("gpu0.compute");
+        let f0 = g.add_op(r, us(10), &[], "f0");
+        let f1 = g.add_op(r, us(10), &[], "f1");
+        let b0 = g.add_op(r, us(20), &[f0], "b0");
+        let b1 = g.add_op(r, us(20), &[f1], "b1");
+
+        let mut model = DeviceMemModel::default();
+        model.units[BufferClass::Weights.index()] = 1000.0;
+        model.baseline[BufferClass::Weights.index()] = 1;
+        model.units[BufferClass::Checkpoints.index()] = 100.0;
+        model.units[BufferClass::Activations.index()] = 10.0;
+        let eff = |op, class, delta, edge| MemEffect {
+            op,
+            device: 0,
+            class,
+            delta,
+            edge,
+        };
+        let spec = MemorySpec {
+            devices: vec![model],
+            effects: vec![
+                eff(f0, BufferClass::Activations, 1, EventEdge::Start),
+                eff(f0, BufferClass::Checkpoints, 1, EventEdge::End),
+                eff(f1, BufferClass::Checkpoints, 1, EventEdge::End),
+                eff(b0, BufferClass::Checkpoints, -1, EventEdge::End),
+                eff(b1, BufferClass::Checkpoints, -1, EventEdge::End),
+                eff(b1, BufferClass::Activations, -1, EventEdge::End),
+            ],
+        };
+        (g, spec)
+    }
+
+    #[test]
+    fn peak_is_counts_times_units_at_the_right_instant() {
+        let (g, spec) = fixture();
+        let profile = spec.profile(&g.solve().unwrap());
+        profile.validate().unwrap();
+        let peak = profile.peak();
+        // Both checkpoints live from f1's end (t=20us) until b0's end.
+        assert_eq!(peak.time_ns, 20_000);
+        assert_eq!(peak.counts[BufferClass::Checkpoints.index()], 2);
+        assert_eq!(peak.total_bytes, 1000.0 + 2.0 * 100.0 + 10.0);
+        assert_eq!(peak.total_bytes, spec.devices[0].total_bytes(&peak.counts));
+    }
+
+    #[test]
+    fn profile_ends_at_steady_state_and_never_goes_negative() {
+        let (g, spec) = fixture();
+        let profile = spec.profile(&g.solve().unwrap());
+        profile.validate().unwrap();
+        let d = &profile.devices[0];
+        let last = d.samples().last().copied().unwrap();
+        assert_eq!(last.1, d.model.baseline_counts());
+        assert_eq!(d.model.baseline_bytes(), 1000.0);
+    }
+
+    #[test]
+    fn validate_catches_a_negative_class() {
+        let (g, mut spec) = fixture();
+        // Free a gradient buffer that was never allocated.
+        spec.effects.push(MemEffect {
+            op: OpId(0),
+            device: 0,
+            class: BufferClass::Gradients,
+            delta: -1,
+            edge: EventEdge::Start,
+        });
+        let profile = spec.profile(&g.solve().unwrap());
+        let err = profile.validate().unwrap_err();
+        assert!(err.contains("gradients"), "{err}");
+    }
+
+    #[test]
+    fn allocs_win_ties_so_the_overlap_instant_is_the_peak() {
+        // An alloc and a free at the same instant: the peak must include
+        // both buffers (alloc applied first).
+        let mut g: OpGraph<&str> = OpGraph::new();
+        let r = g.add_resource("r");
+        let a = g.add_op(r, us(5), &[], "a");
+        let mut model = DeviceMemModel::default();
+        model.units[BufferClass::Checkpoints.index()] = 7.0;
+        model.units[BufferClass::Activations.index()] = 5.0;
+        model.baseline[BufferClass::Activations.index()] = 1;
+        let spec = MemorySpec {
+            devices: vec![model],
+            effects: vec![
+                MemEffect {
+                    op: a,
+                    device: 0,
+                    class: BufferClass::Activations,
+                    delta: -1,
+                    edge: EventEdge::End,
+                },
+                MemEffect {
+                    op: a,
+                    device: 0,
+                    class: BufferClass::Checkpoints,
+                    delta: 1,
+                    edge: EventEdge::End,
+                },
+            ],
+        };
+        let profile = spec.profile(&g.solve().unwrap());
+        assert_eq!(profile.peak().total_bytes, 12.0);
+    }
+
+    #[test]
+    fn solver_peaks_match_timeline_profile() {
+        let (g, spec) = fixture();
+        let timeline = g.solve().unwrap();
+        let from_timeline = spec.profile(&timeline).peaks();
+        let from_times = spec.peaks_from(|op| {
+            (
+                timeline.start_of(op).as_nanos(),
+                timeline.end_of(op).as_nanos(),
+            )
+        });
+        assert_eq!(from_timeline, from_times);
+    }
+
+    #[test]
+    fn memory_tracks_render_valid_stacked_counters() {
+        let (g, spec) = fixture();
+        let profile = spec.profile(&g.solve().unwrap());
+        let mut w = ChromeTraceWriter::new();
+        add_memory_tracks(&mut w, &profile, |d| (d, format!("gpu{d}")));
+        let json = w.finish();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"memory (bytes)\""));
+        assert!(json.contains("\"checkpoints\":200"));
+        assert!(json.contains("\"weights\":1000"));
+    }
+
+    #[test]
+    fn bandwidth_track_rates_and_gaps() {
+        let mut w = ChromeTraceWriter::new();
+        let spans = [
+            LinkSpan {
+                start_ns: 1_000,
+                end_ns: 2_000,
+                bytes: 4_000,
+            },
+            LinkSpan {
+                start_ns: 2_000,
+                end_ns: 3_000,
+                bytes: 1_000,
+            },
+            LinkSpan {
+                start_ns: 5_000,
+                end_ns: 6_000,
+                bytes: 2_000,
+            },
+        ];
+        add_bandwidth_track(&mut w, 0, "gpu0", "pp MB/s", &spans);
+        let json = w.finish();
+        validate_json(&json).unwrap();
+        // 4000 B over 1us = 4000 MB/s; back-to-back spans emit no
+        // intermediate zero, the gap at 3us does.
+        assert!(json.contains("\"MB/s\":4000"));
+        assert!(json.contains("\"MB/s\":1000"));
+        assert!(json.contains("\"MB/s\":2000"));
+        assert_eq!(json.matches("\"MB/s\":0").count(), 3);
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let (g, spec) = fixture();
+        let run = || {
+            let profile = spec.profile(&g.solve().unwrap());
+            let mut w = ChromeTraceWriter::new();
+            add_memory_tracks(&mut w, &profile, |d| (d, format!("gpu{d}")));
+            w.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -6,8 +6,10 @@
 //!    Chrome trace-event JSON (the format understood by `ui.perfetto.dev`
 //!    and `chrome://tracing`). One track per resource, complete (`"X"`)
 //!    events for operations, flow events along cross-resource dependency
-//!    edges. Output is byte-stable: same graph + timeline ⇒ same bytes,
-//!    regardless of solver thread count or host.
+//!    edges, and counter (`"C"`) tracks for sampled quantities such as
+//!    the [`crate::memprof`] memory/bandwidth profiles. Output is
+//!    byte-stable: same graph + timeline ⇒ same bytes, regardless of
+//!    solver thread count or host.
 //! 2. [`attribute`] — classifies every nanosecond of every resource into
 //!    one of five [`Category`]s (compute, pipeline comm, data-parallel
 //!    comm, comm-wait, bubble) and rolls the result into a [`Breakdown`]
@@ -382,17 +384,21 @@ pub struct Track {
 
 /// Streaming builder for Chrome trace-event JSON.
 ///
-/// Add one or more solved timelines with [`add_timeline`], then call
+/// Add one or more solved timelines with [`add_timeline`] (and,
+/// optionally, counter samples with [`add_counter`]), then call
 /// [`finish`] for the JSON document. Output ordering is deterministic:
 /// metadata events sorted by (pid, tid), then op events in op-id order
-/// per timeline, then flow events in discovery order — so the bytes are
-/// stable across runs and solver thread counts.
+/// per timeline, then counter samples in call order, then flow events in
+/// discovery order — so the bytes are stable across runs and solver
+/// thread counts.
 ///
 /// [`add_timeline`]: ChromeTraceWriter::add_timeline
+/// [`add_counter`]: ChromeTraceWriter::add_counter
 /// [`finish`]: ChromeTraceWriter::finish
 #[derive(Debug, Default)]
 pub struct ChromeTraceWriter {
     op_events: Vec<String>,
+    counter_events: Vec<String>,
     flow_events: Vec<String>,
     processes: BTreeMap<u32, String>,
     threads: BTreeMap<(u32, u32), (String, u32)>,
@@ -528,12 +534,48 @@ impl ChromeTraceWriter {
         }
     }
 
+    /// Appends one counter (`"ph":"C"`) sample: the value of each named
+    /// series under `name`'s counter track of process `pid` at `ts_ns`.
+    ///
+    /// Multiple series in one sample render as a *stacked* counter track
+    /// in Perfetto (the memory profile uses one series per buffer class).
+    /// Samples are emitted in call order, so callers must add them in
+    /// ascending time per counter for a well-formed track; the bytes are
+    /// a pure function of the arguments (integer-only formatting).
+    pub fn add_counter(
+        &mut self,
+        pid: u32,
+        process: &str,
+        name: &str,
+        ts_ns: u64,
+        values: &[(&str, u64)],
+    ) {
+        self.processes
+            .entry(pid)
+            .or_insert_with(|| process.to_string());
+        let mut ev = format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"args\":{{",
+            escape_json(name),
+            fmt_us(ts_ns),
+            pid,
+        );
+        for (i, (key, value)) in values.iter().enumerate() {
+            if i > 0 {
+                ev.push(',');
+            }
+            let _ = write!(ev, "\"{}\":{}", escape_json(key), value);
+        }
+        ev.push_str("}}");
+        self.counter_events.push(ev);
+    }
+
     /// Assembles the final JSON document.
     pub fn finish(&self) -> String {
         let mut events: Vec<String> = Vec::with_capacity(
             self.processes.len()
                 + self.threads.len() * 2
                 + self.op_events.len()
+                + self.counter_events.len()
                 + self.flow_events.len(),
         );
         for (pid, name) in &self.processes {
@@ -556,6 +598,7 @@ impl ChromeTraceWriter {
             ));
         }
         events.extend(self.op_events.iter().cloned());
+        events.extend(self.counter_events.iter().cloned());
         events.extend(self.flow_events.iter().cloned());
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
         for (i, ev) in events.iter().enumerate() {

@@ -13,6 +13,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::graph::{OpGraph, OpId, ResourceId};
+use crate::memprof::{MemoryPeaks, MemorySpec};
 use crate::time::{SimDuration, SimTime};
 
 /// The solved start/end time of one operation.
@@ -91,12 +92,17 @@ impl Timeline {
 /// [`Timeline::resource_stats`] derives from a materialized timeline
 /// bit for bit, at a fraction of the cost; perturbation sweeps use this
 /// via [`Solver::solve_stats_with_durations`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveStats {
     /// Completion time of the whole graph.
     pub makespan: SimDuration,
     /// Total executing time per resource, indexed by [`ResourceId::index`].
     pub busy: Vec<SimDuration>,
+    /// Per-device memory peaks, filled by the memory-aware solve paths
+    /// ([`Solver::solve_stats_with_memory`] and
+    /// [`Solver::solve_stats_with_durations_and_memory`]); `None` on the
+    /// plain stats paths.
+    pub peak_memory: Option<MemoryPeaks>,
 }
 
 /// The graph admits no schedule: an operation can never start.
@@ -427,6 +433,82 @@ impl<'g, T> Solver<'g, T> {
         Ok(self.stats(makespan))
     }
 
+    /// As [`Solver::solve_stats`], additionally evaluating `mem` against
+    /// the solved op times to fill [`SolveStats::peak_memory`] — peak
+    /// memory over time without materializing a [`Timeline`] (the op
+    /// start/end times are read straight from the solver's scratch
+    /// arrays).
+    ///
+    /// ```
+    /// use bfpp_sim::memprof::{BufferClass, DeviceMemModel, EventEdge, MemEffect, MemorySpec};
+    /// use bfpp_sim::{OpGraph, SimDuration, Solver};
+    ///
+    /// let mut g: OpGraph<&str> = OpGraph::new();
+    /// let r = g.add_resource("gpu0.compute");
+    /// let fwd = g.add_op(r, SimDuration::from_micros(5), &[], "fwd");
+    /// let bwd = g.add_op(r, SimDuration::from_micros(9), &[fwd], "bwd");
+    ///
+    /// let mut model = DeviceMemModel::default();
+    /// model.units[BufferClass::Checkpoints.index()] = 64.0;
+    /// let spec = MemorySpec {
+    ///     devices: vec![model],
+    ///     effects: vec![
+    ///         MemEffect { op: fwd, device: 0, class: BufferClass::Checkpoints, delta: 1, edge: EventEdge::End },
+    ///         MemEffect { op: bwd, device: 0, class: BufferClass::Checkpoints, delta: -1, edge: EventEdge::End },
+    ///     ],
+    /// };
+    /// let stats = Solver::new(&g).solve_stats_with_memory(&spec).unwrap();
+    /// assert_eq!(stats.peak_memory.unwrap().peak_bytes(), 64.0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve`].
+    pub fn solve_stats_with_memory(
+        &mut self,
+        mem: &MemorySpec,
+    ) -> Result<SolveStats, DeadlockError> {
+        let makespan = self.run(None, true)?;
+        let mut stats = self.stats(makespan);
+        stats.peak_memory = Some(self.scratch_peaks(mem));
+        Ok(stats)
+    }
+
+    /// As [`Solver::solve_stats_with_memory`], with every op's duration
+    /// replaced by `durations[op.index()]`. Useful for checking that
+    /// memory peaks are invariant under duration perturbation (each
+    /// device's compute stream is FIFO, so the per-device alloc/free
+    /// *order* never changes — only the timestamps do).
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `durations.len() != graph.num_ops()`.
+    pub fn solve_stats_with_durations_and_memory(
+        &mut self,
+        durations: &[SimDuration],
+        mem: &MemorySpec,
+    ) -> Result<SolveStats, DeadlockError> {
+        let makespan = self.run(Some(durations), true)?;
+        let mut stats = self.stats(makespan);
+        stats.peak_memory = Some(self.scratch_peaks(mem));
+        Ok(stats)
+    }
+
+    /// Evaluates a memory spec against the start/end scratch arrays of
+    /// the recording solve that just ran.
+    fn scratch_peaks(&self, mem: &MemorySpec) -> MemoryPeaks {
+        mem.peaks_from(|op| {
+            (
+                self.s.start[op.index()].as_nanos(),
+                self.s.end[op.index()].as_nanos(),
+            )
+        })
+    }
+
     /// Per-resource busy sums of the solve that just ran, accumulated in
     /// the hot loop. Plain integer sums of op durations — identical to
     /// summing a materialized timeline's per-op `end - start`.
@@ -434,6 +516,7 @@ impl<'g, T> Solver<'g, T> {
         SolveStats {
             makespan,
             busy: self.s.res.iter().map(|r| r.busy).collect(),
+            peak_memory: None,
         }
     }
 

@@ -1,0 +1,135 @@
+//! Golden-file test: the memory and bandwidth counter tracks must be
+//! byte-stable.
+//!
+//! The memory-annotated trace of a fixed graph + memory spec is
+//! committed at `tests/golden/memory_trace.json`; any change to the
+//! counter-track output format shows up as a diff against it. The output
+//! must also be identical across repeated solves and across threads —
+//! the profiler sorts events by a total key and formats integers only,
+//! so nothing about it may depend on timing, hash-map order, or thread
+//! count (the companion of `trace_golden.rs` for the "C"-phase tracks).
+//!
+//! To regenerate the golden file after an *intentional* format change:
+//!
+//! ```sh
+//! BFPP_REGEN_GOLDEN=1 cargo test -p bfpp-sim --test memprof_golden
+//! ```
+
+use bfpp_sim::memprof::{add_bandwidth_track, add_memory_tracks};
+use bfpp_sim::observe::validate_json;
+use bfpp_sim::{
+    BufferClass, ChromeTraceWriter, DeviceMemModel, EventEdge, LinkSpan, MemEffect, MemorySpec,
+    OpGraph, SimDuration,
+};
+
+const GOLDEN: &str = include_str!("golden/memory_trace.json");
+
+/// A single-device two-microbatch schedule: two forwards checkpoint,
+/// two backwards release, with an activation working set alive from the
+/// first op to the last. Exercises stacked counter samples (baseline
+/// sample at t=0, alloc/free steps, return to steady state) and a
+/// bandwidth track with a gap (zero-sample) between two spans.
+fn trace() -> String {
+    let us = |n: u64| SimDuration::from_nanos(n * 1_000);
+    let mut g: OpGraph<&str> = OpGraph::new();
+    let c0 = g.add_resource("gpu0.compute");
+    let f0 = g.add_op(c0, us(50), &[], "fwd mb0");
+    let f1 = g.add_op(c0, us(50), &[f0], "fwd mb1");
+    let b1 = g.add_op(c0, us(80), &[f1], "bwd mb1");
+    let b0 = g.add_op(c0, us(70), &[b1], "bwd mb0");
+
+    let mut units = [0.0; bfpp_sim::memprof::NUM_CLASSES];
+    units[BufferClass::Weights.index()] = 40.0;
+    units[BufferClass::Optimizer.index()] = 80.0;
+    units[BufferClass::Checkpoints.index()] = 25.0;
+    units[BufferClass::Activations.index()] = 10.0;
+    let mut baseline = [0u32; bfpp_sim::memprof::NUM_CLASSES];
+    baseline[BufferClass::Weights.index()] = 1;
+    baseline[BufferClass::Optimizer.index()] = 1;
+    let model = DeviceMemModel { units, baseline };
+
+    let eff = |op, class, delta, edge| MemEffect {
+        op,
+        device: 0,
+        class,
+        delta,
+        edge,
+    };
+    let spec = MemorySpec {
+        devices: vec![model],
+        effects: vec![
+            eff(f0, BufferClass::Activations, 1, EventEdge::Start),
+            eff(f0, BufferClass::Checkpoints, 1, EventEdge::End),
+            eff(f1, BufferClass::Checkpoints, 1, EventEdge::End),
+            eff(b1, BufferClass::Checkpoints, -1, EventEdge::End),
+            eff(b0, BufferClass::Checkpoints, -1, EventEdge::End),
+            eff(b0, BufferClass::Activations, -1, EventEdge::End),
+        ],
+    };
+
+    let timeline = g.solve().expect("acyclic");
+    let profile = spec.profile(&timeline);
+    profile.validate().expect("well-formed timelines");
+    let mut w = ChromeTraceWriter::new();
+    add_memory_tracks(&mut w, &profile, |dev| (dev, format!("gpu{dev}")));
+    add_bandwidth_track(
+        &mut w,
+        0,
+        "gpu0",
+        "pp MB/s",
+        &[
+            LinkSpan {
+                start_ns: 50_000,
+                end_ns: 70_000,
+                bytes: 1_000_000,
+            },
+            LinkSpan {
+                start_ns: 100_000,
+                end_ns: 120_000,
+                bytes: 500_000,
+            },
+        ],
+    );
+    w.finish()
+}
+
+#[test]
+fn memory_trace_matches_committed_golden_file() {
+    let json = trace();
+    validate_json(&json).expect("golden memory trace must be valid JSON");
+    if std::env::var("BFPP_REGEN_GOLDEN").is_ok() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/memory_trace.json"
+            ),
+            &json,
+        )
+        .expect("golden file is writable");
+    }
+    assert_eq!(
+        json, GOLDEN,
+        "memory counter-track output drifted from tests/golden/memory_trace.json; \
+         if the format change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn memory_trace_is_identical_across_repeated_runs() {
+    let first = trace();
+    for _ in 0..3 {
+        assert_eq!(trace(), first);
+    }
+}
+
+#[test]
+fn memory_trace_is_identical_across_threads() {
+    // The profiler itself is single-threaded; what this pins down is
+    // that nothing it consumes (solve order, sort keys, map iteration)
+    // varies when the surrounding program runs it from different threads.
+    let first = trace();
+    let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(trace)).collect();
+    for h in handles {
+        assert_eq!(h.join().expect("no panic"), first);
+    }
+}

@@ -1,8 +1,12 @@
 //! Exports a solved schedule as Chrome-trace JSON (open the file in
-//! `ui.perfetto.dev` or `chrome://tracing`) and prints the exact per-op
-//! time attribution behind it: every nanosecond of every device stream
+//! `ui.perfetto.dev` or `chrome://tracing`) — time tracks plus the
+//! stacked per-device memory counter tracks and PP/DP bandwidth
+//! counters, aligned on one timeline — and prints the exact per-op time
+//! attribution behind it (every nanosecond of every device stream
 //! classified as compute, pipeline communication, data-parallel
-//! communication, communication wait, or pipeline bubble.
+//! communication, communication wait, or pipeline bubble) together with
+//! the peak-memory attribution (the instant of peak and its per-class
+//! composition).
 //!
 //! ```sh
 //! cargo run --release --example trace_export [out.json]
@@ -10,7 +14,9 @@
 
 use bfpp::cluster::presets::dgx1_v100;
 use bfpp::core::ScheduleKind;
-use bfpp::exec::{attribution, chrome_trace, lower, KernelModel, OverlapConfig};
+use bfpp::exec::{
+    attribution, chrome_trace_with_memory, lower, peak_attribution, KernelModel, OverlapConfig,
+};
 use bfpp::model::presets::bert_52b;
 use bfpp::parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
 use bfpp::sim::observe::Category;
@@ -41,7 +47,8 @@ fn main() {
     .expect("valid configuration");
     let timeline = lowered.graph.solve().expect("acyclic");
 
-    std::fs::write(&path, chrome_trace(&lowered, &timeline)).expect("trace file is writable");
+    std::fs::write(&path, chrome_trace_with_memory(&lowered, &timeline))
+        .expect("trace file is writable");
     println!("wrote {path} — open it in ui.perfetto.dev or chrome://tracing\n");
 
     let bd = attribution(&lowered, &timeline);
@@ -58,4 +65,7 @@ fn main() {
         bd.fraction(Category::Bubble) * 100.0,
         bd.fraction(Category::CommWait) * 100.0
     );
+
+    println!("\npeak memory (event-level, reconciles byte-exactly with Eq. 10-14):");
+    println!("{}", peak_attribution(&lowered, &timeline));
 }
