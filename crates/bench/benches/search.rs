@@ -1,13 +1,16 @@
-//! Criterion: one simulation, plus the layered search engine against
-//! the exhaustive serial loop it replaced — same Figure 5a cell, same
-//! answer (verified by test), different amounts of work.
+//! Criterion: one simulation, the layered search engine against the
+//! exhaustive serial loop it replaced (same Figure 5a cell, same answer,
+//! different amounts of work), and the planner service cold vs warm —
+//! the same sweep re-planned under a perturbation from a recorded
+//! warm-start base instead of from scratch.
 
 use bfpp_cluster::presets::dgx1_v100;
 use bfpp_core::ScheduleKind;
 use bfpp_exec::search::{best_config, best_config_exhaustive, Method, SearchOptions};
-use bfpp_exec::{simulate, KernelModel, OverlapConfig};
+use bfpp_exec::{simulate, KernelModel, OverlapConfig, Perturbation};
 use bfpp_model::presets::bert_52b;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp_planner::{PlanRequest, Planner};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_simulate(c: &mut Criterion) {
@@ -87,6 +90,58 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
+fn plan_request(method: Method, perturbation: Perturbation) -> PlanRequest {
+    let mut opts = quick_search_opts(1);
+    opts.perturbation = perturbation;
+    PlanRequest {
+        opts,
+        ..PlanRequest::new(bert_52b(), dgx1_v100(8), method, 48, KernelModel::v100())
+    }
+}
+
+/// Planner service: the same perturbed Figure 5a sweep (a straggler
+/// appeared — re-plan around it) planned cold (fresh planner: every
+/// candidate enumerated, lowered and solved from scratch) vs warm (from
+/// the clean run's recorded base: replayed pruning, cached lowerings and
+/// built solver workspaces, duration-only re-solves). The ratio is what
+/// warm-start re-planning saves on the identical request.
+fn bench_planner(c: &mut Criterion) {
+    let probe = Perturbation::with_seed(0xB1F).with_straggler(4, 1.5);
+    let mut group = c.benchmark_group("planner_fig5a_b48");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let planner = Planner::new();
+            run_sweep(|m| {
+                planner
+                    .plan(&plan_request(m, probe.clone()))
+                    .0
+                    .map(|r| r.measurement.tflops_per_gpu)
+                    .unwrap_or(0.0)
+            })
+        })
+    });
+    group.bench_function("warm_replan", |b| {
+        let planner = Planner::new();
+        // Prime the warm store with the clean sweep once; every
+        // iteration then re-plans the perturbed variant from it.
+        run_sweep(|m| {
+            planner
+                .plan(&plan_request(m, Perturbation::none()))
+                .0
+                .map(|r| r.measurement.tflops_per_gpu)
+                .unwrap_or(0.0)
+        });
+        b.iter(|| {
+            run_sweep(|m| {
+                let (result, report) = planner.plan(&plan_request(m, probe.clone()));
+                assert!(report.counters.count("warm_start") > 0);
+                result.map(|r| r.measurement.tflops_per_gpu).unwrap_or(0.0)
+            })
+        })
+    });
+    group.finish();
+}
+
 fn quick_criterion() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -97,6 +152,6 @@ fn quick_criterion() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick_criterion();
-    targets = bench_simulate, bench_search
+    targets = bench_simulate, bench_search, bench_planner
 }
 criterion_main!(benches);

@@ -4,8 +4,7 @@
 //! kernel calibration and link tiers) for GPT-3.
 
 use bfpp_bench::figures::{figure5_sweep, figure5_table};
-use bfpp_bench::quick_mode;
-use bfpp_exec::search::SearchOptions;
+use bfpp_bench::{quick_mode, BenchArgs};
 
 fn main() {
     let model = bfpp_model::presets::gpt3();
@@ -21,7 +20,12 @@ fn main() {
         cluster.name,
         cluster.num_gpus()
     );
-    let rows = figure5_sweep(&model, &cluster, &batches, &SearchOptions::default());
+    let rows = figure5_sweep(
+        &model,
+        &cluster,
+        &batches,
+        &BenchArgs::from_env().search_options(),
+    );
     println!("# A100 projection — GPT-3 on 64 A100-80GB (conclusion's next step)");
     print!("{}", figure5_table(&rows, cluster.num_gpus()).to_csv());
 }

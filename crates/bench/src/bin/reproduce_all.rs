@@ -7,14 +7,13 @@ use bfpp_bench::figures::{
     figure1, figure2, figure3, figure4, figure5_batches, figure5_sweep, figure5_table, figure6,
     figure7,
 };
-use bfpp_bench::quick_mode;
 use bfpp_bench::robustness::{most_graceful, robustness_table, straggler_sweep, SEVERITIES};
 use bfpp_bench::tables::{table_5_1, table_e};
-use bfpp_exec::search::SearchOptions;
+use bfpp_bench::{quick_mode, BenchArgs};
 
 fn main() {
     let quick = quick_mode();
-    let opts = SearchOptions::default();
+    let opts = BenchArgs::from_env().search_options();
     let sizes: Vec<u32> = vec![256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
 
     println!("# Table 5.1");

@@ -3,15 +3,19 @@
 
 use bfpp_analytic::tradeoff::TradeoffModel;
 use bfpp_bench::figures::{figure1, figure5_batches, figure5_sweep};
-use bfpp_bench::quick_mode;
-use bfpp_exec::search::SearchOptions;
+use bfpp_bench::{quick_mode, BenchArgs};
 
 fn main() {
     let model = bfpp_model::presets::bert_52b();
     let cluster = bfpp_cluster::presets::dgx1_v100(8);
     let tradeoff = TradeoffModel::paper_52b(&model, cluster.node.gpu.peak_fp16_flops);
     let batches = figure5_batches("52b", false, quick_mode());
-    let rows = figure5_sweep(&model, &cluster, &batches, &SearchOptions::default());
+    let rows = figure5_sweep(
+        &model,
+        &cluster,
+        &batches,
+        &BenchArgs::from_env().search_options(),
+    );
     println!("# Figure 1 — 52 B model on 4096 V100s: predicted time, cost and memory");
     print!(
         "{}",

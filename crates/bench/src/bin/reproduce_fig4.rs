@@ -11,18 +11,18 @@
 //! counters.
 
 use bfpp_bench::figures::{figure4, figure4_mem_trace, figure4_trace};
-use bfpp_bench::{mem_trace_arg, trace_arg, write_trace};
+use bfpp_bench::{write_trace, BenchArgs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = BenchArgs::from_env();
     let (art, table) = figure4();
     println!("# Figure 4 — schedule timelines (F/B kernels, s sends, g/r DP collectives)");
     print!("{art}");
     print!("{}", table.to_text());
-    if let Some(path) = trace_arg(&args) {
+    if let Some(path) = args.trace() {
         write_trace(&path, &figure4_trace());
     }
-    if let Some(path) = mem_trace_arg(&args) {
+    if let Some(path) = args.mem_trace() {
         write_trace(&path, &figure4_mem_trace());
     }
 }

@@ -13,28 +13,12 @@
 use bfpp_bench::figures::{
     figure5_batches, figure5_sweep, figure5_table, sweep_mem_trace, sweep_trace,
 };
-use bfpp_bench::{mem_trace_arg, quick_mode, threads_arg, trace_arg, write_trace};
-use bfpp_exec::search::SearchOptions;
+use bfpp_bench::{quick_mode, write_trace, BenchArgs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = threads_arg(&args);
-    let trace = trace_arg(&args);
-    let mem_trace = mem_trace_arg(&args);
-    let model_name = args
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| {
-            *i == 0
-                || (args[i - 1] != "--threads"
-                    && args[i - 1] != "--trace"
-                    && args[i - 1] != "--mem-trace")
-        })
-        .map(|(_, a)| a)
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "52b".to_string());
-    let ethernet = args.iter().any(|a| a == "--ethernet");
+    let args = BenchArgs::from_env();
+    let model_name = args.positional_or("52b");
+    let ethernet = args.flag("--ethernet");
     let model = bfpp_model::presets::by_name(&model_name)
         .unwrap_or_else(|| panic!("unknown model {model_name}; try 52b or 6.6b"));
     let cluster = if ethernet {
@@ -43,10 +27,7 @@ fn main() {
         bfpp_cluster::presets::dgx1_v100(8)
     };
     let batches = figure5_batches(&model_name, ethernet, quick_mode());
-    let opts = SearchOptions {
-        threads,
-        ..SearchOptions::default()
-    };
+    let opts = args.search_options();
     eprintln!(
         "sweeping {} on {} over {:?}...",
         model.name, cluster.name, batches
@@ -64,10 +45,10 @@ fn main() {
         model.name, cluster.name
     );
     print!("{}", figure5_table(&rows, cluster.num_gpus()).to_csv());
-    if let Some(path) = trace {
+    if let Some(path) = args.trace() {
         write_trace(&path, &sweep_trace(&model, &cluster, &rows));
     }
-    if let Some(path) = mem_trace {
+    if let Some(path) = args.mem_trace() {
         write_trace(&path, &sweep_mem_trace(&model, &cluster, &rows));
     }
 }

@@ -15,27 +15,11 @@
 
 use bfpp_analytic::tradeoff::TradeoffModel;
 use bfpp_bench::figures::{figure5_batches, figure5_sweep, figure6, sweep_mem_trace, sweep_trace};
-use bfpp_bench::{mem_trace_arg, quick_mode, threads_arg, trace_arg, write_trace};
-use bfpp_exec::search::SearchOptions;
+use bfpp_bench::{quick_mode, write_trace, BenchArgs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = threads_arg(&args);
-    let trace = trace_arg(&args);
-    let mem_trace = mem_trace_arg(&args);
-    let model_name = args
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| {
-            *i == 0
-                || (args[i - 1] != "--threads"
-                    && args[i - 1] != "--trace"
-                    && args[i - 1] != "--mem-trace")
-        })
-        .map(|(_, a)| a)
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "52b".to_string());
+    let args = BenchArgs::from_env();
+    let model_name = args.positional_or("52b");
     let model = bfpp_model::presets::by_name(&model_name)
         .unwrap_or_else(|| panic!("unknown model {model_name}"));
     let cluster = bfpp_cluster::presets::dgx1_v100(8);
@@ -46,11 +30,7 @@ fn main() {
         TradeoffModel::paper_6_6b(&model, peak)
     };
     let batches = figure5_batches(&model_name, false, quick_mode());
-    let opts = SearchOptions {
-        threads,
-        ..SearchOptions::default()
-    };
-    let rows = figure5_sweep(&model, &cluster, &batches, &opts);
+    let rows = figure5_sweep(&model, &cluster, &batches, &args.search_options());
     let sizes: Vec<u32> = [256u32, 512, 1024, 2048, 4096, 8192, 16384, 32768]
         .into_iter()
         .collect();
@@ -70,10 +50,10 @@ fn main() {
         )
         .to_csv()
     );
-    if let Some(path) = trace {
+    if let Some(path) = args.trace() {
         write_trace(&path, &sweep_trace(&model, &cluster, &rows));
     }
-    if let Some(path) = mem_trace {
+    if let Some(path) = args.mem_trace() {
         write_trace(&path, &sweep_mem_trace(&model, &cluster, &rows));
     }
 }

@@ -11,18 +11,18 @@
 //! visible in the weight/optimizer series.
 
 use bfpp_bench::figures::{figure7, figure7_mem_trace, figure7_trace};
-use bfpp_bench::{mem_trace_arg, trace_arg, write_trace};
+use bfpp_bench::{write_trace, BenchArgs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = BenchArgs::from_env();
     let (art, table) = figure7();
     println!("# Figure 7 — gradient-accumulation schedules (F/B kernels, g/r DP collectives)");
     print!("{art}");
     print!("{}", table.to_text());
-    if let Some(path) = trace_arg(&args) {
+    if let Some(path) = args.trace() {
         write_trace(&path, &figure7_trace());
     }
-    if let Some(path) = mem_trace_arg(&args) {
+    if let Some(path) = args.mem_trace() {
         write_trace(&path, &figure7_mem_trace());
     }
 }

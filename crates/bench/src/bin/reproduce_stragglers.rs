@@ -19,12 +19,12 @@ use bfpp_bench::robustness::{
     most_graceful, robustness_table, straggler_mem_trace, straggler_sweep, straggler_trace,
     SEVERITIES, STRAGGLER_DEVICE,
 };
-use bfpp_bench::{mem_trace_arg, trace_arg, write_trace};
+use bfpp_bench::{write_trace, BenchArgs};
 use bfpp_cluster::presets::dgx1_v100;
 use bfpp_model::presets::bert_52b;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = BenchArgs::from_env();
     let model = bert_52b();
     let cluster = dgx1_v100(8);
     println!(
@@ -50,10 +50,10 @@ fn main() {
         );
     }
     let worst = severities.last().copied().unwrap_or(2.0);
-    if let Some(path) = trace_arg(&args) {
+    if let Some(path) = args.trace() {
         write_trace(&path, &straggler_trace(&model, &cluster, worst));
     }
-    if let Some(path) = mem_trace_arg(&args) {
+    if let Some(path) = args.mem_trace() {
         write_trace(&path, &straggler_mem_trace(&model, &cluster, worst));
     }
 }

@@ -1,0 +1,126 @@
+//! Shared command-line parsing for the `reproduce_*` binaries.
+//!
+//! Every driver accepts the same small flag vocabulary (`--threads N`,
+//! `--trace out.json`, `--mem-trace mem.json`, boolean switches like
+//! `--ethernet`, plus at most one positional such as a model name).
+//! [`BenchArgs`] parses that vocabulary once, so the sixteen binaries
+//! share one definition of "which flags take values" instead of each
+//! re-deriving the skip-the-flag-value positional scan.
+
+use bfpp_exec::search::SearchOptions;
+
+/// Flags whose following argument is a value, not a positional.
+const VALUED_FLAGS: &[&str] = &["--threads", "--trace", "--mem-trace"];
+
+/// The parsed command line of a reproduction driver.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    args: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process's own arguments (program name skipped).
+    pub fn from_env() -> BenchArgs {
+        BenchArgs {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Parses an explicit argument list (tests use this).
+    pub fn new<S: Into<String>>(args: impl IntoIterator<Item = S>) -> BenchArgs {
+        BenchArgs {
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The `--threads N` value; `0` (available parallelism) when absent
+    /// or malformed.
+    pub fn threads(&self) -> usize {
+        crate::threads_arg(&self.args)
+    }
+
+    /// The `--trace <path>` value, if present.
+    pub fn trace(&self) -> Option<String> {
+        crate::trace_arg(&self.args)
+    }
+
+    /// The `--mem-trace <path>` value, if present.
+    pub fn mem_trace(&self) -> Option<String> {
+        crate::mem_trace_arg(&self.args)
+    }
+
+    /// Whether a boolean switch (e.g. `--ethernet`) is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The first positional argument: the first token that neither
+    /// starts with `--` nor is the value of a preceding valued flag.
+    pub fn positional(&self) -> Option<&str> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i == 0 || !VALUED_FLAGS.contains(&self.args[i - 1].as_str()))
+            .map(|(_, a)| a.as_str())
+            .find(|a| !a.starts_with("--"))
+    }
+
+    /// [`BenchArgs::positional`] with a fallback (the usual
+    /// default-model pattern).
+    pub fn positional_or(&self, default: &str) -> String {
+        self.positional().unwrap_or(default).to_string()
+    }
+
+    /// Search options carrying the command line's `--threads` choice
+    /// (everything else at its default).
+    pub fn search_options(&self) -> SearchOptions {
+        SearchOptions {
+            threads: self.threads(),
+            ..SearchOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_skips_flag_values() {
+        let a = BenchArgs::new(["--threads", "2", "6.6b", "--trace", "t.json"]);
+        assert_eq!(a.positional(), Some("6.6b"));
+        assert_eq!(a.threads(), 2);
+        assert_eq!(a.trace(), Some("t.json".to_string()));
+        assert_eq!(a.mem_trace(), None);
+        // "2" is --threads' value, not a positional; with the model
+        // absent the default applies.
+        let b = BenchArgs::new(["--threads", "2", "--ethernet"]);
+        assert_eq!(b.positional(), None);
+        assert_eq!(b.positional_or("52b"), "52b");
+        assert!(b.flag("--ethernet"));
+        assert!(!b.flag("--quick"));
+    }
+
+    #[test]
+    fn positional_in_first_place_wins_even_after_flags() {
+        let a = BenchArgs::new(["52b", "--threads", "4"]);
+        assert_eq!(a.positional(), Some("52b"));
+        let b = BenchArgs::new(["--ethernet", "6.6b"]);
+        assert_eq!(b.positional(), Some("6.6b"));
+    }
+
+    #[test]
+    fn search_options_carry_threads() {
+        let a = BenchArgs::new(["--threads", "3"]);
+        assert_eq!(a.search_options().threads, 3);
+        assert_eq!(BenchArgs::new(["x"]).search_options().threads, 0);
+    }
+
+    #[test]
+    fn empty_args_are_fine() {
+        let a = BenchArgs::new(Vec::<String>::new());
+        assert_eq!(a.positional(), None);
+        assert_eq!(a.threads(), 0);
+        assert_eq!(a.trace(), None);
+    }
+}

@@ -4,12 +4,11 @@ use bfpp_analytic::efficiency::{EffMethod, EfficiencyModel};
 use bfpp_analytic::tradeoff::{OperatingPoint, TradeoffModel};
 use bfpp_cluster::ClusterSpec;
 use bfpp_core::{Schedule, ScheduleKind};
-use bfpp_exec::search::{
-    best_config_with_report, Method, SearchOptions, SearchReport, SearchResult,
-};
+use bfpp_exec::search::{Method, SearchOptions, SearchReport, SearchResult};
 use bfpp_exec::{lower, KernelModel, LoweredGraph, OverlapConfig, TraceBuilder};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp_planner::{PlanRequest, Planner};
 use bfpp_sim::AsciiTimelineOptions;
 
 use crate::report::Table;
@@ -179,7 +178,28 @@ pub fn figure5_batches(model: &str, ethernet: bool, quick: bool) -> Vec<u64> {
 }
 
 /// Runs the Figure 5 sweep: best configuration per (method, batch).
+///
+/// A thin client of the planner service: one fresh [`Planner`] serves
+/// every cell, so the sweep shares a schedule cache across cells and
+/// leaves warm-start records behind for any follow-up request. Each
+/// cell's result and report are value-identical to calling
+/// [`bfpp_exec::search::best_config_with_report`] directly (shared
+/// caches only substitute equal values).
 pub fn figure5_sweep(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    batches: &[u64],
+    opts: &SearchOptions,
+) -> Vec<SweepRow> {
+    figure5_sweep_with(&Planner::new(), model, cluster, batches, opts)
+}
+
+/// [`figure5_sweep`] over a caller-supplied planner — the service path:
+/// the sweep's requests share the planner's caches with every other
+/// client, and a repeat sweep under a new perturbation warm-starts from
+/// this one's records.
+pub fn figure5_sweep_with(
+    planner: &Planner,
     model: &TransformerConfig,
     cluster: &ClusterSpec,
     batches: &[u64],
@@ -189,8 +209,17 @@ pub fn figure5_sweep(
     let mut rows = Vec::new();
     for method in Method::ALL {
         for &batch in batches {
-            let (result, report) =
-                best_config_with_report(model, cluster, method, batch, &kernel, opts);
+            let req = PlanRequest {
+                opts: opts.clone(),
+                ..PlanRequest::new(
+                    model.clone(),
+                    cluster.clone(),
+                    method,
+                    batch,
+                    kernel.clone(),
+                )
+            };
+            let (result, report) = planner.plan(&req);
             rows.push(SweepRow {
                 method,
                 batch,

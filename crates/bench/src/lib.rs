@@ -9,10 +9,13 @@
 //!
 //! Set `BFPP_QUICK=1` to shrink the sweeps for smoke-testing.
 
+pub mod cli;
 pub mod figures;
 pub mod report;
 pub mod robustness;
 pub mod tables;
+
+pub use cli::BenchArgs;
 
 /// True when the `BFPP_QUICK` environment variable asks for reduced
 /// sweeps.

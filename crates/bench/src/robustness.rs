@@ -11,9 +11,11 @@
 
 use bfpp_cluster::ClusterSpec;
 use bfpp_core::ScheduleKind;
+use bfpp_exec::search::{Method, SearchOptions, SearchReport, SearchResult};
 use bfpp_exec::{lower, measure_stats, KernelModel, Measurement, OverlapConfig, Perturbation};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp_planner::{PlanRequest, Planner};
 use bfpp_sim::observe::Counters;
 use bfpp_sim::{SimDuration, Solver};
 
@@ -128,6 +130,64 @@ pub fn straggler_sweep_instrumented(
         }
     }
     rows
+}
+
+/// One point of a warm re-planning sweep: the *search winner* under a
+/// straggler severity, found through the planner service.
+#[derive(Debug, Clone)]
+pub struct ReplanRow {
+    /// Straggler duration multiplier on [`STRAGGLER_DEVICE`].
+    pub severity: f64,
+    /// The best configuration the (re-)planned search found.
+    pub result: Option<SearchResult>,
+    /// What the search did — `warm_hits > 0` on every severity after the
+    /// first when the planner's warm store is live.
+    pub report: SearchReport,
+}
+
+/// The service-path counterpart of [`straggler_sweep`]: instead of
+/// re-measuring *fixed* configurations under each severity, this asks
+/// the planner to *re-search* the configuration space per severity — the
+/// "one device went slow, re-plan around it" workflow. The first
+/// severity runs cold and records a warm-start base; every later
+/// severity replays the recorded enumeration and re-solves durations
+/// only, so the sweep's cost is one search plus cheap re-solves (and
+/// each row's winner is bit-identical to a from-scratch perturbed
+/// search).
+pub fn replan_sweep(
+    planner: &Planner,
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    method: Method,
+    global_batch: u64,
+    severities: &[f64],
+    opts: &SearchOptions,
+) -> Vec<ReplanRow> {
+    let kernel = KernelModel::v100();
+    severities
+        .iter()
+        .map(|&severity| {
+            let mut opts = opts.clone();
+            opts.perturbation =
+                Perturbation::with_seed(0xB1F).with_straggler(STRAGGLER_DEVICE, severity);
+            let req = PlanRequest {
+                opts,
+                ..PlanRequest::new(
+                    model.clone(),
+                    cluster.clone(),
+                    method,
+                    global_batch,
+                    kernel.clone(),
+                )
+            };
+            let (result, report) = planner.plan(&req);
+            ReplanRow {
+                severity,
+                result,
+                report,
+            }
+        })
+        .collect()
 }
 
 /// Exports every schedule's *perturbed* timeline at `severity` as one
@@ -330,6 +390,55 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.measurement, y.measurement);
             assert_eq!(x.retention, y.retention);
+        }
+    }
+
+    #[test]
+    fn replan_sweep_warm_starts_and_matches_cold_searches() {
+        let model = bfpp_model::presets::bert_6_6b();
+        let cluster = dgx1_v100(1);
+        let opts = SearchOptions {
+            max_microbatch: 8,
+            max_loop: 16,
+            max_actions: 60_000,
+            ..SearchOptions::default()
+        };
+        let planner = Planner::new();
+        let severities = [1.0, 1.5, 2.0];
+        let rows = replan_sweep(
+            &planner,
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            16,
+            &severities,
+            &opts,
+        );
+        assert_eq!(rows.len(), severities.len());
+        // The clean first point records the warm base; each later point
+        // re-plans from it instead of re-lowering from scratch...
+        assert_eq!(rows[0].report.warm_hits, 0);
+        for row in &rows[1..] {
+            assert!(row.report.warm_hits > 0, "severity {}", row.severity);
+        }
+        // ...and every warm winner is bit-identical to a from-scratch
+        // perturbed search (fresh planner, nothing cached).
+        for row in &rows {
+            let cold = Planner::new();
+            let fresh = replan_sweep(
+                &cold,
+                &model,
+                &cluster,
+                Method::BreadthFirst,
+                16,
+                &[row.severity],
+                &opts,
+            );
+            assert_eq!(row.result, fresh[0].result, "severity {}", row.severity);
+            assert_eq!(
+                (row.report.enumerated, row.report.simulated),
+                (fresh[0].report.enumerated, fresh[0].report.simulated),
+            );
         }
     }
 }

@@ -6,10 +6,17 @@
 //! (and re-time, for checkpoint peaks) the identical schedule for each.
 //! Sharing them behind an [`Arc`] makes the marginal cost of those
 //! candidates one hash lookup.
+//!
+//! The map is split into [`NUM_SHARDS`] independently locked shards so a
+//! process-wide cache shared by many concurrent plan requests (the
+//! planner service) does not serialize every lookup on one mutex. Keyed
+//! invalidation ([`ScheduleCache::invalidate`]) drops a single entry;
+//! [`ScheduleCache::clear`] drops them all.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use bfpp_parallel::Placement;
 
@@ -17,14 +24,63 @@ use crate::schedule::{Schedule, ScheduleError, ScheduleKind};
 
 type Key = (ScheduleKind, Placement, u32);
 
-/// A shared cache of generated schedules, keyed by
-/// `(kind, placement, num_microbatches)`. Safe to share across worker
-/// threads by reference.
+/// Number of independently locked shards. A small power of two: enough
+/// to make cross-request lock contention negligible (the search holds a
+/// shard lock only for a hash-map lookup or insert, never while
+/// generating), without bloating the empty cache.
+pub const NUM_SHARDS: usize = 16;
+
+/// Per-caller cache traffic counters: how many lookups *this caller*
+/// served from the cache vs had to generate. The cache's own
+/// [`ScheduleCache::hits`]/[`ScheduleCache::misses`] totals aggregate
+/// every caller since process start, so a request sharing a process-wide
+/// cache passes its own `CacheStats` to
+/// [`ScheduleCache::get_or_generate_tracked`] to attribute traffic to
+/// itself (see `SearchReport::counters` in `bfpp-exec`).
 #[derive(Debug, Default)]
-pub struct ScheduleCache {
-    map: Mutex<HashMap<Key, Arc<Schedule>>>,
+pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Lookups this caller served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups this caller had to generate for.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared cache of generated schedules, keyed by
+/// `(kind, placement, num_microbatches)`, sharded across
+/// `NUM_SHARDS` locks. Safe to share across worker threads and across
+/// concurrent search requests by reference (or `Arc`).
+#[derive(Debug)]
+pub struct ScheduleCache {
+    shards: Vec<Mutex<HashMap<Key, Arc<Schedule>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ScheduleCache {
+    fn default() -> Self {
+        ScheduleCache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ScheduleCache {
@@ -48,16 +104,72 @@ impl ScheduleCache {
         placement: Placement,
         num_microbatches: u32,
     ) -> Result<Arc<Schedule>, ScheduleError> {
+        self.lookup(kind, placement, num_microbatches, None)
+    }
+
+    /// As [`ScheduleCache::get_or_generate`], additionally attributing
+    /// the hit or miss to the caller's own [`CacheStats`] — the
+    /// per-request accounting a process-wide shared cache needs (the
+    /// cache-wide [`ScheduleCache::hits`] totals cannot be told apart by
+    /// request).
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduleCache::get_or_generate`].
+    pub fn get_or_generate_tracked(
+        &self,
+        kind: ScheduleKind,
+        placement: Placement,
+        num_microbatches: u32,
+        stats: &CacheStats,
+    ) -> Result<Arc<Schedule>, ScheduleError> {
+        self.lookup(kind, placement, num_microbatches, Some(stats))
+    }
+
+    fn lookup(
+        &self,
+        kind: ScheduleKind,
+        placement: Placement,
+        num_microbatches: u32,
+        stats: Option<&CacheStats>,
+    ) -> Result<Arc<Schedule>, ScheduleError> {
         let key = (kind, placement, num_microbatches);
-        if let Some(s) = self.lock().get(&key) {
+        if let Some(s) = self.shard(&key).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(st) = stats {
+                st.hits.fetch_add(1, Ordering::Relaxed);
+            }
             return Ok(Arc::clone(s));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(st) = stats {
+            st.misses.fetch_add(1, Ordering::Relaxed);
+        }
         let generated = Arc::new(Schedule::generate(kind, placement, num_microbatches)?);
-        let mut map = self.lock();
+        let mut map = self.shard(&key);
         let stored = map.entry(key).or_insert(generated);
         Ok(Arc::clone(stored))
+    }
+
+    /// Drops the entry for one key, if present; returns whether an entry
+    /// was removed. Safe concurrently with lookups: in-flight `Arc`s
+    /// stay valid, later lookups regenerate.
+    pub fn invalidate(
+        &self,
+        kind: ScheduleKind,
+        placement: Placement,
+        num_microbatches: u32,
+    ) -> bool {
+        let key = (kind, placement, num_microbatches);
+        self.shard(&key).remove(&key).is_some()
+    }
+
+    /// Drops every cached schedule (the counters are kept — they record
+    /// process history, not contents).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            lock_shard(shard).clear();
+        }
     }
 
     /// Number of lookups served from the cache so far.
@@ -72,19 +184,27 @@ impl ScheduleCache {
 
     /// Number of distinct schedules currently held.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// Whether the cache holds no schedules.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.shards.iter().all(|s| lock_shard(s).is_empty())
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Key, Arc<Schedule>>> {
-        match self.map.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+    fn shard(&self, key: &Key) -> MutexGuard<'_, HashMap<Key, Arc<Schedule>>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        lock_shard(&self.shards[(hasher.finish() as usize) % NUM_SHARDS])
+    }
+}
+
+fn lock_shard(
+    shard: &Mutex<HashMap<Key, Arc<Schedule>>>,
+) -> MutexGuard<'_, HashMap<Key, Arc<Schedule>>> {
+    match shard.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
     }
 }
 
@@ -155,5 +275,56 @@ mod tests {
         });
         assert!(first.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidation_drops_one_key_and_clear_drops_all() {
+        let cache = ScheduleCache::new();
+        let p = Placement::looping(4, 2);
+        let before = cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 8)
+            .unwrap();
+        cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 16)
+            .unwrap();
+        assert!(cache.invalidate(ScheduleKind::BreadthFirst, p, 8));
+        assert!(
+            !cache.invalidate(ScheduleKind::BreadthFirst, p, 8),
+            "second invalidation finds nothing"
+        );
+        assert_eq!(cache.len(), 1);
+        // The in-flight Arc stays valid; a later lookup regenerates a
+        // fresh (equal, but distinct) schedule.
+        let after = cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 8)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(before.num_microbatches(), after.num_microbatches());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.misses() > 0, "counters survive clear");
+    }
+
+    #[test]
+    fn tracked_lookups_attribute_traffic_to_the_caller() {
+        let cache = ScheduleCache::new();
+        let p = Placement::looping(4, 2);
+        // "Request A" warms the cache.
+        let a = CacheStats::new();
+        cache
+            .get_or_generate_tracked(ScheduleKind::BreadthFirst, p, 8, &a)
+            .unwrap();
+        assert_eq!((a.hits(), a.misses()), (0, 1));
+        // "Request B" rides on A's entries: all hits from B's view, even
+        // though the cache-wide totals mix both.
+        let b = CacheStats::new();
+        cache
+            .get_or_generate_tracked(ScheduleKind::BreadthFirst, p, 8, &b)
+            .unwrap();
+        cache
+            .get_or_generate_tracked(ScheduleKind::BreadthFirst, p, 8, &b)
+            .unwrap();
+        assert_eq!((b.hits(), b.misses()), (2, 0));
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
     }
 }

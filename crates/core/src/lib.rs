@@ -63,7 +63,7 @@ mod timing;
 mod validate;
 
 pub use action::{Action, Direction};
-pub use cache::ScheduleCache;
+pub use cache::{CacheStats, ScheduleCache};
 pub use greedy::GreedyPolicy;
 pub use runs::StageRun;
 pub use schedule::{Schedule, ScheduleError, ScheduleKind};

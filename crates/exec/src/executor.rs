@@ -1,0 +1,438 @@
+//! A long-lived, work-stealing worker pool for candidate evaluation.
+//!
+//! The search engine used to spawn a fresh set of scoped threads for
+//! every evaluated chunk (`crossbeam::thread::scope`); a planning
+//! *service* evaluating many concurrent requests cannot afford a thread
+//! spawn per chunk, nor per-request pools that fight each other for
+//! cores. This module provides the databend-`PipelineThreadsExecutor`
+//! shape instead: one `Arc`'d executor created once, a fixed set of
+//! worker threads each running an `execute_with_single_worker`-style
+//! loop over its own queue, stealing from siblings when idle.
+//!
+//! Determinism: the executor never reorders *results*. Callers submit
+//! tasks that write into caller-owned, order-indexed slots and reduce
+//! serially after [`Executor::scope_run`] returns, so which worker ran
+//! which task — and in what order — is unobservable (see
+//! `exec::search`'s merge step).
+//!
+//! Scoped borrows: tasks may borrow from the submitting stack frame.
+//! [`Executor::scope_run`] erases the lifetime to enqueue, then blocks
+//! until every task of the scope has completed before returning — the
+//! same guarantee `std::thread::scope` gives, on persistent workers.
+//! The submitting thread also *helps*: while its scope has queued tasks,
+//! it executes them itself, so a scope makes progress even on a pool
+//! with zero free workers (or, transitively, when a worker submits a
+//! nested scope).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A borrowed task: runs once on some worker (or the submitter itself).
+pub type ScopedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// One submitted scope: how many of its tasks are still outstanding,
+/// the condvar its submitter sleeps on, and the first panic any of its
+/// tasks raised (re-raised on the submitter after the barrier).
+struct ScopeState {
+    remaining: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new(tasks: usize) -> Self {
+        ScopeState {
+            remaining: AtomicUsize::new(tasks),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+/// A queued unit of work: a lifetime-erased task plus the scope it
+/// reports completion to.
+struct Job {
+    scope: Arc<ScopeState>,
+    task: Box<dyn FnOnce() + Send + 'static>,
+}
+
+/// State shared by the workers and every submitter.
+struct Shared {
+    /// One queue per worker. Owners pop the front; thieves (sibling
+    /// workers and helping submitters) take from wherever they find
+    /// work. Plain mutexed deques: the search submits a handful of
+    /// coarse tasks per chunk, so queue traffic is far off the hot path.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep/wake for idle workers. The queue check is re-done under
+    /// this lock before waiting, so a push (which happens before the
+    /// notify) is never missed.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for task placement across queues.
+    next: AtomicUsize,
+}
+
+impl Shared {
+    fn lock_queue(&self, i: usize) -> MutexGuard<'_, VecDeque<Job>> {
+        match self.queues[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Pops work for worker `me`: own queue first (front), then steal a
+    /// sibling's most recently queued job (back) — the classic deque
+    /// discipline, which keeps a worker on its own stream of tasks and
+    /// sends thieves to the cold end.
+    fn pop_or_steal(&self, me: usize) -> Option<Job> {
+        if let Some(job) = self.lock_queue(me).pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            if let Some(job) = self.lock_queue((me + off) % n).pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Pops a job belonging to `scope` from any queue (for the helping
+    /// submitter, which must not run other scopes' work — it would delay
+    /// its own return behind an unrelated, possibly long task).
+    fn pop_scope_job(&self, scope: &Arc<ScopeState>) -> Option<Job> {
+        for i in 0..self.queues.len() {
+            let mut q = self.lock_queue(i);
+            if let Some(pos) = q.iter().position(|j| Arc::ptr_eq(&j.scope, scope)) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+}
+
+/// Runs one job and reports its completion (and any panic) to its
+/// scope. Never unwinds: a panicking task must not take a pooled worker
+/// down with it.
+fn run_job(job: Job) {
+    let Job { scope, task } = job;
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+        let mut slot = match scope.panic.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // First panic wins; later ones are dropped (same as
+        // `std::thread::scope`, which re-raises one).
+        slot.get_or_insert(payload);
+    }
+    if scope.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last task out: wake the submitter. Lock/unlock pairs the
+        // notify with the submitter's check-then-wait.
+        drop(scope.done.lock());
+        scope.done_cv.notify_all();
+    }
+}
+
+/// The worker body: the databend `execute_with_single_worker` loop —
+/// drain own queue, steal, then sleep until new work arrives.
+fn execute_with_single_worker(shared: &Shared, me: usize) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(job) = shared.pop_or_steal(me) {
+            run_job(job);
+            continue;
+        }
+        let guard = match shared.idle.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Re-check under the idle lock: pushes happen before notifies,
+        // so either we see the job here or the notify reaches the wait.
+        // The timeout is belt-and-braces against lost wakeups.
+        if (0..shared.queues.len()).all(|i| shared.lock_queue(i).is_empty()) {
+            let _ = shared.wake.wait_timeout(guard, Duration::from_millis(50));
+        }
+    }
+}
+
+/// A fixed pool of worker threads with per-worker queues and work
+/// stealing, shared (`Arc`'d) by every search request in the process.
+/// See the module docs for the determinism and borrowing contracts.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `threads` workers (`0` = the machine's
+    /// available parallelism). Workers start immediately and live until
+    /// the executor is dropped.
+    pub fn new(threads: usize) -> Arc<Executor> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bfpp-exec-{me}"))
+                    .spawn(move || execute_with_single_worker(&shared, me))
+                    .expect("spawning an executor worker")
+            })
+            .collect();
+        Arc::new(Executor {
+            shared,
+            workers: Mutex::new(workers),
+            threads,
+        })
+    }
+
+    /// The process-wide executor every plain `best_config*` call shares,
+    /// sized to the machine's available parallelism and created on first
+    /// use. (A planner service may also size its own.)
+    pub fn global() -> &'static Arc<Executor> {
+        static GLOBAL: OnceLock<Arc<Executor>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Executor::new(0))
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion and then returns. Tasks may borrow
+    /// from the caller's stack; the first panic raised by any task is
+    /// re-raised here after *all* tasks have finished, leaving the pool
+    /// healthy.
+    pub fn scope_run<'env>(&self, tasks: Vec<ScopedTask<'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let scope = Arc::new(ScopeState::new(tasks.len()));
+        for task in tasks {
+            // SAFETY: the borrow-carrying closure is re-typed as
+            // `'static` only to live in the queue; it is guaranteed to
+            // have *run* (or been dropped by `run_job`'s panic path)
+            // before `scope_run` returns, because this function blocks
+            // until `scope.remaining == 0` and every queued job
+            // decrements it exactly once. Hence no borrow outlives the
+            // caller's frame — the `std::thread::scope` argument.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            let i = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+            self.shared.lock_queue(i).push_back(Job {
+                scope: Arc::clone(&scope),
+                task,
+            });
+        }
+        // Wake sleeping workers (push happens-before notify).
+        drop(self.shared.idle.lock());
+        self.shared.wake.notify_all();
+
+        // Help with this scope's own tasks, then wait out stragglers
+        // that workers already claimed.
+        while scope.remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = self.shared.pop_scope_job(&scope) {
+                run_job(job);
+                continue;
+            }
+            let guard = match scope.done.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if scope.remaining.load(Ordering::Acquire) > 0 {
+                let _ = scope.done_cv.wait_timeout(guard, Duration::from_millis(50));
+            }
+        }
+        let payload = match scope.panic.lock() {
+            Ok(mut g) => g.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(self.shared.idle.lock());
+        self.shared.wake.notify_all();
+        let mut workers = match self.workers.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for handle in workers.drain(..) {
+            // A worker that panicked outside a job (impossible today)
+            // must not abort teardown.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_borrowing_tasks_to_completion() {
+        let pool = Executor::new(3);
+        let mut slots = vec![0u64; 64];
+        let tasks: Vec<ScopedTask<'_>> = slots
+            .chunks_mut(7)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let task: ScopedTask<'_> = Box::new(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 100 + j) as u64;
+                    }
+                });
+                task
+            })
+            .collect();
+        pool.scope_run(tasks);
+        for (i, chunk) in slots.chunks(7).enumerate() {
+            for (j, slot) in chunk.iter().enumerate() {
+                assert_eq!(*slot, (i * 100 + j) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_scope_is_a_noop() {
+        let pool = Executor::new(1);
+        pool.scope_run(Vec::new());
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_the_pool() {
+        let pool = Executor::new(2);
+        let counter = AtomicU64::new(0);
+        for _ in 0..20 {
+            let tasks: Vec<ScopedTask<'_>> = (0..5)
+                .map(|_| {
+                    let task: ScopedTask<'_> = Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                    task
+                })
+                .collect();
+            pool.scope_run(tasks);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_workers() {
+        let pool = Executor::new(2);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        let tasks: Vec<ScopedTask<'_>> = (0..3)
+                            .map(|_| {
+                                let task: ScopedTask<'_> = Box::new(|| {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                });
+                                task
+                            })
+                            .collect();
+                        pool.scope_run(tasks);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 10 * 3);
+    }
+
+    #[test]
+    fn panicking_task_propagates_without_poisoning_the_pool() {
+        let pool = Executor::new(2);
+        let ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<ScopedTask<'_>> = vec![
+                Box::new(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }),
+                Box::new(|| panic!("task boom")),
+                Box::new(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }),
+            ];
+            pool.scope_run(tasks);
+        }));
+        assert!(result.is_err(), "the task panic must surface");
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "siblings still ran");
+        // The pool survives and serves the next scope.
+        let tasks: Vec<ScopedTask<'_>> = vec![Box::new(|| {
+            ran.fetch_add(10, Ordering::Relaxed);
+        })];
+        pool.scope_run(tasks);
+        assert_eq!(ran.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = Executor::global();
+        let b = Executor::global();
+        assert!(Arc::ptr_eq(a, b));
+        assert!(a.threads() >= 1);
+        let hit = AtomicU64::new(0);
+        let tasks: Vec<ScopedTask<'_>> = vec![Box::new(|| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        })];
+        a.scope_run(tasks);
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = Executor::new(4);
+        let n = AtomicU64::new(0);
+        let tasks: Vec<ScopedTask<'_>> = (0..16)
+            .map(|_| {
+                let task: ScopedTask<'_> = Box::new(|| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+                task
+            })
+            .collect();
+        pool.scope_run(tasks);
+        drop(pool);
+        assert_eq!(n.load(Ordering::Relaxed), 16);
+    }
+}

@@ -56,6 +56,7 @@
 
 mod breakdown;
 pub mod candidates;
+pub mod executor;
 mod kernel;
 mod lower;
 mod measure;
@@ -65,9 +66,11 @@ pub mod observe;
 mod overlap;
 pub mod prune;
 pub mod search;
+pub mod warm;
 
 pub use breakdown::{breakdown, TimeBreakdown};
 pub use candidates::Candidate;
+pub use executor::Executor;
 pub use kernel::KernelModel;
 pub use lower::{
     lower, lower_perturbed, lower_with_schedule, lower_with_schedule_perturbed, LoweredGraph,
@@ -82,7 +85,8 @@ pub use memprof::{chrome_trace_with_memory, link_spans, memory_profile, peak_att
 pub use observe::{attribution, chrome_trace, op_category, TraceBuilder};
 pub use overlap::OverlapConfig;
 pub use prune::{lower_bound_tflops, PruneReason};
-pub use search::SearchReport;
+pub use search::{SearchEnv, SearchReport};
+pub use warm::WarmCache;
 
 // Re-exported so search/bench callers can build fault models and consume
 // memory profiles without depending on `bfpp_sim` directly.

@@ -10,7 +10,7 @@ use bfpp_core::{Schedule, ScheduleError, ScheduleKind};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{ConfigError, ParallelConfig};
 
-use bfpp_sim::{Perturbation, SimDuration, SolveScratch, SolveStats, Timeline};
+use bfpp_sim::{Perturbation, SimDuration, SolveScratch, SolveStats, Solver, Timeline};
 
 use crate::kernel::KernelModel;
 use crate::lower::{lower_perturbed, lower_with_schedule_perturbed, LoweredGraph};
@@ -198,7 +198,7 @@ thread_local! {
     static SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
 }
 
-fn measure_lowered(
+pub(crate) fn measure_lowered(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
     cfg: &ParallelConfig,
@@ -231,6 +231,40 @@ pub fn measure_timeline(
         timeline.makespan(),
         compute_busy,
     )
+}
+
+/// Measures a configuration from its *clean* base lowering under
+/// `perturbation`, re-solving durations only: the warm-start evaluation
+/// path. Bit-identical to [`simulate_with_schedule_perturbed`] on the
+/// same schedule — [`LoweredGraph::perturbed_durations`] reproduces the
+/// perturbed lowering's durations exactly, and
+/// [`bfpp_sim::Solver::solve_stats_with_durations`] + [`measure_stats`]
+/// reproduce the measurement of a full solve (both equalities are
+/// tested). `durations` is caller scratch, reused across candidates.
+/// `prebuilt` optionally supplies a workspace whose CSR index was
+/// already built for this exact lowering; the workspace (index intact)
+/// is always returned for the caller to stash against the next re-plan.
+pub(crate) fn measure_with_durations(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    lowered: &LoweredGraph,
+    perturbation: &Perturbation,
+    durations: &mut Vec<SimDuration>,
+    prebuilt: Option<SolveScratch>,
+) -> (Option<Measurement>, SolveScratch) {
+    lowered.perturbed_durations(perturbation, durations);
+    let mut solver = match prebuilt {
+        // Steady state: the record kept the built CSR index of this
+        // lowering, so even the O(V + E) rebuild is skipped.
+        Some(built) => Solver::with_prebuilt_scratch(&lowered.graph, built),
+        None => Solver::new(&lowered.graph),
+    };
+    let solved = solver.solve_stats_with_durations(durations);
+    let out = solved
+        .ok()
+        .map(|stats| measure_stats(model, cluster, cfg, lowered, &stats));
+    (out, solver.into_scratch())
 }
 
 /// As [`measure_timeline`], from the aggregate [`SolveStats`] of a solve

@@ -1,0 +1,295 @@
+//! Warm-start records: re-planning without re-enumeration.
+//!
+//! A planning service sees families of requests that differ only in
+//! *duration-affecting* parameters — the same model, cluster, method,
+//! batch and enumeration limits, re-planned under a new
+//! [`Perturbation`](bfpp_sim::Perturbation)
+//! (a straggler appeared, a link degraded). Everything the search does
+//! before simulation is perturbation-independent:
+//!
+//! * the enumerated candidate list and its order,
+//! * the closed-form memory filter (sizes only, no durations),
+//! * the Eq. (3)/(7) throughput *upper bound* of each candidate
+//!   ([`crate::prune::lower_bound_tflops`] — base durations; the search
+//!   widens it by `max_speedup()` per request).
+//!
+//! So a completed cold search records, per enumerated candidate, its
+//! `Outcome`: memory-pruned, or feasible with its throughput bound. A
+//! warm request replays that record — same chunking, same reduction —
+//! and only the simulations run, each via the duration-only re-solve
+//! path ([`crate::LoweredGraph::perturbed_durations`] +
+//! [`bfpp_sim::Solver::solve_stats_with_durations`]) over a cached clean
+//! lowering. Both legs of that substitution are bit-identical to the
+//! cold path (tested in `lower` and `bench::robustness`), which is what
+//! makes a warm search return *exactly* what the cold search would have.
+//!
+//! The record cache is bounded two ways: entry count (FIFO eviction)
+//! and per-record stored lowering size (ops), since lowerings dominate
+//! memory. A record whose lowering budget is exhausted still warm-starts
+//! — missing lowerings are rebuilt (and counted as misses, not
+//! [`warm_hits`](crate::SearchReport::warm_hits)). Each stored lowering
+//! additionally retains at most one *built* solver workspace
+//! ([`bfpp_sim::SolveScratch`], size comparable to the lowering itself),
+//! checked out and returned around each warm solve so re-plans skip the
+//! O(V + E) CSR rebuild and pay only the duration re-solve.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use bfpp_cluster::ClusterSpec;
+use bfpp_model::TransformerConfig;
+use bfpp_sim::SolveScratch;
+
+use crate::candidates::Candidate;
+use crate::lower::LoweredGraph;
+use crate::search::{Method, SearchOptions};
+
+/// The perturbation-independent fate of one enumerated candidate,
+/// recorded in enumeration order (so chunk boundaries replay exactly).
+#[derive(Debug, Clone)]
+pub(crate) enum Outcome {
+    /// Memory lower bound exceeds the device: pruned under *every*
+    /// perturbation, before any duration enters the picture.
+    Memory,
+    /// Feasible, with its throughput upper bound (Tflop/s per GPU,
+    /// unwidened). The replay re-decides throughput pruning per request:
+    /// the best-so-far trajectory depends on the perturbation.
+    Feasible { cand: Candidate, ub_tflops: f64 },
+}
+
+/// A stored clean base: the lowering plus (at most one) solver workspace
+/// whose CSR index was already built for it. The workspace circulates by
+/// take/put — a warm evaluation checks it out, re-solves durations on the
+/// prebuilt index, and returns it; concurrent sessions that lose the race
+/// simply rebuild (correctness never depends on the checkout).
+#[derive(Debug)]
+struct WarmBase {
+    lowered: Arc<LoweredGraph>,
+    scratch: Mutex<Option<SolveScratch>>,
+}
+
+/// One completed cold search, replayable under any perturbation:
+/// per-candidate outcomes plus the clean base lowerings of simulated
+/// survivors (filled lazily, bounded by the owning cache's op budget).
+#[derive(Debug)]
+pub struct SweepRecord {
+    pub(crate) outcomes: Vec<Outcome>,
+    lowerings: Mutex<HashMap<Candidate, WarmBase>>,
+    ops_stored: AtomicU64,
+    max_ops: u64,
+}
+
+impl SweepRecord {
+    pub(crate) fn new(outcomes: Vec<Outcome>, max_ops: u64) -> Self {
+        SweepRecord {
+            outcomes,
+            lowerings: Mutex::new(HashMap::new()),
+            ops_stored: AtomicU64::new(0),
+            max_ops,
+        }
+    }
+
+    /// The cached clean lowering for `cand`, if the record holds one.
+    pub(crate) fn lowering(&self, cand: &Candidate) -> Option<Arc<LoweredGraph>> {
+        self.lock_lowerings()
+            .get(cand)
+            .map(|base| Arc::clone(&base.lowered))
+    }
+
+    /// Checks out the built solver workspace stored with `cand`'s
+    /// lowering, if any. The caller should return it via
+    /// [`SweepRecord::put_scratch`] after the solve.
+    pub(crate) fn take_scratch(&self, cand: &Candidate) -> Option<SolveScratch> {
+        self.lock_lowerings()
+            .get(cand)
+            .and_then(|base| base.scratch.lock().ok()?.take())
+    }
+
+    /// Returns a built workspace to `cand`'s base (first writer wins; a
+    /// workspace for an evicted candidate is silently dropped).
+    pub(crate) fn put_scratch(&self, cand: &Candidate, scratch: SolveScratch) {
+        if let Some(base) = self.lock_lowerings().get(cand) {
+            if let Ok(mut slot) = base.scratch.lock() {
+                slot.get_or_insert(scratch);
+            }
+        }
+    }
+
+    /// Offers a clean lowering for reuse by later warm runs. Silently
+    /// dropped once the record's op budget is spent — correctness never
+    /// depends on a store succeeding.
+    pub(crate) fn store_lowering(&self, cand: Candidate, lowered: Arc<LoweredGraph>) {
+        debug_assert!(!lowered.perturbed, "warm records hold clean bases only");
+        let ops = lowered.graph.num_ops() as u64;
+        if self.ops_stored.fetch_add(ops, Ordering::Relaxed) + ops > self.max_ops {
+            self.ops_stored.fetch_sub(ops, Ordering::Relaxed);
+            return;
+        }
+        self.lock_lowerings().entry(cand).or_insert(WarmBase {
+            lowered,
+            scratch: Mutex::new(None),
+        });
+    }
+
+    /// Number of clean lowerings currently held.
+    pub fn lowerings_held(&self) -> usize {
+        self.lock_lowerings().len()
+    }
+
+    fn lock_lowerings(&self) -> MutexGuard<'_, HashMap<Candidate, WarmBase>> {
+        match self.lowerings.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The request signature a warm start must match exactly: everything
+/// that shapes enumeration and the analytic filters. Perturbation and
+/// thread count are deliberately absent — those are the parameters a
+/// warm start is allowed to vary (durations never change the candidate
+/// set, and thread count never changes any result).
+pub(crate) fn request_key(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    method: Method,
+    global_batch: u64,
+    opts: &SearchOptions,
+) -> String {
+    format!(
+        "{}{method:?}|batch={global_batch}|mm={}|ml={}|ma={}",
+        scope_prefix(model, cluster),
+        opts.max_microbatch,
+        opts.max_loop,
+        opts.max_actions,
+    )
+}
+
+/// The `(model, cluster)` prefix of [`request_key`] — the granularity of
+/// keyed invalidation (a topology or model change invalidates every
+/// batch/method record under it at once).
+fn scope_prefix(model: &TransformerConfig, cluster: &ClusterSpec) -> String {
+    format!("{model:?}|{cluster:?}|")
+}
+
+struct Entries {
+    map: HashMap<String, Arc<SweepRecord>>,
+    /// Insertion order for FIFO eviction (deterministic, unlike
+    /// hash-map iteration order).
+    order: Vec<String>,
+}
+
+/// A bounded, process-wide store of [`SweepRecord`]s, shared by every
+/// request of a planner. Concurrency-safe; an evicted or invalidated
+/// record stays valid for searches already holding its `Arc`.
+#[derive(Debug)]
+pub struct WarmCache {
+    entries: Mutex<Entries>,
+    max_entries: usize,
+    max_ops_per_record: u64,
+    warm_starts: AtomicU64,
+}
+
+impl std::fmt::Debug for Entries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entries")
+            .field("len", &self.map.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for WarmCache {
+    fn default() -> Self {
+        // 64 sweeps × 8M ops ≈ the working set of a full Figure 5 + 6 +
+        // Tables E reproduction, a few GiB at the default limits.
+        WarmCache::with_limits(64, 8_000_000)
+    }
+}
+
+impl WarmCache {
+    /// A cache with the default limits (64 records, 8M stored lowering
+    /// ops each).
+    pub fn new() -> Self {
+        WarmCache::default()
+    }
+
+    /// A cache bounded to `max_entries` records of at most
+    /// `max_ops_per_record` stored lowering ops each.
+    pub fn with_limits(max_entries: usize, max_ops_per_record: u64) -> Self {
+        WarmCache {
+            entries: Mutex::new(Entries {
+                map: HashMap::new(),
+                order: Vec::new(),
+            }),
+            max_entries: max_entries.max(1),
+            max_ops_per_record,
+            warm_starts: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn lookup(&self, key: &str) -> Option<Arc<SweepRecord>> {
+        let rec = self.lock().map.get(key).cloned();
+        if rec.is_some() {
+            self.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        rec
+    }
+
+    pub(crate) fn insert(&self, key: String, record: SweepRecord) {
+        let mut entries = self.lock();
+        if entries.map.insert(key.clone(), Arc::new(record)).is_none() {
+            entries.order.push(key);
+            while entries.order.len() > self.max_entries {
+                let evicted = entries.order.remove(0);
+                entries.map.remove(&evicted);
+            }
+        }
+    }
+
+    pub(crate) fn record_budget(&self) -> u64 {
+        self.max_ops_per_record
+    }
+
+    /// Drops every record for `(model, cluster)` — the keyed
+    /// invalidation a re-planning service issues when a cluster's
+    /// topology (or a model's definition) changes underneath its cached
+    /// sweeps. Returns how many records were dropped.
+    pub fn invalidate(&self, model: &TransformerConfig, cluster: &ClusterSpec) -> usize {
+        let prefix = scope_prefix(model, cluster);
+        let mut entries = self.lock();
+        let before = entries.map.len();
+        entries.map.retain(|k, _| !k.starts_with(&prefix));
+        entries.order.retain(|k| !k.starts_with(&prefix));
+        before - entries.map.len()
+    }
+
+    /// Drops every record.
+    pub fn clear(&self) {
+        let mut entries = self.lock();
+        entries.map.clear();
+        entries.order.clear();
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.lock().map.is_empty()
+    }
+
+    /// How many searches warm-started from this cache so far.
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Entries> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

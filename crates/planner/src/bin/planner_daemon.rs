@@ -1,0 +1,277 @@
+//! `planner_daemon` — the planner as a line-oriented service.
+//!
+//! Reads one JSON request per stdin line, runs each as a concurrent
+//! planning session over one shared [`Planner`] (shared worker pool,
+//! schedule cache, warm-start store), and streams newline-delimited
+//! JSON events to stdout. Requests submitted while earlier ones are
+//! still searching share their caches — the second request for a
+//! (model, cluster, method, batch) the daemon has already solved
+//! warm-starts instead of re-enumerating.
+//!
+//! Request format (one object per line; `model`, `batch` required):
+//!
+//! ```json
+//! {"id":"r1","model":"bert-52b","cluster":"dgx1_v100","nodes":8,
+//!  "method":"breadth_first","batch":512,"threads":2,
+//!  "max_microbatch":8,"max_loop":16,
+//!  "straggler":{"device":3,"factor":1.5},"jitter":0.01,"seed":7}
+//! ```
+//!
+//! * `model` — a name `bfpp_model::presets::by_name` knows
+//!   (`bert-52b`, `bert-6.6b`, `gpt-3`, `1t`).
+//! * `cluster` — `dgx1_v100` (default), `dgx1_v100_ethernet`,
+//!   `dgx_a100`, `dgx_a100_80gb`, `paper`, `figure1`; `nodes` scales
+//!   the node-count presets (default 8).
+//! * `method` — `breadth_first` (default), `depth_first`,
+//!   `non_looped`, `no_pipeline`.
+//! * `kernel` — `v100` (default), `a100`, `ideal`.
+//! * `straggler` / `jitter` / `link_degradation` / `seed` — the
+//!   perturbation for what-if re-planning; omitted = clean run.
+//!
+//! Responses (`id` echoes the request, or `line-N` if absent):
+//!
+//! ```json
+//! {"id":"r1","event":"improved","tflops":47.31,"dp":4,"tp":4,"pp":4,...}
+//! {"id":"r1","event":"done","ok":true,"tflops":47.31,...,"warm_start":false}
+//! {"id":"bad","event":"error","message":"unknown model \"gpt-5\""}
+//! ```
+//!
+//! EOF on stdin drains every in-flight session before exiting, so
+//! `printf '...' | planner_daemon` terminates once all streams have
+//! ended with their final event.
+
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
+
+use bfpp_cluster::{presets as clusters, ClusterSpec};
+use bfpp_exec::search::{Method, SearchOptions, SearchReport, SearchResult};
+use bfpp_exec::KernelModel;
+use bfpp_planner::json::{escape, Value};
+use bfpp_planner::{PlanEvent, PlanRequest, Planner};
+use bfpp_sim::Perturbation;
+
+fn main() {
+    let stdin = std::io::stdin();
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    let planner = Arc::new(Planner::new());
+    let mut sessions = Vec::new();
+
+    for (lineno, line) in stdin.lock().lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fallback_id = format!("line-{}", lineno + 1);
+        match parse_request(&line, &fallback_id) {
+            Ok((id, req)) => {
+                let handle = planner.submit(req);
+                let out = Arc::clone(&out);
+                // One pump thread per session: forwards its events to
+                // stdout as they arrive, interleaved with other live
+                // sessions line-by-line.
+                let pump = std::thread::spawn(move || {
+                    while let Some(ev) = handle.recv() {
+                        match ev {
+                            PlanEvent::Improved(r) => {
+                                emit(&out, &improved_line(&id, &r));
+                            }
+                            PlanEvent::Done { result, report } => {
+                                emit(&out, &done_line(&id, result.as_ref(), &report));
+                                break;
+                            }
+                        }
+                    }
+                });
+                sessions.push(pump);
+            }
+            Err((id, msg)) => emit(
+                &out,
+                &format!(
+                    "{{\"id\":\"{}\",\"event\":\"error\",\"message\":\"{}\"}}",
+                    escape(&id),
+                    escape(&msg)
+                ),
+            ),
+        }
+    }
+
+    for pump in sessions {
+        let _ = pump.join();
+    }
+    let life = planner.lifecycle();
+    eprintln!(
+        "planner_daemon: {} submitted, {} completed, {} cancelled, {} warm-started",
+        life.count("requests_submitted"),
+        life.count("requests_completed"),
+        life.count("requests_cancelled"),
+        life.count("warm_starts"),
+    );
+}
+
+fn emit(out: &Mutex<std::io::Stdout>, line: &str) {
+    let mut out = out.lock().unwrap_or_else(|p| p.into_inner());
+    writeln!(out, "{line}").expect("writing to stdout");
+    out.flush().expect("flushing stdout");
+}
+
+type ParseOutcome = Result<(String, PlanRequest), (String, String)>;
+
+fn parse_request(line: &str, fallback_id: &str) -> ParseOutcome {
+    let id_of = |v: &Value| {
+        v.get("id")
+            .and_then(Value::as_str)
+            .unwrap_or(fallback_id)
+            .to_string()
+    };
+    let v = match Value::parse(line) {
+        Ok(v) => v,
+        Err(e) => return Err((fallback_id.to_string(), e.to_string())),
+    };
+    let id = id_of(&v);
+    build_request(&v)
+        .map(|req| (id.clone(), req))
+        .map_err(|msg| (id, msg))
+}
+
+fn build_request(v: &Value) -> Result<PlanRequest, String> {
+    let model_name = v
+        .get("model")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"model\"")?;
+    let model = bfpp_model::presets::by_name(model_name)
+        .ok_or_else(|| format!("unknown model {model_name:?}"))?;
+
+    let nodes_u64 = v.get("nodes").and_then(Value::as_u64).unwrap_or(8);
+    let nodes = u32::try_from(nodes_u64).map_err(|_| "field \"nodes\" too large".to_string())?;
+    let cluster = cluster_by_name(
+        v.get("cluster")
+            .and_then(Value::as_str)
+            .unwrap_or("dgx1_v100"),
+        nodes,
+    )?;
+
+    let method = match v
+        .get("method")
+        .and_then(Value::as_str)
+        .unwrap_or("breadth_first")
+    {
+        "breadth_first" | "breadth-first" => Method::BreadthFirst,
+        "depth_first" | "depth-first" => Method::DepthFirst,
+        "non_looped" | "non-looped" => Method::NonLooped,
+        "no_pipeline" | "no-pipeline" => Method::NoPipeline,
+        other => return Err(format!("unknown method {other:?}")),
+    };
+
+    let kernel = match v.get("kernel").and_then(Value::as_str).unwrap_or("v100") {
+        "v100" => KernelModel::v100(),
+        "a100" => KernelModel::a100(),
+        "ideal" => KernelModel::ideal(),
+        other => return Err(format!("unknown kernel model {other:?}")),
+    };
+
+    let global_batch = v
+        .get("batch")
+        .and_then(Value::as_u64)
+        .ok_or("missing integer field \"batch\"")?;
+
+    let mut opts = SearchOptions::default();
+    if let Some(t) = v.get("threads").and_then(Value::as_u64) {
+        opts.threads = t as usize;
+    }
+    if let Some(m) = v.get("max_microbatch").and_then(Value::as_u64) {
+        opts.max_microbatch = m as u32;
+    }
+    if let Some(l) = v.get("max_loop").and_then(Value::as_u64) {
+        opts.max_loop = l as u32;
+    }
+    if let Some(a) = v.get("max_actions").and_then(Value::as_u64) {
+        opts.max_actions = a;
+    }
+    opts.perturbation = perturbation_of(v)?;
+    Ok(PlanRequest {
+        model,
+        cluster,
+        method,
+        global_batch,
+        kernel,
+        opts,
+        objective: Default::default(),
+    })
+}
+
+fn cluster_by_name(name: &str, nodes: u32) -> Result<ClusterSpec, String> {
+    Ok(match name {
+        "dgx1_v100" => clusters::dgx1_v100(nodes),
+        "dgx1_v100_ethernet" => clusters::dgx1_v100_ethernet(nodes),
+        "dgx_a100" => clusters::dgx_a100(nodes),
+        "dgx_a100_80gb" => clusters::dgx_a100_80gb(nodes),
+        "paper" => clusters::paper_cluster(),
+        "figure1" => clusters::figure1_cluster(),
+        other => return Err(format!("unknown cluster {other:?}")),
+    })
+}
+
+fn perturbation_of(v: &Value) -> Result<Perturbation, String> {
+    let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(0);
+    let mut p = Perturbation::with_seed(seed);
+    if let Some(s) = v.get("straggler") {
+        let device = s
+            .get("device")
+            .and_then(Value::as_u64)
+            .ok_or("straggler needs integer \"device\"")?;
+        let factor = s
+            .get("factor")
+            .and_then(Value::as_f64)
+            .ok_or("straggler needs number \"factor\"")?;
+        p = p.with_straggler(device as u32, factor);
+    }
+    if let Some(j) = v.get("jitter").and_then(Value::as_f64) {
+        p = p.with_jitter(j);
+    }
+    if let Some(l) = v.get("link_degradation").and_then(Value::as_f64) {
+        p = p.with_link_degradation(l);
+    }
+    Ok(p)
+}
+
+fn config_fields(r: &SearchResult) -> String {
+    format!(
+        "\"tflops\":{:.4},\"dp\":{},\"tp\":{},\"pp\":{},\"loops\":{},\"microbatch\":{},\"kind\":\"{:?}\"",
+        r.measurement.tflops_per_gpu,
+        r.cfg.grid.n_dp,
+        r.cfg.grid.n_tp,
+        r.cfg.grid.n_pp,
+        r.cfg.placement.n_loop(),
+        r.cfg.batch.microbatch_size,
+        r.kind,
+    )
+}
+
+fn improved_line(id: &str, r: &SearchResult) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"event\":\"improved\",{}}}",
+        escape(id),
+        config_fields(r)
+    )
+}
+
+fn done_line(id: &str, result: Option<&SearchResult>, report: &SearchReport) -> String {
+    let body = match result {
+        Some(r) => format!("\"ok\":true,{}", config_fields(r)),
+        None => "\"ok\":false".to_string(),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"event\":\"done\",{},\"enumerated\":{},\"simulated\":{},\
+         \"warm_start\":{},\"warm_hits\":{},\"cancelled\":{}}}",
+        escape(id),
+        body,
+        report.enumerated,
+        report.simulated,
+        report.counters.count("warm_start") > 0,
+        report.warm_hits,
+        report.cancelled,
+    )
+}

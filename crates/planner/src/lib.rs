@@ -1,0 +1,449 @@
+//! # bfpp-planner — the configuration search as a long-running service
+//!
+//! The paper's contribution is a *search* (§5.1: "we tested a wide
+//! variety of configurations in each case and selected the fastest
+//! one"); the `reproduce_*` binaries run that search as a batch job and
+//! exit. This crate turns it into a session layer over the engine in
+//! [`bfpp_exec::search`]:
+//!
+//! * a [`Planner`] owns the long-lived infrastructure — the process
+//!   worker pool ([`bfpp_exec::Executor`]), the shared, sharded
+//!   [`bfpp_core::ScheduleCache`], and the [`bfpp_exec::WarmCache`] of
+//!   replayable sweep records;
+//! * a [`PlanRequest`] is one unit of demand: model + cluster +
+//!   [`Method`] + batch + [`Objective`] + [`SearchOptions`] (which
+//!   carries the perturbation — the "what if device 4 runs 1.5× slow"
+//!   re-planning axis);
+//! * [`Planner::submit`] runs the request on its own session thread and
+//!   returns a [`PlanHandle`] that streams [`PlanEvent`]s — each
+//!   best-so-far improvement as the deterministic reduction finds it,
+//!   then a final `Done` — and supports graceful cancellation;
+//! * [`Planner::plan`] is the blocking single-request path the
+//!   reproduction binaries use: byte-identical to calling the engine
+//!   directly (same `SearchResult`, same `SearchReport` columns).
+//!
+//! Determinism is inherited, not re-proven: the engine's winner and
+//! headline counters are bit-identical for any thread count and any
+//! interleaving, and the shared caches only ever substitute equal values
+//! (schedules are pure functions of their key; warm records replay the
+//! exact outcome list a cold run would recompute). N concurrent
+//! requests therefore return exactly what N serial private-cache runs
+//! would — property-tested in this crate.
+//!
+//! The wire-facing half is `planner_daemon` (`src/bin`): newline-
+//! delimited JSON requests on stdin, streamed NDJSON events on stdout —
+//! see [`json`] for the dependency-free parser and DESIGN.md §12 for
+//! the architecture.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bfpp_cluster::ClusterSpec;
+use bfpp_exec::search::{
+    search_streaming, Method, SearchEnv, SearchOptions, SearchReport, SearchResult,
+};
+use bfpp_exec::{Executor, KernelModel, WarmCache};
+use bfpp_model::TransformerConfig;
+use bfpp_sim::observe::{Counters, SharedCounters};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+pub mod json;
+
+/// What a request optimizes. The engine ranks by simulated throughput
+/// (the paper's selection rule); the field exists on the wire so future
+/// objectives (e.g. robust throughput under a probe set) extend the
+/// request format instead of breaking it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Objective {
+    /// Maximize simulated Tflop/s per GPU under the request's
+    /// perturbation — the paper's §5.1 rule.
+    #[default]
+    Throughput,
+}
+
+/// One unit of planning demand: everything the engine needs to search
+/// one (method, batch) cell of one model on one cluster.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The model to place.
+    pub model: TransformerConfig,
+    /// The cluster to place it on.
+    pub cluster: ClusterSpec,
+    /// The schedule family to search.
+    pub method: Method,
+    /// Global batch size.
+    pub global_batch: u64,
+    /// The kernel-efficiency model of the accelerator.
+    pub kernel: KernelModel,
+    /// Enumeration limits, worker threads, and the perturbation (the
+    /// duration-affecting axis a warm start may vary).
+    pub opts: SearchOptions,
+    /// What to optimize.
+    pub objective: Objective,
+}
+
+impl PlanRequest {
+    /// A request with default options and objective.
+    pub fn new(
+        model: TransformerConfig,
+        cluster: ClusterSpec,
+        method: Method,
+        global_batch: u64,
+        kernel: KernelModel,
+    ) -> Self {
+        PlanRequest {
+            model,
+            cluster,
+            method,
+            global_batch,
+            kernel,
+            opts: SearchOptions::default(),
+            objective: Objective::Throughput,
+        }
+    }
+}
+
+/// One event on a request's stream.
+#[derive(Debug, Clone)]
+pub enum PlanEvent {
+    /// The reduction replaced its incumbent: a new best-so-far, emitted
+    /// in deterministic candidate order.
+    Improved(SearchResult),
+    /// The search finished (completed or cancelled — see
+    /// [`SearchReport::cancelled`]). Always the final event.
+    Done {
+        /// The winner, if anything fit.
+        result: Option<SearchResult>,
+        /// What the search did.
+        report: SearchReport,
+    },
+}
+
+/// A live (or finished) planning session: the consumer half of
+/// [`Planner::submit`].
+#[derive(Debug)]
+pub struct PlanHandle {
+    events: Receiver<PlanEvent>,
+    cancel: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl PlanHandle {
+    /// Requests graceful cancellation: the session stops at the next
+    /// chunk boundary and still emits its final [`PlanEvent::Done`]
+    /// (with [`SearchReport::cancelled`] set).
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks for the next event; `None` once the stream is exhausted
+    /// (after `Done` has been consumed).
+    pub fn recv(&self) -> Option<PlanEvent> {
+        self.events.recv().ok()
+    }
+
+    /// The event stream itself, for callers that want to `clone` it or
+    /// poll with `try_recv`.
+    pub fn events(&self) -> &Receiver<PlanEvent> {
+        &self.events
+    }
+
+    /// Drains the stream to completion and returns the final result —
+    /// the blocking "just give me the answer" path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session thread died without emitting `Done` (a bug
+    /// by construction: the session emits `Done` on every path).
+    pub fn wait(mut self) -> (Option<SearchResult>, SearchReport) {
+        let mut done = None;
+        while let Ok(ev) = self.events.recv() {
+            if let PlanEvent::Done { result, report } = ev {
+                done = Some((result, report));
+            }
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        done.expect("a planning session always ends with Done")
+    }
+}
+
+impl Drop for PlanHandle {
+    fn drop(&mut self) {
+        // Dropping the handle abandons interest: cancel the session so
+        // its thread winds down promptly, but never block the dropper.
+        self.cancel.store(true, Ordering::Relaxed);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The service: shared infrastructure plus lifecycle accounting. Create
+/// one per process (or one per test — every piece is self-contained)
+/// and submit requests from any thread.
+#[derive(Debug)]
+pub struct Planner {
+    env: SearchEnv,
+    lifecycle: SharedCounters,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new()
+    }
+}
+
+impl Planner {
+    /// A planner over the process-shared executor, a fresh shared
+    /// schedule cache, and a fresh warm-start store.
+    pub fn new() -> Planner {
+        Planner {
+            env: SearchEnv::service(),
+            lifecycle: SharedCounters::new(),
+        }
+    }
+
+    /// A planner over its own worker pool of `threads` workers (`0` =
+    /// available parallelism) — for embedding several isolated planners
+    /// in one process (tests do this).
+    pub fn with_threads(threads: usize) -> Planner {
+        Planner {
+            env: SearchEnv {
+                executor: Executor::new(threads),
+                ..SearchEnv::service()
+            },
+            lifecycle: SharedCounters::new(),
+        }
+    }
+
+    /// The environment requests run over (shared caches, executor).
+    pub fn env(&self) -> &SearchEnv {
+        &self.env
+    }
+
+    /// Request-lifecycle counters: `requests_submitted`,
+    /// `requests_completed`, `requests_cancelled`, `warm_starts`, and
+    /// the cumulative `request` wall-clock span.
+    pub fn lifecycle(&self) -> Counters {
+        self.lifecycle.snapshot()
+    }
+
+    /// Runs one request to completion on the calling thread. Exactly
+    /// the engine's [`bfpp_exec::search::best_config_with_report`]
+    /// semantics — plus the planner's shared caches and accounting.
+    pub fn plan(&self, req: &PlanRequest) -> (Option<SearchResult>, SearchReport) {
+        self.lifecycle.incr("requests_submitted");
+        let t0 = Instant::now();
+        let out = search_streaming(
+            &req.model,
+            &req.cluster,
+            req.method,
+            req.global_batch,
+            &req.kernel,
+            &req.opts,
+            &self.env,
+            None,
+            None,
+        );
+        self.finish_accounting(&out.1, t0);
+        out
+    }
+
+    /// Starts a session for `req` on its own thread and returns the
+    /// streaming handle. The session shares this planner's caches and
+    /// worker pool with every other live session.
+    pub fn submit(self: &Arc<Self>, req: PlanRequest) -> PlanHandle {
+        self.lifecycle.incr("requests_submitted");
+        let (tx, rx) = unbounded::<PlanEvent>();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let planner = Arc::clone(self);
+        let cancel_flag = Arc::clone(&cancel);
+        let worker = std::thread::Builder::new()
+            .name("bfpp-plan".to_string())
+            .spawn(move || planner.run_session(req, tx, cancel_flag))
+            .expect("spawning a planning session thread");
+        PlanHandle {
+            events: rx,
+            cancel,
+            worker: Some(worker),
+        }
+    }
+
+    fn run_session(&self, req: PlanRequest, tx: Sender<PlanEvent>, cancel: Arc<AtomicBool>) {
+        let t0 = Instant::now();
+        let improved_tx = tx.clone();
+        let mut on_improve = |r: &SearchResult| {
+            // A gone receiver is not an error: the session still runs to
+            // its cancellation check.
+            let _ = improved_tx.send(PlanEvent::Improved(r.clone()));
+        };
+        let (result, report) = search_streaming(
+            &req.model,
+            &req.cluster,
+            req.method,
+            req.global_batch,
+            &req.kernel,
+            &req.opts,
+            &self.env,
+            Some(&cancel),
+            Some(&mut on_improve),
+        );
+        self.finish_accounting(&report, t0);
+        let _ = tx.send(PlanEvent::Done { result, report });
+    }
+
+    fn finish_accounting(&self, report: &SearchReport, t0: Instant) {
+        self.lifecycle.record_span("request", t0.elapsed());
+        self.lifecycle.incr(if report.cancelled {
+            "requests_cancelled"
+        } else {
+            "requests_completed"
+        });
+        if report.counters.count("warm_start") > 0 {
+            self.lifecycle.incr("warm_starts");
+        }
+        if report.warm_hits > 0 {
+            self.lifecycle.add("warm_hits", report.warm_hits);
+        }
+    }
+
+    /// Drops every warm record for `(model, cluster)` — issue this when
+    /// a cluster's topology or a model's definition changes underneath
+    /// cached sweeps (the elastic re-planning path). Returns how many
+    /// records were dropped.
+    pub fn invalidate(&self, model: &TransformerConfig, cluster: &ClusterSpec) -> usize {
+        match &self.env.warm {
+            Some(w) => w.invalidate(model, cluster),
+            None => 0,
+        }
+    }
+
+    /// The warm-start store (always present on a planner).
+    pub fn warm(&self) -> Option<&Arc<WarmCache>> {
+        self.env.warm.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfpp_cluster::presets;
+    use bfpp_model::presets as models;
+
+    fn quick_req(method: Method, batch: u64) -> PlanRequest {
+        PlanRequest {
+            opts: SearchOptions {
+                max_microbatch: 8,
+                max_loop: 16,
+                max_actions: 60_000,
+                ..SearchOptions::default()
+            },
+            ..PlanRequest::new(
+                models::bert_6_6b(),
+                presets::dgx1_v100(8),
+                method,
+                batch,
+                KernelModel::v100(),
+            )
+        }
+    }
+
+    #[test]
+    fn plan_matches_the_engine_exactly() {
+        let planner = Planner::new();
+        let req = quick_req(Method::BreadthFirst, 16);
+        let (r, report) = planner.plan(&req);
+        let (engine_r, engine_report) = bfpp_exec::search::best_config_with_report(
+            &req.model,
+            &req.cluster,
+            req.method,
+            req.global_batch,
+            &req.kernel,
+            &req.opts,
+        );
+        assert_eq!(r, engine_r);
+        assert_eq!(
+            (report.enumerated, report.simulated, report.best),
+            (
+                engine_report.enumerated,
+                engine_report.simulated,
+                engine_report.best
+            )
+        );
+        let life = planner.lifecycle();
+        assert_eq!(life.count("requests_submitted"), 1);
+        assert_eq!(life.count("requests_completed"), 1);
+    }
+
+    #[test]
+    fn submit_streams_improvements_then_done() {
+        let planner = Arc::new(Planner::new());
+        let handle = planner.submit(quick_req(Method::BreadthFirst, 16));
+        let mut improvements = 0u32;
+        let mut done = None;
+        while let Some(ev) = handle.recv() {
+            match ev {
+                PlanEvent::Improved(r) => {
+                    improvements += 1;
+                    assert!(r.measurement.tflops_per_gpu > 0.0);
+                }
+                PlanEvent::Done { result, report } => {
+                    done = Some((result, report));
+                    break;
+                }
+            }
+        }
+        let (result, report) = done.expect("stream ends with Done");
+        assert!(result.is_some());
+        assert!(!report.cancelled);
+        assert!(improvements > 0, "at least the winner streams");
+        assert_eq!(planner.lifecycle().count("requests_completed"), 1);
+    }
+
+    #[test]
+    fn second_identical_request_warm_starts() {
+        let planner = Arc::new(Planner::new());
+        let req = quick_req(Method::BreadthFirst, 16);
+        let (cold, cold_rep) = planner.plan(&req);
+        let (warm, warm_rep) = planner.plan(&req);
+        assert_eq!(cold, warm);
+        assert_eq!(cold_rep.enumerated, warm_rep.enumerated);
+        assert!(warm_rep.warm_hits > 0, "{warm_rep:?}");
+        assert_eq!(planner.lifecycle().count("warm_starts"), 1);
+        assert!(planner.lifecycle().count("warm_hits") > 0);
+    }
+
+    #[test]
+    fn invalidation_forces_the_next_request_cold() {
+        let planner = Arc::new(Planner::new());
+        let req = quick_req(Method::BreadthFirst, 16);
+        planner.plan(&req);
+        assert_eq!(planner.invalidate(&req.model, &req.cluster), 1);
+        let (_, rep) = planner.plan(&req);
+        assert_eq!(rep.warm_hits, 0, "record was dropped: cold again");
+        assert_eq!(rep.counters.count("warm_start"), 0);
+    }
+
+    #[test]
+    fn cancelled_session_reports_cancellation() {
+        let planner = Arc::new(Planner::new());
+        let handle = planner.submit(quick_req(Method::BreadthFirst, 16));
+        handle.cancel();
+        let (_, report) = handle.wait();
+        // Either the search finished before the flag landed (tiny quick
+        // sweep) or it reports a cancelled prefix; both must account.
+        let life = planner.lifecycle();
+        assert_eq!(
+            life.count("requests_completed") + life.count("requests_cancelled"),
+            1
+        );
+        assert!(
+            report.enumerated >= report.pruned_memory + report.pruned_throughput + report.simulated
+        );
+    }
+}

@@ -55,7 +55,7 @@ pub use memprof::{
 };
 pub use observe::{
     attribute, ArgValue, Breakdown, Category, ChromeTraceWriter, Counters, OpCategory,
-    ResourceBreakdown, TraceOp, Track,
+    ResourceBreakdown, SharedCounters, TraceOp, Track,
 };
 pub use perturb::{OpClass, Perturbation};
 pub use solver::{DeadlockError, ScheduledOp, SolveScratch, SolveStats, Solver, Timeline};

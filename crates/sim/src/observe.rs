@@ -713,6 +713,62 @@ impl Counters {
     }
 }
 
+/// A concurrency-safe [`Counters`]: the request-lifecycle registry of a
+/// long-lived service, where many request threads record into one
+/// process-wide set (`requests_submitted`, `requests_completed`,
+/// per-request spans, …). Interior mutability over a plain `Counters`;
+/// reads take a [`snapshot`](SharedCounters::snapshot), so renderings
+/// are always a consistent point-in-time view.
+#[derive(Debug, Default)]
+pub struct SharedCounters {
+    inner: std::sync::Mutex<Counters>,
+}
+
+impl SharedCounters {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SharedCounters::default()
+    }
+
+    /// Adds `delta` to the named count.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.lock().add(name, delta);
+    }
+
+    /// Increments the named count by one.
+    pub fn incr(&self, name: &str) {
+        self.lock().incr(name);
+    }
+
+    /// Adds a wall-clock duration to the named span.
+    pub fn record_span(&self, name: &str, dur: Duration) {
+        self.lock().record_span(name, dur);
+    }
+
+    /// Folds a finished sub-result (e.g. one request's [`Counters`])
+    /// into the shared set.
+    pub fn merge(&self, other: &Counters) {
+        self.lock().merge(other);
+    }
+
+    /// The named count (0 if never touched).
+    pub fn count(&self, name: &str) -> u64 {
+        self.lock().count(name)
+    }
+
+    /// A consistent copy of the current state.
+    pub fn snapshot(&self) -> Counters {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // JSON well-formedness checker (for tests / examples)
 // ---------------------------------------------------------------------------

@@ -10,5 +10,6 @@ pub use bfpp_core as core;
 pub use bfpp_exec as exec;
 pub use bfpp_model as model;
 pub use bfpp_parallel as parallel;
+pub use bfpp_planner as planner;
 pub use bfpp_sim as sim;
 pub use bfpp_train as train;
