@@ -7,10 +7,18 @@
 //! share one definition of "which flags take values" instead of each
 //! re-deriving the skip-the-flag-value positional scan.
 
+use std::time::Duration;
+
 use bfpp_exec::search::SearchOptions;
 
 /// Flags whose following argument is a value, not a positional.
-const VALUED_FLAGS: &[&str] = &["--threads", "--trace", "--mem-trace"];
+const VALUED_FLAGS: &[&str] = &[
+    "--threads",
+    "--trace",
+    "--mem-trace",
+    "--deadline-ms",
+    "--max-candidates",
+];
 
 /// The parsed command line of a reproduction driver.
 #[derive(Debug, Clone)]
@@ -54,6 +62,29 @@ impl BenchArgs {
         self.args.iter().any(|a| a == name)
     }
 
+    /// The parsed `u64` value following `name`, if present and valid.
+    fn valued_u64(&self, name: &str) -> Option<u64> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// The `--deadline-ms N` search budget: stop at the bound with the
+    /// best-so-far winner and `timed_out` reported. Wall-clock, so not
+    /// part of the bit-stability contract.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.valued_u64("--deadline-ms").map(Duration::from_millis)
+    }
+
+    /// The `--max-candidates N` search budget: visit at most N
+    /// enumerated candidates. Deterministic (truncates at a fixed chunk
+    /// boundary), unlike `--deadline-ms`.
+    pub fn max_candidates(&self) -> Option<u64> {
+        self.valued_u64("--max-candidates")
+    }
+
     /// The first positional argument: the first token that neither
     /// starts with `--` nor is the value of a preceding valued flag.
     pub fn positional(&self) -> Option<&str> {
@@ -72,10 +103,13 @@ impl BenchArgs {
     }
 
     /// Search options carrying the command line's `--threads` choice
-    /// (everything else at its default).
+    /// and `--deadline-ms` / `--max-candidates` budgets (everything
+    /// else at its default).
     pub fn search_options(&self) -> SearchOptions {
         SearchOptions {
             threads: self.threads(),
+            deadline: self.deadline(),
+            max_candidates: self.max_candidates(),
             ..SearchOptions::default()
         }
     }
@@ -114,6 +148,20 @@ mod tests {
         let a = BenchArgs::new(["--threads", "3"]);
         assert_eq!(a.search_options().threads, 3);
         assert_eq!(BenchArgs::new(["x"]).search_options().threads, 0);
+    }
+
+    #[test]
+    fn budget_flags_feed_search_options() {
+        let a = BenchArgs::new(["--deadline-ms", "250", "--max-candidates", "5000", "52b"]);
+        let opts = a.search_options();
+        assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(opts.max_candidates, Some(5000));
+        // Budget values are flag values, not positionals.
+        assert_eq!(a.positional(), Some("52b"));
+        // Absent or malformed budgets fall back to unbounded.
+        let b = BenchArgs::new(["--deadline-ms", "soon"]);
+        assert_eq!(b.search_options().deadline, None);
+        assert_eq!(b.search_options().max_candidates, None);
     }
 
     #[test]

@@ -164,6 +164,25 @@ impl ScheduleCache {
         self.shard(&key).remove(&key).is_some()
     }
 
+    /// Drops every entry of one [`ScheduleKind`]; returns how many were
+    /// removed. This is the quarantine granularity a supervised planner
+    /// uses when a session dies mid-search: the failed session could
+    /// only have touched keys of its method's kinds, so dropping those
+    /// guarantees no entry it raced on outlives it. Safe concurrently
+    /// with lookups — in-flight `Arc`s stay valid, later lookups
+    /// regenerate (and a regenerated schedule is equal by construction:
+    /// schedules are pure functions of their key).
+    pub fn invalidate_kind(&self, kind: ScheduleKind) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut map = lock_shard(shard);
+            let before = map.len();
+            map.retain(|(k, _, _), _| *k != kind);
+            dropped += before - map.len();
+        }
+        dropped
+    }
+
     /// Drops every cached schedule (the counters are kept — they record
     /// process history, not contents).
     pub fn clear(&self) {
@@ -303,6 +322,29 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert!(cache.misses() > 0, "counters survive clear");
+    }
+
+    #[test]
+    fn kind_invalidation_quarantines_only_that_kind() {
+        let cache = ScheduleCache::new();
+        let p = Placement::looping(4, 2);
+        cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 8)
+            .unwrap();
+        cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 16)
+            .unwrap();
+        cache
+            .get_or_generate(ScheduleKind::DepthFirst, p, 8)
+            .unwrap();
+        assert_eq!(cache.invalidate_kind(ScheduleKind::BreadthFirst), 2);
+        assert_eq!(cache.len(), 1, "the other kind survives");
+        assert_eq!(cache.invalidate_kind(ScheduleKind::BreadthFirst), 0);
+        // A post-quarantine lookup regenerates an equal schedule.
+        let again = cache
+            .get_or_generate(ScheduleKind::BreadthFirst, p, 8)
+            .unwrap();
+        assert_eq!(again.num_microbatches(), 8);
     }
 
     #[test]

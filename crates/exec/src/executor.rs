@@ -77,6 +77,36 @@ struct Shared {
     shutdown: AtomicBool,
     /// Round-robin cursor for task placement across queues.
     next: AtomicUsize,
+    /// Workers currently running their loop. Falls below the pool size
+    /// when a worker dies (today only via an injected exit ticket; the
+    /// job path never unwinds) and is restored by the supervisor
+    /// ([`Executor::respawn_dead`]).
+    live: AtomicUsize,
+    /// Chaos hook: each ticket makes one worker exit its loop as if its
+    /// thread had died. Claimed at the top of the worker loop.
+    exit_tickets: AtomicUsize,
+    /// Chaos hook: each ticket makes one worker sleep for the given
+    /// duration before taking its next job (a transient stall, not a
+    /// death — the worker stays live and resumes).
+    stall_tickets: Mutex<Vec<Duration>>,
+    /// How many dead workers the supervisor has replaced.
+    respawned: AtomicUsize,
+}
+
+impl Shared {
+    /// Claims one injected-fault ticket, if any are pending.
+    fn claim_exit(&self) -> bool {
+        self.exit_tickets
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    fn claim_stall(&self) -> Option<Duration> {
+        match self.stall_tickets.lock() {
+            Ok(mut g) => g.pop(),
+            Err(poisoned) => poisoned.into_inner().pop(),
+        }
+    }
 }
 
 impl Shared {
@@ -141,11 +171,24 @@ fn run_job(job: Job) {
 }
 
 /// The worker body: the databend `execute_with_single_worker` loop —
-/// drain own queue, steal, then sleep until new work arrives.
-fn execute_with_single_worker(shared: &Shared, me: usize) {
+/// drain own queue, steal, then sleep until new work arrives. Returns
+/// `true` if the worker died to an injected exit ticket (the chaos
+/// path), `false` on orderly shutdown; either way the caller's guard
+/// marks the worker no longer live.
+fn execute_with_single_worker(shared: &Shared, me: usize) -> bool {
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
-            return;
+            return false;
+        }
+        if shared.claim_exit() {
+            // Simulated worker death: leave without draining. Queued
+            // jobs stay claimable by siblings and helping submitters,
+            // so no scope is stranded even before the supervisor
+            // replaces this worker.
+            return true;
+        }
+        if let Some(stall) = shared.claim_stall() {
+            std::thread::sleep(stall);
         }
         if let Some(job) = shared.pop_or_steal(me) {
             run_job(job);
@@ -156,7 +199,7 @@ fn execute_with_single_worker(shared: &Shared, me: usize) {
             Err(poisoned) => poisoned.into_inner(),
         };
         if shared.shutdown.load(Ordering::Acquire) {
-            return;
+            return false;
         }
         // Re-check under the idle lock: pushes happen before notifies,
         // so either we see the job here or the notify reaches the wait.
@@ -165,6 +208,28 @@ fn execute_with_single_worker(shared: &Shared, me: usize) {
             let _ = shared.wake.wait_timeout(guard, Duration::from_millis(50));
         }
     }
+}
+
+/// Spawns one worker thread on queue `me`. The worker decrements
+/// `live` when its loop exits for any reason, so supervision reads an
+/// accurate census even if a future worker body gains a panic path.
+fn spawn_worker(shared: &Arc<Shared>, me: usize) -> JoinHandle<()> {
+    shared.live.fetch_add(1, Ordering::AcqRel);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("bfpp-exec-{me}"))
+        .spawn(move || {
+            struct Census<'a>(&'a Shared);
+            impl Drop for Census<'_> {
+                fn drop(&mut self) {
+                    self.0.live.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            let census = Census(&shared);
+            execute_with_single_worker(&shared, me);
+            drop(census);
+        })
+        .expect("spawning an executor worker")
 }
 
 /// A fixed pool of worker threads with per-worker queues and work
@@ -202,16 +267,12 @@ impl Executor {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next: AtomicUsize::new(0),
+            live: AtomicUsize::new(0),
+            exit_tickets: AtomicUsize::new(0),
+            stall_tickets: Mutex::new(Vec::new()),
+            respawned: AtomicUsize::new(0),
         });
-        let workers = (0..threads)
-            .map(|me| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("bfpp-exec-{me}"))
-                    .spawn(move || execute_with_single_worker(&shared, me))
-                    .expect("spawning an executor worker")
-            })
-            .collect();
+        let workers = (0..threads).map(|me| spawn_worker(&shared, me)).collect();
         Arc::new(Executor {
             shared,
             workers: Mutex::new(workers),
@@ -232,6 +293,74 @@ impl Executor {
         self.threads
     }
 
+    /// Workers currently running their loop. Below
+    /// [`Executor::threads`] only while a dead worker awaits respawn.
+    pub fn live_workers(&self) -> usize {
+        self.shared.live.load(Ordering::Acquire)
+    }
+
+    /// How many dead workers the supervisor has replaced so far.
+    pub fn workers_respawned(&self) -> usize {
+        self.shared.respawned.load(Ordering::Acquire)
+    }
+
+    /// Chaos hook: make `n` workers exit their loops as if their
+    /// threads had died. Progress is never lost — queued jobs remain
+    /// claimable by surviving workers and helping submitters — but pool
+    /// capacity drops until the supervisor respawns the dead (which
+    /// [`Executor::scope_run`] triggers on its next submission).
+    pub fn inject_worker_exit(&self, n: usize) {
+        self.shared.exit_tickets.fetch_add(n, Ordering::AcqRel);
+        // Wake sleepers so parked workers notice their tickets.
+        drop(self.shared.idle.lock());
+        self.shared.wake.notify_all();
+    }
+
+    /// Chaos hook: make `n` workers sleep `stall` before taking their
+    /// next job — a transient stall (hung NIC, page fault storm), not a
+    /// death. The stalled workers stay live and resume by themselves.
+    pub fn inject_worker_stall(&self, stall: Duration, n: usize) {
+        {
+            let mut tickets = match self.shared.stall_tickets.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            tickets.extend(std::iter::repeat_n(stall, n));
+        }
+        drop(self.shared.idle.lock());
+        self.shared.wake.notify_all();
+    }
+
+    /// The supervisor: joins every worker whose thread has exited and
+    /// spawns a replacement on the same queue, restoring the pool to
+    /// its configured capacity. Returns how many workers were replaced.
+    /// Called automatically at the top of [`Executor::scope_run`], so
+    /// capacity self-heals on the next submission; callers may also
+    /// invoke it directly (e.g. a service health check).
+    pub fn respawn_dead(&self) -> usize {
+        if self.shared.shutdown.load(Ordering::Acquire)
+            || self.shared.live.load(Ordering::Acquire) >= self.threads
+        {
+            return 0;
+        }
+        let mut workers = match self.workers.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Re-check under the lock: another supervisor call may have
+        // already healed the pool.
+        let mut replaced = 0;
+        for (me, slot) in workers.iter_mut().enumerate() {
+            if slot.is_finished() {
+                // Join cannot block: the thread has already exited.
+                let _ = std::mem::replace(slot, spawn_worker(&self.shared, me)).join();
+                replaced += 1;
+            }
+        }
+        self.shared.respawned.fetch_add(replaced, Ordering::AcqRel);
+        replaced
+    }
+
     /// Runs every task to completion and then returns. Tasks may borrow
     /// from the caller's stack; the first panic raised by any task is
     /// re-raised here after *all* tasks have finished, leaving the pool
@@ -239,6 +368,13 @@ impl Executor {
     pub fn scope_run<'env>(&self, tasks: Vec<ScopedTask<'env>>) {
         if tasks.is_empty() {
             return;
+        }
+        // Self-healing: replace any worker that died since the last
+        // submission, so capacity is restored before new work queues.
+        // (Even at zero live workers the scope would still complete —
+        // the submitter helps — but at degraded parallelism.)
+        if self.shared.live.load(Ordering::Acquire) < self.threads {
+            self.respawn_dead();
         }
         let scope = Arc::new(ScopeState::new(tasks.len()));
         for task in tasks {
@@ -417,6 +553,71 @@ mod tests {
         })];
         a.scope_run(tasks);
         assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    /// Spins until `cond` holds or ~5s elapse (worker death/respawn is
+    /// asynchronous: the census updates when the thread body ends).
+    fn eventually(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..500 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("condition never held: {what}");
+    }
+
+    #[test]
+    fn killed_workers_are_respawned_and_capacity_self_heals() {
+        let pool = Executor::new(3);
+        eventually("3 workers up", || pool.live_workers() == 3);
+        pool.inject_worker_exit(2);
+        eventually("2 workers died", || pool.live_workers() == 1);
+        // The degraded pool still completes work (submitter helps).
+        let n = AtomicU64::new(0);
+        let tasks: Vec<ScopedTask<'_>> = (0..8)
+            .map(|_| {
+                let task: ScopedTask<'_> = Box::new(|| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+                task
+            })
+            .collect();
+        pool.scope_run(tasks);
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+        // The supervisor restores full capacity (scope_run already
+        // triggered it; drive it explicitly until the census settles).
+        eventually("capacity restored", || {
+            pool.respawn_dead();
+            pool.live_workers() == 3
+        });
+        assert!(pool.workers_respawned() >= 2);
+        // And the healed pool serves the next scope.
+        let tasks: Vec<ScopedTask<'_>> = vec![Box::new(|| {
+            n.fetch_add(100, Ordering::Relaxed);
+        })];
+        pool.scope_run(tasks);
+        assert_eq!(n.load(Ordering::Relaxed), 108);
+    }
+
+    #[test]
+    fn stalled_workers_recover_without_respawn() {
+        let pool = Executor::new(2);
+        eventually("2 workers up", || pool.live_workers() == 2);
+        pool.inject_worker_stall(Duration::from_millis(50), 2);
+        let n = AtomicU64::new(0);
+        let tasks: Vec<ScopedTask<'_>> = (0..6)
+            .map(|_| {
+                let task: ScopedTask<'_> = Box::new(|| {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+                task
+            })
+            .collect();
+        pool.scope_run(tasks);
+        assert_eq!(n.load(Ordering::Relaxed), 6);
+        assert_eq!(pool.live_workers(), 2, "a stall is not a death");
+        assert_eq!(pool.workers_respawned(), 0);
     }
 
     #[test]

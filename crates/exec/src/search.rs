@@ -145,6 +145,19 @@ pub struct SearchOptions {
     /// identity: the same options yield bit-identical searches for any
     /// thread count, perturbed or not.
     pub perturbation: Perturbation,
+    /// Wall-clock budget for the whole search. Checked on the same
+    /// cooperative chunk boundary as cancellation: once exceeded, the
+    /// search stops, returns its best-so-far and sets
+    /// [`SearchReport::timed_out`]. `None` = unbounded. Wall-clock by
+    /// nature, so a deadlined search is *not* bit-stable across runs —
+    /// use `max_candidates` for a deterministic budget.
+    pub deadline: Option<Duration>,
+    /// Candidate-visit budget: the search stops (with
+    /// [`SearchReport::timed_out`]) once this many enumerated
+    /// candidates have been visited. Unlike `deadline` this is
+    /// deterministic: the same budget truncates at the same chunk
+    /// boundary every run. `None` = unbounded.
+    pub max_candidates: Option<u64>,
 }
 
 impl SearchOptions {
@@ -169,6 +182,8 @@ impl Default for SearchOptions {
             max_actions: 400_000,
             threads: 0,
             perturbation: Perturbation::none(),
+            deadline: None,
+            max_candidates: None,
         }
     }
 }
@@ -272,6 +287,11 @@ pub struct SearchReport {
     /// A cancelled report's counters describe the completed prefix only,
     /// and its `best` is merely best-so-far. Not a CSV column.
     pub cancelled: bool,
+    /// Whether the search stopped at its [`SearchOptions::deadline`] or
+    /// [`SearchOptions::max_candidates`] budget before visiting every
+    /// candidate. Like `cancelled`, a timed-out report describes the
+    /// completed prefix and its `best` is best-so-far. Not a CSV column.
+    pub timed_out: bool,
     /// Instrumentation detail: phase wall-clock spans (`enumerate`,
     /// `prune`, `evaluate`, `probe`) and schedule-cache `cache_hits` /
     /// `cache_misses` counts. Diagnostic only — spans are host
@@ -333,6 +353,7 @@ impl SearchReport {
         };
         self.warm_hits += other.warm_hits;
         self.cancelled |= other.cancelled;
+        self.timed_out |= other.timed_out;
         self.counters.merge(&other.counters);
     }
 }
@@ -466,11 +487,23 @@ pub fn search_streaming(
     let mut best: Option<SearchResult> = None;
     let mut best_cand: Option<Candidate> = None;
     let mut cancelled = false;
+    let mut timed_out = false;
 
     let mut chunk_start = 0;
     while chunk_start < total {
+        // Cancellation and budgets share one cooperative checkpoint:
+        // the chunk boundary. Between checkpoints the search runs
+        // uninterrupted, so both terminate with a consistent prefix.
         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
             cancelled = true;
+            break;
+        }
+        if opts
+            .max_candidates
+            .is_some_and(|limit| chunk_start as u64 >= limit)
+            || opts.deadline.is_some_and(|d| start.elapsed() >= d)
+        {
+            timed_out = true;
             break;
         }
         let chunk_end = (chunk_start + EVAL_CHUNK).min(total);
@@ -627,9 +660,9 @@ pub fn search_streaming(
         }
     }
 
-    // A *completed* cold search becomes a warm record (a cancelled
-    // prefix would replay as a wrong candidate set).
-    if !cancelled {
+    // A *completed* cold search becomes a warm record (a cancelled or
+    // timed-out prefix would replay as a wrong candidate set).
+    if !cancelled && !timed_out {
         if let (Some(outcomes), Some(w), Some(key)) = (recorder, &env.warm, warm_key) {
             let record = SweepRecord::new(outcomes, w.record_budget());
             for (cand, lowered) in recorded_lowerings {
@@ -640,11 +673,13 @@ pub fn search_streaming(
     }
 
     report.cancelled = cancelled;
+    report.timed_out = timed_out;
     report.best = best.as_ref().map(|b| b.measurement.tflops_per_gpu);
     // Robustness columns: re-simulate the winner under the standardized
     // reference straggler probe and report how much throughput survives.
-    // Skipped when cancelled — the caller asked for the fastest exit.
-    if let (Some(b), false) = (&best, cancelled) {
+    // Skipped when cancelled or timed out — the caller asked for the
+    // fastest exit with best-so-far.
+    if let (Some(b), false) = (&best, cancelled || timed_out) {
         counters.time("probe", || {
             let probe = Perturbation::reference_probe();
             // The probe is a duration-only delta on the winner, so a warm
@@ -887,8 +922,7 @@ mod tests {
             max_microbatch: 8,
             max_loop: 16,
             max_actions: 60_000,
-            threads: 0,
-            perturbation: Perturbation::none(),
+            ..SearchOptions::default()
         }
     }
 
@@ -1106,6 +1140,7 @@ mod tests {
             retention: Some(0.877),
             warm_hits: 3,
             cancelled: false,
+            timed_out: false,
             counters: Counters::new(),
         };
         assert_eq!(
@@ -1406,6 +1441,86 @@ mod tests {
         );
         assert!(rep.cancelled);
         assert!(env.warm.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn candidate_budget_truncates_deterministically() {
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let full = best_config_with_report(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            16,
+            &k,
+            &quick_opts(),
+        );
+        assert!(full.1.enumerated > EVAL_CHUNK as u64, "needs >1 chunk");
+
+        let opts = SearchOptions {
+            max_candidates: Some(EVAL_CHUNK as u64),
+            ..quick_opts()
+        };
+        let mut first: Option<(Option<SearchResult>, SearchReport)> = None;
+        for threads in [1usize, 3] {
+            let opts = SearchOptions {
+                threads,
+                ..opts.clone()
+            };
+            let (r, rep) =
+                best_config_with_report(&model, &cluster, Method::BreadthFirst, 16, &k, &opts);
+            assert!(rep.timed_out, "budget must truncate: {rep:?}");
+            assert!(!rep.cancelled);
+            assert_eq!(
+                rep.pruned_memory + rep.pruned_throughput + rep.simulated,
+                EVAL_CHUNK as u64,
+                "exactly one chunk visited"
+            );
+            assert!(rep.robust_tflops.is_none(), "probe skipped on budget exit");
+            if let Some((pr, prep)) = &first {
+                assert_eq!(&r, pr, "threads={threads}: truncation is deterministic");
+                assert_eq!(prep.simulated, rep.simulated);
+            } else {
+                first = Some((r, rep));
+            }
+        }
+
+        // A truncated cold run must not poison the warm store.
+        let env = SearchEnv::service();
+        let (_, rep) = search_streaming(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            16,
+            &k,
+            &opts,
+            &env,
+            None,
+            None,
+        );
+        assert!(rep.timed_out);
+        assert!(env.warm.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_so_far_immediately() {
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let opts = SearchOptions {
+            deadline: Some(Duration::ZERO),
+            ..quick_opts()
+        };
+        let (r, rep) =
+            best_config_with_report(&model, &cluster, Method::BreadthFirst, 16, &k, &opts);
+        assert!(
+            r.is_none(),
+            "no chunk ran under an already-expired deadline"
+        );
+        assert!(rep.timed_out);
+        assert_eq!(rep.simulated, 0);
+        assert!(rep.enumerated > 0, "enumeration itself is accounted");
     }
 
     #[test]

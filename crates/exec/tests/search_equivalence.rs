@@ -45,6 +45,7 @@ fn searches() -> impl Strategy<Value = (Method, u64, SearchOptions)> {
                         max_actions: 20_000,
                         threads,
                         perturbation,
+                        ..SearchOptions::default()
                     },
                 )
             },
@@ -101,6 +102,7 @@ fn fixed_seed_is_bit_identical_across_runs_and_threads() {
         perturbation: Perturbation::with_seed(0xB1F)
             .with_straggler(0, 1.5)
             .with_jitter(0.08),
+        ..SearchOptions::default()
     };
     let (first, first_report) =
         best_config_with_report(&model, &cluster, Method::NonLooped, 16, &kernel, &mk(1));
@@ -153,7 +155,7 @@ fn zero_magnitude_equals_unperturbed() {
         max_loop: 8,
         max_actions: 20_000,
         threads: 2,
-        perturbation: Perturbation::none(),
+        ..SearchOptions::default()
     };
     let seeded = SearchOptions {
         perturbation: Perturbation::with_seed(31337),

@@ -1,4 +1,5 @@
-//! `planner_daemon` — the planner as a line-oriented service.
+//! `planner_daemon` — the planner as a supervised line-oriented
+//! service.
 //!
 //! Reads one JSON request per stdin line, runs each as a concurrent
 //! planning session over one shared [`Planner`] (shared worker pool,
@@ -14,6 +15,7 @@
 //! {"id":"r1","model":"bert-52b","cluster":"dgx1_v100","nodes":8,
 //!  "method":"breadth_first","batch":512,"threads":2,
 //!  "max_microbatch":8,"max_loop":16,
+//!  "deadline_ms":5000,"max_candidates":100000,
 //!  "straggler":{"device":3,"factor":1.5},"jitter":0.01,"seed":7}
 //! ```
 //!
@@ -25,253 +27,196 @@
 //! * `method` — `breadth_first` (default), `depth_first`,
 //!   `non_looped`, `no_pipeline`.
 //! * `kernel` — `v100` (default), `a100`, `ideal`.
+//! * `deadline_ms` / `max_candidates` — per-request budgets: the
+//!   search stops at the bound with its best-so-far and reports
+//!   `"timed_out":true`.
 //! * `straggler` / `jitter` / `link_degradation` / `seed` — the
 //!   perturbation for what-if re-planning; omitted = clean run.
 //!
-//! Responses (`id` echoes the request, or `line-N` if absent):
+//! The control line `{"drain": true}` cancels every live session,
+//! joins them, emits a final `{"event":"drained",...}` summary, and
+//! exits 0 — the graceful-shutdown path.
 //!
-//! ```json
-//! {"id":"r1","event":"improved","tflops":47.31,"dp":4,"tp":4,"pp":4,...}
-//! {"id":"r1","event":"done","ok":true,"tflops":47.31,...,"warm_start":false}
-//! {"id":"bad","event":"error","message":"unknown model \"gpt-5\""}
-//! ```
+//! Responses (`id` echoes the request, or `line-N` if absent) are
+//! typed by `"event"`: `improved`, `done` (terminal, with `cancelled`
+//! and `timed_out` flags), `failed` (terminal: the session panicked
+//! and was isolated — the daemon survives), `rejected` (terminal:
+//! admission control declined; resubmit later), and `error` (the line
+//! never became a session; JSON syntax errors name the byte offset in
+//! `"at"`). Malformed input is answered, never fatal: the daemon keeps
+//! reading.
+//!
+//! `--max-in-flight N` (default 32) bounds concurrent sessions —
+//! excess requests get `rejected` instead of unbounded queueing.
 //!
 //! EOF on stdin drains every in-flight session before exiting, so
 //! `printf '...' | planner_daemon` terminates once all streams have
-//! ended with their final event.
+//! ended with their terminal event.
 
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
-use bfpp_cluster::{presets as clusters, ClusterSpec};
-use bfpp_exec::search::{Method, SearchOptions, SearchReport, SearchResult};
-use bfpp_exec::KernelModel;
-use bfpp_planner::json::{escape, Value};
-use bfpp_planner::{PlanEvent, PlanRequest, Planner};
-use bfpp_sim::Perturbation;
+use bfpp_planner::wire::{
+    done_line, error_line, failed_line, improved_line, parse_line, rejected_line, Request,
+    WireError,
+};
+use bfpp_planner::{CancelToken, PlanEvent, Planner};
+use bfpp_sim::observe::Counters;
+
+/// Default admission cap: enough for every realistic interactive load,
+/// small enough that a runaway client gets `rejected` lines instead of
+/// an unbounded thread pile-up.
+const DEFAULT_MAX_IN_FLIGHT: usize = 32;
+
+/// One live (or finished) session the daemon supervises: the cancel
+/// token reaches the session, the pump thread forwards its events.
+struct Session {
+    token: CancelToken,
+    pump: JoinHandle<()>,
+}
 
 fn main() {
+    let max_in_flight = max_in_flight_arg().unwrap_or_else(|msg| {
+        eprintln!("planner_daemon: {msg}");
+        std::process::exit(2);
+    });
     let stdin = std::io::stdin();
     let out = Arc::new(Mutex::new(std::io::stdout()));
-    let planner = Arc::new(Planner::new());
-    let mut sessions = Vec::new();
+    let planner = Arc::new(Planner::with_admission(0, max_in_flight));
+    let mut sessions: Vec<Session> = Vec::new();
 
     for (lineno, line) in stdin.lock().lines().enumerate() {
+        let fallback_id = format!("line-{}", lineno + 1);
         let line = match line {
             Ok(l) => l,
-            Err(_) => break,
+            Err(e) => {
+                // An unreadable line (e.g. invalid UTF-8) is answered
+                // like any other bad input; the daemon keeps serving.
+                emit(
+                    &out,
+                    &error_line(&WireError {
+                        id: fallback_id,
+                        at: None,
+                        msg: format!("unreadable input line: {e}"),
+                    }),
+                );
+                continue;
+            }
         };
         if line.trim().is_empty() {
             continue;
         }
-        let fallback_id = format!("line-{}", lineno + 1);
-        match parse_request(&line, &fallback_id) {
-            Ok((id, req)) => {
-                let handle = planner.submit(req);
-                let out = Arc::clone(&out);
-                // One pump thread per session: forwards its events to
-                // stdout as they arrive, interleaved with other live
-                // sessions line-by-line.
-                let pump = std::thread::spawn(move || {
-                    while let Some(ev) = handle.recv() {
-                        match ev {
-                            PlanEvent::Improved(r) => {
-                                emit(&out, &improved_line(&id, &r));
-                            }
-                            PlanEvent::Done { result, report } => {
-                                emit(&out, &done_line(&id, result.as_ref(), &report));
-                                break;
+        match parse_line(&line, &fallback_id) {
+            Ok(Request::Drain) => {
+                drain(&out, &planner, std::mem::take(&mut sessions));
+                return;
+            }
+            Ok(Request::Plan { id, req }) => match planner.try_submit(*req) {
+                Ok(handle) => {
+                    let out = Arc::clone(&out);
+                    let token = handle.cancel_token();
+                    // One pump thread per session: forwards its events
+                    // to stdout as they arrive, interleaved with other
+                    // live sessions line-by-line.
+                    let pump = std::thread::spawn(move || {
+                        while let Some(ev) = handle.recv() {
+                            match ev {
+                                PlanEvent::Improved(r) => {
+                                    emit(&out, &improved_line(&id, &r));
+                                }
+                                PlanEvent::Done { result, report } => {
+                                    emit(&out, &done_line(&id, result.as_ref(), &report));
+                                    break;
+                                }
+                                PlanEvent::Failed { error } => {
+                                    emit(&out, &failed_line(&id, &error));
+                                    break;
+                                }
                             }
                         }
-                    }
-                });
-                sessions.push(pump);
-            }
-            Err((id, msg)) => emit(
-                &out,
-                &format!(
-                    "{{\"id\":\"{}\",\"event\":\"error\",\"message\":\"{}\"}}",
-                    escape(&id),
-                    escape(&msg)
-                ),
-            ),
+                    });
+                    sessions.push(Session { token, pump });
+                }
+                Err(reason) => emit(&out, &rejected_line(&id, &reason)),
+            },
+            Err(err) => emit(&out, &error_line(&err)),
         }
     }
 
-    for pump in sessions {
-        let _ = pump.join();
+    for session in sessions {
+        let _ = session.pump.join();
+    }
+    eprintln!("planner_daemon: {}", summary(&planner.lifecycle()));
+}
+
+/// The graceful-shutdown path: cancel every live session, join their
+/// pumps (each session still emits its terminal event, so clients see
+/// a complete protocol), flush counters, exit 0.
+fn drain(out: &Arc<Mutex<std::io::Stdout>>, planner: &Planner, sessions: Vec<Session>) {
+    for session in &sessions {
+        session.token.cancel();
+    }
+    for session in sessions {
+        let _ = session.pump.join();
     }
     let life = planner.lifecycle();
-    eprintln!(
-        "planner_daemon: {} submitted, {} completed, {} cancelled, {} warm-started",
+    emit(
+        out,
+        &format!(
+            "{{\"event\":\"drained\",\"submitted\":{},\"completed\":{},\"cancelled\":{},\
+             \"failed\":{},\"timed_out\":{},\"rejected\":{},\"leaked\":{}}}",
+            life.count("requests_submitted"),
+            life.count("requests_completed"),
+            life.count("requests_cancelled"),
+            life.count("requests_failed"),
+            life.count("requests_timed_out"),
+            life.count("requests_rejected"),
+            life.count("session_leaked"),
+        ),
+    );
+    eprintln!("planner_daemon: drained; {}", summary(&life));
+}
+
+fn summary(life: &Counters) -> String {
+    format!(
+        "{} submitted, {} completed, {} cancelled, {} failed, {} timed out, {} rejected, \
+         {} leaked, {} warm-started",
         life.count("requests_submitted"),
         life.count("requests_completed"),
         life.count("requests_cancelled"),
+        life.count("requests_failed"),
+        life.count("requests_timed_out"),
+        life.count("requests_rejected"),
+        life.count("session_leaked"),
         life.count("warm_starts"),
-    );
+    )
+}
+
+fn max_in_flight_arg() -> Result<usize, String> {
+    let mut args = std::env::args().skip(1);
+    let mut limit = DEFAULT_MAX_IN_FLIGHT;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-in-flight" => {
+                let v = args
+                    .next()
+                    .ok_or("--max-in-flight needs a value".to_string())?;
+                limit = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --max-in-flight value {v:?}"))?;
+                if limit == 0 {
+                    return Err("--max-in-flight must be at least 1".to_string());
+                }
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(limit)
 }
 
 fn emit(out: &Mutex<std::io::Stdout>, line: &str) {
     let mut out = out.lock().unwrap_or_else(|p| p.into_inner());
     writeln!(out, "{line}").expect("writing to stdout");
     out.flush().expect("flushing stdout");
-}
-
-type ParseOutcome = Result<(String, PlanRequest), (String, String)>;
-
-fn parse_request(line: &str, fallback_id: &str) -> ParseOutcome {
-    let id_of = |v: &Value| {
-        v.get("id")
-            .and_then(Value::as_str)
-            .unwrap_or(fallback_id)
-            .to_string()
-    };
-    let v = match Value::parse(line) {
-        Ok(v) => v,
-        Err(e) => return Err((fallback_id.to_string(), e.to_string())),
-    };
-    let id = id_of(&v);
-    build_request(&v)
-        .map(|req| (id.clone(), req))
-        .map_err(|msg| (id, msg))
-}
-
-fn build_request(v: &Value) -> Result<PlanRequest, String> {
-    let model_name = v
-        .get("model")
-        .and_then(Value::as_str)
-        .ok_or("missing string field \"model\"")?;
-    let model = bfpp_model::presets::by_name(model_name)
-        .ok_or_else(|| format!("unknown model {model_name:?}"))?;
-
-    let nodes_u64 = v.get("nodes").and_then(Value::as_u64).unwrap_or(8);
-    let nodes = u32::try_from(nodes_u64).map_err(|_| "field \"nodes\" too large".to_string())?;
-    let cluster = cluster_by_name(
-        v.get("cluster")
-            .and_then(Value::as_str)
-            .unwrap_or("dgx1_v100"),
-        nodes,
-    )?;
-
-    let method = match v
-        .get("method")
-        .and_then(Value::as_str)
-        .unwrap_or("breadth_first")
-    {
-        "breadth_first" | "breadth-first" => Method::BreadthFirst,
-        "depth_first" | "depth-first" => Method::DepthFirst,
-        "non_looped" | "non-looped" => Method::NonLooped,
-        "no_pipeline" | "no-pipeline" => Method::NoPipeline,
-        other => return Err(format!("unknown method {other:?}")),
-    };
-
-    let kernel = match v.get("kernel").and_then(Value::as_str).unwrap_or("v100") {
-        "v100" => KernelModel::v100(),
-        "a100" => KernelModel::a100(),
-        "ideal" => KernelModel::ideal(),
-        other => return Err(format!("unknown kernel model {other:?}")),
-    };
-
-    let global_batch = v
-        .get("batch")
-        .and_then(Value::as_u64)
-        .ok_or("missing integer field \"batch\"")?;
-
-    let mut opts = SearchOptions::default();
-    if let Some(t) = v.get("threads").and_then(Value::as_u64) {
-        opts.threads = t as usize;
-    }
-    if let Some(m) = v.get("max_microbatch").and_then(Value::as_u64) {
-        opts.max_microbatch = m as u32;
-    }
-    if let Some(l) = v.get("max_loop").and_then(Value::as_u64) {
-        opts.max_loop = l as u32;
-    }
-    if let Some(a) = v.get("max_actions").and_then(Value::as_u64) {
-        opts.max_actions = a;
-    }
-    opts.perturbation = perturbation_of(v)?;
-    Ok(PlanRequest {
-        model,
-        cluster,
-        method,
-        global_batch,
-        kernel,
-        opts,
-        objective: Default::default(),
-    })
-}
-
-fn cluster_by_name(name: &str, nodes: u32) -> Result<ClusterSpec, String> {
-    Ok(match name {
-        "dgx1_v100" => clusters::dgx1_v100(nodes),
-        "dgx1_v100_ethernet" => clusters::dgx1_v100_ethernet(nodes),
-        "dgx_a100" => clusters::dgx_a100(nodes),
-        "dgx_a100_80gb" => clusters::dgx_a100_80gb(nodes),
-        "paper" => clusters::paper_cluster(),
-        "figure1" => clusters::figure1_cluster(),
-        other => return Err(format!("unknown cluster {other:?}")),
-    })
-}
-
-fn perturbation_of(v: &Value) -> Result<Perturbation, String> {
-    let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(0);
-    let mut p = Perturbation::with_seed(seed);
-    if let Some(s) = v.get("straggler") {
-        let device = s
-            .get("device")
-            .and_then(Value::as_u64)
-            .ok_or("straggler needs integer \"device\"")?;
-        let factor = s
-            .get("factor")
-            .and_then(Value::as_f64)
-            .ok_or("straggler needs number \"factor\"")?;
-        p = p.with_straggler(device as u32, factor);
-    }
-    if let Some(j) = v.get("jitter").and_then(Value::as_f64) {
-        p = p.with_jitter(j);
-    }
-    if let Some(l) = v.get("link_degradation").and_then(Value::as_f64) {
-        p = p.with_link_degradation(l);
-    }
-    Ok(p)
-}
-
-fn config_fields(r: &SearchResult) -> String {
-    format!(
-        "\"tflops\":{:.4},\"dp\":{},\"tp\":{},\"pp\":{},\"loops\":{},\"microbatch\":{},\"kind\":\"{:?}\"",
-        r.measurement.tflops_per_gpu,
-        r.cfg.grid.n_dp,
-        r.cfg.grid.n_tp,
-        r.cfg.grid.n_pp,
-        r.cfg.placement.n_loop(),
-        r.cfg.batch.microbatch_size,
-        r.kind,
-    )
-}
-
-fn improved_line(id: &str, r: &SearchResult) -> String {
-    format!(
-        "{{\"id\":\"{}\",\"event\":\"improved\",{}}}",
-        escape(id),
-        config_fields(r)
-    )
-}
-
-fn done_line(id: &str, result: Option<&SearchResult>, report: &SearchReport) -> String {
-    let body = match result {
-        Some(r) => format!("\"ok\":true,{}", config_fields(r)),
-        None => "\"ok\":false".to_string(),
-    };
-    format!(
-        "{{\"id\":\"{}\",\"event\":\"done\",{},\"enumerated\":{},\"simulated\":{},\
-         \"warm_start\":{},\"warm_hits\":{},\"cancelled\":{}}}",
-        escape(id),
-        body,
-        report.enumerated,
-        report.simulated,
-        report.counters.count("warm_start") > 0,
-        report.warm_hits,
-        report.cancelled,
-    )
 }

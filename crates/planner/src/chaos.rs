@@ -1,0 +1,197 @@
+//! Service-layer fault injection: the chaos instruments a supervised
+//! planner is tested against.
+//!
+//! PR 2 gave the *training* layer a deterministic, seeded fault model
+//! (`bfpp_train::FaultPlan`: budgeted per-device panics and typed
+//! errors). This module lifts that discipline to the *service* layer:
+//! a [`SessionFault`] is a typed sabotage instrument attached to one
+//! [`PlanRequest`](crate::PlanRequest), and a [`ChaosPlan`] is a seeded
+//! generator that deals faults, deadlines and client behaviors across a
+//! fleet of concurrent sessions — the same hash-based
+//! fixed-seed ⇒ bit-identical-plan contract as
+//! [`bfpp_sim::Perturbation`].
+//!
+//! The faults are *real*: a [`SessionFault::Panic`] actually unwinds
+//! the session thread (through the engine's reduction loop), a stall
+//! actually sleeps it, and executor-level worker deaths/stalls go
+//! through [`bfpp_exec::Executor::inject_worker_exit`] /
+//! [`inject_worker_stall`](bfpp_exec::Executor::inject_worker_stall).
+//! What the supervision layer promises under them — typed terminal
+//! events, quarantined caches, self-healing capacity, bit-identical
+//! survivors — is asserted by the chaos soak test
+//! (`crates/planner/tests/chaos.rs`) and summarized in DESIGN.md §13.
+
+use std::time::Duration;
+
+/// Where in a session's lifetime an injected panic fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicPoint {
+    /// Before the engine runs: models a request whose setup path is
+    /// broken (the panic unwinds out of the session preamble).
+    BeforeSearch,
+    /// After the session has streamed `n` improvements: models a
+    /// mid-search crash, with partially published best-so-far state and
+    /// cache traffic already issued. The panic unwinds out of the
+    /// engine's serial reduction on the session thread.
+    AfterImprovements(u32),
+}
+
+/// A typed sabotage instrument for one planning session. Attached via
+/// [`PlanRequest::fault`](crate::PlanRequest::fault); `None` (the
+/// default) injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionFault {
+    /// The session thread panics at the given point. The supervisor
+    /// must convert this into a terminal
+    /// [`PlanEvent::Failed`](crate::PlanEvent::Failed) and quarantine
+    /// the caches the session touched.
+    Panic(PanicPoint),
+    /// The session thread sleeps before starting its search — a hung
+    /// worker from the client's point of view. Exercises the bounded
+    /// cancel+join path ([`PlanHandle::drop`](crate::PlanHandle) must
+    /// not block past its bound) and deadline expiry.
+    StallBeforeSearch(Duration),
+}
+
+/// Client-side behavior of one chaotic request — how the consumer of
+/// the event stream (mis)behaves. Applied by the chaos harness, not by
+/// the planner (the planner cannot tell a slow client from a thinking
+/// one; that is the point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientBehavior {
+    /// Drains the stream promptly to the terminal event.
+    Prompt,
+    /// Sleeps between `recv`s — a slow consumer. The stream buffers
+    /// (unbounded channel), so the session must finish regardless.
+    Slow(Duration),
+    /// Drops the handle after the first event — a disconnecting client.
+    /// Exercises the Drop path's bounded cancel+join.
+    Disconnect,
+}
+
+/// A seeded dealer of service-layer chaos: for each session index it
+/// deterministically picks a [`SessionFault`] (or none), a deadline (or
+/// none), and a [`ClientBehavior`]. The same seed deals the same chaos
+/// on every run and every machine — a failing soak reproduces from its
+/// printed seed alone.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPlan {
+    seed: u64,
+}
+
+impl ChaosPlan {
+    /// A plan over `seed`.
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed }
+    }
+
+    /// The seed this plan deals from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault dealt to session `i`: roughly a quarter panic, a
+    /// quarter stall, half run clean.
+    pub fn fault_for(&self, i: u64) -> Option<SessionFault> {
+        match self.roll(i, 0) % 4 {
+            0 => Some(SessionFault::Panic(if self.roll(i, 1).is_multiple_of(2) {
+                PanicPoint::BeforeSearch
+            } else {
+                PanicPoint::AfterImprovements((self.roll(i, 2) % 2) as u32 + 1)
+            })),
+            1 => Some(SessionFault::StallBeforeSearch(Duration::from_millis(
+                self.roll(i, 3) % 40,
+            ))),
+            _ => None,
+        }
+    }
+
+    /// The deadline dealt to session `i`: a quarter of sessions get a
+    /// storm-grade deadline (0–15 ms, likely to expire mid-search), the
+    /// rest run unbounded.
+    pub fn deadline_for(&self, i: u64) -> Option<Duration> {
+        match self.roll(i, 4) % 4 {
+            0 => Some(Duration::from_millis(self.roll(i, 5) % 16)),
+            _ => None,
+        }
+    }
+
+    /// The client behavior dealt to session `i`.
+    pub fn client_for(&self, i: u64) -> ClientBehavior {
+        match self.roll(i, 6) % 4 {
+            0 => ClientBehavior::Slow(Duration::from_millis(self.roll(i, 7) % 20)),
+            1 => ClientBehavior::Disconnect,
+            _ => ClientBehavior::Prompt,
+        }
+    }
+
+    /// splitmix64 over `(seed, session, stream)` — the same stateless
+    /// hash-not-state construction as `bfpp_sim::Perturbation`, so
+    /// every (session, decision) pair is independent and reproducible
+    /// in isolation.
+    fn roll(&self, session: u64, stream: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(session.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_deals_the_same_chaos() {
+        let a = ChaosPlan::new(42);
+        let b = ChaosPlan::new(42);
+        for i in 0..64 {
+            assert_eq!(a.fault_for(i), b.fault_for(i));
+            assert_eq!(a.deadline_for(i), b.deadline_for(i));
+            assert_eq!(a.client_for(i), b.client_for(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_deal_different_chaos() {
+        let a = ChaosPlan::new(1);
+        let b = ChaosPlan::new(2);
+        let differs = (0..64).any(|i| {
+            a.fault_for(i) != b.fault_for(i)
+                || a.deadline_for(i) != b.deadline_for(i)
+                || a.client_for(i) != b.client_for(i)
+        });
+        assert!(differs, "seeds must actually steer the deal");
+    }
+
+    #[test]
+    fn a_large_deal_contains_every_instrument() {
+        let plan = ChaosPlan::new(7);
+        let mut saw_panic = false;
+        let mut saw_stall = false;
+        let mut saw_clean = false;
+        let mut saw_deadline = false;
+        let mut saw_disconnect = false;
+        let mut saw_slow = false;
+        for i in 0..256 {
+            match plan.fault_for(i) {
+                Some(SessionFault::Panic(_)) => saw_panic = true,
+                Some(SessionFault::StallBeforeSearch(_)) => saw_stall = true,
+                None => saw_clean = true,
+            }
+            saw_deadline |= plan.deadline_for(i).is_some();
+            match plan.client_for(i) {
+                ClientBehavior::Disconnect => saw_disconnect = true,
+                ClientBehavior::Slow(_) => saw_slow = true,
+                ClientBehavior::Prompt => {}
+            }
+        }
+        assert!(
+            saw_panic && saw_stall && saw_clean && saw_deadline && saw_disconnect && saw_slow,
+            "a 256-session deal must exercise every instrument"
+        );
+    }
+}

@@ -13,14 +13,46 @@
 //! * a [`PlanRequest`] is one unit of demand: model + cluster +
 //!   [`Method`] + batch + [`Objective`] + [`SearchOptions`] (which
 //!   carries the perturbation — the "what if device 4 runs 1.5× slow"
-//!   re-planning axis);
+//!   re-planning axis — and the request's deadline/candidate budgets);
 //! * [`Planner::submit`] runs the request on its own session thread and
 //!   returns a [`PlanHandle`] that streams [`PlanEvent`]s — each
 //!   best-so-far improvement as the deterministic reduction finds it,
-//!   then a final `Done` — and supports graceful cancellation;
+//!   then a terminal `Done` or `Failed` — and supports graceful
+//!   cancellation;
 //! * [`Planner::plan`] is the blocking single-request path the
 //!   reproduction binaries use: byte-identical to calling the engine
 //!   directly (same `SearchResult`, same `SearchReport` columns).
+//!
+//! ## Supervision (DESIGN.md §13)
+//!
+//! A long-running service must outlive its worst request, so the
+//! session layer is *supervised*:
+//!
+//! * **Panic isolation** — a session body runs under `catch_unwind`; a
+//!   panic (the request's own, or one re-raised from an evaluation
+//!   worker) becomes a terminal [`PlanEvent::Failed`], never a silent
+//!   hang. Because the panic may have interrupted cache writes, the
+//!   supervisor *quarantines* what the session could have touched: its
+//!   `(model, cluster)` warm records and its method's
+//!   [`ScheduleKind`](bfpp_core::ScheduleKind)s in the shared schedule
+//!   cache. The executor self-heals dead workers on the next scope
+//!   ([`bfpp_exec::Executor::respawn_dead`]).
+//! * **Deadlines and budgets** — [`SearchOptions::deadline`] /
+//!   [`SearchOptions::max_candidates`] terminate a search with its
+//!   best-so-far winner and [`SearchReport::timed_out`] set, on the
+//!   same cooperative chunk-boundary path as cancellation.
+//! * **Admission control** — [`Planner::with_admission`] bounds live
+//!   sessions; [`Planner::try_submit`] returns a typed
+//!   [`RejectReason`] instead of queueing unboundedly.
+//! * **Bounded teardown** — dropping a [`PlanHandle`] cancels and joins
+//!   the session but never blocks past [`PlanHandle::set_drop_timeout`];
+//!   a session that outlives the bound is detached and surfaced as a
+//!   `session_leaked` lifecycle counter, the same
+//!   deadline-wait discipline as `bfpp_collectives` timeouts.
+//!
+//! The [`chaos`] module provides the seeded fault instruments
+//! ([`chaos::SessionFault`], [`chaos::ChaosPlan`]) these promises are
+//! soak-tested against (`tests/chaos.rs`).
 //!
 //! Determinism is inherited, not re-proven: the engine's winner and
 //! headline counters are bit-identical for any thread count and any
@@ -28,17 +60,20 @@
 //! (schedules are pure functions of their key; warm records replay the
 //! exact outcome list a cold run would recompute). N concurrent
 //! requests therefore return exactly what N serial private-cache runs
-//! would — property-tested in this crate.
+//! would — property-tested in this crate — and quarantine preserves
+//! that: dropping cache entries can only force recomputation, never
+//! change a value.
 //!
 //! The wire-facing half is `planner_daemon` (`src/bin`): newline-
 //! delimited JSON requests on stdin, streamed NDJSON events on stdout —
-//! see [`json`] for the dependency-free parser and DESIGN.md §12 for
-//! the architecture.
+//! see [`json`] for the dependency-free parser, [`wire`] for the
+//! request/response schema, and DESIGN.md §12–§13 for the architecture.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bfpp_cluster::ClusterSpec;
 use bfpp_exec::search::{
@@ -49,7 +84,17 @@ use bfpp_model::TransformerConfig;
 use bfpp_sim::observe::{Counters, SharedCounters};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use crate::chaos::{PanicPoint, SessionFault};
+
+pub mod chaos;
 pub mod json;
+pub mod wire;
+
+/// How long a dropped [`PlanHandle`] waits for its session to honor
+/// cancellation before detaching it (and counting `session_leaked`).
+/// Generous: a healthy session notices the flag at the next chunk
+/// boundary, milliseconds away.
+pub const DEFAULT_DROP_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// What a request optimizes. The engine ranks by simulated throughput
 /// (the paper's selection rule); the field exists on the wire so future
@@ -78,11 +123,15 @@ pub struct PlanRequest {
     pub global_batch: u64,
     /// The kernel-efficiency model of the accelerator.
     pub kernel: KernelModel,
-    /// Enumeration limits, worker threads, and the perturbation (the
-    /// duration-affecting axis a warm start may vary).
+    /// Enumeration limits, worker threads, deadline/candidate budgets,
+    /// and the perturbation (the duration-affecting axis a warm start
+    /// may vary).
     pub opts: SearchOptions,
     /// What to optimize.
     pub objective: Objective,
+    /// Injected sabotage, for supervision tests. `None` (the default)
+    /// runs the session clean; see [`chaos::SessionFault`].
+    pub fault: Option<SessionFault>,
 }
 
 impl PlanRequest {
@@ -102,6 +151,7 @@ impl PlanRequest {
             kernel,
             opts: SearchOptions::default(),
             objective: Objective::Throughput,
+            fault: None,
         }
     }
 }
@@ -112,14 +162,105 @@ pub enum PlanEvent {
     /// The reduction replaced its incumbent: a new best-so-far, emitted
     /// in deterministic candidate order.
     Improved(SearchResult),
-    /// The search finished (completed or cancelled — see
-    /// [`SearchReport::cancelled`]). Always the final event.
+    /// The search finished (completed, cancelled, or out of budget —
+    /// see [`SearchReport::cancelled`] / [`SearchReport::timed_out`]).
+    /// A terminal event.
     Done {
         /// The winner, if anything fit.
         result: Option<SearchResult>,
         /// What the search did.
         report: SearchReport,
     },
+    /// The session panicked. The supervisor caught the unwind,
+    /// quarantined the caches the session could have touched, and
+    /// converted the panic payload into this terminal event — a failed
+    /// request is an answer, not a hang.
+    Failed {
+        /// The panic payload, stringified.
+        error: String,
+    },
+}
+
+/// How a session ended, from [`PlanHandle::wait_outcome`].
+/// (The variant size difference mirrors the payloads themselves: a
+/// report is big, an error string is small — boxing would only push
+/// the cost onto every success path.)
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum SessionOutcome {
+    /// The search ran to a terminal `Done` (possibly cancelled or
+    /// timed out — the report says which).
+    Done {
+        /// The winner, if anything fit.
+        result: Option<SearchResult>,
+        /// What the search did.
+        report: SearchReport,
+    },
+    /// The session panicked and was isolated.
+    Failed {
+        /// The panic payload, stringified.
+        error: String,
+    },
+}
+
+/// Why [`Planner::try_submit`] declined a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The planner is at its admission limit: `in_flight` sessions are
+    /// live against a cap of `limit`. Retry after one finishes.
+    Saturated {
+        /// Live sessions at the time of the decision.
+        in_flight: usize,
+        /// The admission cap.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Saturated { in_flight, limit } => {
+                write!(
+                    f,
+                    "planner saturated: {in_flight} of {limit} sessions in flight"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// A cloneable cancellation token shared between a [`PlanHandle`] and
+/// anything else that may need to stop the session (the daemon's drain
+/// path, a deadline supervisor). Cancellation is cooperative: the
+/// engine checks at chunk boundaries and still emits its terminal
+/// event.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    fn flag(&self) -> &AtomicBool {
+        &self.flag
+    }
 }
 
 /// A live (or finished) planning session: the consumer half of
@@ -127,26 +268,41 @@ pub enum PlanEvent {
 #[derive(Debug)]
 pub struct PlanHandle {
     events: Receiver<PlanEvent>,
-    cancel: Arc<AtomicBool>,
+    cancel: CancelToken,
     worker: Option<JoinHandle<()>>,
+    lifecycle: Arc<SharedCounters>,
+    drop_timeout: Duration,
 }
 
 impl PlanHandle {
     /// Requests graceful cancellation: the session stops at the next
-    /// chunk boundary and still emits its final [`PlanEvent::Done`]
-    /// (with [`SearchReport::cancelled`] set).
+    /// chunk boundary and still emits its terminal event.
     pub fn cancel(&self) {
-        self.cancel.store(true, Ordering::Relaxed);
+        self.cancel.cancel();
+    }
+
+    /// A cloneable token that cancels this session — hand it to a
+    /// supervisor (the daemon's drain path does) without borrowing the
+    /// handle.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Bounds how long [`Drop`] waits for the cancelled session to
+    /// finish before detaching it (default
+    /// [`DEFAULT_DROP_TIMEOUT`]).
+    pub fn set_drop_timeout(&mut self, timeout: Duration) {
+        self.drop_timeout = timeout;
     }
 
     /// Blocks for the next event; `None` once the stream is exhausted
-    /// (after `Done` has been consumed).
+    /// (after the terminal event has been consumed).
     pub fn recv(&self) -> Option<PlanEvent> {
         self.events.recv().ok()
     }
 
     /// The event stream itself, for callers that want to `clone` it or
-    /// poll with `try_recv`.
+    /// poll with `try_recv` / `recv_timeout`.
     pub fn events(&self) -> &Receiver<PlanEvent> {
         &self.events
     }
@@ -156,30 +312,83 @@ impl PlanHandle {
     ///
     /// # Panics
     ///
-    /// Panics if the session thread died without emitting `Done` (a bug
-    /// by construction: the session emits `Done` on every path).
-    pub fn wait(mut self) -> (Option<SearchResult>, SearchReport) {
-        let mut done = None;
+    /// Panics if the session itself panicked ([`PlanEvent::Failed`]) —
+    /// callers that supervise failures use
+    /// [`wait_outcome`](PlanHandle::wait_outcome) instead — or if the session thread
+    /// died without a terminal event (impossible by construction: the
+    /// supervisor emits one on every path).
+    pub fn wait(self) -> (Option<SearchResult>, SearchReport) {
+        match self.wait_outcome() {
+            SessionOutcome::Done { result, report } => (result, report),
+            SessionOutcome::Failed { error } => {
+                panic!("planning session failed: {error}")
+            }
+        }
+    }
+
+    /// Drains the stream to completion and returns how the session
+    /// ended — the failure-aware sibling of [`wait`](PlanHandle::wait).
+    pub fn wait_outcome(mut self) -> SessionOutcome {
+        let mut outcome = None;
         while let Ok(ev) = self.events.recv() {
-            if let PlanEvent::Done { result, report } = ev {
-                done = Some((result, report));
+            match ev {
+                PlanEvent::Improved(_) => {}
+                PlanEvent::Done { result, report } => {
+                    outcome = Some(SessionOutcome::Done { result, report });
+                }
+                PlanEvent::Failed { error } => {
+                    outcome = Some(SessionOutcome::Failed { error });
+                }
             }
         }
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
-        done.expect("a planning session always ends with Done")
+        outcome.expect("a planning session always ends with a terminal event")
     }
 }
 
 impl Drop for PlanHandle {
     fn drop(&mut self) {
         // Dropping the handle abandons interest: cancel the session so
-        // its thread winds down promptly, but never block the dropper.
-        self.cancel.store(true, Ordering::Relaxed);
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        // its thread winds down promptly, then wait — but only up to
+        // the drop bound. An unbounded join here would let one wedged
+        // session hang every dropper (the daemon's pump threads, test
+        // teardown); past the bound the thread is detached and the leak
+        // is surfaced as a counter instead.
+        self.cancel.cancel();
+        let Some(worker) = self.worker.take() else {
+            return;
+        };
+        let deadline = Instant::now() + self.drop_timeout;
+        loop {
+            if worker.is_finished() {
+                let _ = worker.join();
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.lifecycle.incr("session_leaked");
+                return;
+            }
+            // Drain (and discard) buffered events while waiting so the
+            // wait doubles as stream teardown; timeout keeps each step
+            // bounded.
+            let step = (deadline - now).min(Duration::from_millis(5));
+            let _ = self.events.recv_timeout(step);
         }
+    }
+}
+
+/// Decrements the planner's in-flight census when a session ends, on
+/// every path — normal return, panic, or detachment by a bounded drop.
+struct InFlightSlot {
+    planner: Arc<Planner>,
+}
+
+impl Drop for InFlightSlot {
+    fn drop(&mut self) {
+        self.planner.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -189,7 +398,9 @@ impl Drop for PlanHandle {
 #[derive(Debug)]
 pub struct Planner {
     env: SearchEnv,
-    lifecycle: SharedCounters,
+    lifecycle: Arc<SharedCounters>,
+    in_flight: AtomicUsize,
+    max_in_flight: Option<usize>,
 }
 
 impl Default for Planner {
@@ -200,11 +411,14 @@ impl Default for Planner {
 
 impl Planner {
     /// A planner over the process-shared executor, a fresh shared
-    /// schedule cache, and a fresh warm-start store.
+    /// schedule cache, and a fresh warm-start store. No admission
+    /// limit.
     pub fn new() -> Planner {
         Planner {
             env: SearchEnv::service(),
-            lifecycle: SharedCounters::new(),
+            lifecycle: Arc::new(SharedCounters::new()),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: None,
         }
     }
 
@@ -217,7 +431,20 @@ impl Planner {
                 executor: Executor::new(threads),
                 ..SearchEnv::service()
             },
-            lifecycle: SharedCounters::new(),
+            lifecycle: Arc::new(SharedCounters::new()),
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: None,
+        }
+    }
+
+    /// A planner with its own pool and an admission cap: at most
+    /// `limit` sessions live at once;
+    /// [`try_submit`](Planner::try_submit) rejects the rest with a typed
+    /// [`RejectReason`] instead of queueing unboundedly.
+    pub fn with_admission(threads: usize, limit: usize) -> Planner {
+        Planner {
+            max_in_flight: Some(limit.max(1)),
+            ..Planner::with_threads(threads)
         }
     }
 
@@ -227,15 +454,29 @@ impl Planner {
     }
 
     /// Request-lifecycle counters: `requests_submitted`,
-    /// `requests_completed`, `requests_cancelled`, `warm_starts`, and
-    /// the cumulative `request` wall-clock span.
+    /// `requests_completed`, `requests_cancelled`, `requests_failed`,
+    /// `requests_timed_out`, `requests_rejected`, `session_leaked`,
+    /// `warm_starts`, `warm_hits`, the quarantine drop counts, and the
+    /// cumulative `request` wall-clock span.
     pub fn lifecycle(&self) -> Counters {
         self.lifecycle.snapshot()
+    }
+
+    /// Sessions currently live (admitted and not yet terminal).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// The admission cap, if this planner has one.
+    pub fn admission_limit(&self) -> Option<usize> {
+        self.max_in_flight
     }
 
     /// Runs one request to completion on the calling thread. Exactly
     /// the engine's [`bfpp_exec::search::best_config_with_report`]
     /// semantics — plus the planner's shared caches and accounting.
+    /// Bypasses admission (the caller's thread is the capacity) and
+    /// ignores any injected fault.
     pub fn plan(&self, req: &PlanRequest) -> (Option<SearchResult>, SearchReport) {
         self.lifecycle.incr("requests_submitted");
         let t0 = Instant::now();
@@ -257,50 +498,145 @@ impl Planner {
     /// Starts a session for `req` on its own thread and returns the
     /// streaming handle. The session shares this planner's caches and
     /// worker pool with every other live session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this planner has an admission limit and is saturated —
+    /// capped planners submit through
+    /// [`try_submit`](Planner::try_submit).
     pub fn submit(self: &Arc<Self>, req: PlanRequest) -> PlanHandle {
+        self.try_submit(req)
+            .expect("submit on a saturated planner; use try_submit")
+    }
+
+    /// Starts a session for `req` if the planner has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RejectReason::Saturated`] (and counts
+    /// `requests_rejected`) when the admission cap is reached. The
+    /// request is returned to the caller by value loss only — nothing
+    /// was queued, nothing runs.
+    pub fn try_submit(self: &Arc<Self>, req: PlanRequest) -> Result<PlanHandle, RejectReason> {
+        if let Some(limit) = self.max_in_flight {
+            let admitted = self
+                .in_flight
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    (n < limit).then_some(n + 1)
+                })
+                .is_ok();
+            if !admitted {
+                self.lifecycle.incr("requests_rejected");
+                return Err(RejectReason::Saturated {
+                    in_flight: limit,
+                    limit,
+                });
+            }
+        } else {
+            self.in_flight.fetch_add(1, Ordering::AcqRel);
+        }
         self.lifecycle.incr("requests_submitted");
         let (tx, rx) = unbounded::<PlanEvent>();
-        let cancel = Arc::new(AtomicBool::new(false));
+        let cancel = CancelToken::new();
         let planner = Arc::clone(self);
-        let cancel_flag = Arc::clone(&cancel);
+        let token = cancel.clone();
+        let slot = InFlightSlot {
+            planner: Arc::clone(self),
+        };
         let worker = std::thread::Builder::new()
             .name("bfpp-plan".to_string())
-            .spawn(move || planner.run_session(req, tx, cancel_flag))
+            .spawn(move || {
+                let _slot = slot;
+                planner.run_session(req, tx, token);
+            })
             .expect("spawning a planning session thread");
-        PlanHandle {
+        Ok(PlanHandle {
             events: rx,
             cancel,
             worker: Some(worker),
+            lifecycle: Arc::clone(&self.lifecycle),
+            drop_timeout: DEFAULT_DROP_TIMEOUT,
+        })
+    }
+
+    /// The supervised session body. Everything that can unwind — the
+    /// request's own fault, a panic re-raised from an evaluation worker
+    /// by `scope_run`, a bug in the engine — is caught here and turned
+    /// into a terminal event; the thread itself never dies mid-protocol.
+    fn run_session(&self, req: PlanRequest, tx: Sender<PlanEvent>, cancel: CancelToken) {
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            match req.fault {
+                Some(SessionFault::Panic(PanicPoint::BeforeSearch)) => {
+                    panic!("injected fault: session panic before search")
+                }
+                Some(SessionFault::StallBeforeSearch(stall)) => std::thread::sleep(stall),
+                Some(SessionFault::Panic(PanicPoint::AfterImprovements(_))) | None => {}
+            }
+            let improved_tx = tx.clone();
+            let mut improvements = 0u32;
+            let mut on_improve = |r: &SearchResult| {
+                improvements += 1;
+                // A gone receiver is not an error: the session still
+                // runs to its cancellation check.
+                let _ = improved_tx.send(PlanEvent::Improved(r.clone()));
+                if let Some(SessionFault::Panic(PanicPoint::AfterImprovements(n))) = req.fault {
+                    if improvements >= n {
+                        panic!("injected fault: session panic after {improvements} improvements")
+                    }
+                }
+            };
+            search_streaming(
+                &req.model,
+                &req.cluster,
+                req.method,
+                req.global_batch,
+                &req.kernel,
+                &req.opts,
+                &self.env,
+                Some(cancel.flag()),
+                Some(&mut on_improve),
+            )
+        }));
+        match outcome {
+            Ok((result, report)) => {
+                self.finish_accounting(&report, t0);
+                let _ = tx.send(PlanEvent::Done { result, report });
+            }
+            Err(payload) => {
+                self.quarantine(&req);
+                self.lifecycle.record_span("request", t0.elapsed());
+                self.lifecycle.incr("requests_failed");
+                let _ = tx.send(PlanEvent::Failed {
+                    error: panic_message(payload),
+                });
+            }
         }
     }
 
-    fn run_session(&self, req: PlanRequest, tx: Sender<PlanEvent>, cancel: Arc<AtomicBool>) {
-        let t0 = Instant::now();
-        let improved_tx = tx.clone();
-        let mut on_improve = |r: &SearchResult| {
-            // A gone receiver is not an error: the session still runs to
-            // its cancellation check.
-            let _ = improved_tx.send(PlanEvent::Improved(r.clone()));
-        };
-        let (result, report) = search_streaming(
-            &req.model,
-            &req.cluster,
-            req.method,
-            req.global_batch,
-            &req.kernel,
-            &req.opts,
-            &self.env,
-            Some(&cancel),
-            Some(&mut on_improve),
-        );
-        self.finish_accounting(&report, t0);
-        let _ = tx.send(PlanEvent::Done { result, report });
+    /// Drops every cache entry a failed session could have been writing
+    /// when it died: its `(model, cluster)` warm records and its
+    /// method's schedule kinds. Over-approximate on purpose — caches
+    /// only ever substitute equal values, so quarantine can cost clean
+    /// sessions a recomputation but never an answer.
+    fn quarantine(&self, req: &PlanRequest) {
+        let warm_dropped = self.invalidate(&req.model, &req.cluster);
+        let mut schedules_dropped = 0;
+        for kind in req.method.kinds() {
+            schedules_dropped += self.env.schedules.invalidate_kind(*kind);
+        }
+        self.lifecycle
+            .add("quarantined_warm_records", warm_dropped as u64);
+        self.lifecycle
+            .add("quarantined_schedules", schedules_dropped as u64);
     }
 
     fn finish_accounting(&self, report: &SearchReport, t0: Instant) {
         self.lifecycle.record_span("request", t0.elapsed());
         self.lifecycle.incr(if report.cancelled {
             "requests_cancelled"
+        } else if report.timed_out {
+            "requests_timed_out"
         } else {
             "requests_completed"
         });
@@ -329,6 +665,18 @@ impl Planner {
     }
 }
 
+/// Renders a caught panic payload — `&str` and `String` payloads (all
+/// of `panic!`'s) verbatim, anything else by type-erased placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "session panicked with a non-string payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +699,18 @@ mod tests {
                 KernelModel::v100(),
             )
         }
+    }
+
+    /// Spin until `cond` holds (bounded): supervision state (in-flight
+    /// census, detached session teardown) settles asynchronously.
+    fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+        for _ in 0..1000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting for: {what}");
     }
 
     #[test]
@@ -396,6 +756,7 @@ mod tests {
                     done = Some((result, report));
                     break;
                 }
+                PlanEvent::Failed { error } => panic!("clean session failed: {error}"),
             }
         }
         let (result, report) = done.expect("stream ends with Done");
@@ -403,6 +764,7 @@ mod tests {
         assert!(!report.cancelled);
         assert!(improvements > 0, "at least the winner streams");
         assert_eq!(planner.lifecycle().count("requests_completed"), 1);
+        eventually("in-flight census drains", || planner.in_flight() == 0);
     }
 
     #[test]
@@ -445,5 +807,114 @@ mod tests {
         assert!(
             report.enumerated >= report.pruned_memory + report.pruned_throughput + report.simulated
         );
+    }
+
+    #[test]
+    fn panicked_session_becomes_a_failed_event_and_quarantines() {
+        let planner = Arc::new(Planner::with_threads(2));
+        let req = quick_req(Method::BreadthFirst, 16);
+        // Seed both caches so the quarantine has something to drop.
+        planner.plan(&req);
+        assert!(!planner.env().schedules.is_empty());
+        assert_eq!(planner.warm().unwrap().len(), 1);
+
+        let mut sabotaged = req.clone();
+        sabotaged.fault = Some(SessionFault::Panic(PanicPoint::AfterImprovements(1)));
+        match planner.submit(sabotaged).wait_outcome() {
+            SessionOutcome::Failed { error } => {
+                assert!(error.contains("injected fault"), "{error}")
+            }
+            SessionOutcome::Done { .. } => panic!("sabotaged session must fail"),
+        }
+
+        let life = planner.lifecycle();
+        assert_eq!(life.count("requests_failed"), 1);
+        assert!(life.count("quarantined_schedules") > 0, "{life:?}");
+        assert!(life.count("quarantined_warm_records") > 0, "{life:?}");
+        assert_eq!(planner.warm().unwrap().len(), 0, "warm record quarantined");
+
+        // The planner is still serviceable, and a re-plan (now cold
+        // again) reproduces the original answer bit-for-bit.
+        let (again, _) = planner.plan(&req);
+        let fresh = Arc::new(Planner::with_threads(2));
+        let (isolated, _) = fresh.plan(&req);
+        assert_eq!(again, isolated);
+        eventually("in-flight census drains", || planner.in_flight() == 0);
+    }
+
+    #[test]
+    fn pre_search_panic_still_terminates_the_stream() {
+        let planner = Arc::new(Planner::with_threads(1));
+        let mut req = quick_req(Method::DepthFirst, 8);
+        req.fault = Some(SessionFault::Panic(PanicPoint::BeforeSearch));
+        match planner.submit(req).wait_outcome() {
+            SessionOutcome::Failed { error } => {
+                assert!(error.contains("before search"), "{error}")
+            }
+            SessionOutcome::Done { .. } => panic!("pre-search panic must fail the session"),
+        }
+        assert_eq!(planner.lifecycle().count("requests_failed"), 1);
+    }
+
+    #[test]
+    fn saturated_planner_rejects_with_a_typed_reason() {
+        let planner = Arc::new(Planner::with_admission(1, 1));
+        let mut holder = quick_req(Method::BreadthFirst, 16);
+        holder.fault = Some(SessionFault::StallBeforeSearch(Duration::from_millis(300)));
+        let held = planner.submit(holder);
+
+        let rejected = planner.try_submit(quick_req(Method::DepthFirst, 8));
+        match rejected {
+            Err(RejectReason::Saturated { in_flight, limit }) => {
+                assert_eq!((in_flight, limit), (1, 1));
+            }
+            Ok(_) => panic!("saturated planner must reject"),
+        }
+        assert_eq!(planner.lifecycle().count("requests_rejected"), 1);
+
+        // Capacity returns once the holder finishes.
+        let _ = held.wait();
+        eventually("slot drains after terminal event", || {
+            planner.in_flight() == 0
+        });
+        let (r, _) = planner
+            .try_submit(quick_req(Method::DepthFirst, 8))
+            .expect("drained planner admits again")
+            .wait();
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn dropping_a_stalled_handle_is_bounded_and_counted() {
+        let planner = Arc::new(Planner::with_threads(1));
+        let mut req = quick_req(Method::BreadthFirst, 16);
+        req.fault = Some(SessionFault::StallBeforeSearch(Duration::from_millis(800)));
+        let mut handle = planner.submit(req);
+        handle.set_drop_timeout(Duration::from_millis(20));
+        let t0 = Instant::now();
+        drop(handle);
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "drop must respect its bound, took {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(planner.lifecycle().count("session_leaked"), 1);
+        // The detached session still terminates and drains the census.
+        eventually("leaked session eventually exits", || {
+            planner.in_flight() == 0
+        });
+    }
+
+    #[test]
+    fn deadline_expiry_counts_requests_timed_out() {
+        let planner = Arc::new(Planner::with_threads(1));
+        let mut req = quick_req(Method::BreadthFirst, 16);
+        req.opts.deadline = Some(Duration::ZERO);
+        let (r, report) = planner.plan(&req);
+        assert!(r.is_none());
+        assert!(report.timed_out);
+        let life = planner.lifecycle();
+        assert_eq!(life.count("requests_timed_out"), 1);
+        assert_eq!(life.count("requests_completed"), 0);
     }
 }

@@ -1,0 +1,382 @@
+//! The daemon's wire schema: NDJSON request parsing and response-line
+//! building, factored out of the `planner_daemon` binary so every
+//! branch — including the malformed-input ones the supervision story
+//! depends on — is unit-testable without a subprocess.
+//!
+//! One JSON object per line in; one JSON object per line out. Inbound
+//! lines are either a planning request (`{"model": ..., "batch": ...}`
+//! plus options — see the `planner_daemon` docs for the full field
+//! list) or the control line `{"drain": true}`, which asks the daemon
+//! to cancel and join every live session, flush its lifecycle counters,
+//! and exit cleanly.
+//!
+//! Outbound lines are typed by their `"event"` field:
+//!
+//! * `improved` — a new best-so-far from the deterministic reduction;
+//! * `done` — terminal: the winner (or `"ok":false`), the report
+//!   counters, and the `cancelled` / `timed_out` flags;
+//! * `failed` — terminal: the session panicked; the supervisor
+//!   quarantined its caches and stringified the panic payload;
+//! * `rejected` — terminal: admission control declined the request
+//!   (`reason` carries the typed [`RejectReason`] rendering);
+//! * `error` — the line never became a session: malformed JSON (with
+//!   the byte offset of the failure in `"at"`) or an invalid field.
+//!   The daemon emits this and keeps reading — bad input is answered,
+//!   never fatal.
+
+use std::time::Duration;
+
+use bfpp_cluster::{presets as clusters, ClusterSpec};
+use bfpp_exec::search::{Method, SearchOptions, SearchReport, SearchResult};
+use bfpp_exec::KernelModel;
+use bfpp_sim::Perturbation;
+
+use crate::json::{escape, Value};
+use crate::{PlanRequest, RejectReason};
+
+/// One parsed inbound line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run a planning session.
+    Plan {
+        /// The client's `"id"`, or the caller-supplied fallback
+        /// (`line-N`) when absent — echoed on every response line.
+        id: String,
+        /// The request to run.
+        req: Box<PlanRequest>,
+    },
+    /// `{"drain": true}`: stop admitting, cancel and join every live
+    /// session, flush counters, exit 0.
+    Drain,
+}
+
+/// Why an inbound line did not become a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The id to echo (the request's own if it parsed far enough to
+    /// have one, else the fallback).
+    pub id: String,
+    /// Byte offset of a JSON syntax failure, when that is what broke.
+    pub at: Option<usize>,
+    /// What went wrong.
+    pub msg: String,
+}
+
+/// Parses one inbound NDJSON line. `fallback_id` names the line (the
+/// daemon uses `line-N`) when the client supplied no `"id"`.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] — with the byte offset of the failure for
+/// JSON syntax errors — for anything that cannot become a [`Request`].
+pub fn parse_line(line: &str, fallback_id: &str) -> Result<Request, WireError> {
+    let v = match Value::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Err(WireError {
+                id: fallback_id.to_string(),
+                at: Some(e.at),
+                msg: e.msg,
+            })
+        }
+    };
+    if v.get("drain").and_then(Value::as_bool) == Some(true) {
+        return Ok(Request::Drain);
+    }
+    let id = v
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or(fallback_id)
+        .to_string();
+    match build_request(&v) {
+        Ok(req) => Ok(Request::Plan {
+            id,
+            req: Box::new(req),
+        }),
+        Err(msg) => Err(WireError { id, at: None, msg }),
+    }
+}
+
+fn build_request(v: &Value) -> Result<PlanRequest, String> {
+    let model_name = v
+        .get("model")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"model\"")?;
+    let model = bfpp_model::presets::by_name(model_name)
+        .ok_or_else(|| format!("unknown model {model_name:?}"))?;
+
+    let nodes_u64 = v.get("nodes").and_then(Value::as_u64).unwrap_or(8);
+    let nodes = u32::try_from(nodes_u64).map_err(|_| "field \"nodes\" too large".to_string())?;
+    let cluster = cluster_by_name(
+        v.get("cluster")
+            .and_then(Value::as_str)
+            .unwrap_or("dgx1_v100"),
+        nodes,
+    )?;
+
+    let method = match v
+        .get("method")
+        .and_then(Value::as_str)
+        .unwrap_or("breadth_first")
+    {
+        "breadth_first" | "breadth-first" => Method::BreadthFirst,
+        "depth_first" | "depth-first" => Method::DepthFirst,
+        "non_looped" | "non-looped" => Method::NonLooped,
+        "no_pipeline" | "no-pipeline" => Method::NoPipeline,
+        other => return Err(format!("unknown method {other:?}")),
+    };
+
+    let kernel = match v.get("kernel").and_then(Value::as_str).unwrap_or("v100") {
+        "v100" => KernelModel::v100(),
+        "a100" => KernelModel::a100(),
+        "ideal" => KernelModel::ideal(),
+        other => return Err(format!("unknown kernel model {other:?}")),
+    };
+
+    let global_batch = v
+        .get("batch")
+        .and_then(Value::as_u64)
+        .ok_or("missing integer field \"batch\"")?;
+
+    let mut opts = SearchOptions::default();
+    if let Some(t) = v.get("threads").and_then(Value::as_u64) {
+        opts.threads = t as usize;
+    }
+    if let Some(m) = v.get("max_microbatch").and_then(Value::as_u64) {
+        opts.max_microbatch = m as u32;
+    }
+    if let Some(l) = v.get("max_loop").and_then(Value::as_u64) {
+        opts.max_loop = l as u32;
+    }
+    if let Some(a) = v.get("max_actions").and_then(Value::as_u64) {
+        opts.max_actions = a;
+    }
+    if let Some(d) = v.get("deadline_ms").and_then(Value::as_u64) {
+        opts.deadline = Some(Duration::from_millis(d));
+    }
+    if let Some(c) = v.get("max_candidates").and_then(Value::as_u64) {
+        opts.max_candidates = Some(c);
+    }
+    opts.perturbation = perturbation_of(v)?;
+    Ok(PlanRequest {
+        model,
+        cluster,
+        method,
+        global_batch,
+        kernel,
+        opts,
+        objective: Default::default(),
+        fault: None,
+    })
+}
+
+fn cluster_by_name(name: &str, nodes: u32) -> Result<ClusterSpec, String> {
+    Ok(match name {
+        "dgx1_v100" => clusters::dgx1_v100(nodes),
+        "dgx1_v100_ethernet" => clusters::dgx1_v100_ethernet(nodes),
+        "dgx_a100" => clusters::dgx_a100(nodes),
+        "dgx_a100_80gb" => clusters::dgx_a100_80gb(nodes),
+        "paper" => clusters::paper_cluster(),
+        "figure1" => clusters::figure1_cluster(),
+        other => return Err(format!("unknown cluster {other:?}")),
+    })
+}
+
+fn perturbation_of(v: &Value) -> Result<Perturbation, String> {
+    let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(0);
+    let mut p = Perturbation::with_seed(seed);
+    if let Some(s) = v.get("straggler") {
+        let device = s
+            .get("device")
+            .and_then(Value::as_u64)
+            .ok_or("straggler needs integer \"device\"")?;
+        let factor = s
+            .get("factor")
+            .and_then(Value::as_f64)
+            .ok_or("straggler needs number \"factor\"")?;
+        p = p.with_straggler(device as u32, factor);
+    }
+    if let Some(j) = v.get("jitter").and_then(Value::as_f64) {
+        p = p.with_jitter(j);
+    }
+    if let Some(l) = v.get("link_degradation").and_then(Value::as_f64) {
+        p = p.with_link_degradation(l);
+    }
+    Ok(p)
+}
+
+fn config_fields(r: &SearchResult) -> String {
+    format!(
+        "\"tflops\":{:.4},\"dp\":{},\"tp\":{},\"pp\":{},\"loops\":{},\"microbatch\":{},\"kind\":\"{:?}\"",
+        r.measurement.tflops_per_gpu,
+        r.cfg.grid.n_dp,
+        r.cfg.grid.n_tp,
+        r.cfg.grid.n_pp,
+        r.cfg.placement.n_loop(),
+        r.cfg.batch.microbatch_size,
+        r.kind,
+    )
+}
+
+/// The `improved` response line.
+pub fn improved_line(id: &str, r: &SearchResult) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"event\":\"improved\",{}}}",
+        escape(id),
+        config_fields(r)
+    )
+}
+
+/// The terminal `done` response line.
+pub fn done_line(id: &str, result: Option<&SearchResult>, report: &SearchReport) -> String {
+    let body = match result {
+        Some(r) => format!("\"ok\":true,{}", config_fields(r)),
+        None => "\"ok\":false".to_string(),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"event\":\"done\",{},\"enumerated\":{},\"simulated\":{},\
+         \"warm_start\":{},\"warm_hits\":{},\"cancelled\":{},\"timed_out\":{}}}",
+        escape(id),
+        body,
+        report.enumerated,
+        report.simulated,
+        report.counters.count("warm_start") > 0,
+        report.warm_hits,
+        report.cancelled,
+        report.timed_out,
+    )
+}
+
+/// The terminal `failed` response line (the session panicked and was
+/// isolated).
+pub fn failed_line(id: &str, error: &str) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"event\":\"failed\",\"error\":\"{}\"}}",
+        escape(id),
+        escape(error)
+    )
+}
+
+/// The terminal `rejected` response line (admission control declined).
+pub fn rejected_line(id: &str, reason: &RejectReason) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"event\":\"rejected\",\"reason\":\"{}\"}}",
+        escape(id),
+        escape(&reason.to_string())
+    )
+}
+
+/// The `error` response line for input that never became a session.
+/// Includes `"at"` (the byte offset of the failure) for JSON syntax
+/// errors.
+pub fn error_line(err: &WireError) -> String {
+    match err.at {
+        Some(at) => format!(
+            "{{\"id\":\"{}\",\"event\":\"error\",\"at\":{},\"message\":\"{}\"}}",
+            escape(&err.id),
+            at,
+            escape(&err.msg)
+        ),
+        None => format!(
+            "{{\"id\":\"{}\",\"event\":\"error\",\"message\":\"{}\"}}",
+            escape(&err.id),
+            escape(&err.msg)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_minimal_request_parses_with_defaults() {
+        let r = parse_line(r#"{"model":"bert-6.6b","batch":16}"#, "line-1").unwrap();
+        match r {
+            Request::Plan { id, req } => {
+                assert_eq!(id, "line-1");
+                assert_eq!(req.global_batch, 16);
+                assert_eq!(req.method, Method::BreadthFirst);
+                assert_eq!(req.opts.deadline, None);
+                assert_eq!(req.opts.max_candidates, None);
+                assert!(req.fault.is_none());
+            }
+            Request::Drain => panic!("not a drain line"),
+        }
+    }
+
+    #[test]
+    fn budgets_ride_the_wire() {
+        let r = parse_line(
+            r#"{"id":"b","model":"bert-6.6b","batch":16,"deadline_ms":250,"max_candidates":64}"#,
+            "line-1",
+        )
+        .unwrap();
+        match r {
+            Request::Plan { id, req } => {
+                assert_eq!(id, "b");
+                assert_eq!(req.opts.deadline, Some(Duration::from_millis(250)));
+                assert_eq!(req.opts.max_candidates, Some(64));
+            }
+            Request::Drain => panic!("not a drain line"),
+        }
+    }
+
+    #[test]
+    fn drain_control_line_is_recognized() {
+        assert!(matches!(
+            parse_line(r#"{"drain": true}"#, "line-1"),
+            Ok(Request::Drain)
+        ));
+        // `"drain": false` is not a drain request — it falls through to
+        // request parsing (and fails on the missing model).
+        assert!(parse_line(r#"{"drain": false}"#, "line-1").is_err());
+    }
+
+    #[test]
+    fn malformed_json_names_the_byte_position() {
+        let err = parse_line(r#"{"model": }"#, "line-7").unwrap_err();
+        assert_eq!(err.id, "line-7");
+        let at = err.at.expect("syntax errors carry a position");
+        assert_eq!(at, 10, "offset of the unexpected '}}'");
+        let line = error_line(&err);
+        assert!(line.contains("\"event\":\"error\""), "{line}");
+        assert!(line.contains("\"at\":10"), "{line}");
+    }
+
+    #[test]
+    fn invalid_fields_echo_the_request_id_without_a_position() {
+        let err = parse_line(r#"{"id":"x","model":"gpt-5","batch":8}"#, "line-2").unwrap_err();
+        assert_eq!(err.id, "x");
+        assert_eq!(err.at, None);
+        assert!(err.msg.contains("unknown model"), "{}", err.msg);
+        assert!(!error_line(&err).contains("\"at\":"));
+    }
+
+    #[test]
+    fn terminal_lines_are_typed_by_event() {
+        let failed = failed_line("s1", "injected fault: session panic before search");
+        assert!(failed.contains("\"event\":\"failed\""), "{failed}");
+        assert!(failed.contains("injected fault"), "{failed}");
+        let rejected = rejected_line(
+            "s2",
+            &RejectReason::Saturated {
+                in_flight: 4,
+                limit: 4,
+            },
+        );
+        assert!(rejected.contains("\"event\":\"rejected\""), "{rejected}");
+        assert!(rejected.contains("4 of 4 sessions"), "{rejected}");
+    }
+
+    #[test]
+    fn done_line_carries_the_timed_out_flag() {
+        let report = SearchReport {
+            timed_out: true,
+            ..SearchReport::default()
+        };
+        let line = done_line("t", None, &report);
+        assert!(line.contains("\"timed_out\":true"), "{line}");
+        assert!(line.contains("\"ok\":false"), "{line}");
+    }
+}

@@ -156,6 +156,26 @@ fn cancellation_neither_deadlocks_nor_poisons_the_planner() {
 }
 
 #[test]
+fn truncated_budget_sessions_are_deterministic_across_planners_and_threads() {
+    // A `max_candidates` budget truncates at a chunk boundary, which is
+    // a deterministic place: the truncated outcome (winner and
+    // counters) must be bit-identical across thread counts and across
+    // shared/private planners, exactly like a completed search.
+    let mut req = request(Method::BreadthFirst, 24, 1, 1.0);
+    req.opts.max_candidates = Some(32);
+    let baseline = stable(&Planner::new().plan(&req));
+    for threads in [1usize, 2, 3] {
+        let mut again = req.clone();
+        again.opts.threads = threads;
+        let shared = Arc::new(Planner::new());
+        let outcome = shared.submit(again).wait();
+        assert!(outcome.1.timed_out, "budget must report as timed_out");
+        assert_eq!(stable(&outcome), baseline, "threads={threads}");
+        assert_eq!(shared.lifecycle().count("requests_timed_out"), 1);
+    }
+}
+
+#[test]
 fn improvement_stream_is_ordered_and_consistent_with_the_final_result() {
     let planner = Arc::new(Planner::new());
     let handle = planner.submit(request(Method::BreadthFirst, 16, 2, 1.0));
@@ -176,6 +196,7 @@ fn improvement_stream_is_ordered_and_consistent_with_the_final_result() {
             PlanEvent::Done { result, report } => {
                 done = Some((result, report));
             }
+            PlanEvent::Failed { error } => panic!("clean session failed: {error}"),
         }
     }
     let (result, report) = done.expect("stream ends with Done");

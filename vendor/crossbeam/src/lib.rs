@@ -22,6 +22,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// An error returned when a bounded-time receive gives up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait expired with no message available.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     /// The sending end of an unbounded channel.
     #[derive(Debug)]
     pub struct Sender<T> {
@@ -92,6 +101,25 @@ pub mod channel {
             };
             rx.try_recv().map_err(|_| RecvError)
         }
+
+        /// Blocks until a value is available or `timeout` elapses — the
+        /// primitive bounded waits (watchdogs, bounded drops) build on.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError::Timeout`] when the wait expires
+        /// and [`RecvTimeoutError::Disconnected`] when the channel is
+        /// empty and every sender is gone.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let rx = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// Creates an unbounded channel.
@@ -147,6 +175,24 @@ mod tests {
         drop(tx);
         drop(tx2);
         assert!(rx.recv().is_err(), "disconnected channel must error");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err::<u8, _>(RecvTimeoutError::Timeout)
+        );
+        tx.send(9u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
