@@ -447,7 +447,7 @@ pub fn search_streaming(
     let warm_key = env
         .warm
         .as_ref()
-        .map(|_| warm::request_key(model, cluster, method, global_batch, opts));
+        .map(|_| warm::request_key(model, cluster, method, global_batch, kernel, opts));
 
     // Cold or warm: a warm record replays a prior cold search's
     // enumeration (the "enumerate" span then covers the record lookup —
@@ -478,7 +478,14 @@ pub fn search_streaming(
         (Plan::Cold(_), Some(_)) => Some(Vec::with_capacity(total)),
         _ => None,
     };
+    // Lowerings retained for the future warm record, capped at the
+    // store's per-record op budget *as the reduction runs* — a large
+    // cold search must not hold every survivor's lowering in memory
+    // only for the record to reject most of them at insert time. A
+    // dropped lowering costs nothing but a rebuild-on-miss later.
     let mut recorded_lowerings: Vec<(Candidate, Arc<LoweredGraph>)> = Vec::new();
+    let record_budget = env.warm.as_ref().map_or(0, |w| w.record_budget());
+    let mut recorded_ops: u64 = 0;
     if matches!(plan, Plan::Warm(_)) {
         counters.incr("warm_start");
     }
@@ -633,7 +640,11 @@ pub fn search_streaming(
         for (cand, slot) in survivors.iter().zip(slots) {
             report.warm_hits += u64::from(slot.warm_hit);
             if let Some(lowered) = slot.lowering {
-                recorded_lowerings.push((*cand, lowered));
+                let ops = lowered.graph.num_ops() as u64;
+                if recorded_ops + ops <= record_budget {
+                    recorded_ops += ops;
+                    recorded_lowerings.push((*cand, lowered));
+                }
             }
             let Some(m) = slot.measurement else { continue };
             if !m.fits(cluster.node.gpu.memory_bytes) {
@@ -1370,6 +1381,61 @@ mod tests {
         assert_eq!(again_r, cold_r);
         assert_eq!(again_rep.simulated, cold_rep.simulated);
         assert!(again_rep.warm_hits > 0);
+    }
+
+    #[test]
+    fn warm_records_are_keyed_by_kernel() {
+        // Recorded lowerings bake the kernel's durations in, and the
+        // recorded throughput bounds come from it — a request differing
+        // only in kernel must cold-search, not warm-hit the other
+        // kernel's record, and must match its own fresh cold engine.
+        let model = models::bert_6_6b();
+        let cluster = presets::dgx1_v100(8);
+        let env = SearchEnv::service();
+        let opts = quick_opts();
+
+        let v100 = KernelModel::v100();
+        let (v100_r, _) = search_streaming(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            16,
+            &v100,
+            &opts,
+            &env,
+            None,
+            None,
+        );
+        assert!(v100_r.is_some());
+        assert_eq!(env.warm.as_ref().unwrap().len(), 1);
+
+        let a100 = KernelModel::a100();
+        let (a100_r, a100_rep) = search_streaming(
+            &model,
+            &cluster,
+            Method::BreadthFirst,
+            16,
+            &a100,
+            &opts,
+            &env,
+            None,
+            None,
+        );
+        assert_eq!(
+            a100_rep.counters.count("warm_start"),
+            0,
+            "a different kernel must not warm-hit"
+        );
+        assert_eq!(a100_rep.warm_hits, 0);
+        assert_eq!(env.warm.as_ref().unwrap().len(), 2, "separate records");
+        let (ref_r, _) =
+            best_config_with_report(&model, &cluster, Method::BreadthFirst, 16, &a100, &opts);
+        assert_eq!(a100_r, ref_r, "must equal a fresh cold a100 search");
+        assert_ne!(
+            v100_r.as_ref().map(|r| r.measurement.tflops_per_gpu),
+            a100_r.as_ref().map(|r| r.measurement.tflops_per_gpu),
+            "the kernels must actually measure differently for this test to bite"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ use bfpp_model::TransformerConfig;
 use bfpp_sim::SolveScratch;
 
 use crate::candidates::Candidate;
+use crate::kernel::KernelModel;
 use crate::lower::LoweredGraph;
 use crate::search::{Method, SearchOptions};
 
@@ -122,14 +123,25 @@ impl SweepRecord {
     pub(crate) fn store_lowering(&self, cand: Candidate, lowered: Arc<LoweredGraph>) {
         debug_assert!(!lowered.perturbed, "warm records hold clean bases only");
         let ops = lowered.graph.num_ops() as u64;
+        // The existence check happens under the lowerings lock, before
+        // any budget is charged — a duplicate offer (two warm sessions
+        // racing to rebuild the same evicted base) must not consume
+        // budget it never stores against.
+        let mut lowerings = self.lock_lowerings();
+        if lowerings.contains_key(&cand) {
+            return;
+        }
         if self.ops_stored.fetch_add(ops, Ordering::Relaxed) + ops > self.max_ops {
             self.ops_stored.fetch_sub(ops, Ordering::Relaxed);
             return;
         }
-        self.lock_lowerings().entry(cand).or_insert(WarmBase {
-            lowered,
-            scratch: Mutex::new(None),
-        });
+        lowerings.insert(
+            cand,
+            WarmBase {
+                lowered,
+                scratch: Mutex::new(None),
+            },
+        );
     }
 
     /// Number of clean lowerings currently held.
@@ -146,19 +158,24 @@ impl SweepRecord {
 }
 
 /// The request signature a warm start must match exactly: everything
-/// that shapes enumeration and the analytic filters. Perturbation and
-/// thread count are deliberately absent — those are the parameters a
-/// warm start is allowed to vary (durations never change the candidate
-/// set, and thread count never changes any result).
+/// that shapes enumeration, the analytic filters, and the recorded
+/// measurements. The kernel model is part of the signature — recorded
+/// clean lowerings bake its durations in, and the recorded throughput
+/// bounds depend on it — so requests differing only in kernel never
+/// share a record. Perturbation and thread count are deliberately
+/// absent — those are the parameters a warm start is allowed to vary
+/// (durations never change the candidate set, and thread count never
+/// changes any result).
 pub(crate) fn request_key(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
     method: Method,
     global_batch: u64,
+    kernel: &KernelModel,
     opts: &SearchOptions,
 ) -> String {
     format!(
-        "{}{method:?}|batch={global_batch}|mm={}|ml={}|ma={}",
+        "{}{method:?}|kernel={kernel:?}|batch={global_batch}|mm={}|ml={}|ma={}",
         scope_prefix(model, cluster),
         opts.max_microbatch,
         opts.max_loop,

@@ -107,6 +107,10 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
+        // Reap sessions whose pump already finished: a long-running
+        // daemon must not accumulate one dead JoinHandle per request
+        // served (admission control caps *live* sessions, not history).
+        reap_finished(&mut sessions);
         match parse_line(&line, &fallback_id) {
             Ok(Request::Drain) => {
                 drain(&out, &planner, std::mem::take(&mut sessions));
@@ -148,6 +152,19 @@ fn main() {
         let _ = session.pump.join();
     }
     eprintln!("planner_daemon: {}", summary(&planner.lifecycle()));
+}
+
+/// Joins and drops every session whose pump thread has already exited
+/// (its terminal event was emitted), keeping only live ones.
+fn reap_finished(sessions: &mut Vec<Session>) {
+    let mut i = 0;
+    while i < sessions.len() {
+        if sessions[i].pump.is_finished() {
+            let _ = sessions.remove(i).pump.join();
+        } else {
+            i += 1;
+        }
+    }
 }
 
 /// The graceful-shutdown path: cancel every live session, join their
