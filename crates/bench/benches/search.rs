@@ -4,10 +4,12 @@
 //! the same sweep re-planned under a perturbation from a recorded
 //! warm-start base instead of from scratch.
 
+use std::time::Instant;
+
 use bfpp_cluster::presets::dgx1_v100;
 use bfpp_core::ScheduleKind;
 use bfpp_exec::search::{best_config, best_config_exhaustive, Method, SearchOptions};
-use bfpp_exec::{simulate, KernelModel, OverlapConfig, Perturbation};
+use bfpp_exec::{simulate, ClassCache, KernelModel, OverlapConfig, Perturbation};
 use bfpp_model::presets::bert_52b;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
 use bfpp_planner::{PlanRequest, Planner};
@@ -110,6 +112,10 @@ fn bench_planner(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner_fig5a_b48");
     group.bench_function("cold", |b| {
         b.iter(|| {
+            // A fresh planner alone is no longer cold: topology-class
+            // bases live in a process-global cache. Clear it so this
+            // arm keeps measuring a genuinely cold plan.
+            ClassCache::global().clear();
             let planner = Planner::new();
             run_sweep(|m| {
                 planner
@@ -142,6 +148,53 @@ fn bench_planner(c: &mut Criterion) {
     group.finish();
 }
 
+/// Emits end-to-end candidate throughput — enumerated candidates per
+/// second of wall clock — for the Figure 5a sweep, planned cold (empty
+/// global class cache, fresh planner every iteration) and warm (one
+/// planner re-planning the perturbed sweep from its recorded base).
+/// These are the `candidates_per_sec` fields of `BENCH_search.json` at
+/// the repo root; regenerate that file from this bench's output on a
+/// quiet host after perf-relevant changes.
+fn bench_candidate_throughput(_c: &mut Criterion) {
+    let probe = Perturbation::with_seed(0xB1F).with_straggler(4, 1.5);
+    let iters = 10u32;
+
+    let mut cold_cands = 0u64;
+    let cold_start = Instant::now();
+    for _ in 0..iters {
+        ClassCache::global().clear();
+        let planner = Planner::new();
+        for &m in Method::ALL.iter() {
+            let (_, report) = planner.plan(&plan_request(m, probe.clone()));
+            cold_cands += report.enumerated;
+        }
+    }
+    let cold_rate = cold_cands as f64 / cold_start.elapsed().as_secs_f64();
+
+    let planner = Planner::new();
+    for &m in Method::ALL.iter() {
+        let _ = planner.plan(&plan_request(m, Perturbation::none()));
+    }
+    let mut warm_cands = 0u64;
+    let warm_start = Instant::now();
+    for _ in 0..iters {
+        for &m in Method::ALL.iter() {
+            let (_, report) = planner.plan(&plan_request(m, probe.clone()));
+            warm_cands += report.enumerated;
+        }
+    }
+    let warm_rate = warm_cands as f64 / warm_start.elapsed().as_secs_f64();
+
+    println!(
+        "bench {:<48} {:>12.0} candidates/sec",
+        "planner_fig5a_b48/candidates_per_sec/cold", cold_rate
+    );
+    println!(
+        "bench {:<48} {:>12.0} candidates/sec",
+        "planner_fig5a_b48/candidates_per_sec/warm", warm_rate
+    );
+}
+
 fn quick_criterion() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -152,6 +205,6 @@ fn quick_criterion() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick_criterion();
-    targets = bench_simulate, bench_search, bench_planner
+    targets = bench_simulate, bench_search, bench_planner, bench_candidate_throughput
 }
 criterion_main!(benches);

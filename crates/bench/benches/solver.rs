@@ -2,16 +2,20 @@
 //!
 //! Benches the event-driven solver against the round-robin reference
 //! oracle (`reference-solver` feature) across pipeline shapes, plus the
-//! duration-only re-solve fast path and the robustness-sweep pattern it
-//! accelerates (lower once + re-solve vs. re-lower + solve per point).
-//! Headline numbers are recorded in `BENCH_solver.json` at the repo root.
+//! duration-only re-solve fast path, the batched SoA trace-replay path
+//! behind topology-class candidate evaluation, and the robustness-sweep
+//! pattern they accelerate (lower once + re-solve vs. re-lower + solve
+//! per point). Headline numbers are recorded in `BENCH_solver.json` at
+//! the repo root; regenerate them by re-running
+//! `cargo bench -p bfpp-bench --bench solver` on a quiet host and
+//! copying the printed ns/iter figures into that file.
 
 use bfpp_cluster::presets::dgx1_v100;
 use bfpp_core::ScheduleKind;
 use bfpp_exec::{lower, KernelModel, OverlapConfig, Perturbation};
 use bfpp_model::presets::bert_52b;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
-use bfpp_sim::{OpGraph, OpId, SimDuration, Solver};
+use bfpp_sim::{DurationMatrix, OpGraph, OpId, SimDuration, Solver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// How many microbatches a device runs ahead of the backward wave — the
@@ -121,6 +125,30 @@ fn bench_solver(c: &mut Criterion) {
                 let durations: Vec<SimDuration> =
                     g.op_ids().map(|id| g.op(id).duration() * 2).collect();
                 b.iter(|| solver.solve_makespan_with_durations(&durations).unwrap())
+            },
+        );
+        // The batched candidate-evaluation pattern: one prebuilt solver
+        // workspace re-timed against an 8-row SoA duration matrix by
+        // trace replay. Per-candidate cost is this arm divided by 8.
+        group.bench_with_input(
+            BenchmarkId::new("replay_batch8", format!("{chains}x{len}")),
+            &g,
+            |b, g| {
+                let mut solver = Solver::new(g);
+                let mut batch = DurationMatrix::new(g.num_ops());
+                for k in 0..8u64 {
+                    let row = batch.push_row();
+                    for (i, id) in g.op_ids().enumerate() {
+                        row[i] = g.op(id).duration() * (k + 1);
+                    }
+                }
+                b.iter(|| {
+                    let mut acc = SimDuration::ZERO;
+                    solver
+                        .solve_batch(&batch, |_, stats| acc += stats.makespan)
+                        .unwrap();
+                    acc
+                })
             },
         );
     }

@@ -1,0 +1,537 @@
+//! Topology classes: one CSR per shape class, SoA duration batches.
+//!
+//! Two enumerated candidates that share a schedule and the same set of
+//! structural lowering decisions produce op graphs that are *identical
+//! except for durations*: the same resources in the same creation order,
+//! the same ops in the same insertion order on the same streams, the
+//! same dependency edges. [`ClassKey`] names that equivalence class —
+//! every input [`crate::lower::lower_with_schedule_perturbed`] uses to
+//! decide *structure* (never timing):
+//!
+//! * the schedule, i.e. `(kind, placement, num_microbatches)`;
+//! * which communication classes overlap (`OverlapConfig::dp`/`pp`
+//!   decide whether DP/PP streams exist or alias the compute stream);
+//! * the sharding variant and whether data parallelism is active
+//!   (`n_dp > 1`), which decide gather/reduce emission;
+//! * whether the stage-boundary transfer rounds to zero (the only
+//!   duration value that gates op *emission*).
+//!
+//! Everything else — model, cluster, kernel, tensor width, micro-batch
+//! size, perturbation — only changes durations. So the search lowers
+//! **one representative per class**, records the solver's replay trace
+//! once ([`bfpp_sim::SolveScratch`]), and evaluates every other member
+//! from a structure-of-arrays duration batch: a [`BatchTemplate`] maps
+//! each op index to its duration *kind* (fwd/bwd/p2p/gather/reduce) and
+//! its perturbation slot, so filling a member's row is two table lookups
+//! per op, and re-timing it is the solver's allocation-free trace
+//! replay. Both halves are bit-identical to the per-candidate path
+//! (`fill_row` reproduces lowering's perturbed durations exactly — same
+//! per-op salt, same class/device factors — and trace replay is
+//! bit-identical to a full solve), which is what lets the batched search
+//! return exactly the same winners and counters.
+//!
+//! A [`ClassBase`] is deliberately *graph-free*: it keeps only the
+//! prebuilt workspace, the template, and the few per-class scalars the
+//! measurement layer needs. That makes it independent of model, cluster
+//! and kernel — a base built for a key is valid for **any** request that
+//! produces that key, so the process-wide [`ClassCache`] can share bases
+//! across methods, batch sizes, models and planner requests. Results
+//! never depend on cache contents, only on the key — a hit merely skips
+//! the lower + CSR-build + discovery-solve work.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use bfpp_cluster::ClusterSpec;
+use bfpp_core::{Direction, ScheduleKind};
+use bfpp_model::TransformerConfig;
+use bfpp_parallel::{DataParallelism, ParallelConfig, Placement};
+use bfpp_sim::{OpClass, Perturbation, ResourceId, SimDuration, SolveScratch, SolveStats, Solver};
+
+use crate::candidates::Candidate;
+use crate::lower::{Durations, LoweredGraph, OpTag};
+use crate::measure::{measure_from_parts, Measurement};
+use crate::overlap::OverlapConfig;
+
+/// The structural identity of a lowered graph: candidates with equal
+/// keys lower to byte-identical topologies (resources, ops, edges,
+/// queue orders) and differ only in op durations. See the module docs
+/// for why exactly these fields and no others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ClassKey {
+    kind: ScheduleKind,
+    placement: Placement,
+    num_microbatches: u32,
+    dp: DataParallelism,
+    /// Whether data parallelism is active (`n_dp > 1`) — gates every
+    /// gather/reduce emission.
+    dp_active: bool,
+    overlap_dp: bool,
+    overlap_pp: bool,
+    /// Whether the per-candidate stage-boundary transfer duration is
+    /// exactly zero — the one duration that gates op emission.
+    p2p_zero: bool,
+}
+
+impl ClassKey {
+    /// The topology class of `cand` under `overlap`, given its computed
+    /// base durations (needed only for the zero-transfer gate).
+    pub(crate) fn of(cand: &Candidate, overlap: OverlapConfig, d: &Durations) -> ClassKey {
+        ClassKey {
+            kind: cand.kind,
+            placement: cand.placement,
+            num_microbatches: cand.batch.num_microbatches,
+            dp: cand.dp,
+            dp_active: cand.grid.n_dp > 1,
+            overlap_dp: overlap.dp,
+            overlap_pp: overlap.pp,
+            p2p_zero: d.p2p.is_zero(),
+        }
+    }
+
+    /// The schedule kind of every member — the granularity of
+    /// [`ClassCache::invalidate_kind`].
+    pub(crate) fn schedule_kind(&self) -> ScheduleKind {
+        self.kind
+    }
+}
+
+/// Per-op duration recipe of a topology class, structure-of-arrays: for
+/// op `i`, `kinds[i]` indexes a 5-entry per-candidate duration table
+/// (fwd, bwd, p2p, dp-gather, dp-reduce) and `slots[i]` is the
+/// perturbation slot `2 * resource + is_compute` — the same dense
+/// convention as `LoweredGraph::op_perturb`, so a row fill is two
+/// indexed loads per op with no branching on `Op` structs.
+#[derive(Debug)]
+struct BatchTemplate {
+    kinds: Vec<u8>,
+    slots: Vec<u32>,
+}
+
+const KIND_FWD: u8 = 0;
+const KIND_BWD: u8 = 1;
+const KIND_P2P: u8 = 2;
+const KIND_GATHER: u8 = 3;
+const KIND_REDUCE: u8 = 4;
+
+/// One topology class's shared evaluation state: the prebuilt solver
+/// workspace (CSR index + replay trace of the class topology), the SoA
+/// duration template, and the per-class scalars measurement needs. Holds
+/// **no graph** — after construction the representative's
+/// [`LoweredGraph`] is dropped, which is what makes a base
+/// model/cluster/kernel-independent and shareable process-wide.
+#[derive(Debug)]
+pub(crate) struct ClassBase {
+    n_ops: usize,
+    kind: ScheduleKind,
+    peak_checkpoints: u32,
+    /// Whether the class's DP reduce is an all-reduce (`DP_0`) rather
+    /// than a reduce-scatter (`DP_PS`/`DP_FS`) — decides table entry 4.
+    reduce_is_all_reduce: bool,
+    compute_resources: Vec<ResourceId>,
+    resource_device: Vec<u32>,
+    template: BatchTemplate,
+    /// The workspace never leaves this lock: replay mutates only its
+    /// scratch timing buffers, so concurrent evaluators of the same
+    /// class serialize briefly instead of rebuilding the CSR index.
+    scratch: Mutex<SolveScratch>,
+}
+
+impl ClassBase {
+    /// Builds the class base from a clean representative lowering: runs
+    /// the one discovery solve that records the replay trace, extracts
+    /// the SoA template, and drops everything else. Returns `None` if
+    /// the topology deadlocks — in which case *every* member of the
+    /// class would fail its per-candidate solve identically (deadlock is
+    /// a property of the topology, not of durations).
+    pub(crate) fn build(dp: DataParallelism, lowered: &LoweredGraph) -> Option<ClassBase> {
+        let mut solver = Solver::new(&lowered.graph);
+        solver.solve_makespan().ok()?;
+        let scratch = solver.into_scratch();
+        debug_assert!(scratch.has_trace(), "a successful solve records the trace");
+
+        let n_ops = lowered.graph.num_ops();
+        let mut kinds = Vec::with_capacity(n_ops);
+        let mut slots = Vec::with_capacity(n_ops);
+        for id in lowered.graph.op_ids() {
+            let op = lowered.graph.op(id);
+            let (kind, is_compute) = match op.tag() {
+                OpTag::Compute(a) => (
+                    match a.dir {
+                        Direction::Forward => KIND_FWD,
+                        Direction::Backward => KIND_BWD,
+                    },
+                    1u32,
+                ),
+                OpTag::PpSend { .. } => (KIND_P2P, 0),
+                OpTag::DpGather { .. } => (KIND_GATHER, 0),
+                OpTag::DpReduce { .. } => (KIND_REDUCE, 0),
+            };
+            kinds.push(kind);
+            slots.push(2 * op.resource().index() as u32 + is_compute);
+        }
+
+        Some(ClassBase {
+            n_ops,
+            kind: lowered.schedule.kind(),
+            peak_checkpoints: lowered.peak_checkpoints,
+            reduce_is_all_reduce: dp == DataParallelism::Unsharded,
+            compute_resources: lowered.compute_resources.clone(),
+            resource_device: lowered.resource_device.clone(),
+            template: BatchTemplate { kinds, slots },
+            scratch: Mutex::new(scratch),
+        })
+    }
+
+    /// Ops in the class topology (also the stored size charged against
+    /// cache budgets).
+    pub(crate) fn num_ops(&self) -> usize {
+        self.n_ops
+    }
+
+    /// Fills one member's duration row, bit-identical to what lowering
+    /// that member under `perturbation` would produce: the same per-op
+    /// salt (insertion index), the same class/device factor for the
+    /// randomness-free fast path. `factors` is caller scratch reused
+    /// across rows.
+    pub(crate) fn fill_row(
+        &self,
+        d: &Durations,
+        perturbation: &Perturbation,
+        factors: &mut Vec<f64>,
+        out: &mut [SimDuration],
+    ) {
+        assert_eq!(out.len(), self.n_ops, "row sized for this topology");
+        let table = [
+            d.fwd,
+            d.bwd,
+            d.p2p,
+            d.dp_gather,
+            if self.reduce_is_all_reduce {
+                d.dp_reduce_ar
+            } else {
+                d.dp_reduce_rs
+            },
+        ];
+        let kinds = &self.template.kinds;
+        let slots = &self.template.slots;
+        if !perturbation.has_randomness() {
+            factors.clear();
+            for &dev in &self.resource_device {
+                factors.push(perturbation.class_factor(OpClass::Communication, dev));
+                factors.push(perturbation.class_factor(OpClass::Compute, dev));
+            }
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = Perturbation::apply_factor(
+                    table[kinds[i] as usize],
+                    factors[slots[i] as usize],
+                );
+            }
+            return;
+        }
+        for (i, out_slot) in out.iter_mut().enumerate() {
+            let slot = slots[i];
+            let class = if slot & 1 == 1 {
+                OpClass::Compute
+            } else {
+                OpClass::Communication
+            };
+            let dev = self.resource_device[(slot >> 1) as usize];
+            *out_slot = perturbation.perturb(table[kinds[i] as usize], class, dev, i as u64);
+        }
+    }
+
+    /// Checks out the class workspace for a run of [`ClassBase::
+    /// measure_row`] calls — lock once per member batch, not per row.
+    pub(crate) fn lock_scratch(&self) -> MutexGuard<'_, SolveScratch> {
+        match self.scratch.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Re-times the class trace under one member's duration row and
+    /// derives the paper's metrics — bit-identical to lowering and fully
+    /// solving that member. `stats` is caller scratch reused across rows.
+    pub(crate) fn measure_row(
+        &self,
+        scratch: &mut SolveScratch,
+        stats: &mut SolveStats,
+        model: &TransformerConfig,
+        cluster: &ClusterSpec,
+        cfg: &ParallelConfig,
+        row: &[SimDuration],
+    ) -> Measurement {
+        scratch.replay_stats_into(row, stats);
+        let compute_busy = stats
+            .utilization_over(self.compute_resources.iter().copied())
+            .mean;
+        measure_from_parts(
+            model,
+            cluster,
+            cfg,
+            self.kind,
+            self.peak_checkpoints,
+            stats.makespan,
+            compute_busy,
+        )
+    }
+}
+
+struct ClassEntries {
+    map: HashMap<ClassKey, Arc<ClassBase>>,
+    /// Insertion order for FIFO eviction (deterministic, unlike
+    /// hash-map iteration order).
+    order: Vec<ClassKey>,
+    ops_held: u64,
+}
+
+/// A bounded, concurrency-safe store of topology-class bases, keyed by
+/// [`ClassKey`] and bounded by total stored ops (FIFO eviction). Because
+/// a base is model/cluster/kernel-independent, one cache is sound for
+/// the whole process ([`ClassCache::global`]): any correctly built base
+/// for a key is interchangeable, so sharing changes speed, never
+/// results.
+pub struct ClassCache {
+    entries: Mutex<ClassEntries>,
+    max_ops: u64,
+}
+
+impl std::fmt::Debug for ClassCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassCache")
+            .field("classes", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ClassCache {
+    fn default() -> Self {
+        // ~2M stored ops: hundreds of search-scale classes, bounded to a
+        // few hundred MB of workspaces in the worst case.
+        ClassCache::with_max_ops(2_000_000)
+    }
+}
+
+impl ClassCache {
+    /// A cache with the default op budget.
+    pub fn new() -> Self {
+        ClassCache::default()
+    }
+
+    /// A cache bounded to `max_ops` total stored topology ops.
+    pub fn with_max_ops(max_ops: u64) -> Self {
+        ClassCache {
+            entries: Mutex::new(ClassEntries {
+                map: HashMap::new(),
+                order: Vec::new(),
+                ops_held: 0,
+            }),
+            max_ops: max_ops.max(1),
+        }
+    }
+
+    /// The process-wide cache [`crate::SearchEnv`] defaults to.
+    pub fn global() -> &'static Arc<ClassCache> {
+        static GLOBAL: OnceLock<Arc<ClassCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(ClassCache::new()))
+    }
+
+    pub(crate) fn lookup(&self, key: &ClassKey) -> Option<Arc<ClassBase>> {
+        self.lock().map.get(key).cloned()
+    }
+
+    pub(crate) fn insert(&self, key: ClassKey, base: Arc<ClassBase>) {
+        let ops = base.num_ops() as u64;
+        let mut entries = self.lock();
+        if entries.map.contains_key(&key) || ops > self.max_ops {
+            return;
+        }
+        entries.map.insert(key, base);
+        entries.order.push(key);
+        entries.ops_held += ops;
+        while entries.ops_held > self.max_ops && entries.order.len() > 1 {
+            let evicted = entries.order.remove(0);
+            if let Some(base) = entries.map.remove(&evicted) {
+                entries.ops_held -= base.num_ops() as u64;
+            }
+        }
+    }
+
+    /// Drops every base whose schedule kind is `kind` — the keyed
+    /// quarantine a supervising planner issues when a session using that
+    /// kind dies mid-write. Returns how many bases were dropped.
+    pub fn invalidate_kind(&self, kind: ScheduleKind) -> usize {
+        let mut entries = self.lock();
+        let before = entries.map.len();
+        entries.map.retain(|k, _| k.schedule_kind() != kind);
+        entries.order.retain(|k| k.schedule_kind() != kind);
+        entries.ops_held = entries.map.values().map(|b| b.num_ops() as u64).sum();
+        before - entries.map.len()
+    }
+
+    /// Drops every base.
+    pub fn clear(&self) {
+        let mut entries = self.lock();
+        entries.map.clear();
+        entries.order.clear();
+        entries.ops_held = 0;
+    }
+
+    /// Number of class bases held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.lock().map.is_empty()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ClassEntries> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A reusable, initially empty [`SolveStats`] for replay call sites.
+pub(crate) fn empty_stats() -> SolveStats {
+    SolveStats {
+        makespan: SimDuration::ZERO,
+        busy: Vec::new(),
+        peak_memory: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelModel;
+    use crate::lower::{compute_durations, lower};
+    use crate::measure::measure_lowered;
+    use bfpp_cluster::presets;
+    use bfpp_model::presets as models;
+    use bfpp_parallel::{BatchConfig, Grid};
+
+    fn candidate(n_dp: u32, n_tp: u32, s_mb: u32, n_mb: u32) -> Candidate {
+        Candidate {
+            grid: Grid::new(n_dp, n_tp, 8),
+            placement: Placement::looping(8, 8),
+            batch: BatchConfig::new(n_mb, s_mb),
+            kind: ScheduleKind::BreadthFirst,
+            dp: DataParallelism::FullySharded,
+        }
+    }
+
+    fn class_parts(cand: &Candidate) -> (ParallelConfig, Durations, ClassKey, LoweredGraph) {
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let k = KernelModel::v100();
+        let overlap = OverlapConfig::full();
+        let cfg = cand.config();
+        let d = compute_durations(&model, &cluster, &cfg, &k, overlap.comm_multiplier);
+        let key = ClassKey::of(cand, overlap, &d);
+        let lowered = lower(&model, &cluster, &cfg, cand.kind, overlap, &k).unwrap();
+        (cfg, d, key, lowered)
+    }
+
+    #[test]
+    fn same_shape_different_widths_share_a_class() {
+        // 12 micro-batches on the same 8x8 placement: the tensor width
+        // and replica count only move durations, never structure.
+        let a = candidate(4, 2, 1, 12);
+        let b = candidate(2, 4, 2, 12);
+        let (_, _, ka, la) = class_parts(&a);
+        let (_, _, kb, lb) = class_parts(&b);
+        assert_eq!(ka, kb, "same schedule + gates = same class");
+        assert_eq!(la.graph.num_ops(), lb.graph.num_ops());
+        // And a different micro-batch count is a different topology.
+        let c = candidate(4, 2, 2, 6);
+        let (_, _, kc, _) = class_parts(&c);
+        assert_ne!(ka, kc);
+    }
+
+    #[test]
+    fn batched_member_measurement_is_bit_identical_to_lowering() {
+        // Build the base from candidate `a`, then measure candidate `b`
+        // (same class, different durations) through the batch path and
+        // through a full lower + solve. Must agree bit-for-bit.
+        let a = candidate(4, 2, 1, 12);
+        let b = candidate(2, 4, 2, 12);
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        let (_, _, ka, la) = class_parts(&a);
+        let (cfg_b, d_b, kb, lb) = class_parts(&b);
+        assert_eq!(ka, kb);
+
+        let base = ClassBase::build(a.dp, &la).expect("acyclic");
+        let mut row = vec![SimDuration::ZERO; base.num_ops()];
+        let mut factors = Vec::new();
+        for p in [
+            Perturbation::none(),
+            Perturbation::reference_probe(),
+            Perturbation::with_seed(7)
+                .with_straggler(3, 1.4)
+                .with_jitter(0.05),
+        ] {
+            base.fill_row(&d_b, &p, &mut factors, &mut row);
+            // Row durations equal a perturbed-duration recompute over
+            // b's own lowering (itself tested bit-identical to a
+            // perturbed lowering).
+            let mut expect = Vec::new();
+            lb.perturbed_durations(&p, &mut expect);
+            assert_eq!(row, expect, "{p:?}");
+
+            let mut stats = SolveStats {
+                makespan: SimDuration::ZERO,
+                busy: Vec::new(),
+                peak_memory: None,
+            };
+            let mut scratch = base.lock_scratch();
+            let m = base.measure_row(&mut scratch, &mut stats, &model, &cluster, &cfg_b, &row);
+            drop(scratch);
+            let mut solver = Solver::new(&lb.graph);
+            let full = solver.solve_stats_with_durations(&row).unwrap();
+            assert_eq!(stats.makespan, full.makespan, "{p:?}");
+            assert_eq!(stats.busy, full.busy, "{p:?}");
+            if p.is_identity() {
+                assert_eq!(m, measure_lowered(&model, &cluster, &cfg_b, &lb), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_bounds_evicts_fifo_and_invalidates_by_kind() {
+        let a = candidate(4, 2, 1, 12);
+        let (_, _, key, lowered) = class_parts(&a);
+        let base = Arc::new(ClassBase::build(a.dp, &lowered).expect("acyclic"));
+
+        let cache = ClassCache::with_max_ops(base.num_ops() as u64);
+        cache.insert(key, Arc::clone(&base));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key).is_some());
+        // Duplicate inserts are no-ops.
+        cache.insert(key, Arc::clone(&base));
+        assert_eq!(cache.len(), 1);
+
+        // A second class overflows the budget: FIFO evicts the first.
+        let c = candidate(4, 2, 2, 6);
+        let (_, _, key2, lowered2) = class_parts(&c);
+        let base2 = Arc::new(ClassBase::build(c.dp, &lowered2).expect("acyclic"));
+        cache.insert(key2, base2);
+        assert!(cache.lookup(&key).is_none(), "FIFO evicted");
+        assert!(cache.lookup(&key2).is_some());
+
+        assert_eq!(cache.invalidate_kind(ScheduleKind::BreadthFirst), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidate_kind(ScheduleKind::BreadthFirst), 0);
+
+        // A base larger than the whole budget is refused outright.
+        let tiny = ClassCache::with_max_ops(1);
+        tiny.insert(key, base);
+        assert!(tiny.is_empty());
+        tiny.clear();
+    }
+}

@@ -54,6 +54,7 @@
 //! assert!(m.tflops_per_gpu > 10.0);
 //! ```
 
+pub mod batch;
 mod breakdown;
 pub mod candidates;
 pub mod executor;
@@ -68,6 +69,7 @@ pub mod prune;
 pub mod search;
 pub mod warm;
 
+pub use batch::ClassCache;
 pub use breakdown::{breakdown, TimeBreakdown};
 pub use candidates::Candidate;
 pub use executor::Executor;
@@ -85,7 +87,7 @@ pub use memprof::{chrome_trace_with_memory, link_spans, memory_profile, peak_att
 pub use observe::{attribution, chrome_trace, op_category, TraceBuilder};
 pub use overlap::OverlapConfig;
 pub use prune::{lower_bound_tflops, PruneReason};
-pub use search::{SearchEnv, SearchReport};
+pub use search::{EvalMode, SearchEnv, SearchReport};
 pub use warm::WarmCache;
 
 // Re-exported so search/bench callers can build fault models and consume

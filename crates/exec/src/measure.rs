@@ -223,11 +223,12 @@ pub fn measure_timeline(
     let compute_busy = timeline
         .utilization_over(lowered.compute_resources.iter().copied())
         .mean;
-    measure_from(
+    measure_from_parts(
         model,
         cluster,
         cfg,
-        lowered,
+        lowered.schedule.kind(),
+        lowered.peak_checkpoints,
         timeline.makespan(),
         compute_busy,
     )
@@ -281,14 +282,27 @@ pub fn measure_stats(
     let compute_busy = stats
         .utilization_over(lowered.compute_resources.iter().copied())
         .mean;
-    measure_from(model, cluster, cfg, lowered, stats.makespan, compute_busy)
+    measure_from_parts(
+        model,
+        cluster,
+        cfg,
+        lowered.schedule.kind(),
+        lowered.peak_checkpoints,
+        stats.makespan,
+        compute_busy,
+    )
 }
 
-fn measure_from(
+/// The metric derivation itself, from the handful of scalars a solve
+/// produces — no [`LoweredGraph`] in sight, so the topology-class batch
+/// path (`crate::batch`), which drops graphs after building its replay
+/// workspace, shares the exact arithmetic of every other path.
+pub(crate) fn measure_from_parts(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
     cfg: &ParallelConfig,
-    lowered: &LoweredGraph,
+    kind: ScheduleKind,
+    peak_checkpoints: u32,
     makespan: SimDuration,
     compute_busy: f64,
 ) -> Measurement {
@@ -298,12 +312,7 @@ fn measure_from(
     let flops_per_gpu = model.hardware_flops_per_batch(global_batch) / num_gpus;
     let tflops_per_gpu = flops_per_gpu / batch_seconds / 1e12;
     let utilization = flops_per_gpu / batch_seconds / cluster.node.gpu.peak_fp16_flops;
-    let memory_bytes = memory_with_checkpoints(
-        model,
-        cfg,
-        lowered.schedule.kind(),
-        lowered.peak_checkpoints,
-    );
+    let memory_bytes = memory_with_checkpoints(model, cfg, kind, peak_checkpoints);
 
     Measurement {
         batch_seconds,

@@ -41,6 +41,7 @@ use bfpp_cluster::ClusterSpec;
 use bfpp_model::TransformerConfig;
 use bfpp_sim::SolveScratch;
 
+use crate::batch::{ClassBase, ClassKey};
 use crate::candidates::Candidate;
 use crate::kernel::KernelModel;
 use crate::lower::LoweredGraph;
@@ -77,6 +78,7 @@ struct WarmBase {
 pub struct SweepRecord {
     pub(crate) outcomes: Vec<Outcome>,
     lowerings: Mutex<HashMap<Candidate, WarmBase>>,
+    classes: Mutex<HashMap<ClassKey, Arc<ClassBase>>>,
     ops_stored: AtomicU64,
     max_ops: u64,
 }
@@ -86,6 +88,7 @@ impl SweepRecord {
         SweepRecord {
             outcomes,
             lowerings: Mutex::new(HashMap::new()),
+            classes: Mutex::new(HashMap::new()),
             ops_stored: AtomicU64::new(0),
             max_ops,
         }
@@ -144,6 +147,35 @@ impl SweepRecord {
         );
     }
 
+    /// The cached topology-class base for `key`, if the record holds
+    /// one. Class bases carry clean (unperturbed) structure only, so
+    /// they are valid for any perturbation and any kernel — the record
+    /// key already pins the kernel that produced the durations.
+    pub(crate) fn class_base(&self, key: &ClassKey) -> Option<Arc<ClassBase>> {
+        self.lock_classes().get(key).map(Arc::clone)
+    }
+
+    /// Offers a topology-class base for reuse by later warm runs,
+    /// charged against the same op budget as stored lowerings. Silently
+    /// dropped once the budget is spent.
+    pub(crate) fn store_class(&self, key: ClassKey, base: Arc<ClassBase>) {
+        let ops = base.num_ops() as u64;
+        let mut classes = self.lock_classes();
+        if classes.contains_key(&key) {
+            return;
+        }
+        if self.ops_stored.fetch_add(ops, Ordering::Relaxed) + ops > self.max_ops {
+            self.ops_stored.fetch_sub(ops, Ordering::Relaxed);
+            return;
+        }
+        classes.insert(key, base);
+    }
+
+    /// Number of topology-class bases currently held.
+    pub fn classes_held(&self) -> usize {
+        self.lock_classes().len()
+    }
+
     /// Number of clean lowerings currently held.
     pub fn lowerings_held(&self) -> usize {
         self.lock_lowerings().len()
@@ -151,6 +183,13 @@ impl SweepRecord {
 
     fn lock_lowerings(&self) -> MutexGuard<'_, HashMap<Candidate, WarmBase>> {
         match self.lowerings.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn lock_classes(&self) -> MutexGuard<'_, HashMap<ClassKey, Arc<ClassBase>>> {
+        match self.classes.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }

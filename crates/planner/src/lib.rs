@@ -622,13 +622,17 @@ impl Planner {
     fn quarantine(&self, req: &PlanRequest) {
         let warm_dropped = self.invalidate(&req.model, &req.cluster);
         let mut schedules_dropped = 0;
+        let mut classes_dropped = 0;
         for kind in req.method.kinds() {
             schedules_dropped += self.env.schedules.invalidate_kind(*kind);
+            classes_dropped += self.env.classes.invalidate_kind(*kind);
         }
         self.lifecycle
             .add("quarantined_warm_records", warm_dropped as u64);
         self.lifecycle
             .add("quarantined_schedules", schedules_dropped as u64);
+        self.lifecycle
+            .add("quarantined_classes", classes_dropped as u64);
     }
 
     fn finish_accounting(&self, report: &SearchReport, t0: Instant) {
@@ -812,8 +816,12 @@ mod tests {
     #[test]
     fn panicked_session_becomes_a_failed_event_and_quarantines() {
         let planner = Arc::new(Planner::with_threads(2));
-        let req = quick_req(Method::BreadthFirst, 16);
+        let mut req = quick_req(Method::BreadthFirst, 16);
         // Seed both caches so the quarantine has something to drop.
+        // Per-candidate evaluation populates the schedule cache even
+        // when the process-global class cache is already warm (batched
+        // evaluation would skip schedule generation entirely then).
+        req.opts.eval = bfpp_exec::search::EvalMode::PerCandidate;
         planner.plan(&req);
         assert!(!planner.env().schedules.is_empty());
         assert_eq!(planner.warm().unwrap().len(), 1);

@@ -27,7 +27,7 @@
 use std::time::Duration;
 
 use bfpp_cluster::{presets as clusters, ClusterSpec};
-use bfpp_exec::search::{Method, SearchOptions, SearchReport, SearchResult};
+use bfpp_exec::search::{EvalMode, Method, SearchOptions, SearchReport, SearchResult};
 use bfpp_exec::KernelModel;
 use bfpp_sim::Perturbation;
 
@@ -156,6 +156,13 @@ fn build_request(v: &Value) -> Result<PlanRequest, String> {
     }
     if let Some(c) = v.get("max_candidates").and_then(Value::as_u64) {
         opts.max_candidates = Some(c);
+    }
+    if let Some(e) = v.get("eval").and_then(Value::as_str) {
+        opts.eval = match e {
+            "batched" => EvalMode::Batched,
+            "per_candidate" | "per-candidate" => EvalMode::PerCandidate,
+            other => return Err(format!("unknown eval mode {other:?}")),
+        };
     }
     opts.perturbation = perturbation_of(v)?;
     Ok(PlanRequest {

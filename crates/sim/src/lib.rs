@@ -58,7 +58,9 @@ pub use observe::{
     ResourceBreakdown, SharedCounters, TraceOp, Track,
 };
 pub use perturb::{OpClass, Perturbation};
-pub use solver::{DeadlockError, ScheduledOp, SolveScratch, SolveStats, Solver, Timeline};
+pub use solver::{
+    DeadlockError, DurationMatrix, ScheduledOp, SolveScratch, SolveStats, Solver, Timeline,
+};
 pub use stats::{ResourceStats, UtilizationSummary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{AsciiTimelineOptions, TraceRow};

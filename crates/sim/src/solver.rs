@@ -269,6 +269,27 @@ pub struct SolveScratch {
     end: Vec<SimTime>,
     /// Per-resource packed solve state (free time, queue cursor, head).
     res: Vec<ResourceState>,
+    /// The consumed ready worklist of the last successful full solve, in
+    /// processing order — a *replay trace*. The event loop's processing
+    /// order is duration-independent (pushes depend only on pending-dep
+    /// counters and queue positions, never on times), so one recorded
+    /// trace is a valid schedule order for *any* duration vector over
+    /// this topology; [`SolveScratch::replay`] re-times it without queue
+    /// or counter bookkeeping.
+    trace: Vec<OpId>,
+    /// Whether `trace` holds a complete trace for the current topology.
+    /// Cleared by [`build_csr`]; deadlocked solves never set it.
+    trace_ready: bool,
+    /// Per-op dependency-ready time, used by the replay loop in place of
+    /// the packed `OpState` (dense 8-byte lanes instead of 16-byte
+    /// structs: the replay touches nothing else per dependent).
+    ready_time: Vec<SimTime>,
+    /// Per-resource free time for the replay loop (SoA twin of
+    /// `ResourceState::free_at`).
+    replay_free: Vec<SimTime>,
+    /// Per-resource busy sum for the replay loop (SoA twin of
+    /// `ResourceState::busy`).
+    replay_busy: Vec<SimDuration>,
 }
 
 impl SolveScratch {
@@ -293,7 +314,187 @@ impl SolveScratch {
             start: Vec::with_capacity(ops),
             end: Vec::with_capacity(ops),
             res: Vec::with_capacity(resources),
+            trace: Vec::with_capacity(ops),
+            trace_ready: false,
+            ready_time: Vec::with_capacity(ops),
+            replay_free: Vec::with_capacity(resources),
+            replay_busy: Vec::with_capacity(resources),
         }
+    }
+
+    /// Whether the workspace holds a replay trace for its current
+    /// topology (recorded by the first successful solve after
+    /// [`Solver::with_scratch`]/[`Solver::new`] built the index).
+    pub fn has_trace(&self) -> bool {
+        self.trace_ready
+    }
+
+    /// Number of ops in the topology this workspace was last built for.
+    pub fn num_ops(&self) -> usize {
+        self.indptr.len().saturating_sub(1)
+    }
+
+    /// Re-times the recorded trace under `durations`, writing the
+    /// makespan and per-resource busy sums into `stats` (its `busy`
+    /// buffer is reused, so a caller looping over many duration rows
+    /// allocates nothing). This is the graph-free half of the duration
+    /// re-solve: the workspace alone carries the topology, so callers
+    /// holding a prebuilt scratch for a topology *class* (see
+    /// `exec::batch`) can evaluate members without any graph in hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trace is recorded ([`SolveScratch::has_trace`]) or
+    /// if `durations.len()` differs from the topology's op count.
+    pub fn replay_stats_into(&mut self, durations: &[SimDuration], stats: &mut SolveStats) {
+        let makespan = self.replay::<false>(durations);
+        stats.makespan = makespan;
+        stats.busy.clear();
+        stats.busy.extend_from_slice(&self.replay_busy);
+        stats.peak_memory = None;
+    }
+
+    /// The replay engine: walks the recorded trace once, re-timing every
+    /// op under `durations`. The trace respects dependency order (an op
+    /// was pushed only after all its deps ran) and per-resource FIFO
+    /// order (only queue heads are pushed), and an op's start time —
+    /// `max(resource free, deps done)` — is a pure function of
+    /// already-processed ops under both orders, so the replayed times are
+    /// bit-identical to a full event-driven solve under the same
+    /// durations, with none of the queue/counter bookkeeping. `RECORD`
+    /// additionally fills the per-op `start`/`end` arrays (timeline and
+    /// memory-peak paths).
+    fn replay<const RECORD: bool>(&mut self, durations: &[SimDuration]) -> SimDuration {
+        assert!(
+            self.trace_ready,
+            "replay requires a recorded trace (run one full solve first)"
+        );
+        let n = self.num_ops();
+        assert_eq!(
+            durations.len(),
+            n,
+            "duration override must cover every op (got {}, topology has {n})",
+            durations.len()
+        );
+        let num_resources = self.queue_indptr.len().saturating_sub(1);
+        let SolveScratch {
+            indptr,
+            dependents,
+            op_resource,
+            state: _,
+            start,
+            end,
+            trace,
+            ready_time,
+            replay_free,
+            replay_busy,
+            ..
+        } = self;
+        ready_time.clear();
+        ready_time.resize(n, SimTime::ZERO);
+        replay_free.clear();
+        replay_free.resize(num_resources, SimTime::ZERO);
+        replay_busy.clear();
+        replay_busy.resize(num_resources, SimDuration::ZERO);
+        if RECORD {
+            start.resize(n, SimTime::ZERO);
+            end.resize(n, SimTime::ZERO);
+        }
+        // SAFETY: every `OpId` in `trace` was consumed from the ready
+        // worklist of a successful full solve over this topology, whose
+        // ids come from `queue_arena`/`dependents` — validated `< n` at
+        // `add_op` time (see the SAFETY argument in `run_impl`), so `i`
+        // indexes `ready_time`/`op_resource`/`durations` and (under
+        // `RECORD`) `start`/`end`, and `i + 1 <= n` indexes `indptr`.
+        // `op_resource` entries were in-range resource ids at `add_op`
+        // time, bounding the `replay_free`/`replay_busy` accesses, and
+        // `indptr` is a prefix sum bounded by `dependents.len()`.
+        // `build_csr` clears `trace_ready`, so a trace can never be
+        // replayed against a differently shaped topology.
+        for &op_id in trace.iter() {
+            let i = op_id.index();
+            debug_assert!(i < n);
+            let r = unsafe { *op_resource.get_unchecked(i) } as usize;
+            debug_assert!(r < num_resources);
+            let d = unsafe { *durations.get_unchecked(i) };
+            let free = unsafe { replay_free.get_unchecked_mut(r) };
+            let ready_at = (*free).max(unsafe { *ready_time.get_unchecked(i) });
+            let finish = ready_at + d;
+            *free = finish;
+            unsafe { *replay_busy.get_unchecked_mut(r) += d };
+            if RECORD {
+                unsafe {
+                    *start.get_unchecked_mut(i) = ready_at;
+                    *end.get_unchecked_mut(i) = finish;
+                }
+            }
+            let (lo, hi) = unsafe {
+                (
+                    *indptr.get_unchecked(i) as usize,
+                    *indptr.get_unchecked(i + 1) as usize,
+                )
+            };
+            debug_assert!(lo <= hi && hi <= dependents.len());
+            for &dependent in unsafe { dependents.get_unchecked(lo..hi) } {
+                let j = dependent.index();
+                debug_assert!(j < n);
+                let rt = unsafe { ready_time.get_unchecked_mut(j) };
+                *rt = (*rt).max(finish);
+            }
+        }
+        let makespan = replay_free.iter().copied().max().unwrap_or(SimTime::ZERO);
+        makespan.duration_since(SimTime::ZERO)
+    }
+}
+
+/// A dense batch of duration vectors: one contiguous row of `n_ops`
+/// durations per candidate, evaluated against a single prebuilt
+/// [`SolveScratch`] by [`Solver::solve_batch`]. Row-major so the replay
+/// loop streams each row sequentially.
+#[derive(Debug, Clone, Default)]
+pub struct DurationMatrix {
+    n_ops: usize,
+    rows: usize,
+    data: Vec<SimDuration>,
+}
+
+impl DurationMatrix {
+    /// An empty batch over topologies of `n_ops` operations.
+    pub fn new(n_ops: usize) -> Self {
+        DurationMatrix {
+            n_ops,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends one zeroed row and returns it for filling.
+    pub fn push_row(&mut self) -> &mut [SimDuration] {
+        let lo = self.data.len();
+        self.data.resize(lo + self.n_ops, SimDuration::ZERO);
+        self.rows += 1;
+        &mut self.data[lo..]
+    }
+
+    /// Number of rows (candidates) in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width (ops per candidate).
+    pub fn n_ops(&self) -> usize {
+        self.n_ops
+    }
+
+    /// The `row`-th duration vector.
+    pub fn row(&self, row: usize) -> &[SimDuration] {
+        &self.data[row * self.n_ops..(row + 1) * self.n_ops]
+    }
+
+    /// Drops every row, keeping capacity.
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        self.data.clear();
     }
 }
 
@@ -330,7 +531,11 @@ impl<'g, T> Solver<'g, T> {
     /// warm-start fast path: a cached lowering keeps its built scratch
     /// alongside it, and every re-plan pays only the duration-only
     /// re-solve. Sound because solves never mutate the index (the same
-    /// property that lets one solver run many duration vectors).
+    /// property that lets one solver run many duration vectors). A
+    /// recorded replay trace travels with the workspace: rebinding to a
+    /// graph of the same topology *class* (identical op/edge/queue
+    /// structure, durations free to differ — the caller's contract here)
+    /// keeps duration re-solves on the traced fast path.
     ///
     /// # Panics
     ///
@@ -413,7 +618,8 @@ impl<'g, T> Solver<'g, T> {
         &mut self,
         durations: &[SimDuration],
     ) -> Result<Timeline, DeadlockError> {
-        let makespan = self.run(Some(durations), true)?;
+        self.ensure_trace()?;
+        let makespan = self.s.replay::<true>(durations);
         Ok(self.materialize(makespan))
     }
 
@@ -430,7 +636,8 @@ impl<'g, T> Solver<'g, T> {
         &mut self,
         durations: &[SimDuration],
     ) -> Result<SimDuration, DeadlockError> {
-        self.run(Some(durations), false)
+        self.ensure_trace()?;
+        Ok(self.s.replay::<false>(durations))
     }
 
     /// Solves for the makespan and per-resource busy times — everything
@@ -460,8 +667,59 @@ impl<'g, T> Solver<'g, T> {
         &mut self,
         durations: &[SimDuration],
     ) -> Result<SolveStats, DeadlockError> {
-        let makespan = self.run(Some(durations), false)?;
-        Ok(self.stats(makespan))
+        self.ensure_trace()?;
+        let makespan = self.s.replay::<false>(durations);
+        Ok(SolveStats {
+            makespan,
+            busy: self.s.replay_busy.clone(),
+            peak_memory: None,
+        })
+    }
+
+    /// Evaluates a whole batch of duration rows against this solver's
+    /// topology: one full solve records the replay trace (its processing
+    /// order is duration-independent, see [`SolveScratch::replay`]), then
+    /// every row is re-timed in a tight, allocation-free loop. `f`
+    /// receives each row index with its [`SolveStats`] (the stats buffer
+    /// is reused across rows — copy out what must outlive the call).
+    /// Results are bit-identical to calling
+    /// [`Solver::solve_stats_with_durations`] once per row.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::solve`] — a deadlocked topology fails once, before
+    /// any row is evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.n_ops()` differs from the graph's op count.
+    pub fn solve_batch(
+        &mut self,
+        batch: &DurationMatrix,
+        mut f: impl FnMut(usize, &SolveStats),
+    ) -> Result<(), DeadlockError> {
+        self.ensure_trace()?;
+        let mut stats = SolveStats {
+            makespan: SimDuration::ZERO,
+            busy: Vec::new(),
+            peak_memory: None,
+        };
+        for row in 0..batch.rows() {
+            self.s.replay_stats_into(batch.row(row), &mut stats);
+            f(row, &stats);
+        }
+        Ok(())
+    }
+
+    /// Ensures the scratch holds a replay trace, running one full solve
+    /// (base durations, times discarded) if it does not. The event loop's
+    /// processing order never reads times, so the trace recorded under
+    /// base durations is valid for every duration vector.
+    fn ensure_trace(&mut self) -> Result<(), DeadlockError> {
+        if !self.s.trace_ready {
+            self.run(None, false)?;
+        }
+        Ok(())
     }
 
     /// As [`Solver::solve_stats`], additionally evaluating `mem` against
@@ -523,8 +781,13 @@ impl<'g, T> Solver<'g, T> {
         durations: &[SimDuration],
         mem: &MemorySpec,
     ) -> Result<SolveStats, DeadlockError> {
-        let makespan = self.run(Some(durations), true)?;
-        let mut stats = self.stats(makespan);
+        self.ensure_trace()?;
+        let makespan = self.s.replay::<true>(durations);
+        let mut stats = SolveStats {
+            makespan,
+            busy: self.s.replay_busy.clone(),
+            peak_memory: None,
+        };
         stats.peak_memory = Some(self.scratch_peaks(mem));
         Ok(stats)
     }
@@ -604,6 +867,8 @@ impl<'g, T> Solver<'g, T> {
             start,
             end,
             res,
+            trace,
+            trace_ready,
             ..
         } = s;
         // Without an override, the base durations cached at build time
@@ -750,6 +1015,15 @@ impl<'g, T> Solver<'g, T> {
             });
         }
 
+        // A successful solve's consumed worklist is a replay trace for
+        // any duration vector over this topology (processing order is
+        // duration-independent); record it once per built index.
+        if !*trace_ready {
+            trace.clear();
+            trace.extend_from_slice(ready);
+            *trace_ready = true;
+        }
+
         // Every resource's `free_at` is its last op's end time, so the
         // makespan is their max — no per-op max in the hot loop.
         let makespan = res.iter().map(|r| r.free_at).max().unwrap_or(SimTime::ZERO);
@@ -785,6 +1059,9 @@ impl<'g, T> Solver<'g, T> {
 /// loop reads instead of the graph.
 fn build_csr<T>(graph: &OpGraph<T>, scratch: &mut SolveScratch) {
     let n = graph.num_ops();
+    // Any recorded replay trace belonged to the previous topology.
+    scratch.trace.clear();
+    scratch.trace_ready = false;
     scratch.indptr.clear();
     scratch.indptr.resize(n + 1, 0);
     scratch.init_state.clear();
@@ -1078,6 +1355,128 @@ mod tests {
         g3.add_dep(h, t);
         assert!(g3.solve_with(&mut scratch).is_err());
         assert_eq!(g1.solve_with(&mut scratch).unwrap().makespan(), ns(10));
+    }
+
+    /// A graph with cross-resource deps, FIFO contention and zero-length
+    /// ops — enough structure that a wrong replay order would misplace
+    /// some time.
+    fn diamond() -> OpGraph<()> {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r1 = g.add_resource("a");
+        let r2 = g.add_resource("b");
+        let a = g.add_op(r1, ns(10), &[], ());
+        let b = g.add_op(r2, ns(4), &[a], ());
+        let c = g.add_op(r1, ns(6), &[], ());
+        let d = g.add_op(r2, ns(0), &[c], ());
+        g.add_op(r1, ns(3), &[b, d], ());
+        g
+    }
+
+    #[test]
+    fn replay_timeline_matches_full_solve() {
+        let g = diamond();
+        let durs: Vec<SimDuration> = (0..g.num_ops() as u64).map(|i| ns(i * 7 + 1)).collect();
+        // Oracle: a fresh solver whose first-ever solve uses the
+        // overridden durations via the full event loop (no trace yet,
+        // `ensure_trace` runs base durations first — so force the full
+        // path by building a graph with those durations baked in).
+        let mut g2: OpGraph<()> = OpGraph::new();
+        let r1 = g2.add_resource("a");
+        let r2 = g2.add_resource("b");
+        let a = g2.add_op(r1, durs[0], &[], ());
+        let b = g2.add_op(r2, durs[1], &[a], ());
+        let c = g2.add_op(r1, durs[2], &[], ());
+        let d = g2.add_op(r2, durs[3], &[c], ());
+        g2.add_op(r1, durs[4], &[b, d], ());
+        let oracle = g2.solve().unwrap();
+
+        let mut solver = Solver::new(&g);
+        let replayed = solver.solve_with_durations(&durs).unwrap();
+        assert_eq!(replayed.scheduled_ops(), oracle.scheduled_ops());
+        assert_eq!(replayed.makespan(), oracle.makespan());
+        // Stats agree with the timeline-derived sums.
+        let stats = solver.solve_stats_with_durations(&durs).unwrap();
+        assert_eq!(stats.makespan, oracle.makespan());
+        // And the base-duration solve still answers from pristine state.
+        assert_eq!(solver.solve().unwrap().makespan(), ns(19));
+    }
+
+    #[test]
+    fn solve_batch_matches_per_row_resolves() {
+        let g = diamond();
+        let n = g.num_ops();
+        let mut batch = DurationMatrix::new(n);
+        for row in 0..5u64 {
+            let r = batch.push_row();
+            for (i, d) in r.iter_mut().enumerate() {
+                *d = ns((row * 13 + i as u64 * 5) % 23);
+            }
+        }
+        let mut solver = Solver::new(&g);
+        let mut got: Vec<SolveStats> = Vec::new();
+        solver
+            .solve_batch(&batch, |row, stats| {
+                assert_eq!(row, got.len());
+                got.push(stats.clone());
+            })
+            .unwrap();
+        assert_eq!(got.len(), 5);
+        for (row, stats) in got.iter().enumerate() {
+            let want = Solver::new(&g)
+                .solve_stats_with_durations(batch.row(row))
+                .unwrap();
+            assert_eq!(stats, &want);
+        }
+    }
+
+    #[test]
+    fn scratch_replay_is_graph_free() {
+        let g = diamond();
+        let mut solver = Solver::new(&g);
+        let base = solver.solve_stats().unwrap();
+        let durs: Vec<SimDuration> = g.op_ids().map(|id| g.op(id).duration()).collect();
+        let mut scratch = solver.into_scratch();
+        assert!(scratch.has_trace());
+        assert_eq!(scratch.num_ops(), g.num_ops());
+        let mut stats = SolveStats {
+            makespan: SimDuration::ZERO,
+            busy: Vec::new(),
+            peak_memory: None,
+        };
+        // No graph in sight: the workspace alone re-times the topology.
+        scratch.replay_stats_into(&durs, &mut stats);
+        assert_eq!(stats, base);
+    }
+
+    #[test]
+    fn batch_over_deadlocked_topology_fails_once() {
+        let mut g: OpGraph<()> = OpGraph::new();
+        let r = g.add_resource("r");
+        let head = g.add_op(r, ns(1), &[], ());
+        let tail = g.add_op(r, ns(1), &[], ());
+        g.add_dep(head, tail);
+        let mut batch = DurationMatrix::new(2);
+        batch.push_row();
+        let mut calls = 0;
+        let err = Solver::new(&g).solve_batch(&batch, |_, _| calls += 1);
+        assert!(err.is_err());
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn empty_graph_batch_rows_all_zero() {
+        let g: OpGraph<()> = OpGraph::new();
+        let mut batch = DurationMatrix::new(0);
+        batch.push_row();
+        batch.push_row();
+        let mut rows = 0;
+        Solver::new(&g)
+            .solve_batch(&batch, |_, stats| {
+                assert_eq!(stats.makespan, SimDuration::ZERO);
+                rows += 1;
+            })
+            .unwrap();
+        assert_eq!(rows, 2);
     }
 
     #[test]
