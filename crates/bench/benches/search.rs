@@ -7,12 +7,13 @@
 use std::time::Instant;
 
 use bfpp_cluster::presets::dgx1_v100;
+use bfpp_cluster::NodeId;
 use bfpp_core::ScheduleKind;
 use bfpp_exec::search::{best_config, best_config_exhaustive, Method, SearchOptions};
 use bfpp_exec::{simulate, ClassCache, KernelModel, OverlapConfig, Perturbation};
 use bfpp_model::presets::bert_52b;
 use bfpp_parallel::{BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
-use bfpp_planner::{PlanRequest, Planner};
+use bfpp_planner::{ClusterDelta, PlanRequest, Planner};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_simulate(c: &mut Criterion) {
@@ -195,6 +196,75 @@ fn bench_candidate_throughput(_c: &mut Criterion) {
     );
 }
 
+/// Elastic re-planning latency on the Figure 5a shape: a node drops out
+/// of a 4-node fleet mid-run and the planner must produce a placement
+/// for the 3 survivors (three nodes still admit valid grids at batch
+/// 48 through `N_DP = 3`; a 7-node survivor fleet would not). The
+/// *cold* arm measures the first such drop (the degraded topology has
+/// never been planned: quarantine, enumerate, prune, simulate from
+/// scratch). The *warm* arm measures the drop of a flapping node — the
+/// degraded topology's sweep record survived the re-add, so the re-plan
+/// replays it instead of re-searching. These are the
+/// `elastic_fig5a_b48` fields of `BENCH_search.json`; both arms are
+/// asserted to return bit-identical winners.
+fn bench_elastic(_c: &mut Criterion) {
+    let iters = 20u32;
+    let drop = ClusterDelta::drop_node(NodeId(3));
+    let mut req = plan_request(Method::BreadthFirst, Perturbation::none());
+    req.cluster = dgx1_v100(4);
+
+    // Cold: every iteration starts a fresh planner on the full fleet,
+    // then times the first drop — the re-plan has nothing to replay.
+    let mut cold_ns = 0u128;
+    let mut cold_winner = None;
+    for _ in 0..iters {
+        ClassCache::global().clear();
+        let planner = Planner::new();
+        planner.plan(&req);
+        let t = Instant::now();
+        let (_, result, report) = planner.replan(&req, &drop).expect("drop applies");
+        cold_ns += t.elapsed().as_nanos();
+        assert_eq!(report.warm_hits, 0, "first drop must plan cold");
+        cold_winner = result;
+    }
+    let cold_ns = cold_ns / u128::from(iters);
+
+    // Warm: one planner rides a full flap (drop, re-add) untimed, so
+    // the degraded topology's record is warm; then every timed drop of
+    // the same node replays that record.
+    ClassCache::global().clear();
+    let planner = Planner::new();
+    planner.plan(&req);
+    let (degraded, _, _) = planner.replan(&req, &drop).expect("drop applies");
+    let (restored, _, _) = planner
+        .replan(&degraded, &ClusterDelta::add_node(req.cluster.node.clone()))
+        .expect("add applies");
+    assert_eq!(restored.cluster, req.cluster, "flap restores the fleet");
+    let mut warm_ns = 0u128;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let (_, result, report) = planner.replan(&restored, &drop).expect("drop applies");
+        warm_ns += t.elapsed().as_nanos();
+        assert!(report.warm_hits > 0, "flapped drop must warm-hit");
+        assert_eq!(result, cold_winner, "warm replay equals the cold plan");
+    }
+    let warm_ns = warm_ns / u128::from(iters);
+
+    println!(
+        "bench {:<48} {:>12} ns/iter",
+        "elastic_fig5a_b48/cold_replan", cold_ns
+    );
+    println!(
+        "bench {:<48} {:>12} ns/iter",
+        "elastic_fig5a_b48/warm_replan", warm_ns
+    );
+    println!(
+        "bench {:<48} {:>12.1} x",
+        "elastic_fig5a_b48/speedup_warm_vs_cold",
+        cold_ns as f64 / warm_ns as f64
+    );
+}
+
 fn quick_criterion() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -205,6 +275,7 @@ fn quick_criterion() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick_criterion();
-    targets = bench_simulate, bench_search, bench_planner, bench_candidate_throughput
+    targets = bench_simulate, bench_search, bench_planner, bench_candidate_throughput,
+        bench_elastic
 }
 criterion_main!(benches);

@@ -28,14 +28,68 @@
 //! let cluster = presets::dgx1_v100(8); // the paper's evaluation cluster
 //! assert_eq!(cluster.num_gpus(), 64);
 //! ```
+//!
+//! ## Heterogeneous fleets
+//!
+//! The paper assumes identical nodes; production fleets mix GPU
+//! generations and fabrics. The [`HeteroCluster`] extension gives a
+//! [`ClusterSpec`] a per-node hardware map and per-node-pair fabric
+//! overrides, while keeping the node-major rank numbering (every node
+//! still exposes the same `gpus_per_node`). Mixed presets build the
+//! canonical testbeds:
+//!
+//! ```
+//! use bfpp_cluster::{presets, GlobalRank, NodeId};
+//!
+//! // 4 DGX-1 V100 nodes + 4 DGX A100 nodes, islands bridged over 10 GbE.
+//! let fleet = presets::mixed_v100_a100_asym(4, 4);
+//! assert!(fleet.is_hetero());
+//! assert_eq!(fleet.peak_flops_of(GlobalRank(0)), 125e12); // a V100 rank
+//! assert_eq!(fleet.peak_flops_of(GlobalRank(32)), 312e12); // an A100 rank
+//!
+//! // Cross-island traffic bottlenecks on the Ethernet bridge.
+//! let bridge = fleet.inter_link_between(NodeId(0), NodeId(4));
+//! assert_eq!(bridge.bandwidth, 2.5e9);
+//! ```
+//!
+//! Feasibility checks on a mixed fleet use the conservative
+//! [`ClusterSpec::min_memory_bytes`]; utilization is reported against
+//! [`ClusterSpec::reference_flops`] (the fleet mean). Both reduce to the
+//! single node type on homogeneous clusters.
+//!
+//! ## Elastic deltas
+//!
+//! Elastic fleets are transitions between `ClusterSpec`s:
+//! [`ClusterSpec::without_node`] drops a node (failure / scale-down) and
+//! [`ClusterSpec::with_added_node`] admits one (recovery / scale-up),
+//! both preserving the cluster *name* — the name identifies the fleet,
+//! not its current size — so a fleet that regains a node compares equal
+//! to its pre-failure self. `bfpp-planner` builds its sub-millisecond
+//! elastic re-planning on exactly this round-trip property:
+//!
+//! ```
+//! use bfpp_cluster::{presets, NodeId, NodeSpec};
+//!
+//! let base = presets::dgx1_v100(8);
+//! let degraded = base.without_node(NodeId(3)).unwrap();
+//! assert_eq!(degraded.num_gpus(), 56);
+//! let restored = degraded.with_added_node(NodeSpec::dgx1_v100()).unwrap();
+//! assert_eq!(restored, base); // warm-start records replay across the flap
+//! ```
+//!
+//! Grid feasibility on any fleet (homogeneous included) is validated by
+//! [`presets::validate_grid`], which returns a typed [`ClusterError`]
+//! instead of silently truncating stranded devices.
 
 mod cluster;
 mod gpu;
+mod hetero;
 mod network;
 mod node;
 pub mod presets;
 
 pub use cluster::{ClusterSpec, GlobalRank, NodeId};
 pub use gpu::GpuSpec;
+pub use hetero::{ClusterError, FabricLink, HeteroCluster};
 pub use network::{LinkSpec, NetworkTier};
 pub use node::NodeSpec;

@@ -1,6 +1,11 @@
-//! Ready-made clusters matching the paper's experimental setups.
+//! Ready-made clusters matching the paper's experimental setups, plus
+//! mixed-generation (heterogeneous) fleets and the grid-divisibility
+//! validation every preset consumer should run before carving a
+//! `PP × DP` grid out of a fleet.
 
-use crate::cluster::ClusterSpec;
+use crate::cluster::{ClusterSpec, NodeId};
+use crate::hetero::ClusterError;
+use crate::network::LinkSpec;
 use crate::node::NodeSpec;
 
 /// A cluster of DGX-1 V100 nodes over InfiniBand.
@@ -60,6 +65,80 @@ pub fn dgx_a100_80gb(num_nodes: u32) -> ClusterSpec {
     )
 }
 
+/// A mixed-generation fleet: `v100_nodes` DGX-1 V100 nodes followed by
+/// `a100_nodes` DGX A100 (40 GB) nodes, both 8 GPUs per node. The
+/// canonical heterogeneous testbed — stage placement proportional to
+/// device speed is searched on clusters like this one.
+///
+/// # Panics
+///
+/// Panics if both counts are zero.
+pub fn mixed_v100_a100(v100_nodes: u32, a100_nodes: u32) -> ClusterSpec {
+    let mut nodes = Vec::with_capacity((v100_nodes + a100_nodes) as usize);
+    nodes.extend((0..v100_nodes).map(|_| NodeSpec::dgx1_v100()));
+    nodes.extend((0..a100_nodes).map(|_| NodeSpec::dgx_a100_40gb()));
+    ClusterSpec::heterogeneous(format!("mixed-v100x{v100_nodes}-a100x{a100_nodes}"), nodes)
+        .expect("mixed preset nodes all expose 8 GPUs")
+}
+
+/// [`mixed_v100_a100`] with an asymmetric fabric: the two islands keep
+/// their native InfiniBand internally, but every cross-generation node
+/// pair is bridged over 10 GbE (the common case of islands procured at
+/// different times sharing only the datacenter network).
+///
+/// # Panics
+///
+/// Panics if either count is zero.
+pub fn mixed_v100_a100_asym(v100_nodes: u32, a100_nodes: u32) -> ClusterSpec {
+    assert!(
+        v100_nodes > 0 && a100_nodes > 0,
+        "an asymmetric fabric needs both islands"
+    );
+    let mut cluster = mixed_v100_a100(v100_nodes, a100_nodes);
+    for v in 0..v100_nodes {
+        for a in 0..a100_nodes {
+            cluster = cluster
+                .with_fabric_link(NodeId(v), NodeId(v100_nodes + a), LinkSpec::ethernet_10g())
+                .expect("island indices are in range and distinct");
+        }
+    }
+    cluster
+}
+
+/// Validates that a `PP × DP` grid divides a fleet's device count
+/// evenly, returning the implied tensor-parallel width. This is the
+/// typed replacement for silently truncating a fleet to the largest
+/// grid that fits: callers that used to compute `num_gpus / (pp*dp)`
+/// with integer division (stranding the remainder) should call this and
+/// surface the error instead.
+///
+/// # Errors
+///
+/// [`ClusterError::GridMismatch`] when `PP·DP` does not divide the
+/// device count, and [`ClusterError::TensorWidthMismatch`] when the
+/// implied tensor width `num_gpus / (PP·DP)` would span nodes (it must
+/// divide `gpus_per_node`).
+pub fn validate_grid(cluster: &ClusterSpec, n_pp: u32, n_dp: u32) -> Result<u32, ClusterError> {
+    let num_gpus = cluster.num_gpus();
+    let ways = n_pp.checked_mul(n_dp).unwrap_or(0);
+    if ways == 0 || !num_gpus.is_multiple_of(ways) {
+        return Err(ClusterError::GridMismatch {
+            num_gpus,
+            n_pp,
+            n_dp,
+        });
+    }
+    let n_tp = num_gpus / ways;
+    let spn = cluster.node.gpus_per_node;
+    if n_tp > spn || !spn.is_multiple_of(n_tp) {
+        return Err(ClusterError::TensorWidthMismatch {
+            n_tp,
+            gpus_per_node: spn,
+        });
+    }
+    Ok(n_tp)
+}
+
 /// The paper's evaluation cluster: 8 DGX-1 nodes, 64 V100 GPUs (§5.1).
 pub fn paper_cluster() -> ClusterSpec {
     dgx1_v100(8)
@@ -96,5 +175,99 @@ mod tests {
     fn names_distinguish_presets() {
         assert_ne!(dgx1_v100(2).name, dgx1_v100_ethernet(2).name);
         assert!(dgx_a100(3).name.contains("a100"));
+    }
+
+    #[test]
+    fn mixed_preset_maps_nodes_by_generation() {
+        use crate::cluster::{GlobalRank, NodeId};
+        let c = mixed_v100_a100(4, 4);
+        assert_eq!(c.num_gpus(), 64);
+        assert!(c.is_hetero());
+        assert!(c.node_spec(NodeId(0)).gpu.name.contains("V100"));
+        assert!(c.node_spec(NodeId(4)).gpu.name.contains("A100"));
+        assert_eq!(c.peak_flops_of(GlobalRank(0)), 125e12);
+        assert_eq!(c.peak_flops_of(GlobalRank(32)), 312e12);
+        // Mean of 32 V100s and 32 A100s.
+        assert!((c.reference_flops() - (125e12 + 312e12) / 2.0).abs() < 1.0);
+        // The V100's 32 GiB bounds the conservative capacity.
+        assert_eq!(c.min_memory_bytes(), 32 * (1 << 30));
+    }
+
+    #[test]
+    fn asym_preset_bridges_islands_over_ethernet() {
+        use crate::cluster::{GlobalRank, NodeId};
+        use crate::network::NetworkTier;
+        let c = mixed_v100_a100_asym(2, 2);
+        // Inside an island: that island's InfiniBand.
+        assert_eq!(
+            c.inter_link_between(NodeId(0), NodeId(1)).tier,
+            NetworkTier::InfiniBand
+        );
+        assert_eq!(
+            c.inter_link_between(NodeId(2), NodeId(3)).tier,
+            NetworkTier::InfiniBand
+        );
+        // Across islands: the Ethernet bridge, in either direction.
+        assert_eq!(
+            c.inter_link_between(NodeId(1), NodeId(2)).tier,
+            NetworkTier::Ethernet
+        );
+        assert_eq!(
+            c.inter_link_between(NodeId(3), NodeId(0)).tier,
+            NetworkTier::Ethernet
+        );
+        // Rank-level routing picks the same links.
+        assert_eq!(
+            c.link_between(GlobalRank(0), GlobalRank(17)).tier,
+            NetworkTier::Ethernet
+        );
+        // A group spanning both islands bottlenecks on the bridge.
+        let group = [GlobalRank(0), GlobalRank(8), GlobalRank(16)];
+        assert_eq!(c.group_link(&group).tier, NetworkTier::Ethernet);
+    }
+
+    #[test]
+    fn grid_validation_accepts_even_divisions() {
+        let c = dgx1_v100(8); // 64 GPUs
+        assert_eq!(validate_grid(&c, 8, 4), Ok(2));
+        assert_eq!(validate_grid(&c, 8, 8), Ok(1));
+        assert_eq!(validate_grid(&c, 1, 8), Ok(8));
+        let m = mixed_v100_a100(4, 4); // 64 GPUs
+        assert_eq!(validate_grid(&m, 4, 2), Ok(8));
+    }
+
+    #[test]
+    fn grid_validation_rejects_truncation_with_typed_errors() {
+        use crate::hetero::ClusterError;
+        // 7 nodes = 56 GPUs: an 8x4 grid would strand 24 GPUs.
+        let c = dgx1_v100(7);
+        assert_eq!(
+            validate_grid(&c, 8, 4),
+            Err(ClusterError::GridMismatch {
+                num_gpus: 56,
+                n_pp: 8,
+                n_dp: 4
+            })
+        );
+        // Degenerate grids are a mismatch, not a panic.
+        assert!(matches!(
+            validate_grid(&c, 0, 4),
+            Err(ClusterError::GridMismatch { .. })
+        ));
+        // 64 GPUs over a 2x2 grid implies TP=16, wider than a node.
+        let c = dgx1_v100(8);
+        assert_eq!(
+            validate_grid(&c, 2, 2),
+            Err(ClusterError::TensorWidthMismatch {
+                n_tp: 16,
+                gpus_per_node: 8
+            })
+        );
+        // The heterogeneous path reports the same typed errors.
+        let m = mixed_v100_a100(4, 3);
+        assert!(matches!(
+            validate_grid(&m, 8, 4),
+            Err(ClusterError::GridMismatch { .. })
+        ));
     }
 }

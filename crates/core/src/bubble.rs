@@ -81,6 +81,56 @@ pub fn lower_bound_seconds(
     (n_mb as f64 * n_loop as f64 + (n_pp - 1) as f64) * (fwd_seconds + bwd_seconds)
 }
 
+/// Per-stage-device generalisation of [`lower_bound_seconds`] for
+/// heterogeneous pipelines: device `d` has its own kernel costs
+/// `(f_d, b_d)`, given as `per_device_costs[d] = (fwd_seconds,
+/// bwd_seconds)` in pipeline order.
+///
+/// The chain argument generalises device by device. Pick any pipeline
+/// device `d`. Its first action is a forward at a stage `s ≥ d`, so the
+/// forward chain below it runs one forward on each of devices
+/// `0, …, d − 1`, strictly earlier; it then executes its own
+/// `N_mb · N_loop` serial kernel pairs; and its last action is a
+/// backward at a stage `s ≥ d`, whose backward chain runs one backward
+/// on each of devices `d − 1, …, 0`, strictly later. Hence for every
+/// `d`:
+///
+/// ```text
+/// makespan ≥ N_mb · N_loop · (f_d + b_d) + Σ_{i<d} (f_i + b_i)
+/// ```
+///
+/// and the bound is the maximum over `d`. With uniform costs the
+/// maximum is attained at `d = N_PP − 1` and the expression collapses
+/// to `(N_mb · N_loop + N_PP − 1) · (f + b)` — exactly
+/// [`lower_bound_seconds`] — so this is a strict generalisation, not a
+/// second model. On a heterogeneous pipeline the maximising device is
+/// usually the slowest one, but not always: a fast device deep in the
+/// pipeline can dominate through its warm-up/drain chains.
+///
+/// # Panics
+///
+/// Panics if `per_device_costs` is empty or a degree argument is zero.
+pub fn lower_bound_seconds_per_stage(
+    n_mb: u32,
+    n_loop: u32,
+    per_device_costs: &[(f64, f64)],
+) -> f64 {
+    assert!(
+        !per_device_costs.is_empty(),
+        "a pipeline has at least one device"
+    );
+    assert!(n_mb > 0, "N_mb must be positive");
+    assert!(n_loop > 0, "N_loop must be positive");
+    let rounds = n_mb as f64 * n_loop as f64;
+    let mut chain_below = 0.0; // Σ_{i<d} (f_i + b_i)
+    let mut best = 0.0f64;
+    for &(f, b) in per_device_costs {
+        best = best.max(rounds * (f + b) + chain_below);
+        chain_below += f + b;
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +172,43 @@ mod tests {
                 "pp={n_pp} loop={n_loop} mb={n_mb}"
             );
         }
+    }
+
+    #[test]
+    fn per_stage_bound_reduces_to_the_homogeneous_form() {
+        for (n_pp, n_mb, n_loop, f, b) in [
+            (4u32, 8u32, 2u32, 1.0, 2.0),
+            (8, 12, 1, 0.3, 0.7),
+            (1, 6, 4, 2.0, 2.0),
+        ] {
+            let uniform = vec![(f, b); n_pp as usize];
+            let per_stage = lower_bound_seconds_per_stage(n_mb, n_loop, &uniform);
+            let scalar = lower_bound_seconds(n_pp, n_mb, n_loop, f, b);
+            assert!(
+                (per_stage - scalar).abs() < 1e-12,
+                "pp={n_pp}: {per_stage} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_stage_bound_tracks_the_slow_device() {
+        // A 4-deep pipeline where device 2 is 4x slower: the bound is
+        // dominated by device 2's serial work plus the chain below it,
+        // and strictly exceeds both the fast-uniform bound and the
+        // naive mean-cost bound.
+        let costs = [(1.0, 1.0), (1.0, 1.0), (4.0, 4.0), (1.0, 1.0)];
+        let bound = lower_bound_seconds_per_stage(8, 1, &costs);
+        assert!((bound - (8.0 * 8.0 + 4.0)).abs() < 1e-12);
+        assert!(bound > lower_bound_seconds(4, 8, 1, 1.0, 1.0));
+        let mean_f = costs.iter().map(|c| c.0).sum::<f64>() / 4.0;
+        let mean_b = costs.iter().map(|c| c.1).sum::<f64>() / 4.0;
+        assert!(bound > lower_bound_seconds(4, 8, 1, mean_f, mean_b));
+        // A fast device deep in the pipeline can still dominate via its
+        // warm-up/drain chains when the slow device sits early.
+        let early_slow = [(10.0, 10.0), (1.0, 1.0)];
+        let b2 = lower_bound_seconds_per_stage(1, 1, &early_slow);
+        assert!((b2 - (1.0 * 2.0 + 20.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! structural lowering decisions produce op graphs that are *identical
 //! except for durations*: the same resources in the same creation order,
 //! the same ops in the same insertion order on the same streams, the
-//! same dependency edges. [`ClassKey`] names that equivalence class —
+//! same dependency edges. `ClassKey` names that equivalence class —
 //! every input [`crate::lower::lower_with_schedule_perturbed`] uses to
 //! decide *structure* (never timing):
 //!
@@ -17,10 +17,18 @@
 //!   duration value that gates op *emission*).
 //!
 //! Everything else — model, cluster, kernel, tensor width, micro-batch
-//! size, perturbation — only changes durations. So the search lowers
+//! size, perturbation, **and heterogeneity** — only changes durations.
+//! A heterogeneous fleet (or a non-uniform layer split) gives every
+//! device its own kernel and link times, but the lowered *structure* is
+//! untouched: send emission is gated class-wide (ops exist unless every
+//! stage-pair transfer rounds to zero — `Durations::emits_sends`), so
+//! a mixed-fleet member and a homogeneous member with the same key still
+//! share one topology. The template carries the per-op pair index so a
+//! member's row can be filled from per-device duration vectors just as
+//! cheaply as from the scalar table. So the search lowers
 //! **one representative per class**, records the solver's replay trace
 //! once ([`bfpp_sim::SolveScratch`]), and evaluates every other member
-//! from a structure-of-arrays duration batch: a [`BatchTemplate`] maps
+//! from a structure-of-arrays duration batch: a `BatchTemplate` maps
 //! each op index to its duration *kind* (fwd/bwd/p2p/gather/reduce) and
 //! its perturbation slot, so filling a member's row is two table lookups
 //! per op, and re-timing it is the solver's allocation-free trace
@@ -30,7 +38,7 @@
 //! bit-identical to a full solve), which is what lets the batched search
 //! return exactly the same winners and counters.
 //!
-//! A [`ClassBase`] is deliberately *graph-free*: it keeps only the
+//! A `ClassBase` is deliberately *graph-free*: it keeps only the
 //! prebuilt workspace, the template, and the few per-class scalars the
 //! measurement layer needs. That makes it independent of model, cluster
 //! and kernel — a base built for a key is valid for **any** request that
@@ -68,8 +76,12 @@ pub(crate) struct ClassKey {
     dp_active: bool,
     overlap_dp: bool,
     overlap_pp: bool,
-    /// Whether the per-candidate stage-boundary transfer duration is
-    /// exactly zero — the one duration that gates op emission.
+    /// Whether *every* stage-boundary transfer duration is exactly zero
+    /// — the one duration predicate that gates op emission. Lowering
+    /// gates sends class-wide (any non-zero pair emits the full send
+    /// set; zero-duration sends on fast pairs are harmless no-ops), so
+    /// this stays a single bit under heterogeneous fabrics instead of a
+    /// per-pair mask.
     p2p_zero: bool,
 }
 
@@ -85,7 +97,7 @@ impl ClassKey {
             dp_active: cand.grid.n_dp > 1,
             overlap_dp: overlap.dp,
             overlap_pp: overlap.pp,
-            p2p_zero: d.p2p.is_zero(),
+            p2p_zero: !d.emits_sends(),
         }
     }
 
@@ -101,11 +113,17 @@ impl ClassKey {
 /// (fwd, bwd, p2p, dp-gather, dp-reduce) and `slots[i]` is the
 /// perturbation slot `2 * resource + is_compute` — the same dense
 /// convention as `LoweredGraph::op_perturb`, so a row fill is two
-/// indexed loads per op with no branching on `Op` structs.
+/// indexed loads per op with no branching on `Op` structs. For members
+/// with per-device durations the same arrays still apply — the device
+/// comes from `slots[i] >> 1` via `resource_device`, and `p2p_pair[i]`
+/// names the stage-pair link a send op crosses (`dev` for forward
+/// sends, `(dev + n_pp - 1) % n_pp` for backward ones, matching
+/// lowering exactly).
 #[derive(Debug)]
 struct BatchTemplate {
     kinds: Vec<u8>,
     slots: Vec<u32>,
+    p2p_pair: Vec<u32>,
 }
 
 const KIND_FWD: u8 = 0;
@@ -151,24 +169,39 @@ impl ClassBase {
         debug_assert!(scratch.has_trace(), "a successful solve records the trace");
 
         let n_ops = lowered.graph.num_ops();
+        let n_pp = lowered.compute_resources.len() as u32;
         let mut kinds = Vec::with_capacity(n_ops);
         let mut slots = Vec::with_capacity(n_ops);
+        let mut p2p_pair = Vec::with_capacity(n_ops);
         for id in lowered.graph.op_ids() {
             let op = lowered.graph.op(id);
-            let (kind, is_compute) = match op.tag() {
+            let dev = lowered.resource_device[op.resource().index()];
+            let (kind, is_compute, pair) = match op.tag() {
                 OpTag::Compute(a) => (
                     match a.dir {
                         Direction::Forward => KIND_FWD,
                         Direction::Backward => KIND_BWD,
                     },
                     1u32,
+                    0,
                 ),
-                OpTag::PpSend { .. } => (KIND_P2P, 0),
-                OpTag::DpGather { .. } => (KIND_GATHER, 0),
-                OpTag::DpReduce { .. } => (KIND_REDUCE, 0),
+                // A forward send crosses the (dev, dev+1) boundary; a
+                // backward send re-crosses the boundary the activation
+                // arrived over — the same pair indices lowering charges.
+                OpTag::PpSend { dir, .. } => (
+                    KIND_P2P,
+                    0,
+                    match dir {
+                        Direction::Forward => dev,
+                        Direction::Backward => (dev + n_pp - 1) % n_pp,
+                    },
+                ),
+                OpTag::DpGather { .. } => (KIND_GATHER, 0, 0),
+                OpTag::DpReduce { .. } => (KIND_REDUCE, 0, 0),
             };
             kinds.push(kind);
             slots.push(2 * op.resource().index() as u32 + is_compute);
+            p2p_pair.push(pair);
         }
 
         Some(ClassBase {
@@ -178,7 +211,11 @@ impl ClassBase {
             reduce_is_all_reduce: dp == DataParallelism::Unsharded,
             compute_resources: lowered.compute_resources.clone(),
             resource_device: lowered.resource_device.clone(),
-            template: BatchTemplate { kinds, slots },
+            template: BatchTemplate {
+                kinds,
+                slots,
+                p2p_pair,
+            },
             scratch: Mutex::new(scratch),
         })
     }
@@ -215,6 +252,28 @@ impl ClassBase {
         ];
         let kinds = &self.template.kinds;
         let slots = &self.template.slots;
+        let pairs = &self.template.p2p_pair;
+        let hetero = d.per_device.is_some();
+        // A member with per-device durations reads its base time through
+        // the same accessors lowering uses: the op's device (from its
+        // perturbation slot) for kernels and collectives, its stage-pair
+        // index for sends. Homogeneous members keep the 5-entry table.
+        let base_of = |i: usize| -> SimDuration {
+            let dev = self.resource_device[(slots[i] >> 1) as usize];
+            match kinds[i] {
+                KIND_FWD => d.fwd_on(dev),
+                KIND_BWD => d.bwd_on(dev),
+                KIND_P2P => d.p2p_pair(pairs[i]),
+                KIND_GATHER => d.dp_gather_on(dev),
+                _ => {
+                    if self.reduce_is_all_reduce {
+                        d.dp_reduce_ar_on(dev)
+                    } else {
+                        d.dp_reduce_rs_on(dev)
+                    }
+                }
+            }
+        };
         if !perturbation.has_randomness() {
             factors.clear();
             for &dev in &self.resource_device {
@@ -222,10 +281,12 @@ impl ClassBase {
                 factors.push(perturbation.class_factor(OpClass::Compute, dev));
             }
             for (i, slot) in out.iter_mut().enumerate() {
-                *slot = Perturbation::apply_factor(
-                    table[kinds[i] as usize],
-                    factors[slots[i] as usize],
-                );
+                let base = if hetero {
+                    base_of(i)
+                } else {
+                    table[kinds[i] as usize]
+                };
+                *slot = Perturbation::apply_factor(base, factors[slots[i] as usize]);
             }
             return;
         }
@@ -237,7 +298,12 @@ impl ClassBase {
                 OpClass::Communication
             };
             let dev = self.resource_device[(slot >> 1) as usize];
-            *out_slot = perturbation.perturb(table[kinds[i] as usize], class, dev, i as u64);
+            let base = if hetero {
+                base_of(i)
+            } else {
+                table[kinds[i] as usize]
+            };
+            *out_slot = perturbation.perturb(base, class, dev, i as u64);
         }
     }
 
@@ -287,7 +353,7 @@ struct ClassEntries {
 }
 
 /// A bounded, concurrency-safe store of topology-class bases, keyed by
-/// [`ClassKey`] and bounded by total stored ops (FIFO eviction). Because
+/// `ClassKey` and bounded by total stored ops (FIFO eviction). Because
 /// a base is model/cluster/kernel-independent, one cache is sound for
 /// the whole process ([`ClassCache::global`]): any correctly built base
 /// for a key is interchangeable, so sharing changes speed, never
@@ -408,6 +474,7 @@ pub(crate) fn empty_stats() -> SolveStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::candidates::SplitStrategy;
     use crate::kernel::KernelModel;
     use crate::lower::{compute_durations, lower};
     use crate::measure::measure_lowered;
@@ -422,6 +489,7 @@ mod tests {
             batch: BatchConfig::new(n_mb, s_mb),
             kind: ScheduleKind::BreadthFirst,
             dp: DataParallelism::FullySharded,
+            split: SplitStrategy::Uniform,
         }
     }
 

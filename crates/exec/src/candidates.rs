@@ -17,9 +17,28 @@
 use bfpp_cluster::ClusterSpec;
 use bfpp_core::ScheduleKind;
 use bfpp_model::TransformerConfig;
-use bfpp_parallel::{divisors, BatchConfig, DataParallelism, Grid, ParallelConfig, Placement};
+use bfpp_parallel::{
+    divisors, BatchConfig, DataParallelism, Grid, LayerSplit, ParallelConfig, Placement, RankCoord,
+};
 
 use crate::search::{Method, SearchOptions};
+
+/// How a candidate apportions layers over its pipeline devices — a
+/// search variable on heterogeneous fleets. This is a *strategy tag*,
+/// kept `Copy` so [`Candidate`] stays a plain value; it resolves to a
+/// concrete [`LayerSplit`] against a model and cluster through
+/// [`Candidate::config_on`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SplitStrategy {
+    /// The paper's uniform split: `num_layers / N_PP` everywhere.
+    #[default]
+    Uniform,
+    /// Layers proportional to each pipeline device's peak flop/s
+    /// (largest-remainder apportionment, every device keeps at least one
+    /// layer) — so fast and slow stages finish their kernels in
+    /// comparable time. Only enumerated on heterogeneous fleets.
+    SpeedProportional,
+}
 
 /// One fully specified point of the search space: device grid, layer
 /// placement, micro-batching, schedule kind and sharding level.
@@ -35,19 +54,50 @@ pub struct Candidate {
     pub kind: ScheduleKind,
     /// The data-parallel sharding level.
     pub dp: DataParallelism,
+    /// Layer apportionment strategy across pipeline devices.
+    pub split: SplitStrategy,
 }
 
 impl Candidate {
-    /// The candidate as a [`ParallelConfig`], ready to simulate.
+    /// The candidate as a [`ParallelConfig`] with the uniform layer
+    /// split. Use [`Candidate::config_on`] to resolve the candidate's
+    /// split strategy against a concrete fleet.
     pub fn config(&self) -> ParallelConfig {
         ParallelConfig::new(self.grid, self.placement, self.batch, self.dp)
+    }
+
+    /// The candidate as a [`ParallelConfig`] with its split strategy
+    /// resolved against `cluster`: [`SplitStrategy::SpeedProportional`]
+    /// becomes a concrete [`LayerSplit::PerDevice`] via
+    /// [`speed_proportional_layers`].
+    pub fn config_on(&self, model: &TransformerConfig, cluster: &ClusterSpec) -> ParallelConfig {
+        match self.split {
+            SplitStrategy::Uniform => self.config(),
+            SplitStrategy::SpeedProportional => self.config().with_layer_split(
+                LayerSplit::PerDevice(speed_proportional_layers(model, cluster, self.grid).into()),
+            ),
+        }
     }
 
     /// The total order of the search space, matching enumeration order:
     /// `(N_TP, N_PP, S_mb, N_loop, kind, dp)` — plus the remaining
     /// fields as a tail so the order is consistent with equality even
-    /// across candidates from different spaces.
-    pub fn order_key(&self) -> (u32, u32, u32, u32, usize, DataParallelism, u32, u32) {
+    /// across candidates from different spaces. The split strategy is
+    /// the last component: homogeneous searches (all-uniform) keep their
+    /// historical order exactly.
+    pub fn order_key(
+        &self,
+    ) -> (
+        u32,
+        u32,
+        u32,
+        u32,
+        usize,
+        DataParallelism,
+        u32,
+        u32,
+        SplitStrategy,
+    ) {
         let kind_rank = ScheduleKind::ALL
             .iter()
             .position(|k| *k == self.kind)
@@ -61,8 +111,58 @@ impl Candidate {
             self.dp,
             self.grid.n_dp,
             self.batch.num_microbatches,
+            self.split,
         )
     }
+}
+
+/// Largest-remainder apportionment of the model's layers over the
+/// pipeline devices, proportional to each device's peak flop/s (read at
+/// the device's simulated column rank, DP 0 / TP 0). Every device keeps
+/// at least one layer; the counts always sum to `num_layers`. The
+/// result is a pure function of its inputs — no randomness — so
+/// searches stay bit-identical across threading.
+pub fn speed_proportional_layers(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    grid: Grid,
+) -> Vec<u32> {
+    let n_pp = grid.n_pp as usize;
+    assert!(
+        model.num_layers as usize >= n_pp,
+        "every pipeline device needs at least one layer"
+    );
+    let speeds: Vec<f64> = (0..grid.n_pp)
+        .map(|pp| cluster.peak_flops_of(grid.global_rank(RankCoord { dp: 0, tp: 0, pp })))
+        .collect();
+    let total: f64 = speeds.iter().sum();
+    let layers = model.num_layers;
+    let quota: Vec<f64> = speeds.iter().map(|s| layers as f64 * s / total).collect();
+    let mut counts: Vec<u32> = quota.iter().map(|q| q.floor() as u32).collect();
+    let assigned: u32 = counts.iter().sum();
+    // Hand the remainder out by largest fractional part, ties to the
+    // earlier device.
+    let mut order: Vec<usize> = (0..n_pp).collect();
+    order.sort_by(|&a, &b| {
+        let (fa, fb) = (quota[a] - quota[a].floor(), quota[b] - quota[b].floor());
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for &i in order.iter().cycle().take((layers - assigned) as usize) {
+        counts[i] += 1;
+    }
+    // No starved devices: a stage must host at least one layer. Steal
+    // from the heaviest entry (earliest on ties).
+    while let Some(zero) = counts.iter().position(|&c| c == 0) {
+        let max = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("counts is non-empty");
+        counts[max] -= 1;
+        counts[zero] += 1;
+    }
+    counts
 }
 
 impl PartialOrd for Candidate {
@@ -183,6 +283,14 @@ pub fn enumerate(
     let max_microbatch = opts.max_microbatch;
     let max_loop = opts.max_loop;
     let max_actions = opts.max_actions;
+    // Speed-proportional placement is only a distinct point on fleets
+    // whose devices actually differ in speed; homogeneous searches keep
+    // their historical candidate stream untouched.
+    let speed_diverse = cluster.hetero().is_some_and(|h| {
+        h.nodes()
+            .iter()
+            .any(|n| n.gpu.peak_fp16_flops != h.nodes()[0].gpu.peak_fp16_flops)
+    });
 
     divisors(spn)
         .into_iter()
@@ -206,13 +314,21 @@ pub fn enumerate(
                 .filter(move |&n_loop| depth_first_shape_is_valid(method, n_loop, n_mb, n_pp))
                 .filter(move |&n_loop| action_count_within(n_mb, n_pp, n_loop, max_actions))
                 .flat_map(move |n_loop| {
+                    let splits: &[SplitStrategy] = if speed_diverse && n_pp > 1 {
+                        &[SplitStrategy::Uniform, SplitStrategy::SpeedProportional]
+                    } else {
+                        &[SplitStrategy::Uniform]
+                    };
                     method.kinds().iter().flat_map(move |&kind| {
-                        method.dp_variants().iter().map(move |&dp| Candidate {
-                            grid: Grid::new(n_dp, n_tp, n_pp),
-                            placement: Placement::looping(n_pp, n_loop),
-                            batch: BatchConfig::new(n_mb, s_mb),
-                            kind,
-                            dp,
+                        method.dp_variants().iter().flat_map(move |&dp| {
+                            splits.iter().map(move |&split| Candidate {
+                                grid: Grid::new(n_dp, n_tp, n_pp),
+                                placement: Placement::looping(n_pp, n_loop),
+                                batch: BatchConfig::new(n_mb, s_mb),
+                                kind,
+                                dp,
+                                split,
+                            })
                         })
                     })
                 })
@@ -355,6 +471,69 @@ mod tests {
     }
 
     #[test]
+    fn speed_proportional_layers_favor_fast_devices_and_sum() {
+        let model = models::bert_52b(); // 64 layers
+        let cluster = presets::mixed_v100_a100(1, 1); // node 0 V100s, node 1 A100s
+                                                      // pp is the outermost rank axis: pp=0 → rank 0 (V100 island),
+                                                      // pp=1 → rank 8 (A100 island).
+        let grid = Grid::new(1, 8, 2);
+        let counts = speed_proportional_layers(&model, &cluster, grid);
+        // Quotas 64·125/437 ≈ 18.3 and 64·312/437 ≈ 45.7; the one spare
+        // layer goes to the larger fractional part (the A100 stage).
+        assert_eq!(counts, vec![18, 46]);
+        assert_eq!(counts.iter().sum::<u32>(), model.num_layers);
+        assert_eq!(
+            counts,
+            speed_proportional_layers(&model, &cluster, grid),
+            "apportionment is a pure function of its inputs"
+        );
+    }
+
+    #[test]
+    fn speed_proportional_layers_never_starve_a_stage() {
+        // 4 layers over 4 stages, three slow and one fast: the raw
+        // quotas floor to zero on the slow stages, and the repair loop
+        // must hand every stage at least one layer while keeping the sum.
+        let tiny = TransformerConfig::new("tiny-4l", 4, 8, 64, 128, 1000);
+        let cluster = presets::mixed_v100_a100(3, 1);
+        let counts = speed_proportional_layers(&tiny, &cluster, Grid::new(1, 8, 4));
+        assert_eq!(counts.iter().sum::<u32>(), 4);
+        assert!(counts.iter().all(|&c| c >= 1), "{counts:?}");
+    }
+
+    #[test]
+    fn speed_proportional_is_enumerated_only_on_diverse_fleets() {
+        let model = models::bert_52b();
+        let o = opts();
+        // Homogeneous fleets keep their historical candidate stream.
+        let homogeneous = presets::dgx1_v100(16);
+        assert!(
+            enumerate(&model, &homogeneous, Method::BreadthFirst, 48, &o)
+                .all(|c| c.split == SplitStrategy::Uniform)
+        );
+        // A mixed fleet enumerates both strategies, still in strict
+        // candidate order, and every speed-proportional point resolves
+        // to a valid per-device configuration.
+        let mixed = presets::mixed_v100_a100(1, 1);
+        let cands: Vec<Candidate> =
+            enumerate(&model, &mixed, Method::BreadthFirst, 48, &o).collect();
+        assert!(cands
+            .iter()
+            .any(|c| c.split == SplitStrategy::SpeedProportional));
+        assert!(cands.iter().any(|c| c.split == SplitStrategy::Uniform));
+        assert!(cands.windows(2).all(|w| w[0] < w[1]));
+        for c in cands
+            .iter()
+            .filter(|c| c.split == SplitStrategy::SpeedProportional)
+        {
+            assert!(c.grid.n_pp > 1, "split is only a pipeline variable");
+            let cfg = c.config_on(&model, &mixed);
+            assert!(matches!(cfg.layer_split, LayerSplit::PerDevice(_)));
+            assert!(cfg.validate(&model, &mixed).is_ok(), "{c:?}");
+        }
+    }
+
+    #[test]
     fn order_key_ranks_kind_by_schedule_order() {
         let base = Candidate {
             grid: Grid::new(8, 1, 8),
@@ -362,6 +541,7 @@ mod tests {
             batch: BatchConfig::new(8, 1),
             kind: ScheduleKind::GPipe,
             dp: DataParallelism::Unsharded,
+            split: SplitStrategy::Uniform,
         };
         let later = Candidate {
             kind: ScheduleKind::OneFOneB,

@@ -71,7 +71,7 @@ pub mod warm;
 
 pub use batch::ClassCache;
 pub use breakdown::{breakdown, TimeBreakdown};
-pub use candidates::Candidate;
+pub use candidates::{speed_proportional_layers, Candidate, SplitStrategy};
 pub use executor::Executor;
 pub use kernel::KernelModel;
 pub use lower::{

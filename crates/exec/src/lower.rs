@@ -18,11 +18,11 @@
 
 use std::sync::Arc;
 
-use bfpp_cluster::ClusterSpec;
+use bfpp_cluster::{ClusterSpec, LinkSpec, NodeId};
 use bfpp_collectives::cost;
 use bfpp_core::{Action, Direction, Schedule, ScheduleKind, StageRun};
 use bfpp_model::TransformerConfig;
-use bfpp_parallel::{DataParallelism, ParallelConfig, RankCoord, StageId};
+use bfpp_parallel::{DataParallelism, LayerSplit, ParallelConfig, RankCoord, StageId};
 use bfpp_sim::memprof::{BufferClass, EventEdge, MemEffect, MemorySpec};
 use bfpp_sim::{OpClass, OpGraph, OpId, Perturbation, ResourceId, SimDuration};
 
@@ -197,6 +197,13 @@ impl LoweredGraph {
 /// Per-operation durations of one configuration, as charged to the
 /// simulated streams. `fwd`/`bwd` fold in the non-overlapped
 /// tensor-parallel all-reduce time.
+///
+/// On a homogeneous cluster with a uniform layer split the scalar fields
+/// are the whole story (`per_device` is `None`) and every float in them
+/// is computed exactly as it always was. Heterogeneous fleets (or
+/// non-uniform layer splits) additionally carry [`PerDeviceDurations`];
+/// the scalars are then the max over devices and consumers must go
+/// through the `*_on` / [`Durations::p2p_pair`] accessors.
 pub(crate) struct Durations {
     pub(crate) fwd: SimDuration,
     pub(crate) bwd: SimDuration,
@@ -204,7 +211,92 @@ pub(crate) struct Durations {
     pub(crate) dp_gather: SimDuration,
     pub(crate) dp_reduce_rs: SimDuration,
     pub(crate) dp_reduce_ar: SimDuration,
+    pub(crate) per_device: Option<PerDeviceDurations>,
     pub(crate) trace_info: TraceInfo,
+}
+
+/// Per-pipeline-device durations for heterogeneous fleets. All vectors
+/// have length `N_PP`. `p2p` is indexed by *pair*: `p2p[d]` is the
+/// stage-boundary transfer between pipeline device `d` and
+/// `(d + 1) % N_PP` (looping placements wrap their last device's
+/// forward sends back to device 0).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PerDeviceDurations {
+    pub(crate) fwd: Vec<SimDuration>,
+    pub(crate) bwd: Vec<SimDuration>,
+    pub(crate) p2p: Vec<SimDuration>,
+    pub(crate) dp_gather: Vec<SimDuration>,
+    pub(crate) dp_reduce_rs: Vec<SimDuration>,
+    pub(crate) dp_reduce_ar: Vec<SimDuration>,
+}
+
+impl Durations {
+    pub(crate) fn fwd_on(&self, dev: u32) -> SimDuration {
+        match &self.per_device {
+            Some(p) => p.fwd[dev as usize],
+            None => self.fwd,
+        }
+    }
+
+    pub(crate) fn bwd_on(&self, dev: u32) -> SimDuration {
+        match &self.per_device {
+            Some(p) => p.bwd[dev as usize],
+            None => self.bwd,
+        }
+    }
+
+    /// Transfer duration of pipeline pair `pair` = (device `pair`,
+    /// device `(pair + 1) % N_PP`).
+    pub(crate) fn p2p_pair(&self, pair: u32) -> SimDuration {
+        match &self.per_device {
+            Some(p) => p.p2p[pair as usize],
+            None => self.p2p,
+        }
+    }
+
+    pub(crate) fn dp_gather_on(&self, dev: u32) -> SimDuration {
+        match &self.per_device {
+            Some(p) => p.dp_gather[dev as usize],
+            None => self.dp_gather,
+        }
+    }
+
+    pub(crate) fn dp_reduce_rs_on(&self, dev: u32) -> SimDuration {
+        match &self.per_device {
+            Some(p) => p.dp_reduce_rs[dev as usize],
+            None => self.dp_reduce_rs,
+        }
+    }
+
+    pub(crate) fn dp_reduce_ar_on(&self, dev: u32) -> SimDuration {
+        match &self.per_device {
+            Some(p) => p.dp_reduce_ar[dev as usize],
+            None => self.dp_reduce_ar,
+        }
+    }
+
+    /// Whether this lowering emits pipeline-send operations at all — a
+    /// *class-wide* gate: on a heterogeneous fleet sends are emitted as
+    /// soon as any pair's transfer is non-zero (a zero-duration send on
+    /// a fast pair is harmless), so graph *structure* never depends on
+    /// individual pair durations. Reduces to the historical
+    /// `!p2p.is_zero()` on homogeneous clusters.
+    pub(crate) fn emits_sends(&self) -> bool {
+        match &self.per_device {
+            Some(p) => p.p2p.iter().any(|d| !d.is_zero()),
+            None => !self.p2p.is_zero(),
+        }
+    }
+}
+
+/// The slower of two links (worse tier, then lower bandwidth) — the
+/// bottleneck rule for collectives on a heterogeneous fleet.
+fn slower<'a>(a: &'a LinkSpec, b: &'a LinkSpec) -> &'a LinkSpec {
+    if (b.tier, -b.bandwidth) > (a.tier, -a.bandwidth) {
+        b
+    } else {
+        a
+    }
 }
 
 /// Seconds for a data-parallel collective over the DP group, two-level
@@ -217,9 +309,29 @@ fn dp_collective_seconds(
     payload_bytes: f64,
     all_reduce: bool,
 ) -> f64 {
-    let spn = cluster.node.gpus_per_node;
-    let intra = &cluster.node.intra_link;
-    let inter = &cluster.node.inter_link;
+    dp_collective_seconds_links(
+        &cluster.node.intra_link,
+        &cluster.node.inter_link,
+        cluster.node.gpus_per_node,
+        n_dp,
+        n_tp,
+        payload_bytes,
+        all_reduce,
+    )
+}
+
+/// [`dp_collective_seconds`] with explicit links, so heterogeneous
+/// fleets can pass the bottleneck links of one specific DP group.
+#[allow(clippy::too_many_arguments)]
+fn dp_collective_seconds_links(
+    intra: &LinkSpec,
+    inter: &LinkSpec,
+    spn: u32,
+    n_dp: u32,
+    n_tp: u32,
+    payload_bytes: f64,
+    all_reduce: bool,
+) -> f64 {
     let per_node = (spn / n_tp).max(1).min(n_dp);
     let flat = |link| {
         if all_reduce {
@@ -246,6 +358,20 @@ fn dp_collective_seconds(
 }
 
 pub(crate) fn compute_durations(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    kernel: &KernelModel,
+    comm_multiplier: f64,
+) -> Durations {
+    if cluster.is_hetero() || !matches!(cfg.layer_split, LayerSplit::Uniform) {
+        compute_durations_hetero(model, cluster, cfg, kernel, comm_multiplier)
+    } else {
+        compute_durations_homogeneous(model, cluster, cfg, kernel, comm_multiplier)
+    }
+}
+
+fn compute_durations_homogeneous(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
     cfg: &ParallelConfig,
@@ -321,12 +447,151 @@ pub(crate) fn compute_durations(
         dp_gather: SimDuration::from_secs_f64(dp_gather * m),
         dp_reduce_rs: SimDuration::from_secs_f64(dp_reduce_rs * m),
         dp_reduce_ar: SimDuration::from_secs_f64(dp_reduce_ar * m),
+        per_device: None,
         trace_info: TraceInfo {
             fwd_flops,
             bwd_flops,
             p2p_bytes: if grid.n_pp > 1 { p2p_payload } else { 0.0 },
             dp_bytes: if grid.n_dp > 1 { payload } else { 0.0 },
         },
+    }
+}
+
+/// [`compute_durations`] for heterogeneous fleets and/or non-uniform
+/// layer splits: every duration is computed per pipeline device, using
+/// that device's own GPU speed, its node's links, and its layer share.
+/// As everywhere in the lowering, one pipeline "column" (DP rank 0, TP
+/// rank 0) is simulated; a pipeline device's hardware is read at its
+/// column rank, and its DP collectives use the bottleneck links of its
+/// DP group.
+fn compute_durations_hetero(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cfg: &ParallelConfig,
+    kernel: &KernelModel,
+    comm_multiplier: f64,
+) -> Durations {
+    let grid = cfg.grid;
+    let n_pp = grid.n_pp;
+    let n_loop = cfg.placement.n_loop();
+    let s_mb = cfg.batch.microbatch_size;
+    let tokens = s_mb as f64 * model.seq_length as f64;
+    let m = comm_multiplier;
+    let rank_of = |pp: u32| grid.global_rank(RankCoord { dp: 0, tp: 0, pp });
+
+    let mut per = PerDeviceDurations {
+        fwd: Vec::with_capacity(n_pp as usize),
+        bwd: Vec::with_capacity(n_pp as usize),
+        p2p: Vec::with_capacity(n_pp as usize),
+        dp_gather: Vec::with_capacity(n_pp as usize),
+        dp_reduce_rs: Vec::with_capacity(n_pp as usize),
+        dp_reduce_ar: Vec::with_capacity(n_pp as usize),
+    };
+
+    let p2p_payload = tokens * model.boundary_bytes_per_token() / grid.n_tp as f64;
+    let mut trace_info = TraceInfo::default();
+
+    for dev in 0..n_pp {
+        let rank = rank_of(dev);
+        let node = cluster.node_spec(cluster.node_of(rank));
+        let gpu = &node.gpu;
+        let layers_per_stage = cfg
+            .layer_split
+            .layers_on_device(model.num_layers, n_pp, dev) as f64
+            / n_loop as f64;
+
+        // Kernel time on this device's silicon.
+        let fwd_flops =
+            tokens * layers_per_stage * model.fwd_flops_per_token_per_layer() / grid.n_tp as f64;
+        let bwd_flops = tokens
+            * layers_per_stage
+            * (model.bwd_flops_per_token_per_layer() + model.recompute_flops_per_token_per_layer())
+            / grid.n_tp as f64;
+        let fwd_kernel = kernel.seconds(model, s_mb, grid.n_tp, fwd_flops, gpu.peak_fp16_flops);
+        let bwd_kernel = kernel.seconds(model, s_mb, grid.n_tp, bwd_flops, gpu.peak_fp16_flops);
+
+        // Non-overlapped TP all-reduces on this node's intra link.
+        let tp_time = if grid.n_tp > 1 {
+            let payload = 2.0 * tokens * model.hidden_size as f64;
+            2.0 * layers_per_stage * cost::all_reduce(&node.intra_link, grid.n_tp, payload).seconds
+        } else {
+            0.0
+        };
+        per.fwd
+            .push(SimDuration::from_secs_f64(fwd_kernel + tp_time));
+        per.bwd
+            .push(SimDuration::from_secs_f64(bwd_kernel + tp_time));
+        if dev == 0 {
+            trace_info.fwd_flops = fwd_flops;
+            trace_info.bwd_flops = bwd_flops;
+        }
+
+        // Stage-boundary transfer of pair (dev, dev+1 mod N_PP), over
+        // whatever link actually connects the two column ranks (intra,
+        // inter, or a fabric override).
+        let p2p = if n_pp > 1 {
+            let to = rank_of((dev + 1) % n_pp);
+            cost::point_to_point(cluster.link_between(rank, to), p2p_payload).seconds
+        } else {
+            0.0
+        };
+        per.p2p.push(SimDuration::from_secs_f64(p2p * m));
+
+        // DP collectives for this device's DP group, over the group's
+        // bottleneck links.
+        let stage_params = layers_per_stage * model.params_per_layer() as f64 / grid.n_tp as f64;
+        let payload = 2.0 * stage_params; // fp16
+        let (dp_gather, dp_reduce_rs, dp_reduce_ar) = if grid.n_dp > 1 {
+            let mut nodes: Vec<NodeId> = (0..grid.n_dp)
+                .map(|dp| cluster.node_of(grid.global_rank(RankCoord { dp, tp: 0, pp: dev })))
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            let mut intra = &cluster.node_spec(nodes[0]).intra_link;
+            for n in &nodes[1..] {
+                intra = slower(intra, &cluster.node_spec(*n).intra_link);
+            }
+            let mut inter = intra;
+            let mut spanning = false;
+            for (i, &a) in nodes.iter().enumerate() {
+                for &b in &nodes[i + 1..] {
+                    let link = cluster.inter_link_between(a, b);
+                    inter = if spanning { slower(inter, link) } else { link };
+                    spanning = true;
+                }
+            }
+            let spn = node.gpus_per_node;
+            let coll = |all_reduce| {
+                dp_collective_seconds_links(
+                    intra, inter, spn, grid.n_dp, grid.n_tp, payload, all_reduce,
+                )
+            };
+            (coll(false), coll(false), coll(true))
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        per.dp_gather
+            .push(SimDuration::from_secs_f64(dp_gather * m));
+        per.dp_reduce_rs
+            .push(SimDuration::from_secs_f64(dp_reduce_rs * m));
+        per.dp_reduce_ar
+            .push(SimDuration::from_secs_f64(dp_reduce_ar * m));
+        if dev == 0 {
+            trace_info.p2p_bytes = if n_pp > 1 { p2p_payload } else { 0.0 };
+            trace_info.dp_bytes = if grid.n_dp > 1 { payload } else { 0.0 };
+        }
+    }
+
+    let max = |v: &[SimDuration]| v.iter().copied().max().unwrap_or(SimDuration::ZERO);
+    Durations {
+        fwd: max(&per.fwd),
+        bwd: max(&per.bwd),
+        p2p: max(&per.p2p),
+        dp_gather: max(&per.dp_gather),
+        dp_reduce_rs: max(&per.dp_reduce_rs),
+        dp_reduce_ar: max(&per.dp_reduce_ar),
+        per_device: Some(per),
+        trace_info,
     }
 }
 
@@ -536,7 +801,7 @@ pub fn lower_with_schedule_perturbed(
                         deps.push(prev);
                     }
                 }
-                let dur = pert(&graph, d.dp_gather, OpClass::Communication, dev);
+                let dur = pert(&graph, d.dp_gather_on(dev), OpClass::Communication, dev);
                 let g = graph.add_op(
                     dp_resources[dev as usize],
                     dur,
@@ -547,8 +812,8 @@ pub fn lower_with_schedule_perturbed(
             }
 
             let duration = match a.dir {
-                Direction::Forward => d.fwd,
-                Direction::Backward => d.bwd,
+                Direction::Forward => d.fwd_on(dev),
+                Direction::Backward => d.bwd_on(dev),
             };
             let duration = pert(&graph, duration, OpClass::Compute, dev);
             let deps: Vec<OpId> = extra_dep.into_iter().collect();
@@ -595,8 +860,15 @@ pub fn lower_with_schedule_perturbed(
             // this device's stream order.
             let sends_forward = a.dir == Direction::Forward && a.stage != last_stage;
             let sends_backward = a.dir == Direction::Backward && a.stage.0 > 0;
-            if (sends_forward || sends_backward) && !d.p2p.is_zero() {
-                let dur = pert(&graph, d.p2p, OpClass::Communication, dev);
+            if (sends_forward || sends_backward) && d.emits_sends() {
+                // A forward send leaves device `dev` for `dev + 1`; a
+                // backward send travels the pair below, `dev - 1 ↔ dev`
+                // (both mod N_PP — looping placements wrap).
+                let pair = match a.dir {
+                    Direction::Forward => dev,
+                    Direction::Backward => (dev + n_pp - 1) % n_pp,
+                };
+                let dur = pert(&graph, d.p2p_pair(pair), OpClass::Communication, dev);
                 let send = graph.add_op(
                     pp_resources[dev as usize],
                     dur,
@@ -613,7 +885,7 @@ pub fn lower_with_schedule_perturbed(
             // Fully sharded: flush (reduce-scatter) gradients at the end
             // of each backward run.
             if use_fs && run_end_at[i] != usize::MAX && a.dir == Direction::Backward {
-                let dur = pert(&graph, d.dp_reduce_rs, OpClass::Communication, dev);
+                let dur = pert(&graph, d.dp_reduce_rs_on(dev), OpClass::Communication, dev);
                 graph.add_op(
                     dp_resources[dev as usize],
                     dur,
@@ -627,7 +899,7 @@ pub fn lower_with_schedule_perturbed(
             if !use_fs && grid.n_dp > 1 && last_bwd_at[a.stage.0 as usize] == i {
                 match cfg.dp {
                     DataParallelism::Unsharded => {
-                        let dur = pert(&graph, d.dp_reduce_ar, OpClass::Communication, dev);
+                        let dur = pert(&graph, d.dp_reduce_ar_on(dev), OpClass::Communication, dev);
                         graph.add_op(
                             dp_resources[dev as usize],
                             dur,
@@ -636,14 +908,14 @@ pub fn lower_with_schedule_perturbed(
                         );
                     }
                     DataParallelism::PartiallySharded => {
-                        let dur = pert(&graph, d.dp_reduce_rs, OpClass::Communication, dev);
+                        let dur = pert(&graph, d.dp_reduce_rs_on(dev), OpClass::Communication, dev);
                         let rs = graph.add_op(
                             dp_resources[dev as usize],
                             dur,
                             &[op],
                             OpTag::DpReduce { stage: a.stage },
                         );
-                        let dur = pert(&graph, d.dp_gather, OpClass::Communication, dev);
+                        let dur = pert(&graph, d.dp_gather_on(dev), OpClass::Communication, dev);
                         graph.add_op(
                             dp_resources[dev as usize],
                             dur,
@@ -692,7 +964,9 @@ pub fn lower_with_schedule_perturbed(
     }
 
     let per_device_kernels = n_mb as u64 * cfg.placement.n_loop() as u64;
-    let ideal_compute_seconds = per_device_kernels as f64 * (d.fwd + d.bwd).as_secs_f64();
+    let ideal_compute_seconds = (0..n_pp)
+        .map(|dev| per_device_kernels as f64 * (d.fwd_on(dev) + d.bwd_on(dev)).as_secs_f64())
+        .fold(0.0, f64::max);
 
     let op_perturb = graph
         .op_ids()

@@ -311,7 +311,10 @@ pub(crate) fn measure_from_parts(
     let num_gpus = cfg.grid.num_gpus() as f64;
     let flops_per_gpu = model.hardware_flops_per_batch(global_batch) / num_gpus;
     let tflops_per_gpu = flops_per_gpu / batch_seconds / 1e12;
-    let utilization = flops_per_gpu / batch_seconds / cluster.node.gpu.peak_fp16_flops;
+    // Utilization is reported against the fleet's reference device speed
+    // (identical to `node.gpu.peak_fp16_flops` on homogeneous clusters,
+    // the fleet mean on heterogeneous ones).
+    let utilization = flops_per_gpu / batch_seconds / cluster.reference_flops();
     let memory_bytes = memory_with_checkpoints(model, cfg, kind, peak_checkpoints);
 
     Measurement {

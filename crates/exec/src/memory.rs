@@ -2,7 +2,7 @@
 
 use bfpp_core::{Schedule, ScheduleKind};
 use bfpp_model::{activation_memory_bytes, checkpoint_memory_per_layer_bytes, TransformerConfig};
-use bfpp_parallel::{DataParallelism, ParallelConfig};
+use bfpp_parallel::{DataParallelism, LayerSplit, ParallelConfig};
 use bfpp_sim::memprof::{BufferClass, DeviceMemModel};
 
 /// Estimates the worst device's peak memory in bytes for one
@@ -34,15 +34,25 @@ pub(crate) fn memory_with_checkpoints(
     kind: ScheduleKind,
     peak_checkpoints: u32,
 ) -> f64 {
+    let eval = |device: u32| {
+        let m = device_model(model, cfg, kind, device);
+        let mut counts = m.baseline_counts();
+        counts[BufferClass::Checkpoints.index()] = peak_checkpoints as i64;
+        counts[BufferClass::Activations.index()] = 1;
+        m.total_bytes(&counts)
+    };
+    if matches!(cfg.layer_split, LayerSplit::PerDevice(_)) {
+        // Under a non-uniform split any device can be the worst one (a
+        // heavy share outweighs device 0's embedding table), so take the
+        // max; the schedule-wide peak checkpoint count is applied on
+        // every device, which is conservative for the light ones.
+        return (0..cfg.grid.n_pp).map(eval).fold(0.0, f64::max);
+    }
     // Device 0 is the worst device: it holds the embedding table *and*
     // attains the schedule-wide peak checkpoint count (the first stage
     // has the most micro-batches in flight under 1F1B/depth-first, and
     // all stages peak equally under GPipe/breadth-first).
-    let m = device_model(model, cfg, kind, 0);
-    let mut counts = m.baseline_counts();
-    counts[BufferClass::Checkpoints.index()] = peak_checkpoints as i64;
-    counts[BufferClass::Activations.index()] = 1;
-    m.total_bytes(&counts)
+    eval(0)
 }
 
 /// Builds the memory model of one pipeline device: the byte size of one
@@ -84,12 +94,26 @@ pub(crate) fn device_model(
         2.0 * (layer_params as f64 / (grid.n_pp as f64 * grid.n_tp as f64))
     };
 
-    let layers_per_stage = (model.num_layers / cfg.placement.num_stages()) as f64;
+    // A non-uniform layer split scales this device's layer-proportional
+    // state (the Eq. 10-12 bracket assumes the uniform `1/N_PP` share) by
+    // its actual share; `scale` is exactly 1 under the uniform split.
+    let (layers_per_stage, scale) = match &cfg.layer_split {
+        LayerSplit::Uniform => ((model.num_layers / cfg.placement.num_stages()) as f64, 1.0),
+        LayerSplit::PerDevice(_) => {
+            let layers =
+                cfg.layer_split
+                    .layers_on_device(model.num_layers, grid.n_pp, device) as f64;
+            (
+                layers / cfg.placement.n_loop() as f64,
+                layers * grid.n_pp as f64 / model.num_layers as f64,
+            )
+        }
+    };
 
     let mut m = DeviceMemModel::default();
-    m.units[BufferClass::Weights.index()] = weights;
-    m.units[BufferClass::Gradients.index()] = range.high - range.low;
-    m.units[BufferClass::Optimizer.index()] = range.low - weights;
+    m.units[BufferClass::Weights.index()] = weights * scale;
+    m.units[BufferClass::Gradients.index()] = (range.high - range.low) * scale;
+    m.units[BufferClass::Optimizer.index()] = (range.low - weights) * scale;
     // Embedding state on the first pipeline device (weights shared with
     // the LM head, counted once). Sharded variants spread it over the DP
     // group as well.

@@ -88,25 +88,43 @@ pub fn peak_checkpoints_lower_bound(kind: ScheduleKind, n_pp: u32, n_mb: u32, n_
 }
 
 /// A lower bound in bytes on the candidate's estimated peak memory.
-pub fn memory_lower_bound_bytes(model: &TransformerConfig, cand: &Candidate) -> f64 {
+///
+/// Evaluated on the candidate's *resolved* configuration
+/// ([`Candidate::config_on`]): a speed-proportional split moves layers
+/// between devices, and a device that sheds layers but keeps the
+/// embedding table can peak strictly below the uniform estimate — a
+/// uniform-config bound would over-prune such candidates.
+pub fn memory_lower_bound_bytes(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    cand: &Candidate,
+) -> f64 {
     let checkpoints_lb = peak_checkpoints_lower_bound(
         cand.kind,
         cand.grid.n_pp,
         cand.batch.num_microbatches,
         cand.placement.n_loop(),
     );
-    memory_with_checkpoints(model, &cand.config(), cand.kind, checkpoints_lb)
+    memory_with_checkpoints(
+        model,
+        &cand.config_on(model, cluster),
+        cand.kind,
+        checkpoints_lb,
+    )
 }
 
 /// Whether the candidate's memory lower bound already exceeds the
-/// device's usable memory (capacity × the fragmentation headroom shared
-/// with `Measurement::fits`). True means the candidate can never fit.
+/// smallest device's usable memory (capacity × the fragmentation
+/// headroom shared with `Measurement::fits`, taken over the whole fleet
+/// because the estimate itself maximizes over devices). True means the
+/// candidate can never fit.
 pub fn exceeds_device_memory(
     model: &TransformerConfig,
     cluster: &ClusterSpec,
     cand: &Candidate,
 ) -> bool {
-    memory_lower_bound_bytes(model, cand) > cluster.node.gpu.memory_bytes as f64 * MEMORY_HEADROOM
+    memory_lower_bound_bytes(model, cluster, cand)
+        > cluster.min_memory_bytes() as f64 * MEMORY_HEADROOM
 }
 
 /// An upper bound on the candidate's simulated throughput (Tflop/s per
@@ -123,15 +141,31 @@ pub fn lower_bound_tflops(
     overlap: OverlapConfig,
     kernel: &KernelModel,
 ) -> f64 {
-    let cfg = cand.config();
+    let cfg = cand.config_on(model, cluster);
     let d = compute_durations(model, cluster, &cfg, kernel, overlap.comm_multiplier);
-    let seconds_lb = bubble::lower_bound_seconds(
-        cand.grid.n_pp,
-        cand.batch.num_microbatches,
-        cand.placement.n_loop(),
-        d.fwd.as_secs_f64(),
-        d.bwd.as_secs_f64(),
-    );
+    let seconds_lb = if d.per_device.is_some() {
+        // Heterogeneous (or non-uniformly split) stages: the scalar
+        // fields are maxima over devices, and feeding maxima to the
+        // homogeneous bound would overestimate batch time — i.e. give a
+        // throughput bound *below* what the simulator can achieve, which
+        // is unsound. Use the per-stage chain bound instead.
+        let costs: Vec<(f64, f64)> = (0..cand.grid.n_pp)
+            .map(|dev| (d.fwd_on(dev).as_secs_f64(), d.bwd_on(dev).as_secs_f64()))
+            .collect();
+        bubble::lower_bound_seconds_per_stage(
+            cand.batch.num_microbatches,
+            cand.placement.n_loop(),
+            &costs,
+        )
+    } else {
+        bubble::lower_bound_seconds(
+            cand.grid.n_pp,
+            cand.batch.num_microbatches,
+            cand.placement.n_loop(),
+            d.fwd.as_secs_f64(),
+            d.bwd.as_secs_f64(),
+        )
+    };
     let flops_per_gpu =
         model.hardware_flops_per_batch(cfg.global_batch_size()) / cand.grid.num_gpus() as f64;
     flops_per_gpu / seconds_lb / 1e12
@@ -191,13 +225,13 @@ mod tests {
         let o = opts();
         for method in Method::ALL {
             for cand in enumerate(&model, &cluster, method, 48, &o) {
-                let cfg = cand.config();
+                let cfg = cand.config_on(&model, &cluster);
                 let Ok(s) =
                     Schedule::generate(cand.kind, cfg.placement, cfg.batch.num_microbatches)
                 else {
                     continue;
                 };
-                let lb = memory_lower_bound_bytes(&model, &cand);
+                let lb = memory_lower_bound_bytes(&model, &cluster, &cand);
                 let exact = crate::estimate_memory(&model, &cfg, &s);
                 assert!(
                     lb <= exact + 1e-6,
@@ -219,7 +253,7 @@ mod tests {
                 let Ok(m) = simulate(
                     &model,
                     &cluster,
-                    &cand.config(),
+                    &cand.config_on(&model, &cluster),
                     cand.kind,
                     overlap,
                     &kernel,

@@ -711,7 +711,7 @@ pub fn search_streaming(
                 }
             }
             let Some(m) = slot.measurement else { continue };
-            if !m.fits(cluster.node.gpu.memory_bytes) {
+            if !m.fits(cluster.min_memory_bytes()) {
                 continue;
             }
             let better = best
@@ -722,7 +722,7 @@ pub fn search_streaming(
                 let result = SearchResult {
                     method,
                     kind: cand.kind,
-                    cfg: cand.config(),
+                    cfg: cand.config_on(model, cluster),
                     overlap,
                     measurement: m,
                 };
@@ -884,7 +884,7 @@ fn evaluate_slice(
 ) {
     let mut durations: Vec<SimDuration> = Vec::new();
     for (cand, slot) in cands.iter().zip(out.iter_mut()) {
-        let cfg = cand.config();
+        let cfg = cand.config_on(model, cluster);
         if let Some(rec) = warm_rec {
             let lowered = match rec.lowering(cand) {
                 Some(lowered) => {
@@ -1005,7 +1005,7 @@ fn evaluate_chunk_batched(
     let mut groups: Vec<(ClassKey, Vec<BatchItem>)> = Vec::new();
     let mut group_index: HashMap<ClassKey, usize> = HashMap::new();
     for (cand_idx, cand) in survivors.iter().enumerate() {
-        let cfg = cand.config();
+        let cfg = cand.config_on(model, cluster);
         if cfg.validate(model, cluster).is_err() {
             // Slot stays empty — the per-candidate path fails the same
             // candidate inside lowering.
@@ -1208,7 +1208,7 @@ pub fn best_config_exhaustive(
     let overlap = method.overlap();
     let mut best: Option<SearchResult> = None;
     for cand in enumerate(model, cluster, method, global_batch, opts) {
-        let cfg = cand.config();
+        let cfg = cand.config_on(model, cluster);
         let Ok(m) = simulate_perturbed(
             model,
             cluster,
@@ -1220,7 +1220,7 @@ pub fn best_config_exhaustive(
         ) else {
             continue;
         };
-        if !m.fits(cluster.node.gpu.memory_bytes) {
+        if !m.fits(cluster.min_memory_bytes()) {
             continue;
         }
         let better = best

@@ -50,8 +50,45 @@ pub use grid::{Grid, RankCoord};
 pub use placement::{Placement, StageId};
 pub use util::divisors;
 
+use std::sync::Arc;
+
 use bfpp_cluster::ClusterSpec;
 use bfpp_model::TransformerConfig;
+
+/// How the model's layers are apportioned across the pipeline devices.
+///
+/// The paper's placements are always [`LayerSplit::Uniform`] — every
+/// device hosts `num_layers / N_PP` layers — which is optimal on a
+/// homogeneous fleet. On a heterogeneous fleet the search may instead
+/// assign layer counts proportional to each device's speed
+/// ([`LayerSplit::PerDevice`]), so that a V100 stage and an A100 stage
+/// finish their kernels in comparable time (the placement-proportionality
+/// rule; cf. JaxPP's flexible stage→device assignment).
+///
+/// A device's share is spread evenly over its `N_loop` stage visits, so
+/// the split composes with the paper's looping placements unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub enum LayerSplit {
+    /// Every pipeline device hosts the same number of layers (the
+    /// paper's model; requires `N_stage` to divide `num_layers`).
+    #[default]
+    Uniform,
+    /// `counts[d]` layers on pipeline device `d`. Validated to have one
+    /// entry per pipeline device, no zero entries, and to sum to the
+    /// model's layer count.
+    PerDevice(Arc<[u32]>),
+}
+
+impl LayerSplit {
+    /// Layers hosted by pipeline device `device` under this split, for a
+    /// model of `num_layers` layers on an `n_pp`-deep pipeline.
+    pub fn layers_on_device(&self, num_layers: u32, n_pp: u32, device: u32) -> u32 {
+        match self {
+            LayerSplit::Uniform => num_layers / n_pp,
+            LayerSplit::PerDevice(counts) => counts[device as usize],
+        }
+    }
+}
 
 /// A fully specified parallel training configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -64,6 +101,8 @@ pub struct ParallelConfig {
     pub batch: BatchConfig,
     /// Data-parallel sharding level.
     pub dp: DataParallelism,
+    /// Layer apportionment across pipeline devices.
+    pub layer_split: LayerSplit,
 }
 
 /// Why a [`ParallelConfig`] is invalid for a given model and cluster.
@@ -97,6 +136,25 @@ pub enum ConfigError {
         /// Requested stage count.
         stages: u32,
     },
+    /// A per-device layer split has the wrong number of entries.
+    SplitDegreeMismatch {
+        /// Entries in the split.
+        entries: u32,
+        /// Pipeline degree in the grid.
+        n_pp: u32,
+    },
+    /// A per-device layer split does not sum to the model's layer count.
+    SplitSumMismatch {
+        /// Sum of the split's entries.
+        sum: u32,
+        /// Model layers.
+        layers: u32,
+    },
+    /// A per-device layer split leaves a device without layers.
+    SplitEmptyDevice {
+        /// The device with a zero entry.
+        device: u32,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -120,6 +178,19 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "{layers} layers cannot be divided evenly into {stages} stages"
             ),
+            ConfigError::SplitDegreeMismatch { entries, n_pp } => write!(
+                f,
+                "layer split has {entries} entries for a {n_pp}-deep pipeline"
+            ),
+            ConfigError::SplitSumMismatch { sum, layers } => {
+                write!(
+                    f,
+                    "layer split sums to {sum} but the model has {layers} layers"
+                )
+            }
+            ConfigError::SplitEmptyDevice { device } => {
+                write!(f, "layer split assigns zero layers to device {device}")
+            }
         }
     }
 }
@@ -135,7 +206,14 @@ impl ParallelConfig {
             placement,
             batch,
             dp,
+            layer_split: LayerSplit::Uniform,
         }
+    }
+
+    /// Replaces the layer apportionment (builder style).
+    pub fn with_layer_split(mut self, layer_split: LayerSplit) -> Self {
+        self.layer_split = layer_split;
+        self
     }
 
     /// Global batch size `B = N_DP · N_mb · S_mb`.
@@ -188,6 +266,26 @@ impl ParallelConfig {
                 layers: model.num_layers,
                 stages,
             });
+        }
+        if let LayerSplit::PerDevice(counts) = &self.layer_split {
+            if counts.len() as u32 != self.grid.n_pp {
+                return Err(ConfigError::SplitDegreeMismatch {
+                    entries: counts.len() as u32,
+                    n_pp: self.grid.n_pp,
+                });
+            }
+            if let Some(device) = counts.iter().position(|&c| c == 0) {
+                return Err(ConfigError::SplitEmptyDevice {
+                    device: device as u32,
+                });
+            }
+            let sum: u32 = counts.iter().sum();
+            if sum != model.num_layers {
+                return Err(ConfigError::SplitSumMismatch {
+                    sum,
+                    layers: model.num_layers,
+                });
+            }
         }
         Ok(())
     }
@@ -275,6 +373,51 @@ mod tests {
             .validate(&models::bert_52b(), &presets::dgx1_v100(8))
             .unwrap_err();
         assert!(matches!(err, ConfigError::UnevenStages { .. }));
+    }
+
+    #[test]
+    fn layer_splits_validate_shape_and_sum() {
+        let base = cfg(4, 2, 8, 8, 12, 1); // bert_52b: 64 layers, PP=8
+        let model = models::bert_52b();
+        let cluster = presets::dgx1_v100(8);
+        // A valid proportional split: sums to 64 over 8 devices.
+        let split = LayerSplit::PerDevice(Arc::from(vec![4u32, 4, 10, 10, 10, 10, 10, 6]));
+        assert_eq!(split.layers_on_device(64, 8, 2), 10);
+        assert_eq!(LayerSplit::Uniform.layers_on_device(64, 8, 2), 8);
+        let c = base.clone().with_layer_split(split);
+        assert!(c.validate(&model, &cluster).is_ok());
+        // Wrong arity.
+        let c = base
+            .clone()
+            .with_layer_split(LayerSplit::PerDevice(Arc::from(vec![32u32, 32])));
+        assert!(matches!(
+            c.validate(&model, &cluster),
+            Err(ConfigError::SplitDegreeMismatch {
+                entries: 2,
+                n_pp: 8
+            })
+        ));
+        // Wrong sum.
+        let c = base
+            .clone()
+            .with_layer_split(LayerSplit::PerDevice(Arc::from(vec![
+                8u32, 8, 8, 8, 8, 8, 8, 9,
+            ])));
+        assert!(matches!(
+            c.validate(&model, &cluster),
+            Err(ConfigError::SplitSumMismatch {
+                sum: 65,
+                layers: 64
+            })
+        ));
+        // A starved device.
+        let c = base.with_layer_split(LayerSplit::PerDevice(Arc::from(vec![
+            0u32, 8, 8, 8, 8, 8, 8, 16,
+        ])));
+        assert!(matches!(
+            c.validate(&model, &cluster),
+            Err(ConfigError::SplitEmptyDevice { device: 0 })
+        ));
     }
 
     #[test]

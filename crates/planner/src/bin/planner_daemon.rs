@@ -22,16 +22,26 @@
 //! * `model` — a name `bfpp_model::presets::by_name` knows
 //!   (`bert-52b`, `bert-6.6b`, `gpt-3`, `1t`).
 //! * `cluster` — `dgx1_v100` (default), `dgx1_v100_ethernet`,
-//!   `dgx_a100`, `dgx_a100_80gb`, `paper`, `figure1`; `nodes` scales
-//!   the node-count presets (default 8).
+//!   `dgx_a100`, `dgx_a100_80gb`, `mixed_v100_a100`,
+//!   `mixed_v100_a100_asym`, `paper`, `figure1`; `nodes` scales the
+//!   node-count presets (default 8; the mixed presets split it into a
+//!   V100 and an A100 island, V100s taking the extra node when odd).
 //! * `method` — `breadth_first` (default), `depth_first`,
 //!   `non_looped`, `no_pipeline`.
 //! * `kernel` — `v100` (default), `a100`, `ideal`.
+//! * `eval` — `batched` (default) or `per_candidate` evaluation.
 //! * `deadline_ms` / `max_candidates` — per-request budgets: the
 //!   search stops at the bound with its best-so-far and reports
 //!   `"timed_out":true`.
 //! * `straggler` / `jitter` / `link_degradation` / `seed` — the
 //!   perturbation for what-if re-planning; omitted = clean run.
+//! * `delta` — an elastic topology change applied *before* planning:
+//!   `{"drop_node":N}` removes node `N` from the line's cluster
+//!   (quarantining the old topology's warm records first),
+//!   `{"add_node":"<node-preset>"}` appends one (`dgx1_v100`,
+//!   `dgx1_v100_ethernet`, `dgx_a100_40gb`, `dgx_a100_80gb`). The
+//!   session plans the post-delta topology; a delta that does not
+//!   apply is answered with an `error` line.
 //!
 //! The control line `{"drain": true}` cancels every live session,
 //! joins them, emits a final `{"event":"drained",...}` summary, and
@@ -116,34 +126,57 @@ fn main() {
                 drain(&out, &planner, std::mem::take(&mut sessions));
                 return;
             }
-            Ok(Request::Plan { id, req }) => match planner.try_submit(*req) {
-                Ok(handle) => {
-                    let out = Arc::clone(&out);
-                    let token = handle.cancel_token();
-                    // One pump thread per session: forwards its events
-                    // to stdout as they arrive, interleaved with other
-                    // live sessions line-by-line.
-                    let pump = std::thread::spawn(move || {
-                        while let Some(ev) = handle.recv() {
-                            match ev {
-                                PlanEvent::Improved(r) => {
-                                    emit(&out, &improved_line(&id, &r));
-                                }
-                                PlanEvent::Done { result, report } => {
-                                    emit(&out, &done_line(&id, result.as_ref(), &report));
-                                    break;
-                                }
-                                PlanEvent::Failed { error } => {
-                                    emit(&out, &failed_line(&id, &error));
-                                    break;
+            Ok(Request::Plan { id, req, delta }) => {
+                // An elastic delta rewrites the request for the
+                // post-change topology first (quarantining what the
+                // change invalidates); a delta that does not apply is
+                // answered as an error line, never a session.
+                let req = match delta {
+                    Some(d) => match planner.apply_delta(&req, &d) {
+                        Ok(next) => next,
+                        Err(e) => {
+                            emit(
+                                &out,
+                                &error_line(&WireError {
+                                    id,
+                                    at: None,
+                                    msg: format!("delta does not apply: {e}"),
+                                }),
+                            );
+                            continue;
+                        }
+                    },
+                    None => *req,
+                };
+                match planner.try_submit(req) {
+                    Ok(handle) => {
+                        let out = Arc::clone(&out);
+                        let token = handle.cancel_token();
+                        // One pump thread per session: forwards its events
+                        // to stdout as they arrive, interleaved with other
+                        // live sessions line-by-line.
+                        let pump = std::thread::spawn(move || {
+                            while let Some(ev) = handle.recv() {
+                                match ev {
+                                    PlanEvent::Improved(r) => {
+                                        emit(&out, &improved_line(&id, &r));
+                                    }
+                                    PlanEvent::Done { result, report } => {
+                                        emit(&out, &done_line(&id, result.as_ref(), &report));
+                                        break;
+                                    }
+                                    PlanEvent::Failed { error } => {
+                                        emit(&out, &failed_line(&id, &error));
+                                        break;
+                                    }
                                 }
                             }
-                        }
-                    });
-                    sessions.push(Session { token, pump });
+                        });
+                        sessions.push(Session { token, pump });
+                    }
+                    Err(reason) => emit(&out, &rejected_line(&id, &reason)),
                 }
-                Err(reason) => emit(&out, &rejected_line(&id, &reason)),
-            },
+            }
             Err(err) => emit(&out, &error_line(&err)),
         }
     }

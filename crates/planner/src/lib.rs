@@ -54,6 +54,49 @@
 //! ([`chaos::SessionFault`], [`chaos::ChaosPlan`]) these promises are
 //! soak-tested against (`tests/chaos.rs`).
 //!
+//! ## Elastic re-planning (DESIGN.md §15)
+//!
+//! A [`ClusterDelta`] names a mid-run topology change — a node died
+//! ([`ClusterChange::DropNode`]) or a spare joined
+//! ([`ClusterChange::AddNode`]) — and [`Planner::replan`] turns the
+//! current request into the post-delta one, quarantines exactly the warm
+//! records the change invalidates, and plans the new topology. Because
+//! topology rollbacks restore the cluster spec byte-for-byte, the second
+//! occurrence of a topology replays its recorded sweep instead of
+//! re-simulating:
+//!
+//! ```
+//! use bfpp_cluster::{presets, NodeId};
+//! use bfpp_exec::search::Method;
+//! use bfpp_exec::KernelModel;
+//! use bfpp_planner::{ClusterDelta, PlanRequest, Planner};
+//!
+//! let planner = Planner::with_threads(2);
+//! let mut req = PlanRequest::new(
+//!     bfpp_model::presets::bert_6_6b(),
+//!     presets::dgx1_v100(2),
+//!     Method::BreadthFirst,
+//!     16,
+//!     KernelModel::v100(),
+//! );
+//! req.opts.max_actions = 20_000; // keep the doc-test quick
+//!
+//! let (cold, _) = planner.plan(&req); // records the 2-node sweep
+//!
+//! // Node 1 drops out: re-plan on the survivor, old records quarantined.
+//! let delta = ClusterDelta::drop_node(NodeId(1));
+//! let (degraded_req, survivor_plan, report) =
+//!     planner.replan(&req, &delta).expect("node 1 exists");
+//! assert!(survivor_plan.is_some());
+//! assert_eq!(report.warm_hits, 0, "first time on this topology");
+//!
+//! // The node returns: the restored spec equals the original exactly.
+//! let back = ClusterDelta::add_node(req.cluster.node.clone());
+//! let (restored, _, _) = planner.replan(&degraded_req, &back).unwrap();
+//! assert_eq!(restored.cluster, req.cluster);
+//! # let _ = cold;
+//! ```
+//!
 //! Determinism is inherited, not re-proven: the engine's winner and
 //! headline counters are bit-identical for any thread count and any
 //! interleaving, and the shared caches only ever substitute equal values
@@ -87,8 +130,11 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use crate::chaos::{PanicPoint, SessionFault};
 
 pub mod chaos;
+pub mod elastic;
 pub mod json;
 pub mod wire;
+
+pub use elastic::{ClusterChange, ClusterDelta};
 
 /// How long a dropped [`PlanHandle`] waits for its session to honor
 /// cancellation before detaching it (and counting `session_leaked`).

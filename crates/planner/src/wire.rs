@@ -6,9 +6,10 @@
 //! One JSON object per line in; one JSON object per line out. Inbound
 //! lines are either a planning request (`{"model": ..., "batch": ...}`
 //! plus options — see the `planner_daemon` docs for the full field
-//! list) or the control line `{"drain": true}`, which asks the daemon
-//! to cancel and join every live session, flush its lifecycle counters,
-//! and exit cleanly.
+//! list, including the elastic `"delta"` object that re-plans a
+//! topology change) or the control line `{"drain": true}`, which asks
+//! the daemon to cancel and join every live session, flush its
+//! lifecycle counters, and exit cleanly.
 //!
 //! Outbound lines are typed by their `"event"` field:
 //!
@@ -26,13 +27,13 @@
 
 use std::time::Duration;
 
-use bfpp_cluster::{presets as clusters, ClusterSpec};
+use bfpp_cluster::{presets as clusters, ClusterSpec, NodeId, NodeSpec};
 use bfpp_exec::search::{EvalMode, Method, SearchOptions, SearchReport, SearchResult};
 use bfpp_exec::KernelModel;
 use bfpp_sim::Perturbation;
 
 use crate::json::{escape, Value};
-use crate::{PlanRequest, RejectReason};
+use crate::{ClusterDelta, PlanRequest, RejectReason};
 
 /// One parsed inbound line.
 #[derive(Debug, Clone)]
@@ -44,6 +45,12 @@ pub enum Request {
         id: String,
         /// The request to run.
         req: Box<PlanRequest>,
+        /// An elastic topology change to apply before planning
+        /// (`"delta":{"drop_node":N}` / `{"add_node":"<node-preset>"}`):
+        /// the line's `cluster`/`nodes` fields name the *pre-delta*
+        /// topology, and the daemon plans its post-delta form through
+        /// [`crate::Planner::apply_delta`].
+        delta: Option<ClusterDelta>,
     },
     /// `{"drain": true}`: stop admitting, cancel and join every live
     /// session, flush counters, exit 0.
@@ -89,10 +96,14 @@ pub fn parse_line(line: &str, fallback_id: &str) -> Result<Request, WireError> {
         .unwrap_or(fallback_id)
         .to_string();
     match build_request(&v) {
-        Ok(req) => Ok(Request::Plan {
-            id,
-            req: Box::new(req),
-        }),
+        Ok(req) => match delta_of(&v) {
+            Ok(delta) => Ok(Request::Plan {
+                id,
+                req: Box::new(req),
+                delta,
+            }),
+            Err(msg) => Err(WireError { id, at: None, msg }),
+        },
         Err(msg) => Err(WireError { id, at: None, msg }),
     }
 }
@@ -178,15 +189,57 @@ fn build_request(v: &Value) -> Result<PlanRequest, String> {
 }
 
 fn cluster_by_name(name: &str, nodes: u32) -> Result<ClusterSpec, String> {
+    // The mixed presets split `nodes` into a V100 island and an A100
+    // island (V100s take the extra node when odd).
+    let islands = || {
+        if nodes < 2 {
+            return Err(format!("cluster {name:?} needs at least 2 nodes"));
+        }
+        Ok((nodes - nodes / 2, nodes / 2))
+    };
     Ok(match name {
         "dgx1_v100" => clusters::dgx1_v100(nodes),
         "dgx1_v100_ethernet" => clusters::dgx1_v100_ethernet(nodes),
         "dgx_a100" => clusters::dgx_a100(nodes),
         "dgx_a100_80gb" => clusters::dgx_a100_80gb(nodes),
+        "mixed_v100_a100" => {
+            let (v, a) = islands()?;
+            clusters::mixed_v100_a100(v, a)
+        }
+        "mixed_v100_a100_asym" => {
+            let (v, a) = islands()?;
+            clusters::mixed_v100_a100_asym(v, a)
+        }
         "paper" => clusters::paper_cluster(),
         "figure1" => clusters::figure1_cluster(),
         other => return Err(format!("unknown cluster {other:?}")),
     })
+}
+
+fn node_by_name(name: &str) -> Result<NodeSpec, String> {
+    Ok(match name {
+        "dgx1_v100" => NodeSpec::dgx1_v100(),
+        "dgx1_v100_ethernet" => NodeSpec::dgx1_v100_ethernet(),
+        "dgx_a100_40gb" => NodeSpec::dgx_a100_40gb(),
+        "dgx_a100_80gb" => NodeSpec::dgx_a100_80gb(),
+        other => return Err(format!("unknown node preset {other:?}")),
+    })
+}
+
+/// Parses the optional `"delta"` object: `{"drop_node": N}` or
+/// `{"add_node": "<node-preset>"}`.
+fn delta_of(v: &Value) -> Result<Option<ClusterDelta>, String> {
+    let Some(d) = v.get("delta") else {
+        return Ok(None);
+    };
+    if let Some(n) = d.get("drop_node").and_then(Value::as_u64) {
+        let n = u32::try_from(n).map_err(|_| "field \"drop_node\" too large".to_string())?;
+        return Ok(Some(ClusterDelta::drop_node(NodeId(n))));
+    }
+    if let Some(name) = d.get("add_node").and_then(Value::as_str) {
+        return Ok(Some(ClusterDelta::add_node(node_by_name(name)?)));
+    }
+    Err("delta needs integer \"drop_node\" or string \"add_node\"".to_string())
 }
 
 fn perturbation_of(v: &Value) -> Result<Perturbation, String> {
@@ -300,13 +353,14 @@ mod tests {
     fn a_minimal_request_parses_with_defaults() {
         let r = parse_line(r#"{"model":"bert-6.6b","batch":16}"#, "line-1").unwrap();
         match r {
-            Request::Plan { id, req } => {
+            Request::Plan { id, req, delta } => {
                 assert_eq!(id, "line-1");
                 assert_eq!(req.global_batch, 16);
                 assert_eq!(req.method, Method::BreadthFirst);
                 assert_eq!(req.opts.deadline, None);
                 assert_eq!(req.opts.max_candidates, None);
                 assert!(req.fault.is_none());
+                assert!(delta.is_none());
             }
             Request::Drain => panic!("not a drain line"),
         }
@@ -320,12 +374,59 @@ mod tests {
         )
         .unwrap();
         match r {
-            Request::Plan { id, req } => {
+            Request::Plan { id, req, .. } => {
                 assert_eq!(id, "b");
                 assert_eq!(req.opts.deadline, Some(Duration::from_millis(250)));
                 assert_eq!(req.opts.max_candidates, Some(64));
             }
             Request::Drain => panic!("not a drain line"),
+        }
+    }
+
+    #[test]
+    fn mixed_clusters_and_deltas_ride_the_wire() {
+        let r = parse_line(
+            r#"{"id":"e1","model":"bert-6.6b","cluster":"mixed_v100_a100","nodes":2,
+                "batch":16,"delta":{"drop_node":1}}"#,
+            "line-1",
+        )
+        .unwrap();
+        match r {
+            Request::Plan { req, delta, .. } => {
+                assert!(req.cluster.is_hetero(), "mixed preset is heterogeneous");
+                assert_eq!(req.cluster.num_nodes, 2);
+                assert_eq!(delta, Some(ClusterDelta::drop_node(NodeId(1))));
+            }
+            Request::Drain => panic!("not a drain line"),
+        }
+
+        let r = parse_line(
+            r#"{"model":"bert-6.6b","cluster":"mixed_v100_a100_asym","nodes":3,
+                "batch":16,"delta":{"add_node":"dgx_a100_40gb"}}"#,
+            "line-2",
+        )
+        .unwrap();
+        match r {
+            Request::Plan { req, delta, .. } => {
+                // Odd node counts give the V100 island the extra node.
+                assert_eq!(req.cluster.num_nodes, 3);
+                assert_eq!(
+                    delta,
+                    Some(ClusterDelta::add_node(NodeSpec::dgx_a100_40gb()))
+                );
+            }
+            Request::Drain => panic!("not a drain line"),
+        }
+
+        // Typed failures: undersized mixed fleets, unknown node presets,
+        // and deltas missing both verbs.
+        for bad in [
+            r#"{"model":"bert-6.6b","cluster":"mixed_v100_a100","nodes":1,"batch":16}"#,
+            r#"{"model":"bert-6.6b","batch":16,"delta":{"add_node":"abacus"}}"#,
+            r#"{"model":"bert-6.6b","batch":16,"delta":{}}"#,
+        ] {
+            let err = parse_line(bad, "line-3").unwrap_err();
+            assert_eq!(err.at, None, "{}", err.msg);
         }
     }
 

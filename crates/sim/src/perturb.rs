@@ -19,6 +19,15 @@
 //! jitter is bounded (`jitter_frac < 1`), so the throughput upper
 //! bound of a perturbed run exceeds the unperturbed bound by at most
 //! [`Perturbation::max_speedup`].
+//!
+//! Perturbations compose on top of the cluster's *hardware map*: on a
+//! heterogeneous fleet the base duration handed to
+//! [`Perturbation::perturb`] is already the per-device one (an A100
+//! stage's kernel is shorter than a V100 stage's before any fault is
+//! applied), and the perturbation multiplies it. A straggler is thus
+//! relative to its own device — "device 0 at 1.5×" slows a fast node
+//! by 50%, not to some fleet-wide reference speed — and the identity
+//! perturbation preserves the heterogeneous timeline bit-for-bit.
 
 use crate::time::SimDuration;
 

@@ -274,7 +274,7 @@ pub struct SolveScratch {
     /// order is duration-independent (pushes depend only on pending-dep
     /// counters and queue positions, never on times), so one recorded
     /// trace is a valid schedule order for *any* duration vector over
-    /// this topology; [`SolveScratch::replay`] re-times it without queue
+    /// this topology; `SolveScratch::replay` re-times it without queue
     /// or counter bookkeeping.
     trace: Vec<OpId>,
     /// Whether `trace` holds a complete trace for the current topology.
@@ -678,7 +678,7 @@ impl<'g, T> Solver<'g, T> {
 
     /// Evaluates a whole batch of duration rows against this solver's
     /// topology: one full solve records the replay trace (its processing
-    /// order is duration-independent, see [`SolveScratch::replay`]), then
+    /// order is duration-independent, see `SolveScratch::replay`), then
     /// every row is re-timed in a tight, allocation-free loop. `f`
     /// receives each row index with its [`SolveStats`] (the stats buffer
     /// is reused across rows — copy out what must outlive the call).

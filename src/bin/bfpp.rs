@@ -140,7 +140,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "memory   : {:.2} GiB (fits: {})",
         m.memory_gib(),
-        m.fits(cluster.node.gpu.memory_bytes)
+        m.fits(cluster.min_memory_bytes())
     );
     let lowered =
         lower(&model, &cluster, &cfg, schedule, overlap, &kernel).map_err(|e| e.to_string())?;
