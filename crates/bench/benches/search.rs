@@ -265,6 +265,80 @@ fn bench_elastic(_c: &mut Criterion) {
     );
 }
 
+/// Telemetry overhead guard: the identical Figure 5a sweep through
+/// `search_streaming`, once with `env.metrics = None` and once with a
+/// live registry. Instrumentation touches the registry once per request
+/// (request-end roll-up) and a handful of relaxed atomics per 32
+/// candidates, so the claim is <2% overhead on this workload; the
+/// assertion allows 25% so scheduler noise on a busy CI host can never
+/// flake it — a regression that *matters* (per-candidate registry
+/// traffic) shows up as 2-10x, not 1.25x. Compare the printed rates
+/// against the `candidates_per_sec` baselines in `BENCH_search.json`
+/// when reading results from a quiet host.
+fn bench_telemetry_overhead(_c: &mut Criterion) {
+    use bfpp_exec::search::{search_streaming, SearchEnv};
+    use bfpp_exec::MetricsRegistry;
+    use std::sync::Arc;
+
+    let model = bert_52b();
+    let cluster = dgx1_v100(8);
+    let kernel = KernelModel::v100();
+    let opts = quick_search_opts(1);
+    let iters = 10u32;
+
+    let run = |env: &SearchEnv| {
+        let mut cands = 0u64;
+        let t = Instant::now();
+        for _ in 0..iters {
+            for &m in Method::ALL.iter() {
+                let (_, report) =
+                    search_streaming(&model, &cluster, m, 48, &kernel, &opts, env, None, None);
+                cands += report.enumerated;
+            }
+        }
+        (cands as f64 / t.elapsed().as_secs_f64(), cands)
+    };
+
+    // Both arms share the process-global class cache (pre-warmed by the
+    // first arm's first iteration either way) and use no warm store, so
+    // the only difference between them is the registry.
+    let off = SearchEnv::private();
+    let mut on = SearchEnv::private();
+    let registry = Arc::new(MetricsRegistry::new());
+    on.metrics = Some(Arc::clone(&registry));
+    let (_, _) = run(&off); // warm the shared caches so neither arm pays cold costs
+    let (rate_off, cands_off) = run(&off);
+    let (rate_on, cands_on) = run(&on);
+    assert_eq!(cands_off, cands_on, "telemetry must not change the search");
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counter("search_requests_total"),
+        u64::from(iters) * Method::ALL.len() as u64,
+        "every instrumented request reached the registry"
+    );
+
+    let overhead = rate_off / rate_on - 1.0;
+    println!(
+        "bench {:<48} {:>12.0} candidates/sec",
+        "search_fig5a_b48/telemetry_off", rate_off
+    );
+    println!(
+        "bench {:<48} {:>12.0} candidates/sec",
+        "search_fig5a_b48/telemetry_on", rate_on
+    );
+    println!(
+        "bench {:<48} {:>12.2} %",
+        "search_fig5a_b48/telemetry_overhead",
+        overhead * 100.0
+    );
+    assert!(
+        rate_on > rate_off / 1.25,
+        "telemetry overhead out of bounds: off={rate_off:.0}/s on={rate_on:.0}/s \
+         ({:.1}% > 25% budget)",
+        overhead * 100.0
+    );
+}
+
 fn quick_criterion() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -276,6 +350,6 @@ criterion_group! {
     name = benches;
     config = quick_criterion();
     targets = bench_simulate, bench_search, bench_planner, bench_candidate_throughput,
-        bench_elastic
+        bench_elastic, bench_telemetry_overhead
 }
 criterion_main!(benches);

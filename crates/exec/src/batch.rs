@@ -48,6 +48,7 @@
 //! the lower + CSR-build + discovery-solve work.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use bfpp_cluster::ClusterSpec;
@@ -361,6 +362,11 @@ struct ClassEntries {
 pub struct ClassCache {
     entries: Mutex<ClassEntries>,
     max_ops: u64,
+    /// Lifetime lookup traffic, for hit-rate telemetry. Diagnostic
+    /// only: two requests racing on a cold key can both count a miss,
+    /// so these are excluded from any bit-stability guarantee.
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl std::fmt::Debug for ClassCache {
@@ -394,6 +400,8 @@ impl ClassCache {
                 ops_held: 0,
             }),
             max_ops: max_ops.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -404,7 +412,22 @@ impl ClassCache {
     }
 
     pub(crate) fn lookup(&self, key: &ClassKey) -> Option<Arc<ClassBase>> {
-        self.lock().map.get(key).cloned()
+        let found = self.lock().map.get(key).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Lifetime lookup hits (diagnostic — see the field note on races).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     pub(crate) fn insert(&self, key: ClassKey, base: Arc<ClassBase>) {

@@ -26,10 +26,12 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use bfpp_sim::MetricsRegistry;
 
 /// A borrowed task: runs once on some worker (or the submitter itself).
 pub type ScopedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
@@ -91,6 +93,19 @@ struct Shared {
     stall_tickets: Mutex<Vec<Duration>>,
     /// How many dead workers the supervisor has replaced.
     respawned: AtomicUsize,
+    /// Jobs taken from a sibling's queue rather than the popper's own —
+    /// the work-stealing traffic a telemetry snapshot reports.
+    steals: AtomicU64,
+    /// Jobs executed, by workers and helping submitters alike.
+    tasks_run: AtomicU64,
+    /// Cumulative job-execution time per worker *queue slot*, in
+    /// nanoseconds. Indexed like `queues`; a respawned worker inherits
+    /// its predecessor's slot and keeps accumulating. Helping
+    /// submitters are not workers and account separately
+    /// ([`Shared::helper_busy_ns`]).
+    busy_ns: Vec<AtomicU64>,
+    /// Job-execution time spent by helping submitters.
+    helper_busy_ns: AtomicU64,
 }
 
 impl Shared {
@@ -128,6 +143,7 @@ impl Shared {
         let n = self.queues.len();
         for off in 1..n {
             if let Some(job) = self.lock_queue((me + off) % n).pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -191,7 +207,13 @@ fn execute_with_single_worker(shared: &Shared, me: usize) -> bool {
             std::thread::sleep(stall);
         }
         if let Some(job) = shared.pop_or_steal(me) {
+            let t0 = Instant::now();
+            shared.tasks_run.fetch_add(1, Ordering::Relaxed);
             run_job(job);
+            shared.busy_ns[me].fetch_add(
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
             continue;
         }
         let guard = match shared.idle.lock() {
@@ -271,6 +293,10 @@ impl Executor {
             exit_tickets: AtomicUsize::new(0),
             stall_tickets: Mutex::new(Vec::new()),
             respawned: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            tasks_run: AtomicU64::new(0),
+            busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            helper_busy_ns: AtomicU64::new(0),
         });
         let workers = (0..threads).map(|me| spawn_worker(&shared, me)).collect();
         Arc::new(Executor {
@@ -302,6 +328,67 @@ impl Executor {
     /// How many dead workers the supervisor has replaced so far.
     pub fn workers_respawned(&self) -> usize {
         self.shared.respawned.load(Ordering::Acquire)
+    }
+
+    /// Jobs currently queued across every worker queue (a point-in-time
+    /// depth; the next instant may differ).
+    pub fn queue_depth(&self) -> usize {
+        (0..self.shared.queues.len())
+            .map(|i| self.shared.lock_queue(i).len())
+            .sum()
+    }
+
+    /// Jobs taken from a sibling's queue instead of the popper's own
+    /// since the pool started.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Jobs executed since the pool started (workers and helping
+    /// submitters).
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.tasks_run.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative job-execution nanoseconds per worker queue slot. A
+    /// respawned worker inherits its slot's total. Excludes helping
+    /// submitters ([`Executor::helper_busy_ns`]).
+    pub fn worker_busy_ns(&self) -> Vec<u64> {
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Cumulative job-execution nanoseconds spent by helping
+    /// submitters (scope owners running their own queued tasks).
+    pub fn helper_busy_ns(&self) -> u64 {
+        self.shared.helper_busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mirrors the pool's telemetry into a registry: point-in-time
+    /// gauges (`executor_queue_depth`, `executor_live_workers`) and
+    /// monotonic totals (`executor_steals_total`,
+    /// `executor_tasks_total`, `executor_workers_respawned_total`,
+    /// busy-time per worker slot and in total). Call at snapshot time —
+    /// the pool itself never touches a registry on its hot paths.
+    pub fn export_metrics(&self, m: &MetricsRegistry) {
+        m.gauge_set("executor_threads", self.threads as i64);
+        m.gauge_set("executor_live_workers", self.live_workers() as i64);
+        m.gauge_set("executor_queue_depth", self.queue_depth() as i64);
+        m.counter_set("executor_steals_total", self.steals());
+        m.counter_set("executor_tasks_total", self.tasks_executed());
+        m.counter_set(
+            "executor_workers_respawned_total",
+            self.workers_respawned() as u64,
+        );
+        let per_worker = self.worker_busy_ns();
+        m.counter_set("executor_busy_ns_total", per_worker.iter().sum());
+        for (i, ns) in per_worker.into_iter().enumerate() {
+            m.counter_set(&format!("executor_busy_ns_worker_{i}"), ns);
+        }
+        m.counter_set("executor_helper_busy_ns_total", self.helper_busy_ns());
     }
 
     /// Chaos hook: make `n` workers exit their loops as if their
@@ -400,7 +487,13 @@ impl Executor {
         // that workers already claimed.
         while scope.remaining.load(Ordering::Acquire) > 0 {
             if let Some(job) = self.shared.pop_scope_job(&scope) {
+                let t0 = Instant::now();
+                self.shared.tasks_run.fetch_add(1, Ordering::Relaxed);
                 run_job(job);
+                self.shared.helper_busy_ns.fetch_add(
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
                 continue;
             }
             let guard = match scope.done.lock() {
@@ -618,6 +711,39 @@ mod tests {
         assert_eq!(n.load(Ordering::Relaxed), 6);
         assert_eq!(pool.live_workers(), 2, "a stall is not a death");
         assert_eq!(pool.workers_respawned(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_tasks_and_exports_gauges() {
+        let pool = Executor::new(2);
+        let n = AtomicU64::new(0);
+        for _ in 0..4 {
+            let tasks: Vec<ScopedTask<'_>> = (0..8)
+                .map(|_| {
+                    let task: ScopedTask<'_> = Box::new(|| {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    });
+                    task
+                })
+                .collect();
+            pool.scope_run(tasks);
+        }
+        assert_eq!(pool.tasks_executed(), 32, "every job is counted once");
+        assert_eq!(pool.queue_depth(), 0, "scopes drain their queues");
+        assert_eq!(pool.worker_busy_ns().len(), 2);
+        let m = MetricsRegistry::new();
+        pool.export_metrics(&m);
+        assert_eq!(m.counter("executor_tasks_total"), 32);
+        assert_eq!(m.gauge("executor_threads"), 2);
+        assert_eq!(m.gauge("executor_queue_depth"), 0);
+        assert_eq!(m.counter("executor_workers_respawned_total"), 0);
+        // Busy time splits across worker slots and the helping
+        // submitter; the export carries whatever was attributed.
+        let busy = m.counter("executor_busy_ns_total") + m.counter("executor_helper_busy_ns_total");
+        let _ = busy; // tasks are near-instant; totals may round to 0 ns
+                      // Steal traffic is scheduling-dependent — just exercise the
+                      // accessor and its export.
+        assert_eq!(m.counter("executor_steals_total"), pool.steals());
     }
 
     #[test]

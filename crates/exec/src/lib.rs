@@ -87,11 +87,12 @@ pub use memprof::{chrome_trace_with_memory, link_spans, memory_profile, peak_att
 pub use observe::{attribution, chrome_trace, op_category, TraceBuilder};
 pub use overlap::OverlapConfig;
 pub use prune::{lower_bound_tflops, PruneReason};
-pub use search::{EvalMode, SearchEnv, SearchReport};
+pub use search::{EvalMode, ProgressSnapshot, SearchEnv, SearchProgress, SearchReport};
 pub use warm::WarmCache;
 
 // Re-exported so search/bench callers can build fault models and consume
 // memory profiles without depending on `bfpp_sim` directly.
 pub use bfpp_sim::{
-    BufferClass, MemoryPeaks, MemoryProfile, OpClass, PeakAttribution, Perturbation,
+    BufferClass, MemoryPeaks, MemoryProfile, MetricsRegistry, MetricsSnapshot, OpClass,
+    PeakAttribution, Perturbation,
 };

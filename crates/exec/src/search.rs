@@ -27,7 +27,7 @@
 //! non-pipelined, DP_PS for non-looped").
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -36,7 +36,7 @@ use bfpp_core::{CacheStats, ScheduleCache, ScheduleKind};
 use bfpp_model::TransformerConfig;
 use bfpp_parallel::{DataParallelism, ParallelConfig};
 use bfpp_sim::observe::Counters;
-use bfpp_sim::{DurationMatrix, Perturbation, SimDuration};
+use bfpp_sim::{DurationMatrix, MetricsRegistry, Perturbation, SimDuration};
 
 use crate::batch::{ClassBase, ClassCache, ClassKey};
 use crate::candidates::{enumerate, Candidate};
@@ -234,6 +234,13 @@ pub struct SearchEnv {
     pub classes: Arc<ClassCache>,
     /// Warm-start store. `None` disables both recording and replay.
     pub warm: Option<Arc<WarmCache>>,
+    /// Telemetry registry. `None` (the default) runs the engine
+    /// uninstrumented; a service environment installs one and every
+    /// request feeds it per-phase span histograms and candidate-flow
+    /// counters at request end — never on the per-candidate hot path,
+    /// which is how instrumentation overhead stays in the noise (the
+    /// `telemetry_overhead` bench arm guards this).
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl SearchEnv {
@@ -247,6 +254,7 @@ impl SearchEnv {
             schedules: Arc::new(ScheduleCache::new()),
             classes: Arc::clone(ClassCache::global()),
             warm: None,
+            metrics: None,
         }
     }
 
@@ -259,6 +267,7 @@ impl SearchEnv {
             schedules: Arc::new(ScheduleCache::new()),
             classes: Arc::clone(ClassCache::global()),
             warm: Some(Arc::new(WarmCache::new())),
+            metrics: Some(Arc::new(MetricsRegistry::new())),
         }
     }
 }
@@ -393,6 +402,87 @@ impl SearchReport {
     }
 }
 
+/// Live progress of one in-flight search, shared between the engine and
+/// an observer (the daemon's heartbeat emitter). The engine publishes at
+/// chunk boundaries only — the same cadence as its cancellation
+/// checkpoint — so observation adds a handful of relaxed stores per 32
+/// candidates, nothing on the per-candidate hot path. All fields are
+/// monotonic over one request, and the values mirror the corresponding
+/// [`SearchReport`] counters, so a snapshot taken after `finished`
+/// equals the final report's tallies exactly.
+#[derive(Debug, Default)]
+pub struct SearchProgress {
+    enumerated: AtomicU64,
+    pruned_memory: AtomicU64,
+    pruned_throughput: AtomicU64,
+    simulated: AtomicU64,
+    /// Best-so-far throughput in milli-Tflop/s per GPU (integral so the
+    /// cell stays a single atomic); `0` means no winner yet.
+    best_millitflops: AtomicU64,
+    warm_start: AtomicBool,
+    finished: AtomicBool,
+}
+
+impl SearchProgress {
+    pub fn new() -> SearchProgress {
+        SearchProgress::default()
+    }
+
+    /// A consistent-enough copy for reporting: fields are read
+    /// individually (relaxed), so a snapshot racing the engine may be
+    /// torn across one chunk boundary — fine for heartbeats, and exact
+    /// once [`ProgressSnapshot::finished`] is `true`.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            enumerated: self.enumerated.load(Ordering::Relaxed),
+            pruned_memory: self.pruned_memory.load(Ordering::Relaxed),
+            pruned_throughput: self.pruned_throughput.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+            best_millitflops: self.best_millitflops.load(Ordering::Relaxed),
+            warm_start: self.warm_start.load(Ordering::Relaxed),
+            finished: self.finished.load(Ordering::Relaxed),
+        }
+    }
+
+    fn publish(&self, report: &SearchReport, best: Option<&SearchResult>) {
+        self.pruned_memory
+            .store(report.pruned_memory, Ordering::Relaxed);
+        self.pruned_throughput
+            .store(report.pruned_throughput, Ordering::Relaxed);
+        self.simulated.store(report.simulated, Ordering::Relaxed);
+        if let Some(b) = best {
+            let milli = (b.measurement.tflops_per_gpu * 1e3).round().max(0.0) as u64;
+            self.best_millitflops.store(milli.max(1), Ordering::Relaxed);
+        }
+    }
+}
+
+/// One point-in-time copy of a [`SearchProgress`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Total candidates the request will visit (known up front).
+    pub enumerated: u64,
+    /// Rejected so far by the memory lower bound.
+    pub pruned_memory: u64,
+    /// Rejected so far by the throughput upper bound.
+    pub pruned_throughput: u64,
+    /// Handed to the simulator so far.
+    pub simulated: u64,
+    /// Best-so-far throughput in milli-Tflop/s per GPU; `0` = none yet.
+    pub best_millitflops: u64,
+    /// Whether the request replayed a warm record.
+    pub warm_start: bool,
+    /// Whether the search has returned (terminal snapshot).
+    pub finished: bool,
+}
+
+impl ProgressSnapshot {
+    /// Candidates whose fate is decided (pruned or simulated).
+    pub fn visited(&self) -> u64 {
+        self.pruned_memory + self.pruned_throughput + self.simulated
+    }
+}
+
 /// Candidates are pruned and reduced in fixed-size chunks: each chunk is
 /// pruned against the best of the chunks *before* it only, evaluated in
 /// parallel, then reduced serially in candidate order. Keeping the chunk
@@ -472,7 +562,40 @@ pub fn search_streaming(
     opts: &SearchOptions,
     env: &SearchEnv,
     cancel: Option<&AtomicBool>,
+    on_improve: Option<&mut (dyn FnMut(&SearchResult) + Send)>,
+) -> (Option<SearchResult>, SearchReport) {
+    search_observed(
+        model,
+        cluster,
+        method,
+        global_batch,
+        kernel,
+        opts,
+        env,
+        cancel,
+        on_improve,
+        None,
+    )
+}
+
+/// [`search_streaming`] plus live observation: when `progress` is
+/// given, the engine publishes its counters and best-so-far into it at
+/// every chunk boundary and marks it finished on return, letting an
+/// observer thread (the daemon's heartbeat) report on an in-flight
+/// request without touching the search itself. With `progress = None`
+/// this *is* `search_streaming`.
+#[allow(clippy::too_many_arguments)]
+pub fn search_observed(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    method: Method,
+    global_batch: u64,
+    kernel: &KernelModel,
+    opts: &SearchOptions,
+    env: &SearchEnv,
+    cancel: Option<&AtomicBool>,
     mut on_improve: Option<&mut (dyn FnMut(&SearchResult) + Send)>,
+    progress: Option<&SearchProgress>,
 ) -> (Option<SearchResult>, SearchReport) {
     let start = Instant::now();
     let overlap = method.overlap();
@@ -523,6 +646,11 @@ pub fn search_streaming(
     let mut recorded_ops: u64 = 0;
     if matches!(plan, Plan::Warm(_)) {
         counters.incr("warm_start");
+    }
+    if let Some(p) = progress {
+        p.enumerated.store(total as u64, Ordering::Relaxed);
+        p.warm_start
+            .store(matches!(plan, Plan::Warm(_)), Ordering::Relaxed);
     }
 
     let batched = opts.eval == EvalMode::Batched;
@@ -733,6 +861,9 @@ pub fn search_streaming(
                 best_cand = Some(*cand);
             }
         }
+        if let Some(p) = progress {
+            p.publish(&report, best.as_ref());
+        }
     }
 
     // A *completed* cold search becomes a warm record (a cancelled or
@@ -859,6 +990,57 @@ pub fn search_streaming(
     }
     report.counters = counters;
     report.wall_time = start.elapsed();
+
+    // Request-end telemetry: one registry touch per request, after the
+    // hot loops. Candidate-flow counters and the per-request candidate
+    // histograms are deterministic (thread-count-invariant, like the
+    // report fields they mirror); the `*_ns` phase-span histograms and
+    // the cache hit/miss counters are wall-clock/racy diagnostics and
+    // are excluded from the bit-stability guarantee.
+    if let Some(metrics) = env.metrics.as_deref() {
+        metrics.counter_incr("search_requests_total");
+        metrics.counter_add("search_candidates_enumerated_total", report.enumerated);
+        metrics.counter_add(
+            "search_candidates_pruned_memory_total",
+            report.pruned_memory,
+        );
+        metrics.counter_add(
+            "search_candidates_pruned_throughput_total",
+            report.pruned_throughput,
+        );
+        metrics.counter_add("search_candidates_simulated_total", report.simulated);
+        if matches!(plan, Plan::Warm(_)) {
+            metrics.counter_incr("search_warm_starts_total");
+        }
+        metrics.counter_add("search_warm_hits_total", report.warm_hits);
+        metrics.counter_add(
+            "search_cache_hits_total",
+            report.counters.count("cache_hits"),
+        );
+        metrics.counter_add(
+            "search_cache_misses_total",
+            report.counters.count("cache_misses"),
+        );
+        metrics.observe("search_enumerated_per_request", report.enumerated);
+        metrics.observe("search_simulated_per_request", report.simulated);
+        for phase in ["enumerate", "prune", "evaluate", "probe"] {
+            let span = report.counters.span(phase);
+            if span > Duration::ZERO {
+                metrics.observe(
+                    &format!("search_phase_{phase}_ns"),
+                    span.as_nanos().min(u128::from(u64::MAX)) as u64,
+                );
+            }
+        }
+        metrics.observe(
+            "search_wall_ns",
+            report.wall_time.as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
+    }
+    if let Some(p) = progress {
+        p.publish(&report, best.as_ref());
+        p.finished.store(true, Ordering::Release);
+    }
     (best, report)
 }
 

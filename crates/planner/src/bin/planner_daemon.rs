@@ -43,21 +43,38 @@
 //!   session plans the post-delta topology; a delta that does not
 //!   apply is answered with an `error` line.
 //!
-//! The control line `{"drain": true}` cancels every live session,
-//! joins them, emits a final `{"event":"drained",...}` summary, and
-//! exits 0 — the graceful-shutdown path.
+//! Control lines:
+//!
+//! * `{"drain": true}` cancels every live session, joins them, emits a
+//!   final `{"event":"drained",...}` summary, and exits 0 — the
+//!   graceful-shutdown path.
+//! * `{"ping": true}` answers immediately with
+//!   `{"event":"pong","version":...}` — a liveness probe that touches
+//!   nothing.
+//! * `{"stats": true}` answers with `{"event":"stats",...}`: the full
+//!   telemetry snapshot (lifecycle counters, search metrics, executor
+//!   gauges, latency-histogram summaries) as one JSON line, without
+//!   disturbing live sessions.
 //!
 //! Responses (`id` echoes the request, or `line-N` if absent) are
 //! typed by `"event"`: `improved`, `done` (terminal, with `cancelled`
 //! and `timed_out` flags), `failed` (terminal: the session panicked
 //! and was isolated — the daemon survives), `rejected` (terminal:
-//! admission control declined; resubmit later), and `error` (the line
-//! never became a session; JSON syntax errors name the byte offset in
-//! `"at"`). Malformed input is answered, never fatal: the daemon keeps
-//! reading.
+//! admission control declined; resubmit later), `progress` (periodic
+//! per-session heartbeats, see `--progress-every-ms`), and `error`
+//! (the line never became a session; JSON syntax errors name the byte
+//! offset in `"at"`). Malformed input is answered, never fatal: the
+//! daemon keeps reading.
 //!
-//! `--max-in-flight N` (default 32) bounds concurrent sessions —
-//! excess requests get `rejected` instead of unbounded queueing.
+//! Flags:
+//!
+//! * `--max-in-flight N` (default 32) bounds concurrent sessions —
+//!   excess requests get `rejected` instead of unbounded queueing.
+//! * `--progress-every-ms N` emits a `progress` heartbeat for each
+//!   live session every `N` milliseconds: candidates evaluated so far,
+//!   the pruned split, best-so-far throughput, and elapsed time.
+//! * `--metrics PATH` writes the final telemetry snapshot to `PATH` in
+//!   Prometheus text exposition format on drain and on EOF exit.
 //!
 //! EOF on stdin drains every in-flight session before exiting, so
 //! `printf '...' | planner_daemon` terminates once all streams have
@@ -66,18 +83,29 @@
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bfpp_planner::wire::{
-    done_line, error_line, failed_line, improved_line, parse_line, rejected_line, Request,
-    WireError,
+    done_line, error_line, failed_line, improved_line, parse_line, pong_line, progress_line,
+    rejected_line, stats_line, Request, WireError,
 };
 use bfpp_planner::{CancelToken, PlanEvent, Planner};
 use bfpp_sim::observe::Counters;
+use crossbeam::channel::RecvTimeoutError;
 
 /// Default admission cap: enough for every realistic interactive load,
 /// small enough that a runaway client gets `rejected` lines instead of
 /// an unbounded thread pile-up.
 const DEFAULT_MAX_IN_FLIGHT: usize = 32;
+
+/// Parsed command-line flags.
+struct Args {
+    max_in_flight: usize,
+    /// Heartbeat cadence; `None` = no `progress` lines.
+    progress_every: Option<Duration>,
+    /// Where to write the Prometheus text snapshot on exit.
+    metrics_path: Option<String>,
+}
 
 /// One live (or finished) session the daemon supervises: the cancel
 /// token reaches the session, the pump thread forwards its events.
@@ -87,13 +115,13 @@ struct Session {
 }
 
 fn main() {
-    let max_in_flight = max_in_flight_arg().unwrap_or_else(|msg| {
+    let args = parse_args().unwrap_or_else(|msg| {
         eprintln!("planner_daemon: {msg}");
         std::process::exit(2);
     });
     let stdin = std::io::stdin();
     let out = Arc::new(Mutex::new(std::io::stdout()));
-    let planner = Arc::new(Planner::with_admission(0, max_in_flight));
+    let planner = Arc::new(Planner::with_admission(0, args.max_in_flight));
     let mut sessions: Vec<Session> = Vec::new();
 
     for (lineno, line) in stdin.lock().lines().enumerate() {
@@ -124,8 +152,11 @@ fn main() {
         match parse_line(&line, &fallback_id) {
             Ok(Request::Drain) => {
                 drain(&out, &planner, std::mem::take(&mut sessions));
+                write_metrics_file(&planner, args.metrics_path.as_deref());
                 return;
             }
+            Ok(Request::Ping) => emit(&out, &pong_line()),
+            Ok(Request::Stats) => emit(&out, &stats_line(&planner.metrics_snapshot())),
             Ok(Request::Plan { id, req, delta }) => {
                 // An elastic delta rewrites the request for the
                 // post-change topology first (quarantining what the
@@ -152,11 +183,36 @@ fn main() {
                     Ok(handle) => {
                         let out = Arc::clone(&out);
                         let token = handle.cancel_token();
+                        let progress_every = args.progress_every;
                         // One pump thread per session: forwards its events
                         // to stdout as they arrive, interleaved with other
-                        // live sessions line-by-line.
+                        // live sessions line-by-line. With a heartbeat
+                        // cadence configured, the pump waits on the event
+                        // stream with a timeout and turns each quiet
+                        // period into a `progress` line — no extra ticker
+                        // thread, and heartbeats can never reorder around
+                        // the terminal event they precede.
                         let pump = std::thread::spawn(move || {
-                            while let Some(ev) = handle.recv() {
+                            let started = Instant::now();
+                            loop {
+                                let ev = match progress_every {
+                                    Some(period) => match handle.events().recv_timeout(period) {
+                                        Ok(ev) => ev,
+                                        Err(RecvTimeoutError::Timeout) => {
+                                            let elapsed = started.elapsed().as_millis() as u64;
+                                            emit(
+                                                &out,
+                                                &progress_line(&id, &handle.progress(), elapsed),
+                                            );
+                                            continue;
+                                        }
+                                        Err(RecvTimeoutError::Disconnected) => break,
+                                    },
+                                    None => match handle.recv() {
+                                        Some(ev) => ev,
+                                        None => break,
+                                    },
+                                };
                                 match ev {
                                     PlanEvent::Improved(r) => {
                                         emit(&out, &improved_line(&id, &r));
@@ -184,7 +240,22 @@ fn main() {
     for session in sessions {
         let _ = session.pump.join();
     }
+    write_metrics_file(&planner, args.metrics_path.as_deref());
     eprintln!("planner_daemon: {}", summary(&planner.lifecycle()));
+}
+
+/// Writes the final telemetry snapshot as Prometheus text exposition —
+/// the `--metrics` flag's exit artifact. A write failure is reported on
+/// stderr but never changes the exit path: telemetry must not take the
+/// daemon down with it.
+fn write_metrics_file(planner: &Planner, path: Option<&str>) {
+    let Some(path) = path else {
+        return;
+    };
+    let text = planner.metrics_snapshot().render_prometheus();
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("planner_daemon: writing --metrics file {path:?}: {e}");
+    }
 }
 
 /// Joins and drops every session whose pump thread has already exited
@@ -243,26 +314,47 @@ fn summary(life: &Counters) -> String {
     )
 }
 
-fn max_in_flight_arg() -> Result<usize, String> {
+fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
-    let mut limit = DEFAULT_MAX_IN_FLIGHT;
+    let mut parsed = Args {
+        max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+        progress_every: None,
+        metrics_path: None,
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--max-in-flight" => {
                 let v = args
                     .next()
                     .ok_or("--max-in-flight needs a value".to_string())?;
-                limit = v
+                let limit = v
                     .parse::<usize>()
                     .map_err(|_| format!("invalid --max-in-flight value {v:?}"))?;
                 if limit == 0 {
                     return Err("--max-in-flight must be at least 1".to_string());
                 }
+                parsed.max_in_flight = limit;
+            }
+            "--progress-every-ms" => {
+                let v = args
+                    .next()
+                    .ok_or("--progress-every-ms needs a value".to_string())?;
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid --progress-every-ms value {v:?}"))?;
+                if ms == 0 {
+                    return Err("--progress-every-ms must be at least 1".to_string());
+                }
+                parsed.progress_every = Some(Duration::from_millis(ms));
+            }
+            "--metrics" => {
+                let path = args.next().ok_or("--metrics needs a path".to_string())?;
+                parsed.metrics_path = Some(path);
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(limit)
+    Ok(parsed)
 }
 
 fn emit(out: &Mutex<std::io::Stdout>, line: &str) {

@@ -113,16 +113,17 @@
 //! request/response schema, and DESIGN.md §12–§13 for the architecture.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bfpp_cluster::ClusterSpec;
 use bfpp_exec::search::{
-    search_streaming, Method, SearchEnv, SearchOptions, SearchReport, SearchResult,
+    search_observed, search_streaming, Method, ProgressSnapshot, SearchEnv, SearchOptions,
+    SearchProgress, SearchReport, SearchResult,
 };
-use bfpp_exec::{Executor, KernelModel, WarmCache};
+use bfpp_exec::{Executor, KernelModel, MetricsRegistry, MetricsSnapshot, WarmCache};
 use bfpp_model::TransformerConfig;
 use bfpp_sim::observe::{Counters, SharedCounters};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -318,6 +319,7 @@ pub struct PlanHandle {
     worker: Option<JoinHandle<()>>,
     lifecycle: Arc<SharedCounters>,
     drop_timeout: Duration,
+    progress: Arc<SearchProgress>,
 }
 
 impl PlanHandle {
@@ -351,6 +353,22 @@ impl PlanHandle {
     /// poll with `try_recv` / `recv_timeout`.
     pub fn events(&self) -> &Receiver<PlanEvent> {
         &self.events
+    }
+
+    /// A point-in-time view of the live session: candidates visited,
+    /// pruned split, best-so-far throughput. The engine publishes at
+    /// chunk boundaries, so a snapshot can trail the search by at most
+    /// one chunk; once a terminal event has been emitted the snapshot
+    /// equals the final report's tallies. The daemon's heartbeat
+    /// emitter polls this between events.
+    pub fn progress(&self) -> ProgressSnapshot {
+        self.progress.snapshot()
+    }
+
+    /// The shared progress cell itself, for observers that outlive a
+    /// borrow of the handle (the daemon's pump threads).
+    pub fn progress_cell(&self) -> Arc<SearchProgress> {
+        Arc::clone(&self.progress)
     }
 
     /// Drains the stream to completion and returns the final result —
@@ -435,6 +453,7 @@ struct InFlightSlot {
 impl Drop for InFlightSlot {
     fn drop(&mut self) {
         self.planner.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.planner.metrics.gauge_add("planner_in_flight", -1);
     }
 }
 
@@ -445,6 +464,10 @@ impl Drop for InFlightSlot {
 pub struct Planner {
     env: SearchEnv,
     lifecycle: Arc<SharedCounters>,
+    /// The telemetry registry — the same `Arc` installed in
+    /// `env.metrics`, so the engine's per-request search metrics and the
+    /// planner's lifecycle metrics land in one snapshot.
+    metrics: Arc<MetricsRegistry>,
     in_flight: AtomicUsize,
     max_in_flight: Option<usize>,
 }
@@ -460,27 +483,17 @@ impl Planner {
     /// schedule cache, and a fresh warm-start store. No admission
     /// limit.
     pub fn new() -> Planner {
-        Planner {
-            env: SearchEnv::service(),
-            lifecycle: Arc::new(SharedCounters::new()),
-            in_flight: AtomicUsize::new(0),
-            max_in_flight: None,
-        }
+        Planner::over(SearchEnv::service())
     }
 
     /// A planner over its own worker pool of `threads` workers (`0` =
     /// available parallelism) — for embedding several isolated planners
     /// in one process (tests do this).
     pub fn with_threads(threads: usize) -> Planner {
-        Planner {
-            env: SearchEnv {
-                executor: Executor::new(threads),
-                ..SearchEnv::service()
-            },
-            lifecycle: Arc::new(SharedCounters::new()),
-            in_flight: AtomicUsize::new(0),
-            max_in_flight: None,
-        }
+        Planner::over(SearchEnv {
+            executor: Executor::new(threads),
+            ..SearchEnv::service()
+        })
     }
 
     /// A planner with its own pool and an admission cap: at most
@@ -488,9 +501,34 @@ impl Planner {
     /// [`try_submit`](Planner::try_submit) rejects the rest with a typed
     /// [`RejectReason`] instead of queueing unboundedly.
     pub fn with_admission(threads: usize, limit: usize) -> Planner {
-        Planner {
+        let planner = Planner {
             max_in_flight: Some(limit.max(1)),
             ..Planner::with_threads(threads)
+        };
+        planner
+            .metrics
+            .gauge_set("planner_admission_limit", limit.max(1) as i64);
+        planner
+    }
+
+    /// Shared constructor body: adopt (or install) the environment's
+    /// registry so engine-side and planner-side metrics share one
+    /// snapshot.
+    fn over(mut env: SearchEnv) -> Planner {
+        let metrics = match &env.metrics {
+            Some(m) => Arc::clone(m),
+            None => {
+                let m = Arc::new(MetricsRegistry::new());
+                env.metrics = Some(Arc::clone(&m));
+                m
+            }
+        };
+        Planner {
+            env,
+            lifecycle: Arc::new(SharedCounters::new()),
+            metrics,
+            in_flight: AtomicUsize::new(0),
+            max_in_flight: None,
         }
     }
 
@@ -506,6 +544,34 @@ impl Planner {
     /// cumulative `request` wall-clock span.
     pub fn lifecycle(&self) -> Counters {
         self.lifecycle.snapshot()
+    }
+
+    /// The telemetry registry — shared with the engine via
+    /// `env.metrics`, so search-side counters and histograms land here
+    /// too. For a coherent read use
+    /// [`metrics_snapshot`](Planner::metrics_snapshot), which refreshes
+    /// the mirrored executor and class-cache counters first.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A full telemetry snapshot: planner lifecycle counters and
+    /// histograms, engine search metrics, plus point-in-time mirrors of
+    /// the executor (queue depth, steals, per-worker busy time) and the
+    /// process-global topology-class cache. Outcome counters reconcile
+    /// exactly — `planner_requests_submitted_total` equals the sum of
+    /// the four terminal outcome counters once all sessions are
+    /// terminal; rejected requests are counted separately (they were
+    /// never admitted).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.env.executor.export_metrics(&self.metrics);
+        self.metrics
+            .counter_set("class_cache_hits_total", self.env.classes.hits());
+        self.metrics
+            .counter_set("class_cache_misses_total", self.env.classes.misses());
+        self.metrics
+            .gauge_set("planner_in_flight", self.in_flight() as i64);
+        self.metrics.snapshot()
     }
 
     /// Sessions currently live (admitted and not yet terminal).
@@ -525,6 +591,8 @@ impl Planner {
     /// ignores any injected fault.
     pub fn plan(&self, req: &PlanRequest) -> (Option<SearchResult>, SearchReport) {
         self.lifecycle.incr("requests_submitted");
+        self.metrics
+            .counter_incr("planner_requests_submitted_total");
         let t0 = Instant::now();
         let out = search_streaming(
             &req.model,
@@ -573,6 +641,7 @@ impl Planner {
                 .is_ok();
             if !admitted {
                 self.lifecycle.incr("requests_rejected");
+                self.metrics.counter_incr("planner_requests_rejected_total");
                 return Err(RejectReason::Saturated {
                     in_flight: limit,
                     limit,
@@ -582,10 +651,16 @@ impl Planner {
             self.in_flight.fetch_add(1, Ordering::AcqRel);
         }
         self.lifecycle.incr("requests_submitted");
+        self.metrics
+            .counter_incr("planner_requests_submitted_total");
+        self.metrics.gauge_add("planner_in_flight", 1);
+        let submitted = Instant::now();
         let (tx, rx) = unbounded::<PlanEvent>();
         let cancel = CancelToken::new();
+        let progress = Arc::new(SearchProgress::new());
         let planner = Arc::clone(self);
         let token = cancel.clone();
+        let session_progress = Arc::clone(&progress);
         let slot = InFlightSlot {
             planner: Arc::clone(self),
         };
@@ -593,7 +668,7 @@ impl Planner {
             .name("bfpp-plan".to_string())
             .spawn(move || {
                 let _slot = slot;
-                planner.run_session(req, tx, token);
+                planner.run_session(req, tx, token, submitted, &session_progress);
             })
             .expect("spawning a planning session thread");
         Ok(PlanHandle {
@@ -602,6 +677,7 @@ impl Planner {
             worker: Some(worker),
             lifecycle: Arc::clone(&self.lifecycle),
             drop_timeout: DEFAULT_DROP_TIMEOUT,
+            progress,
         })
     }
 
@@ -609,8 +685,25 @@ impl Planner {
     /// request's own fault, a panic re-raised from an evaluation worker
     /// by `scope_run`, a bug in the engine — is caught here and turned
     /// into a terminal event; the thread itself never dies mid-protocol.
-    fn run_session(&self, req: PlanRequest, tx: Sender<PlanEvent>, cancel: CancelToken) {
+    fn run_session(
+        &self,
+        req: PlanRequest,
+        tx: Sender<PlanEvent>,
+        cancel: CancelToken,
+        submitted: Instant,
+        progress: &SearchProgress,
+    ) {
         let t0 = Instant::now();
+        // Thread-spawn latency between admission and the session body —
+        // the service's "queue wait". Sessions start immediately today,
+        // so this histogram doubles as a regression tripwire if a queue
+        // ever appears in between.
+        self.metrics
+            .observe_duration("planner_queue_wait_ns", submitted.elapsed());
+        // First-improvement latency, captured inside the closure (which
+        // must stay `Send`) and classified warm/cold after the report
+        // lands. `0` = no improvement seen (nothing fit).
+        let first_improve_ns = AtomicU64::new(0);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             match req.fault {
                 Some(SessionFault::Panic(PanicPoint::BeforeSearch)) => {
@@ -621,8 +714,13 @@ impl Planner {
             }
             let improved_tx = tx.clone();
             let mut improvements = 0u32;
+            let first_improve = &first_improve_ns;
             let mut on_improve = |r: &SearchResult| {
                 improvements += 1;
+                if first_improve.load(Ordering::Relaxed) == 0 {
+                    let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    first_improve.store(ns.max(1), Ordering::Relaxed);
+                }
                 // A gone receiver is not an error: the session still
                 // runs to its cancellation check.
                 let _ = improved_tx.send(PlanEvent::Improved(r.clone()));
@@ -632,7 +730,7 @@ impl Planner {
                     }
                 }
             };
-            search_streaming(
+            search_observed(
                 &req.model,
                 &req.cluster,
                 req.method,
@@ -642,10 +740,23 @@ impl Planner {
                 &self.env,
                 Some(cancel.flag()),
                 Some(&mut on_improve),
+                Some(progress),
             )
         }));
         match outcome {
             Ok((result, report)) => {
+                let warmth = if report.counters.count("warm_start") > 0 {
+                    "warm"
+                } else {
+                    "cold"
+                };
+                let first = first_improve_ns.load(Ordering::Relaxed);
+                if first > 0 {
+                    self.metrics.observe(
+                        &format!("planner_time_to_first_candidate_ns_{warmth}"),
+                        first,
+                    );
+                }
                 self.finish_accounting(&report, t0);
                 let _ = tx.send(PlanEvent::Done { result, report });
             }
@@ -653,6 +764,9 @@ impl Planner {
                 self.quarantine(&req);
                 self.lifecycle.record_span("request", t0.elapsed());
                 self.lifecycle.incr("requests_failed");
+                self.metrics.counter_incr("planner_requests_failed_total");
+                self.metrics
+                    .observe_duration("planner_session_ns_failed", t0.elapsed());
                 let _ = tx.send(PlanEvent::Failed {
                     error: panic_message(payload),
                 });
@@ -683,16 +797,26 @@ impl Planner {
 
     fn finish_accounting(&self, report: &SearchReport, t0: Instant) {
         self.lifecycle.record_span("request", t0.elapsed());
-        self.lifecycle.incr(if report.cancelled {
-            "requests_cancelled"
+        let outcome = if report.cancelled {
+            "cancelled"
         } else if report.timed_out {
-            "requests_timed_out"
+            "timed_out"
         } else {
-            "requests_completed"
-        });
-        if report.counters.count("warm_start") > 0 {
+            "completed"
+        };
+        self.lifecycle.incr(&format!("requests_{outcome}"));
+        self.metrics
+            .counter_incr(&format!("planner_requests_{outcome}_total"));
+        let warmth = if report.counters.count("warm_start") > 0 {
             self.lifecycle.incr("warm_starts");
-        }
+            "warm"
+        } else {
+            "cold"
+        };
+        self.metrics.observe_duration(
+            &format!("planner_session_ns_{outcome}_{warmth}"),
+            t0.elapsed(),
+        );
         if report.warm_hits > 0 {
             self.lifecycle.add("warm_hits", report.warm_hits);
         }

@@ -7,19 +7,29 @@
 //! lines are either a planning request (`{"model": ..., "batch": ...}`
 //! plus options — see the `planner_daemon` docs for the full field
 //! list, including the elastic `"delta"` object that re-plans a
-//! topology change) or the control line `{"drain": true}`, which asks
-//! the daemon to cancel and join every live session, flush its
-//! lifecycle counters, and exit cleanly.
+//! topology change) or a control line:
+//!
+//! * `{"drain": true}` — cancel and join every live session, flush
+//!   lifecycle counters, exit cleanly;
+//! * `{"ping": true}` — liveness probe, answered immediately with a
+//!   `pong` carrying the daemon's version;
+//! * `{"stats": true}` — introspection: answered with a `stats` line
+//!   carrying the full telemetry snapshot (counters, gauges, histogram
+//!   summaries), without disturbing live sessions.
 //!
 //! Outbound lines are typed by their `"event"` field:
 //!
 //! * `improved` — a new best-so-far from the deterministic reduction;
+//! * `progress` — a periodic heartbeat for a live session (candidates
+//!   visited, pruned split, best-so-far), emitted between events when
+//!   the daemon runs with `--progress-every-ms`;
 //! * `done` — terminal: the winner (or `"ok":false`), the report
 //!   counters, and the `cancelled` / `timed_out` flags;
 //! * `failed` — terminal: the session panicked; the supervisor
 //!   quarantined its caches and stringified the panic payload;
 //! * `rejected` — terminal: admission control declined the request
 //!   (`reason` carries the typed [`RejectReason`] rendering);
+//! * `pong` / `stats` — answers to the control probes above;
 //! * `error` — the line never became a session: malformed JSON (with
 //!   the byte offset of the failure in `"at"`) or an invalid field.
 //!   The daemon emits this and keeps reading — bad input is answered,
@@ -28,8 +38,10 @@
 use std::time::Duration;
 
 use bfpp_cluster::{presets as clusters, ClusterSpec, NodeId, NodeSpec};
-use bfpp_exec::search::{EvalMode, Method, SearchOptions, SearchReport, SearchResult};
-use bfpp_exec::KernelModel;
+use bfpp_exec::search::{
+    EvalMode, Method, ProgressSnapshot, SearchOptions, SearchReport, SearchResult,
+};
+use bfpp_exec::{KernelModel, MetricsSnapshot};
 use bfpp_sim::Perturbation;
 
 use crate::json::{escape, Value};
@@ -55,6 +67,12 @@ pub enum Request {
     /// `{"drain": true}`: stop admitting, cancel and join every live
     /// session, flush counters, exit 0.
     Drain,
+    /// `{"ping": true}`: liveness probe; answered with
+    /// [`pong_line`] and nothing else changes.
+    Ping,
+    /// `{"stats": true}`: telemetry introspection; answered with
+    /// [`stats_line`] built from a fresh registry snapshot.
+    Stats,
 }
 
 /// Why an inbound line did not become a [`Request`].
@@ -89,6 +107,12 @@ pub fn parse_line(line: &str, fallback_id: &str) -> Result<Request, WireError> {
     };
     if v.get("drain").and_then(Value::as_bool) == Some(true) {
         return Ok(Request::Drain);
+    }
+    if v.get("ping").and_then(Value::as_bool) == Some(true) {
+        return Ok(Request::Ping);
+    }
+    if v.get("stats").and_then(Value::as_bool) == Some(true) {
+        return Ok(Request::Stats);
     }
     let id = v
         .get("id")
@@ -326,6 +350,86 @@ pub fn rejected_line(id: &str, reason: &RejectReason) -> String {
     )
 }
 
+/// The `pong` response line: liveness plus the daemon's crate version.
+pub fn pong_line() -> String {
+    format!(
+        "{{\"event\":\"pong\",\"version\":\"{}\"}}",
+        escape(env!("CARGO_PKG_VERSION"))
+    )
+}
+
+/// The `progress` heartbeat line for one live session: candidates
+/// visited so far (with the pruned split), best-so-far throughput, and
+/// elapsed wall time. Everything except `elapsed_ms` is deterministic
+/// (mirrors of the engine's thread-count-invariant counters).
+pub fn progress_line(id: &str, p: &ProgressSnapshot, elapsed_ms: u64) -> String {
+    let best = if p.best_millitflops > 0 {
+        format!(",\"best_tflops\":{:.3}", p.best_millitflops as f64 / 1e3)
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"id\":\"{}\",\"event\":\"progress\",\"enumerated\":{},\"pruned_memory\":{},\
+         \"pruned_throughput\":{},\"simulated\":{},\"warm_start\":{}{},\"elapsed_ms\":{}}}",
+        escape(id),
+        p.enumerated,
+        p.pruned_memory,
+        p.pruned_throughput,
+        p.simulated,
+        p.warm_start,
+        best,
+        elapsed_ms,
+    )
+}
+
+/// The `stats` response line: the whole telemetry snapshot as one JSON
+/// object — counters and gauges verbatim, histograms summarized as
+/// `{count, sum, min, max, p50, p90, p99}` (quantiles are bucket upper
+/// bounds, so they are integral and deterministic for deterministic
+/// inputs). Iteration is over `BTreeMap`s, so the rendering of equal
+/// snapshots is byte-identical.
+pub fn stats_line(snap: &MetricsSnapshot) -> String {
+    let mut s = String::from("{\"event\":\"stats\",\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{}", escape(name), v));
+    }
+    s.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{}", escape(name), v));
+    }
+    s.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{}",
+            escape(name),
+            h.count(),
+            h.sum()
+        ));
+        if let (Some(min), Some(max)) = (h.min(), h.max()) {
+            s.push_str(&format!(
+                ",\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+                min,
+                max,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99)
+            ));
+        }
+        s.push('}');
+    }
+    s.push_str("}}");
+    s
+}
+
 /// The `error` response line for input that never became a session.
 /// Includes `"at"` (the byte offset of the failure) for JSON syntax
 /// errors.
@@ -362,7 +466,7 @@ mod tests {
                 assert!(req.fault.is_none());
                 assert!(delta.is_none());
             }
-            Request::Drain => panic!("not a drain line"),
+            other => panic!("not a plan line: {other:?}"),
         }
     }
 
@@ -379,7 +483,7 @@ mod tests {
                 assert_eq!(req.opts.deadline, Some(Duration::from_millis(250)));
                 assert_eq!(req.opts.max_candidates, Some(64));
             }
-            Request::Drain => panic!("not a drain line"),
+            other => panic!("not a plan line: {other:?}"),
         }
     }
 
@@ -397,7 +501,7 @@ mod tests {
                 assert_eq!(req.cluster.num_nodes, 2);
                 assert_eq!(delta, Some(ClusterDelta::drop_node(NodeId(1))));
             }
-            Request::Drain => panic!("not a drain line"),
+            other => panic!("not a plan line: {other:?}"),
         }
 
         let r = parse_line(
@@ -415,7 +519,7 @@ mod tests {
                     Some(ClusterDelta::add_node(NodeSpec::dgx_a100_40gb()))
                 );
             }
-            Request::Drain => panic!("not a drain line"),
+            other => panic!("not a plan line: {other:?}"),
         }
 
         // Typed failures: undersized mixed fleets, unknown node presets,
@@ -439,6 +543,88 @@ mod tests {
         // `"drain": false` is not a drain request — it falls through to
         // request parsing (and fails on the missing model).
         assert!(parse_line(r#"{"drain": false}"#, "line-1").is_err());
+    }
+
+    #[test]
+    fn ping_and_stats_control_lines_are_recognized() {
+        assert!(matches!(
+            parse_line(r#"{"ping": true}"#, "line-1"),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_line(r#"{"stats": true}"#, "line-1"),
+            Ok(Request::Stats)
+        ));
+        // Like drain, `false` is not a probe — it falls through to
+        // request parsing and fails on the missing model.
+        assert!(parse_line(r#"{"ping": false}"#, "line-1").is_err());
+        assert!(parse_line(r#"{"stats": false}"#, "line-1").is_err());
+    }
+
+    #[test]
+    fn pong_progress_and_stats_lines_are_valid_json() {
+        use crate::json::Value;
+
+        let pong = pong_line();
+        let v = Value::parse(&pong).expect("pong parses");
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("pong"));
+        assert_eq!(
+            v.get("version").and_then(Value::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+
+        let p = ProgressSnapshot {
+            enumerated: 100,
+            pruned_memory: 30,
+            pruned_throughput: 20,
+            simulated: 10,
+            best_millitflops: 12_345,
+            warm_start: true,
+            finished: false,
+        };
+        let line = progress_line("s1", &p, 250);
+        let v = Value::parse(&line).expect("progress parses");
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("progress"));
+        assert_eq!(v.get("enumerated").and_then(Value::as_u64), Some(100));
+        assert_eq!(v.get("pruned_memory").and_then(Value::as_u64), Some(30));
+        assert_eq!(v.get("simulated").and_then(Value::as_u64), Some(10));
+        assert_eq!(v.get("best_tflops").and_then(Value::as_f64), Some(12.345));
+        assert_eq!(v.get("warm_start").and_then(Value::as_bool), Some(true));
+        // No winner yet → the field is absent, not 0.0.
+        let quiet = progress_line("s1", &ProgressSnapshot::default(), 1);
+        assert!(!quiet.contains("best_tflops"), "{quiet}");
+
+        let m = bfpp_exec::MetricsRegistry::new();
+        m.counter_add("planner_requests_completed_total", 3);
+        m.gauge_set("planner_in_flight", 2);
+        m.observe("planner_queue_wait_ns", 1000);
+        m.observe("planner_queue_wait_ns", 9);
+        let line = stats_line(&m.snapshot());
+        let v = Value::parse(&line).expect("stats parses");
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("stats"));
+        let counters = v.get("counters").expect("counters object");
+        assert_eq!(
+            counters
+                .get("planner_requests_completed_total")
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+        let gauges = v.get("gauges").expect("gauges object");
+        assert_eq!(
+            gauges.get("planner_in_flight").and_then(Value::as_u64),
+            Some(2)
+        );
+        let hist = v
+            .get("histograms")
+            .and_then(|h| h.get("planner_queue_wait_ns"))
+            .expect("histogram summary");
+        assert_eq!(hist.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(hist.get("sum").and_then(Value::as_u64), Some(1009));
+        assert_eq!(hist.get("min").and_then(Value::as_u64), Some(9));
+        assert_eq!(hist.get("max").and_then(Value::as_u64), Some(1000));
+        // Empty registry still renders a closed, parseable object.
+        let empty = stats_line(&bfpp_exec::MetricsRegistry::new().snapshot());
+        Value::parse(&empty).expect("empty stats parses");
     }
 
     #[test]

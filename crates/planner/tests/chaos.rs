@@ -240,6 +240,29 @@ fn chaos_soak_planner_survives_a_seeded_storm() {
         submitted,
         "every admitted session accounted exactly once: {life:?}"
     );
+    // The telemetry registry must agree with the lifecycle counters
+    // exactly, even under chaos: no session lost, none double-counted,
+    // and every terminal session left one sample in a session-duration
+    // histogram.
+    let snap = planner.metrics_snapshot();
+    for outcome in ["completed", "cancelled", "timed_out", "failed"] {
+        assert_eq!(
+            snap.counter(&format!("planner_requests_{outcome}_total")),
+            life.count(&format!("requests_{outcome}")),
+            "metrics registry diverged from lifecycle on {outcome}"
+        );
+    }
+    assert_eq!(snap.counter("planner_requests_submitted_total"), submitted);
+    let session_samples: u64 = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("planner_session_ns_"))
+        .map(|(_, h)| h.count())
+        .sum();
+    assert_eq!(
+        session_samples, submitted,
+        "one session-duration sample per admitted session"
+    );
 
     // (3) Self-healing: the pool returns to full strength. A fresh
     // scope triggers respawn; spin until the census settles.

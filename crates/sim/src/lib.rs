@@ -38,6 +38,7 @@
 mod critical_path;
 mod graph;
 pub mod memprof;
+pub mod metrics;
 pub mod observe;
 mod perturb;
 #[cfg(any(test, feature = "reference-solver"))]
@@ -53,6 +54,7 @@ pub use memprof::{
     BufferClass, DeviceMemModel, DeviceMemTimeline, EventEdge, LinkSpan, MemEffect, MemEvent,
     MemoryPeaks, MemoryProfile, MemorySpec, PeakAttribution,
 };
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use observe::{
     attribute, ArgValue, Breakdown, Category, ChromeTraceWriter, Counters, OpCategory,
     ResourceBreakdown, SharedCounters, TraceOp, Track,

@@ -1037,6 +1037,37 @@ mod tests {
     }
 
     #[test]
+    fn counters_iterate_and_render_in_name_order_regardless_of_insertion() {
+        // Daemon snapshots and CSV trailers embed `render()`, so its
+        // byte-stability must not depend on which code path touched a
+        // counter first.
+        let names = ["warm_hits", "cache_hits", "enumerated", "pruned"];
+        let mut forward = Counters::new();
+        let mut backward = Counters::new();
+        for (i, n) in names.iter().enumerate() {
+            forward.add(n, i as u64 + 1);
+            forward.record_span(n, Duration::from_millis(i as u64 + 1));
+        }
+        for (i, n) in names.iter().enumerate().rev() {
+            backward.add(n, i as u64 + 1);
+            backward.record_span(n, Duration::from_millis(i as u64 + 1));
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.render(), backward.render());
+        let count_keys: Vec<&str> = forward.counts().map(|(k, _)| k).collect();
+        assert_eq!(
+            count_keys,
+            ["cache_hits", "enumerated", "pruned", "warm_hits"]
+        );
+        let span_keys: Vec<&str> = forward.spans().map(|(k, _)| k).collect();
+        assert_eq!(span_keys, count_keys, "spans sort like counts");
+        // Merging in a different order lands on the same rendering too.
+        let mut merged = Counters::new();
+        merged.merge(&backward);
+        assert_eq!(merged.render(), forward.render());
+    }
+
+    #[test]
     fn exporter_escapes_hostile_names() {
         let mut g: OpGraph<String> = OpGraph::new();
         let r = g.add_resource("gpu0.compute");
